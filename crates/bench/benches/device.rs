@@ -1,0 +1,102 @@
+//! Benchmarks of the functional device model: the bit-accurate `PE_Z0` /
+//! `PE_Zi` datapaths, the Vote Execute Unit's DRAM read-modify-write path,
+//! the DMA descriptor engine and a complete frame executed through the
+//! register interface.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eventor_fixed::PackedCoord;
+use eventor_hwsim::{
+    AcceleratorConfig, AxiHpInterconnect, DmaEngine, DsiDram, EventorDevice, FrameJob, FrameKind,
+    HomographyRegisters, PeZ0Datapath, PeZiArrayDatapath, PhiEntry, VoteExecuteDatapath,
+};
+use std::hint::black_box;
+
+fn event_words(n: usize) -> Vec<u32> {
+    (0..n).map(|i| PackedCoord::from_f64((i % 240) as f64, (i % 180) as f64).to_word()).collect()
+}
+
+fn near_identity_homography() -> HomographyRegisters {
+    HomographyRegisters::from_matrix(&[
+        [1.001, 0.0002, -0.4],
+        [-0.0001, 0.999, 0.3],
+        [1e-5, -2e-5, 1.0],
+    ])
+}
+
+fn phi_words(planes: usize) -> Vec<PhiEntry> {
+    (0..planes)
+        .map(|i| {
+            let r = 1.0 - 0.002 * i as f64;
+            PhiEntry::from_f64(r, (1.0 - r) * 120.0, (1.0 - r) * 90.0)
+        })
+        .collect()
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device");
+
+    group.bench_function("pe_z0_project_1024_events", |b| {
+        let h = near_identity_homography();
+        let words = event_words(1024);
+        b.iter(|| {
+            let mut pe = PeZ0Datapath::new();
+            black_box(pe.project_frame(&h, &words))
+        })
+    });
+
+    group.bench_function("pe_zi_generate_votes_1024x100", |b| {
+        let h = near_identity_homography();
+        let words = event_words(1024);
+        let mut pe_z0 = PeZ0Datapath::new();
+        let canonical = pe_z0.project_frame(&h, &words);
+        let phi = phi_words(100);
+        b.iter(|| {
+            let mut array = PeZiArrayDatapath::new(phi.clone(), 2, 240, 180);
+            black_box(array.generate_frame_votes(&canonical))
+        })
+    });
+
+    group.bench_function("vote_execute_102400_votes", |b| {
+        let h = near_identity_homography();
+        let words = event_words(1024);
+        let mut pe_z0 = PeZ0Datapath::new();
+        let canonical = pe_z0.project_frame(&h, &words);
+        let mut array = PeZiArrayDatapath::new(phi_words(100), 2, 240, 180);
+        let votes = array.generate_frame_votes(&canonical);
+        b.iter(|| {
+            let mut dram = DsiDram::new(240, 180, 100);
+            let mut axi = AxiHpInterconnect::new(2);
+            let mut unit = VoteExecuteDatapath::new();
+            black_box(unit.execute(&votes, &mut dram, &mut axi))
+        })
+    });
+
+    group.bench_function("dma_frame_chain", |b| {
+        let config = AcceleratorConfig::default();
+        let chain = DmaEngine::frame_descriptors(&config);
+        b.iter(|| {
+            let mut dma = DmaEngine::new(&config);
+            black_box(dma.execute_chain(&chain))
+        })
+    });
+
+    group.bench_function("full_frame_through_register_interface", |b| {
+        let config = AcceleratorConfig::default();
+        let job = FrameJob {
+            event_words: event_words(1024),
+            homography_words: near_identity_homography().raw_words(),
+            phi_words: phi_words(100).iter().map(PhiEntry::raw_words).collect(),
+            kind: FrameKind::Normal,
+        };
+        b.iter_batched(
+            || EventorDevice::new(config.clone()),
+            |mut device| black_box(device.run_frame(job.clone())),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Benchmarks of the event-substrate extensions: noise injection, the
+//! streaming undistortion lookup table and the frame-slicing policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eventor_events::{
+    rate_profile, slice_stream, Event, EventStream, NoiseConfig, NoiseInjector, Polarity,
+    SlicePolicy, UndistortionLut,
+};
+use eventor_geom::CameraModel;
+use std::hint::black_box;
+
+fn synthetic_stream(n: usize) -> EventStream {
+    (0..n)
+        .map(|i| {
+            Event::new(
+                i as f64 * 2e-6,
+                ((i * 37) % 240) as u16,
+                ((i * 53) % 180) as u16,
+                if i % 2 == 0 { Polarity::Positive } else { Polarity::Negative },
+            )
+        })
+        .collect()
+}
+
+fn bench_events_ext(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events_ext");
+    let stream = synthetic_stream(100_000);
+
+    group.bench_function("noise_injection_moderate_100k", |b| {
+        let injector = NoiseInjector::new(240, 180, NoiseConfig::moderate());
+        b.iter(|| black_box(injector.corrupt(&stream).1.total_events()))
+    });
+
+    group.bench_function("undistortion_lut_build", |b| {
+        let camera = CameraModel::davis240_distorted();
+        b.iter(|| black_box(UndistortionLut::build(&camera).memory_bytes()))
+    });
+
+    group.bench_function("undistortion_lut_correct_100k", |b| {
+        let camera = CameraModel::davis240_distorted();
+        let lut = UndistortionLut::build(&camera);
+        b.iter(|| black_box(lut.correct_stream(&stream).len()))
+    });
+
+    group.bench_function("streaming_undistort_exact_100k", |b| {
+        // The iterative undistortion the LUT replaces — the ablation the
+        // rescheduling discussion relies on.
+        let camera = CameraModel::davis240_distorted();
+        b.iter(|| {
+            let total: f64 = stream
+                .iter()
+                .map(|e| {
+                    camera
+                        .undistort_pixel(eventor_geom::Vec2::new(e.x as f64, e.y as f64))
+                        .x
+                })
+                .sum();
+            black_box(total)
+        })
+    });
+
+    group.bench_function("rate_profile_1ms_windows", |b| {
+        b.iter(|| black_box(rate_profile(&stream, 1e-3).unwrap().peak_rate))
+    });
+
+    group.bench_function("adaptive_slicing_100k", |b| {
+        b.iter(|| {
+            let (frames, stats) = slice_stream(
+                &stream,
+                SlicePolicy::Adaptive { events: 1024, max_seconds: 5e-3 },
+            );
+            black_box((frames.len(), stats.max_events))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_events_ext);
+criterion_main!(benches);

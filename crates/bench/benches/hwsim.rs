@@ -1,0 +1,44 @@
+//! Benchmarks of the hardware model itself plus the architectural sweeps it
+//! enables (PE_Zi count, depth planes, double buffering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eventor_hwsim::{
+    estimate_resources, frame_timing, performance, AcceleratorConfig, FrameKind, PowerModel,
+};
+use std::hint::black_box;
+
+fn bench_hwsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hwsim");
+
+    group.bench_function("frame_timing_default", |b| {
+        let config = AcceleratorConfig::default();
+        b.iter(|| black_box(frame_timing(&config, FrameKind::Normal)))
+    });
+
+    group.bench_function("full_performance_report", |b| {
+        let config = AcceleratorConfig::default();
+        b.iter(|| black_box(performance(&config)))
+    });
+
+    group.bench_function("resource_and_power_estimate", |b| {
+        let config = AcceleratorConfig::default();
+        b.iter(|| {
+            let r = estimate_resources(&config);
+            black_box(PowerModel::default().accelerator_power_w(&config, &r))
+        })
+    });
+
+    group.bench_function("pe_sweep_1_to_8", |b| {
+        b.iter(|| {
+            for n in 1..=8usize {
+                let config = AcceleratorConfig::default().with_pe_zi(n);
+                black_box(performance(&config));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hwsim);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmarks of the global-mapping substrate: voxel-grid insertion and
+//! extraction, depth-map fusion and global-map statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eventor_dsi::{DepthMap, MapPoint, PointCloud};
+use eventor_geom::{CameraIntrinsics, Pose, Vec3};
+use eventor_map::{DepthFusion, FusionConfig, GlobalMap, GlobalMapConfig, VoxelGrid};
+use std::hint::black_box;
+
+fn synthetic_cloud(points: usize) -> PointCloud {
+    let mut cloud = PointCloud::new();
+    for i in 0..points {
+        let a = i as f64 * 0.017;
+        cloud.push(MapPoint {
+            position: Vec3::new(a.sin() * 2.0, a.cos() * 1.5, 1.0 + 0.001 * i as f64),
+            confidence: 1.0 + (i % 32) as f64,
+        });
+    }
+    cloud
+}
+
+fn synthetic_depth_map(seed: usize) -> DepthMap {
+    let mut map = DepthMap::new(240, 180).unwrap();
+    for y in (0..180).step_by(3) {
+        for x in (0..240).step_by(2) {
+            let d = 1.0 + 0.01 * ((x + y + seed) % 200) as f64;
+            map.set(x, y, d, 5.0);
+        }
+    }
+    map
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping");
+
+    group.bench_function("voxel_grid_insert_10k_points", |b| {
+        let cloud = synthetic_cloud(10_000);
+        b.iter(|| {
+            let mut grid = VoxelGrid::new(0.02).unwrap();
+            grid.insert_cloud(&cloud);
+            black_box(grid.occupied_voxels())
+        })
+    });
+
+    group.bench_function("voxel_grid_extract_cloud", |b| {
+        let mut grid = VoxelGrid::new(0.02).unwrap();
+        grid.insert_cloud(&synthetic_cloud(10_000));
+        b.iter(|| black_box(grid.to_point_cloud().len()))
+    });
+
+    group.bench_function("depth_fusion_4_keyframes", |b| {
+        let maps: Vec<DepthMap> = (0..4).map(synthetic_depth_map).collect();
+        b.iter(|| {
+            let mut fusion = DepthFusion::new(240, 180, FusionConfig::default()).unwrap();
+            for m in &maps {
+                fusion.fuse(m).unwrap();
+            }
+            black_box(fusion.finalize().unwrap().valid_count())
+        })
+    });
+
+    group.bench_function("global_map_insert_and_statistics", |b| {
+        let depth = synthetic_depth_map(0);
+        let intrinsics = CameraIntrinsics::davis240_default();
+        b.iter(|| {
+            let mut map = GlobalMap::new(GlobalMapConfig::default()).unwrap();
+            for i in 0..4 {
+                let pose = Pose::from_translation(Vec3::new(0.02 * i as f64, 0.0, 0.0));
+                map.insert_depth_map(&depth, &intrinsics, &pose);
+            }
+            black_box(map.statistics())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end benchmarks: the baseline EMVS mapper versus the reformulated
+//! Eventor pipeline on a cached synthetic sequence (the software side of the
+//! Table 3 comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eventor_core::{config_for_sequence, EventorOptions, EventorPipeline};
+use eventor_emvs::EmvsMapper;
+use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    // A reduced-scale sequence keeps the bench runtime reasonable while still
+    // exercising the full pipeline.
+    let seq = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())
+        .expect("fast_test sequence generates");
+    let config = config_for_sequence(&seq, 50);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(seq.events.len() as u64));
+
+    group.bench_function("baseline_bilinear_full_sequence", |b| {
+        let mapper = EmvsMapper::new(seq.camera, config.clone()).unwrap();
+        b.iter(|| black_box(mapper.reconstruct(&seq.events, &seq.trajectory).unwrap()))
+    });
+
+    group.bench_function("eventor_reformulated_full_sequence", |b| {
+        let pipeline =
+            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator()).unwrap();
+        b.iter(|| black_box(pipeline.reconstruct(&seq.events, &seq.trajectory).unwrap()))
+    });
+
+    group.bench_function("eventor_nearest_only_full_sequence", |b| {
+        let pipeline =
+            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::nearest_only()).unwrap();
+        b.iter(|| black_box(pipeline.reconstruct(&seq.events, &seq.trajectory).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

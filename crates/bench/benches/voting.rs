@@ -1,0 +1,70 @@
+//! Micro-benchmarks of DSI voting: bilinear versus nearest (the paper's
+//! approximate-computing ablation) and f32 versus quantized u16 scores.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use eventor_dsi::{DepthPlanes, DsiVolume};
+use std::hint::black_box;
+
+fn targets(n: usize) -> Vec<(f64, f64, usize)> {
+    (0..n)
+        .map(|i| {
+            (
+                (i * 37 % 2400) as f64 / 10.0,
+                (i * 53 % 1800) as f64 / 10.0,
+                i % 100,
+            )
+        })
+        .collect()
+}
+
+fn bench_voting(c: &mut Criterion) {
+    let planes = DepthPlanes::uniform_inverse_depth(0.6, 6.0, 100).unwrap();
+    let votes = targets(102_400); // one 1024-event frame's worth of votes
+    let mut group = c.benchmark_group("voting");
+    group.throughput(Throughput::Elements(votes.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("bilinear_f32_frame", |b| {
+        b.iter_batched(
+            || DsiVolume::<f32>::new(240, 180, planes.clone()).unwrap(),
+            |mut dsi| {
+                for &(x, y, p) in &votes {
+                    dsi.vote_bilinear(x, y, p, 1.0);
+                }
+                black_box(dsi.total_score())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("nearest_f32_frame", |b| {
+        b.iter_batched(
+            || DsiVolume::<f32>::new(240, 180, planes.clone()).unwrap(),
+            |mut dsi| {
+                for &(x, y, p) in &votes {
+                    dsi.vote_nearest(x, y, p, 1.0);
+                }
+                black_box(dsi.total_score())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("nearest_u16_frame", |b| {
+        b.iter_batched(
+            || DsiVolume::<u16>::new(240, 180, planes.clone()).unwrap(),
+            |mut dsi| {
+                for &(x, y, p) in &votes {
+                    dsi.vote_nearest(x, y, p, 1.0);
+                }
+                black_box(dsi.total_score())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_voting);
+criterion_main!(benches);

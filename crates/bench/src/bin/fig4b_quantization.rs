@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 4b**: depth-estimation error (AbsRel) of the
+//! full-precision datapath versus the Table 1 quantized datapath across the
+//! four evaluation sequences.
+//!
+//! The paper reports a maximum AbsRel difference of about 1.01 % before and
+//! after quantization.
+
+use eventor_bench::{experiment_config, fast_mode, generate_all_sequences, print_header};
+use eventor_core::{run_variant, PipelineVariant};
+
+fn main() {
+    let fast = fast_mode();
+    let sequences = generate_all_sequences(fast);
+
+    print_header("Fig. 4b: depth estimation error, original vs quantized");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12}",
+        "sequence", "original (%)", "quantized (%)", "diff (pp)"
+    );
+    let mut max_diff: f64 = 0.0;
+    for seq in &sequences {
+        let config = experiment_config(seq);
+        let original = run_variant(seq, PipelineVariant::OriginalBilinear, &config)
+            .expect("original variant runs");
+        let quantized = run_variant(seq, PipelineVariant::QuantizedBilinear, &config)
+            .expect("quantized variant runs");
+        let diff = (quantized.metrics.abs_rel - original.metrics.abs_rel) * 100.0;
+        max_diff = max_diff.max(diff.abs());
+        println!(
+            "{:<22} {:>14.2} {:>14.2} {:>12.2}",
+            seq.kind.label(),
+            original.metrics.abs_rel * 100.0,
+            quantized.metrics.abs_rel * 100.0,
+            diff
+        );
+    }
+    println!();
+    println!(
+        "maximum AbsRel difference: {max_diff:.2} percentage points (paper: about 1.01)"
+    );
+}

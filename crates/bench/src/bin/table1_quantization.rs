@@ -1,0 +1,86 @@
+//! Regenerates **Table 1**: the hybrid quantization strategy, together with a
+//! measurement of the quantization error each format introduces on realistic
+//! EMVS data and the resulting memory savings.
+
+use eventor_bench::{fast_mode, generate_sequence, print_header};
+use eventor_emvs::FrameGeometry;
+use eventor_events::{aggregate, SequenceKind, DEFAULT_EVENTS_PER_FRAME};
+use eventor_fixed::{analyze, frame_memory_footprint, TABLE1_STRATEGY};
+use eventor_dsi::DepthPlanes;
+use eventor_geom::Vec2;
+
+fn main() {
+    let fast = fast_mode();
+    print_header("Table 1: hybrid data quantization strategy");
+    println!(
+        "{:<24} {:>10} {:>14} {:>14}",
+        "Quantized Data Type", "Total #bit", "#bit Integer", "#bit Decimal"
+    );
+    for spec in TABLE1_STRATEGY {
+        println!(
+            "{:<24} {:>10} {:>14} {:>14}",
+            spec.name, spec.total_bits, spec.integer_bits, spec.decimal_bits
+        );
+    }
+
+    // Measure the quantization error of each format on data drawn from a real
+    // reconstruction workload.
+    let seq = generate_sequence(SequenceKind::ThreePlanes, fast);
+    let frames = aggregate(&seq.events, DEFAULT_EVENTS_PER_FRAME);
+    let planes = DepthPlanes::uniform_inverse_depth(seq.depth_range.0, seq.depth_range.1, 100)
+        .expect("sequence depth range is valid");
+
+    let mut coords = Vec::new();
+    let mut canonical = Vec::new();
+    let mut homography_entries = Vec::new();
+    let mut phi_values = Vec::new();
+    for frame in frames.iter().take(8) {
+        let Some(ts) = frame.timestamp() else { continue };
+        let Ok(pose) = seq.trajectory.pose_at(ts) else { continue };
+        let Ok(geometry) = FrameGeometry::compute(&seq.reference_pose, &pose, &seq.camera.intrinsics, &planes)
+        else {
+            continue;
+        };
+        for i in 0..3 {
+            for j in 0..3 {
+                homography_entries.push(geometry.homography.h.m[i][j]);
+            }
+        }
+        phi_values.extend(geometry.coefficients.scale.iter().copied());
+        phi_values.extend(geometry.coefficients.offset_x.iter().copied());
+        phi_values.extend(geometry.coefficients.offset_y.iter().copied());
+        for e in &frame.events {
+            let px = Vec2::new(e.x as f64, e.y as f64);
+            coords.push(px.x);
+            coords.push(px.y);
+            if let Some(c) = geometry.canonical(px) {
+                canonical.push(c.x);
+                canonical.push(c.y);
+            }
+        }
+    }
+
+    print_header("Measured quantization error per format (mean abs / max abs)");
+    let coord_report = analyze::<i16, 7>(&coords);
+    let canonical_report = analyze::<i16, 7>(&canonical);
+    let h_report = analyze::<i32, 21>(&homography_entries);
+    let phi_report = analyze::<i32, 21>(&phi_values);
+    println!("(x_k, y_k)        Q9.7   : {:.6} / {:.6} px", coord_report.mean_abs_error, coord_report.max_abs_error);
+    println!("(x_k(Z0), y_k(Z0)) Q9.7  : {:.6} / {:.6} px", canonical_report.mean_abs_error, canonical_report.max_abs_error);
+    println!("H_Z0              Q11.21 : {:.2e} / {:.2e}", h_report.mean_abs_error, h_report.max_abs_error);
+    println!("phi               Q11.21 : {:.2e} / {:.2e}", phi_report.mean_abs_error, phi_report.max_abs_error);
+
+    let (float_bytes, quant_bytes) = frame_memory_footprint(
+        DEFAULT_EVENTS_PER_FRAME,
+        100,
+        seq.camera.intrinsics.width as usize,
+        seq.camera.intrinsics.height as usize,
+    );
+    print_header("Memory footprint per frame + DSI");
+    println!("float baseline : {:.2} MB", float_bytes as f64 / 1e6);
+    println!("quantized      : {:.2} MB", quant_bytes as f64 / 1e6);
+    println!(
+        "saving         : {:.1}% (paper: \"up to 50%\")",
+        100.0 * (1.0 - quant_bytes as f64 / float_bytes as f64)
+    );
+}

@@ -1,0 +1,128 @@
+//! Accelerator evaluation: binds a reconstruction run to the hardware model
+//! to produce the Eventor column of Table 3 and the energy-efficiency
+//! comparison against the CPU baseline.
+
+use eventor_emvs::StageProfile;
+use eventor_hwsim::{
+    estimate_resources, performance, sequence_runtime_seconds, AcceleratorConfig,
+    AcceleratorPerformance, EnergyComparison, PowerModel, ResourceReport, INTEL_I5_POWER_W,
+};
+
+/// Complete accelerator-side evaluation of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorRun {
+    /// Per-frame performance figures (Table 3, Eventor column).
+    pub performance: AcceleratorPerformance,
+    /// Number of normal frames in the workload.
+    pub normal_frames: u64,
+    /// Number of key frames in the workload.
+    pub key_frames: u64,
+    /// Total accelerator busy time for the workload, seconds.
+    pub total_seconds: f64,
+    /// Resource utilization of the configuration (Table 2).
+    pub resources: ResourceReport,
+    /// Accelerator power, watts.
+    pub power_w: f64,
+}
+
+impl AcceleratorRun {
+    /// Evaluates the accelerator model on a workload of `normal_frames` +
+    /// `key_frames` event frames.
+    pub fn evaluate(config: &AcceleratorConfig, normal_frames: u64, key_frames: u64) -> Self {
+        let resources = estimate_resources(config);
+        let power_w = PowerModel::default().accelerator_power_w(config, &resources);
+        Self {
+            performance: performance(config),
+            normal_frames,
+            key_frames,
+            total_seconds: sequence_runtime_seconds(config, normal_frames, key_frames),
+            resources,
+            power_w,
+        }
+    }
+
+    /// Evaluates the accelerator on the same workload a CPU reconstruction
+    /// processed, taking the frame/key-frame counts from its profile.
+    pub fn evaluate_from_profile(config: &AcceleratorConfig, profile: &StageProfile) -> Self {
+        let key_frames = profile.keyframes.min(profile.frames_processed);
+        let normal_frames = profile.frames_processed - key_frames;
+        Self::evaluate(config, normal_frames, key_frames)
+    }
+
+    /// Event processing rate over the whole workload, events per second.
+    pub fn event_rate(&self, events_per_frame: usize) -> f64 {
+        if self.total_seconds <= 0.0 {
+            return 0.0;
+        }
+        let events = (self.normal_frames + self.key_frames) as f64 * events_per_frame as f64;
+        events / self.total_seconds
+    }
+
+    /// Builds the energy comparison against a CPU run of the same workload.
+    ///
+    /// `cpu_profile` is the baseline's measured stage profile: the CPU time
+    /// charged to the comparison is the `𝒫 + ℛ` time, i.e. the same portion
+    /// of the pipeline the accelerator executes.
+    pub fn energy_versus_cpu(&self, cpu_profile: &StageProfile) -> EnergyComparison {
+        EnergyComparison {
+            cpu_seconds: cpu_profile.projection_raycounting_time().as_secs_f64(),
+            accelerator_seconds: self.total_seconds,
+            cpu_power_w: INTEL_I5_POWER_W,
+            accelerator_power_w: self.power_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_emvs::Stage;
+    use std::time::Duration;
+
+    #[test]
+    fn evaluation_reproduces_table3_eventor_column() {
+        let run = AcceleratorRun::evaluate(&AcceleratorConfig::default(), 100, 3);
+        assert!((run.performance.canonical_us - 8.24).abs() < 0.1);
+        assert!((run.performance.proportional_us - 551.58).abs() < 15.0);
+        assert!((run.power_w - 1.86).abs() < 0.15);
+        assert_eq!(run.resources.total_luts(), 17_538);
+        let rate = run.event_rate(1024);
+        assert!(rate > 1.7e6 && rate < 2.0e6, "event rate {rate}");
+    }
+
+    #[test]
+    fn profile_driven_evaluation_counts_frames() {
+        let mut profile = StageProfile::new();
+        profile.frames_processed = 50;
+        profile.keyframes = 4;
+        let run = AcceleratorRun::evaluate_from_profile(&AcceleratorConfig::default(), &profile);
+        assert_eq!(run.normal_frames, 46);
+        assert_eq!(run.key_frames, 4);
+        assert!(run.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn energy_gain_is_in_the_paper_ballpark() {
+        // Build a CPU profile with the paper's per-frame runtime (581.95 us
+        // of P+R per frame over 100 frames).
+        let mut cpu = StageProfile::new();
+        cpu.frames_processed = 100;
+        cpu.keyframes = 2;
+        cpu.events_processed = 100 * 1024;
+        cpu.add(Stage::CanonicalProjection, Duration::from_secs_f64(22.40e-6 * 100.0));
+        cpu.add(Stage::ProportionalProjection, Duration::from_secs_f64(400.0e-6 * 100.0));
+        cpu.add(Stage::VoteDsi, Duration::from_secs_f64(159.55e-6 * 100.0));
+        let run = AcceleratorRun::evaluate_from_profile(&AcceleratorConfig::default(), &cpu);
+        let cmp = run.energy_versus_cpu(&cpu);
+        let gain = cmp.efficiency_gain();
+        assert!(gain > 15.0 && gain < 35.0, "efficiency gain {gain}");
+        assert!(cmp.power_reduction() > 20.0);
+    }
+
+    #[test]
+    fn zero_workload_is_safe() {
+        let run = AcceleratorRun::evaluate(&AcceleratorConfig::default(), 0, 0);
+        assert_eq!(run.total_seconds, 0.0);
+        assert_eq!(run.event_rate(1024), 0.0);
+    }
+}

@@ -1,0 +1,452 @@
+//! Hardware/software co-simulation: the host-side driver that runs the
+//! reformulated EMVS dataflow on the functional device model of
+//! `eventor-hwsim`.
+//!
+//! [`CosimPipeline`] plays the role of the ARM firmware in the prototype:
+//! it performs the PS-side stages (streaming distortion correction, event
+//! aggregation, per-frame `H_{Z0}` / `φ` computation, key-frame selection,
+//! scene-structure detection and map merging) and drives the PL-side stages
+//! (`𝒫{Z0}`, `𝒫{Z0;Zi}`, `𝒢`, `𝒱`) through the register/DMA interface of
+//! [`EventorDevice`].
+//!
+//! Because the device datapath and the software datapath in
+//! [`crate::EventorPipeline`] quantize with the same Table 1 formats and make
+//! the same projection-missing judgements, the two produce **identical DSI
+//! volumes** for identical inputs; the workspace integration tests assert
+//! this bit-exact agreement, which is the co-verification argument of the
+//! accelerator design.
+
+use crate::quantized::quantize_event_pixel;
+use eventor_dsi::{detect_structure, DepthPlanes, DsiVolume, PointCloud};
+use eventor_emvs::{
+    EmvsConfig, EmvsError, EmvsOutput, FrameGeometry, KeyframeReconstruction, KeyframeSelector,
+    Stage, StageProfile,
+};
+use eventor_events::{aggregate, EventStream};
+use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
+use eventor_hwsim::{
+    AcceleratorConfig, ActivityEnergyModel, DeviceStats, EnergyBreakdown, EventorDevice,
+    FrameExecution, FrameJob, FrameKind, HomographyRegisters, PhiEntry,
+};
+use std::time::Duration;
+
+/// Summary of the accelerator activity during one co-simulated
+/// reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CosimReport {
+    /// Frames executed on the device.
+    pub frames: u64,
+    /// Key frames executed on the device.
+    pub key_frames: u64,
+    /// Events shipped to the device.
+    pub events_in: u64,
+    /// Events dropped by the projection-missing judgement.
+    pub events_dropped: u64,
+    /// Votes applied to the DSI in device DRAM.
+    pub votes_applied: u64,
+    /// Total modelled accelerator busy time, seconds.
+    pub accelerator_seconds: f64,
+    /// Mean modelled latency of a normal frame, microseconds.
+    pub mean_normal_frame_us: f64,
+    /// Mean modelled latency of a key frame, microseconds.
+    pub mean_key_frame_us: f64,
+    /// Activity-based energy breakdown of the accelerator work (joules),
+    /// accumulated over every executed frame.
+    pub energy: EnergyBreakdown,
+}
+
+/// The co-simulated Eventor pipeline: PS-side firmware plus the functional
+/// PL device model.
+///
+/// # Examples
+///
+/// ```no_run
+/// use eventor_core::CosimPipeline;
+/// use eventor_emvs::EmvsConfig;
+/// use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+/// use eventor_hwsim::AcceleratorConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let seq = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
+/// let config = EmvsConfig::default().with_depth_range(seq.depth_range.0, seq.depth_range.1);
+/// let mut cosim = CosimPipeline::new(seq.camera, config, AcceleratorConfig::default())?;
+/// let output = cosim.reconstruct(&seq.events, &seq.trajectory)?;
+/// println!("accelerator applied {} votes", cosim.report().votes_applied);
+/// println!("{} key frames", output.keyframes.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CosimPipeline {
+    camera: CameraModel,
+    config: EmvsConfig,
+    device: EventorDevice,
+    report: CosimReport,
+}
+
+impl CosimPipeline {
+    /// Creates a co-simulation pipeline.
+    ///
+    /// The accelerator configuration is aligned with the EMVS configuration:
+    /// frame size, plane count and sensor resolution are taken from
+    /// `config` / `camera` so the device DSI matches the host's expectations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] for unusable configurations (same
+    /// contract as [`crate::EventorPipeline::new`]).
+    pub fn new(
+        camera: CameraModel,
+        config: EmvsConfig,
+        accelerator: AcceleratorConfig,
+    ) -> Result<Self, EmvsError> {
+        if config.events_per_frame == 0 {
+            return Err(EmvsError::InvalidConfig {
+                reason: "events_per_frame must be positive".into(),
+            });
+        }
+        if config.num_depth_planes < 2 {
+            return Err(EmvsError::InvalidConfig { reason: "need at least two depth planes".into() });
+        }
+        if config.depth_range.0 <= 0.0 || config.depth_range.1 <= config.depth_range.0 {
+            return Err(EmvsError::InvalidConfig {
+                reason: format!("invalid depth range {:?}", config.depth_range),
+            });
+        }
+        let mut accelerator = accelerator;
+        accelerator.events_per_frame = config.events_per_frame;
+        accelerator.num_depth_planes = config.num_depth_planes;
+        accelerator.sensor_width = camera.intrinsics.width as usize;
+        accelerator.sensor_height = camera.intrinsics.height as usize;
+        let device = EventorDevice::new(accelerator);
+        Ok(Self { camera, config, device, report: CosimReport::default() })
+    }
+
+    /// The EMVS configuration.
+    pub fn config(&self) -> &EmvsConfig {
+        &self.config
+    }
+
+    /// The accelerator configuration the device was built with.
+    pub fn accelerator_config(&self) -> &AcceleratorConfig {
+        self.device.config()
+    }
+
+    /// The device model (for DSI readback and traffic inspection).
+    pub fn device(&self) -> &EventorDevice {
+        &self.device
+    }
+
+    /// Lifetime statistics of the underlying device.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.device.stats()
+    }
+
+    /// The accelerator activity report of the last reconstruction.
+    pub fn report(&self) -> CosimReport {
+        self.report
+    }
+
+    /// Runs the co-simulated reconstruction.
+    ///
+    /// The returned profile contains the *modelled* accelerator time for the
+    /// FPGA stages (canonical projection, proportional projection + voting)
+    /// rather than host wall-clock time, so it can be compared directly
+    /// against the Table 3 Eventor column.
+    ///
+    /// # Errors
+    ///
+    /// Same error contract as [`crate::EventorPipeline::reconstruct`].
+    pub fn reconstruct(
+        &mut self,
+        events: &EventStream,
+        trajectory: &Trajectory,
+    ) -> Result<EmvsOutput, EmvsError> {
+        if events.is_empty() {
+            return Err(EmvsError::NoEvents);
+        }
+        let mut profile = StageProfile::new();
+        let fabric = self.device.config().fabric_clock;
+
+        // PS side: streaming distortion correction + Q9.7 transport encoding.
+        let transported: Vec<u32> = events
+            .iter()
+            .map(|e| {
+                let p = self.camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64));
+                quantize_event_pixel(p).to_word()
+            })
+            .collect();
+
+        // PS side: aggregation into event frames.
+        let frames = aggregate(events, self.config.events_per_frame);
+
+        let planes = DepthPlanes::uniform_inverse_depth(
+            self.config.depth_range.0,
+            self.config.depth_range.1,
+            self.config.num_depth_planes,
+        )?;
+        let mut selector = KeyframeSelector::new(
+            self.config.keyframe_distance,
+            self.config.min_frames_per_keyframe,
+        );
+        let mut reference: Option<Pose> = None;
+        let mut keyframes: Vec<KeyframeReconstruction> = Vec::new();
+        let mut global_map = PointCloud::new();
+        let mut frames_in_keyframe = 0usize;
+        let mut events_in_keyframe = 0usize;
+        let mut votes_in_keyframe = 0u64;
+        let mut next_is_key = true;
+        let mut report = CosimReport::default();
+        let mut normal_us_sum = 0.0;
+        let mut key_us_sum = 0.0;
+
+        for frame in &frames {
+            let Some(timestamp) = frame.timestamp() else { continue };
+            let pose = trajectory.pose_at(timestamp)?;
+
+            match reference {
+                None => reference = Some(pose),
+                Some(ref ref_pose) => {
+                    if selector.should_switch(ref_pose, &pose) {
+                        let reconstruction = self.finalize_keyframe(
+                            &planes,
+                            ref_pose,
+                            frames_in_keyframe,
+                            events_in_keyframe,
+                            votes_in_keyframe,
+                        )?;
+                        global_map.merge(&reconstruction.local_cloud);
+                        keyframes.push(reconstruction);
+                        profile.keyframes += 1;
+                        reference = Some(pose);
+                        selector.reset();
+                        frames_in_keyframe = 0;
+                        events_in_keyframe = 0;
+                        votes_in_keyframe = 0;
+                        next_is_key = true;
+                    }
+                }
+            }
+            let ref_pose = reference.expect("reference pose set above");
+
+            // PS side: per-frame geometry (H_Z0 and φ), pre-computed before
+            // the PL is started.
+            let geometry =
+                FrameGeometry::compute(&ref_pose, &pose, &self.camera.intrinsics, &planes)?;
+            let job = Self::frame_job(
+                &geometry,
+                &transported,
+                frame.index * self.config.events_per_frame,
+                frame.len(),
+                if next_is_key { FrameKind::Key } else { FrameKind::Normal },
+            );
+            next_is_key = false;
+
+            // PL side: run the frame on the device.
+            let execution = self.device.run_frame(job).ok_or_else(|| EmvsError::InvalidConfig {
+                reason: "accelerator rejected the staged frame".into(),
+            })?;
+            Self::charge_profile(&mut profile, &execution, fabric);
+            Self::charge_report(&mut report, &execution, fabric, &mut normal_us_sum, &mut key_us_sum);
+            report.energy.accumulate(
+                &ActivityEnergyModel::default().frame_energy(&execution, self.device.config()),
+            );
+            votes_in_keyframe += execution.votes_applied;
+
+            selector.register_frame();
+            frames_in_keyframe += 1;
+            events_in_keyframe += frame.len();
+            profile.frames_processed += 1;
+            profile.events_processed += frame.len() as u64;
+        }
+
+        if let Some(ref_pose) = reference {
+            if frames_in_keyframe > 0 {
+                let reconstruction = self.finalize_keyframe(
+                    &planes,
+                    &ref_pose,
+                    frames_in_keyframe,
+                    events_in_keyframe,
+                    votes_in_keyframe,
+                )?;
+                global_map.merge(&reconstruction.local_cloud);
+                keyframes.push(reconstruction);
+                profile.keyframes += 1;
+            }
+        }
+
+        report.mean_normal_frame_us = if report.frames > report.key_frames {
+            normal_us_sum / (report.frames - report.key_frames) as f64
+        } else {
+            0.0
+        };
+        report.mean_key_frame_us =
+            if report.key_frames > 0 { key_us_sum / report.key_frames as f64 } else { 0.0 };
+        self.report = report;
+        Ok(EmvsOutput { keyframes, global_map, profile })
+    }
+
+    /// Builds the per-frame job shipped to the device: the event words of the
+    /// frame plus the quantized `H_{Z0}` and `φ` parameter payloads.
+    fn frame_job(
+        geometry: &FrameGeometry,
+        transported: &[u32],
+        first_event: usize,
+        len: usize,
+        kind: FrameKind,
+    ) -> FrameJob {
+        let homography_words =
+            HomographyRegisters::from_matrix(&geometry.homography.h.m).raw_words();
+        let phi = &geometry.coefficients;
+        let phi_words: Vec<[i32; 3]> = (0..phi.len())
+            .map(|i| PhiEntry::from_f64(phi.scale[i], phi.offset_x[i], phi.offset_y[i]).raw_words())
+            .collect();
+        FrameJob {
+            event_words: transported[first_event..first_event + len].to_vec(),
+            homography_words,
+            phi_words,
+            kind,
+        }
+    }
+
+    fn charge_profile(profile: &mut StageProfile, execution: &FrameExecution, fabric: eventor_hwsim::ClockDomain) {
+        let canonical = Duration::from_secs_f64(fabric.cycles_to_seconds(execution.canonical_cycles));
+        let proportional =
+            Duration::from_secs_f64(fabric.cycles_to_seconds(execution.proportional_cycles));
+        profile.add(Stage::CanonicalProjection, canonical);
+        profile.add(Stage::ProportionalProjection, proportional / 2);
+        profile.add(Stage::VoteDsi, proportional - proportional / 2);
+    }
+
+    fn charge_report(
+        report: &mut CosimReport,
+        execution: &FrameExecution,
+        fabric: eventor_hwsim::ClockDomain,
+        normal_us_sum: &mut f64,
+        key_us_sum: &mut f64,
+    ) {
+        report.frames += 1;
+        report.events_in += execution.events_in;
+        report.events_dropped += execution.events_dropped;
+        report.votes_applied += execution.votes_applied;
+        let us = fabric.cycles_to_us(execution.total_cycles);
+        report.accelerator_seconds += us * 1e-6;
+        match execution.kind {
+            FrameKind::Key => {
+                report.key_frames += 1;
+                *key_us_sum += us;
+            }
+            FrameKind::Normal => *normal_us_sum += us,
+        }
+    }
+
+    /// Reads the DSI back from device DRAM and runs the PS-side detection and
+    /// point-cloud conversion.
+    fn finalize_keyframe(
+        &self,
+        planes: &DepthPlanes,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+        votes_cast: u64,
+    ) -> Result<KeyframeReconstruction, EmvsError> {
+        let dram = self.device.dsi();
+        let dsi: DsiVolume<u16> = DsiVolume::from_scores(
+            dram.width(),
+            dram.height(),
+            planes.clone(),
+            dram.scores().to_vec(),
+            votes_cast,
+        )?;
+        let depth_map = detect_structure(&dsi, &self.config.detection);
+        let local_cloud =
+            PointCloud::from_depth_map(&depth_map, &self.camera.intrinsics, reference_pose);
+        Ok(KeyframeReconstruction {
+            reference_pose: *reference_pose,
+            depth_map,
+            local_cloud,
+            frames_used,
+            events_used,
+            votes_cast,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventorOptions, EventorPipeline};
+    use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+
+    fn sequence() -> SyntheticSequence {
+        SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test()).unwrap()
+    }
+
+    fn config_for(seq: &SyntheticSequence) -> EmvsConfig {
+        EmvsConfig::default()
+            .with_depth_range(seq.depth_range.0, seq.depth_range.1)
+            .with_depth_planes(60)
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let cam = CameraModel::davis240_ideal();
+        let bad = EmvsConfig { num_depth_planes: 1, ..Default::default() };
+        assert!(CosimPipeline::new(cam, bad, AcceleratorConfig::default()).is_err());
+        let bad_range = EmvsConfig::default().with_depth_range(2.0, 1.0);
+        assert!(CosimPipeline::new(cam, bad_range, AcceleratorConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let cam = CameraModel::davis240_ideal();
+        let mut cosim =
+            CosimPipeline::new(cam, EmvsConfig::default(), AcceleratorConfig::default()).unwrap();
+        let traj = Trajectory::linear(Pose::identity(), Pose::identity(), 0.0, 1.0, 2);
+        assert!(matches!(cosim.reconstruct(&EventStream::new(), &traj), Err(EmvsError::NoEvents)));
+    }
+
+    #[test]
+    fn cosim_matches_the_software_quantized_pipeline_bit_exactly() {
+        let seq = sequence();
+        let config = config_for(&seq);
+        let software =
+            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator()).unwrap();
+        let mut cosim =
+            CosimPipeline::new(seq.camera, config, AcceleratorConfig::default()).unwrap();
+
+        let sw = software.reconstruct(&seq.events, &seq.trajectory).unwrap();
+        let hw = cosim.reconstruct(&seq.events, &seq.trajectory).unwrap();
+
+        assert_eq!(sw.keyframes.len(), hw.keyframes.len());
+        for (s, h) in sw.keyframes.iter().zip(&hw.keyframes) {
+            assert_eq!(s.votes_cast, h.votes_cast, "vote counts diverged");
+            assert_eq!(s.depth_map.valid_count(), h.depth_map.valid_count());
+            assert_eq!(s.depth_map.depth_data(), h.depth_map.depth_data(), "depth maps diverged");
+        }
+    }
+
+    #[test]
+    fn cosim_report_is_consistent_with_device_stats() {
+        let seq = sequence();
+        let mut cosim =
+            CosimPipeline::new(seq.camera, config_for(&seq), AcceleratorConfig::default()).unwrap();
+        let out = cosim.reconstruct(&seq.events, &seq.trajectory).unwrap();
+        let report = cosim.report();
+        let stats = cosim.device_stats();
+        assert_eq!(report.frames, stats.frames);
+        assert_eq!(report.votes_applied, stats.votes_applied);
+        assert_eq!(report.key_frames as usize, out.keyframes.len());
+        assert!(report.accelerator_seconds > 0.0);
+        assert!(report.mean_normal_frame_us > 0.0);
+        assert!(report.mean_key_frame_us >= report.mean_normal_frame_us);
+        assert_eq!(report.events_in, out.profile.events_processed);
+        assert!(cosim.accelerator_config().num_depth_planes == cosim.config().num_depth_planes);
+        // The activity-based energy accounting covers every executed frame.
+        assert_eq!(report.energy.events, report.events_in);
+        assert!(report.energy.total_j() > 0.0);
+        assert!(report.energy.average_power_w() > 1.0 && report.energy.average_power_w() < 4.0);
+        assert!((report.energy.seconds - report.accelerator_seconds).abs() < 1e-9);
+    }
+
+}

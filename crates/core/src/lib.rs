@@ -1,0 +1,163 @@
+//! # eventor-core
+//!
+//! The paper's primary contribution, reproduced as a library: **Eventor**, an
+//! algorithm/hardware co-designed event-based monocular multi-view stereo
+//! (EMVS) accelerator.
+//!
+//! The crate provides:
+//!
+//! * [`EventorPipeline`] — the hardware-friendly *reformulated* EMVS dataflow
+//!   (streaming distortion correction, pre-computed proportional
+//!   coefficients, nearest voting, Table 1 hybrid quantization), with each
+//!   approximation individually switchable through [`EventorOptions`],
+//! * [`QuantizedHomography`] / [`QuantizedCoefficients`] — the fixed-point
+//!   datapath executed by the `PE_Z0` / `PE_Zi` processing elements,
+//! * [`AcceleratorRun`] — binding a reconstruction workload to the
+//!   `eventor-hwsim` hardware model to obtain Table 3 runtimes, event rates,
+//!   power and the energy-efficiency comparison against the Intel i5
+//!   baseline,
+//! * [`run_variant`] / [`PipelineVariant`] — the accuracy-comparison harness
+//!   behind Fig. 4a, Fig. 4b and Fig. 7a.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use eventor_core::{config_for_sequence, EventorOptions, EventorPipeline};
+//! use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sequence = SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test())?;
+//! let config = config_for_sequence(&sequence, 100);
+//! let pipeline = EventorPipeline::new(sequence.camera, config, EventorOptions::accelerator())?;
+//! let output = pipeline.reconstruct(&sequence.events, &sequence.trajectory)?;
+//! let depth_map = &output.keyframes[0].depth_map;
+//! println!("estimated {} semi-dense pixels", depth_map.valid_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accel;
+mod compare;
+mod cosim;
+mod pipeline;
+mod quantized;
+
+pub use accel::AcceleratorRun;
+pub use compare::{config_for_sequence, run_variant, run_variants, PipelineVariant, VariantAccuracy};
+pub use cosim::{CosimPipeline, CosimReport};
+pub use pipeline::{EventorOptions, EventorPipeline};
+pub use quantized::{
+    quantize_event_pixel, QuantizedCoefficients, QuantizedHomography, COORD_QUANTIZATION_ERROR,
+};
+
+#[cfg(test)]
+mod cosim_proptests {
+    //! Golden-model-versus-device properties: the software quantized datapath
+    //! (this crate) and the functional hardware datapath (`eventor-hwsim`)
+    //! must agree operation by operation, not just end to end.
+
+    use super::*;
+    use eventor_fixed::PackedCoord;
+    use eventor_geom::{CameraIntrinsics, CanonicalHomography, Pose, ProportionalCoefficients, Vec3};
+    use eventor_hwsim::{HomographyRegisters, PeZ0Datapath, PeZiArrayDatapath, PhiEntry};
+    use proptest::prelude::*;
+
+    fn geometry(
+        tx: f64,
+        ty: f64,
+        tz: f64,
+        n_planes: usize,
+    ) -> Option<(CanonicalHomography, ProportionalCoefficients, Vec<f64>)> {
+        let intrinsics = CameraIntrinsics::davis240_default();
+        let reference = Pose::identity();
+        let camera = Pose::from_translation(Vec3::new(tx, ty, tz));
+        let depths: Vec<f64> = (0..n_planes)
+            .map(|i| {
+                let t = i as f64 / (n_planes - 1) as f64;
+                1.0 / ((1.0 - t) / 1.0 + t / 5.0)
+            })
+            .collect();
+        let z0 = *depths.last().unwrap();
+        let h = CanonicalHomography::compute(&reference, &camera, &intrinsics, z0).ok()?;
+        let phi =
+            ProportionalCoefficients::compute(&reference, &camera, &intrinsics, &depths, z0).ok()?;
+        Some((h, phi, depths))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn pe_z0_device_matches_quantized_homography(
+            tx in -0.15..0.15f64,
+            ty in -0.15..0.15f64,
+            tz in -0.05..0.05f64,
+            px in 0.0..239.0f64,
+            py in 0.0..179.0f64,
+        ) {
+            let Some((h, _, _)) = geometry(tx, ty, tz, 20) else { return Ok(()) };
+            let golden = QuantizedHomography::from_homography(&h);
+            let registers = HomographyRegisters::from_matrix(&h.h.m);
+            let mut device = PeZ0Datapath::new();
+            let coord = PackedCoord::from_f64(px, py);
+            let sw = golden.project(coord);
+            let hw = device.project(&registers, coord.to_word());
+            prop_assert_eq!(sw, hw, "canonical projection diverged at ({}, {})", px, py);
+        }
+
+        #[test]
+        fn pe_zi_device_matches_quantized_coefficients(
+            tx in -0.15..0.15f64,
+            ty in -0.15..0.15f64,
+            px in 0.0..239.0f64,
+            py in 0.0..179.0f64,
+            n_planes in 4usize..40,
+        ) {
+            let Some((h, phi, _)) = geometry(tx, ty, 0.0, n_planes) else { return Ok(()) };
+            let golden_h = QuantizedHomography::from_homography(&h);
+            let golden_phi = QuantizedCoefficients::from_coefficients(&phi);
+            let Some(canonical) = golden_h.project(PackedCoord::from_f64(px, py)) else {
+                return Ok(());
+            };
+
+            let entries: Vec<PhiEntry> = (0..phi.len())
+                .map(|i| PhiEntry::from_f64(phi.scale[i], phi.offset_x[i], phi.offset_y[i]))
+                .collect();
+            let mut array = PeZiArrayDatapath::new(entries, 2, 240, 180);
+            let votes = array.generate_votes(canonical);
+
+            // The device's vote list must be exactly the in-sensor subset the
+            // golden model produces, in plane order.
+            let mut expected = Vec::new();
+            for i in 0..golden_phi.len() {
+                if let Some((x, y)) = golden_phi.transfer_nearest(canonical, i, 240, 180).address() {
+                    expected.push((x, y, i as u16));
+                }
+            }
+            let got: Vec<(u16, u16, u16)> = votes.iter().map(|v| (v.x, v.y, v.plane)).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn homography_register_quantization_matches_golden_entries(
+            tx in -0.2..0.2f64,
+            ty in -0.2..0.2f64,
+            tz in -0.05..0.05f64,
+        ) {
+            let Some((h, _, _)) = geometry(tx, ty, tz, 10) else { return Ok(()) };
+            let golden = QuantizedHomography::from_homography(&h);
+            let registers = HomographyRegisters::from_matrix(&h.h.m);
+            for row in 0..3 {
+                for col in 0..3 {
+                    prop_assert!(
+                        (golden.entry(row, col) - registers.entry(row, col)).abs() < 1e-12,
+                        "H[{}][{}] quantized differently", row, col
+                    );
+                }
+            }
+        }
+    }
+}

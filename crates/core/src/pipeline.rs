@@ -1,0 +1,528 @@
+//! The Eventor pipeline: the hardware-friendly **reformulated** EMVS dataflow
+//! of Fig. 3 (right).
+//!
+//! Differences from the baseline [`eventor_emvs::EmvsMapper`]:
+//!
+//! * **Rescheduling** — event distortion correction runs per event *before*
+//!   aggregation (streaming), and the proportional back-projection
+//!   coefficients `φ` are pre-computed (together with `H_{Z0}`) before the
+//!   canonical projection so the four hot sub-tasks can run back-to-back on
+//!   the FPGA.
+//! * **Approximate computing** — nearest voting instead of bilinear voting.
+//! * **Hybrid quantization** — Table 1 fixed-point formats on every datum
+//!   crossing the FPGA datapath, with 16-bit integer DSI scores.
+//!
+//! Both approximations can be toggled independently through
+//! [`EventorOptions`], which is what the Fig. 4a / Fig. 4b / Fig. 7a
+//! ablations sweep.
+
+use crate::quantized::{quantize_event_pixel, QuantizedCoefficients, QuantizedHomography};
+use eventor_dsi::{detect_structure, DepthPlanes, DetectionConfig, DsiVolume, PointCloud};
+use eventor_emvs::{
+    EmvsConfig, EmvsError, EmvsOutput, FrameGeometry, KeyframeReconstruction, KeyframeSelector,
+    Stage, StageProfile, VotingMode,
+};
+use eventor_events::{aggregate, EventStream};
+use eventor_fixed::PackedCoord;
+use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
+use std::time::Instant;
+
+/// Reformulation/approximation switches of the Eventor datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventorOptions {
+    /// DSI voting mode (the accelerator uses nearest voting).
+    pub voting: VotingMode,
+    /// Apply the Table 1 hybrid fixed-point quantization.
+    pub quantize: bool,
+}
+
+impl Default for EventorOptions {
+    fn default() -> Self {
+        Self { voting: VotingMode::Nearest, quantize: true }
+    }
+}
+
+impl EventorOptions {
+    /// The full Eventor datapath (nearest voting + quantization), as deployed
+    /// on the FPGA.
+    pub fn accelerator() -> Self {
+        Self::default()
+    }
+
+    /// Nearest voting only (Fig. 4a ablation).
+    pub fn nearest_only() -> Self {
+        Self { voting: VotingMode::Nearest, quantize: false }
+    }
+
+    /// Quantization only (Fig. 4b ablation).
+    pub fn quantized_only() -> Self {
+        Self { voting: VotingMode::Bilinear, quantize: true }
+    }
+
+    /// No approximation at all (matches the baseline mapper; useful for
+    /// validating the rescheduled dataflow in isolation).
+    pub fn exact() -> Self {
+        Self { voting: VotingMode::Bilinear, quantize: false }
+    }
+}
+
+/// DSI storage used by the pipeline: 16-bit integer scores for the quantized
+/// nearest-voting datapath, `f32` otherwise.
+#[derive(Debug, Clone)]
+enum DsiStorage {
+    Float(DsiVolume<f32>),
+    Quantized(DsiVolume<u16>),
+}
+
+impl DsiStorage {
+    fn new(
+        width: usize,
+        height: usize,
+        planes: DepthPlanes,
+        options: &EventorOptions,
+    ) -> Result<Self, EmvsError> {
+        if options.quantize && options.voting == VotingMode::Nearest {
+            Ok(Self::Quantized(DsiVolume::new(width, height, planes)?))
+        } else {
+            Ok(Self::Float(DsiVolume::new(width, height, planes)?))
+        }
+    }
+
+    fn vote(&mut self, x: f64, y: f64, plane: usize, voting: VotingMode) {
+        match (self, voting) {
+            (Self::Float(dsi), VotingMode::Bilinear) => dsi.vote_bilinear(x, y, plane, 1.0),
+            (Self::Float(dsi), VotingMode::Nearest) => dsi.vote_nearest(x, y, plane, 1.0),
+            (Self::Quantized(dsi), VotingMode::Bilinear) => dsi.vote_bilinear(x, y, plane, 1.0),
+            (Self::Quantized(dsi), VotingMode::Nearest) => dsi.vote_nearest(x, y, plane, 1.0),
+        }
+    }
+
+    fn detect(&self, config: &DetectionConfig) -> eventor_dsi::DepthMap {
+        match self {
+            Self::Float(dsi) => detect_structure(dsi, config),
+            Self::Quantized(dsi) => detect_structure(dsi, config),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Self::Float(dsi) => dsi.reset(),
+            Self::Quantized(dsi) => dsi.reset(),
+        }
+    }
+
+    fn votes_cast(&self) -> u64 {
+        match self {
+            Self::Float(dsi) => dsi.votes_cast(),
+            Self::Quantized(dsi) => dsi.votes_cast(),
+        }
+    }
+}
+
+/// The Eventor reformulated EMVS pipeline.
+///
+/// # Examples
+///
+/// ```no_run
+/// use eventor_core::{EventorOptions, EventorPipeline};
+/// use eventor_emvs::EmvsConfig;
+/// use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let seq = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
+/// let config = EmvsConfig::default().with_depth_range(seq.depth_range.0, seq.depth_range.1);
+/// let pipeline = EventorPipeline::new(seq.camera, config, EventorOptions::accelerator())?;
+/// let output = pipeline.reconstruct(&seq.events, &seq.trajectory)?;
+/// println!("{} key frames", output.keyframes.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventorPipeline {
+    camera: CameraModel,
+    config: EmvsConfig,
+    options: EventorOptions,
+}
+
+impl EventorPipeline {
+    /// Creates a pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] for unusable configurations (same
+    /// contract as [`eventor_emvs::EmvsMapper::new`]).
+    pub fn new(
+        camera: CameraModel,
+        config: EmvsConfig,
+        options: EventorOptions,
+    ) -> Result<Self, EmvsError> {
+        if config.events_per_frame == 0 {
+            return Err(EmvsError::InvalidConfig { reason: "events_per_frame must be positive".into() });
+        }
+        if config.num_depth_planes < 2 {
+            return Err(EmvsError::InvalidConfig { reason: "need at least two depth planes".into() });
+        }
+        if config.depth_range.0 <= 0.0 || config.depth_range.1 <= config.depth_range.0 {
+            return Err(EmvsError::InvalidConfig {
+                reason: format!("invalid depth range {:?}", config.depth_range),
+            });
+        }
+        Ok(Self { camera, config, options })
+    }
+
+    /// The active reformulation options.
+    pub fn options(&self) -> &EventorOptions {
+        &self.options
+    }
+
+    /// The EMVS configuration.
+    pub fn config(&self) -> &EmvsConfig {
+        &self.config
+    }
+
+    /// Runs the reformulated reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Same error contract as [`eventor_emvs::EmvsMapper::reconstruct`].
+    pub fn reconstruct(
+        &self,
+        events: &EventStream,
+        trajectory: &Trajectory,
+    ) -> Result<EmvsOutput, EmvsError> {
+        if events.is_empty() {
+            return Err(EmvsError::NoEvents);
+        }
+        let mut profile = StageProfile::new();
+
+        // ➊ Streaming event distortion correction, *before* aggregation
+        //   (rescheduled stage).
+        let t = Instant::now();
+        let corrected: Vec<Vec2> = events
+            .iter()
+            .map(|e| self.camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64)))
+            .collect();
+        // The corrected coordinates are what the DMA ships to the FPGA; under
+        // quantization they are stored as packed Q9.7 pairs.
+        let transported: Vec<PackedCoord> = if self.options.quantize {
+            corrected.iter().map(|&p| quantize_event_pixel(p)).collect()
+        } else {
+            Vec::new()
+        };
+        profile.add(Stage::DistortionCorrection, t.elapsed());
+
+        // ➋ Event aggregation on the corrected stream.
+        let t = Instant::now();
+        let frames = aggregate(events, self.config.events_per_frame);
+        profile.add(Stage::Aggregation, t.elapsed());
+
+        let planes = DepthPlanes::uniform_inverse_depth(
+            self.config.depth_range.0,
+            self.config.depth_range.1,
+            self.config.num_depth_planes,
+        )?;
+        let width = self.camera.intrinsics.width as usize;
+        let height = self.camera.intrinsics.height as usize;
+        let mut dsi = DsiStorage::new(width, height, planes.clone(), &self.options)?;
+
+        let mut selector = KeyframeSelector::new(
+            self.config.keyframe_distance,
+            self.config.min_frames_per_keyframe,
+        );
+        let mut reference: Option<Pose> = None;
+        let mut keyframes: Vec<KeyframeReconstruction> = Vec::new();
+        let mut global_map = PointCloud::new();
+        let mut frames_in_keyframe = 0usize;
+        let mut events_in_keyframe = 0usize;
+
+        for frame in &frames {
+            let Some(timestamp) = frame.timestamp() else { continue };
+            let pose = trajectory.pose_at(timestamp)?;
+
+            match reference {
+                None => reference = Some(pose),
+                Some(ref ref_pose) => {
+                    if selector.should_switch(ref_pose, &pose) {
+                        let t = Instant::now();
+                        let reconstruction = self.finalize_keyframe(
+                            &dsi,
+                            ref_pose,
+                            frames_in_keyframe,
+                            events_in_keyframe,
+                        );
+                        profile.add(Stage::Detection, t.elapsed());
+                        let t = Instant::now();
+                        global_map.merge(&reconstruction.local_cloud);
+                        dsi.reset();
+                        profile.add(Stage::Merging, t.elapsed());
+                        keyframes.push(reconstruction);
+                        profile.keyframes += 1;
+                        reference = Some(pose);
+                        selector.reset();
+                        frames_in_keyframe = 0;
+                        events_in_keyframe = 0;
+                    }
+                }
+            }
+            let ref_pose = reference.expect("reference pose set above");
+            let event_range = frame.index * self.config.events_per_frame
+                ..(frame.index * self.config.events_per_frame + frame.len());
+
+            // ➌ Pre-compute H_Z0 and φ for the frame (rescheduled: before the
+            //   canonical projection).
+            let t = Instant::now();
+            let geometry =
+                FrameGeometry::compute(&ref_pose, &pose, &self.camera.intrinsics, &planes)?;
+            profile.add(Stage::ComputeHomography, t.elapsed());
+            let t = Instant::now();
+            let quantized = if self.options.quantize {
+                Some((
+                    QuantizedHomography::from_homography(&geometry.homography),
+                    QuantizedCoefficients::from_coefficients(&geometry.coefficients),
+                ))
+            } else {
+                None
+            };
+            profile.add(Stage::ComputeCoefficients, t.elapsed());
+
+            // ➍ The FPGA datapath: canonical projection, proportional
+            //   projection, vote generation and DSI voting.
+            match &quantized {
+                Some((qh, qphi)) => self.process_frame_quantized(
+                    &transported[event_range],
+                    qh,
+                    qphi,
+                    &mut dsi,
+                    &mut profile,
+                ),
+                None => self.process_frame_float(
+                    &corrected[event_range],
+                    &geometry,
+                    &mut dsi,
+                    &mut profile,
+                ),
+            }
+
+            selector.register_frame();
+            frames_in_keyframe += 1;
+            events_in_keyframe += frame.len();
+            profile.frames_processed += 1;
+            profile.events_processed += frame.len() as u64;
+        }
+
+        if let Some(ref_pose) = reference {
+            if frames_in_keyframe > 0 {
+                let t = Instant::now();
+                let reconstruction =
+                    self.finalize_keyframe(&dsi, &ref_pose, frames_in_keyframe, events_in_keyframe);
+                profile.add(Stage::Detection, t.elapsed());
+                let t = Instant::now();
+                global_map.merge(&reconstruction.local_cloud);
+                profile.add(Stage::Merging, t.elapsed());
+                keyframes.push(reconstruction);
+                profile.keyframes += 1;
+            }
+        }
+
+        Ok(EmvsOutput { keyframes, global_map, profile })
+    }
+
+    /// Quantized FPGA datapath for one frame.
+    fn process_frame_quantized(
+        &self,
+        events: &[PackedCoord],
+        homography: &QuantizedHomography,
+        coefficients: &QuantizedCoefficients,
+        dsi: &mut DsiStorage,
+        profile: &mut StageProfile,
+    ) {
+        let width = self.camera.intrinsics.width;
+        let height = self.camera.intrinsics.height;
+        // Canonical projection P{Z0} on PE_Z0.
+        let t = Instant::now();
+        let canonical: Vec<Option<PackedCoord>> =
+            events.iter().map(|&c| homography.project(c)).collect();
+        profile.add(Stage::CanonicalProjection, t.elapsed());
+
+        // Proportional projection + vote generation + voting.
+        let t = Instant::now();
+        let n_planes = coefficients.len();
+        match self.options.voting {
+            VotingMode::Nearest => {
+                for c in canonical.iter().flatten() {
+                    for i in 0..n_planes {
+                        if let Some((x, y)) = coefficients.transfer_nearest(*c, i, width, height).address() {
+                            dsi.vote(x as f64, y as f64, i, VotingMode::Nearest);
+                        }
+                    }
+                }
+            }
+            VotingMode::Bilinear => {
+                for c in canonical.iter().flatten() {
+                    for i in 0..n_planes {
+                        let p = coefficients.transfer_subpixel(*c, i);
+                        dsi.vote(p.x, p.y, i, VotingMode::Bilinear);
+                    }
+                }
+            }
+        }
+        // The address-generation and vote stages are fused on the FPGA; their
+        // combined cost is attributed to the proportional-projection stage,
+        // with the DSI update counted under VoteDsi for profile compatibility.
+        let elapsed = t.elapsed();
+        profile.add(Stage::ProportionalProjection, elapsed / 2);
+        profile.add(Stage::VoteDsi, elapsed - elapsed / 2);
+    }
+
+    /// Full-precision datapath for one frame (used by the ablations that
+    /// disable quantization).
+    fn process_frame_float(
+        &self,
+        events: &[Vec2],
+        geometry: &FrameGeometry,
+        dsi: &mut DsiStorage,
+        profile: &mut StageProfile,
+    ) {
+        let t = Instant::now();
+        let canonical: Vec<Option<Vec2>> = events.iter().map(|&p| geometry.canonical(p)).collect();
+        profile.add(Stage::CanonicalProjection, t.elapsed());
+
+        let t = Instant::now();
+        let n_planes = geometry.num_planes();
+        for c in canonical.iter().flatten() {
+            for i in 0..n_planes {
+                let p = geometry.transfer(*c, i);
+                dsi.vote(p.x, p.y, i, self.options.voting);
+            }
+        }
+        let elapsed = t.elapsed();
+        profile.add(Stage::ProportionalProjection, elapsed / 2);
+        profile.add(Stage::VoteDsi, elapsed - elapsed / 2);
+    }
+
+    fn finalize_keyframe(
+        &self,
+        dsi: &DsiStorage,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+    ) -> KeyframeReconstruction {
+        let depth_map = dsi.detect(&self.config.detection);
+        let local_cloud =
+            PointCloud::from_depth_map(&depth_map, &self.camera.intrinsics, reference_pose);
+        KeyframeReconstruction {
+            reference_pose: *reference_pose,
+            depth_map,
+            local_cloud,
+            frames_used,
+            events_used,
+            votes_cast: dsi.votes_cast(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+
+    fn sequence() -> SyntheticSequence {
+        SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test()).unwrap()
+    }
+
+    fn config_for(seq: &SyntheticSequence) -> EmvsConfig {
+        EmvsConfig::default()
+            .with_depth_range(seq.depth_range.0, seq.depth_range.1)
+            .with_depth_planes(60)
+    }
+
+    #[test]
+    fn options_presets() {
+        assert_eq!(EventorOptions::accelerator().voting, VotingMode::Nearest);
+        assert!(EventorOptions::accelerator().quantize);
+        assert!(!EventorOptions::nearest_only().quantize);
+        assert_eq!(EventorOptions::quantized_only().voting, VotingMode::Bilinear);
+        assert_eq!(EventorOptions::exact(), EventorOptions { voting: VotingMode::Bilinear, quantize: false });
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cam = CameraModel::davis240_ideal();
+        let bad = EmvsConfig { num_depth_planes: 1, ..Default::default() };
+        assert!(EventorPipeline::new(cam, bad, EventorOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_stream_is_error() {
+        let cam = CameraModel::davis240_ideal();
+        let p = EventorPipeline::new(cam, EmvsConfig::default(), EventorOptions::default()).unwrap();
+        let traj = Trajectory::linear(Pose::identity(), Pose::identity(), 0.0, 1.0, 2);
+        assert!(matches!(p.reconstruct(&EventStream::new(), &traj), Err(EmvsError::NoEvents)));
+    }
+
+    #[test]
+    fn accelerator_pipeline_reconstructs_with_low_abs_rel() {
+        let seq = sequence();
+        let pipeline =
+            EventorPipeline::new(seq.camera, config_for(&seq), EventorOptions::accelerator()).unwrap();
+        let out = pipeline.reconstruct(&seq.events, &seq.trajectory).unwrap();
+        let primary = out.primary().expect("at least one key frame");
+        assert!(primary.depth_map.valid_count() > 50);
+        let gt = seq.ground_truth_depth_at(&primary.reference_pose);
+        let m = primary.depth_map.compare_to_ground_truth(gt.as_slice()).unwrap();
+        assert!(m.abs_rel < 0.12, "AbsRel {:.4}", m.abs_rel);
+    }
+
+    #[test]
+    fn reformulated_accuracy_close_to_baseline() {
+        // The Fig. 7a claim: the fully reformulated pipeline stays within a
+        // small AbsRel difference of the original EMVS.
+        let seq = sequence();
+        let baseline = eventor_emvs::EmvsMapper::new(seq.camera, config_for(&seq)).unwrap();
+        let reformulated =
+            EventorPipeline::new(seq.camera, config_for(&seq), EventorOptions::accelerator()).unwrap();
+        let out_base = baseline.reconstruct(&seq.events, &seq.trajectory).unwrap();
+        let out_ref = reformulated.reconstruct(&seq.events, &seq.trajectory).unwrap();
+        let gt_b = seq.ground_truth_depth_at(&out_base.primary().unwrap().reference_pose);
+        let gt_r = seq.ground_truth_depth_at(&out_ref.primary().unwrap().reference_pose);
+        let m_b = out_base.primary().unwrap().depth_map.compare_to_ground_truth(gt_b.as_slice()).unwrap();
+        let m_r = out_ref.primary().unwrap().depth_map.compare_to_ground_truth(gt_r.as_slice()).unwrap();
+        assert!(
+            (m_r.abs_rel - m_b.abs_rel).abs() < 0.05,
+            "reformulated {:.4} vs baseline {:.4}",
+            m_r.abs_rel,
+            m_b.abs_rel
+        );
+    }
+
+    #[test]
+    fn exact_options_match_baseline_votes() {
+        // With both approximations disabled the reformulated schedule performs
+        // the same mathematical operations as the baseline mapper.
+        let seq = sequence();
+        let baseline = eventor_emvs::EmvsMapper::new(seq.camera, config_for(&seq)).unwrap();
+        let exact =
+            EventorPipeline::new(seq.camera, config_for(&seq), EventorOptions::exact()).unwrap();
+        let out_base = baseline.reconstruct(&seq.events, &seq.trajectory).unwrap();
+        let out_exact = exact.reconstruct(&seq.events, &seq.trajectory).unwrap();
+        assert_eq!(out_base.keyframes.len(), out_exact.keyframes.len());
+        let b = out_base.primary().unwrap();
+        let e = out_exact.primary().unwrap();
+        assert_eq!(b.votes_cast, e.votes_cast);
+        assert_eq!(b.depth_map.valid_count(), e.depth_map.valid_count());
+    }
+
+    #[test]
+    fn quantized_only_and_nearest_only_both_work() {
+        let seq = sequence();
+        for options in [EventorOptions::quantized_only(), EventorOptions::nearest_only()] {
+            let pipeline = EventorPipeline::new(seq.camera, config_for(&seq), options).unwrap();
+            let out = pipeline.reconstruct(&seq.events, &seq.trajectory).unwrap();
+            let primary = out.primary().unwrap();
+            let gt = seq.ground_truth_depth_at(&primary.reference_pose);
+            let m = primary.depth_map.compare_to_ground_truth(gt.as_slice()).unwrap();
+            assert!(m.abs_rel < 0.15, "{options:?}: AbsRel {:.4}", m.abs_rel);
+            assert!(primary.depth_map.valid_count() > 30, "{options:?}");
+        }
+    }
+}

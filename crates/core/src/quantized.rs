@@ -1,0 +1,226 @@
+//! The quantized back-projection datapath: the arithmetic the Eventor FPGA
+//! performs, expressed with the fixed-point formats of Table 1.
+//!
+//! Quantization is modelled faithfully at the *data* level: every value is
+//! snapped to its fixed-point grid (Q9.7 event/canonical coordinates, Q11.21
+//! homography and coefficients, integer plane coordinates and DSI scores)
+//! exactly where the hardware would store or transfer it. The arithmetic
+//! between those storage points is carried out in `f64`, which upper-bounds
+//! the precision of the RTL datapath's wide accumulators.
+
+use eventor_fixed::{PackedCoord, PlaneCoord, Q11p21};
+use eventor_geom::{CanonicalHomography, ProportionalCoefficients, Vec2};
+
+/// The homography `H_{Z0}` quantized to Q11.21 entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedHomography {
+    entries: [[Q11p21; 3]; 3],
+}
+
+impl QuantizedHomography {
+    /// Quantizes a full-precision canonical homography.
+    pub fn from_homography(h: &CanonicalHomography) -> Self {
+        let mut entries = [[Q11p21::zero(); 3]; 3];
+        for (i, row) in entries.iter_mut().enumerate() {
+            for (j, e) in row.iter_mut().enumerate() {
+                *e = Q11p21::from_f64(h.h.m[i][j]);
+            }
+        }
+        Self { entries }
+    }
+
+    /// The quantized entry at `(row, col)` as `f64`.
+    pub fn entry(&self, row: usize, col: usize) -> f64 {
+        self.entries[row][col].to_f64()
+    }
+
+    /// Applies the quantized homography to a quantized event coordinate — the
+    /// operation `PE_Z0` performs (matrix-vector MAC plus normalization) —
+    /// and quantizes the result to Q9.7.
+    ///
+    /// Returns `None` when the point maps to infinity (normalization by a
+    /// near-zero denominator), mirroring the projection-missing judgement.
+    pub fn project(&self, coord: PackedCoord) -> Option<PackedCoord> {
+        let x = coord.x_f64();
+        let y = coord.y_f64();
+        let h = |i: usize, j: usize| self.entries[i][j].to_f64();
+        let w = h(2, 0) * x + h(2, 1) * y + h(2, 2);
+        if w.abs() < 1e-9 {
+            return None;
+        }
+        let px = (h(0, 0) * x + h(0, 1) * y + h(0, 2)) / w;
+        let py = (h(1, 0) * x + h(1, 1) * y + h(1, 2)) / w;
+        if !px.is_finite() || !py.is_finite() {
+            return None;
+        }
+        // Projection-missing judgement: canonical coordinates that do not fit
+        // the Q9.7 transport format would saturate and corrupt every
+        // subsequent plane transfer, so the hardware drops the event instead.
+        const Q9P7_MAX: f64 = 255.9921875;
+        if px.abs() > Q9P7_MAX || py.abs() > Q9P7_MAX {
+            return None;
+        }
+        Some(PackedCoord::from_f64(px, py))
+    }
+}
+
+/// The proportional back-projection coefficients `φ` quantized to Q11.21.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedCoefficients {
+    scale: Vec<Q11p21>,
+    offset_x: Vec<Q11p21>,
+    offset_y: Vec<Q11p21>,
+}
+
+impl QuantizedCoefficients {
+    /// Quantizes full-precision proportional coefficients.
+    pub fn from_coefficients(phi: &ProportionalCoefficients) -> Self {
+        Self {
+            scale: phi.scale.iter().map(|&v| Q11p21::from_f64(v)).collect(),
+            offset_x: phi.offset_x.iter().map(|&v| Q11p21::from_f64(v)).collect(),
+            offset_y: phi.offset_y.iter().map(|&v| Q11p21::from_f64(v)).collect(),
+        }
+    }
+
+    /// Number of depth planes covered.
+    pub fn len(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// Whether there are no planes.
+    pub fn is_empty(&self) -> bool {
+        self.scale.is_empty()
+    }
+
+    /// Transfers a quantized canonical point to depth plane `i` and rounds it
+    /// to the nearest voxel — the scalar-MAC plus Nearest Voxel Finder path
+    /// of `PE_Zi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn transfer_nearest(&self, canonical: PackedCoord, i: usize, width: u32, height: u32) -> PlaneCoord {
+        let x = self.scale[i].to_f64() * canonical.x_f64() + self.offset_x[i].to_f64();
+        let y = self.scale[i].to_f64() * canonical.y_f64() + self.offset_y[i].to_f64();
+        PlaneCoord::from_projection(x, y, width, height)
+    }
+
+    /// Transfers a quantized canonical point to depth plane `i`, returning the
+    /// sub-pixel position (used by the bilinear-voting ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn transfer_subpixel(&self, canonical: PackedCoord, i: usize) -> Vec2 {
+        Vec2::new(
+            self.scale[i].to_f64() * canonical.x_f64() + self.offset_x[i].to_f64(),
+            self.scale[i].to_f64() * canonical.y_f64() + self.offset_y[i].to_f64(),
+        )
+    }
+}
+
+/// Quantizes a raw (already undistorted) event pixel to the Q9.7 transport
+/// format used on the AXI bus.
+pub fn quantize_event_pixel(pixel: Vec2) -> PackedCoord {
+    PackedCoord::from_f64(pixel.x, pixel.y)
+}
+
+/// Maximum absolute error introduced when representing a pixel coordinate in
+/// Q9.7 (half an LSB in each axis).
+pub const COORD_QUANTIZATION_ERROR: f64 = 0.5 / 128.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_geom::{CameraIntrinsics, Pose, Vec3};
+
+    fn setup() -> (CanonicalHomography, ProportionalCoefficients, Vec<f64>) {
+        let k = CameraIntrinsics::davis240_default();
+        let reference = Pose::identity();
+        let camera = Pose::from_translation(Vec3::new(0.07, -0.02, 0.03));
+        let depths: Vec<f64> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 49.0;
+                1.0 / ((1.0 - t) / 1.0 + t / 4.0)
+            })
+            .collect();
+        let h = CanonicalHomography::compute(&reference, &camera, &k, depths[0]).unwrap();
+        let phi = ProportionalCoefficients::compute(&reference, &camera, &k, &depths, depths[0]).unwrap();
+        (h, phi, depths)
+    }
+
+    #[test]
+    fn quantized_homography_is_close_to_float() {
+        let (h, _, _) = setup();
+        let qh = QuantizedHomography::from_homography(&h);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((qh.entry(i, j) - h.h.m[i][j]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_projection_stays_within_a_fraction_of_a_pixel() {
+        let (h, _, _) = setup();
+        let qh = QuantizedHomography::from_homography(&h);
+        for &(x, y) in &[(10.0, 10.0), (120.0, 90.0), (230.0, 170.0), (57.0, 133.0)] {
+            let exact = h.project(Vec2::new(x, y)).unwrap();
+            let quant = qh.project(PackedCoord::from_f64(x, y)).unwrap();
+            let err = ((quant.x_f64() - exact.x).powi(2) + (quant.y_f64() - exact.y).powi(2)).sqrt();
+            assert!(err < 0.05, "pixel ({x},{y}): quantized error {err}");
+        }
+    }
+
+    #[test]
+    fn quantized_transfer_matches_float_transfer_within_rounding() {
+        let (h, phi, _) = setup();
+        let qh = QuantizedHomography::from_homography(&h);
+        let qphi = QuantizedCoefficients::from_coefficients(&phi);
+        assert_eq!(qphi.len(), phi.len());
+        let px = Vec2::new(140.0, 70.0);
+        let exact_canonical = h.project(px).unwrap();
+        let quant_canonical = qh.project(quantize_event_pixel(px)).unwrap();
+        for i in 0..qphi.len() {
+            let exact = phi.transfer(exact_canonical, i);
+            let sub = qphi.transfer_subpixel(quant_canonical, i);
+            assert!((sub - exact).norm() < 0.1, "plane {i}: {sub} vs {exact}");
+            // Nearest voxel agrees with rounding the float transfer except in
+            // rare half-pixel ties.
+            let nearest = qphi.transfer_nearest(quant_canonical, i, 240, 180);
+            if let Some((nx, ny)) = nearest.address() {
+                assert!((nx as f64 - exact.x.round()).abs() <= 1.0);
+                assert!((ny as f64 - exact.y.round()).abs() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_sensor_transfers_are_missing() {
+        let (h, phi, _) = setup();
+        let qh = QuantizedHomography::from_homography(&h);
+        let qphi = QuantizedCoefficients::from_coefficients(&phi);
+        // A pixel far outside the sensor maps outside every plane.
+        let coord = qh.project(PackedCoord::from_f64(5000.0, 5000.0));
+        if let Some(c) = coord {
+            // Saturated Q9.7 coordinates land outside the 240x180 sensor.
+            assert_eq!(qphi.transfer_nearest(c, 0, 240, 180), PlaneCoord::Missing);
+        }
+        // In-range pixels project; canonical projections outside the Q9.7
+        // range are dropped (projection-missing judgement) rather than
+        // saturated.
+        assert!(qh.project(PackedCoord::from_f64(120.0, 90.0)).is_some());
+        let far_out = qh.project(PackedCoord::from_f64(255.9, 179.0));
+        if let Some(c) = far_out {
+            assert!(c.x_f64().abs() <= 255.9921875);
+        }
+    }
+
+    #[test]
+    fn event_pixel_quantization_error_bound() {
+        let p = Vec2::new(123.456, 78.901);
+        let q = quantize_event_pixel(p);
+        assert!((q.x_f64() - p.x).abs() <= COORD_QUANTIZATION_ERROR);
+        assert!((q.y_f64() - p.y).abs() <= COORD_QUANTIZATION_ERROR);
+    }
+}

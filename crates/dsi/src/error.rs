@@ -1,0 +1,78 @@
+//! Error type for the DSI substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the DSI substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DsiError {
+    /// The depth-plane range was invalid.
+    InvalidDepthRange {
+        /// Requested near limit.
+        z_min: f64,
+        /// Requested far limit.
+        z_max: f64,
+        /// Requested number of planes.
+        count: usize,
+    },
+    /// A volume or depth map with zero pixels was requested.
+    EmptyVolume {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// Two images/volumes that must match in size did not.
+    DimensionMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Provided number of elements.
+        actual: usize,
+    },
+    /// An operation required a non-empty point cloud.
+    EmptyPointCloud,
+}
+
+impl fmt::Display for DsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidDepthRange { z_min, z_max, count } => write!(
+                f,
+                "invalid depth plane range [{z_min}, {z_max}] with {count} planes"
+            ),
+            Self::EmptyVolume { width, height } => {
+                write!(f, "volume dimensions {width}x{height} must be nonzero")
+            }
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected} elements, got {actual}")
+            }
+            Self::EmptyPointCloud => write!(f, "operation requires a non-empty point cloud"),
+        }
+    }
+}
+
+impl Error for DsiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        for e in [
+            DsiError::InvalidDepthRange { z_min: 0.0, z_max: 1.0, count: 2 },
+            DsiError::EmptyVolume { width: 0, height: 1 },
+            DsiError::DimensionMismatch { expected: 4, actual: 2 },
+            DsiError::EmptyPointCloud,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DsiError>();
+    }
+}

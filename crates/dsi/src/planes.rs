@@ -1,0 +1,170 @@
+//! Depth-plane sampling for the disparity space image.
+//!
+//! The space-sweep discretizes the viewing volume of the virtual camera into
+//! `N_z` fronto-parallel slices. Following the EMVS reference implementation,
+//! the planes are sampled **uniformly in inverse depth** between `z_min` and
+//! `z_max`, which distributes voxels evenly in disparity (image-space
+//! resolution) rather than metric depth.
+
+use crate::DsiError;
+
+/// The set of depth planes `{Z_i}` of a DSI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthPlanes {
+    depths: Vec<f64>,
+    z_min: f64,
+    z_max: f64,
+}
+
+impl DepthPlanes {
+    /// Samples `count` planes uniformly in inverse depth over `[z_min, z_max]`.
+    ///
+    /// The first plane (`index 0`) is the closest one (`z_min`) and serves as
+    /// the canonical plane `Z0` of the back-projection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::InvalidDepthRange`] when the range is not
+    /// `0 < z_min < z_max` or `count < 2`.
+    pub fn uniform_inverse_depth(z_min: f64, z_max: f64, count: usize) -> Result<Self, DsiError> {
+        if !(z_min.is_finite() && z_max.is_finite()) || z_min <= 0.0 || z_max <= z_min || count < 2 {
+            return Err(DsiError::InvalidDepthRange { z_min, z_max, count });
+        }
+        let inv_min = 1.0 / z_max;
+        let inv_max = 1.0 / z_min;
+        let depths = (0..count)
+            .map(|i| {
+                let t = i as f64 / (count - 1) as f64;
+                // t = 0 -> inv_max (closest), t = 1 -> inv_min (farthest).
+                1.0 / (inv_max + t * (inv_min - inv_max))
+            })
+            .collect();
+        Ok(Self { depths, z_min, z_max })
+    }
+
+    /// Samples `count` planes uniformly in metric depth (used by ablations).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DepthPlanes::uniform_inverse_depth`].
+    pub fn uniform_depth(z_min: f64, z_max: f64, count: usize) -> Result<Self, DsiError> {
+        if !(z_min.is_finite() && z_max.is_finite()) || z_min <= 0.0 || z_max <= z_min || count < 2 {
+            return Err(DsiError::InvalidDepthRange { z_min, z_max, count });
+        }
+        let depths = (0..count)
+            .map(|i| {
+                let t = i as f64 / (count - 1) as f64;
+                z_min + t * (z_max - z_min)
+            })
+            .collect();
+        Ok(Self { depths, z_min, z_max })
+    }
+
+    /// Number of planes.
+    pub fn len(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// Whether there are no planes (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.depths.is_empty()
+    }
+
+    /// The depth of plane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn depth(&self, i: usize) -> f64 {
+        self.depths[i]
+    }
+
+    /// All depths, closest first.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.depths
+    }
+
+    /// The closest plane (canonical plane `Z0`).
+    pub fn z0(&self) -> f64 {
+        self.depths[0]
+    }
+
+    /// The configured near limit.
+    pub fn z_min(&self) -> f64 {
+        self.z_min
+    }
+
+    /// The configured far limit.
+    pub fn z_max(&self) -> f64 {
+        self.z_max
+    }
+
+    /// Index of the plane closest to a metric depth (in inverse-depth space,
+    /// matching how the DSI is interpolated).
+    pub fn nearest_plane(&self, depth: f64) -> usize {
+        if depth <= 0.0 || !depth.is_finite() {
+            return self.depths.len() - 1;
+        }
+        let inv = 1.0 / depth;
+        let mut best = 0;
+        let mut best_err = f64::INFINITY;
+        for (i, &z) in self.depths.iter().enumerate() {
+            let err = (1.0 / z - inv).abs();
+            if err < best_err {
+                best_err = err;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_depth_sampling_endpoints_and_ordering() {
+        let planes = DepthPlanes::uniform_inverse_depth(1.0, 4.0, 7).unwrap();
+        assert_eq!(planes.len(), 7);
+        assert!((planes.z0() - 1.0).abs() < 1e-12);
+        assert!((planes.depth(6) - 4.0).abs() < 1e-12);
+        // Strictly increasing depths.
+        for w in planes.as_slice().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Uniform in inverse depth: 1/z spacing constant.
+        let inv: Vec<f64> = planes.as_slice().iter().map(|z| 1.0 / z).collect();
+        let d0 = inv[0] - inv[1];
+        for w in inv.windows(2) {
+            assert!((w[0] - w[1] - d0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn metric_sampling_is_linear() {
+        let planes = DepthPlanes::uniform_depth(1.0, 3.0, 5).unwrap();
+        assert_eq!(planes.as_slice(), &[1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(planes.z_min(), 1.0);
+        assert_eq!(planes.z_max(), 3.0);
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        assert!(DepthPlanes::uniform_inverse_depth(0.0, 1.0, 10).is_err());
+        assert!(DepthPlanes::uniform_inverse_depth(2.0, 1.0, 10).is_err());
+        assert!(DepthPlanes::uniform_inverse_depth(1.0, 2.0, 1).is_err());
+        assert!(DepthPlanes::uniform_inverse_depth(f64::NAN, 2.0, 10).is_err());
+    }
+
+    #[test]
+    fn nearest_plane_lookup() {
+        let planes = DepthPlanes::uniform_inverse_depth(1.0, 4.0, 10).unwrap();
+        assert_eq!(planes.nearest_plane(1.0), 0);
+        assert_eq!(planes.nearest_plane(4.0), 9);
+        assert_eq!(planes.nearest_plane(100.0), 9);
+        assert_eq!(planes.nearest_plane(f64::INFINITY), 9);
+        let mid = planes.nearest_plane(planes.depth(5));
+        assert_eq!(mid, 5);
+    }
+}

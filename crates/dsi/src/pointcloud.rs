@@ -1,0 +1,280 @@
+//! Point clouds: the map representation produced after scene-structure
+//! detection ("point cloud conversion" and "map updating" in the paper's
+//! merging-depth-information stage).
+
+use crate::depthmap::DepthMap;
+use crate::DsiError;
+use eventor_geom::{CameraIntrinsics, Pose, Vec3};
+use std::io::Write;
+
+/// A 3-D point with the DSI confidence that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapPoint {
+    /// Position in world coordinates.
+    pub position: Vec3,
+    /// Ray-density confidence inherited from the DSI.
+    pub confidence: f64,
+}
+
+/// A world-frame point cloud accumulated over key reference views.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointCloud {
+    points: Vec<MapPoint>,
+}
+
+impl PointCloud {
+    /// Creates an empty point cloud.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Converts a semi-dense depth map at a virtual camera into world-frame
+    /// points.
+    ///
+    /// `pose` is the camera-to-world pose of the virtual camera; `intrinsics`
+    /// its pinhole model.
+    pub fn from_depth_map(depth_map: &DepthMap, intrinsics: &CameraIntrinsics, pose: &Pose) -> Self {
+        let mut points = Vec::with_capacity(depth_map.valid_count());
+        for y in 0..depth_map.height() {
+            for x in 0..depth_map.width() {
+                let d = depth_map.depth(x, y);
+                if !d.is_finite() {
+                    continue;
+                }
+                let ray = intrinsics.unproject(eventor_geom::Vec2::new(x as f64, y as f64));
+                let p_cam = ray * d; // ray has z = 1, so this lands at depth d
+                points.push(MapPoint {
+                    position: pose.transform(p_cam),
+                    confidence: depth_map.confidence(x, y),
+                });
+            }
+        }
+        Self { points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the cloud is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[MapPoint] {
+        &self.points
+    }
+
+    /// Merges another cloud into this one (the global map update `ℳ`).
+    pub fn merge(&mut self, other: &PointCloud) {
+        self.points.extend_from_slice(&other.points);
+    }
+
+    /// Adds a single point.
+    pub fn push(&mut self, point: MapPoint) {
+        self.points.push(point);
+    }
+
+    /// Axis-aligned bounding box `(min, max)` of the points.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let first = self.points.first()?;
+        let mut min = first.position;
+        let mut max = first.position;
+        for p in &self.points {
+            min = Vec3::new(min.x.min(p.position.x), min.y.min(p.position.y), min.z.min(p.position.z));
+            max = Vec3::new(max.x.max(p.position.x), max.y.max(p.position.y), max.z.max(p.position.z));
+        }
+        Some((min, max))
+    }
+
+    /// Centroid of the points.
+    pub fn centroid(&self) -> Option<Vec3> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let sum = self
+            .points
+            .iter()
+            .fold(Vec3::ZERO, |acc, p| acc + p.position);
+        Some(sum / self.points.len() as f64)
+    }
+
+    /// Removes points with fewer than `min_neighbors` other points within
+    /// `radius` (radius-outlier removal, the filter the EMVS pipeline applies
+    /// before map merging). Quadratic implementation: the clouds produced per
+    /// key frame are small (tens of thousands of points).
+    pub fn radius_outlier_filtered(&self, radius: f64, min_neighbors: usize) -> Self {
+        let r2 = radius * radius;
+        let kept = self
+            .points
+            .iter()
+            .filter(|p| {
+                let neighbors = self
+                    .points
+                    .iter()
+                    .filter(|q| (q.position - p.position).norm_squared() <= r2)
+                    .count();
+                // The point itself is always within the radius.
+                neighbors > min_neighbors
+            })
+            .copied()
+            .collect();
+        Self { points: kept }
+    }
+
+    /// Writes the cloud as an ASCII PLY file (positions plus a `quality`
+    /// property carrying the confidence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_ply<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "ply")?;
+        writeln!(writer, "format ascii 1.0")?;
+        writeln!(writer, "element vertex {}", self.points.len())?;
+        writeln!(writer, "property float x")?;
+        writeln!(writer, "property float y")?;
+        writeln!(writer, "property float z")?;
+        writeln!(writer, "property float quality")?;
+        writeln!(writer, "end_header")?;
+        for p in &self.points {
+            writeln!(
+                writer,
+                "{:.6} {:.6} {:.6} {:.3}",
+                p.position.x, p.position.y, p.position.z, p.confidence
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Mean absolute distance from each point to the closest of a set of
+    /// reference plane depths (used by tests to check that reconstructions of
+    /// plane scenes land near the true planes). Distances are measured along
+    /// Z only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::EmptyPointCloud`] when the cloud has no points.
+    pub fn mean_z_distance_to_planes(&self, plane_depths: &[f64]) -> Result<f64, DsiError> {
+        if self.points.is_empty() || plane_depths.is_empty() {
+            return Err(DsiError::EmptyPointCloud);
+        }
+        let total: f64 = self
+            .points
+            .iter()
+            .map(|p| {
+                plane_depths
+                    .iter()
+                    .map(|z| (p.position.z - z).abs())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        Ok(total / self.points.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_geom::CameraIntrinsics;
+
+    fn intrinsics() -> CameraIntrinsics {
+        CameraIntrinsics::new(50.0, 50.0, 20.0, 15.0, 40, 30).unwrap()
+    }
+
+    fn flat_depth_map(depth: f64) -> DepthMap {
+        let mut dm = DepthMap::new(40, 30).unwrap();
+        for y in 0..30 {
+            for x in 0..40 {
+                dm.set(x, y, depth, 5.0);
+            }
+        }
+        dm
+    }
+
+    #[test]
+    fn depth_map_conversion_places_points_at_depth() {
+        let dm = flat_depth_map(2.0);
+        let cloud = PointCloud::from_depth_map(&dm, &intrinsics(), &Pose::identity());
+        assert_eq!(cloud.len(), 40 * 30);
+        for p in cloud.points() {
+            assert!((p.position.z - 2.0).abs() < 1e-9);
+            assert_eq!(p.confidence, 5.0);
+        }
+    }
+
+    #[test]
+    fn conversion_respects_camera_pose() {
+        let dm = flat_depth_map(1.0);
+        let pose = Pose::from_translation(Vec3::new(0.0, 0.0, 5.0));
+        let cloud = PointCloud::from_depth_map(&dm, &intrinsics(), &pose);
+        for p in cloud.points() {
+            assert!((p.position.z - 6.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_pixels_are_skipped() {
+        let mut dm = DepthMap::new(4, 4).unwrap();
+        dm.set(0, 0, 1.0, 1.0);
+        dm.set(3, 3, 2.0, 1.0);
+        let cloud = PointCloud::from_depth_map(&dm, &intrinsics(), &Pose::identity());
+        assert_eq!(cloud.len(), 2);
+    }
+
+    #[test]
+    fn merge_and_bounds_and_centroid() {
+        let mut a = PointCloud::new();
+        a.push(MapPoint { position: Vec3::new(0.0, 0.0, 0.0), confidence: 1.0 });
+        let mut b = PointCloud::new();
+        b.push(MapPoint { position: Vec3::new(2.0, 2.0, 2.0), confidence: 1.0 });
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        let (min, max) = a.bounds().unwrap();
+        assert_eq!(min, Vec3::ZERO);
+        assert_eq!(max, Vec3::new(2.0, 2.0, 2.0));
+        assert_eq!(a.centroid().unwrap(), Vec3::new(1.0, 1.0, 1.0));
+        assert!(PointCloud::new().bounds().is_none());
+        assert!(PointCloud::new().centroid().is_none());
+    }
+
+    #[test]
+    fn radius_outlier_filter_removes_isolated_points() {
+        let mut cloud = PointCloud::new();
+        // Dense cluster near the origin.
+        for i in 0..20 {
+            cloud.push(MapPoint {
+                position: Vec3::new(i as f64 * 0.01, 0.0, 1.0),
+                confidence: 1.0,
+            });
+        }
+        // One far outlier.
+        cloud.push(MapPoint { position: Vec3::new(10.0, 10.0, 10.0), confidence: 1.0 });
+        let filtered = cloud.radius_outlier_filtered(0.1, 3);
+        assert_eq!(filtered.len(), 20);
+    }
+
+    #[test]
+    fn ply_export_has_header_and_one_line_per_point() {
+        let mut cloud = PointCloud::new();
+        cloud.push(MapPoint { position: Vec3::new(1.0, 2.0, 3.0), confidence: 4.0 });
+        cloud.push(MapPoint { position: Vec3::new(-1.0, 0.5, 2.0), confidence: 7.0 });
+        let mut buf = Vec::new();
+        cloud.write_ply(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("ply\n"));
+        assert!(text.contains("element vertex 2"));
+        assert_eq!(text.lines().count(), 8 + 2);
+    }
+
+    #[test]
+    fn distance_to_planes_metric() {
+        let dm = flat_depth_map(2.0);
+        let cloud = PointCloud::from_depth_map(&dm, &intrinsics(), &Pose::identity());
+        let d = cloud.mean_z_distance_to_planes(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(d < 1e-9);
+        assert!(PointCloud::new().mean_z_distance_to_planes(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! The disparity space image (DSI): a `w × h × N_z` voxel grid of ray-count
+//! scores attached to a virtual camera view.
+
+use crate::planes::DepthPlanes;
+use crate::DsiError;
+
+/// Score storage of a DSI voxel.
+///
+/// The baseline EMVS uses `f32` scores (bilinear voting deposits fractional
+/// weights); the Eventor accelerator uses 16-bit integer scores (nearest
+/// voting deposits unit votes, Table 1). The trait is sealed to these two
+/// types so the two datapaths stay comparable.
+pub trait VoxelScore: Copy + Default + PartialOrd + private::Sealed + std::fmt::Debug {
+    /// Adds a vote of the given weight (implementations may round or
+    /// saturate).
+    fn add_vote(&mut self, weight: f64);
+    /// The score as `f64` for detection and comparison.
+    fn as_f64(self) -> f64;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for u16 {}
+}
+
+impl VoxelScore for f32 {
+    #[inline]
+    fn add_vote(&mut self, weight: f64) {
+        *self += weight as f32;
+    }
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl VoxelScore for u16 {
+    #[inline]
+    fn add_vote(&mut self, weight: f64) {
+        // Integer votes with saturation — the quantized DSI of Table 1.
+        let inc = weight.round().max(0.0) as u32;
+        *self = (*self as u32).saturating_add(inc).min(u16::MAX as u32) as u16;
+    }
+    #[inline]
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// A disparity space image: per-voxel ray-count scores for a virtual camera
+/// of `width × height` pixels and [`DepthPlanes::len`] depth slices.
+///
+/// Voxels are stored plane-major (`[plane][row][col]`): the vote stage writes
+/// one plane at a time, and the detection stage strides across planes per
+/// pixel.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_dsi::{DepthPlanes, DsiVolume};
+/// let planes = DepthPlanes::uniform_inverse_depth(1.0, 4.0, 8)?;
+/// let mut dsi: DsiVolume<f32> = DsiVolume::new(32, 24, planes)?;
+/// dsi.vote_nearest(10.2, 5.7, 3, 1.0);
+/// assert_eq!(dsi.score(10, 6, 3), 1.0);
+/// # Ok::<(), eventor_dsi::DsiError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsiVolume<S: VoxelScore> {
+    width: usize,
+    height: usize,
+    planes: DepthPlanes,
+    data: Vec<S>,
+    votes_cast: u64,
+    votes_missed: u64,
+}
+
+impl<S: VoxelScore> DsiVolume<S> {
+    /// Creates a zero-initialised DSI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::EmptyVolume`] when `width` or `height` is zero.
+    pub fn new(width: usize, height: usize, planes: DepthPlanes) -> Result<Self, DsiError> {
+        if width == 0 || height == 0 {
+            return Err(DsiError::EmptyVolume { width, height });
+        }
+        let len = width * height * planes.len();
+        Ok(Self {
+            width,
+            height,
+            planes,
+            data: vec![S::default(); len],
+            votes_cast: 0,
+            votes_missed: 0,
+        })
+    }
+
+    /// Builds a DSI from an existing score array in `(plane, row, column)`
+    /// order — the readback path from an accelerator that keeps the DSI in
+    /// external memory.
+    ///
+    /// `votes_cast` records how many votes the producer applied, so the
+    /// volume's counters stay meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::EmptyVolume`] when `width` or `height` is zero and
+    /// [`DsiError::DimensionMismatch`] when the score array does not hold
+    /// exactly `width * height * planes.len()` entries.
+    pub fn from_scores(
+        width: usize,
+        height: usize,
+        planes: DepthPlanes,
+        scores: Vec<S>,
+        votes_cast: u64,
+    ) -> Result<Self, DsiError> {
+        if width == 0 || height == 0 {
+            return Err(DsiError::EmptyVolume { width, height });
+        }
+        let expected = width * height * planes.len();
+        if scores.len() != expected {
+            return Err(DsiError::DimensionMismatch { expected, actual: scores.len() });
+        }
+        Ok(Self { width, height, planes, data: scores, votes_cast, votes_missed: 0 })
+    }
+
+    /// Image width (voxels per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height (voxel rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of depth planes.
+    pub fn num_planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// The depth planes.
+    pub fn planes(&self) -> &DepthPlanes {
+        &self.planes
+    }
+
+    /// Total number of voxels.
+    pub fn voxel_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Memory footprint of the score array in bytes.
+    pub fn score_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<S>()
+    }
+
+    /// Number of votes deposited since the last reset.
+    pub fn votes_cast(&self) -> u64 {
+        self.votes_cast
+    }
+
+    /// Number of vote attempts that fell outside the volume ("projection
+    /// missing" in the paper's terminology).
+    pub fn votes_missed(&self) -> u64 {
+        self.votes_missed
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize, plane: usize) -> usize {
+        (plane * self.height + y) * self.width + x
+    }
+
+    /// The score of voxel `(x, y, plane)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    #[inline]
+    pub fn score(&self, x: usize, y: usize, plane: usize) -> f64 {
+        assert!(x < self.width && y < self.height && plane < self.planes.len());
+        self.data[self.index(x, y, plane)].as_f64()
+    }
+
+    /// Raw scores of one depth plane, row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn plane_scores(&self, plane: usize) -> &[S] {
+        assert!(plane < self.planes.len());
+        let start = plane * self.width * self.height;
+        &self.data[start..start + self.width * self.height]
+    }
+
+    /// Resets every score to zero (the "Reset DSI" step performed when a new
+    /// key frame is selected) and clears the vote counters.
+    pub fn reset(&mut self) {
+        for v in &mut self.data {
+            *v = S::default();
+        }
+        self.votes_cast = 0;
+        self.votes_missed = 0;
+    }
+
+    /// Deposits a unit (or weighted) vote at the voxel *nearest* to the
+    /// projected point — the approximate voting mode used by the accelerator.
+    ///
+    /// Out-of-volume projections are counted as missed and ignored.
+    #[inline]
+    pub fn vote_nearest(&mut self, x: f64, y: f64, plane: usize, weight: f64) {
+        if plane >= self.planes.len() || !x.is_finite() || !y.is_finite() {
+            self.votes_missed += 1;
+            return;
+        }
+        let xi = x.round();
+        let yi = y.round();
+        if xi < 0.0 || yi < 0.0 || xi >= self.width as f64 || yi >= self.height as f64 {
+            self.votes_missed += 1;
+            return;
+        }
+        let idx = self.index(xi as usize, yi as usize, plane);
+        self.data[idx].add_vote(weight);
+        self.votes_cast += 1;
+    }
+
+    /// Deposits a vote split over the four voxels surrounding the projected
+    /// point, weighted by bilinear interpolation — the exact voting mode of
+    /// the baseline EMVS.
+    ///
+    /// Out-of-volume projections are counted as missed and ignored; points in
+    /// the border half-pixel deposit only the in-bounds portion of their
+    /// weight.
+    pub fn vote_bilinear(&mut self, x: f64, y: f64, plane: usize, weight: f64) {
+        if plane >= self.planes.len() || !x.is_finite() || !y.is_finite() {
+            self.votes_missed += 1;
+            return;
+        }
+        if x < -0.5 || y < -0.5 || x > self.width as f64 - 0.5 || y > self.height as f64 - 0.5 {
+            self.votes_missed += 1;
+            return;
+        }
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let mut deposited = false;
+        for (dx, dy, w) in [
+            (0.0, 0.0, (1.0 - fx) * (1.0 - fy)),
+            (1.0, 0.0, fx * (1.0 - fy)),
+            (0.0, 1.0, (1.0 - fx) * fy),
+            (1.0, 1.0, fx * fy),
+        ] {
+            let xi = x0 + dx;
+            let yi = y0 + dy;
+            if w <= 0.0 || xi < 0.0 || yi < 0.0 || xi >= self.width as f64 || yi >= self.height as f64 {
+                continue;
+            }
+            let idx = self.index(xi as usize, yi as usize, plane);
+            self.data[idx].add_vote(weight * w);
+            deposited = true;
+        }
+        if deposited {
+            self.votes_cast += 1;
+        } else {
+            self.votes_missed += 1;
+        }
+    }
+
+    /// The maximum score over the whole volume.
+    pub fn max_score(&self) -> f64 {
+        self.data.iter().map(|s| s.as_f64()).fold(0.0, f64::max)
+    }
+
+    /// Sum of all scores.
+    pub fn total_score(&self) -> f64 {
+        self.data.iter().map(|s| s.as_f64()).sum()
+    }
+
+    /// For one pixel, the best (maximum-score) plane index and its score.
+    #[inline]
+    pub fn best_plane(&self, x: usize, y: usize) -> (usize, f64) {
+        let mut best_plane = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for plane in 0..self.planes.len() {
+            let s = self.data[self.index(x, y, plane)].as_f64();
+            if s > best_score {
+                best_score = s;
+                best_plane = plane;
+            }
+        }
+        (best_plane, best_score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planes(n: usize) -> DepthPlanes {
+        DepthPlanes::uniform_inverse_depth(1.0, 4.0, n).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_size() {
+        assert!(DsiVolume::<f32>::new(0, 10, planes(4)).is_err());
+        assert!(DsiVolume::<f32>::new(10, 0, planes(4)).is_err());
+        let dsi = DsiVolume::<f32>::new(8, 6, planes(4)).unwrap();
+        assert_eq!(dsi.voxel_count(), 8 * 6 * 4);
+        assert_eq!(dsi.score_bytes(), 8 * 6 * 4 * 4);
+        let dsi16 = DsiVolume::<u16>::new(8, 6, planes(4)).unwrap();
+        assert_eq!(dsi16.score_bytes(), 8 * 6 * 4 * 2);
+    }
+
+    #[test]
+    fn nearest_vote_rounds_to_closest_voxel() {
+        let mut dsi = DsiVolume::<u16>::new(16, 12, planes(3)).unwrap();
+        dsi.vote_nearest(4.4, 7.6, 1, 1.0);
+        assert_eq!(dsi.score(4, 8, 1), 1.0);
+        assert_eq!(dsi.votes_cast(), 1);
+        dsi.vote_nearest(4.4, 7.6, 1, 1.0);
+        assert_eq!(dsi.score(4, 8, 1), 2.0);
+    }
+
+    #[test]
+    fn nearest_vote_out_of_bounds_is_missed() {
+        let mut dsi = DsiVolume::<u16>::new(16, 12, planes(3)).unwrap();
+        dsi.vote_nearest(-1.0, 5.0, 0, 1.0);
+        dsi.vote_nearest(15.8, 5.0, 0, 1.0); // rounds to 16, out of range
+        dsi.vote_nearest(5.0, 5.0, 99, 1.0);
+        dsi.vote_nearest(f64::NAN, 5.0, 0, 1.0);
+        assert_eq!(dsi.votes_cast(), 0);
+        assert_eq!(dsi.votes_missed(), 4);
+        assert_eq!(dsi.total_score(), 0.0);
+    }
+
+    #[test]
+    fn bilinear_vote_distributes_unit_weight() {
+        let mut dsi = DsiVolume::<f32>::new(16, 12, planes(3)).unwrap();
+        dsi.vote_bilinear(4.25, 7.75, 2, 1.0);
+        let total = dsi.total_score();
+        assert!((total - 1.0).abs() < 1e-6, "bilinear weights should sum to 1, got {total}");
+        // The dominant voxel is the nearest one.
+        assert!(dsi.score(4, 8, 2) > dsi.score(5, 7, 2));
+        assert_eq!(dsi.votes_cast(), 1);
+    }
+
+    #[test]
+    fn bilinear_vote_on_integer_coordinate_hits_single_voxel() {
+        let mut dsi = DsiVolume::<f32>::new(16, 12, planes(3)).unwrap();
+        dsi.vote_bilinear(5.0, 6.0, 0, 1.0);
+        assert!((dsi.score(5, 6, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bilinear_vote_at_border_keeps_partial_weight() {
+        let mut dsi = DsiVolume::<f32>::new(16, 12, planes(2)).unwrap();
+        dsi.vote_bilinear(-0.25, 3.0, 0, 1.0);
+        assert!(dsi.total_score() > 0.0);
+        assert!(dsi.total_score() < 1.0 + 1e-9);
+        dsi.vote_bilinear(-2.0, 3.0, 0, 1.0);
+        assert_eq!(dsi.votes_missed(), 1);
+    }
+
+    #[test]
+    fn nearest_and_bilinear_agree_on_voxel_centres() {
+        let planes3 = planes(3);
+        let mut a = DsiVolume::<f32>::new(16, 12, planes3.clone()).unwrap();
+        let mut b = DsiVolume::<f32>::new(16, 12, planes3).unwrap();
+        a.vote_nearest(7.0, 3.0, 1, 1.0);
+        b.vote_bilinear(7.0, 3.0, 1, 1.0);
+        assert!((a.score(7, 3, 1) - b.score(7, 3, 1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn u16_scores_saturate_instead_of_wrapping() {
+        let mut dsi = DsiVolume::<u16>::new(4, 4, planes(2)).unwrap();
+        for _ in 0..70000 {
+            dsi.vote_nearest(1.0, 1.0, 0, 1.0);
+        }
+        assert_eq!(dsi.score(1, 1, 0), u16::MAX as f64);
+    }
+
+    #[test]
+    fn reset_clears_scores_and_counters() {
+        let mut dsi = DsiVolume::<u16>::new(8, 8, planes(2)).unwrap();
+        dsi.vote_nearest(2.0, 2.0, 0, 1.0);
+        dsi.vote_nearest(-5.0, 2.0, 0, 1.0);
+        dsi.reset();
+        assert_eq!(dsi.total_score(), 0.0);
+        assert_eq!(dsi.votes_cast(), 0);
+        assert_eq!(dsi.votes_missed(), 0);
+    }
+
+    #[test]
+    fn best_plane_finds_argmax() {
+        let mut dsi = DsiVolume::<f32>::new(8, 8, planes(5)).unwrap();
+        dsi.vote_nearest(3.0, 4.0, 2, 3.0);
+        dsi.vote_nearest(3.0, 4.0, 4, 1.0);
+        let (plane, score) = dsi.best_plane(3, 4);
+        assert_eq!(plane, 2);
+        assert_eq!(score, 3.0);
+        assert_eq!(dsi.max_score(), 3.0);
+    }
+
+    #[test]
+    fn plane_scores_slice_has_correct_length() {
+        let dsi = DsiVolume::<u16>::new(10, 6, planes(3)).unwrap();
+        assert_eq!(dsi.plane_scores(0).len(), 60);
+        assert_eq!(dsi.plane_scores(2).len(), 60);
+    }
+}

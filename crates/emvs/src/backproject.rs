@@ -1,0 +1,138 @@
+//! Event back-projection (`𝒫`): per-frame geometry shared by all events of an
+//! event frame.
+//!
+//! The two-step scheme of the EMVS space-sweep is used: each (undistorted)
+//! event pixel is mapped onto the canonical plane `Z0` of the virtual camera
+//! through the plane-induced homography `H_{Z0}` (`𝒫{Z0}`), and then
+//! transferred to every other depth plane `Zi` through the per-frame
+//! proportional coefficients `φ` (`𝒫{Z0;Zi}`).
+
+use crate::EmvsError;
+use eventor_dsi::DepthPlanes;
+use eventor_geom::{CameraIntrinsics, CanonicalHomography, Pose, ProportionalCoefficients, Vec2};
+
+/// Per-frame back-projection geometry: the canonical homography and the
+/// proportional transfer coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameGeometry {
+    /// Homography mapping event pixels onto the canonical plane `Z0`.
+    pub homography: CanonicalHomography,
+    /// Proportional coefficients `φ` transferring `Z0` points to every plane.
+    pub coefficients: ProportionalCoefficients,
+}
+
+impl FrameGeometry {
+    /// Computes the geometry for one event frame.
+    ///
+    /// * `reference_pose` — camera-to-world pose of the virtual (key
+    ///   reference) camera that owns the DSI,
+    /// * `frame_pose` — camera-to-world pose of the event camera at the
+    ///   frame timestamp,
+    /// * `intrinsics` — shared pinhole intrinsics,
+    /// * `planes` — the DSI depth planes. The *farthest* plane is used as the
+    ///   canonical plane `Z0`: near the far plane the homography approaches
+    ///   the infinite homography, which keeps the canonical back-projections
+    ///   close to the sensor extent and therefore inside the Q9.7 coordinate
+    ///   range of the quantized datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::Geometry`] when the relative pose induces a
+    /// degenerate homography (e.g. the event camera centre lies on the
+    /// canonical plane).
+    pub fn compute(
+        reference_pose: &Pose,
+        frame_pose: &Pose,
+        intrinsics: &CameraIntrinsics,
+        planes: &DepthPlanes,
+    ) -> Result<Self, EmvsError> {
+        let z0 = planes.z_max();
+        let homography =
+            CanonicalHomography::compute(reference_pose, frame_pose, intrinsics, z0)?;
+        let coefficients = ProportionalCoefficients::compute(
+            reference_pose,
+            frame_pose,
+            intrinsics,
+            planes.as_slice(),
+            z0,
+        )?;
+        Ok(Self { homography, coefficients })
+    }
+
+    /// Canonical back-projection `𝒫{Z0}` of one undistorted event pixel.
+    ///
+    /// Returns `None` when the pixel maps to infinity.
+    #[inline]
+    pub fn canonical(&self, event_pixel: Vec2) -> Option<Vec2> {
+        self.homography.project(event_pixel)
+    }
+
+    /// Proportional back-projection `𝒫{Z0;Zi}`: transfers a canonical-plane
+    /// point to depth plane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid plane index.
+    #[inline]
+    pub fn transfer(&self, canonical: Vec2, i: usize) -> Vec2 {
+        self.coefficients.transfer(canonical, i)
+    }
+
+    /// Number of depth planes covered.
+    pub fn num_planes(&self) -> usize {
+        self.coefficients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_geom::{backproject_exhaustive, Vec3};
+
+    fn intrinsics() -> CameraIntrinsics {
+        CameraIntrinsics::davis240_default()
+    }
+
+    fn planes() -> DepthPlanes {
+        DepthPlanes::uniform_inverse_depth(1.0, 5.0, 40).unwrap()
+    }
+
+    #[test]
+    fn frame_geometry_matches_exhaustive_raycast() {
+        let reference = Pose::identity();
+        let frame_pose = Pose::from_translation(Vec3::new(0.08, -0.02, 0.01));
+        let planes = planes();
+        let geom = FrameGeometry::compute(&reference, &frame_pose, &intrinsics(), &planes).unwrap();
+        assert_eq!(geom.num_planes(), 40);
+
+        let px = Vec2::new(150.0, 60.0);
+        let canonical = geom.canonical(px).unwrap();
+        let exact = backproject_exhaustive(&reference, &frame_pose, &intrinsics(), px, planes.as_slice());
+        for (i, expect) in exact.iter().enumerate() {
+            let got = geom.transfer(canonical, i);
+            let expect = expect.unwrap();
+            assert!((got - expect).norm() < 1e-5, "plane {i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn degenerate_pose_reports_error() {
+        let reference = Pose::identity();
+        // Camera centre exactly on the canonical plane (the farthest plane, 5 m).
+        let bad = Pose::from_translation(Vec3::new(0.0, 0.0, 5.0));
+        assert!(FrameGeometry::compute(&reference, &bad, &intrinsics(), &planes()).is_err());
+    }
+
+    #[test]
+    fn identity_frame_is_identity_mapping() {
+        let reference = Pose::identity();
+        let geom = FrameGeometry::compute(&reference, &reference, &intrinsics(), &planes()).unwrap();
+        let px = Vec2::new(100.0, 80.0);
+        let canonical = geom.canonical(px).unwrap();
+        assert!((canonical - px).norm() < 1e-6);
+        // With zero baseline every plane sees the same pixel.
+        for i in 0..geom.num_planes() {
+            assert!((geom.transfer(canonical, i) - px).norm() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Configuration of the EMVS space-sweep mapper.
+
+use eventor_dsi::DetectionConfig;
+use eventor_events::DEFAULT_EVENTS_PER_FRAME;
+
+/// DSI voting mode.
+///
+/// The baseline EMVS uses [`VotingMode::Bilinear`]; the Eventor accelerator
+/// substitutes [`VotingMode::Nearest`] (the paper's approximate-computing
+/// optimization, evaluated in Fig. 4a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VotingMode {
+    /// Split each vote over the four surrounding voxels by bilinear weights.
+    #[default]
+    Bilinear,
+    /// Deposit the whole vote on the nearest voxel.
+    Nearest,
+}
+
+impl std::fmt::Display for VotingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Bilinear => write!(f, "bilinear"),
+            Self::Nearest => write!(f, "nearest"),
+        }
+    }
+}
+
+/// Configuration of the EMVS mapper (baseline and reformulated pipelines
+/// share this struct).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmvsConfig {
+    /// Events per aggregated frame (the paper uses 1024).
+    pub events_per_frame: usize,
+    /// Number of DSI depth planes `N_z`.
+    pub num_depth_planes: usize,
+    /// Near and far limits of the DSI depth range, in metres.
+    pub depth_range: (f64, f64),
+    /// DSI voting mode.
+    pub voting: VotingMode,
+    /// Scene-structure detection parameters.
+    pub detection: DetectionConfig,
+    /// Translation distance (metres) between the current camera pose and the
+    /// key reference view beyond which a new key frame is selected.
+    pub keyframe_distance: f64,
+    /// Minimum number of event frames that must be processed into a DSI
+    /// before a key-frame switch is allowed (avoids key frames with too few
+    /// votes to detect anything).
+    pub min_frames_per_keyframe: usize,
+}
+
+impl Default for EmvsConfig {
+    fn default() -> Self {
+        Self {
+            events_per_frame: DEFAULT_EVENTS_PER_FRAME,
+            num_depth_planes: 100,
+            depth_range: (0.6, 6.0),
+            voting: VotingMode::Bilinear,
+            detection: DetectionConfig::default(),
+            keyframe_distance: 0.25,
+            min_frames_per_keyframe: 4,
+        }
+    }
+}
+
+impl EmvsConfig {
+    /// Builder-style override of the depth range.
+    pub fn with_depth_range(mut self, z_min: f64, z_max: f64) -> Self {
+        self.depth_range = (z_min, z_max);
+        self
+    }
+
+    /// Builder-style override of the voting mode.
+    pub fn with_voting(mut self, voting: VotingMode) -> Self {
+        self.voting = voting;
+        self
+    }
+
+    /// Builder-style override of the number of depth planes.
+    pub fn with_depth_planes(mut self, n: usize) -> Self {
+        self.num_depth_planes = n;
+        self
+    }
+
+    /// Builder-style override of the key-frame distance threshold.
+    pub fn with_keyframe_distance(mut self, distance: f64) -> Self {
+        self.keyframe_distance = distance;
+        self
+    }
+
+    /// Builder-style override of the detection parameters.
+    pub fn with_detection(mut self, detection: DetectionConfig) -> Self {
+        self.detection = detection;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = EmvsConfig::default();
+        assert_eq!(c.events_per_frame, 1024);
+        assert_eq!(c.num_depth_planes, 100);
+        assert_eq!(c.voting, VotingMode::Bilinear);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = EmvsConfig::default()
+            .with_depth_range(1.0, 3.0)
+            .with_voting(VotingMode::Nearest)
+            .with_depth_planes(50)
+            .with_keyframe_distance(0.4);
+        assert_eq!(c.depth_range, (1.0, 3.0));
+        assert_eq!(c.voting, VotingMode::Nearest);
+        assert_eq!(c.num_depth_planes, 50);
+        assert_eq!(c.keyframe_distance, 0.4);
+    }
+
+    #[test]
+    fn voting_mode_display() {
+        assert_eq!(VotingMode::Bilinear.to_string(), "bilinear");
+        assert_eq!(VotingMode::Nearest.to_string(), "nearest");
+    }
+}

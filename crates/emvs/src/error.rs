@@ -1,0 +1,79 @@
+//! Error type for the EMVS mapper.
+
+use eventor_dsi::DsiError;
+use eventor_geom::GeometryError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the EMVS mapper.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EmvsError {
+    /// A geometric computation failed (degenerate homography, bad intrinsics,
+    /// trajectory lookup failure, …).
+    Geometry(GeometryError),
+    /// A DSI operation failed (invalid depth range, dimension mismatch, …).
+    Dsi(DsiError),
+    /// The mapper was given an empty event stream.
+    NoEvents,
+    /// The configuration was unusable.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EmvsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Geometry(e) => write!(f, "geometry error: {e}"),
+            Self::Dsi(e) => write!(f, "dsi error: {e}"),
+            Self::NoEvents => write!(f, "event stream is empty"),
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for EmvsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Geometry(e) => Some(e),
+            Self::Dsi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeometryError> for EmvsError {
+    fn from(e: GeometryError) -> Self {
+        Self::Geometry(e)
+    }
+}
+
+impl From<DsiError> for EmvsError {
+    fn from(e: DsiError) -> Self {
+        Self::Dsi(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: EmvsError = GeometryError::DegenerateHomography.into();
+        assert!(matches!(e, EmvsError::Geometry(_)));
+        assert!(e.source().is_some());
+        let e: EmvsError = DsiError::EmptyPointCloud.into();
+        assert!(matches!(e, EmvsError::Dsi(_)));
+        assert!(!EmvsError::NoEvents.to_string().is_empty());
+        assert!(EmvsError::NoEvents.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmvsError>();
+    }
+}

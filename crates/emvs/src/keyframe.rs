@@ -1,0 +1,87 @@
+//! Key reference-view selection (`𝒦`).
+//!
+//! EMVS builds one local DSI per key reference view. A new key frame is
+//! selected when the event camera has translated far enough from the current
+//! reference view; all events in between vote into the reference view's DSI.
+
+use eventor_geom::Pose;
+
+/// Decides when to switch to a new key reference view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyframeSelector {
+    distance_threshold: f64,
+    min_frames: usize,
+    frames_since_switch: usize,
+}
+
+impl KeyframeSelector {
+    /// Creates a selector.
+    ///
+    /// * `distance_threshold` — translation distance (metres) between the
+    ///   current pose and the reference view that triggers a switch,
+    /// * `min_frames` — minimum number of event frames that must have been
+    ///   accumulated before a switch is allowed.
+    pub fn new(distance_threshold: f64, min_frames: usize) -> Self {
+        Self { distance_threshold, min_frames, frames_since_switch: 0 }
+    }
+
+    /// The configured distance threshold.
+    pub fn distance_threshold(&self) -> f64 {
+        self.distance_threshold
+    }
+
+    /// Number of frames accumulated into the current key frame so far.
+    pub fn frames_since_switch(&self) -> usize {
+        self.frames_since_switch
+    }
+
+    /// Registers that one event frame was processed into the current DSI.
+    pub fn register_frame(&mut self) {
+        self.frames_since_switch += 1;
+    }
+
+    /// Resets the frame counter (called when a new key frame is selected).
+    pub fn reset(&mut self) {
+        self.frames_since_switch = 0;
+    }
+
+    /// Whether the camera has moved far enough from `reference` for `current`
+    /// to become a new key frame.
+    pub fn should_switch(&self, reference: &Pose, current: &Pose) -> bool {
+        self.frames_since_switch >= self.min_frames
+            && reference.translation_distance(current) > self.distance_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_geom::Vec3;
+
+    #[test]
+    fn switch_requires_distance_and_minimum_frames() {
+        let mut sel = KeyframeSelector::new(0.1, 2);
+        let reference = Pose::identity();
+        let far = Pose::from_translation(Vec3::new(0.2, 0.0, 0.0));
+        let near = Pose::from_translation(Vec3::new(0.05, 0.0, 0.0));
+
+        // Not enough frames yet.
+        assert!(!sel.should_switch(&reference, &far));
+        sel.register_frame();
+        sel.register_frame();
+        assert_eq!(sel.frames_since_switch(), 2);
+        // Far enough and enough frames.
+        assert!(sel.should_switch(&reference, &far));
+        // Close poses never switch.
+        assert!(!sel.should_switch(&reference, &near));
+        // Reset starts the count again.
+        sel.reset();
+        assert!(!sel.should_switch(&reference, &far));
+    }
+
+    #[test]
+    fn threshold_accessor() {
+        let sel = KeyframeSelector::new(0.25, 1);
+        assert_eq!(sel.distance_threshold(), 0.25);
+    }
+}

@@ -1,0 +1,50 @@
+//! # eventor-emvs
+//!
+//! The **baseline** event-based multi-view stereo (EMVS) mapper: the
+//! space-sweep algorithm of Rebecq et al. that the paper runs on an Intel i5
+//! CPU as its comparison point (Table 3, "Intel CPU" column; the "Original"
+//! bars of Fig. 4 and Fig. 7a).
+//!
+//! The pipeline is the original (non-reformulated) schedule: events are
+//! aggregated into 1024-event frames, distortion-corrected per frame,
+//! back-projected onto the canonical plane `Z0` of the current key reference
+//! view with a plane-induced homography, transferred to all DSI depth planes,
+//! and voted into an `f32` DSI with **bilinear** voting. Scene structure is
+//! detected per key frame and merged into a global point cloud.
+//!
+//! The hardware-friendly reformulation (streaming distortion correction,
+//! pre-computed coefficients, nearest voting, fixed-point quantization) lives
+//! in `eventor-core`.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use eventor_emvs::{EmvsConfig, EmvsMapper};
+//! use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sequence = SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test())?;
+//! let config = EmvsConfig::default().with_depth_range(sequence.depth_range.0, sequence.depth_range.1);
+//! let mapper = EmvsMapper::new(sequence.camera, config)?;
+//! let output = mapper.reconstruct(&sequence.events, &sequence.trajectory)?;
+//! println!("reconstructed {} key frames", output.keyframes.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backproject;
+mod config;
+mod error;
+mod keyframe;
+mod mapper;
+mod profile;
+
+pub use backproject::FrameGeometry;
+pub use config::{EmvsConfig, VotingMode};
+pub use error::EmvsError;
+pub use keyframe::KeyframeSelector;
+pub use mapper::{EmvsMapper, EmvsOutput, KeyframeReconstruction};
+pub use profile::{Stage, StageProfile};

@@ -1,0 +1,371 @@
+//! Synthetic equivalents of the four evaluation sequences used in the paper:
+//! `simulation_3planes`, `simulation_3walls`, `slider_close` and `slider_far`.
+//!
+//! The originals come from the event-camera dataset of Mueggler et al.
+//! (IJRR 2017); this module builds scenes with the same geometric intent
+//! (three parallel planes, a three-wall corner, a close and a far slider
+//! target) and simulates them with [`crate::EventCameraSimulator`], so the
+//! full EMVS pipeline — including ground-truth comparison — runs without any
+//! external data.
+
+use crate::image::Image;
+use crate::render::render_depth;
+use crate::scene::{PlanarPatch, Scene, Texture};
+use crate::simulator::{EventCameraSimulator, SimulationStats, SimulatorConfig};
+use crate::stream::EventStream;
+use crate::EventError;
+use eventor_geom::{CameraIntrinsics, CameraModel, DistortionModel, Pose, Trajectory, Vec3};
+
+/// Identifier of one of the four evaluation sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SequenceKind {
+    /// Three fronto-parallel textured planes at different depths (simulated).
+    ThreePlanes,
+    /// A three-wall room corner (simulated).
+    ThreeWalls,
+    /// A textured target close to the camera on a linear slider (real in the
+    /// paper, synthetic here).
+    SliderClose,
+    /// The same target far from the camera on a linear slider.
+    SliderFar,
+}
+
+impl SequenceKind {
+    /// All four sequences, in the order the paper's figures list them.
+    pub const ALL: [SequenceKind; 4] = [
+        SequenceKind::ThreePlanes,
+        SequenceKind::ThreeWalls,
+        SequenceKind::SliderClose,
+        SequenceKind::SliderFar,
+    ];
+
+    /// The dataset name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ThreePlanes => "simulation_3planes",
+            Self::ThreeWalls => "simulation_3walls",
+            Self::SliderClose => "slider_close",
+            Self::SliderFar => "slider_far",
+        }
+    }
+
+    /// Short label used on figure axes.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::ThreePlanes => "3planes",
+            Self::ThreeWalls => "3walls",
+            Self::SliderClose => "close",
+            Self::SliderFar => "far",
+        }
+    }
+}
+
+impl std::fmt::Display for SequenceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Configuration for generating a synthetic sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Camera model (resolution, intrinsics, distortion).
+    pub camera: CameraModel,
+    /// Simulator settings.
+    pub simulator: SimulatorConfig,
+    /// Duration of the sequence in seconds.
+    pub duration: f64,
+    /// Number of trajectory samples.
+    pub trajectory_samples: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            camera: CameraModel::davis240_ideal(),
+            simulator: SimulatorConfig::default(),
+            duration: 2.0,
+            trajectory_samples: 120,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// Full DAVIS-resolution configuration used by the figure/table harness.
+    pub fn paper_scale() -> Self {
+        Self::default()
+    }
+
+    /// Full DAVIS-resolution configuration with lens distortion enabled, to
+    /// exercise the event distortion-correction stage.
+    pub fn paper_scale_distorted() -> Self {
+        Self { camera: CameraModel::davis240_distorted(), ..Self::default() }
+    }
+
+    /// A reduced-resolution, reduced-sample configuration that keeps unit and
+    /// integration tests fast while exercising every code path.
+    pub fn fast_test() -> Self {
+        let intrinsics = CameraIntrinsics::new(66.0, 66.0, 40.0, 30.0, 80, 60)
+            .expect("static test intrinsics are valid");
+        Self {
+            camera: CameraModel::new(intrinsics, DistortionModel::none()),
+            simulator: SimulatorConfig { samples: 60, ..SimulatorConfig::default() },
+            duration: 1.0,
+            trajectory_samples: 40,
+        }
+    }
+}
+
+/// A fully generated synthetic sequence: scene, trajectory, events and
+/// ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticSequence {
+    /// Which of the four sequences this is.
+    pub kind: SequenceKind,
+    /// Camera model used for simulation.
+    pub camera: CameraModel,
+    /// The synthetic scene.
+    pub scene: Scene,
+    /// Camera trajectory (ground truth, as the EMVS problem assumes).
+    pub trajectory: Trajectory,
+    /// The simulated event stream.
+    pub events: EventStream,
+    /// Simulation statistics.
+    pub stats: SimulationStats,
+    /// The reference (virtual-camera) pose at which depth is evaluated.
+    pub reference_pose: Pose,
+    /// Ground-truth depth at the reference pose.
+    pub ground_truth_depth: Image,
+    /// Suggested `(z_min, z_max)` range for the DSI depth planes.
+    pub depth_range: (f64, f64),
+}
+
+impl SyntheticSequence {
+    /// Generates one of the four sequences with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EventError::InvalidSimulation`] from the simulator for
+    /// unusable configurations.
+    pub fn generate(kind: SequenceKind, config: &DatasetConfig) -> Result<Self, EventError> {
+        let (scene, trajectory, depth_range) = match kind {
+            SequenceKind::ThreePlanes => three_planes_world(config),
+            SequenceKind::ThreeWalls => three_walls_world(config),
+            SequenceKind::SliderClose => slider_world(config, 0.65, 0),
+            SequenceKind::SliderFar => slider_world(config, 1.8, 1),
+        };
+        let simulator = EventCameraSimulator::new(config.camera, config.simulator.clone());
+        let (events, stats) = simulator.simulate(&scene, &trajectory)?;
+        let reference_pose = trajectory
+            .pose_at(trajectory.start_time().expect("trajectory is nonempty"))
+            .expect("start time is inside the trajectory");
+        let ground_truth_depth = render_depth(&scene, &config.camera, &reference_pose);
+        Ok(Self {
+            kind,
+            camera: config.camera,
+            scene,
+            trajectory,
+            events,
+            stats,
+            reference_pose,
+            ground_truth_depth,
+            depth_range,
+        })
+    }
+
+    /// Generates all four sequences.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any single sequence fails to generate.
+    pub fn generate_all(config: &DatasetConfig) -> Result<Vec<Self>, EventError> {
+        SequenceKind::ALL
+            .iter()
+            .map(|&kind| Self::generate(kind, config))
+            .collect()
+    }
+
+    /// Ground-truth depth rendered at an arbitrary pose (e.g. a later key
+    /// reference view).
+    pub fn ground_truth_depth_at(&self, pose: &Pose) -> Image {
+        render_depth(&self.scene, &self.camera, pose)
+    }
+
+    /// The dataset name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+}
+
+/// Standard texture set shared by the synthetic worlds. Index selects one of
+/// a few visually distinct, gradient-rich textures.
+fn texture(idx: usize) -> Texture {
+    // Non-periodic, gradient-rich textures: periodic patterns (checkerboards)
+    // would create false stereo matches between repeated edges.
+    match idx % 4 {
+        0 => Texture::Blobs { spacing: 0.24, radius_fraction: 0.38, seed: 11 },
+        1 => Texture::Blobs { spacing: 0.30, radius_fraction: 0.40, seed: 53 },
+        2 => Texture::Blobs { spacing: 0.20, radius_fraction: 0.42, seed: 97 },
+        _ => Texture::Blobs { spacing: 0.26, radius_fraction: 0.36, seed: 1234 },
+    }
+}
+
+/// Three fronto-parallel planes at staggered depths and lateral offsets, with
+/// the camera translating sideways (plus a slight vertical bob) in front of
+/// them.
+fn three_planes_world(config: &DatasetConfig) -> (Scene, Trajectory, (f64, f64)) {
+    let mut scene = Scene::new();
+    scene.add_patch(PlanarPatch::frontoparallel(
+        Vec3::new(-0.7, 0.0, 1.2),
+        1.3,
+        1.8,
+        texture(0),
+    ));
+    scene.add_patch(PlanarPatch::frontoparallel(
+        Vec3::new(0.0, 0.1, 2.0),
+        1.6,
+        2.0,
+        texture(1),
+    ));
+    scene.add_patch(PlanarPatch::frontoparallel(
+        Vec3::new(0.9, -0.1, 3.0),
+        2.4,
+        2.6,
+        texture(2),
+    ));
+    let start = Pose::from_translation(Vec3::new(-0.30, 0.0, 0.0));
+    let end = Pose::from_translation(Vec3::new(0.30, 0.05, 0.0));
+    let trajectory = Trajectory::linear(start, end, 0.0, config.duration, config.trajectory_samples);
+    (scene, trajectory, (0.8, 4.0))
+}
+
+/// Three walls meeting in a corner: a back wall plus left and right side
+/// walls angled towards the camera.
+fn three_walls_world(config: &DatasetConfig) -> (Scene, Trajectory, (f64, f64)) {
+    let mut scene = Scene::new();
+    // Back wall, fronto-parallel.
+    scene.add_patch(PlanarPatch::frontoparallel(
+        Vec3::new(0.0, 0.0, 3.2),
+        2.6,
+        2.4,
+        texture(1),
+    ));
+    // Left wall: spans depth 1.2..3.2 at x = -1.3, facing +X.
+    scene.add_patch(PlanarPatch::oriented(
+        Vec3::new(-1.3, 0.0, 2.2),
+        Vec3::Z,
+        Vec3::Y,
+        1.0,
+        1.2,
+        texture(0),
+    ));
+    // Right wall: spans depth 1.2..3.2 at x = +1.3, facing -X.
+    scene.add_patch(PlanarPatch::oriented(
+        Vec3::new(1.3, 0.0, 2.2),
+        -Vec3::Z,
+        Vec3::Y,
+        1.0,
+        1.2,
+        texture(2),
+    ));
+    let start = Pose::from_translation(Vec3::new(-0.35, -0.03, 0.0));
+    let end = Pose::from_translation(Vec3::new(0.35, 0.03, 0.05));
+    let trajectory = Trajectory::linear(start, end, 0.0, config.duration, config.trajectory_samples);
+    (scene, trajectory, (0.9, 4.5))
+}
+
+/// A single large textured target in front of the camera, observed from a
+/// linear slider (pure sideways translation) — the `slider_close` /
+/// `slider_far` recordings of the dataset.
+fn slider_world(config: &DatasetConfig, depth: f64, tex: usize) -> (Scene, Trajectory, (f64, f64)) {
+    let mut scene = Scene::new();
+    scene.add_patch(PlanarPatch::frontoparallel(
+        Vec3::new(0.0, 0.0, depth),
+        3.0 * depth,
+        2.2 * depth,
+        texture(tex),
+    ));
+    // A second, smaller foreground/background element adds parallax structure.
+    scene.add_patch(PlanarPatch::frontoparallel(
+        Vec3::new(0.25 * depth, 0.15 * depth, depth * 0.8),
+        0.4 * depth,
+        0.3 * depth,
+        texture(tex + 2),
+    ));
+    let amplitude = 0.22 * depth;
+    let start = Pose::from_translation(Vec3::new(-amplitude, 0.0, 0.0));
+    let end = Pose::from_translation(Vec3::new(amplitude, 0.0, 0.0));
+    let trajectory = Trajectory::linear(start, end, 0.0, config.duration, config.trajectory_samples);
+    (scene, trajectory, (0.5 * depth, 2.5 * depth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_names_match_paper() {
+        assert_eq!(SequenceKind::ThreePlanes.name(), "simulation_3planes");
+        assert_eq!(SequenceKind::ThreeWalls.name(), "simulation_3walls");
+        assert_eq!(SequenceKind::SliderClose.name(), "slider_close");
+        assert_eq!(SequenceKind::SliderFar.name(), "slider_far");
+        assert_eq!(SequenceKind::ALL.len(), 4);
+        assert_eq!(SequenceKind::SliderFar.label(), "far");
+    }
+
+    #[test]
+    fn three_planes_sequence_generates_events_and_ground_truth() {
+        let seq = SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test()).unwrap();
+        assert!(seq.events.len() > 1000, "too few events: {}", seq.events.len());
+        // Ground truth covers most of the image and lies in the advertised range.
+        assert!(seq.ground_truth_depth.finite_fraction() > 0.5);
+        let min = seq.ground_truth_depth.min_finite().unwrap();
+        let max = seq.ground_truth_depth.max_finite().unwrap();
+        assert!(min >= seq.depth_range.0 * 0.9, "min depth {min}");
+        assert!(max <= seq.depth_range.1 * 1.1, "max depth {max}");
+        // The three planes should produce at least three distinct depths.
+        assert!(max - min > 0.5);
+    }
+
+    #[test]
+    fn slider_sequences_differ_in_depth() {
+        let cfg = DatasetConfig::fast_test();
+        let close = SyntheticSequence::generate(SequenceKind::SliderClose, &cfg).unwrap();
+        let far = SyntheticSequence::generate(SequenceKind::SliderFar, &cfg).unwrap();
+        let close_mean = close.ground_truth_depth.mean_finite();
+        let far_mean = far.ground_truth_depth.mean_finite();
+        assert!(far_mean > 2.0 * close_mean, "close {close_mean} vs far {far_mean}");
+        assert!(close.events.len() > 500);
+        assert!(far.events.len() > 500);
+    }
+
+    #[test]
+    fn three_walls_has_slanted_depth() {
+        let seq = SyntheticSequence::generate(SequenceKind::ThreeWalls, &DatasetConfig::fast_test()).unwrap();
+        let min = seq.ground_truth_depth.min_finite().unwrap();
+        let max = seq.ground_truth_depth.max_finite().unwrap();
+        // Side walls produce a continuous depth gradient, not just two values.
+        assert!(max - min > 1.0, "expected a wide depth range, got {min}..{max}");
+    }
+
+    #[test]
+    fn generate_all_produces_four_sequences() {
+        let all = SyntheticSequence::generate_all(&DatasetConfig::fast_test()).unwrap();
+        assert_eq!(all.len(), 4);
+        let names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["simulation_3planes", "simulation_3walls", "slider_close", "slider_far"]
+        );
+    }
+
+    #[test]
+    fn reference_pose_is_trajectory_start() {
+        let seq = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test()).unwrap();
+        let start = seq.trajectory.pose_at(seq.trajectory.start_time().unwrap()).unwrap();
+        assert!(seq.reference_pose.translation_distance(&start) < 1e-12);
+        // Ground truth at the reference pose matches the stored one.
+        let re_rendered = seq.ground_truth_depth_at(&seq.reference_pose);
+        assert_eq!(re_rendered, seq.ground_truth_depth);
+    }
+}

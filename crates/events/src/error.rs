@@ -1,0 +1,65 @@
+//! Error type for the event-camera substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the event-camera substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EventError {
+    /// Event timestamps were not in non-decreasing order.
+    UnsortedEvents {
+        /// The offending timestamp.
+        timestamp: f64,
+    },
+    /// Raw image data did not match the declared dimensions.
+    ImageSizeMismatch {
+        /// Expected number of pixels.
+        expected: usize,
+        /// Provided number of values.
+        actual: usize,
+    },
+    /// The simulator configuration or inputs were unusable.
+    InvalidSimulation {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnsortedEvents { timestamp } => {
+                write!(f, "event timestamp {timestamp} breaks non-decreasing order")
+            }
+            Self::ImageSizeMismatch { expected, actual } => {
+                write!(f, "image data has {actual} values, expected {expected}")
+            }
+            Self::InvalidSimulation { reason } => write!(f, "invalid simulation: {reason}"),
+        }
+    }
+}
+
+impl Error for EventError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_nonempty() {
+        for e in [
+            EventError::UnsortedEvents { timestamp: 1.0 },
+            EventError::ImageSizeMismatch { expected: 4, actual: 3 },
+            EventError::InvalidSimulation { reason: "x".to_string() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EventError>();
+    }
+}

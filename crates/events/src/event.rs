@@ -1,0 +1,104 @@
+//! The basic event datum produced by a DVS / DAVIS sensor.
+
+use std::fmt;
+
+/// Polarity of a brightness change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Polarity {
+    /// Brightness increased past the contrast threshold.
+    #[default]
+    Positive,
+    /// Brightness decreased past the contrast threshold.
+    Negative,
+}
+
+impl Polarity {
+    /// `+1.0` for positive, `-1.0` for negative events.
+    pub fn sign(self) -> f64 {
+        match self {
+            Self::Positive => 1.0,
+            Self::Negative => -1.0,
+        }
+    }
+
+    /// Builds a polarity from the sign of a brightness change.
+    pub fn from_sign(delta: f64) -> Self {
+        if delta >= 0.0 {
+            Self::Positive
+        } else {
+            Self::Negative
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Positive => write!(f, "+"),
+            Self::Negative => write!(f, "-"),
+        }
+    }
+}
+
+/// A single event `e_k = (x_k, y_k, t_k, p_k)`.
+///
+/// Coordinates are integer pixel addresses as produced by the sensor;
+/// timestamps are seconds from the start of the recording.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_events::{Event, Polarity};
+/// let e = Event::new(0.0015, 120, 90, Polarity::Positive);
+/// assert_eq!(e.x, 120);
+/// assert_eq!(e.polarity.sign(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Event {
+    /// Timestamp in seconds.
+    pub t: f64,
+    /// Pixel column.
+    pub x: u16,
+    /// Pixel row.
+    pub y: u16,
+    /// Polarity of the brightness change.
+    pub polarity: Polarity,
+}
+
+impl Event {
+    /// Creates a new event.
+    pub fn new(t: f64, x: u16, y: u16, polarity: Polarity) -> Self {
+        Self { t, x, y, polarity }
+    }
+
+    /// The pixel coordinate as floating point (pixel centre).
+    pub fn pixel(&self) -> (f64, f64) {
+        (self.x as f64, self.y as f64)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e(t={:.6}, x={}, y={}, p={})", self.t, self.x, self.y, self.polarity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_sign_round_trip() {
+        assert_eq!(Polarity::from_sign(0.3), Polarity::Positive);
+        assert_eq!(Polarity::from_sign(-0.3), Polarity::Negative);
+        assert_eq!(Polarity::Positive.sign(), 1.0);
+        assert_eq!(Polarity::Negative.sign(), -1.0);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::new(1.5, 10, 20, Polarity::Negative);
+        assert_eq!(e.pixel(), (10.0, 20.0));
+        assert!(!format!("{e}").is_empty());
+    }
+}

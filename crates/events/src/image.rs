@@ -1,0 +1,183 @@
+//! A minimal dense image container used for rendered intensity and depth.
+
+use crate::EventError;
+
+/// A dense, row-major `f64` image.
+///
+/// Used for rendered log-intensity frames (simulator internals) and
+/// ground-truth depth maps. Invalid depth is conventionally `f64::INFINITY`.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_events::Image;
+/// let mut img = Image::filled(4, 3, 0.0);
+/// img.set(2, 1, 5.0);
+/// assert_eq!(img.get(2, 1), 5.0);
+/// assert_eq!(img.pixel_count(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<f64>,
+}
+
+impl Image {
+    /// Creates an image filled with a constant value.
+    pub fn filled(width: usize, height: usize, value: f64) -> Self {
+        Self { width, height, data: vec![value; width * height] }
+    }
+
+    /// Creates an image from raw row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::ImageSizeMismatch`] if `data.len() != width * height`.
+    pub fn from_data(width: usize, height: usize, data: Vec<f64>) -> Result<Self, EventError> {
+        if data.len() != width * height {
+            return Err(EventError::ImageSizeMismatch {
+                expected: width * height,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { width, height, data })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: f64) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Raw row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Minimum finite value, if any pixel is finite.
+    pub fn min_finite(&self) -> Option<f64> {
+        self.data.iter().copied().filter(|v| v.is_finite()).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.min(v),
+            })
+        })
+    }
+
+    /// Maximum finite value, if any pixel is finite.
+    pub fn max_finite(&self) -> Option<f64> {
+        self.data.iter().copied().filter(|v| v.is_finite()).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// Mean of the finite pixel values (zero when none are finite).
+    pub fn mean_finite(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &v in &self.data {
+            if v.is_finite() {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Fraction of pixels that hold a finite value.
+    pub fn finite_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|v| v.is_finite()).count() as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::filled(3, 2, 1.0);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        img.set(2, 1, 7.0);
+        assert_eq!(img.get(2, 1), 7.0);
+        assert_eq!(img.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn from_data_validates_size() {
+        assert!(Image::from_data(2, 2, vec![0.0; 3]).is_err());
+        assert!(Image::from_data(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let img = Image::filled(2, 2, 0.0);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn statistics_ignore_non_finite() {
+        let img = Image::from_data(2, 2, vec![1.0, 3.0, f64::INFINITY, f64::NAN]).unwrap();
+        assert_eq!(img.min_finite(), Some(1.0));
+        assert_eq!(img.max_finite(), Some(3.0));
+        assert!((img.mean_finite() - 2.0).abs() < 1e-12);
+        assert!((img.finite_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_infinite_image() {
+        let img = Image::filled(2, 2, f64::INFINITY);
+        assert_eq!(img.min_finite(), None);
+        assert_eq!(img.mean_finite(), 0.0);
+        assert_eq!(img.finite_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Plain-text I/O for event streams and camera trajectories, compatible with
+//! the format used by the event-camera dataset the paper evaluates on
+//! (Mueggler et al., IJRR 2017):
+//!
+//! * `events.txt` — one event per line: `timestamp x y polarity`,
+//! * `groundtruth.txt` / `poses.txt` — one pose per line:
+//!   `timestamp tx ty tz qx qy qz qw`.
+//!
+//! With these readers the pipeline can consume *real* recordings in addition
+//! to the built-in synthetic sequences; the writers make the synthetic
+//! sequences exportable for use by other EMVS implementations.
+
+use crate::event::{Event, Polarity};
+use crate::stream::EventStream;
+use crate::EventError;
+use eventor_geom::{Pose, Trajectory, UnitQuaternion, Vec3};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes an event stream in the dataset text format (`t x y p`, one event
+/// per line, polarity encoded as 0/1).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_events<W: Write>(stream: &EventStream, mut writer: W) -> std::io::Result<()> {
+    for e in stream {
+        let p = match e.polarity {
+            Polarity::Positive => 1,
+            Polarity::Negative => 0,
+        };
+        writeln!(writer, "{:.9} {} {} {}", e.t, e.x, e.y, p)?;
+    }
+    Ok(())
+}
+
+/// Reads an event stream from the dataset text format.
+///
+/// Blank lines and lines starting with `#` are ignored. Events are sorted by
+/// timestamp if the file is (slightly) out of order, matching the tolerance
+/// of the dataset tools.
+///
+/// # Errors
+///
+/// Returns [`EventError::InvalidSimulation`] describing the offending line on
+/// parse failures, and propagates I/O errors as
+/// [`EventError::InvalidSimulation`] as well (the reader is line-oriented).
+pub fn read_events<R: Read>(reader: R) -> Result<EventStream, EventError> {
+    let mut events = Vec::new();
+    for (line_no, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| EventError::InvalidSimulation {
+            reason: format!("i/o error reading events at line {}: {e}", line_no + 1),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err = |what: &str| EventError::InvalidSimulation {
+            reason: format!("line {}: missing or invalid {what}: `{trimmed}`", line_no + 1),
+        };
+        let t: f64 = parts.next().ok_or_else(|| parse_err("timestamp"))?.parse().map_err(|_| parse_err("timestamp"))?;
+        let x: u16 = parts.next().ok_or_else(|| parse_err("x"))?.parse().map_err(|_| parse_err("x"))?;
+        let y: u16 = parts.next().ok_or_else(|| parse_err("y"))?.parse().map_err(|_| parse_err("y"))?;
+        let p: i32 = parts.next().ok_or_else(|| parse_err("polarity"))?.parse().map_err(|_| parse_err("polarity"))?;
+        let polarity = if p > 0 { Polarity::Positive } else { Polarity::Negative };
+        events.push(Event::new(t, x, y, polarity));
+    }
+    Ok(EventStream::from_unsorted(events))
+}
+
+/// Writes a trajectory in the dataset text format
+/// (`t tx ty tz qx qy qz qw`, one pose per line).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trajectory<W: Write>(trajectory: &Trajectory, mut writer: W) -> std::io::Result<()> {
+    for sample in trajectory {
+        let t = sample.pose.translation;
+        let q = sample.pose.rotation;
+        writeln!(
+            writer,
+            "{:.9} {:.9} {:.9} {:.9} {:.9} {:.9} {:.9} {:.9}",
+            sample.timestamp, t.x, t.y, t.z, q.x, q.y, q.z, q.w
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trajectory from the dataset text format.
+///
+/// # Errors
+///
+/// Returns [`EventError::InvalidSimulation`] describing the offending line on
+/// parse failures or when the resulting timestamps are not strictly
+/// increasing.
+pub fn read_trajectory<R: Read>(reader: R) -> Result<Trajectory, EventError> {
+    let mut samples = Vec::new();
+    for (line_no, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| EventError::InvalidSimulation {
+            reason: format!("i/o error reading trajectory at line {}: {e}", line_no + 1),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let values: Result<Vec<f64>, _> = trimmed.split_whitespace().map(str::parse).collect();
+        let values = values.map_err(|_| EventError::InvalidSimulation {
+            reason: format!("line {}: invalid number in `{trimmed}`", line_no + 1),
+        })?;
+        if values.len() != 8 {
+            return Err(EventError::InvalidSimulation {
+                reason: format!(
+                    "line {}: expected 8 values (t tx ty tz qx qy qz qw), found {}",
+                    line_no + 1,
+                    values.len()
+                ),
+            });
+        }
+        let translation = Vec3::new(values[1], values[2], values[3]);
+        let rotation = UnitQuaternion::new(values[7], values[4], values[5], values[6]);
+        samples.push((values[0], Pose::new(rotation, translation)));
+    }
+    Trajectory::from_samples(samples).map_err(|e| EventError::InvalidSimulation {
+        reason: format!("trajectory file is not strictly time-ordered: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_round_trip_through_text() {
+        let stream: EventStream = vec![
+            Event::new(0.001, 10, 20, Polarity::Positive),
+            Event::new(0.002, 239, 179, Polarity::Negative),
+            Event::new(0.0025, 0, 0, Polarity::Positive),
+        ]
+        .into_iter()
+        .collect();
+        let mut buf = Vec::new();
+        write_events(&stream, &mut buf).unwrap();
+        let back = read_events(buf.as_slice()).unwrap();
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn event_reader_skips_comments_and_blank_lines() {
+        let text = "# a comment\n\n0.5 1 2 1\n0.6 3 4 0\n";
+        let stream = read_events(text.as_bytes()).unwrap();
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream.as_slice()[1].polarity, Polarity::Negative);
+    }
+
+    #[test]
+    fn event_reader_reports_malformed_lines() {
+        assert!(read_events("0.5 1 2".as_bytes()).is_err());
+        assert!(read_events("abc 1 2 1".as_bytes()).is_err());
+        assert!(read_events("0.5 -1 2 1".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn event_reader_sorts_slightly_unordered_input() {
+        let text = "0.2 0 0 1\n0.1 0 0 1\n";
+        let stream = read_events(text.as_bytes()).unwrap();
+        assert_eq!(stream.start_time(), Some(0.1));
+    }
+
+    #[test]
+    fn trajectory_round_trip_through_text() {
+        let traj = Trajectory::linear(
+            Pose::identity(),
+            Pose::new(
+                UnitQuaternion::from_euler(0.1, 0.2, 0.3),
+                Vec3::new(0.5, -0.2, 0.1),
+            ),
+            0.0,
+            2.0,
+            9,
+        );
+        let mut buf = Vec::new();
+        write_trajectory(&traj, &mut buf).unwrap();
+        let back = read_trajectory(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), traj.len());
+        for (a, b) in traj.iter().zip(back.iter()) {
+            assert!((a.timestamp - b.timestamp).abs() < 1e-9);
+            assert!(a.pose.translation_distance(&b.pose) < 1e-8);
+            assert!(a.pose.rotation_distance(&b.pose) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn trajectory_reader_validates_format() {
+        assert!(read_trajectory("0.0 1 2 3 0 0 0".as_bytes()).is_err());
+        assert!(read_trajectory("0.0 1 2 3 0 0 0 x".as_bytes()).is_err());
+        // Duplicate timestamps are rejected.
+        let text = "0.0 0 0 0 0 0 0 1\n0.0 1 0 0 0 0 0 1\n";
+        assert!(read_trajectory(text.as_bytes()).is_err());
+    }
+}

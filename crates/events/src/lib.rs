@@ -1,0 +1,206 @@
+//! # eventor-events
+//!
+//! Event-camera substrate for the Eventor EMVS reproduction:
+//!
+//! * the [`Event`] / [`EventStream`] data model and [`aggregate`] (the
+//!   paper's event-aggregation stage `𝒜`, 1024 events per frame),
+//! * procedural textured 3-D scenes ([`Scene`], [`PlanarPatch`], [`Texture`]),
+//! * a contrast-threshold event-camera simulator
+//!   ([`EventCameraSimulator`]) in the spirit of the simulator shipped with
+//!   the event-camera dataset the paper evaluates on,
+//! * builders for synthetic stand-ins of the four evaluation sequences
+//!   (`simulation_3planes`, `simulation_3walls`, `slider_close`,
+//!   `slider_far`) with ground-truth depth at the reference view
+//!   ([`SyntheticSequence`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence, aggregate};
+//!
+//! # fn main() -> Result<(), eventor_events::EventError> {
+//! let config = DatasetConfig::fast_test();
+//! let sequence = SyntheticSequence::generate(SequenceKind::SliderClose, &config)?;
+//! let frames = aggregate(&sequence.events, 1024);
+//! assert!(!frames.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod datasets;
+mod error;
+mod event;
+mod image;
+mod io;
+mod noise;
+mod packet;
+mod rate;
+mod render;
+mod scene;
+mod simulator;
+mod stream;
+mod undistort;
+
+pub use datasets::{DatasetConfig, SequenceKind, SyntheticSequence};
+pub use error::EventError;
+pub use noise::{NoiseConfig, NoiseInjector, NoiseReport};
+pub use rate::{rate_profile, slice_stream, RateProfile, SlicePolicy, SliceStats};
+pub use undistort::UndistortionLut;
+pub use event::{Event, Polarity};
+pub use image::Image;
+pub use io::{read_events, read_trajectory, write_events, write_trajectory};
+pub use packet::{aggregate, EventFrame, FrameIter, DEFAULT_EVENTS_PER_FRAME};
+pub use render::{render_depth, render_edge_map, render_log_intensity};
+pub use scene::{PlanarPatch, RayHit, Scene, Texture};
+pub use simulator::{EventCameraSimulator, SimulationStats, SimulatorConfig};
+pub use stream::EventStream;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn aggregation_preserves_count_and_order(
+            n_events in 1usize..5000,
+            frame_size in 1usize..2048,
+        ) {
+            let stream: EventStream = (0..n_events)
+                .map(|i| Event::new(i as f64 * 1e-4, (i % 240) as u16, (i % 180) as u16, Polarity::Positive))
+                .collect();
+            let frames = aggregate(&stream, frame_size);
+            let total: usize = frames.iter().map(|f| f.len()).sum();
+            prop_assert_eq!(total, n_events);
+            prop_assert_eq!(frames.len(), n_events.div_ceil(frame_size));
+            // Every frame except possibly the last is full.
+            for f in &frames[..frames.len() - 1] {
+                prop_assert_eq!(f.len(), frame_size);
+            }
+            // Global time order is preserved across frame boundaries.
+            for w in frames.windows(2) {
+                prop_assert!(w[0].end_time().unwrap() <= w[1].start_time().unwrap());
+            }
+        }
+
+        #[test]
+        fn stream_slice_time_is_consistent(
+            times in proptest::collection::vec(0.0..10.0f64, 1..200),
+            a in 0.0..10.0f64,
+            b in 0.0..10.0f64,
+        ) {
+            let stream = EventStream::from_unsorted(
+                times.iter().map(|&t| Event::new(t, 0, 0, Polarity::Positive)).collect(),
+            );
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let sliced = stream.slice_time(lo, hi);
+            let expected = stream.iter().filter(|e| e.t >= lo && e.t < hi).count();
+            prop_assert_eq!(sliced.len(), expected);
+        }
+
+        #[test]
+        fn textures_always_in_unit_interval(
+            u in -10.0..10.0f64,
+            v in -10.0..10.0f64,
+            seed in 0u64..1000,
+        ) {
+            for tex in [
+                Texture::Checkerboard { period: 0.17 },
+                Texture::MultiScaleSine { base_frequency: 3.0, octaves: 5, phase: 1.1 },
+                Texture::Blobs { spacing: 0.25, radius_fraction: 0.4, seed },
+            ] {
+                let s = tex.sample(u, v);
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod slicing_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn adaptive_slicing_conserves_events_and_respects_caps(
+            n_events in 1usize..4000,
+            target in 16usize..1024,
+            max_ms in 1.0..20.0f64,
+            burst_period in 2usize..50,
+        ) {
+            // A stream whose instantaneous rate alternates between fast and
+            // slow stretches, so both the count cap and the duration cap are
+            // exercised.
+            let stream: EventStream = (0..n_events)
+                .map(|i| {
+                    let dt = if (i / burst_period) % 2 == 0 { 1e-5 } else { 4e-4 };
+                    Event::new(i as f64 * dt, (i % 240) as u16, (i % 180) as u16, Polarity::Positive)
+                })
+                .collect();
+            let max_seconds = max_ms * 1e-3;
+            let (frames, stats) =
+                slice_stream(&stream, SlicePolicy::Adaptive { events: target, max_seconds });
+            let total: usize = frames.iter().map(EventFrame::len).sum();
+            prop_assert_eq!(total, n_events);
+            prop_assert!(stats.max_events <= target);
+            prop_assert!(stats.max_duration <= max_seconds + 4e-4 + 1e-9);
+            // Frames are non-empty, consecutively indexed and time ordered.
+            for (i, f) in frames.iter().enumerate() {
+                prop_assert!(!f.is_empty());
+                prop_assert_eq!(f.index, i);
+            }
+            for w in frames.windows(2) {
+                prop_assert!(w[0].end_time().unwrap() <= w[1].start_time().unwrap());
+            }
+        }
+
+        #[test]
+        fn noise_injection_never_loses_more_than_the_drop_fraction_allows(
+            n_events in 100usize..3000,
+            drop_probability in 0.0..0.5f64,
+            seed in 0u64..500,
+        ) {
+            let stream: EventStream = (0..n_events)
+                .map(|i| Event::new(i as f64 * 1e-4, (i % 80) as u16, (i % 60) as u16, Polarity::Positive))
+                .collect();
+            let config = NoiseConfig {
+                drop_probability,
+                background_activity_rate: 0.0,
+                hot_pixel_fraction: 0.0,
+                hot_pixel_rate: 0.0,
+                timestamp_jitter_std: 0.0,
+                seed,
+            };
+            let (out, report) = NoiseInjector::new(80, 60, config).corrupt(&stream);
+            prop_assert_eq!(report.signal_events + report.dropped_events, n_events);
+            prop_assert_eq!(out.len(), report.signal_events);
+            // The realised drop fraction concentrates around the requested one.
+            let realised = report.dropped_events as f64 / n_events as f64;
+            prop_assert!((realised - drop_probability).abs() < 0.15);
+            // Surviving events are untouched (no jitter configured).
+            prop_assert!(out.iter().all(|e| e.x < 80 && e.y < 60));
+        }
+
+        #[test]
+        fn undistortion_lut_agrees_with_exact_model_on_random_pixels(
+            xs in prop::collection::vec(0u16..240, 1..50),
+            ys in prop::collection::vec(0u16..180, 1..50),
+        ) {
+            let camera = eventor_geom::CameraModel::davis240_distorted();
+            let lut = UndistortionLut::build(&camera);
+            for (&x, &y) in xs.iter().zip(&ys) {
+                let exact = camera.undistort_pixel(eventor_geom::Vec2::new(x as f64, y as f64));
+                let table = lut.lookup(x, y);
+                prop_assert!((table - exact).norm() < 1e-3, "pixel ({}, {})", x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Sensor-noise injection for robustness studies.
+//!
+//! Real DVS/DAVIS sensors corrupt the ideal event stream in several ways the
+//! contrast-threshold simulator does not capture on its own: uniform
+//! background-activity noise, permanently firing *hot pixels*, per-event
+//! timestamp jitter from the arbiter, and event loss under bus saturation.
+//! [`NoiseInjector`] applies these effects to an existing stream so the EMVS
+//! pipelines can be evaluated under controlled degradation (the
+//! `noise_robustness` example sweeps them).
+
+use crate::event::{Event, Polarity};
+use crate::stream::EventStream;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the noise injector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Background-activity rate per pixel, events per second. Noise events
+    /// are spread uniformly over the sensor and the stream's time span.
+    pub background_activity_rate: f64,
+    /// Fraction of pixels that behave as hot pixels (fire continuously).
+    pub hot_pixel_fraction: f64,
+    /// Firing rate of each hot pixel, events per second.
+    pub hot_pixel_rate: f64,
+    /// Standard deviation of zero-mean Gaussian timestamp jitter, seconds.
+    pub timestamp_jitter_std: f64,
+    /// Probability that any individual signal event is dropped.
+    pub drop_probability: f64,
+    /// RNG seed so degradations are reproducible.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            background_activity_rate: 0.1,
+            hot_pixel_fraction: 0.0,
+            hot_pixel_rate: 0.0,
+            timestamp_jitter_std: 0.0,
+            drop_probability: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// No degradation at all (useful as a sweep baseline).
+    pub fn clean() -> Self {
+        Self {
+            background_activity_rate: 0.0,
+            hot_pixel_fraction: 0.0,
+            hot_pixel_rate: 0.0,
+            timestamp_jitter_std: 0.0,
+            drop_probability: 0.0,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A moderate degradation typical of indoor DAVIS recordings.
+    pub fn moderate() -> Self {
+        Self {
+            background_activity_rate: 0.5,
+            hot_pixel_fraction: 0.0005,
+            hot_pixel_rate: 200.0,
+            timestamp_jitter_std: 50e-6,
+            drop_probability: 0.01,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A severe degradation (hot sensor, saturated bus).
+    pub fn severe() -> Self {
+        Self {
+            background_activity_rate: 2.0,
+            hot_pixel_fraction: 0.002,
+            hot_pixel_rate: 1000.0,
+            timestamp_jitter_std: 200e-6,
+            drop_probability: 0.05,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// What the injector did to a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoiseReport {
+    /// Signal events kept.
+    pub signal_events: usize,
+    /// Signal events dropped.
+    pub dropped_events: usize,
+    /// Background-activity events added.
+    pub background_events: usize,
+    /// Hot-pixel events added.
+    pub hot_pixel_events: usize,
+    /// Number of pixels designated as hot.
+    pub hot_pixels: usize,
+}
+
+impl NoiseReport {
+    /// Total events in the corrupted stream.
+    pub fn total_events(&self) -> usize {
+        self.signal_events + self.background_events + self.hot_pixel_events
+    }
+}
+
+/// Applies sensor degradations to an event stream.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_events::{Event, EventStream, NoiseConfig, NoiseInjector, Polarity};
+/// let clean: EventStream = (0..1000)
+///     .map(|i| Event::new(i as f64 * 1e-4, (i % 240) as u16, (i % 180) as u16, Polarity::Positive))
+///     .collect();
+/// let injector = NoiseInjector::new(240, 180, NoiseConfig::moderate());
+/// let (noisy, report) = injector.corrupt(&clean);
+/// assert!(noisy.len() >= report.signal_events);
+/// assert_eq!(report.signal_events + report.dropped_events, 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseInjector {
+    width: u16,
+    height: u16,
+    config: NoiseConfig,
+}
+
+impl NoiseInjector {
+    /// Creates an injector for a sensor of the given resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sensor resolution is zero in either dimension.
+    pub fn new(width: u16, height: u16, config: NoiseConfig) -> Self {
+        assert!(width > 0 && height > 0, "sensor resolution must be non-zero");
+        Self { width, height, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Produces a degraded copy of `stream` together with a report of the
+    /// degradations applied.
+    ///
+    /// The output stream is re-sorted by timestamp (jitter and injected noise
+    /// interleave with the signal), so it remains a valid [`EventStream`].
+    pub fn corrupt(&self, stream: &EventStream) -> (EventStream, NoiseReport) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut report = NoiseReport::default();
+        let (t0, t1) = match (stream.start_time(), stream.end_time()) {
+            (Some(a), Some(b)) if b > a => (a, b),
+            _ => (0.0, stream.duration().max(1e-3)),
+        };
+        let span = (t1 - t0).max(1e-9);
+        let mut events: Vec<Event> = Vec::with_capacity(stream.len());
+
+        // Signal path: drops and timestamp jitter.
+        for &e in stream.iter() {
+            if self.config.drop_probability > 0.0 && rng.gen::<f64>() < self.config.drop_probability
+            {
+                report.dropped_events += 1;
+                continue;
+            }
+            let mut out = e;
+            if self.config.timestamp_jitter_std > 0.0 {
+                out.t = (e.t + self.gaussian(&mut rng) * self.config.timestamp_jitter_std)
+                    .clamp(t0, t1);
+            }
+            report.signal_events += 1;
+            events.push(out);
+        }
+
+        // Background activity: uniform in space and time.
+        if self.config.background_activity_rate > 0.0 {
+            let pixels = self.width as f64 * self.height as f64;
+            let expected = self.config.background_activity_rate * pixels * span;
+            let count = Self::sample_count(expected, &mut rng);
+            for _ in 0..count {
+                events.push(Event::new(
+                    t0 + rng.gen::<f64>() * span,
+                    rng.gen_range(0..self.width),
+                    rng.gen_range(0..self.height),
+                    if rng.gen::<bool>() { Polarity::Positive } else { Polarity::Negative },
+                ));
+            }
+            report.background_events = count;
+        }
+
+        // Hot pixels: a fixed random subset firing at a high, regular rate.
+        if self.config.hot_pixel_fraction > 0.0 && self.config.hot_pixel_rate > 0.0 {
+            let pixels = self.width as u32 * self.height as u32;
+            let hot = ((pixels as f64 * self.config.hot_pixel_fraction).round() as usize).max(1);
+            report.hot_pixels = hot;
+            for _ in 0..hot {
+                let x = rng.gen_range(0..self.width);
+                let y = rng.gen_range(0..self.height);
+                let period = 1.0 / self.config.hot_pixel_rate;
+                let mut t = t0 + rng.gen::<f64>() * period;
+                while t < t1 {
+                    events.push(Event::new(t, x, y, Polarity::Positive));
+                    report.hot_pixel_events += 1;
+                    t += period;
+                }
+            }
+        }
+
+        (EventStream::from_unsorted(events), report)
+    }
+
+    /// Poisson-ish count: for the large expectations used here a rounded
+    /// Gaussian approximation is adequate and avoids an extra dependency.
+    fn sample_count(expected: f64, rng: &mut StdRng) -> usize {
+        if expected <= 0.0 {
+            return 0;
+        }
+        let std = expected.sqrt();
+        let x = expected + std * Self::gaussian_static(rng);
+        x.round().max(0.0) as usize
+    }
+
+    fn gaussian(&self, rng: &mut StdRng) -> f64 {
+        Self::gaussian_static(rng)
+    }
+
+    /// Box–Muller transform.
+    fn gaussian_static(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> EventStream {
+        (0..n)
+            .map(|i| {
+                Event::new(i as f64 * 1e-4, (i % 240) as u16, (i % 180) as u16, Polarity::Positive)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_config_is_a_no_op() {
+        let stream = signal(500);
+        let injector = NoiseInjector::new(240, 180, NoiseConfig::clean());
+        let (out, report) = injector.corrupt(&stream);
+        assert_eq!(out.len(), 500);
+        assert_eq!(report.signal_events, 500);
+        assert_eq!(report.total_events(), 500);
+        assert_eq!(report.dropped_events, 0);
+        assert_eq!(out.as_slice(), stream.as_slice());
+    }
+
+    #[test]
+    fn background_activity_adds_events_in_span() {
+        let stream = signal(1000);
+        let config = NoiseConfig { background_activity_rate: 1.0, ..NoiseConfig::clean() };
+        let injector = NoiseInjector::new(240, 180, config);
+        let (out, report) = injector.corrupt(&stream);
+        assert!(report.background_events > 0);
+        assert_eq!(out.len(), report.total_events());
+        // Expected count: rate * pixels * span = 1.0 * 43200 * ~0.1 s ≈ 4300.
+        assert!(report.background_events > 2000 && report.background_events < 7000);
+        let t0 = stream.start_time().unwrap();
+        let t1 = stream.end_time().unwrap();
+        assert!(out.iter().all(|e| e.t >= t0 - 1e-9 && e.t <= t1 + 1e-9));
+    }
+
+    #[test]
+    fn hot_pixels_fire_regularly() {
+        let stream = signal(1000);
+        let config = NoiseConfig {
+            hot_pixel_fraction: 0.001,
+            hot_pixel_rate: 1000.0,
+            ..NoiseConfig::clean()
+        };
+        let injector = NoiseInjector::new(240, 180, config);
+        let (_, report) = injector.corrupt(&stream);
+        assert_eq!(report.hot_pixels, 43);
+        // Each hot pixel fires ~1000 Hz over a ~0.1 s span.
+        let per_pixel = report.hot_pixel_events as f64 / report.hot_pixels as f64;
+        assert!(per_pixel > 50.0 && per_pixel < 150.0, "per-pixel {per_pixel}");
+    }
+
+    #[test]
+    fn drops_remove_a_matching_fraction() {
+        let stream = signal(10_000);
+        let config = NoiseConfig { drop_probability: 0.2, ..NoiseConfig::clean() };
+        let injector = NoiseInjector::new(240, 180, config);
+        let (_, report) = injector.corrupt(&stream);
+        let fraction = report.dropped_events as f64 / 10_000.0;
+        assert!((fraction - 0.2).abs() < 0.03, "dropped fraction {fraction}");
+    }
+
+    #[test]
+    fn jitter_keeps_the_stream_sorted_and_in_span() {
+        let stream = signal(2000);
+        let config = NoiseConfig { timestamp_jitter_std: 1e-3, ..NoiseConfig::clean() };
+        let injector = NoiseInjector::new(240, 180, config);
+        let (out, _) = injector.corrupt(&stream);
+        let slice = out.as_slice();
+        assert!(slice.windows(2).all(|w| w[0].t <= w[1].t));
+        let t0 = stream.start_time().unwrap();
+        let t1 = stream.end_time().unwrap();
+        assert!(slice.iter().all(|e| e.t >= t0 && e.t <= t1));
+    }
+
+    #[test]
+    fn corruption_is_reproducible_for_a_fixed_seed() {
+        let stream = signal(3000);
+        let injector = NoiseInjector::new(240, 180, NoiseConfig::moderate());
+        let (a, ra) = injector.corrupt(&stream);
+        let (b, rb) = injector.corrupt(&stream);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(ra, rb);
+        assert_eq!(injector.config(), &NoiseConfig::moderate());
+    }
+
+    #[test]
+    fn preset_severities_are_ordered() {
+        let stream = signal(5000);
+        let results: Vec<usize> = [NoiseConfig::clean(), NoiseConfig::moderate(), NoiseConfig::severe()]
+            .into_iter()
+            .map(|c| NoiseInjector::new(240, 180, c).corrupt(&stream).1.total_events())
+            .collect();
+        assert!(results[0] <= results[1]);
+        assert!(results[1] < results[2]);
+    }
+
+    #[test]
+    fn empty_stream_only_gains_noise() {
+        let injector = NoiseInjector::new(240, 180, NoiseConfig::moderate());
+        let (out, report) = injector.corrupt(&EventStream::new());
+        assert_eq!(report.signal_events, 0);
+        assert_eq!(out.len(), report.total_events());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_resolution_panics() {
+        let _ = NoiseInjector::new(0, 180, NoiseConfig::clean());
+    }
+}

@@ -1,0 +1,284 @@
+//! Event-rate analysis and adaptive frame slicing.
+//!
+//! The paper fixes the frame size at 1024 events, "determined according to
+//! the sensor's event rate and storage". This module provides the analysis
+//! behind such a choice: windowed event-rate statistics over a stream, and a
+//! slicer that can cut frames by event count, by fixed time window, or
+//! adaptively (a target count with a maximum duration), reporting how the
+//! resulting frames are distributed.
+
+use crate::packet::EventFrame;
+use crate::stream::EventStream;
+
+/// Windowed event-rate statistics of a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateProfile {
+    /// Window length in seconds.
+    pub window: f64,
+    /// Events per second in each consecutive window.
+    pub rates: Vec<f64>,
+    /// Mean rate over the whole stream, events per second.
+    pub mean_rate: f64,
+    /// Peak windowed rate, events per second.
+    pub peak_rate: f64,
+    /// Minimum windowed rate, events per second.
+    pub min_rate: f64,
+}
+
+/// Computes the windowed event-rate profile of a stream.
+///
+/// Returns `None` for an empty stream, a non-positive window, or a stream
+/// with zero duration.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_events::{rate_profile, Event, EventStream, Polarity};
+/// let stream: EventStream = (0..10_000)
+///     .map(|i| Event::new(i as f64 * 1e-5, 0, 0, Polarity::Positive))
+///     .collect();
+/// let profile = rate_profile(&stream, 0.01).unwrap();
+/// assert!((profile.mean_rate - 1e5).abs() / 1e5 < 0.05);
+/// ```
+pub fn rate_profile(stream: &EventStream, window: f64) -> Option<RateProfile> {
+    if stream.is_empty() || window <= 0.0 || !window.is_finite() {
+        return None;
+    }
+    let t0 = stream.start_time()?;
+    let t1 = stream.end_time()?;
+    let span = t1 - t0;
+    if span <= 0.0 {
+        return None;
+    }
+    let n_windows = (span / window).ceil() as usize;
+    let mut counts = vec![0u64; n_windows.max(1)];
+    for e in stream.iter() {
+        let idx = (((e.t - t0) / window) as usize).min(counts.len() - 1);
+        counts[idx] += 1;
+    }
+    let rates: Vec<f64> = counts.iter().map(|&c| c as f64 / window).collect();
+    let mean_rate = stream.len() as f64 / span;
+    let peak_rate = rates.iter().copied().fold(0.0, f64::max);
+    let min_rate = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    Some(RateProfile { window, rates, mean_rate, peak_rate, min_rate })
+}
+
+/// Frame-slicing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SlicePolicy {
+    /// Fixed number of events per frame (the paper's policy, 1024 events).
+    FixedCount {
+        /// Events per frame.
+        events: usize,
+    },
+    /// Fixed wall-clock duration per frame.
+    FixedDuration {
+        /// Frame duration in seconds.
+        seconds: f64,
+    },
+    /// Target event count, but never let a frame span more than
+    /// `max_seconds` (protects pose interpolation when the event rate drops).
+    Adaptive {
+        /// Target events per frame.
+        events: usize,
+        /// Maximum frame duration in seconds.
+        max_seconds: f64,
+    },
+}
+
+/// Distribution statistics of a slicing run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SliceStats {
+    /// Number of frames produced.
+    pub frames: usize,
+    /// Smallest frame size in events.
+    pub min_events: usize,
+    /// Largest frame size in events.
+    pub max_events: usize,
+    /// Mean frame size in events.
+    pub mean_events: f64,
+    /// Longest frame duration in seconds.
+    pub max_duration: f64,
+}
+
+/// Slices a stream into event frames according to a policy.
+///
+/// Frames are never empty; a trailing partial frame is kept.
+///
+/// # Panics
+///
+/// Panics if the policy requests zero events per frame or a non-positive
+/// duration.
+pub fn slice_stream(stream: &EventStream, policy: SlicePolicy) -> (Vec<EventFrame>, SliceStats) {
+    let frames = match policy {
+        SlicePolicy::FixedCount { events } => {
+            assert!(events > 0, "events per frame must be positive");
+            crate::packet::aggregate(stream, events)
+        }
+        SlicePolicy::FixedDuration { seconds } => {
+            assert!(seconds > 0.0, "frame duration must be positive");
+            slice_by(stream, |frame_start, frame_len, e| {
+                let _ = frame_len;
+                e.t - frame_start > seconds
+            })
+        }
+        SlicePolicy::Adaptive { events, max_seconds } => {
+            assert!(events > 0, "events per frame must be positive");
+            assert!(max_seconds > 0.0, "maximum frame duration must be positive");
+            slice_by(stream, |frame_start, frame_len, e| {
+                frame_len >= events || e.t - frame_start > max_seconds
+            })
+        }
+    };
+    let stats = slice_stats(&frames);
+    (frames, stats)
+}
+
+/// Generic boundary-driven slicer: starts a new frame whenever `should_split`
+/// says the incoming event no longer belongs to the current frame.
+fn slice_by<F>(stream: &EventStream, mut should_split: F) -> Vec<EventFrame>
+where
+    F: FnMut(f64, usize, &crate::event::Event) -> bool,
+{
+    let mut frames = Vec::new();
+    let mut current: Vec<crate::event::Event> = Vec::new();
+    let mut frame_start = stream.start_time().unwrap_or(0.0);
+    for &e in stream.iter() {
+        if !current.is_empty() && should_split(frame_start, current.len(), &e) {
+            frames.push(EventFrame { events: std::mem::take(&mut current), index: frames.len() });
+            frame_start = e.t;
+        }
+        if current.is_empty() {
+            frame_start = e.t;
+        }
+        current.push(e);
+    }
+    if !current.is_empty() {
+        frames.push(EventFrame { events: current, index: frames.len() });
+    }
+    frames
+}
+
+fn slice_stats(frames: &[EventFrame]) -> SliceStats {
+    if frames.is_empty() {
+        return SliceStats::default();
+    }
+    let sizes: Vec<usize> = frames.iter().map(EventFrame::len).collect();
+    let durations = frames.iter().map(|f| match (f.start_time(), f.end_time()) {
+        (Some(a), Some(b)) => b - a,
+        _ => 0.0,
+    });
+    SliceStats {
+        frames: frames.len(),
+        min_events: sizes.iter().copied().min().unwrap_or(0),
+        max_events: sizes.iter().copied().max().unwrap_or(0),
+        mean_events: sizes.iter().sum::<usize>() as f64 / frames.len() as f64,
+        max_duration: durations.fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Polarity};
+
+    fn uniform_stream(n: usize, dt: f64) -> EventStream {
+        (0..n).map(|i| Event::new(i as f64 * dt, 0, 0, Polarity::Positive)).collect()
+    }
+
+    /// A stream whose rate drops by 10x half-way through.
+    fn bursty_stream() -> EventStream {
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..5000 {
+            events.push(Event::new(t, 0, 0, Polarity::Positive));
+            t += 1e-5;
+        }
+        for _ in 0..500 {
+            events.push(Event::new(t, 0, 0, Polarity::Positive));
+            t += 1e-4;
+        }
+        EventStream::from_events(events).unwrap()
+    }
+
+    #[test]
+    fn rate_profile_of_uniform_stream_is_flat() {
+        let stream = uniform_stream(10_000, 1e-5);
+        let profile = rate_profile(&stream, 0.01).unwrap();
+        assert!((profile.mean_rate - 1e5).abs() / 1e5 < 0.05);
+        assert!(profile.peak_rate >= profile.min_rate);
+        assert!((profile.peak_rate - profile.min_rate) / profile.peak_rate < 0.15);
+        assert_eq!(profile.window, 0.01);
+        assert!(!profile.rates.is_empty());
+    }
+
+    #[test]
+    fn rate_profile_detects_bursts() {
+        let profile = rate_profile(&bursty_stream(), 0.01).unwrap();
+        assert!(profile.peak_rate > 5.0 * profile.min_rate);
+    }
+
+    #[test]
+    fn rate_profile_rejects_degenerate_inputs() {
+        assert!(rate_profile(&EventStream::new(), 0.01).is_none());
+        assert!(rate_profile(&uniform_stream(100, 1e-4), 0.0).is_none());
+        let instant: EventStream =
+            (0..10).map(|_| Event::new(1.0, 0, 0, Polarity::Positive)).collect();
+        assert!(rate_profile(&instant, 0.01).is_none());
+    }
+
+    #[test]
+    fn fixed_count_slicing_matches_aggregate() {
+        let stream = uniform_stream(2500, 1e-4);
+        let (frames, stats) = slice_stream(&stream, SlicePolicy::FixedCount { events: 1024 });
+        assert_eq!(frames.len(), 3);
+        assert_eq!(stats.frames, 3);
+        assert_eq!(stats.max_events, 1024);
+        assert_eq!(stats.min_events, 2500 - 2048);
+        assert!(stats.mean_events > 0.0);
+    }
+
+    #[test]
+    fn fixed_duration_slicing_bounds_frame_span() {
+        let stream = bursty_stream();
+        let (frames, stats) = slice_stream(&stream, SlicePolicy::FixedDuration { seconds: 0.005 });
+        assert!(stats.frames > 5);
+        assert!(stats.max_duration <= 0.005 + 1e-4, "max duration {}", stats.max_duration);
+        // The slow half of the stream produces much smaller frames.
+        assert!(stats.min_events < stats.max_events);
+        assert_eq!(frames.iter().map(EventFrame::len).sum::<usize>(), stream.len());
+    }
+
+    #[test]
+    fn adaptive_slicing_caps_both_count_and_duration() {
+        let stream = bursty_stream();
+        let (frames, stats) =
+            slice_stream(&stream, SlicePolicy::Adaptive { events: 1024, max_seconds: 0.004 });
+        assert!(stats.max_events <= 1024);
+        assert!(stats.max_duration <= 0.004 + 1e-4);
+        assert_eq!(frames.iter().map(EventFrame::len).sum::<usize>(), stream.len());
+        // Frame indices are consecutive.
+        assert!(frames.iter().enumerate().all(|(i, f)| f.index == i));
+    }
+
+    #[test]
+    fn empty_stream_produces_no_frames() {
+        let (frames, stats) =
+            slice_stream(&EventStream::new(), SlicePolicy::FixedDuration { seconds: 0.01 });
+        assert!(frames.is_empty());
+        assert_eq!(stats, SliceStats::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_count_policy_panics() {
+        let _ = slice_stream(&uniform_stream(10, 1e-3), SlicePolicy::FixedCount { events: 0 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_duration_policy_panics() {
+        let _ =
+            slice_stream(&uniform_stream(10, 1e-3), SlicePolicy::FixedDuration { seconds: 0.0 });
+    }
+}

@@ -1,0 +1,412 @@
+//! Synthetic 3-D scenes: textured planar patches that stand in for the
+//! environments of the DAVIS dataset sequences (planes, walls, slider
+//! targets).
+
+use eventor_geom::Vec3;
+
+/// A procedural texture mapped onto a planar patch.
+///
+/// The simulator needs textures with spatial intensity gradients at several
+/// scales: event cameras only fire where the projected intensity changes as
+/// the camera moves, so a flat texture would generate no events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Texture {
+    /// Constant intensity (useful in tests; generates no events).
+    Uniform {
+        /// The constant intensity value in `[0, 1]`.
+        value: f64,
+    },
+    /// A black/white checkerboard with the given period in metres.
+    Checkerboard {
+        /// Edge length of one square, in metres.
+        period: f64,
+    },
+    /// A smooth multi-scale pattern: a sum of sinusoids at several spatial
+    /// frequencies. Deterministic and differentiable, so interpolated event
+    /// timestamps are well behaved.
+    MultiScaleSine {
+        /// Base spatial frequency in cycles per metre.
+        base_frequency: f64,
+        /// Number of octaves (each doubles the frequency and halves the
+        /// amplitude).
+        octaves: u32,
+        /// Phase offset to decorrelate patches that share a frequency.
+        phase: f64,
+    },
+    /// Random blobs laid on a jittered grid (value-noise like), seeded and
+    /// deterministic.
+    Blobs {
+        /// Average blob spacing in metres.
+        spacing: f64,
+        /// Blob radius as a fraction of the spacing.
+        radius_fraction: f64,
+        /// Seed for the deterministic hash.
+        seed: u64,
+    },
+}
+
+/// Deterministic 2-D integer hash to `[0, 1)` (splitmix-style), used by the
+/// procedural textures.
+fn hash2(ix: i64, iy: i64, seed: u64) -> f64 {
+    let mut z = (ix as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((iy as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(seed.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl Texture {
+    /// Samples the texture intensity at in-plane coordinates `(u, v)` metres.
+    ///
+    /// The result is clamped to `[0, 1]`.
+    pub fn sample(&self, u: f64, v: f64) -> f64 {
+        match self {
+            Self::Uniform { value } => value.clamp(0.0, 1.0),
+            Self::Checkerboard { period } => {
+                let p = period.max(1e-6);
+                let cu = (u / p).floor() as i64;
+                let cv = (v / p).floor() as i64;
+                if (cu + cv).rem_euclid(2) == 0 {
+                    0.85
+                } else {
+                    0.15
+                }
+            }
+            Self::MultiScaleSine { base_frequency, octaves, phase } => {
+                let mut value = 0.0;
+                let mut amplitude = 1.0;
+                let mut freq = *base_frequency;
+                let mut total = 0.0;
+                for o in 0..(*octaves).max(1) {
+                    let ang = std::f64::consts::TAU * freq;
+                    value += amplitude
+                        * (0.5
+                            + 0.25 * (ang * u + phase + o as f64).sin()
+                            + 0.25 * (ang * v * 1.37 - phase + 0.7 * o as f64).cos());
+                    total += amplitude;
+                    amplitude *= 0.5;
+                    freq *= 2.0;
+                }
+                (value / total).clamp(0.0, 1.0)
+            }
+            Self::Blobs { spacing, radius_fraction, seed } => {
+                let s = spacing.max(1e-6);
+                let gx = (u / s).floor() as i64;
+                let gy = (v / s).floor() as i64;
+                let mut value: f64 = 0.12;
+                // Check the 3x3 neighbourhood of grid cells for blob centres.
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        let cx = gx + dx;
+                        let cy = gy + dy;
+                        let jx = hash2(cx, cy, *seed) - 0.5;
+                        let jy = hash2(cx, cy, seed.wrapping_add(1)) - 0.5;
+                        let centre_u = (cx as f64 + 0.5 + 0.6 * jx) * s;
+                        let centre_v = (cy as f64 + 0.5 + 0.6 * jy) * s;
+                        let r = radius_fraction * s;
+                        let d2 = (u - centre_u).powi(2) + (v - centre_v).powi(2);
+                        let bright = 0.3 + 0.7 * hash2(cx, cy, seed.wrapping_add(2));
+                        if d2 < r * r {
+                            // Smooth falloff towards the blob edge.
+                            let w = 1.0 - (d2 / (r * r));
+                            value = value.max(0.12 + bright * w);
+                        }
+                    }
+                }
+                value.clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// A finite textured rectangle in 3-D space.
+///
+/// Defined by a centre, two orthonormal in-plane axes, half-extents along the
+/// axes, and a texture. The patch normal is `u_axis × v_axis`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanarPatch {
+    /// Centre of the rectangle in world coordinates.
+    pub center: Vec3,
+    /// Unit vector along the patch's local `u` direction.
+    pub u_axis: Vec3,
+    /// Unit vector along the patch's local `v` direction.
+    pub v_axis: Vec3,
+    /// Half extent along `u`, in metres.
+    pub half_u: f64,
+    /// Half extent along `v`, in metres.
+    pub half_v: f64,
+    /// Texture painted on the patch.
+    pub texture: Texture,
+}
+
+/// Result of intersecting a ray with a scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayHit {
+    /// Distance along the ray direction to the hit point.
+    pub t: f64,
+    /// Texture intensity at the hit point, in `[0, 1]`.
+    pub intensity: f64,
+    /// Index of the patch that was hit.
+    pub patch_index: usize,
+}
+
+impl PlanarPatch {
+    /// Creates an axis-aligned patch facing the `-Z` world direction (towards
+    /// a camera looking along `+Z`), centred at `center`, with the given full
+    /// width/height.
+    pub fn frontoparallel(center: Vec3, width: f64, height: f64, texture: Texture) -> Self {
+        Self {
+            center,
+            u_axis: Vec3::X,
+            v_axis: Vec3::Y,
+            half_u: width * 0.5,
+            half_v: height * 0.5,
+            texture,
+        }
+    }
+
+    /// Creates a patch from a centre, two (not necessarily unit) axes and
+    /// half extents. The axes are normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis has zero length.
+    pub fn oriented(center: Vec3, u_axis: Vec3, v_axis: Vec3, half_u: f64, half_v: f64, texture: Texture) -> Self {
+        Self {
+            center,
+            u_axis: u_axis.normalized().expect("u_axis must be non-zero"),
+            v_axis: v_axis.normalized().expect("v_axis must be non-zero"),
+            half_u,
+            half_v,
+            texture,
+        }
+    }
+
+    /// Patch normal (`u × v`), unit length for orthonormal axes.
+    pub fn normal(&self) -> Vec3 {
+        self.u_axis.cross(self.v_axis)
+    }
+
+    /// Intersects a ray with the patch.
+    ///
+    /// Returns the ray parameter `t > t_min` and the in-plane `(u, v)`
+    /// coordinates of the hit, or `None` when the ray misses the rectangle.
+    pub fn intersect(&self, origin: Vec3, direction: Vec3, t_min: f64) -> Option<(f64, f64, f64)> {
+        let n = self.normal();
+        let denom = n.dot(direction);
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let t = n.dot(self.center - origin) / denom;
+        if t <= t_min {
+            return None;
+        }
+        let hit = origin + direction * t;
+        let rel = hit - self.center;
+        let u = rel.dot(self.u_axis);
+        let v = rel.dot(self.v_axis);
+        if u.abs() > self.half_u || v.abs() > self.half_v {
+            return None;
+        }
+        Some((t, u, v))
+    }
+}
+
+/// A scene: an ordered collection of textured planar patches plus a uniform
+/// background intensity for rays that hit nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    patches: Vec<PlanarPatch>,
+    /// Intensity returned for rays that miss every patch.
+    pub background_intensity: f64,
+}
+
+impl Default for Scene {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scene {
+    /// Creates an empty scene with a mid-grey background.
+    pub fn new() -> Self {
+        Self { patches: Vec::new(), background_intensity: 0.5 }
+    }
+
+    /// Adds a patch and returns its index.
+    pub fn add_patch(&mut self, patch: PlanarPatch) -> usize {
+        self.patches.push(patch);
+        self.patches.len() - 1
+    }
+
+    /// The patches of the scene.
+    pub fn patches(&self) -> &[PlanarPatch] {
+        &self.patches
+    }
+
+    /// Number of patches.
+    pub fn len(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Whether the scene has no patches.
+    pub fn is_empty(&self) -> bool {
+        self.patches.is_empty()
+    }
+
+    /// Casts a ray and returns the closest hit, if any.
+    pub fn cast_ray(&self, origin: Vec3, direction: Vec3) -> Option<RayHit> {
+        let mut best: Option<(f64, f64, f64, usize)> = None;
+        for (i, patch) in self.patches.iter().enumerate() {
+            if let Some((t, u, v)) = patch.intersect(origin, direction, 1e-6) {
+                if best.map_or(true, |(bt, _, _, _)| t < bt) {
+                    best = Some((t, u, v, i));
+                }
+            }
+        }
+        best.map(|(t, u, v, patch_index)| RayHit {
+            t,
+            intensity: self.patches[patch_index].texture.sample(u, v),
+            patch_index,
+        })
+    }
+
+    /// Scene radiance along a ray: texture intensity of the closest hit or
+    /// the background intensity.
+    pub fn radiance(&self, origin: Vec3, direction: Vec3) -> f64 {
+        self.cast_ray(origin, direction)
+            .map(|h| h.intensity)
+            .unwrap_or(self.background_intensity)
+    }
+
+    /// Depth (distance along the ray, *not* the Z-coordinate) of the closest
+    /// hit, or `f64::INFINITY`.
+    pub fn ray_depth(&self, origin: Vec3, direction: Vec3) -> f64 {
+        self.cast_ray(origin, direction).map(|h| h.t).unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textures_stay_in_unit_range() {
+        let textures = [
+            Texture::Uniform { value: 2.0 },
+            Texture::Checkerboard { period: 0.1 },
+            Texture::MultiScaleSine { base_frequency: 3.0, octaves: 4, phase: 0.3 },
+            Texture::Blobs { spacing: 0.2, radius_fraction: 0.35, seed: 42 },
+        ];
+        for tex in &textures {
+            for i in 0..50 {
+                for j in 0..50 {
+                    let v = tex.sample(i as f64 * 0.037 - 1.0, j as f64 * 0.021 - 0.5);
+                    assert!((0.0..=1.0).contains(&v), "{tex:?} out of range: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let t = Texture::Checkerboard { period: 1.0 };
+        assert_ne!(t.sample(0.5, 0.5), t.sample(1.5, 0.5));
+        assert_eq!(t.sample(0.5, 0.5), t.sample(1.5, 1.5));
+    }
+
+    #[test]
+    fn textures_have_spatial_variation() {
+        // A texture without variation produces no events; guard against that.
+        for tex in [
+            Texture::Checkerboard { period: 0.05 },
+            Texture::MultiScaleSine { base_frequency: 4.0, octaves: 3, phase: 0.0 },
+            Texture::Blobs { spacing: 0.15, radius_fraction: 0.4, seed: 7 },
+        ] {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for i in 0..200 {
+                let v = tex.sample(i as f64 * 0.013, i as f64 * 0.007);
+                min = min.min(v);
+                max = max.max(v);
+            }
+            assert!(max - min > 0.1, "texture {tex:?} too flat: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn blob_texture_is_deterministic() {
+        let a = Texture::Blobs { spacing: 0.2, radius_fraction: 0.3, seed: 5 };
+        let b = Texture::Blobs { spacing: 0.2, radius_fraction: 0.3, seed: 5 };
+        for i in 0..100 {
+            let (u, v) = (i as f64 * 0.017, i as f64 * 0.029);
+            assert_eq!(a.sample(u, v), b.sample(u, v));
+        }
+    }
+
+    #[test]
+    fn patch_intersection_basic() {
+        let patch = PlanarPatch::frontoparallel(
+            Vec3::new(0.0, 0.0, 2.0),
+            1.0,
+            1.0,
+            Texture::Uniform { value: 0.5 },
+        );
+        // Ray straight down the optical axis hits the centre.
+        let hit = patch.intersect(Vec3::ZERO, Vec3::Z, 1e-6).unwrap();
+        assert!((hit.0 - 2.0).abs() < 1e-12);
+        assert!(hit.1.abs() < 1e-12 && hit.2.abs() < 1e-12);
+        // Ray pointing away misses.
+        assert!(patch.intersect(Vec3::ZERO, -Vec3::Z, 1e-6).is_none());
+        // Ray that passes outside the extent misses.
+        assert!(patch.intersect(Vec3::new(5.0, 0.0, 0.0), Vec3::Z, 1e-6).is_none());
+        // Parallel ray misses.
+        assert!(patch.intersect(Vec3::ZERO, Vec3::X, 1e-6).is_none());
+    }
+
+    #[test]
+    fn scene_returns_closest_hit() {
+        let mut scene = Scene::new();
+        scene.add_patch(PlanarPatch::frontoparallel(
+            Vec3::new(0.0, 0.0, 3.0),
+            4.0,
+            4.0,
+            Texture::Uniform { value: 0.9 },
+        ));
+        let near = scene.add_patch(PlanarPatch::frontoparallel(
+            Vec3::new(0.0, 0.0, 1.5),
+            4.0,
+            4.0,
+            Texture::Uniform { value: 0.1 },
+        ));
+        let hit = scene.cast_ray(Vec3::ZERO, Vec3::Z).unwrap();
+        assert_eq!(hit.patch_index, near);
+        assert!((hit.t - 1.5).abs() < 1e-12);
+        assert!((scene.ray_depth(Vec3::ZERO, Vec3::Z) - 1.5).abs() < 1e-12);
+        assert_eq!(scene.radiance(Vec3::ZERO, Vec3::Z), 0.1);
+    }
+
+    #[test]
+    fn missing_ray_uses_background() {
+        let scene = Scene::new();
+        assert_eq!(scene.radiance(Vec3::ZERO, Vec3::Z), scene.background_intensity);
+        assert_eq!(scene.ray_depth(Vec3::ZERO, Vec3::Z), f64::INFINITY);
+        assert!(scene.is_empty());
+    }
+
+    #[test]
+    fn oriented_patch_normal_is_unit() {
+        let p = PlanarPatch::oriented(
+            Vec3::ZERO,
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 3.0, 0.0),
+            1.0,
+            1.0,
+            Texture::Uniform { value: 0.5 },
+        );
+        assert!((p.normal().norm() - 1.0).abs() < 1e-12);
+    }
+}

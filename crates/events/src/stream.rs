@@ -1,0 +1,240 @@
+//! Event streams: time-ordered containers of events with slicing and
+//! statistics.
+
+use crate::event::Event;
+use crate::EventError;
+
+/// A time-ordered sequence of events.
+///
+/// The container enforces non-decreasing timestamps (events may share a
+/// timestamp, as real sensors emit bursts with identical microsecond stamps).
+///
+/// # Examples
+///
+/// ```
+/// use eventor_events::{Event, EventStream, Polarity};
+/// let mut s = EventStream::new();
+/// s.push(Event::new(0.0, 1, 2, Polarity::Positive))?;
+/// s.push(Event::new(0.5, 3, 4, Polarity::Negative))?;
+/// assert_eq!(s.len(), 2);
+/// assert!((s.duration() - 0.5).abs() < 1e-12);
+/// # Ok::<(), eventor_events::EventError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventStream {
+    events: Vec<Event>,
+}
+
+impl EventStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty stream with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { events: Vec::with_capacity(capacity) }
+    }
+
+    /// Builds a stream from a vector, validating the time ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::UnsortedEvents`] if timestamps decrease anywhere.
+    pub fn from_events(events: Vec<Event>) -> Result<Self, EventError> {
+        for w in events.windows(2) {
+            if w[1].t < w[0].t {
+                return Err(EventError::UnsortedEvents { timestamp: w[1].t });
+            }
+        }
+        Ok(Self { events })
+    }
+
+    /// Builds a stream from a vector, sorting it by timestamp first.
+    pub fn from_unsorted(mut events: Vec<Event>) -> Self {
+        events.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("event timestamps are not NaN"));
+        Self { events }
+    }
+
+    /// Appends an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::UnsortedEvents`] if its timestamp precedes the
+    /// last stored event.
+    pub fn push(&mut self, event: Event) -> Result<(), EventError> {
+        if let Some(last) = self.events.last() {
+            if event.t < last.t {
+                return Err(EventError::UnsortedEvents { timestamp: event.t });
+            }
+        }
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events as a slice.
+    pub fn as_slice(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterator over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Timestamp of the first event.
+    pub fn start_time(&self) -> Option<f64> {
+        self.events.first().map(|e| e.t)
+    }
+
+    /// Timestamp of the last event.
+    pub fn end_time(&self) -> Option<f64> {
+        self.events.last().map(|e| e.t)
+    }
+
+    /// Time between first and last event, in seconds.
+    pub fn duration(&self) -> f64 {
+        match (self.start_time(), self.end_time()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0.0,
+        }
+    }
+
+    /// Mean event rate in events per second (zero for degenerate spans).
+    pub fn event_rate(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.len() as f64 / d
+        }
+    }
+
+    /// Events with `t_begin <= t < t_end` as a sub-slice (binary search on the
+    /// sorted timestamps).
+    pub fn slice_time(&self, t_begin: f64, t_end: f64) -> &[Event] {
+        let lo = self.events.partition_point(|e| e.t < t_begin);
+        let hi = self.events.partition_point(|e| e.t < t_end);
+        &self.events[lo..hi]
+    }
+
+    /// Fraction of events with positive polarity.
+    pub fn positive_fraction(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        let pos = self
+            .events
+            .iter()
+            .filter(|e| e.polarity == crate::Polarity::Positive)
+            .count();
+        pos as f64 / self.events.len() as f64
+    }
+
+    /// Consumes the stream and returns the underlying vector.
+    pub fn into_inner(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl<'a> IntoIterator for &'a EventStream {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for EventStream {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+impl Extend<Event> for EventStream {
+    /// Extends the stream; the caller is responsible for keeping the global
+    /// ordering (use [`EventStream::from_unsorted`] when unsure).
+    fn extend<T: IntoIterator<Item = Event>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl FromIterator<Event> for EventStream {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Polarity;
+
+    fn ev(t: f64) -> Event {
+        Event::new(t, 0, 0, Polarity::Positive)
+    }
+
+    #[test]
+    fn ordering_enforced_on_push_and_from_events() {
+        let mut s = EventStream::new();
+        s.push(ev(1.0)).unwrap();
+        assert!(s.push(ev(0.5)).is_err());
+        assert!(s.push(ev(1.0)).is_ok(), "equal timestamps are allowed");
+
+        assert!(EventStream::from_events(vec![ev(1.0), ev(0.0)]).is_err());
+        assert!(EventStream::from_events(vec![ev(0.0), ev(1.0)]).is_ok());
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let s = EventStream::from_unsorted(vec![ev(2.0), ev(0.0), ev(1.0)]);
+        let ts: Vec<f64> = s.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn duration_and_rate() {
+        let s = EventStream::from_events((0..101).map(|i| ev(i as f64 * 0.01)).collect()).unwrap();
+        assert!((s.duration() - 1.0).abs() < 1e-12);
+        assert!((s.event_rate() - 101.0).abs() < 1e-9);
+        assert_eq!(EventStream::new().event_rate(), 0.0);
+    }
+
+    #[test]
+    fn slice_time_half_open() {
+        let s = EventStream::from_events((0..10).map(|i| ev(i as f64)).collect()).unwrap();
+        let sl = s.slice_time(2.0, 5.0);
+        assert_eq!(sl.len(), 3);
+        assert_eq!(sl[0].t, 2.0);
+        assert_eq!(sl[2].t, 4.0);
+        assert!(s.slice_time(100.0, 200.0).is_empty());
+    }
+
+    #[test]
+    fn polarity_fraction() {
+        let mut v = vec![Event::new(0.0, 0, 0, Polarity::Positive); 3];
+        v.push(Event::new(0.0, 0, 0, Polarity::Negative));
+        let s = EventStream::from_events(v).unwrap();
+        assert!((s.positive_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(EventStream::new().positive_fraction(), 0.0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: EventStream = vec![ev(3.0), ev(1.0)].into_iter().collect();
+        assert_eq!(s.start_time(), Some(1.0));
+        assert_eq!(s.into_inner().len(), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Streaming event-distortion correction via a precomputed per-pixel lookup
+//! table.
+//!
+//! The reformulated Eventor dataflow moves distortion correction *before*
+//! aggregation so it can run per event in a streaming fashion. On the
+//! embedded platform the natural implementation is a lookup table indexed by
+//! the raw integer pixel address (events carry integer coordinates), holding
+//! the undistorted sub-pixel coordinate — one BRAM/DRAM read per event
+//! instead of an iterative undistortion solve. [`UndistortionLut`] builds and
+//! applies that table and quantifies its cost and accuracy, which is what the
+//! rescheduling discussion of the paper relies on.
+
+use crate::event::Event;
+use crate::stream::EventStream;
+use eventor_geom::{CameraModel, Vec2};
+
+/// A per-pixel undistortion lookup table.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_events::UndistortionLut;
+/// use eventor_geom::CameraModel;
+///
+/// let camera = CameraModel::davis240_distorted();
+/// let lut = UndistortionLut::build(&camera);
+/// let corrected = lut.lookup(120, 90);
+/// let exact = camera.undistort_pixel(eventor_geom::Vec2::new(120.0, 90.0));
+/// assert!((corrected - exact).norm() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UndistortionLut {
+    width: u16,
+    height: u16,
+    /// Undistorted coordinates stored as `f32` pairs, row-major — the
+    /// precision the table would use in BRAM.
+    table: Vec<(f32, f32)>,
+    identity: bool,
+}
+
+impl UndistortionLut {
+    /// Precomputes the table for every integer pixel of the sensor.
+    pub fn build(camera: &CameraModel) -> Self {
+        let width = camera.intrinsics.width as u16;
+        let height = camera.intrinsics.height as u16;
+        let identity = camera.distortion.is_zero();
+        let mut table = Vec::with_capacity(width as usize * height as usize);
+        for y in 0..height {
+            for x in 0..width {
+                let p = camera.undistort_pixel(Vec2::new(x as f64, y as f64));
+                table.push((p.x as f32, p.y as f32));
+            }
+        }
+        Self { width, height, table, identity }
+    }
+
+    /// Sensor width covered by the table.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Sensor height covered by the table.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Whether the camera has no distortion (the table is an identity map).
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// Storage footprint of the table in bytes (two `f32` per pixel).
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * 8
+    }
+
+    /// Looks up the undistorted coordinate of an integer pixel.
+    ///
+    /// Out-of-sensor addresses return the raw coordinate unchanged (the
+    /// hardware forwards them and lets the projection-missing judgement drop
+    /// them later).
+    pub fn lookup(&self, x: u16, y: u16) -> Vec2 {
+        if x >= self.width || y >= self.height {
+            return Vec2::new(x as f64, y as f64);
+        }
+        let (ux, uy) = self.table[y as usize * self.width as usize + x as usize];
+        Vec2::new(ux as f64, uy as f64)
+    }
+
+    /// Corrects one event (streaming path).
+    pub fn correct_event(&self, event: &Event) -> Vec2 {
+        self.lookup(event.x, event.y)
+    }
+
+    /// Corrects a whole stream, returning the undistorted coordinates in
+    /// stream order.
+    pub fn correct_stream(&self, stream: &EventStream) -> Vec<Vec2> {
+        stream.iter().map(|e| self.correct_event(e)).collect()
+    }
+
+    /// Largest deviation (in pixels) between the table and the exact
+    /// undistortion over every sensor pixel — the error introduced by the
+    /// `f32` table storage.
+    pub fn max_error_versus_exact(&self, camera: &CameraModel) -> f64 {
+        let mut max = 0.0f64;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let exact = camera.undistort_pixel(Vec2::new(x as f64, y as f64));
+                let err = (self.lookup(x, y) - exact).norm();
+                max = max.max(err);
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Polarity;
+
+    #[test]
+    fn identity_camera_yields_identity_table() {
+        let camera = CameraModel::davis240_ideal();
+        let lut = UndistortionLut::build(&camera);
+        assert!(lut.is_identity());
+        assert_eq!(lut.width(), 240);
+        assert_eq!(lut.height(), 180);
+        for &(x, y) in &[(0u16, 0u16), (120, 90), (239, 179)] {
+            let p = lut.lookup(x, y);
+            assert!((p.x - x as f64).abs() < 1e-6);
+            assert!((p.y - y as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn distorted_camera_table_matches_exact_undistortion() {
+        let camera = CameraModel::davis240_distorted();
+        let lut = UndistortionLut::build(&camera);
+        assert!(!lut.is_identity());
+        // f32 storage keeps the table within a thousandth of a pixel.
+        assert!(lut.max_error_versus_exact(&camera) < 1e-3);
+    }
+
+    #[test]
+    fn correction_moves_corner_pixels_more_than_the_center() {
+        let camera = CameraModel::davis240_distorted();
+        let lut = UndistortionLut::build(&camera);
+        let center_shift = (lut.lookup(120, 90) - Vec2::new(120.0, 90.0)).norm();
+        let corner_shift = (lut.lookup(2, 2) - Vec2::new(2.0, 2.0)).norm();
+        assert!(corner_shift > center_shift, "corner {corner_shift} vs center {center_shift}");
+    }
+
+    #[test]
+    fn out_of_sensor_lookups_pass_through() {
+        let lut = UndistortionLut::build(&CameraModel::davis240_distorted());
+        let p = lut.lookup(500, 400);
+        assert_eq!(p, Vec2::new(500.0, 400.0));
+    }
+
+    #[test]
+    fn stream_correction_preserves_order_and_length() {
+        let camera = CameraModel::davis240_distorted();
+        let lut = UndistortionLut::build(&camera);
+        let stream: EventStream = (0..100)
+            .map(|i| Event::new(i as f64 * 1e-4, (i * 7 % 240) as u16, (i * 3 % 180) as u16, Polarity::Positive))
+            .collect();
+        let corrected = lut.correct_stream(&stream);
+        assert_eq!(corrected.len(), 100);
+        for (e, c) in stream.iter().zip(&corrected) {
+            let exact = camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64));
+            assert!((*c - exact).norm() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn memory_footprint_is_reported() {
+        let lut = UndistortionLut::build(&CameraModel::davis240_ideal());
+        // 240*180 pixels * 8 bytes = 345.6 KB.
+        assert_eq!(lut.memory_bytes(), 240 * 180 * 8);
+    }
+}

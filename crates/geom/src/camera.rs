@@ -1,0 +1,344 @@
+//! Pinhole camera model with radial–tangential distortion.
+//!
+//! The DAVIS 240×180 sensor used by the paper is modelled as a standard
+//! pinhole camera. Event *distortion correction* — one of the stages the
+//! paper reschedules to run per event before aggregation — uses the inverse
+//! of the radial–tangential ("plumb bob") distortion model implemented here.
+
+use crate::mat::Mat3;
+use crate::vec::{Vec2, Vec3};
+use crate::GeometryError;
+
+/// Width of the DAVIS240 sensor in pixels.
+pub const DAVIS_WIDTH: u32 = 240;
+/// Height of the DAVIS240 sensor in pixels.
+pub const DAVIS_HEIGHT: u32 = 180;
+
+/// Pinhole intrinsic parameters.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_geom::{CameraIntrinsics, Vec3};
+/// let k = CameraIntrinsics::davis240_default();
+/// let px = k.project(Vec3::new(0.0, 0.0, 1.0)).unwrap();
+/// assert!((px.x - k.cx).abs() < 1e-12);
+/// assert!((px.y - k.cy).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraIntrinsics {
+    /// Focal length along x, in pixels.
+    pub fx: f64,
+    /// Focal length along y, in pixels.
+    pub fy: f64,
+    /// Principal point x, in pixels.
+    pub cx: f64,
+    /// Principal point y, in pixels.
+    pub cy: f64,
+    /// Sensor width in pixels.
+    pub width: u32,
+    /// Sensor height in pixels.
+    pub height: u32,
+}
+
+/// Radial–tangential distortion coefficients `(k1, k2, p1, p2, k3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DistortionModel {
+    /// Second-order radial coefficient.
+    pub k1: f64,
+    /// Fourth-order radial coefficient.
+    pub k2: f64,
+    /// First tangential coefficient.
+    pub p1: f64,
+    /// Second tangential coefficient.
+    pub p2: f64,
+    /// Sixth-order radial coefficient.
+    pub k3: f64,
+}
+
+/// A full camera model: intrinsics plus (possibly zero) lens distortion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraModel {
+    /// Pinhole intrinsics.
+    pub intrinsics: CameraIntrinsics,
+    /// Lens distortion.
+    pub distortion: DistortionModel,
+}
+
+impl CameraIntrinsics {
+    /// Creates a new intrinsics struct.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::InvalidIntrinsics`] if either focal length is
+    /// not strictly positive or the resolution is zero.
+    pub fn new(fx: f64, fy: f64, cx: f64, cy: f64, width: u32, height: u32) -> Result<Self, GeometryError> {
+        if fx <= 0.0 || fy <= 0.0 || !fx.is_finite() || !fy.is_finite() || width == 0 || height == 0 {
+            return Err(GeometryError::InvalidIntrinsics { fx, fy, width, height });
+        }
+        Ok(Self { fx, fy, cx, cy, width, height })
+    }
+
+    /// Default intrinsics for a DAVIS240-class sensor (240×180, ~66° HFOV).
+    ///
+    /// The values approximate the calibration shipped with the event-camera
+    /// dataset the paper evaluates on.
+    pub fn davis240_default() -> Self {
+        Self { fx: 199.0, fy: 199.0, cx: 120.0, cy: 90.0, width: DAVIS_WIDTH, height: DAVIS_HEIGHT }
+    }
+
+    /// The calibration matrix `K`.
+    pub fn matrix(&self) -> Mat3 {
+        Mat3 {
+            m: [[self.fx, 0.0, self.cx], [0.0, self.fy, self.cy], [0.0, 0.0, 1.0]],
+        }
+    }
+
+    /// The inverse calibration matrix `K⁻¹`.
+    pub fn inverse_matrix(&self) -> Mat3 {
+        Mat3 {
+            m: [
+                [1.0 / self.fx, 0.0, -self.cx / self.fx],
+                [0.0, 1.0 / self.fy, -self.cy / self.fy],
+                [0.0, 0.0, 1.0],
+            ],
+        }
+    }
+
+    /// Projects a camera-frame 3-D point to pixel coordinates.
+    ///
+    /// Returns `None` for points at or behind the camera plane (`z <= 0`).
+    pub fn project(&self, p: Vec3) -> Option<Vec2> {
+        if p.z <= 0.0 {
+            return None;
+        }
+        Some(Vec2::new(
+            self.fx * p.x / p.z + self.cx,
+            self.fy * p.y / p.z + self.cy,
+        ))
+    }
+
+    /// Back-projects a pixel to the normalized image plane (`z = 1`).
+    pub fn unproject(&self, px: Vec2) -> Vec3 {
+        Vec3::new((px.x - self.cx) / self.fx, (px.y - self.cy) / self.fy, 1.0)
+    }
+
+    /// Converts a pixel to normalized (metric) image coordinates.
+    pub fn pixel_to_normalized(&self, px: Vec2) -> Vec2 {
+        Vec2::new((px.x - self.cx) / self.fx, (px.y - self.cy) / self.fy)
+    }
+
+    /// Converts normalized image coordinates to a pixel.
+    pub fn normalized_to_pixel(&self, n: Vec2) -> Vec2 {
+        Vec2::new(n.x * self.fx + self.cx, n.y * self.fy + self.cy)
+    }
+
+    /// Whether a (sub-)pixel coordinate lies inside the sensor.
+    pub fn contains(&self, px: Vec2) -> bool {
+        px.x >= 0.0 && px.y >= 0.0 && px.x < self.width as f64 && px.y < self.height as f64
+    }
+
+    /// Total number of pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+}
+
+impl DistortionModel {
+    /// A distortion-free model.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Creates a radial-only model.
+    pub fn radial(k1: f64, k2: f64, k3: f64) -> Self {
+        Self { k1, k2, k3, ..Self::default() }
+    }
+
+    /// A mild distortion profile similar to the DAVIS240C lens calibration.
+    pub fn davis240_default() -> Self {
+        Self { k1: -0.368, k2: 0.150, p1: -0.0003, p2: -0.0002, k3: 0.0 }
+    }
+
+    /// Whether all coefficients are zero.
+    pub fn is_zero(&self) -> bool {
+        self.k1 == 0.0 && self.k2 == 0.0 && self.p1 == 0.0 && self.p2 == 0.0 && self.k3 == 0.0
+    }
+
+    /// Applies the forward distortion model to normalized coordinates.
+    pub fn distort(&self, n: Vec2) -> Vec2 {
+        let r2 = n.norm_squared();
+        let r4 = r2 * r2;
+        let r6 = r4 * r2;
+        let radial = 1.0 + self.k1 * r2 + self.k2 * r4 + self.k3 * r6;
+        let dx = 2.0 * self.p1 * n.x * n.y + self.p2 * (r2 + 2.0 * n.x * n.x);
+        let dy = self.p1 * (r2 + 2.0 * n.y * n.y) + 2.0 * self.p2 * n.x * n.y;
+        Vec2::new(n.x * radial + dx, n.y * radial + dy)
+    }
+
+    /// Inverts the distortion model iteratively (fixed-point iteration).
+    ///
+    /// Converges quickly for the mild lens profiles of event sensors; the
+    /// iteration count is capped at 20.
+    pub fn undistort(&self, d: Vec2) -> Vec2 {
+        if self.is_zero() {
+            return d;
+        }
+        let mut n = d;
+        for _ in 0..20 {
+            let distorted = self.distort(n);
+            let err = distorted - d;
+            n = n - err;
+            if err.norm_squared() < 1e-18 {
+                break;
+            }
+        }
+        n
+    }
+}
+
+impl CameraModel {
+    /// Creates a camera model from intrinsics and distortion.
+    pub fn new(intrinsics: CameraIntrinsics, distortion: DistortionModel) -> Self {
+        Self { intrinsics, distortion }
+    }
+
+    /// A distortion-free DAVIS240-class camera.
+    pub fn davis240_ideal() -> Self {
+        Self::new(CameraIntrinsics::davis240_default(), DistortionModel::none())
+    }
+
+    /// A DAVIS240-class camera with the default lens distortion profile.
+    pub fn davis240_distorted() -> Self {
+        Self::new(CameraIntrinsics::davis240_default(), DistortionModel::davis240_default())
+    }
+
+    /// Projects a camera-frame point to a *distorted* pixel (what the sensor
+    /// actually records).
+    pub fn project_distorted(&self, p: Vec3) -> Option<Vec2> {
+        if p.z <= 0.0 {
+            return None;
+        }
+        let n = Vec2::new(p.x / p.z, p.y / p.z);
+        let d = self.distortion.distort(n);
+        let px = self.intrinsics.normalized_to_pixel(d);
+        Some(px)
+    }
+
+    /// Undistorts a raw (distorted) pixel coordinate into an ideal pinhole
+    /// pixel coordinate.
+    ///
+    /// This is the *event distortion correction* stage of the EMVS pipeline.
+    pub fn undistort_pixel(&self, raw: Vec2) -> Vec2 {
+        if self.distortion.is_zero() {
+            return raw;
+        }
+        let n = self.intrinsics.pixel_to_normalized(raw);
+        let u = self.distortion.undistort(n);
+        self.intrinsics.normalized_to_pixel(u)
+    }
+
+    /// Back-projects an undistorted pixel into a unit-norm viewing ray in the
+    /// camera frame.
+    pub fn pixel_to_bearing(&self, px: Vec2) -> Vec3 {
+        self.intrinsics
+            .unproject(px)
+            .normalized()
+            .expect("unprojected ray always has z=1, norm > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_intrinsics_rejected() {
+        assert!(CameraIntrinsics::new(0.0, 1.0, 0.0, 0.0, 10, 10).is_err());
+        assert!(CameraIntrinsics::new(1.0, -1.0, 0.0, 0.0, 10, 10).is_err());
+        assert!(CameraIntrinsics::new(1.0, 1.0, 0.0, 0.0, 0, 10).is_err());
+        assert!(CameraIntrinsics::new(100.0, 100.0, 5.0, 5.0, 10, 10).is_ok());
+    }
+
+    #[test]
+    fn project_unproject_round_trip() {
+        let k = CameraIntrinsics::davis240_default();
+        let p = Vec3::new(0.2, -0.1, 2.0);
+        let px = k.project(p).unwrap();
+        let ray = k.unproject(px);
+        // The unprojected ray scaled by the depth recovers the point.
+        assert!((ray * p.z - p).norm() < 1e-10);
+    }
+
+    #[test]
+    fn points_behind_camera_do_not_project() {
+        let k = CameraIntrinsics::davis240_default();
+        assert!(k.project(Vec3::new(0.0, 0.0, -1.0)).is_none());
+        assert!(k.project(Vec3::new(0.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn k_matrix_and_inverse() {
+        let k = CameraIntrinsics::davis240_default();
+        let prod = k.matrix() * k.inverse_matrix();
+        assert!(prod.max_abs_diff(&Mat3::identity()) < 1e-12);
+    }
+
+    #[test]
+    fn principal_point_projects_to_center() {
+        let k = CameraIntrinsics::davis240_default();
+        let px = k.project(Vec3::new(0.0, 0.0, 3.0)).unwrap();
+        assert!((px - Vec2::new(k.cx, k.cy)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn contains_respects_bounds() {
+        let k = CameraIntrinsics::davis240_default();
+        assert!(k.contains(Vec2::new(0.0, 0.0)));
+        assert!(k.contains(Vec2::new(239.9, 179.9)));
+        assert!(!k.contains(Vec2::new(240.0, 0.0)));
+        assert!(!k.contains(Vec2::new(-0.1, 10.0)));
+    }
+
+    #[test]
+    fn distortion_round_trip() {
+        let d = DistortionModel::davis240_default();
+        let n = Vec2::new(0.21, -0.13);
+        let distorted = d.distort(n);
+        let back = d.undistort(distorted);
+        assert!((back - n).norm() < 1e-9);
+    }
+
+    #[test]
+    fn zero_distortion_is_identity() {
+        let d = DistortionModel::none();
+        let n = Vec2::new(0.4, 0.3);
+        assert_eq!(d.distort(n), n);
+        assert_eq!(d.undistort(n), n);
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn undistort_pixel_recovers_ideal_projection() {
+        let cam = CameraModel::davis240_distorted();
+        let p = Vec3::new(0.15, 0.08, 1.5);
+        let raw = cam.project_distorted(p).unwrap();
+        let ideal = cam.intrinsics.project(p).unwrap();
+        let corrected = cam.undistort_pixel(raw);
+        assert!((corrected - ideal).norm() < 1e-6);
+    }
+
+    #[test]
+    fn bearing_is_unit_norm() {
+        let cam = CameraModel::davis240_ideal();
+        let b = cam.pixel_to_bearing(Vec2::new(10.0, 170.0));
+        assert!((b.norm() - 1.0).abs() < 1e-12);
+        assert!(b.z > 0.0);
+    }
+
+    #[test]
+    fn pixel_count() {
+        let k = CameraIntrinsics::davis240_default();
+        assert_eq!(k.pixel_count(), 240 * 180);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for geometric operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the geometry substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// Camera intrinsics were not physically plausible.
+    InvalidIntrinsics {
+        /// Focal length along x that was supplied.
+        fx: f64,
+        /// Focal length along y that was supplied.
+        fy: f64,
+        /// Sensor width that was supplied.
+        width: u32,
+        /// Sensor height that was supplied.
+        height: u32,
+    },
+    /// A depth value was not strictly positive and finite.
+    InvalidDepth {
+        /// The offending depth.
+        depth: f64,
+    },
+    /// A plane-induced homography was singular (camera centre on the plane,
+    /// or numerically degenerate geometry).
+    DegenerateHomography,
+    /// Trajectory timestamps were not strictly increasing.
+    UnsortedTrajectory {
+        /// The offending timestamp.
+        timestamp: f64,
+    },
+    /// A trajectory operation required at least one sample.
+    EmptyTrajectory,
+    /// A pose query fell outside the trajectory's time span.
+    TimestampOutOfRange {
+        /// The queried timestamp.
+        timestamp: f64,
+        /// First timestamp covered by the trajectory.
+        start: f64,
+        /// Last timestamp covered by the trajectory.
+        end: f64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidIntrinsics { fx, fy, width, height } => write!(
+                f,
+                "invalid camera intrinsics (fx={fx}, fy={fy}, {width}x{height})"
+            ),
+            Self::InvalidDepth { depth } => {
+                write!(f, "depth plane value {depth} is not strictly positive")
+            }
+            Self::DegenerateHomography => {
+                write!(f, "plane-induced homography is degenerate")
+            }
+            Self::UnsortedTrajectory { timestamp } => {
+                write!(f, "trajectory timestamp {timestamp} is not strictly increasing")
+            }
+            Self::EmptyTrajectory => write!(f, "trajectory has no samples"),
+            Self::TimestampOutOfRange { timestamp, start, end } => write!(
+                f,
+                "timestamp {timestamp} outside trajectory span [{start}, {end}]"
+            ),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty_and_lowercase_start() {
+        let errors = [
+            GeometryError::InvalidIntrinsics { fx: 0.0, fy: 1.0, width: 1, height: 1 },
+            GeometryError::InvalidDepth { depth: -1.0 },
+            GeometryError::DegenerateHomography,
+            GeometryError::UnsortedTrajectory { timestamp: 1.0 },
+            GeometryError::EmptyTrajectory,
+            GeometryError::TimestampOutOfRange { timestamp: 5.0, start: 0.0, end: 1.0 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

@@ -1,0 +1,405 @@
+//! Plane-induced homographies — the geometric core of the *Canonical Event
+//! Back-Projection* stage (`𝒫{Z0}` in the paper).
+//!
+//! The EMVS space-sweep maps each event from the *current* camera image onto
+//! the canonical depth plane `Z0` of a *virtual* (reference) camera using a
+//! 3×3 homography, and then transfers the point to the remaining depth planes
+//! `Zi` with a per-frame proportional relation (see
+//! [`crate::homography::ProportionalCoefficients`]).
+
+use crate::camera::CameraIntrinsics;
+use crate::mat::Mat3;
+use crate::se3::Pose;
+use crate::vec::{Vec2, Vec3};
+use crate::GeometryError;
+
+/// Applies a homography to a pixel coordinate.
+///
+/// Returns `None` when the point maps to infinity (third homogeneous
+/// coordinate is zero), which in the accelerator corresponds to the
+/// "projection missing judgement" of the Nearest Voxel Finder.
+pub fn apply_homography(h: &Mat3, px: Vec2) -> Option<Vec2> {
+    (*h * px.to_homogeneous()).hnormalized()
+}
+
+/// The homography `H_{Z0}` mapping pixels of the *current* event camera onto
+/// the canonical depth plane `Z0` of the *virtual* reference camera, expressed
+/// in virtual-camera pixel coordinates.
+///
+/// Derivation: a pixel `u` of the current camera back-projects to the ray
+/// `X_v(λ) = c + λ·R·K⁻¹·ũ` in the virtual frame, where `(R, c)` is the
+/// current-camera pose expressed in the virtual frame. Intersecting with the
+/// fronto-parallel plane `Z = Z0` of the virtual camera and re-projecting with
+/// `K_v` yields a plane-induced homography
+///
+/// ```text
+/// H_{Z0} ∝ K_v · (Z0·R  +  (c − c_z·R·e_3·…))  — implemented via the standard
+/// H = K_v (R + c·nᵀ/d) K_c⁻¹ with n, d expressed in the *current* frame.
+/// ```
+///
+/// We compute it by mapping the plane into the current frame and inverting,
+/// which is numerically robust and keeps the formula readable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanonicalHomography {
+    /// The 3×3 homography, scaled so that `m[2][2] == 1`.
+    pub h: Mat3,
+    /// The canonical depth (distance of plane `Z0` from the virtual camera).
+    pub z0: f64,
+}
+
+impl CanonicalHomography {
+    /// Computes `H_{Z0}` for an event frame.
+    ///
+    /// * `virtual_from_world` — pose of the virtual (reference) camera,
+    ///   camera-to-world.
+    /// * `camera_from_world` — pose of the event camera at the frame's
+    ///   timestamp, camera-to-world.
+    /// * `intrinsics` — shared pinhole intrinsics (`K_c = K_v = K`).
+    /// * `z0` — canonical plane depth in the virtual frame (must be > 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::DegenerateHomography`] when the induced
+    /// homography is singular (e.g. the camera centre lies on the plane) and
+    /// [`GeometryError::InvalidDepth`] when `z0 <= 0`.
+    pub fn compute(
+        virtual_from_world: &Pose,
+        camera_from_world: &Pose,
+        intrinsics: &CameraIntrinsics,
+        z0: f64,
+    ) -> Result<Self, GeometryError> {
+        if z0 <= 0.0 || !z0.is_finite() {
+            return Err(GeometryError::InvalidDepth { depth: z0 });
+        }
+        // Pose of the current camera expressed in the virtual frame.
+        let v_from_c = virtual_from_world.relative_to(camera_from_world);
+        let r = v_from_c.rotation_matrix(); // rotates current-frame vectors into the virtual frame
+        let c = v_from_c.translation; // current camera centre in the virtual frame
+
+        // Plane Z = z0 in the virtual frame: n_v = (0,0,1), offset d_v = z0.
+        // Expressed in the current frame the plane has normal n_c = Rᵀ n_v and
+        // offset d_c = z0 - n_v·c. The homography mapping *virtual* pixels to
+        // *current* pixels induced by that plane is
+        //   H_cv = K (R_cv + t_cv n_vᵀ / z0) K⁻¹
+        // with (R_cv, t_cv) the virtual-to-current transform. We build H_cv and
+        // invert it to obtain the desired current→virtual mapping; inverting a
+        // 3×3 keeps the derivation simple and exact.
+        let c_from_v = v_from_c.inverse();
+        let r_cv = c_from_v.rotation_matrix();
+        let t_cv = c_from_v.translation;
+        let n_v = Vec3::Z;
+        let k = intrinsics.matrix();
+        let k_inv = intrinsics.inverse_matrix();
+        let h_cv = k * (r_cv + Mat3::outer(t_cv, n_v) * (1.0 / z0)) * k_inv;
+        let h_vc = h_cv
+            .inverse()
+            .ok_or(GeometryError::DegenerateHomography)?;
+        let h = h_vc
+            .normalized_homography()
+            .ok_or(GeometryError::DegenerateHomography)?;
+        let _ = (r, c);
+        Ok(Self { h, z0 })
+    }
+
+    /// Maps an (undistorted) event pixel of the current camera onto the
+    /// canonical plane, returning virtual-camera pixel coordinates.
+    pub fn project(&self, event_pixel: Vec2) -> Option<Vec2> {
+        apply_homography(&self.h, event_pixel)
+    }
+}
+
+/// Per-frame coefficients of the *Proportional Event Back-Projection*
+/// (`𝒫{Z0 ↝ Zi}` in the paper).
+///
+/// Projections of the points of a single viewing ray onto the virtual image
+/// all lie on a line through the epipole `e` (the projection of the current
+/// camera centre into the virtual camera). The projection at depth `Zi` is a
+/// homothety of the projection at `Z0` about `e`:
+///
+/// ```text
+/// x(Zi) = rᵢ·x(Z0) + (1 − rᵢ)·eₓ,   rᵢ = (1 − c_z/Zi) / (1 − c_z/Z0)
+/// ```
+///
+/// where `c_z` is the Z-coordinate of the current camera centre in the
+/// virtual frame. The coefficients `{rᵢ, (1 − rᵢ)·eₓ, (1 − rᵢ)·e_y}` are the
+/// parameters `φ` that the paper pre-computes on the ARM core and ships to the
+/// FPGA once per event frame; each `PE_Zi` then needs two scalar MACs per
+/// event and per plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProportionalCoefficients {
+    /// Scale factor `rᵢ` per depth plane.
+    pub scale: Vec<f64>,
+    /// Offset `(1 − rᵢ)·eₓ` per depth plane (virtual-camera pixels).
+    pub offset_x: Vec<f64>,
+    /// Offset `(1 − rᵢ)·e_y` per depth plane (virtual-camera pixels).
+    pub offset_y: Vec<f64>,
+    /// Depth of each plane in the virtual frame.
+    pub depths: Vec<f64>,
+}
+
+impl ProportionalCoefficients {
+    /// Computes the per-frame coefficients `φ` for a set of depth planes.
+    ///
+    /// `z0` is the canonical depth used by the matching
+    /// [`CanonicalHomography`] (it does not have to be one of `depths`). The
+    /// accelerator uses the *farthest* plane as the canonical plane so that
+    /// the canonical back-projections stay within the Q9.7 coordinate range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::InvalidDepth`] if any depth (or `z0`) is not
+    /// strictly positive, and [`GeometryError::DegenerateHomography`] when the
+    /// current camera centre lies on the canonical plane (the homothety is
+    /// undefined).
+    pub fn compute(
+        virtual_from_world: &Pose,
+        camera_from_world: &Pose,
+        intrinsics: &CameraIntrinsics,
+        depths: &[f64],
+        z0: f64,
+    ) -> Result<Self, GeometryError> {
+        if depths.is_empty() {
+            return Err(GeometryError::InvalidDepth { depth: f64::NAN });
+        }
+        for &d in depths {
+            if d <= 0.0 || !d.is_finite() {
+                return Err(GeometryError::InvalidDepth { depth: d });
+            }
+        }
+        if z0 <= 0.0 || !z0.is_finite() {
+            return Err(GeometryError::InvalidDepth { depth: z0 });
+        }
+        let v_from_c = virtual_from_world.relative_to(camera_from_world);
+        let c = v_from_c.translation;
+
+        // Epipole: projection of the current camera centre into the virtual
+        // camera. For (near-)pure fronto-parallel motion c_z ≈ 0 and the
+        // epipole is at infinity; the homothety then degenerates to a pure
+        // translation along the epipolar direction, handled below.
+        let denom0 = 1.0 - c.z / z0;
+        if denom0.abs() < 1e-12 {
+            return Err(GeometryError::DegenerateHomography);
+        }
+
+        let n = depths.len();
+        let mut scale = Vec::with_capacity(n);
+        let mut offset_x = Vec::with_capacity(n);
+        let mut offset_y = Vec::with_capacity(n);
+
+        if c.z.abs() < 1e-12 {
+            // Epipole at infinity (sideways / slider motion, the common EMVS
+            // case). The exact relation is then
+            //   x(Zi) = x(Z0) + fx·cₓ·(1/Zi − 1/Z0)
+            // i.e. scale 1 and a per-plane pixel offset.
+            for &zi in depths {
+                scale.push(1.0);
+                offset_x.push(intrinsics.fx * c.x * (1.0 / zi - 1.0 / z0));
+                offset_y.push(intrinsics.fy * c.y * (1.0 / zi - 1.0 / z0));
+            }
+        } else {
+            let ex = intrinsics.fx * c.x / c.z + intrinsics.cx;
+            let ey = intrinsics.fy * c.y / c.z + intrinsics.cy;
+            for &zi in depths {
+                let r = (1.0 - c.z / zi) / denom0;
+                scale.push(r);
+                offset_x.push((1.0 - r) * ex);
+                offset_y.push((1.0 - r) * ey);
+            }
+        }
+
+        Ok(Self { scale, offset_x, offset_y, depths: depths.to_vec() })
+    }
+
+    /// Number of depth planes covered.
+    pub fn len(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// Whether there are no planes (never true for values built by
+    /// [`ProportionalCoefficients::compute`]).
+    pub fn is_empty(&self) -> bool {
+        self.scale.is_empty()
+    }
+
+    /// Transfers a canonical-plane point `x(Z0)` to depth plane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn transfer(&self, canonical: Vec2, i: usize) -> Vec2 {
+        Vec2::new(
+            self.scale[i] * canonical.x + self.offset_x[i],
+            self.scale[i] * canonical.y + self.offset_y[i],
+        )
+    }
+}
+
+/// Reference implementation of event back-projection that raycasts each event
+/// against every depth plane directly (no homography / proportional shortcut).
+///
+/// Used by the test-suite as ground truth for both the canonical homography
+/// and the proportional transfer.
+pub fn backproject_exhaustive(
+    virtual_from_world: &Pose,
+    camera_from_world: &Pose,
+    intrinsics: &CameraIntrinsics,
+    event_pixel: Vec2,
+    depths: &[f64],
+) -> Vec<Option<Vec2>> {
+    let v_from_c = virtual_from_world.relative_to(camera_from_world);
+    let c = v_from_c.translation;
+    let dir = v_from_c.rotate(intrinsics.unproject(event_pixel));
+    depths
+        .iter()
+        .map(|&z| {
+            if dir.z.abs() < 1e-15 {
+                return None;
+            }
+            let lambda = (z - c.z) / dir.z;
+            let p = c + dir * lambda;
+            if p.z <= 0.0 {
+                return None;
+            }
+            Some(Vec2::new(
+                intrinsics.fx * p.x / p.z + intrinsics.cx,
+                intrinsics.fy * p.y / p.z + intrinsics.cy,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quat::UnitQuaternion;
+
+    fn intrinsics() -> CameraIntrinsics {
+        CameraIntrinsics::davis240_default()
+    }
+
+    fn depths(n: usize, z_min: f64, z_max: f64) -> Vec<f64> {
+        // Uniform in inverse depth, index 0 = closest plane (canonical).
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                1.0 / ((1.0 - t) / z_min + t / z_max)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_pose_gives_identity_homography() {
+        let pose = Pose::identity();
+        let h = CanonicalHomography::compute(&pose, &pose, &intrinsics(), 2.0).unwrap();
+        assert!(h.h.max_abs_diff(&Mat3::identity()) < 1e-9);
+        let px = Vec2::new(100.0, 50.0);
+        assert!((h.project(px).unwrap() - px).norm() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nonpositive_canonical_depth() {
+        let pose = Pose::identity();
+        assert!(CanonicalHomography::compute(&pose, &pose, &intrinsics(), 0.0).is_err());
+        assert!(CanonicalHomography::compute(&pose, &pose, &intrinsics(), -1.0).is_err());
+    }
+
+    #[test]
+    fn homography_matches_exhaustive_backprojection_on_z0() {
+        let k = intrinsics();
+        let virtual_pose = Pose::identity();
+        let cam_pose = Pose::new(
+            UnitQuaternion::from_euler(0.02, -0.03, 0.01),
+            Vec3::new(0.10, -0.04, 0.05),
+        );
+        let zs = depths(20, 1.0, 5.0);
+        let h = CanonicalHomography::compute(&virtual_pose, &cam_pose, &k, zs[0]).unwrap();
+        for &(x, y) in &[(20.0, 20.0), (120.0, 90.0), (230.0, 170.0), (5.0, 140.0)] {
+            let px = Vec2::new(x, y);
+            let via_h = h.project(px).unwrap();
+            let via_ray = backproject_exhaustive(&virtual_pose, &cam_pose, &k, px, &zs)[0].unwrap();
+            assert!(
+                (via_h - via_ray).norm() < 1e-6,
+                "pixel {px}: homography {via_h} vs raycast {via_ray}"
+            );
+        }
+    }
+
+    #[test]
+    fn proportional_transfer_matches_exhaustive_backprojection() {
+        let k = intrinsics();
+        let virtual_pose = Pose::identity();
+        // General motion including a Z component so the homothety branch is used.
+        let cam_pose = Pose::new(
+            UnitQuaternion::from_euler(0.01, 0.02, -0.015),
+            Vec3::new(0.08, 0.03, 0.06),
+        );
+        let zs = depths(50, 1.0, 6.0);
+        let h = CanonicalHomography::compute(&virtual_pose, &cam_pose, &k, zs[0]).unwrap();
+        let phi = ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).unwrap();
+        assert_eq!(phi.len(), zs.len());
+
+        for &(x, y) in &[(30.0, 40.0), (120.0, 90.0), (200.0, 160.0)] {
+            let px = Vec2::new(x, y);
+            let canonical = h.project(px).unwrap();
+            let exhaustive = backproject_exhaustive(&virtual_pose, &cam_pose, &k, px, &zs);
+            for (i, exp) in exhaustive.iter().enumerate() {
+                let got = phi.transfer(canonical, i);
+                let exp = exp.unwrap();
+                assert!(
+                    (got - exp).norm() < 1e-5,
+                    "plane {i}: transfer {got} vs raycast {exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_transfer_sideways_motion_epipole_at_infinity() {
+        let k = intrinsics();
+        let virtual_pose = Pose::identity();
+        // Pure sideways slider motion: c_z == 0 exactly.
+        let cam_pose = Pose::from_translation(Vec3::new(0.15, 0.0, 0.0));
+        let zs = depths(30, 0.8, 4.0);
+        let h = CanonicalHomography::compute(&virtual_pose, &cam_pose, &k, zs[0]).unwrap();
+        let phi = ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).unwrap();
+        let px = Vec2::new(80.0, 60.0);
+        let canonical = h.project(px).unwrap();
+        let exhaustive = backproject_exhaustive(&virtual_pose, &cam_pose, &k, px, &zs);
+        for (i, exp) in exhaustive.iter().enumerate() {
+            let got = phi.transfer(canonical, i);
+            let exp = exp.unwrap();
+            assert!((got - exp).norm() < 1e-6, "plane {i}: {got} vs {exp}");
+        }
+    }
+
+    #[test]
+    fn canonical_plane_coefficients_are_identity() {
+        let k = intrinsics();
+        let virtual_pose = Pose::identity();
+        let cam_pose = Pose::from_translation(Vec3::new(0.05, 0.02, 0.03));
+        let zs = depths(10, 1.0, 3.0);
+        let phi = ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).unwrap();
+        assert!((phi.scale[0] - 1.0).abs() < 1e-12);
+        assert!(phi.offset_x[0].abs() < 1e-9);
+        assert!(phi.offset_y[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_depth_lists() {
+        let k = intrinsics();
+        let pose = Pose::identity();
+        assert!(ProportionalCoefficients::compute(&pose, &pose, &k, &[], 1.0).is_err());
+        assert!(ProportionalCoefficients::compute(&pose, &pose, &k, &[1.0, -2.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_camera_on_plane_is_an_error() {
+        let k = intrinsics();
+        let virtual_pose = Pose::identity();
+        // Camera centre exactly on the canonical plane Z0 = 1.
+        let cam_pose = Pose::from_translation(Vec3::new(0.0, 0.0, 1.0));
+        let zs = vec![1.0, 2.0, 3.0];
+        assert!(ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).is_err());
+    }
+}

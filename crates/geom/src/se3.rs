@@ -1,0 +1,211 @@
+//! Rigid-body poses in SE(3): the camera trajectory representation used by
+//! the EMVS mapper and the Eventor accelerator driver.
+
+use crate::mat::{Mat3, Mat4};
+use crate::quat::UnitQuaternion;
+use crate::vec::Vec3;
+use std::fmt;
+use std::ops::Mul;
+
+/// A rigid-body transform (rotation + translation).
+///
+/// The convention throughout this workspace is *camera-to-world*: a
+/// [`Pose`] stored in a trajectory maps points expressed in the camera frame
+/// into the world frame:
+///
+/// ```text
+/// p_world = R * p_camera + t
+/// ```
+///
+/// so `t` is the camera's position in the world and `R`'s columns are the
+/// camera axes expressed in world coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_geom::{Pose, Vec3, UnitQuaternion};
+/// let cam = Pose::new(UnitQuaternion::identity(), Vec3::new(0.0, 0.0, -1.0));
+/// // A point one meter in front of the camera lies at the world origin.
+/// assert!((cam.transform(Vec3::new(0.0, 0.0, 1.0)) - Vec3::ZERO).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose {
+    /// Orientation (camera-to-world rotation).
+    pub rotation: UnitQuaternion,
+    /// Position of the camera origin in world coordinates.
+    pub translation: Vec3,
+}
+
+impl Pose {
+    /// The identity pose.
+    pub fn identity() -> Self {
+        Self { rotation: UnitQuaternion::identity(), translation: Vec3::ZERO }
+    }
+
+    /// Creates a pose from a rotation and translation.
+    pub fn new(rotation: UnitQuaternion, translation: Vec3) -> Self {
+        Self { rotation, translation }
+    }
+
+    /// Creates a pure translation pose.
+    pub fn from_translation(translation: Vec3) -> Self {
+        Self { rotation: UnitQuaternion::identity(), translation }
+    }
+
+    /// Creates a pose from a rotation matrix and translation.
+    pub fn from_matrix_parts(r: &Mat3, t: Vec3) -> Self {
+        Self { rotation: UnitQuaternion::from_rotation_matrix(r), translation: t }
+    }
+
+    /// Applies the pose to a point (`p_world = R p + t`).
+    #[inline]
+    pub fn transform(&self, p: Vec3) -> Vec3 {
+        self.rotation.rotate(p) + self.translation
+    }
+
+    /// Applies only the rotational part (for directions).
+    #[inline]
+    pub fn rotate(&self, v: Vec3) -> Vec3 {
+        self.rotation.rotate(v)
+    }
+
+    /// The inverse transform (world-to-camera when `self` is camera-to-world).
+    pub fn inverse(&self) -> Self {
+        let inv_rot = self.rotation.inverse();
+        Self { rotation: inv_rot, translation: -inv_rot.rotate(self.translation) }
+    }
+
+    /// Composition: `self * rhs` applies `rhs` first, then `self`.
+    pub fn compose(&self, rhs: &Self) -> Self {
+        Self {
+            rotation: self.rotation * rhs.rotation,
+            translation: self.rotation.rotate(rhs.translation) + self.translation,
+        }
+    }
+
+    /// Relative pose mapping points from `other`'s frame into `self`'s frame:
+    /// `self⁻¹ * other`.
+    pub fn relative_to(&self, other: &Self) -> Self {
+        self.inverse().compose(other)
+    }
+
+    /// Euclidean distance between the two camera centers.
+    pub fn translation_distance(&self, other: &Self) -> f64 {
+        (self.translation - other.translation).norm()
+    }
+
+    /// Angular distance between orientations, in radians.
+    pub fn rotation_distance(&self, other: &Self) -> f64 {
+        self.rotation.angle_to(other.rotation)
+    }
+
+    /// Interpolates between two poses (slerp for rotation, lerp for
+    /// translation); `t` in `[0, 1]`.
+    pub fn interpolate(&self, other: &Self, t: f64) -> Self {
+        Self {
+            rotation: self.rotation.slerp(other.rotation, t),
+            translation: self.translation.lerp(other.translation, t),
+        }
+    }
+
+    /// Converts to a homogeneous 4×4 matrix.
+    pub fn to_matrix(&self) -> Mat4 {
+        Mat4::from_rotation_translation(self.rotation.to_rotation_matrix(), self.translation)
+    }
+
+    /// Rotation as a 3×3 matrix.
+    pub fn rotation_matrix(&self) -> Mat3 {
+        self.rotation.to_rotation_matrix()
+    }
+}
+
+impl Mul for Pose {
+    type Output = Pose;
+    fn mul(self, rhs: Pose) -> Pose {
+        self.compose(&rhs)
+    }
+}
+
+impl fmt::Display for Pose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pose(t={}, {})", self.translation, self.rotation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn identity_pose_is_noop() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Pose::identity().transform(p), p);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let pose = Pose::new(
+            UnitQuaternion::from_euler(0.2, -0.4, 0.9),
+            Vec3::new(1.0, -2.0, 0.5),
+        );
+        let p = Vec3::new(0.3, 0.7, 2.0);
+        let back = pose.inverse().transform(pose.transform(p));
+        assert!((back - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn compose_then_apply_matches_sequential() {
+        let a = Pose::new(UnitQuaternion::from_axis_angle(Vec3::Z, 0.3), Vec3::new(1.0, 0.0, 0.0));
+        let b = Pose::new(UnitQuaternion::from_axis_angle(Vec3::X, -0.5), Vec3::new(0.0, 2.0, 0.0));
+        let p = Vec3::new(0.1, 0.2, 0.3);
+        let via_compose = a.compose(&b).transform(p);
+        let via_seq = a.transform(b.transform(p));
+        assert!((via_compose - via_seq).norm() < 1e-12);
+        assert!(((a * b).transform(p) - via_seq).norm() < 1e-12);
+    }
+
+    #[test]
+    fn relative_pose_maps_between_frames() {
+        let world_from_a = Pose::new(UnitQuaternion::from_axis_angle(Vec3::Y, 0.4), Vec3::new(1.0, 1.0, 1.0));
+        let world_from_b = Pose::new(UnitQuaternion::from_axis_angle(Vec3::Z, -0.2), Vec3::new(-1.0, 0.0, 2.0));
+        let a_from_b = world_from_a.relative_to(&world_from_b);
+        let p_b = Vec3::new(0.5, -0.5, 1.5);
+        let via_world = world_from_a.inverse().transform(world_from_b.transform(p_b));
+        let direct = a_from_b.transform(p_b);
+        assert!((via_world - direct).norm() < 1e-12);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Pose::from_translation(Vec3::new(0.0, 0.0, 0.0));
+        let b = Pose::new(
+            UnitQuaternion::from_axis_angle(Vec3::Z, FRAC_PI_2),
+            Vec3::new(3.0, 4.0, 0.0),
+        );
+        assert!((a.translation_distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.rotation_distance(&b) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_endpoints() {
+        let a = Pose::from_translation(Vec3::new(0.0, 0.0, 0.0));
+        let b = Pose::new(
+            UnitQuaternion::from_axis_angle(Vec3::X, 1.0),
+            Vec3::new(2.0, 0.0, 0.0),
+        );
+        assert!(a.interpolate(&b, 0.0).translation_distance(&a) < 1e-12);
+        assert!(a.interpolate(&b, 1.0).translation_distance(&b) < 1e-12);
+        let mid = a.interpolate(&b, 0.5);
+        assert!((mid.translation.x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_matrix_matches_transform() {
+        let pose = Pose::new(UnitQuaternion::from_euler(0.1, 0.2, 0.3), Vec3::new(4.0, 5.0, 6.0));
+        let p = Vec3::new(-1.0, 2.0, 0.5);
+        let via_pose = pose.transform(p);
+        let via_mat = pose.to_matrix().transform_point(p);
+        assert!((via_pose - via_mat).norm() < 1e-12);
+    }
+}

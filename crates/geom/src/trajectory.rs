@@ -1,0 +1,304 @@
+//! Timestamped camera trajectories with pose interpolation.
+//!
+//! The EMVS problem statement assumes a *known* trajectory (from an external
+//! odometry source or, in the paper's evaluation, dataset ground truth). The
+//! mapper queries the pose of the event camera at arbitrary event/frame
+//! timestamps, which requires interpolating between trajectory samples.
+
+use crate::se3::Pose;
+use crate::vec::Vec3;
+use crate::GeometryError;
+
+/// A single timestamped pose sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoseSample {
+    /// Timestamp in seconds.
+    pub timestamp: f64,
+    /// Camera-to-world pose at `timestamp`.
+    pub pose: Pose,
+}
+
+/// A camera trajectory: pose samples sorted by timestamp, queried by
+/// interpolation.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_geom::{Trajectory, Pose, Vec3};
+/// let traj = Trajectory::from_samples(vec![
+///     (0.0, Pose::from_translation(Vec3::ZERO)),
+///     (1.0, Pose::from_translation(Vec3::new(1.0, 0.0, 0.0))),
+/// ])?;
+/// let mid = traj.pose_at(0.5)?;
+/// assert!((mid.translation.x - 0.5).abs() < 1e-12);
+/// # Ok::<(), eventor_geom::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trajectory {
+    samples: Vec<PoseSample>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trajectory from `(timestamp, pose)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnsortedTrajectory`] if the timestamps are not
+    /// strictly increasing, and [`GeometryError::EmptyTrajectory`] for an
+    /// empty input.
+    pub fn from_samples(samples: Vec<(f64, Pose)>) -> Result<Self, GeometryError> {
+        if samples.is_empty() {
+            return Err(GeometryError::EmptyTrajectory);
+        }
+        let mut out = Vec::with_capacity(samples.len());
+        let mut prev = f64::NEG_INFINITY;
+        for (timestamp, pose) in samples {
+            if timestamp <= prev || !timestamp.is_finite() {
+                return Err(GeometryError::UnsortedTrajectory { timestamp });
+            }
+            prev = timestamp;
+            out.push(PoseSample { timestamp, pose });
+        }
+        Ok(Self { samples: out })
+    }
+
+    /// Appends a sample; its timestamp must be greater than the last one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnsortedTrajectory`] otherwise.
+    pub fn push(&mut self, timestamp: f64, pose: Pose) -> Result<(), GeometryError> {
+        if let Some(last) = self.samples.last() {
+            if timestamp <= last.timestamp {
+                return Err(GeometryError::UnsortedTrajectory { timestamp });
+            }
+        }
+        if !timestamp.is_finite() {
+            return Err(GeometryError::UnsortedTrajectory { timestamp });
+        }
+        self.samples.push(PoseSample { timestamp, pose });
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trajectory has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Timestamp of the first sample.
+    pub fn start_time(&self) -> Option<f64> {
+        self.samples.first().map(|s| s.timestamp)
+    }
+
+    /// Timestamp of the last sample.
+    pub fn end_time(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.timestamp)
+    }
+
+    /// Duration covered by the trajectory, in seconds.
+    pub fn duration(&self) -> f64 {
+        match (self.start_time(), self.end_time()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0.0,
+        }
+    }
+
+    /// Iterator over the raw samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, PoseSample> {
+        self.samples.iter()
+    }
+
+    /// Interpolated pose at time `t`.
+    ///
+    /// Linear interpolation of translation and slerp of rotation between the
+    /// bracketing samples; exact sample timestamps return the stored pose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::TimestampOutOfRange`] when `t` lies outside
+    /// `[start_time, end_time]` and [`GeometryError::EmptyTrajectory`] when
+    /// there are no samples.
+    pub fn pose_at(&self, t: f64) -> Result<Pose, GeometryError> {
+        if self.samples.is_empty() {
+            return Err(GeometryError::EmptyTrajectory);
+        }
+        let first = self.samples.first().expect("nonempty");
+        let last = self.samples.last().expect("nonempty");
+        if t < first.timestamp || t > last.timestamp {
+            return Err(GeometryError::TimestampOutOfRange {
+                timestamp: t,
+                start: first.timestamp,
+                end: last.timestamp,
+            });
+        }
+        if self.samples.len() == 1 {
+            return Ok(first.pose);
+        }
+        // Binary search for the bracketing interval.
+        let idx = self
+            .samples
+            .partition_point(|s| s.timestamp <= t)
+            .min(self.samples.len() - 1);
+        let hi = &self.samples[idx];
+        if idx == 0 {
+            return Ok(hi.pose);
+        }
+        let lo = &self.samples[idx - 1];
+        if (hi.timestamp - lo.timestamp).abs() < f64::EPSILON {
+            return Ok(lo.pose);
+        }
+        let alpha = (t - lo.timestamp) / (hi.timestamp - lo.timestamp);
+        Ok(lo.pose.interpolate(&hi.pose, alpha))
+    }
+
+    /// Total path length of the camera centre.
+    pub fn path_length(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| (w[1].pose.translation - w[0].pose.translation).norm())
+            .sum()
+    }
+
+    /// Builds a linear (constant-velocity) trajectory from `start` to `end`
+    /// poses over `[t_start, t_end]`, sampled at `n` points.
+    ///
+    /// Convenience used by the synthetic slider sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `t_end <= t_start`.
+    pub fn linear(start: Pose, end: Pose, t_start: f64, t_end: f64, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        assert!(t_end > t_start, "end time must exceed start time");
+        let samples = (0..n)
+            .map(|i| {
+                let alpha = i as f64 / (n - 1) as f64;
+                let t = t_start + alpha * (t_end - t_start);
+                (t, start.interpolate(&end, alpha))
+            })
+            .collect();
+        Self::from_samples(samples).expect("linear samples are strictly increasing")
+    }
+
+    /// The bounding box of camera centres, as `(min, max)` corners.
+    pub fn translation_bounds(&self) -> Option<(Vec3, Vec3)> {
+        let first = self.samples.first()?;
+        let mut min = first.pose.translation;
+        let mut max = first.pose.translation;
+        for s in &self.samples {
+            let t = s.pose.translation;
+            min = Vec3::new(min.x.min(t.x), min.y.min(t.y), min.z.min(t.z));
+            max = Vec3::new(max.x.max(t.x), max.y.max(t.y), max.z.max(t.z));
+        }
+        Some((min, max))
+    }
+}
+
+impl<'a> IntoIterator for &'a Trajectory {
+    type Item = &'a PoseSample;
+    type IntoIter = std::slice::Iter<'a, PoseSample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quat::UnitQuaternion;
+
+    #[test]
+    fn rejects_empty_and_unsorted() {
+        assert!(matches!(
+            Trajectory::from_samples(vec![]),
+            Err(GeometryError::EmptyTrajectory)
+        ));
+        let bad = vec![
+            (1.0, Pose::identity()),
+            (0.5, Pose::identity()),
+        ];
+        assert!(matches!(
+            Trajectory::from_samples(bad),
+            Err(GeometryError::UnsortedTrajectory { .. })
+        ));
+    }
+
+    #[test]
+    fn push_enforces_ordering() {
+        let mut t = Trajectory::new();
+        t.push(0.0, Pose::identity()).unwrap();
+        assert!(t.push(0.0, Pose::identity()).is_err());
+        assert!(t.push(1.0, Pose::identity()).is_ok());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn interpolation_midpoint() {
+        let traj = Trajectory::from_samples(vec![
+            (0.0, Pose::from_translation(Vec3::ZERO)),
+            (2.0, Pose::from_translation(Vec3::new(4.0, 0.0, 0.0))),
+        ])
+        .unwrap();
+        let p = traj.pose_at(1.0).unwrap();
+        assert!((p.translation.x - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_sample_times_return_stored_pose() {
+        let pose1 = Pose::new(UnitQuaternion::from_euler(0.1, 0.0, 0.0), Vec3::new(1.0, 2.0, 3.0));
+        let traj = Trajectory::from_samples(vec![
+            (0.0, Pose::identity()),
+            (1.0, pose1),
+            (2.0, Pose::identity()),
+        ])
+        .unwrap();
+        let p = traj.pose_at(1.0).unwrap();
+        assert!(p.translation_distance(&pose1) < 1e-12);
+        assert!(p.rotation_distance(&pose1) < 1e-12);
+        let p0 = traj.pose_at(0.0).unwrap();
+        assert!(p0.translation_distance(&Pose::identity()) < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let traj = Trajectory::from_samples(vec![
+            (1.0, Pose::identity()),
+            (2.0, Pose::identity()),
+        ])
+        .unwrap();
+        assert!(traj.pose_at(0.5).is_err());
+        assert!(traj.pose_at(2.5).is_err());
+        assert!(traj.pose_at(1.5).is_ok());
+    }
+
+    #[test]
+    fn linear_trajectory_properties() {
+        let start = Pose::from_translation(Vec3::ZERO);
+        let end = Pose::from_translation(Vec3::new(0.3, 0.0, 0.0));
+        let traj = Trajectory::linear(start, end, 0.0, 1.0, 11);
+        assert_eq!(traj.len(), 11);
+        assert!((traj.duration() - 1.0).abs() < 1e-12);
+        assert!((traj.path_length() - 0.3).abs() < 1e-12);
+        let (min, max) = traj.translation_bounds().unwrap();
+        assert!((min - Vec3::ZERO).norm() < 1e-12);
+        assert!((max - Vec3::new(0.3, 0.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_trajectory() {
+        let traj = Trajectory::from_samples(vec![(1.0, Pose::from_translation(Vec3::X))]).unwrap();
+        let p = traj.pose_at(1.0).unwrap();
+        assert!((p.translation - Vec3::X).norm() < 1e-12);
+        assert_eq!(traj.duration(), 0.0);
+    }
+}

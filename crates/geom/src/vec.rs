@@ -1,0 +1,524 @@
+//! Small fixed-size vectors used throughout the EMVS pipeline.
+//!
+//! All types are `f64`-backed: the baseline EMVS algorithm operates in double
+//! precision and the quantized datapath in [`eventor-fixed`] converts from
+//! these representations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2-D vector (image-plane point, pixel coordinate, …).
+///
+/// # Examples
+///
+/// ```
+/// use eventor_geom::Vec2;
+/// let p = Vec2::new(3.0, 4.0);
+/// assert_eq!(p.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+/// A 3-D vector (scene point, translation, ray direction, …).
+///
+/// # Examples
+///
+/// ```
+/// use eventor_geom::Vec3;
+/// let v = Vec3::new(1.0, 0.0, 0.0).cross(Vec3::new(0.0, 1.0, 0.0));
+/// assert_eq!(v, Vec3::new(0.0, 0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component (depth axis for camera-frame points).
+    pub z: f64,
+}
+
+/// A 4-D vector (homogeneous 3-D point).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+    /// Homogeneous component.
+    pub w: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0 };
+
+    /// Creates a new vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Self) -> f64 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns `None` when the norm is zero (or numerically negligible).
+    #[inline]
+    pub fn normalized(self) -> Option<Self> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Self) -> Self {
+        Self::new(self.x.min(rhs.x), self.y.min(rhs.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        Self::new(self.x.max(rhs.x), self.y.max(rhs.y))
+    }
+
+    /// Promotes to a homogeneous 3-vector `(x, y, 1)`.
+    #[inline]
+    pub fn to_homogeneous(self) -> Vec3 {
+        Vec3::new(self.x, self.y, 1.0)
+    }
+
+    /// Returns true when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along X.
+    pub const X: Self = Self { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along Y.
+    pub const Y: Self = Self { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along Z.
+    pub const Z: Self = Self { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a new vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Self) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Self) -> Self {
+        Self::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns `None` when the norm is zero (or numerically negligible).
+    #[inline]
+    pub fn normalized(self) -> Option<Self> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Perspective division: projects onto the plane `z = 1`.
+    ///
+    /// Returns `None` when `z` is (numerically) zero.
+    #[inline]
+    pub fn hnormalized(self) -> Option<Vec2> {
+        if self.z.abs() <= f64::EPSILON {
+            None
+        } else {
+            Some(Vec2::new(self.x / self.z, self.y / self.z))
+        }
+    }
+
+    /// Promotes to a homogeneous 4-vector `(x, y, z, 1)`.
+    #[inline]
+    pub fn to_homogeneous(self) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, 1.0)
+    }
+
+    /// Returns true when all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Linear interpolation: `self * (1 - t) + rhs * t`.
+    #[inline]
+    pub fn lerp(self, rhs: Self, t: f64) -> Self {
+        self * (1.0 - t) + rhs * t
+    }
+}
+
+impl Vec4 {
+    /// Creates a new vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64, w: f64) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Self) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z + self.w * rhs.w
+    }
+
+    /// Perspective division by the homogeneous component.
+    ///
+    /// Returns `None` when `w` is (numerically) zero.
+    #[inline]
+    pub fn hnormalized(self) -> Option<Vec3> {
+        if self.w.abs() <= f64::EPSILON {
+            None
+        } else {
+            Some(Vec3::new(self.x / self.w, self.y / self.w, self.z / self.w))
+        }
+    }
+}
+
+macro_rules! impl_vec_ops {
+    ($ty:ty, $($field:ident),+) => {
+        impl Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self { $($field: self.$field + rhs.$field),+ }
+            }
+        }
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                $(self.$field += rhs.$field;)+
+            }
+        }
+        impl Sub for $ty {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self { $($field: self.$field - rhs.$field),+ }
+            }
+        }
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                $(self.$field -= rhs.$field;)+
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self { $($field: self.$field * rhs),+ }
+            }
+        }
+        impl MulAssign<f64> for $ty {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                $(self.$field *= rhs;)+
+            }
+        }
+        impl Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                rhs * self
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self { $($field: self.$field / rhs),+ }
+            }
+        }
+        impl DivAssign<f64> for $ty {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                $(self.$field /= rhs;)+
+            }
+        }
+        impl Neg for $ty {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self { $($field: -self.$field),+ }
+            }
+        }
+    };
+}
+
+impl_vec_ops!(Vec2, x, y);
+impl_vec_ops!(Vec3, x, y, z);
+impl_vec_ops!(Vec4, x, y, z, w);
+
+impl Index<usize> for Vec2 {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            _ => panic!("Vec2 index {i} out of bounds"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec2 {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            _ => panic!("Vec2 index {i} out of bounds"),
+        }
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of bounds"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index {i} out of bounds"),
+        }
+    }
+}
+
+impl Index<usize> for Vec4 {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            3 => &self.w,
+            _ => panic!("Vec4 index {i} out of bounds"),
+        }
+    }
+}
+
+impl From<[f64; 2]> for Vec2 {
+    fn from(a: [f64; 2]) -> Self {
+        Self::new(a[0], a[1])
+    }
+}
+
+impl From<Vec2> for [f64; 2] {
+    fn from(v: Vec2) -> Self {
+        [v.x, v.y]
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6}, {:.6})", self.x, self.y, self.z)
+    }
+}
+
+impl fmt::Display for Vec4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6}, {:.6}, {:.6})", self.x, self.y, self.z, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -4.0);
+        assert_eq!(a + b, Vec2::new(4.0, -2.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 6.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn vec2_dot_and_norm() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.dot(a), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_squared(), 25.0);
+        let n = a.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+        assert!(Vec2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec3_basis_cross_products() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn homogeneous_round_trip() {
+        let p = Vec2::new(0.5, -1.5);
+        let h = p.to_homogeneous();
+        assert_eq!(h.hnormalized().unwrap(), p);
+
+        let q = Vec3::new(1.0, 2.0, 4.0);
+        let h4 = q.to_homogeneous();
+        assert_eq!(h4.hnormalized().unwrap(), q);
+    }
+
+    #[test]
+    fn hnormalized_rejects_zero_depth() {
+        assert!(Vec3::new(1.0, 1.0, 0.0).hnormalized().is_none());
+        assert!(Vec4::new(1.0, 1.0, 1.0, 0.0).hnormalized().is_none());
+    }
+
+    #[test]
+    fn indexing() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+        let mut w = Vec2::new(0.0, 0.0);
+        w[1] = 5.0;
+        assert_eq!(w.y, 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vec3_index_out_of_bounds_panics() {
+        let v = Vec3::ZERO;
+        let _ = v[3];
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn array_conversions() {
+        let v: Vec3 = [1.0, 2.0, 3.0].into();
+        let a: [f64; 3] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+        let p: Vec2 = [4.0, 5.0].into();
+        let b: [f64; 2] = p.into();
+        assert_eq!(b, [4.0, 5.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Vec2::ZERO).is_empty());
+        assert!(!format!("{}", Vec3::ZERO).is_empty());
+        assert!(!format!("{}", Vec4::new(0.0, 0.0, 0.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(2.0, 3.0);
+        assert_eq!(a.min(b), Vec2::new(1.0, 3.0));
+        assert_eq!(a.max(b), Vec2::new(2.0, 5.0));
+    }
+}

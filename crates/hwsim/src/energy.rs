@@ -1,0 +1,154 @@
+//! Power and energy model (the power row of Table 3 and the paper's headline
+//! 24× energy-efficiency claim).
+//!
+//! The model splits the Zynq's power into the ARM processing-system (PS)
+//! share and a programmable-logic (PL) share that scales with the resources
+//! in use and the fabric clock. The constants are calibrated so that the
+//! paper's prototype configuration lands at the reported 1.86 W; the Intel
+//! i5-7300HQ baseline uses its 45 W TDP, as the paper does.
+
+use crate::resources::ResourceReport;
+use crate::timing::AcceleratorConfig;
+
+/// Power consumption of the Intel i5-7300HQ CPU baseline, in watts (TDP, the
+/// figure the paper uses).
+pub const INTEL_I5_POWER_W: f64 = 45.0;
+
+/// Parameters of the Zynq power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Static + dynamic power of the ARM PS (CPU, DDR controller, on-chip
+    /// interconnect), watts.
+    pub ps_power_w: f64,
+    /// Static power of the programmable logic, watts.
+    pub pl_static_w: f64,
+    /// Dynamic PL power per LUT at 100 MHz, watts.
+    pub w_per_lut_100mhz: f64,
+    /// Dynamic PL power per flip-flop at 100 MHz, watts.
+    pub w_per_ff_100mhz: f64,
+    /// Dynamic PL power per KB of active BRAM at 100 MHz, watts.
+    pub w_per_bram_kb_100mhz: f64,
+    /// DDR3 device + PHY power under the accelerator's traffic, watts.
+    pub dram_power_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self {
+            ps_power_w: 1.10,
+            pl_static_w: 0.12,
+            w_per_lut_100mhz: 8.0e-6,
+            w_per_ff_100mhz: 4.0e-6,
+            w_per_bram_kb_100mhz: 1.0e-3,
+            dram_power_w: 0.26,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Total accelerator power for a configuration and its resource usage,
+    /// in watts.
+    pub fn accelerator_power_w(&self, config: &AcceleratorConfig, resources: &ResourceReport) -> f64 {
+        let clock_scale = config.fabric_clock.frequency_hz / 100.0e6;
+        let pl_dynamic = clock_scale
+            * (self.w_per_lut_100mhz * resources.total_luts() as f64
+                + self.w_per_ff_100mhz * resources.total_flip_flops() as f64
+                + self.w_per_bram_kb_100mhz * resources.total_bram_bytes() as f64 / 1024.0);
+        self.ps_power_w + self.pl_static_w + self.dram_power_w + pl_dynamic
+    }
+}
+
+/// Energy comparison between the CPU baseline and the accelerator on the same
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyComparison {
+    /// CPU runtime for the workload, seconds.
+    pub cpu_seconds: f64,
+    /// Accelerator runtime for the workload, seconds.
+    pub accelerator_seconds: f64,
+    /// CPU power, watts.
+    pub cpu_power_w: f64,
+    /// Accelerator power, watts.
+    pub accelerator_power_w: f64,
+}
+
+impl EnergyComparison {
+    /// CPU energy in joules.
+    pub fn cpu_energy_j(&self) -> f64 {
+        self.cpu_seconds * self.cpu_power_w
+    }
+
+    /// Accelerator energy in joules.
+    pub fn accelerator_energy_j(&self) -> f64 {
+        self.accelerator_seconds * self.accelerator_power_w
+    }
+
+    /// Energy-efficiency improvement factor (CPU energy / accelerator
+    /// energy) — the paper's headline "24×" figure.
+    pub fn efficiency_gain(&self) -> f64 {
+        let acc = self.accelerator_energy_j();
+        if acc <= 0.0 {
+            return 0.0;
+        }
+        self.cpu_energy_j() / acc
+    }
+
+    /// Pure power-reduction factor (ignoring runtime differences).
+    pub fn power_reduction(&self) -> f64 {
+        if self.accelerator_power_w <= 0.0 {
+            return 0.0;
+        }
+        self.cpu_power_w / self.accelerator_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::estimate_resources;
+
+    #[test]
+    fn prototype_power_matches_table3() {
+        let config = AcceleratorConfig::default();
+        let resources = estimate_resources(&config);
+        let p = PowerModel::default().accelerator_power_w(&config, &resources);
+        assert!((p - 1.86).abs() < 0.15, "accelerator power {p} W");
+    }
+
+    #[test]
+    fn power_scales_with_resources() {
+        let model = PowerModel::default();
+        let small = AcceleratorConfig::default();
+        let big = AcceleratorConfig::default().with_pe_zi(8);
+        let p_small = model.accelerator_power_w(&small, &estimate_resources(&small));
+        let p_big = model.accelerator_power_w(&big, &estimate_resources(&big));
+        assert!(p_big > p_small);
+    }
+
+    #[test]
+    fn energy_comparison_matches_paper_magnitude() {
+        // Table 3: comparable runtimes, 45 W vs 1.86 W -> ~24x efficiency.
+        let cmp = EnergyComparison {
+            cpu_seconds: 581.95e-6,
+            accelerator_seconds: 551.58e-6,
+            cpu_power_w: INTEL_I5_POWER_W,
+            accelerator_power_w: 1.86,
+        };
+        let gain = cmp.efficiency_gain();
+        assert!(gain > 20.0 && gain < 30.0, "efficiency gain {gain}");
+        assert!((cmp.power_reduction() - 24.19).abs() < 0.5);
+        assert!(cmp.cpu_energy_j() > cmp.accelerator_energy_j());
+    }
+
+    #[test]
+    fn degenerate_comparisons_are_safe() {
+        let cmp = EnergyComparison {
+            cpu_seconds: 1.0,
+            accelerator_seconds: 0.0,
+            cpu_power_w: 45.0,
+            accelerator_power_w: 0.0,
+        };
+        assert_eq!(cmp.efficiency_gain(), 0.0);
+        assert_eq!(cmp.power_reduction(), 0.0);
+    }
+}

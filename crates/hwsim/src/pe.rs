@@ -1,0 +1,112 @@
+//! Processing-element timing models: `PE_Z0` (Canonical Projection Module)
+//! and `PE_Zi` (Proportional Projection Module), plus the Vote Execute Unit.
+//!
+//! All units are fully pipelined with an initiation interval of one, so their
+//! latency for a frame is `work_items + pipeline_overhead` cycles; the frame
+//! schedule in [`crate::schedule`] composes them.
+
+use crate::memory::DramDsiModel;
+use crate::timing::{AcceleratorConfig, Cycles};
+
+/// Timing model of `PE_Z0`: the matrix-vector MAC array plus normalization
+/// divider that computes the canonical back-projection `𝒫{Z0}`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeZ0;
+
+impl PeZ0 {
+    /// Cycles to process one event frame (one event per cycle when the
+    /// pipeline is full).
+    pub fn frame_cycles(config: &AcceleratorConfig) -> Cycles {
+        config.events_per_frame as Cycles + config.pe_z0_pipeline_overhead
+    }
+}
+
+/// Timing model of the array of `PE_Zi`: scalar MACs, nearest-voxel finder
+/// and vote-address generator computing `𝒫{Z0;Zi}` and `𝒢`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeZiArray;
+
+impl PeZiArray {
+    /// Cycles for the PE array to generate all vote addresses of one frame:
+    /// each event must visit every depth plane, and the planes are divided
+    /// evenly among the `PE_Zi`.
+    pub fn frame_cycles(config: &AcceleratorConfig) -> Cycles {
+        let planes_per_pe = config.num_depth_planes.div_ceil(config.num_pe_zi);
+        (config.events_per_frame * planes_per_pe) as Cycles + config.pe_zi_pipeline_overhead
+    }
+}
+
+/// Timing model of the Vote Execute Unit: DSI read-modify-write traffic over
+/// the AXI-HP ports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VoteExecuteUnit;
+
+impl VoteExecuteUnit {
+    /// Cycles to apply all votes of one frame.
+    pub fn frame_cycles(config: &AcceleratorConfig) -> Cycles {
+        DramDsiModel::vote_cycles(config)
+    }
+}
+
+/// Combined timing of the Proportional Projection Module for one frame: the
+/// PE array and the Vote Execute Unit operate concurrently (addresses stream
+/// through `Buf_V`), so the slower of the two dominates.
+pub fn proportional_module_cycles(config: &AcceleratorConfig) -> Cycles {
+    PeZiArray::frame_cycles(config).max(VoteExecuteUnit::frame_cycles(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::ClockDomain;
+
+    #[test]
+    fn pe_z0_latency_matches_paper() {
+        // Table 3: P{Z0} takes 8.24 us per 1024-event frame on Eventor.
+        let config = AcceleratorConfig::default();
+        let us = ClockDomain::fabric_default().cycles_to_us(PeZ0::frame_cycles(&config));
+        assert!((us - 8.24).abs() < 0.1, "P(Z0) latency {us} us");
+    }
+
+    #[test]
+    fn proportional_module_latency_matches_paper() {
+        // Table 3: P{Z0;Zi} + R takes 551.58 us per frame on Eventor.
+        let config = AcceleratorConfig::default();
+        let us = ClockDomain::fabric_default().cycles_to_us(proportional_module_cycles(&config));
+        assert!((us - 551.58).abs() < 15.0, "P(Z0;Zi)+R latency {us} us");
+    }
+
+    #[test]
+    fn vote_unit_is_the_bottleneck_in_default_config() {
+        let config = AcceleratorConfig::default();
+        assert!(VoteExecuteUnit::frame_cycles(&config) > PeZiArray::frame_cycles(&config));
+    }
+
+    #[test]
+    fn more_pe_zi_reduces_address_generation_time() {
+        let two = AcceleratorConfig::default();
+        let four = AcceleratorConfig::default().with_pe_zi(4);
+        assert!(PeZiArray::frame_cycles(&four) < PeZiArray::frame_cycles(&two));
+        // But the overall proportional module time saturates once the vote
+        // unit dominates.
+        assert_eq!(
+            proportional_module_cycles(&four),
+            VoteExecuteUnit::frame_cycles(&four)
+        );
+    }
+
+    #[test]
+    fn single_pe_zi_makes_address_generation_dominate() {
+        let one = AcceleratorConfig::default().with_pe_zi(1);
+        assert!(PeZiArray::frame_cycles(&one) > VoteExecuteUnit::frame_cycles(&one));
+        assert_eq!(proportional_module_cycles(&one), PeZiArray::frame_cycles(&one));
+    }
+
+    #[test]
+    fn fewer_planes_scale_both_units_down() {
+        let full = AcceleratorConfig::default();
+        let half = AcceleratorConfig::default().with_depth_planes(50);
+        assert!(PeZiArray::frame_cycles(&half) < PeZiArray::frame_cycles(&full));
+        assert!(VoteExecuteUnit::frame_cycles(&half) < VoteExecuteUnit::frame_cycles(&full));
+    }
+}

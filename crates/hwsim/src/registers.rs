@@ -1,0 +1,227 @@
+//! The memory-mapped control/status register file through which the ARM host
+//! drives the accelerator.
+//!
+//! The paper's description is operational ("ARM configures DMA to transfer
+//! input event coordinates and parameters to input buffers, then sends
+//! instructions to start the computational modules"); this module gives that
+//! interface a concrete register map so the driver in `eventor-core` and the
+//! device model in [`crate::device`] can exchange commands the same way the
+//! PS and PL of the prototype do over an AXI-Lite slave port.
+
+use std::fmt;
+
+/// Word offsets of the accelerator's AXI-Lite register map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Register {
+    /// Control register (start, DSI reset, soft reset, interrupt enable).
+    Control = 0,
+    /// Status register (busy, done, error, buffer-ready flags).
+    Status = 1,
+    /// Frame kind of the next frame: 0 = normal, 1 = key.
+    FrameKind = 2,
+    /// Number of events in the staged frame.
+    NumEvents = 3,
+    /// Number of DSI depth planes.
+    NumPlanes = 4,
+    /// Sensor width in pixels.
+    SensorWidth = 5,
+    /// Sensor height in pixels.
+    SensorHeight = 6,
+    /// Base address of the DSI region in DRAM (word address).
+    DsiBase = 7,
+    /// Votes applied during the last frame (read-only result).
+    VotesApplied = 8,
+    /// Events dropped by the projection-missing judgement (read-only result).
+    EventsDropped = 9,
+    /// Low 32 bits of the cycle count of the last frame (read-only result).
+    CyclesLow = 10,
+    /// High 32 bits of the cycle count of the last frame (read-only result).
+    CyclesHigh = 11,
+    /// Interrupt status (write 1 to clear).
+    InterruptStatus = 12,
+}
+
+/// Number of 32-bit registers in the map.
+pub const REGISTER_COUNT: usize = 16;
+
+/// Control-register bits.
+pub mod ctrl {
+    /// Start processing the staged frame.
+    pub const START: u32 = 1 << 0;
+    /// Reset (zero) the DSI region before processing — set for key frames.
+    pub const RESET_DSI: u32 = 1 << 1;
+    /// Soft-reset the datapath and clear all result registers.
+    pub const SOFT_RESET: u32 = 1 << 2;
+    /// Enable the frame-done interrupt.
+    pub const IRQ_ENABLE: u32 = 1 << 3;
+}
+
+/// Status-register bits.
+pub mod status {
+    /// The datapath is processing a frame.
+    pub const BUSY: u32 = 1 << 0;
+    /// The last started frame has completed.
+    pub const DONE: u32 = 1 << 1;
+    /// The staged configuration was rejected (e.g. zero events).
+    pub const ERROR: u32 = 1 << 2;
+    /// `Buf_E` has a free bank and can accept the next DMA chain.
+    pub const BUF_E_READY: u32 = 1 << 3;
+    /// `Buf_I` has a free bank (canonical module may run ahead).
+    pub const BUF_I_READY: u32 = 1 << 4;
+}
+
+/// The register file of the accelerator's AXI-Lite slave interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterFile {
+    words: [u32; REGISTER_COUNT],
+    writes: u64,
+    reads: u64,
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegisterFile {
+    /// Creates a register file in its reset state (`Buf_E`/`Buf_I` ready).
+    pub fn new() -> Self {
+        let mut rf = Self { words: [0; REGISTER_COUNT], writes: 0, reads: 0 };
+        rf.words[Register::Status as usize] = status::BUF_E_READY | status::BUF_I_READY;
+        rf
+    }
+
+    /// Reads a register.
+    pub fn read(&mut self, register: Register) -> u32 {
+        self.reads += 1;
+        self.words[register as usize]
+    }
+
+    /// Reads a register without counting the access (model-internal view).
+    pub fn peek(&self, register: Register) -> u32 {
+        self.words[register as usize]
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, register: Register, value: u32) {
+        self.writes += 1;
+        self.words[register as usize] = value;
+    }
+
+    /// Sets the given status bits.
+    pub fn set_status(&mut self, bits: u32) {
+        self.words[Register::Status as usize] |= bits;
+    }
+
+    /// Clears the given status bits.
+    pub fn clear_status(&mut self, bits: u32) {
+        self.words[Register::Status as usize] &= !bits;
+    }
+
+    /// Whether all the given status bits are set.
+    pub fn status_is(&self, bits: u32) -> bool {
+        self.words[Register::Status as usize] & bits == bits
+    }
+
+    /// Stores the 64-bit cycle count of the last frame in the result
+    /// registers.
+    pub fn set_cycle_result(&mut self, cycles: u64) {
+        self.words[Register::CyclesLow as usize] = cycles as u32;
+        self.words[Register::CyclesHigh as usize] = (cycles >> 32) as u32;
+    }
+
+    /// Reads back the 64-bit cycle count of the last frame.
+    pub fn cycle_result(&self) -> u64 {
+        (self.words[Register::CyclesHigh as usize] as u64) << 32
+            | self.words[Register::CyclesLow as usize] as u64
+    }
+
+    /// Number of host register accesses (reads + writes) so far.
+    pub fn host_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Resets every register to its power-on value.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+impl fmt::Display for RegisterFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CTRL   = {:#010x}", self.words[Register::Control as usize])?;
+        writeln!(f, "STATUS = {:#010x}", self.words[Register::Status as usize])?;
+        writeln!(f, "EVENTS = {}", self.words[Register::NumEvents as usize])?;
+        writeln!(f, "PLANES = {}", self.words[Register::NumPlanes as usize])?;
+        write!(f, "CYCLES = {}", self.cycle_result())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_reports_ready_buffers() {
+        let rf = RegisterFile::new();
+        assert!(rf.status_is(status::BUF_E_READY));
+        assert!(rf.status_is(status::BUF_I_READY));
+        assert!(!rf.status_is(status::BUSY));
+        assert_eq!(rf.host_accesses(), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut rf = RegisterFile::new();
+        rf.write(Register::NumEvents, 1024);
+        rf.write(Register::NumPlanes, 100);
+        assert_eq!(rf.read(Register::NumEvents), 1024);
+        assert_eq!(rf.read(Register::NumPlanes), 100);
+        assert_eq!(rf.host_accesses(), 4);
+    }
+
+    #[test]
+    fn status_bit_manipulation() {
+        let mut rf = RegisterFile::new();
+        rf.set_status(status::BUSY);
+        assert!(rf.status_is(status::BUSY));
+        rf.clear_status(status::BUSY);
+        rf.set_status(status::DONE);
+        assert!(!rf.status_is(status::BUSY));
+        assert!(rf.status_is(status::DONE));
+        assert!(!rf.status_is(status::BUSY | status::DONE));
+    }
+
+    #[test]
+    fn cycle_result_spans_two_registers() {
+        let mut rf = RegisterFile::new();
+        let cycles = 0x1_2345_6789_u64;
+        rf.set_cycle_result(cycles);
+        assert_eq!(rf.cycle_result(), cycles);
+        assert_eq!(rf.peek(Register::CyclesHigh), 1);
+        assert_eq!(rf.peek(Register::CyclesLow), 0x2345_6789);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut rf = RegisterFile::new();
+        rf.write(Register::Control, ctrl::START | ctrl::RESET_DSI);
+        rf.set_status(status::ERROR);
+        rf.reset();
+        assert_eq!(rf.peek(Register::Control), 0);
+        assert!(!rf.status_is(status::ERROR));
+        assert!(rf.status_is(status::BUF_E_READY));
+    }
+
+    #[test]
+    fn display_includes_key_registers() {
+        let mut rf = RegisterFile::new();
+        rf.write(Register::NumEvents, 7);
+        rf.set_cycle_result(99);
+        let s = format!("{rf}");
+        assert!(s.contains("EVENTS = 7"));
+        assert!(s.contains("CYCLES = 99"));
+    }
+}

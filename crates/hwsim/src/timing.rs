@@ -1,0 +1,230 @@
+//! Clock domains and architectural timing parameters of the Eventor
+//! accelerator model.
+
+/// A number of fabric clock cycles.
+pub type Cycles = u64;
+
+/// A clock domain with a fixed frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomain {
+    /// Frequency in hertz.
+    pub frequency_hz: f64,
+}
+
+impl ClockDomain {
+    /// The Eventor programmable-logic clock (130 MHz in the paper).
+    pub fn fabric_default() -> Self {
+        Self { frequency_hz: 130.0e6 }
+    }
+
+    /// The DDR3 memory clock (533 MHz in the paper).
+    pub fn ddr_default() -> Self {
+        Self { frequency_hz: 533.0e6 }
+    }
+
+    /// Creates a clock domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not strictly positive.
+    pub fn new(frequency_hz: f64) -> Self {
+        assert!(frequency_hz > 0.0, "clock frequency must be positive");
+        Self { frequency_hz }
+    }
+
+    /// Converts a cycle count in this domain to seconds.
+    pub fn cycles_to_seconds(&self, cycles: Cycles) -> f64 {
+        cycles as f64 / self.frequency_hz
+    }
+
+    /// Converts a cycle count in this domain to microseconds.
+    pub fn cycles_to_us(&self, cycles: Cycles) -> f64 {
+        self.cycles_to_seconds(cycles) * 1e6
+    }
+
+    /// Converts a duration in seconds to (rounded-up) cycles.
+    pub fn seconds_to_cycles(&self, seconds: f64) -> Cycles {
+        (seconds * self.frequency_hz).ceil() as Cycles
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn period_ns(&self) -> f64 {
+        1e9 / self.frequency_hz
+    }
+}
+
+/// Architectural configuration of the Eventor prototype.
+///
+/// The defaults reproduce the prototype evaluated in the paper: one `PE_Z0`,
+/// two `PE_Zi`, 1024-event frames, 100 depth planes, a 130 MHz fabric clock
+/// and a 32-bit DDR3-533 external memory reached through two AXI-HP ports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Fabric (programmable logic) clock.
+    pub fabric_clock: ClockDomain,
+    /// DDR memory clock.
+    pub ddr_clock: ClockDomain,
+    /// Number of `PE_Zi` processing elements in the Proportional Projection
+    /// Module.
+    pub num_pe_zi: usize,
+    /// Number of events per event frame.
+    pub events_per_frame: usize,
+    /// Number of DSI depth planes.
+    pub num_depth_planes: usize,
+    /// Sensor width in pixels (DSI width).
+    pub sensor_width: usize,
+    /// Sensor height in pixels (DSI height).
+    pub sensor_height: usize,
+    /// Pipeline fill/drain overhead of `PE_Z0`, in cycles per frame.
+    pub pe_z0_pipeline_overhead: Cycles,
+    /// Pipeline fill/drain plus control overhead of the Proportional
+    /// Projection Module, in cycles per frame.
+    pub pe_zi_pipeline_overhead: Cycles,
+    /// Number of AXI-HP ports available to the Vote Execute Unit.
+    pub axi_hp_ports: usize,
+    /// Effective fraction of the theoretical DRAM bandwidth achieved by the
+    /// Vote Execute Unit's read-modify-write traffic (random-ish accesses,
+    /// bank conflicts, refresh). Calibrated against the paper's Table 3.
+    pub dram_efficiency: f64,
+    /// Bytes of DSI-score traffic per vote (16-bit score read + write).
+    pub bytes_per_vote: usize,
+    /// DDR data-bus width in bytes (32-bit on the XC7Z020 PS DDR controller).
+    pub ddr_bus_bytes: usize,
+    /// Whether the input buffers are double-buffered (ping-pong). Without
+    /// double buffering the DMA transfer time is exposed in the frame
+    /// latency instead of being overlapped.
+    pub double_buffering: bool,
+    /// DMA setup latency per frame, in fabric cycles.
+    pub dma_setup_cycles: Cycles,
+    /// Effective DMA streaming bandwidth from DRAM into `Buf_E`, bytes per
+    /// fabric cycle.
+    pub dma_bytes_per_cycle: f64,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self {
+            fabric_clock: ClockDomain::fabric_default(),
+            ddr_clock: ClockDomain::ddr_default(),
+            num_pe_zi: 2,
+            events_per_frame: 1024,
+            num_depth_planes: 100,
+            sensor_width: 240,
+            sensor_height: 180,
+            pe_z0_pipeline_overhead: 47,
+            pe_zi_pipeline_overhead: 64,
+            axi_hp_ports: 2,
+            dram_efficiency: 0.175,
+            bytes_per_vote: 4,
+            ddr_bus_bytes: 4,
+            double_buffering: true,
+            dma_setup_cycles: 120,
+            dma_bytes_per_cycle: 4.0,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// Builder-style override of the number of `PE_Zi`.
+    pub fn with_pe_zi(mut self, n: usize) -> Self {
+        self.num_pe_zi = n.max(1);
+        self
+    }
+
+    /// Builder-style override of the number of depth planes.
+    pub fn with_depth_planes(mut self, n: usize) -> Self {
+        self.num_depth_planes = n.max(2);
+        self
+    }
+
+    /// Builder-style override of double buffering.
+    pub fn with_double_buffering(mut self, enabled: bool) -> Self {
+        self.double_buffering = enabled;
+        self
+    }
+
+    /// Builder-style override of the frame size.
+    pub fn with_events_per_frame(mut self, n: usize) -> Self {
+        self.events_per_frame = n.max(1);
+        self
+    }
+
+    /// Total DSI votes generated per full event frame (one per event per
+    /// depth plane).
+    pub fn votes_per_frame(&self) -> u64 {
+        self.events_per_frame as u64 * self.num_depth_planes as u64
+    }
+
+    /// Peak DRAM bandwidth in bytes per second (DDR: two transfers per clock).
+    pub fn dram_peak_bandwidth(&self) -> f64 {
+        self.ddr_clock.frequency_hz * 2.0 * self.ddr_bus_bytes as f64
+    }
+
+    /// Effective vote throughput of the Vote Execute Unit, in votes per
+    /// fabric cycle, limited by DRAM read-modify-write bandwidth across the
+    /// available AXI-HP ports.
+    pub fn votes_per_cycle(&self) -> f64 {
+        let effective_bw = self.dram_peak_bandwidth() * self.dram_efficiency
+            * (self.axi_hp_ports as f64 / 2.0).min(1.0);
+        let votes_per_second = effective_bw / self.bytes_per_vote as f64;
+        votes_per_second / self.fabric_clock.frequency_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_conversions() {
+        let clk = ClockDomain::fabric_default();
+        assert!((clk.cycles_to_us(130) - 1.0).abs() < 1e-9);
+        assert_eq!(clk.seconds_to_cycles(1e-6), 130);
+        assert!((clk.period_ns() - 7.6923).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_frequency_panics() {
+        let _ = ClockDomain::new(0.0);
+    }
+
+    #[test]
+    fn default_matches_paper_prototype() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.num_pe_zi, 2);
+        assert_eq!(c.events_per_frame, 1024);
+        assert_eq!(c.num_depth_planes, 100);
+        assert!((c.fabric_clock.frequency_hz - 130e6).abs() < 1.0);
+        assert!((c.ddr_clock.frequency_hz - 533e6).abs() < 1.0);
+        assert_eq!(c.votes_per_frame(), 102_400);
+    }
+
+    #[test]
+    fn builders() {
+        let c = AcceleratorConfig::default()
+            .with_pe_zi(4)
+            .with_depth_planes(50)
+            .with_double_buffering(false)
+            .with_events_per_frame(512);
+        assert_eq!(c.num_pe_zi, 4);
+        assert_eq!(c.num_depth_planes, 50);
+        assert!(!c.double_buffering);
+        assert_eq!(c.events_per_frame, 512);
+        // Degenerate values are clamped.
+        assert_eq!(AcceleratorConfig::default().with_pe_zi(0).num_pe_zi, 1);
+    }
+
+    #[test]
+    fn vote_throughput_is_positive_and_bandwidth_limited() {
+        let c = AcceleratorConfig::default();
+        let vpc = c.votes_per_cycle();
+        assert!(vpc > 0.5 && vpc < 4.0, "votes per cycle {vpc}");
+        // Halving the DRAM efficiency halves the throughput.
+        let slow = AcceleratorConfig { dram_efficiency: c.dram_efficiency / 2.0, ..c.clone() };
+        assert!((slow.votes_per_cycle() - vpc / 2.0).abs() < 1e-9);
+        // A single AXI port halves it as well.
+        let one_port = AcceleratorConfig { axi_hp_ports: 1, ..c };
+        assert!((one_port.votes_per_cycle() - vpc / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type of the mapping substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the mapping substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// A voxel-grid resolution was not strictly positive.
+    InvalidResolution {
+        /// The offending voxel edge length.
+        resolution: f64,
+    },
+    /// Two depth maps with different dimensions were fused.
+    DimensionMismatch {
+        /// Dimensions of the fusion target.
+        expected: (usize, usize),
+        /// Dimensions of the map being fused in.
+        actual: (usize, usize),
+    },
+    /// An operation required a non-empty map.
+    EmptyMap,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidResolution { resolution } => {
+                write!(f, "voxel-grid resolution must be positive, got {resolution}")
+            }
+            Self::DimensionMismatch { expected, actual } => write!(
+                f,
+                "depth-map dimensions {}x{} do not match fusion target {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            Self::EmptyMap => write!(f, "operation requires a non-empty map"),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let errors = [
+            MapError::InvalidResolution { resolution: 0.0 },
+            MapError::DimensionMismatch { expected: (240, 180), actual: (80, 60) },
+            MapError::EmptyMap,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_none());
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MapError::EmptyMap, MapError::EmptyMap);
+        assert_ne!(
+            MapError::EmptyMap,
+            MapError::InvalidResolution { resolution: 1.0 }
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Depth-map fusion at a common reference view.
+//!
+//! When several key frames observe overlapping structure, their semi-dense
+//! depth maps can be fused into a single, denser and more reliable estimate.
+//! The fusion rule is the standard confidence-weighted inverse-depth average
+//! with an agreement gate: estimates that disagree with the running fusion by
+//! more than a relative threshold are treated as outliers and rejected
+//! instead of being averaged in.
+
+use crate::MapError;
+use eventor_dsi::DepthMap;
+
+/// Configuration of the depth-map fusion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionConfig {
+    /// Maximum relative disagreement `|d - d_fused| / d_fused` for a new
+    /// estimate to be averaged into a pixel that already has a fused value.
+    pub agreement_threshold: f64,
+    /// Minimum number of agreeing observations a pixel needs to survive
+    /// [`DepthFusion::finalize`] when `require_consensus` is set.
+    pub min_observations: u32,
+    /// Whether `finalize` drops pixels with fewer than `min_observations`
+    /// agreeing observations.
+    pub require_consensus: bool,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        Self { agreement_threshold: 0.1, min_observations: 2, require_consensus: false }
+    }
+}
+
+/// Per-pixel fusion state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct FusedPixel {
+    /// Confidence-weighted sum of inverse depths.
+    weighted_inv_depth: f64,
+    /// Sum of confidences.
+    weight: f64,
+    /// Number of agreeing observations.
+    observations: u32,
+    /// Number of rejected (disagreeing) observations.
+    rejected: u32,
+}
+
+impl FusedPixel {
+    fn fused_depth(&self) -> Option<f64> {
+        if self.weight <= 0.0 {
+            return None;
+        }
+        let inv = self.weighted_inv_depth / self.weight;
+        if inv <= 0.0 {
+            return None;
+        }
+        Some(1.0 / inv)
+    }
+}
+
+/// Incremental confidence-weighted fusion of depth maps at one reference
+/// view.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_dsi::DepthMap;
+/// use eventor_map::{DepthFusion, FusionConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = DepthMap::new(4, 4)?;
+/// a.set(1, 1, 2.0, 5.0);
+/// let mut b = DepthMap::new(4, 4)?;
+/// b.set(1, 1, 2.1, 5.0);
+/// let mut fusion = DepthFusion::new(4, 4, FusionConfig::default())?;
+/// fusion.fuse(&a)?;
+/// fusion.fuse(&b)?;
+/// let fused = fusion.finalize()?;
+/// assert!(fused.is_valid(1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthFusion {
+    width: usize,
+    height: usize,
+    config: FusionConfig,
+    pixels: Vec<FusedPixel>,
+    maps_fused: u32,
+}
+
+impl DepthFusion {
+    /// Creates a fusion target of the given dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::DimensionMismatch`] when either dimension is zero.
+    pub fn new(width: usize, height: usize, config: FusionConfig) -> Result<Self, MapError> {
+        if width == 0 || height == 0 {
+            return Err(MapError::DimensionMismatch { expected: (1, 1), actual: (width, height) });
+        }
+        Ok(Self {
+            width,
+            height,
+            config,
+            pixels: vec![FusedPixel::default(); width * height],
+            maps_fused: 0,
+        })
+    }
+
+    /// Width of the fusion target.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the fusion target.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of depth maps fused so far.
+    pub fn maps_fused(&self) -> u32 {
+        self.maps_fused
+    }
+
+    /// Fuses one depth map into the running estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::DimensionMismatch`] when the map's dimensions do
+    /// not match the fusion target.
+    pub fn fuse(&mut self, map: &DepthMap) -> Result<(), MapError> {
+        if map.width() != self.width || map.height() != self.height {
+            return Err(MapError::DimensionMismatch {
+                expected: (self.width, self.height),
+                actual: (map.width(), map.height()),
+            });
+        }
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if !map.is_valid(x, y) {
+                    continue;
+                }
+                let depth = map.depth(x, y);
+                let confidence = map.confidence(x, y).max(1e-9);
+                let pixel = &mut self.pixels[y * self.width + x];
+                if let Some(fused) = pixel.fused_depth() {
+                    let disagreement = (depth - fused).abs() / fused;
+                    if disagreement > self.config.agreement_threshold {
+                        pixel.rejected += 1;
+                        continue;
+                    }
+                }
+                pixel.weighted_inv_depth += confidence / depth;
+                pixel.weight += confidence;
+                pixel.observations += 1;
+            }
+        }
+        self.maps_fused += 1;
+        Ok(())
+    }
+
+    /// Number of pixels that currently hold a fused depth.
+    pub fn fused_pixel_count(&self) -> usize {
+        self.pixels.iter().filter(|p| p.fused_depth().is_some()).count()
+    }
+
+    /// Total observations rejected by the agreement gate.
+    pub fn rejected_observations(&self) -> u64 {
+        self.pixels.iter().map(|p| p.rejected as u64).sum()
+    }
+
+    /// Extracts the fused depth map.
+    ///
+    /// When [`FusionConfig::require_consensus`] is set, pixels supported by
+    /// fewer than [`FusionConfig::min_observations`] agreeing observations
+    /// are left invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::EmptyMap`] when no depth map was fused.
+    pub fn finalize(&self) -> Result<DepthMap, MapError> {
+        if self.maps_fused == 0 {
+            return Err(MapError::EmptyMap);
+        }
+        let mut out = DepthMap::new(self.width, self.height)
+            .expect("dimensions validated at construction");
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let pixel = &self.pixels[y * self.width + x];
+                let Some(depth) = pixel.fused_depth() else { continue };
+                if self.config.require_consensus && pixel.observations < self.config.min_observations
+                {
+                    continue;
+                }
+                out.set(x, y, depth, pixel.weight);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with(width: usize, height: usize, entries: &[(usize, usize, f64, f64)]) -> DepthMap {
+        let mut m = DepthMap::new(width, height).unwrap();
+        for &(x, y, d, c) in entries {
+            m.set(x, y, d, c);
+        }
+        m
+    }
+
+    #[test]
+    fn zero_dimension_targets_are_rejected() {
+        assert!(DepthFusion::new(0, 4, FusionConfig::default()).is_err());
+        assert!(DepthFusion::new(4, 0, FusionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut fusion = DepthFusion::new(4, 4, FusionConfig::default()).unwrap();
+        let wrong = DepthMap::new(8, 8).unwrap();
+        assert!(matches!(fusion.fuse(&wrong), Err(MapError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn finalize_without_input_is_an_error() {
+        let fusion = DepthFusion::new(4, 4, FusionConfig::default()).unwrap();
+        assert_eq!(fusion.finalize(), Err(MapError::EmptyMap));
+    }
+
+    #[test]
+    fn agreeing_estimates_average_in_inverse_depth() {
+        let mut fusion = DepthFusion::new(4, 4, FusionConfig::default()).unwrap();
+        fusion.fuse(&map_with(4, 4, &[(1, 1, 2.0, 1.0)])).unwrap();
+        fusion.fuse(&map_with(4, 4, &[(1, 1, 2.1, 1.0)])).unwrap();
+        let fused = fusion.finalize().unwrap();
+        assert!(fused.is_valid(1, 1));
+        let d = fused.depth(1, 1);
+        // Harmonic-style mean of 2.0 and 2.1 lies between the two.
+        assert!(d > 2.0 && d < 2.1, "fused depth {d}");
+        assert_eq!(fusion.maps_fused(), 2);
+        assert_eq!(fusion.fused_pixel_count(), 1);
+        assert_eq!(fusion.rejected_observations(), 0);
+    }
+
+    #[test]
+    fn disagreeing_estimates_are_rejected() {
+        let mut fusion = DepthFusion::new(4, 4, FusionConfig::default()).unwrap();
+        fusion.fuse(&map_with(4, 4, &[(2, 2, 2.0, 1.0)])).unwrap();
+        fusion.fuse(&map_with(4, 4, &[(2, 2, 4.0, 10.0)])).unwrap();
+        let fused = fusion.finalize().unwrap();
+        // The 4.0 estimate disagrees by 100 % and must not move the fusion.
+        assert!((fused.depth(2, 2) - 2.0).abs() < 1e-9);
+        assert_eq!(fusion.rejected_observations(), 1);
+    }
+
+    #[test]
+    fn higher_confidence_pulls_the_fusion_harder() {
+        let mut fusion = DepthFusion::new(4, 4, FusionConfig { agreement_threshold: 1.0, ..Default::default() })
+            .unwrap();
+        fusion.fuse(&map_with(4, 4, &[(0, 0, 2.0, 1.0)])).unwrap();
+        fusion.fuse(&map_with(4, 4, &[(0, 0, 3.0, 9.0)])).unwrap();
+        let d = fusion.finalize().unwrap().depth(0, 0);
+        assert!((d - 2.0).abs() > (d - 3.0).abs(), "fused depth {d} should sit nearer 3.0");
+    }
+
+    #[test]
+    fn consensus_requirement_drops_single_observations() {
+        let config = FusionConfig { require_consensus: true, min_observations: 2, ..Default::default() };
+        let mut fusion = DepthFusion::new(4, 4, config).unwrap();
+        fusion.fuse(&map_with(4, 4, &[(0, 0, 2.0, 1.0), (1, 0, 3.0, 1.0)])).unwrap();
+        fusion.fuse(&map_with(4, 4, &[(0, 0, 2.0, 1.0)])).unwrap();
+        let fused = fusion.finalize().unwrap();
+        assert!(fused.is_valid(0, 0), "pixel seen twice survives");
+        assert!(!fused.is_valid(1, 0), "pixel seen once is dropped");
+    }
+
+    #[test]
+    fn invalid_pixels_are_ignored() {
+        let mut fusion = DepthFusion::new(4, 4, FusionConfig::default()).unwrap();
+        let empty = DepthMap::new(4, 4).unwrap();
+        fusion.fuse(&empty).unwrap();
+        assert_eq!(fusion.fused_pixel_count(), 0);
+        let fused = fusion.finalize().unwrap();
+        assert_eq!(fused.valid_count(), 0);
+        assert_eq!(fusion.width(), 4);
+        assert_eq!(fusion.height(), 4);
+    }
+}

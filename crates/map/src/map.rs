@@ -1,0 +1,307 @@
+//! The global semi-dense map accumulated over key reference views — the
+//! "map updating" step of the EMVS merging stage, grown into a reusable
+//! component.
+
+use crate::voxelgrid::VoxelGrid;
+use crate::MapError;
+use eventor_dsi::{DepthMap, PointCloud};
+use eventor_geom::{CameraIntrinsics, Pose, Vec3};
+use std::io::Write;
+
+/// Configuration of the global map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalMapConfig {
+    /// Voxel edge length of the map's downsampling grid, metres.
+    pub voxel_resolution: f64,
+    /// Minimum number of raw points a voxel needs to survive extraction.
+    pub min_voxel_support: u64,
+}
+
+impl Default for GlobalMapConfig {
+    fn default() -> Self {
+        Self { voxel_resolution: 0.02, min_voxel_support: 1 }
+    }
+}
+
+/// Book-keeping entry for one key reference view merged into the map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyframeEntry {
+    /// Camera-to-world pose of the key reference view.
+    pub pose: Pose,
+    /// Semi-dense pixels contributed by this key frame.
+    pub points_contributed: usize,
+    /// Mean depth of the contributed pixels, metres.
+    pub mean_depth: f64,
+}
+
+/// Summary statistics of the global map.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MapStatistics {
+    /// Key frames merged.
+    pub keyframes: usize,
+    /// Raw points inserted before downsampling.
+    pub raw_points: u64,
+    /// Points in the extracted (downsampled, pruned) map.
+    pub map_points: usize,
+    /// Occupied voxels before pruning.
+    pub occupied_voxels: usize,
+    /// Mean confidence of the extracted points.
+    pub mean_confidence: f64,
+    /// Axis-aligned extent of the map, metres (zero when empty).
+    pub extent: Vec3,
+}
+
+/// The global semi-dense map.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_map::{GlobalMap, GlobalMapConfig};
+/// use eventor_dsi::DepthMap;
+/// use eventor_geom::{CameraIntrinsics, Pose};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut map = GlobalMap::new(GlobalMapConfig::default())?;
+/// let mut depth = DepthMap::new(240, 180)?;
+/// depth.set(120, 90, 2.0, 8.0);
+/// map.insert_depth_map(&depth, &CameraIntrinsics::davis240_default(), &Pose::identity());
+/// assert_eq!(map.num_keyframes(), 1);
+/// assert_eq!(map.point_cloud().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalMap {
+    config: GlobalMapConfig,
+    grid: VoxelGrid,
+    keyframes: Vec<KeyframeEntry>,
+}
+
+impl GlobalMap {
+    /// Creates an empty map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidResolution`] when the configured voxel
+    /// resolution is not strictly positive.
+    pub fn new(config: GlobalMapConfig) -> Result<Self, MapError> {
+        Ok(Self { grid: VoxelGrid::new(config.voxel_resolution)?, config, keyframes: Vec::new() })
+    }
+
+    /// The map configuration.
+    pub fn config(&self) -> &GlobalMapConfig {
+        &self.config
+    }
+
+    /// Number of key frames merged so far.
+    pub fn num_keyframes(&self) -> usize {
+        self.keyframes.len()
+    }
+
+    /// The per-key-frame book-keeping entries.
+    pub fn keyframes(&self) -> &[KeyframeEntry] {
+        &self.keyframes
+    }
+
+    /// Whether no key frame has been merged.
+    pub fn is_empty(&self) -> bool {
+        self.keyframes.is_empty()
+    }
+
+    /// Converts a key frame's semi-dense depth map to world-frame points and
+    /// merges it, returning the number of points contributed.
+    pub fn insert_depth_map(
+        &mut self,
+        depth_map: &DepthMap,
+        intrinsics: &CameraIntrinsics,
+        pose: &Pose,
+    ) -> usize {
+        let cloud = PointCloud::from_depth_map(depth_map, intrinsics, pose);
+        self.insert_cloud(&cloud, pose)
+    }
+
+    /// Merges an already-converted local point cloud, returning the number of
+    /// points contributed.
+    pub fn insert_cloud(&mut self, cloud: &PointCloud, pose: &Pose) -> usize {
+        self.grid.insert_cloud(cloud);
+        let mean_depth = if cloud.is_empty() {
+            0.0
+        } else {
+            let camera_from_world = pose.inverse();
+            cloud
+                .points()
+                .iter()
+                .map(|p| camera_from_world.transform(p.position).z)
+                .sum::<f64>()
+                / cloud.len() as f64
+        };
+        self.keyframes.push(KeyframeEntry {
+            pose: *pose,
+            points_contributed: cloud.len(),
+            mean_depth,
+        });
+        cloud.len()
+    }
+
+    /// Extracts the downsampled global point cloud (one point per
+    /// sufficiently supported voxel).
+    pub fn point_cloud(&self) -> PointCloud {
+        if self.config.min_voxel_support <= 1 {
+            return self.grid.to_point_cloud();
+        }
+        let mut pruned = self.grid.clone();
+        pruned.prune(self.config.min_voxel_support);
+        pruned.to_point_cloud()
+    }
+
+    /// Whether any merged structure occupies the voxel containing `position`.
+    pub fn is_occupied(&self, position: Vec3) -> bool {
+        self.grid.is_occupied(position)
+    }
+
+    /// Summary statistics of the current map.
+    pub fn statistics(&self) -> MapStatistics {
+        let cloud = self.point_cloud();
+        let mean_confidence = if cloud.is_empty() {
+            0.0
+        } else {
+            cloud.points().iter().map(|p| p.confidence).sum::<f64>() / cloud.len() as f64
+        };
+        let extent = cloud
+            .bounds()
+            .map_or(Vec3::new(0.0, 0.0, 0.0), |(min, max)| max - min);
+        MapStatistics {
+            keyframes: self.keyframes.len(),
+            raw_points: self.grid.points_inserted(),
+            map_points: cloud.len(),
+            occupied_voxels: self.grid.occupied_voxels(),
+            mean_confidence,
+            extent,
+        }
+    }
+
+    /// Writes the extracted global cloud as an ASCII PLY file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_ply<W: Write>(&self, writer: W) -> std::io::Result<()> {
+        self.point_cloud().write_ply(writer)
+    }
+
+    /// Clears the map.
+    pub fn clear(&mut self) {
+        self.grid.clear();
+        self.keyframes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_dsi::MapPoint;
+
+    fn sample_depth_map() -> DepthMap {
+        let mut m = DepthMap::new(240, 180).unwrap();
+        for x in 100..140 {
+            m.set(x, 90, 2.0, 4.0);
+        }
+        m
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let config = GlobalMapConfig { voxel_resolution: 0.0, ..Default::default() };
+        assert!(GlobalMap::new(config).is_err());
+    }
+
+    #[test]
+    fn depth_maps_become_world_points() {
+        let mut map = GlobalMap::new(GlobalMapConfig::default()).unwrap();
+        let n = map.insert_depth_map(
+            &sample_depth_map(),
+            &CameraIntrinsics::davis240_default(),
+            &Pose::identity(),
+        );
+        assert_eq!(n, 40);
+        assert_eq!(map.num_keyframes(), 1);
+        assert!(!map.is_empty());
+        let stats = map.statistics();
+        assert_eq!(stats.keyframes, 1);
+        assert_eq!(stats.raw_points, 40);
+        assert!(stats.map_points > 0 && stats.map_points <= 40);
+        assert!(stats.mean_confidence > 0.0);
+        // The keyframe entry records the mean depth of the contribution.
+        assert!((map.keyframes()[0].mean_depth - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_keyframes_do_not_duplicate_structure() {
+        let mut map = GlobalMap::new(GlobalMapConfig { voxel_resolution: 0.05, min_voxel_support: 1 })
+            .unwrap();
+        let intrinsics = CameraIntrinsics::davis240_default();
+        let pose = Pose::identity();
+        map.insert_depth_map(&sample_depth_map(), &intrinsics, &pose);
+        let after_one = map.point_cloud().len();
+        map.insert_depth_map(&sample_depth_map(), &intrinsics, &pose);
+        let after_two = map.point_cloud().len();
+        assert_eq!(after_one, after_two, "identical keyframes must collapse in the voxel grid");
+        assert_eq!(map.statistics().raw_points, 80);
+    }
+
+    #[test]
+    fn voxel_support_pruning_removes_spurious_points() {
+        let config = GlobalMapConfig { voxel_resolution: 0.05, min_voxel_support: 2 };
+        let mut map = GlobalMap::new(config).unwrap();
+        let mut cloud = PointCloud::new();
+        // Two points in one voxel, one isolated point elsewhere.
+        cloud.push(MapPoint { position: Vec3::new(0.0, 0.0, 1.0), confidence: 1.0 });
+        cloud.push(MapPoint { position: Vec3::new(0.01, 0.0, 1.0), confidence: 1.0 });
+        cloud.push(MapPoint { position: Vec3::new(5.0, 5.0, 5.0), confidence: 1.0 });
+        map.insert_cloud(&cloud, &Pose::identity());
+        assert_eq!(map.point_cloud().len(), 1);
+        assert!(map.is_occupied(Vec3::new(0.0, 0.0, 1.0)));
+        assert_eq!(map.statistics().occupied_voxels, 2);
+    }
+
+    #[test]
+    fn ply_export_writes_every_map_point() {
+        let mut map = GlobalMap::new(GlobalMapConfig::default()).unwrap();
+        map.insert_depth_map(
+            &sample_depth_map(),
+            &CameraIntrinsics::davis240_default(),
+            &Pose::identity(),
+        );
+        let mut buffer = Vec::new();
+        map.write_ply(&mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.starts_with("ply"));
+        assert!(text.contains(&format!("element vertex {}", map.point_cloud().len())));
+    }
+
+    #[test]
+    fn clear_empties_the_map() {
+        let mut map = GlobalMap::new(GlobalMapConfig::default()).unwrap();
+        map.insert_depth_map(
+            &sample_depth_map(),
+            &CameraIntrinsics::davis240_default(),
+            &Pose::identity(),
+        );
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.statistics(), MapStatistics::default());
+        assert_eq!(map.point_cloud().len(), 0);
+        assert_eq!(map.config().min_voxel_support, 1);
+    }
+
+    #[test]
+    fn empty_cloud_insertion_is_recorded_but_contributes_nothing() {
+        let mut map = GlobalMap::new(GlobalMapConfig::default()).unwrap();
+        let n = map.insert_cloud(&PointCloud::new(), &Pose::identity());
+        assert_eq!(n, 0);
+        assert_eq!(map.num_keyframes(), 1);
+        assert_eq!(map.keyframes()[0].points_contributed, 0);
+        assert_eq!(map.keyframes()[0].mean_depth, 0.0);
+        assert_eq!(map.statistics().map_points, 0);
+    }
+}

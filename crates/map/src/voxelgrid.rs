@@ -1,0 +1,296 @@
+//! Voxel-grid downsampling and occupancy queries over world-frame point
+//! clouds.
+//!
+//! Every key frame of the EMVS pipeline contributes a local semi-dense point
+//! cloud; naively concatenating them grows the global map without bound and
+//! duplicates structure wherever key-frame views overlap. The voxel grid
+//! keeps one representative point (the confidence-weighted centroid) per
+//! occupied voxel, which is the standard map-updating strategy of semi-dense
+//! event-based mapping systems.
+
+use crate::MapError;
+use eventor_dsi::{MapPoint, PointCloud};
+use eventor_geom::Vec3;
+use std::collections::HashMap;
+
+/// Integer voxel key of a world-space position at a fixed resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VoxelKey {
+    /// Voxel index along x.
+    pub x: i64,
+    /// Voxel index along y.
+    pub y: i64,
+    /// Voxel index along z.
+    pub z: i64,
+}
+
+impl VoxelKey {
+    /// Quantizes a world position to its voxel key at `resolution` metres per
+    /// voxel edge.
+    pub fn from_position(p: Vec3, resolution: f64) -> Self {
+        Self {
+            x: (p.x / resolution).floor() as i64,
+            y: (p.y / resolution).floor() as i64,
+            z: (p.z / resolution).floor() as i64,
+        }
+    }
+
+    /// Centre of the voxel in world coordinates.
+    pub fn center(&self, resolution: f64) -> Vec3 {
+        Vec3::new(
+            (self.x as f64 + 0.5) * resolution,
+            (self.y as f64 + 0.5) * resolution,
+            (self.z as f64 + 0.5) * resolution,
+        )
+    }
+}
+
+/// Accumulated contents of one occupied voxel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct VoxelAccumulator {
+    weighted_sum: Vec3,
+    weight: f64,
+    count: u64,
+    max_confidence: f64,
+}
+
+/// A sparse voxel grid accumulating confidence-weighted point centroids.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_map::VoxelGrid;
+/// use eventor_dsi::{MapPoint, PointCloud};
+/// use eventor_geom::Vec3;
+///
+/// # fn main() -> Result<(), eventor_map::MapError> {
+/// let mut grid = VoxelGrid::new(0.05)?;
+/// let mut cloud = PointCloud::new();
+/// cloud.push(MapPoint { position: Vec3::new(0.01, 0.0, 1.0), confidence: 1.0 });
+/// cloud.push(MapPoint { position: Vec3::new(0.02, 0.0, 1.0), confidence: 3.0 });
+/// grid.insert_cloud(&cloud);
+/// assert_eq!(grid.occupied_voxels(), 1);
+/// assert_eq!(grid.to_point_cloud().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VoxelGrid {
+    resolution: f64,
+    voxels: HashMap<VoxelKey, VoxelAccumulator>,
+    points_inserted: u64,
+}
+
+impl VoxelGrid {
+    /// Creates a grid with the given voxel edge length in metres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidResolution`] when `resolution` is not
+    /// strictly positive and finite.
+    pub fn new(resolution: f64) -> Result<Self, MapError> {
+        if resolution <= 0.0 || !resolution.is_finite() {
+            return Err(MapError::InvalidResolution { resolution });
+        }
+        Ok(Self { resolution, voxels: HashMap::new(), points_inserted: 0 })
+    }
+
+    /// The voxel edge length in metres.
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Number of occupied voxels.
+    pub fn occupied_voxels(&self) -> usize {
+        self.voxels.len()
+    }
+
+    /// Number of raw points inserted so far.
+    pub fn points_inserted(&self) -> u64 {
+        self.points_inserted
+    }
+
+    /// Whether no points have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.voxels.is_empty()
+    }
+
+    /// Inserts a single point.
+    pub fn insert(&mut self, point: MapPoint) {
+        let key = VoxelKey::from_position(point.position, self.resolution);
+        let weight = point.confidence.max(1e-9);
+        let acc = self.voxels.entry(key).or_default();
+        acc.weighted_sum = acc.weighted_sum + point.position * weight;
+        acc.weight += weight;
+        acc.count += 1;
+        acc.max_confidence = acc.max_confidence.max(point.confidence);
+        self.points_inserted += 1;
+    }
+
+    /// Inserts every point of a cloud.
+    pub fn insert_cloud(&mut self, cloud: &PointCloud) {
+        for &p in cloud.points() {
+            self.insert(p);
+        }
+    }
+
+    /// Whether the voxel containing `position` is occupied.
+    pub fn is_occupied(&self, position: Vec3) -> bool {
+        self.voxels.contains_key(&VoxelKey::from_position(position, self.resolution))
+    }
+
+    /// Number of raw points accumulated in the voxel containing `position`.
+    pub fn occupancy_count(&self, position: Vec3) -> u64 {
+        self.voxels
+            .get(&VoxelKey::from_position(position, self.resolution))
+            .map_or(0, |a| a.count)
+    }
+
+    /// Extracts the downsampled cloud: one confidence-weighted centroid per
+    /// occupied voxel, carrying the voxel's maximum confidence.
+    pub fn to_point_cloud(&self) -> PointCloud {
+        let mut cloud = PointCloud::new();
+        for acc in self.voxels.values() {
+            cloud.push(MapPoint {
+                position: acc.weighted_sum * (1.0 / acc.weight),
+                confidence: acc.max_confidence,
+            });
+        }
+        cloud
+    }
+
+    /// Removes voxels supported by fewer than `min_points` raw points — the
+    /// counterpart of the radius-outlier filter for merged maps.
+    pub fn prune(&mut self, min_points: u64) {
+        self.voxels.retain(|_, acc| acc.count >= min_points);
+    }
+
+    /// Clears the grid.
+    pub fn clear(&mut self) {
+        self.voxels.clear();
+        self.points_inserted = 0;
+    }
+
+    /// Axis-aligned bounds of the occupied voxel centres, or `None` when the
+    /// grid is empty.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let mut iter = self.voxels.keys();
+        let first = iter.next()?.center(self.resolution);
+        let mut min = first;
+        let mut max = first;
+        for key in self.voxels.keys() {
+            let c = key.center(self.resolution);
+            min = Vec3::new(min.x.min(c.x), min.y.min(c.y), min.z.min(c.z));
+            max = Vec3::new(max.x.max(c.x), max.y.max(c.y), max.z.max(c.z));
+        }
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(x: f64, y: f64, z: f64, c: f64) -> MapPoint {
+        MapPoint { position: Vec3::new(x, y, z), confidence: c }
+    }
+
+    #[test]
+    fn invalid_resolutions_are_rejected() {
+        assert!(VoxelGrid::new(0.0).is_err());
+        assert!(VoxelGrid::new(-0.1).is_err());
+        assert!(VoxelGrid::new(f64::NAN).is_err());
+        assert!(VoxelGrid::new(0.05).is_ok());
+    }
+
+    #[test]
+    fn voxel_keys_quantize_consistently() {
+        let k1 = VoxelKey::from_position(Vec3::new(0.01, 0.02, 0.03), 0.1);
+        let k2 = VoxelKey::from_position(Vec3::new(0.09, 0.05, 0.001), 0.1);
+        assert_eq!(k1, k2);
+        let k3 = VoxelKey::from_position(Vec3::new(-0.01, 0.0, 0.0), 0.1);
+        assert_ne!(k1, k3, "negative coordinates land in a different voxel");
+        let c = k1.center(0.1);
+        assert!((c.x - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearby_points_collapse_to_one_voxel() {
+        let mut grid = VoxelGrid::new(0.1).unwrap();
+        grid.insert(point(0.01, 0.01, 1.0, 1.0));
+        grid.insert(point(0.02, 0.03, 1.01, 2.0));
+        grid.insert(point(0.5, 0.5, 1.0, 1.0));
+        assert_eq!(grid.occupied_voxels(), 2);
+        assert_eq!(grid.points_inserted(), 3);
+        let cloud = grid.to_point_cloud();
+        assert_eq!(cloud.len(), 2);
+    }
+
+    #[test]
+    fn centroid_is_confidence_weighted() {
+        let mut grid = VoxelGrid::new(1.0).unwrap();
+        grid.insert(point(0.1, 0.0, 0.0, 1.0));
+        grid.insert(point(0.9, 0.0, 0.0, 3.0));
+        let cloud = grid.to_point_cloud();
+        assert_eq!(cloud.len(), 1);
+        let p = cloud.points()[0];
+        // Weighted centroid (0.1*1 + 0.9*3)/4 = 0.7.
+        assert!((p.position.x - 0.7).abs() < 1e-12);
+        assert_eq!(p.confidence, 3.0);
+    }
+
+    #[test]
+    fn occupancy_queries() {
+        let mut grid = VoxelGrid::new(0.2).unwrap();
+        assert!(grid.is_empty());
+        grid.insert(point(1.0, 1.0, 1.0, 1.0));
+        grid.insert(point(1.05, 1.05, 1.05, 1.0));
+        assert!(grid.is_occupied(Vec3::new(1.1, 1.1, 1.1)));
+        assert!(!grid.is_occupied(Vec3::new(5.0, 5.0, 5.0)));
+        assert_eq!(grid.occupancy_count(Vec3::new(1.0, 1.0, 1.0)), 2);
+        assert_eq!(grid.occupancy_count(Vec3::new(5.0, 5.0, 5.0)), 0);
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn prune_removes_weakly_supported_voxels() {
+        let mut grid = VoxelGrid::new(0.1).unwrap();
+        for _ in 0..5 {
+            grid.insert(point(0.0, 0.0, 0.0, 1.0));
+        }
+        grid.insert(point(2.0, 2.0, 2.0, 1.0));
+        assert_eq!(grid.occupied_voxels(), 2);
+        grid.prune(3);
+        assert_eq!(grid.occupied_voxels(), 1);
+        grid.clear();
+        assert!(grid.is_empty());
+        assert_eq!(grid.points_inserted(), 0);
+    }
+
+    #[test]
+    fn bounds_cover_occupied_voxels() {
+        let mut grid = VoxelGrid::new(0.5).unwrap();
+        assert!(grid.bounds().is_none());
+        grid.insert(point(0.0, 0.0, 0.0, 1.0));
+        grid.insert(point(2.0, -1.0, 3.0, 1.0));
+        let (min, max) = grid.bounds().unwrap();
+        assert!(min.x <= 0.25 && min.y <= -0.75 && min.z <= 0.25);
+        assert!(max.x >= 2.0 && max.z >= 3.0);
+    }
+
+    #[test]
+    fn insert_cloud_matches_individual_inserts() {
+        let mut cloud = PointCloud::new();
+        for i in 0..10 {
+            cloud.push(point(i as f64 * 0.01, 0.0, 1.0, 1.0));
+        }
+        let mut a = VoxelGrid::new(0.05).unwrap();
+        let mut b = VoxelGrid::new(0.05).unwrap();
+        a.insert_cloud(&cloud);
+        for &p in cloud.points() {
+            b.insert(p);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.resolution(), 0.05);
+    }
+}

@@ -1,0 +1,75 @@
+//! Noise-robustness sweep: corrupt the event stream with increasing sensor
+//! degradation (background activity, hot pixels, timestamp jitter, event
+//! loss) and measure how the baseline EMVS and the Eventor pipeline hold up.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example noise_robustness
+//! ```
+
+use eventor::core::{config_for_sequence, EventorOptions, EventorPipeline};
+use eventor::emvs::EmvsMapper;
+use eventor::events::{
+    rate_profile, DatasetConfig, NoiseConfig, NoiseInjector, SequenceKind, SyntheticSequence,
+};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let sequence =
+        SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
+    let config = config_for_sequence(&sequence, 60);
+    let width = sequence.camera.intrinsics.width as u16;
+    let height = sequence.camera.intrinsics.height as u16;
+
+    let levels: [(&str, NoiseConfig); 3] = [
+        ("clean", NoiseConfig::clean()),
+        ("moderate", NoiseConfig::moderate()),
+        ("severe", NoiseConfig::severe()),
+    ];
+
+    println!(
+        "{:<10} {:>9} {:>9} {:>10} {:>12} {:>12}",
+        "noise", "events", "added", "peak Mev/s", "EMVS AbsRel", "Eventor AbsRel"
+    );
+    for (label, noise) in levels {
+        let injector = NoiseInjector::new(width, height, noise);
+        let (events, report) = injector.corrupt(&sequence.events);
+        let peak = rate_profile(&events, 0.01).map_or(0.0, |p| p.peak_rate / 1e6);
+
+        let baseline = EmvsMapper::new(sequence.camera, config.clone())?;
+        let base_out = baseline.reconstruct(&events, &sequence.trajectory)?;
+        let base_abs_rel = abs_rel(&sequence, &base_out)?;
+
+        let eventor =
+            EventorPipeline::new(sequence.camera, config.clone(), EventorOptions::accelerator())?;
+        let ev_out = eventor.reconstruct(&events, &sequence.trajectory)?;
+        let ev_abs_rel = abs_rel(&sequence, &ev_out)?;
+
+        println!(
+            "{:<10} {:>9} {:>9} {:>10.2} {:>11.2}% {:>11.2}%",
+            label,
+            events.len(),
+            report.background_events + report.hot_pixel_events,
+            peak,
+            100.0 * base_abs_rel,
+            100.0 * ev_abs_rel
+        );
+    }
+
+    println!(
+        "\nThe voting-based space sweep tolerates uncorrelated noise: noise rays rarely\n\
+         reinforce each other, so the local maxima of the ray-density volume (the detected\n\
+         structure) move little until the noise dominates the signal."
+    );
+    Ok(())
+}
+
+fn abs_rel(
+    sequence: &SyntheticSequence,
+    output: &eventor::emvs::EmvsOutput,
+) -> Result<f64, Box<dyn Error>> {
+    let primary = output.primary().ok_or("no key frame")?;
+    let gt = sequence.ground_truth_depth_at(&primary.reference_pose);
+    Ok(primary.depth_map.compare_to_ground_truth(gt.as_slice())?.abs_rel)
+}

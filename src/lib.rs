@@ -1,0 +1,58 @@
+//! # eventor
+//!
+//! Facade crate for the **Eventor** reproduction — "Eventor: An Efficient
+//! Event-Based Monocular Multi-View Stereo Accelerator on FPGA Platform"
+//! (DAC 2022).
+//!
+//! Each subsystem lives in its own workspace crate and is re-exported here as
+//! a module, so a downstream user can depend on `eventor` alone:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`geom`] | vectors, matrices, SE(3) poses, trajectories, pinhole cameras, plane-induced homographies |
+//! | [`events`] | event streams, aggregation, textured scenes, the event-camera simulator, the four synthetic evaluation sequences |
+//! | [`fixed`] | the Table 1 fixed-point formats and quantization analysis |
+//! | [`dsi`] | the disparity space image, voting, scene-structure detection, depth maps, point clouds |
+//! | [`emvs`] | the baseline (original) EMVS space-sweep mapper and its profiler |
+//! | [`map`] | global mapping: voxel-grid downsampling, depth-map fusion, the accumulated world map |
+//! | [`hwsim`] | the Zynq accelerator model: analytic timing/resources/power plus the functional register/DMA/datapath device |
+//! | [`core`] | the reformulated, quantized Eventor pipeline, the accelerator driver, hardware/software co-simulation and the accuracy-comparison harness |
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use eventor::core::{config_for_sequence, EventorOptions, EventorPipeline};
+//! use eventor::events::{DatasetConfig, SequenceKind, SyntheticSequence};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a synthetic stand-in for the DAVIS `slider_close` sequence.
+//! let sequence = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
+//!
+//! // Run the hardware-friendly Eventor pipeline on it.
+//! let config = config_for_sequence(&sequence, 100);
+//! let pipeline = EventorPipeline::new(sequence.camera, config, EventorOptions::accelerator())?;
+//! let output = pipeline.reconstruct(&sequence.events, &sequence.trajectory)?;
+//!
+//! // Compare the semi-dense depth map against ground truth.
+//! let primary = output.keyframes.first().expect("at least one key frame");
+//! let gt = sequence.ground_truth_depth_at(&primary.reference_pose);
+//! let metrics = primary.depth_map.compare_to_ground_truth(gt.as_slice())?;
+//! println!("AbsRel = {:.2}%", 100.0 * metrics.abs_rel);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-versus-measured record of
+//! every table and figure.
+
+#![warn(missing_docs)]
+
+pub use eventor_core as core;
+pub use eventor_dsi as dsi;
+pub use eventor_emvs as emvs;
+pub use eventor_events as events;
+pub use eventor_fixed as fixed;
+pub use eventor_geom as geom;
+pub use eventor_hwsim as hwsim;
+pub use eventor_map as map;

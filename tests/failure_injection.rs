@@ -1,0 +1,169 @@
+//! Failure-injection and robustness tests: degenerate trajectories, corrupted
+//! event streams, malformed accelerator jobs and saturating workloads must
+//! degrade gracefully (bounded error, explicit rejection) rather than panic
+//! or silently corrupt the reconstruction.
+
+use eventor::core::{config_for_sequence, CosimPipeline, EventorOptions, EventorPipeline};
+use eventor::emvs::{EmvsConfig, EmvsError, EmvsMapper};
+use eventor::events::{
+    DatasetConfig, Event, EventStream, NoiseConfig, NoiseInjector, Polarity, SequenceKind,
+    SyntheticSequence,
+};
+use eventor::geom::{CameraModel, Pose, Trajectory, Vec3};
+use eventor::hwsim::{AcceleratorConfig, DsiDram, EventorDevice, FrameJob, FrameKind};
+
+fn sequence(kind: SequenceKind) -> SyntheticSequence {
+    SyntheticSequence::generate(kind, &DatasetConfig::fast_test())
+        .expect("fast_test sequences generate")
+}
+
+#[test]
+fn stationary_trajectory_reconstructs_without_panicking() {
+    // With no baseline the depth is unobservable; the pipeline must still run
+    // to completion and report a (possibly sparse, inaccurate) key frame
+    // rather than crash on the degenerate geometry.
+    let seq = sequence(SequenceKind::SliderClose);
+    let config = config_for_sequence(&seq, 30);
+    let stationary = Trajectory::linear(Pose::identity(), Pose::identity(), 0.0, 10.0, 8);
+    let pipeline =
+        EventorPipeline::new(seq.camera, config, EventorOptions::accelerator()).expect("config");
+    let output = pipeline.reconstruct(&seq.events, &stationary).expect("must not fail");
+    assert_eq!(output.keyframes.len(), 1, "no key-frame switch without motion");
+}
+
+#[test]
+fn events_outside_the_trajectory_time_span_are_an_error_not_a_panic() {
+    let seq = sequence(SequenceKind::SliderClose);
+    let config = config_for_sequence(&seq, 30);
+    // A trajectory that ends long before the events do.
+    let short = Trajectory::linear(
+        Pose::identity(),
+        Pose::from_translation(Vec3::new(0.1, 0.0, 0.0)),
+        -10.0,
+        -9.0,
+        4,
+    );
+    let pipeline =
+        EventorPipeline::new(seq.camera, config, EventorOptions::accelerator()).expect("config");
+    let result = pipeline.reconstruct(&seq.events, &short);
+    assert!(result.is_err(), "out-of-span pose lookups must surface as an error");
+}
+
+#[test]
+fn empty_and_single_event_streams_are_handled() {
+    let cam = CameraModel::davis240_ideal();
+    let config = EmvsConfig::default();
+    let trajectory = Trajectory::linear(
+        Pose::identity(),
+        Pose::from_translation(Vec3::new(0.1, 0.0, 0.0)),
+        0.0,
+        1.0,
+        4,
+    );
+    let mapper = EmvsMapper::new(cam, config.clone()).expect("config");
+    assert!(matches!(mapper.reconstruct(&EventStream::new(), &trajectory), Err(EmvsError::NoEvents)));
+
+    // A single event still produces a (nearly empty) reconstruction.
+    let one: EventStream = std::iter::once(Event::new(0.5, 120, 90, Polarity::Positive)).collect();
+    let output = mapper.reconstruct(&one, &trajectory).expect("single event is fine");
+    assert_eq!(output.keyframes.len(), 1);
+    assert_eq!(output.profile.events_processed, 1);
+}
+
+#[test]
+fn heavy_sensor_noise_degrades_accuracy_gracefully() {
+    let seq = sequence(SequenceKind::SliderClose);
+    let config = config_for_sequence(&seq, 50);
+    let width = seq.camera.intrinsics.width as u16;
+    let height = seq.camera.intrinsics.height as u16;
+
+    let clean_pipeline =
+        EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
+            .expect("config");
+    let clean = clean_pipeline.reconstruct(&seq.events, &seq.trajectory).expect("clean run");
+    let clean_primary = clean.primary().expect("keyframe");
+    let gt = seq.ground_truth_depth_at(&clean_primary.reference_pose);
+    let clean_abs_rel =
+        clean_primary.depth_map.compare_to_ground_truth(gt.as_slice()).expect("metrics").abs_rel;
+
+    for noise in [NoiseConfig::moderate(), NoiseConfig::severe()] {
+        let injector = NoiseInjector::new(width, height, noise);
+        let (noisy_events, report) = injector.corrupt(&seq.events);
+        assert!(report.total_events() > 0);
+        let pipeline =
+            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
+                .expect("config");
+        let noisy = pipeline.reconstruct(&noisy_events, &seq.trajectory).expect("noisy run");
+        let primary = noisy.primary().expect("keyframe under noise");
+        let gt = seq.ground_truth_depth_at(&primary.reference_pose);
+        let metrics = primary.depth_map.compare_to_ground_truth(gt.as_slice()).expect("metrics");
+        // Noise may cost accuracy but must stay bounded: the ray-density
+        // voting washes uncorrelated noise out of the local maxima.
+        assert!(
+            metrics.abs_rel < clean_abs_rel + 0.25,
+            "noise {:?}: AbsRel {:.3} vs clean {:.3}",
+            noise,
+            metrics.abs_rel,
+            clean_abs_rel
+        );
+    }
+}
+
+#[test]
+fn malformed_accelerator_jobs_are_rejected_with_error_status() {
+    let mut device = EventorDevice::new(AcceleratorConfig::default().with_depth_planes(10));
+    // Plane-count mismatch.
+    let bad = FrameJob {
+        event_words: vec![0; 16],
+        homography_words: [0; 9],
+        phi_words: vec![[0, 0, 0]; 3],
+        kind: FrameKind::Normal,
+    };
+    assert!(device.run_frame(bad).is_none());
+    // Empty frame.
+    let empty = FrameJob {
+        event_words: Vec::new(),
+        homography_words: [0; 9],
+        phi_words: vec![[0, 0, 0]; 10],
+        kind: FrameKind::Normal,
+    };
+    assert!(device.run_frame(empty).is_none());
+    assert_eq!(device.stats().frames, 0);
+}
+
+#[test]
+fn dsi_scores_saturate_instead_of_wrapping_under_extreme_load() {
+    // Pathological workload: every vote lands on the same voxel, more times
+    // than a 16-bit score can hold.
+    let mut dram = DsiDram::new(8, 8, 2);
+    let addr = dram.linear_address(3, 3, 1).expect("in range");
+    for _ in 0..(u16::MAX as u32 + 500) {
+        dram.vote(addr);
+    }
+    assert_eq!(dram.score(3, 3, 1), Some(u16::MAX));
+    assert_eq!(dram.stats().saturated_votes, 500);
+    assert_eq!(dram.stats().address_faults, 0);
+}
+
+#[test]
+fn cosim_survives_a_noisy_stream_and_stays_consistent_with_software() {
+    // Even under sensor noise the device and the software pipeline must stay
+    // bit-identical — noise changes the input, not the arithmetic.
+    let seq = sequence(SequenceKind::SliderFar);
+    let config = config_for_sequence(&seq, 40);
+    let width = seq.camera.intrinsics.width as u16;
+    let height = seq.camera.intrinsics.height as u16;
+    let (noisy, _) = NoiseInjector::new(width, height, NoiseConfig::moderate()).corrupt(&seq.events);
+
+    let software = EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
+        .expect("config");
+    let mut cosim =
+        CosimPipeline::new(seq.camera, config, AcceleratorConfig::default()).expect("config");
+    let sw = software.reconstruct(&noisy, &seq.trajectory).expect("software");
+    let hw = cosim.reconstruct(&noisy, &seq.trajectory).expect("cosim");
+    assert_eq!(sw.keyframes.len(), hw.keyframes.len());
+    for (s, h) in sw.keyframes.iter().zip(&hw.keyframes) {
+        assert_eq!(s.votes_cast, h.votes_cast);
+        assert_eq!(s.depth_map.depth_data(), h.depth_map.depth_data());
+    }
+}
