@@ -33,7 +33,9 @@ fn bench_backprojection(c: &mut Criterion) {
         let reference = Pose::identity();
         let frame_pose = Pose::from_translation(Vec3::new(0.08, -0.01, 0.02));
         b.iter(|| {
-            black_box(FrameGeometry::compute(&reference, &frame_pose, &intrinsics, &planes).unwrap())
+            black_box(
+                FrameGeometry::compute(&reference, &frame_pose, &intrinsics, &planes).unwrap(),
+            )
         })
     });
 
@@ -46,7 +48,10 @@ fn bench_backprojection(c: &mut Criterion) {
     });
 
     group.bench_function("proportional_transfer_1024x100", |b| {
-        let canonical: Vec<Vec2> = events.iter().filter_map(|&e| geometry.canonical(e)).collect();
+        let canonical: Vec<Vec2> = events
+            .iter()
+            .filter_map(|&e| geometry.canonical(e))
+            .collect();
         b.iter(|| {
             for c in &canonical {
                 for i in 0..geometry.num_planes() {
@@ -58,8 +63,10 @@ fn bench_backprojection(c: &mut Criterion) {
 
     group.bench_function("quantized_canonical_1024_events", |b| {
         let qh = QuantizedHomography::from_homography(&geometry.homography);
-        let packed: Vec<PackedCoord> =
-            events.iter().map(|e| PackedCoord::from_f64(e.x, e.y)).collect();
+        let packed: Vec<PackedCoord> = events
+            .iter()
+            .map(|e| PackedCoord::from_f64(e.x, e.y))
+            .collect();
         b.iter(|| {
             for p in &packed {
                 black_box(qh.project(*p));

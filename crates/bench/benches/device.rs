@@ -12,7 +12,9 @@ use eventor_hwsim::{
 use std::hint::black_box;
 
 fn event_words(n: usize) -> Vec<u32> {
-    (0..n).map(|i| PackedCoord::from_f64((i % 240) as f64, (i % 180) as f64).to_word()).collect()
+    (0..n)
+        .map(|i| PackedCoord::from_f64((i % 240) as f64, (i % 180) as f64).to_word())
+        .collect()
 }
 
 fn near_identity_homography() -> HomographyRegisters {

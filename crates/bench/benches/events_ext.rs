@@ -16,7 +16,11 @@ fn synthetic_stream(n: usize) -> EventStream {
                 i as f64 * 2e-6,
                 ((i * 37) % 240) as u16,
                 ((i * 53) % 180) as u16,
-                if i % 2 == 0 { Polarity::Positive } else { Polarity::Negative },
+                if i % 2 == 0 {
+                    Polarity::Positive
+                } else {
+                    Polarity::Negative
+                },
             )
         })
         .collect()
@@ -67,7 +71,10 @@ fn bench_events_ext(c: &mut Criterion) {
         b.iter(|| {
             let (frames, stats) = slice_stream(
                 &stream,
-                SlicePolicy::Adaptive { events: 1024, max_seconds: 5e-3 },
+                SlicePolicy::Adaptive {
+                    events: 1024,
+                    max_seconds: 5e-3,
+                },
             );
             black_box((frames.len(), stats.max_events))
         })

@@ -25,13 +25,15 @@ fn bench_pipeline(c: &mut Criterion) {
 
     group.bench_function("eventor_reformulated_full_sequence", |b| {
         let pipeline =
-            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator()).unwrap();
+            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
+                .unwrap();
         b.iter(|| black_box(pipeline.reconstruct(&seq.events, &seq.trajectory).unwrap()))
     });
 
     group.bench_function("eventor_nearest_only_full_sequence", |b| {
         let pipeline =
-            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::nearest_only()).unwrap();
+            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::nearest_only())
+                .unwrap();
         b.iter(|| black_box(pipeline.reconstruct(&seq.events, &seq.trajectory).unwrap()))
     });
 

@@ -5,7 +5,9 @@ use eventor_fixed::{PackedCoord, Q11p21, Q9p7};
 use std::hint::black_box;
 
 fn bench_quantization(c: &mut Criterion) {
-    let values: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.0571).sin() * 200.0).collect();
+    let values: Vec<f64> = (0..4096)
+        .map(|i| (i as f64 * 0.0571).sin() * 200.0)
+        .collect();
     let mut group = c.benchmark_group("quantization");
     group.throughput(Throughput::Elements(values.len() as u64));
 
@@ -26,11 +28,14 @@ fn bench_quantization(c: &mut Criterion) {
     });
 
     group.bench_function("q11_21_multiply", |b| {
-        let qs: Vec<Q11p21> = values.iter().map(|&v| Q11p21::from_f64(v / 256.0)).collect();
+        let qs: Vec<Q11p21> = values
+            .iter()
+            .map(|&v| Q11p21::from_f64(v / 256.0))
+            .collect();
         b.iter(|| {
             let mut acc = Q11p21::zero();
             for w in qs.windows(2) {
-                acc = acc + w[0] * w[1];
+                acc += w[0] * w[1];
             }
             black_box(acc)
         })

@@ -35,7 +35,5 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "maximum AbsRel difference: {max_diff:.2} percentage points (paper: about 1.18)"
-    );
+    println!("maximum AbsRel difference: {max_diff:.2} percentage points (paper: about 1.18)");
 }

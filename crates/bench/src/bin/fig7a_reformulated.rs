@@ -37,7 +37,5 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "maximum AbsRel difference: {max_diff:.2} percentage points (paper: about 1.78)"
-    );
+    println!("maximum AbsRel difference: {max_diff:.2} percentage points (paper: about 1.78)");
 }

@@ -34,7 +34,9 @@ fn main() {
     fs::create_dir_all(&out_dir).expect("can create the results directory");
     let path = out_dir.join("fig7b_3planes.ply");
     let file = fs::File::create(&path).expect("can create the PLY file");
-    filtered.write_ply(std::io::BufWriter::new(file)).expect("can write the PLY file");
+    filtered
+        .write_ply(std::io::BufWriter::new(file))
+        .expect("can write the PLY file");
 
     print_header("Fig. 7b: reconstructed scene structure (simulation_3planes)");
     println!("key frames          : {}", output.keyframes.len());

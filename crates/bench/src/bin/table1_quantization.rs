@@ -3,10 +3,10 @@
 //! EMVS data and the resulting memory savings.
 
 use eventor_bench::{fast_mode, generate_sequence, print_header};
+use eventor_dsi::DepthPlanes;
 use eventor_emvs::FrameGeometry;
 use eventor_events::{aggregate, SequenceKind, DEFAULT_EVENTS_PER_FRAME};
 use eventor_fixed::{analyze, frame_memory_footprint, TABLE1_STRATEGY};
-use eventor_dsi::DepthPlanes;
 use eventor_geom::Vec2;
 
 fn main() {
@@ -35,9 +35,14 @@ fn main() {
     let mut homography_entries = Vec::new();
     let mut phi_values = Vec::new();
     for frame in frames.iter().take(8) {
-        let Some(ts) = frame.timestamp() else { continue };
-        let Ok(pose) = seq.trajectory.pose_at(ts) else { continue };
-        let Ok(geometry) = FrameGeometry::compute(&seq.reference_pose, &pose, &seq.camera.intrinsics, &planes)
+        let Some(ts) = frame.timestamp() else {
+            continue;
+        };
+        let Ok(pose) = seq.trajectory.pose_at(ts) else {
+            continue;
+        };
+        let Ok(geometry) =
+            FrameGeometry::compute(&seq.reference_pose, &pose, &seq.camera.intrinsics, &planes)
         else {
             continue;
         };
@@ -65,10 +70,22 @@ fn main() {
     let canonical_report = analyze::<i16, 7>(&canonical);
     let h_report = analyze::<i32, 21>(&homography_entries);
     let phi_report = analyze::<i32, 21>(&phi_values);
-    println!("(x_k, y_k)        Q9.7   : {:.6} / {:.6} px", coord_report.mean_abs_error, coord_report.max_abs_error);
-    println!("(x_k(Z0), y_k(Z0)) Q9.7  : {:.6} / {:.6} px", canonical_report.mean_abs_error, canonical_report.max_abs_error);
-    println!("H_Z0              Q11.21 : {:.2e} / {:.2e}", h_report.mean_abs_error, h_report.max_abs_error);
-    println!("phi               Q11.21 : {:.2e} / {:.2e}", phi_report.mean_abs_error, phi_report.max_abs_error);
+    println!(
+        "(x_k, y_k)        Q9.7   : {:.6} / {:.6} px",
+        coord_report.mean_abs_error, coord_report.max_abs_error
+    );
+    println!(
+        "(x_k(Z0), y_k(Z0)) Q9.7  : {:.6} / {:.6} px",
+        canonical_report.mean_abs_error, canonical_report.max_abs_error
+    );
+    println!(
+        "H_Z0              Q11.21 : {:.2e} / {:.2e}",
+        h_report.mean_abs_error, h_report.max_abs_error
+    );
+    println!(
+        "phi               Q11.21 : {:.2e} / {:.2e}",
+        phi_report.mean_abs_error, phi_report.max_abs_error
+    );
 
     let (float_bytes, quant_bytes) = frame_memory_footprint(
         DEFAULT_EVENTS_PER_FRAME,

@@ -9,12 +9,13 @@ fn main() {
     print_header("Table 2: FPGA resource utilization of Eventor (XC7Z020)");
     let report = estimate_resources(&AcceleratorConfig::default());
     println!("{}", report.to_table());
-    println!(
-        "paper reports: 17538 LUT (32.97%), 22830 FF (21.46%), 64 KB BRAM (11.43%)"
-    );
+    println!("paper reports: 17538 LUT (32.97%), 22830 FF (21.46%), 64 KB BRAM (11.43%)");
 
     print_header("Scaling: resource cost versus number of PE_Zi");
-    println!("{:>6} {:>10} {:>10} {:>12}", "PE_Zi", "LUT", "FF", "BRAM (KB)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12}",
+        "PE_Zi", "LUT", "FF", "BRAM (KB)"
+    );
     for n_pe in [1usize, 2, 4, 8] {
         let r = estimate_resources(&AcceleratorConfig::default().with_pe_zi(n_pe));
         println!(

@@ -34,10 +34,18 @@ fn main() {
     let energy = run.energy_versus_cpu(cpu);
 
     print_header("Table 3: performance comparison (CPU baseline vs Eventor)");
-    println!("workload: {} ({} events, {} frames, {} key frames)",
-        seq.name(), cpu.events_processed, cpu.frames_processed, cpu.keyframes);
+    println!(
+        "workload: {} ({} events, {} frames, {} key frames)",
+        seq.name(),
+        cpu.events_processed,
+        cpu.frames_processed,
+        cpu.keyframes
+    );
     println!();
-    println!("{:<44} {:>14} {:>14}", "", "CPU (measured)", "Eventor (model)");
+    println!(
+        "{:<44} {:>14} {:>14}",
+        "", "CPU (measured)", "Eventor (model)"
+    );
     println!(
         "{:<44} {:>14.2} {:>14.2}",
         "P{Z0} runtime per event frame (us)",
@@ -76,9 +84,7 @@ fn main() {
     );
     println!(
         "{:<44} {:>14.2} {:>14.2}",
-        "power (W)",
-        INTEL_I5_POWER_W,
-        run.power_w
+        "power (W)", INTEL_I5_POWER_W, run.power_w
     );
     println!();
     println!(

@@ -8,6 +8,29 @@
 //! variable) to switch from the full DAVIS-resolution configuration to the
 //! reduced test configuration, which makes the whole experiment suite run in
 //! seconds for smoke-testing.
+//!
+//! Which binary reproduces which paper artefact (and how to read the
+//! outputs) is documented in the repository's `README.md` and
+//! `docs/BENCHMARKS.md`.
+//!
+//! ## Example
+//!
+//! Generating an experiment workload and its configuration, exactly the way
+//! the `src/bin/` binaries do:
+//!
+//! ```
+//! use eventor_bench::{dataset_config, experiment_config, EXPERIMENT_DEPTH_PLANES};
+//! use eventor_events::{SequenceKind, SyntheticSequence};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // `true` = the reduced-scale fast mode the test suite uses.
+//! let seq = SyntheticSequence::generate(SequenceKind::ThreePlanes, &dataset_config(true))?;
+//! let config = experiment_config(&seq);
+//! assert_eq!(config.num_depth_planes, EXPERIMENT_DEPTH_PLANES);
+//! assert!((config.depth_range.0, config.depth_range.1) == seq.depth_range);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -24,7 +47,9 @@ pub const EXPERIMENT_DEPTH_PLANES: usize = 100;
 /// `EVENTOR_FAST=1`.
 pub fn fast_mode() -> bool {
     std::env::args().any(|a| a == "--fast")
-        || std::env::var("EVENTOR_FAST").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("EVENTOR_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// The dataset configuration for the current mode.
@@ -61,7 +86,10 @@ pub fn generate_sequence(kind: SequenceKind, fast: bool) -> SyntheticSequence {
 
 /// Generates all four evaluation sequences in the current mode.
 pub fn generate_all_sequences(fast: bool) -> Vec<SyntheticSequence> {
-    SequenceKind::ALL.iter().map(|&k| generate_sequence(k, fast)).collect()
+    SequenceKind::ALL
+        .iter()
+        .map(|&k| generate_sequence(k, fast))
+        .collect()
 }
 
 /// The EMVS configuration the experiments use for a sequence.

@@ -109,8 +109,14 @@ mod tests {
         cpu.frames_processed = 100;
         cpu.keyframes = 2;
         cpu.events_processed = 100 * 1024;
-        cpu.add(Stage::CanonicalProjection, Duration::from_secs_f64(22.40e-6 * 100.0));
-        cpu.add(Stage::ProportionalProjection, Duration::from_secs_f64(400.0e-6 * 100.0));
+        cpu.add(
+            Stage::CanonicalProjection,
+            Duration::from_secs_f64(22.40e-6 * 100.0),
+        );
+        cpu.add(
+            Stage::ProportionalProjection,
+            Duration::from_secs_f64(400.0e-6 * 100.0),
+        );
         cpu.add(Stage::VoteDsi, Duration::from_secs_f64(159.55e-6 * 100.0));
         let run = AcceleratorRun::evaluate_from_profile(&AcceleratorConfig::default(), &cpu);
         let cmp = run.energy_versus_cpu(&cpu);

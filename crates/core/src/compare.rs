@@ -78,7 +78,8 @@ pub fn run_variant(
         .with_depth_range(sequence.depth_range.0, sequence.depth_range.1);
     let output: EmvsOutput = match variant {
         PipelineVariant::OriginalBilinear => {
-            let mapper = EmvsMapper::new(sequence.camera, config.with_voting(VotingMode::Bilinear))?;
+            let mapper =
+                EmvsMapper::new(sequence.camera, config.with_voting(VotingMode::Bilinear))?;
             mapper.reconstruct(&sequence.events, &sequence.trajectory)?
         }
         PipelineVariant::OriginalNearest => {
@@ -127,7 +128,10 @@ pub fn run_variants(
 /// sequence metadata and a key-frame distance proportional to the mean scene
 /// depth (the heuristic EMVS front-ends use in practice).
 pub fn config_for_sequence(sequence: &SyntheticSequence, num_depth_planes: usize) -> EmvsConfig {
-    let mean_depth = sequence.ground_truth_depth.mean_finite().max(sequence.depth_range.0);
+    let mean_depth = sequence
+        .ground_truth_depth
+        .mean_finite()
+        .max(sequence.depth_range.0);
     EmvsConfig::default()
         .with_depth_range(sequence.depth_range.0, sequence.depth_range.1)
         .with_depth_planes(num_depth_planes)
@@ -149,7 +153,8 @@ mod tests {
     #[test]
     fn all_variants_run_and_stay_close_on_a_small_sequence() {
         let seq =
-            SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test()).unwrap();
+            SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())
+                .unwrap();
         let config = config_for_sequence(&seq, 60);
         let results = run_variants(&seq, &PipelineVariant::ALL, &config).unwrap();
         assert_eq!(results.len(), 4);
@@ -174,8 +179,8 @@ mod tests {
 
     #[test]
     fn config_for_sequence_uses_sequence_metadata() {
-        let seq =
-            SyntheticSequence::generate(SequenceKind::SliderFar, &DatasetConfig::fast_test()).unwrap();
+        let seq = SyntheticSequence::generate(SequenceKind::SliderFar, &DatasetConfig::fast_test())
+            .unwrap();
         let config = config_for_sequence(&seq, 80);
         assert_eq!(config.num_depth_planes, 80);
         assert_eq!(config.depth_range, seq.depth_range);

@@ -16,6 +16,7 @@
 //! this bit-exact agreement, which is the co-verification argument of the
 //! accelerator design.
 
+use crate::parallel::{parallel_map, ParallelConfig};
 use crate::quantized::quantize_event_pixel;
 use eventor_dsi::{detect_structure, DepthPlanes, DsiVolume, PointCloud};
 use eventor_emvs::{
@@ -82,6 +83,7 @@ pub struct CosimPipeline {
     config: EmvsConfig,
     device: EventorDevice,
     report: CosimReport,
+    parallel: ParallelConfig,
 }
 
 impl CosimPipeline {
@@ -106,7 +108,9 @@ impl CosimPipeline {
             });
         }
         if config.num_depth_planes < 2 {
-            return Err(EmvsError::InvalidConfig { reason: "need at least two depth planes".into() });
+            return Err(EmvsError::InvalidConfig {
+                reason: "need at least two depth planes".into(),
+            });
         }
         if config.depth_range.0 <= 0.0 || config.depth_range.1 <= config.depth_range.0 {
             return Err(EmvsError::InvalidConfig {
@@ -119,7 +123,29 @@ impl CosimPipeline {
         accelerator.sensor_width = camera.intrinsics.width as usize;
         accelerator.sensor_height = camera.intrinsics.height as usize;
         let device = EventorDevice::new(accelerator);
-        Ok(Self { camera, config, device, report: CosimReport::default() })
+        Ok(Self {
+            camera,
+            config,
+            device,
+            report: CosimReport::default(),
+            parallel: ParallelConfig::sequential(),
+        })
+    }
+
+    /// Parallelizes the PS-side (ARM firmware) stages of the co-simulation:
+    /// streaming distortion correction and Q9.7 transport encoding run
+    /// chunked over worker shards via [`parallel_map`]. Both are per-event
+    /// pure maps, so the device receives a bit-identical word stream and the
+    /// co-simulation result is unchanged for any shard count. The PL-side
+    /// device model itself stays serial — it models a single accelerator.
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The active PS-side parallelism configuration.
+    pub fn parallelism(&self) -> &ParallelConfig {
+        &self.parallel
     }
 
     /// The EMVS configuration.
@@ -168,14 +194,15 @@ impl CosimPipeline {
         let mut profile = StageProfile::new();
         let fabric = self.device.config().fabric_clock;
 
-        // PS side: streaming distortion correction + Q9.7 transport encoding.
-        let transported: Vec<u32> = events
-            .iter()
-            .map(|e| {
-                let p = self.camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64));
-                quantize_event_pixel(p).to_word()
-            })
-            .collect();
+        // PS side: streaming distortion correction + Q9.7 transport encoding,
+        // chunked over the configured worker shards (bit-identical for any
+        // shard count — both stages are per-event pure maps).
+        let transported: Vec<u32> = parallel_map(events.as_slice(), self.parallel.shards(), |e| {
+            let p = self
+                .camera
+                .undistort_pixel(Vec2::new(e.x as f64, e.y as f64));
+            quantize_event_pixel(p).to_word()
+        });
 
         // PS side: aggregation into event frames.
         let frames = aggregate(events, self.config.events_per_frame);
@@ -201,7 +228,9 @@ impl CosimPipeline {
         let mut key_us_sum = 0.0;
 
         for frame in &frames {
-            let Some(timestamp) = frame.timestamp() else { continue };
+            let Some(timestamp) = frame.timestamp() else {
+                continue;
+            };
             let pose = trajectory.pose_at(timestamp)?;
 
             match reference {
@@ -238,16 +267,29 @@ impl CosimPipeline {
                 &transported,
                 frame.index * self.config.events_per_frame,
                 frame.len(),
-                if next_is_key { FrameKind::Key } else { FrameKind::Normal },
+                if next_is_key {
+                    FrameKind::Key
+                } else {
+                    FrameKind::Normal
+                },
             );
             next_is_key = false;
 
             // PL side: run the frame on the device.
-            let execution = self.device.run_frame(job).ok_or_else(|| EmvsError::InvalidConfig {
-                reason: "accelerator rejected the staged frame".into(),
-            })?;
+            let execution = self
+                .device
+                .run_frame(job)
+                .ok_or_else(|| EmvsError::InvalidConfig {
+                    reason: "accelerator rejected the staged frame".into(),
+                })?;
             Self::charge_profile(&mut profile, &execution, fabric);
-            Self::charge_report(&mut report, &execution, fabric, &mut normal_us_sum, &mut key_us_sum);
+            Self::charge_report(
+                &mut report,
+                &execution,
+                fabric,
+                &mut normal_us_sum,
+                &mut key_us_sum,
+            );
             report.energy.accumulate(
                 &ActivityEnergyModel::default().frame_energy(&execution, self.device.config()),
             );
@@ -280,10 +322,17 @@ impl CosimPipeline {
         } else {
             0.0
         };
-        report.mean_key_frame_us =
-            if report.key_frames > 0 { key_us_sum / report.key_frames as f64 } else { 0.0 };
+        report.mean_key_frame_us = if report.key_frames > 0 {
+            key_us_sum / report.key_frames as f64
+        } else {
+            0.0
+        };
         self.report = report;
-        Ok(EmvsOutput { keyframes, global_map, profile })
+        Ok(EmvsOutput {
+            keyframes,
+            global_map,
+            profile,
+        })
     }
 
     /// Builds the per-frame job shipped to the device: the event words of the
@@ -309,8 +358,13 @@ impl CosimPipeline {
         }
     }
 
-    fn charge_profile(profile: &mut StageProfile, execution: &FrameExecution, fabric: eventor_hwsim::ClockDomain) {
-        let canonical = Duration::from_secs_f64(fabric.cycles_to_seconds(execution.canonical_cycles));
+    fn charge_profile(
+        profile: &mut StageProfile,
+        execution: &FrameExecution,
+        fabric: eventor_hwsim::ClockDomain,
+    ) {
+        let canonical =
+            Duration::from_secs_f64(fabric.cycles_to_seconds(execution.canonical_cycles));
         let proportional =
             Duration::from_secs_f64(fabric.cycles_to_seconds(execution.proportional_cycles));
         profile.add(Stage::CanonicalProjection, canonical);
@@ -391,7 +445,10 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let cam = CameraModel::davis240_ideal();
-        let bad = EmvsConfig { num_depth_planes: 1, ..Default::default() };
+        let bad = EmvsConfig {
+            num_depth_planes: 1,
+            ..Default::default()
+        };
         assert!(CosimPipeline::new(cam, bad, AcceleratorConfig::default()).is_err());
         let bad_range = EmvsConfig::default().with_depth_range(2.0, 1.0);
         assert!(CosimPipeline::new(cam, bad_range, AcceleratorConfig::default()).is_err());
@@ -403,7 +460,10 @@ mod tests {
         let mut cosim =
             CosimPipeline::new(cam, EmvsConfig::default(), AcceleratorConfig::default()).unwrap();
         let traj = Trajectory::linear(Pose::identity(), Pose::identity(), 0.0, 1.0, 2);
-        assert!(matches!(cosim.reconstruct(&EventStream::new(), &traj), Err(EmvsError::NoEvents)));
+        assert!(matches!(
+            cosim.reconstruct(&EventStream::new(), &traj),
+            Err(EmvsError::NoEvents)
+        ));
     }
 
     #[test]
@@ -411,7 +471,8 @@ mod tests {
         let seq = sequence();
         let config = config_for(&seq);
         let software =
-            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator()).unwrap();
+            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
+                .unwrap();
         let mut cosim =
             CosimPipeline::new(seq.camera, config, AcceleratorConfig::default()).unwrap();
 
@@ -422,7 +483,11 @@ mod tests {
         for (s, h) in sw.keyframes.iter().zip(&hw.keyframes) {
             assert_eq!(s.votes_cast, h.votes_cast, "vote counts diverged");
             assert_eq!(s.depth_map.valid_count(), h.depth_map.valid_count());
-            assert_eq!(s.depth_map.depth_data(), h.depth_map.depth_data(), "depth maps diverged");
+            assert_eq!(
+                s.depth_map.depth_data(),
+                h.depth_map.depth_data(),
+                "depth maps diverged"
+            );
         }
     }
 
@@ -448,5 +513,4 @@ mod tests {
         assert!(report.energy.average_power_w() > 1.0 && report.energy.average_power_w() < 4.0);
         assert!((report.energy.seconds - report.accelerator_seconds).abs() < 1e-9);
     }
-
 }

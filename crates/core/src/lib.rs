@@ -42,12 +42,16 @@
 mod accel;
 mod compare;
 mod cosim;
+pub mod parallel;
 mod pipeline;
 mod quantized;
 
 pub use accel::AcceleratorRun;
-pub use compare::{config_for_sequence, run_variant, run_variants, PipelineVariant, VariantAccuracy};
+pub use compare::{
+    config_for_sequence, run_variant, run_variants, PipelineVariant, VariantAccuracy,
+};
 pub use cosim::{CosimPipeline, CosimReport};
+pub use parallel::{parallel_map, ParallelConfig, QuantizedFrameParams};
 pub use pipeline::{EventorOptions, EventorPipeline};
 pub use quantized::{
     quantize_event_pixel, QuantizedCoefficients, QuantizedHomography, COORD_QUANTIZATION_ERROR,
@@ -61,7 +65,9 @@ mod cosim_proptests {
 
     use super::*;
     use eventor_fixed::PackedCoord;
-    use eventor_geom::{CameraIntrinsics, CanonicalHomography, Pose, ProportionalCoefficients, Vec3};
+    use eventor_geom::{
+        CameraIntrinsics, CanonicalHomography, Pose, ProportionalCoefficients, Vec3,
+    };
     use eventor_hwsim::{HomographyRegisters, PeZ0Datapath, PeZiArrayDatapath, PhiEntry};
     use proptest::prelude::*;
 
@@ -82,8 +88,8 @@ mod cosim_proptests {
             .collect();
         let z0 = *depths.last().unwrap();
         let h = CanonicalHomography::compute(&reference, &camera, &intrinsics, z0).ok()?;
-        let phi =
-            ProportionalCoefficients::compute(&reference, &camera, &intrinsics, &depths, z0).ok()?;
+        let phi = ProportionalCoefficients::compute(&reference, &camera, &intrinsics, &depths, z0)
+            .ok()?;
         Some((h, phi, depths))
     }
 

@@ -1,0 +1,328 @@
+//! The **parallel sharded voting engine** for the reformulated (quantized)
+//! Eventor datapath.
+//!
+//! This module is the `eventor-core` half of the engine whose planning and
+//! shard-running primitives live in [`eventor_emvs`] (see
+//! [`plan_segments`], [`run_sharded`], [`ParallelConfig`]):
+//!
+//! * [`parallel_map`] — chunked, order-preserving parallel map used for the
+//!   streaming distortion-correction and Q9.7 transport-encoding stages
+//!   (per-event pure functions, so the parallel result is bit-identical),
+//! * [`QuantizedFrameParams`] — the per-frame `H_{Z0}` / `φ` parameter block
+//!   with the fixed-point decode hoisted out of the per-event hot loop,
+//! * the fused per-packet vote kernels that project, transfer and vote in a
+//!   single allocation-free pass over a [`VotePacket`](eventor_events::VotePacket),
+//!   writing into a per-shard [`DsiVolume`] tile.
+//!
+//! ## Determinism and bit-identity
+//!
+//! Work is assigned round-robin: packet `p` goes to shard `p mod shards`,
+//! independent of thread timing. Each shard votes into a private tile;
+//! tiles are merged with [`DsiVolume::tree_reduce`], whose shape depends only
+//! on the shard count. For the accelerator datapath (`u16` scores, nearest
+//! voting, unit votes) the merged volume is **bit-identical to the
+//! sequential golden path for every shard count** — saturating unit-count
+//! accumulation is order-independent — which the `parallel_equivalence`
+//! integration tests assert on the `ThreePlanes` sequence. The float
+//! ablation datapaths are deterministic for a fixed shard count; nearest
+//! voting is still bit-identical (whole `f32` increments are exact), while
+//! bilinear voting can differ from the sequential float summation order by
+//! ULPs.
+//!
+//! The hot-loop kernels delegate their arithmetic to
+//! [`QuantizedHomography::project_hoisted`] and
+//! [`QuantizedCoefficients::transfer_hoisted`] — the same functions the
+//! sequential golden model calls — so the fused fast path cannot drift from
+//! the reference implementation.
+
+use crate::quantized::{QuantizedCoefficients, QuantizedHomography};
+use eventor_dsi::{DsiVolume, VoxelScore};
+use eventor_emvs::{PlannedFrame, VotingMode};
+use eventor_fixed::{PackedCoord, PlaneCoord};
+use eventor_geom::Vec2;
+
+pub use eventor_emvs::{
+    plan_segments, run_sharded, shard_packets, KeyframeSegment, ParallelConfig,
+};
+
+/// Per-shard working state: the private DSI tile plus the canonical-point
+/// scratch buffer the fused kernels reuse across packets and key frames (no
+/// per-packet allocation).
+#[derive(Debug)]
+pub(crate) struct ShardState<S: VoxelScore> {
+    /// The shard's private DSI tile.
+    pub tile: DsiVolume<S>,
+    /// Canonical-plane points of the packet being processed.
+    pub canon: Vec<(f64, f64)>,
+}
+
+impl<S: VoxelScore> ShardState<S> {
+    pub(crate) fn new(tile: DsiVolume<S>, packet_events: usize) -> Self {
+        Self {
+            tile,
+            canon: Vec::with_capacity(packet_events),
+        }
+    }
+}
+
+/// Order-preserving parallel map: splits `input` into up to `shards`
+/// contiguous chunks (capped at the available hardware threads), maps each
+/// chunk on its own scoped worker thread, and concatenates the results in
+/// chunk order.
+///
+/// Because `f` is applied per element and the output order is the input
+/// order, the result is identical to `input.iter().map(f).collect()` for any
+/// shard count — this is what makes the parallel distortion-correction and
+/// transport-encoding stages bit-exact.
+pub fn parallel_map<T, U, F>(input: &[T], shards: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let shards = shards.min(available).max(1);
+    if shards == 1 || input.len() < 2 * shards {
+        return input.iter().map(f).collect();
+    }
+    let chunk = input.len().div_ceil(shards);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = input
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(input.len());
+        for handle in handles {
+            out.extend(handle.join().expect("parallel_map worker panicked"));
+        }
+        out
+    })
+}
+
+/// Per-frame quantized datapath parameters with the Q11.21 → `f64` decode
+/// hoisted out of the per-event loop: the `3 × 3` homography matrix and the
+/// per-plane `(scale, offset_x, offset_y)` coefficient triples.
+#[derive(Debug, Clone)]
+pub struct QuantizedFrameParams {
+    homography: [[f64; 3]; 3],
+    coefficients: Vec<(f64, f64, f64)>,
+}
+
+impl QuantizedFrameParams {
+    /// Quantizes and hoists one planned frame's geometry.
+    pub fn from_frame(frame: &PlannedFrame) -> Self {
+        let qh = QuantizedHomography::from_homography(&frame.geometry.homography);
+        let qphi = QuantizedCoefficients::from_coefficients(&frame.geometry.coefficients);
+        Self {
+            homography: qh.entries_f64(),
+            coefficients: qphi.hoisted(),
+        }
+    }
+
+    /// Number of depth planes covered.
+    pub fn num_planes(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// The canonical projection `𝒫{Z0}` (delegates to the golden model's
+    /// [`QuantizedHomography::project_hoisted`]).
+    #[inline]
+    pub fn project(&self, coord: PackedCoord) -> Option<PackedCoord> {
+        QuantizedHomography::project_hoisted(&self.homography, coord)
+    }
+}
+
+/// Fused `PE_Z0` → `PE_Zi` → Nearest Voxel Finder → vote kernel for one
+/// packet of the quantized nearest-voting (accelerator) datapath.
+///
+/// Equivalent, vote for vote, to the sequential
+/// `EventorPipeline::process_frame_quantized` path; the only differences are
+/// scheduling (one packet instead of one frame) and the hoisted parameter
+/// decode.
+/// The kernel runs plane-major: all canonical points of the packet are
+/// computed once into the shard's scratch buffer, then each depth plane's
+/// transfers are generated back-to-back and voted straight into that plane's
+/// score slab (mirroring the `PE_Zi` array structure, and keeping the write
+/// working-set at one plane instead of the whole volume). Reordering votes
+/// from the sequential event-major schedule to plane-major is exact for this
+/// datapath: saturating integer unit-vote accumulation is order-independent.
+#[inline]
+pub(crate) fn vote_packet_quantized_nearest(
+    state: &mut ShardState<u16>,
+    params: &QuantizedFrameParams,
+    events: &[PackedCoord],
+    sensor_width: u32,
+    sensor_height: u32,
+) {
+    state.canon.clear();
+    for &coord in events {
+        if let Some(canonical) = params.project(coord) {
+            state.canon.push((canonical.x_f64(), canonical.y_f64()));
+        }
+    }
+    let width = state.tile.width();
+    let mut cast: u64 = 0;
+    for (i, &(scale, off_x, off_y)) in params.coefficients.iter().enumerate() {
+        let slab = state.tile.plane_scores_mut(i);
+        for &(cx, cy) in &state.canon {
+            let (x, y) = QuantizedCoefficients::transfer_hoisted(scale, off_x, off_y, cx, cy);
+            if let Some((vx, vy)) =
+                PlaneCoord::from_projection(x, y, sensor_width, sensor_height).address()
+            {
+                slab[vy as usize * width + vx as usize].add_unit();
+                cast += 1;
+            }
+        }
+    }
+    state.tile.add_cast_votes(cast);
+}
+
+/// Fused kernel for one packet of the quantized **bilinear** ablation
+/// (`EventorOptions::quantized_only`): quantized projection and transfer,
+/// float sub-pixel voting.
+/// Unlike the nearest kernel this one keeps the sequential event-major vote
+/// order, so the single-shard batched engine stays bit-identical even though
+/// bilinear `f32` accumulation is order-sensitive.
+#[inline]
+pub(crate) fn vote_packet_quantized_bilinear(
+    state: &mut ShardState<f32>,
+    params: &QuantizedFrameParams,
+    events: &[PackedCoord],
+) {
+    for &coord in events {
+        let Some(canonical) = params.project(coord) else {
+            continue;
+        };
+        let cx = canonical.x_f64();
+        let cy = canonical.y_f64();
+        for (i, &(scale, off_x, off_y)) in params.coefficients.iter().enumerate() {
+            let (x, y) = QuantizedCoefficients::transfer_hoisted(scale, off_x, off_y, cx, cy);
+            state.tile.vote_bilinear(x, y, i, 1.0);
+        }
+    }
+}
+
+/// Fused kernel for one packet of the full-precision ablation datapaths
+/// (`EventorOptions::{exact, nearest_only}`): float canonical projection and
+/// plane transfer on the frame geometry, voting in the configured mode.
+/// Keeps the sequential event-major vote order (see
+/// [`vote_packet_quantized_bilinear`]).
+#[inline]
+pub(crate) fn vote_packet_float(
+    state: &mut ShardState<f32>,
+    frame: &PlannedFrame,
+    events: &[Vec2],
+    voting: VotingMode,
+) {
+    let n_planes = frame.geometry.num_planes();
+    for &pixel in events {
+        let Some(canonical) = frame.geometry.canonical(pixel) else {
+            continue;
+        };
+        for i in 0..n_planes {
+            let p = frame.geometry.transfer(canonical, i);
+            match voting {
+                VotingMode::Bilinear => state.tile.vote_bilinear(p.x, p.y, i, 1.0),
+                VotingMode::Nearest => state.tile.vote_nearest(p.x, p.y, i, 1.0),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_is_order_preserving_and_exact() {
+        let input: Vec<u64> = (0..10_001).collect();
+        let sequential: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for shards in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                parallel_map(&input, shards, |x| x * 3 + 1),
+                sequential,
+                "shards {shards}"
+            );
+        }
+        // Tiny inputs fall back to the sequential path.
+        assert_eq!(parallel_map(&input[..3], 8, |x| x + 1), vec![1, 2, 3]);
+        assert_eq!(
+            parallel_map::<u64, u64, _>(&[], 4, |x| *x),
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn shard_packets_partition_all_packets() {
+        use eventor_events::VotePacket;
+        let packets: Vec<VotePacket> = (0..13)
+            .map(|i| VotePacket {
+                frame: i,
+                range: i * 10..i * 10 + 10,
+            })
+            .collect();
+        let shards = 4;
+        let mut seen: Vec<usize> = Vec::new();
+        for s in 0..shards {
+            for p in shard_packets(&packets, s, shards) {
+                seen.push(p.frame);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hoisted_params_match_golden_model() {
+        use eventor_dsi::DepthPlanes;
+        use eventor_emvs::FrameGeometry;
+        use eventor_geom::{CameraIntrinsics, Pose, Vec3};
+
+        let intrinsics = CameraIntrinsics::davis240_default();
+        let planes = DepthPlanes::uniform_inverse_depth(1.0, 5.0, 30).unwrap();
+        let geometry = FrameGeometry::compute(
+            &Pose::identity(),
+            &Pose::from_translation(Vec3::new(0.06, -0.03, 0.01)),
+            &intrinsics,
+            &planes,
+        )
+        .unwrap();
+        let frame = PlannedFrame {
+            frame_index: 0,
+            event_range: 0..0,
+            pose: Pose::identity(),
+            geometry: geometry.clone(),
+        };
+        let params = QuantizedFrameParams::from_frame(&frame);
+        let qh = QuantizedHomography::from_homography(&geometry.homography);
+        let qphi = QuantizedCoefficients::from_coefficients(&geometry.coefficients);
+        assert_eq!(params.num_planes(), qphi.len());
+        for &(x, y) in &[(10.0, 10.0), (120.5, 90.25), (230.0, 170.0)] {
+            let coord = PackedCoord::from_f64(x, y);
+            let via_params = params.project(coord);
+            let via_golden = qh.project(coord);
+            assert_eq!(via_params, via_golden);
+            if let Some(c) = via_golden {
+                for i in 0..qphi.len() {
+                    let (scale, off_x, off_y) = (
+                        params.coefficients[i].0,
+                        params.coefficients[i].1,
+                        params.coefficients[i].2,
+                    );
+                    let (tx, ty) = QuantizedCoefficients::transfer_hoisted(
+                        scale,
+                        off_x,
+                        off_y,
+                        c.x_f64(),
+                        c.y_f64(),
+                    );
+                    let golden = qphi.transfer_nearest(c, i, 240, 180);
+                    assert_eq!(PlaneCoord::from_projection(tx, ty, 240, 180), golden);
+                }
+            }
+        }
+    }
+}

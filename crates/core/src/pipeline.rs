@@ -16,13 +16,20 @@
 //! [`EventorOptions`], which is what the Fig. 4a / Fig. 4b / Fig. 7a
 //! ablations sweep.
 
+use crate::parallel::{
+    parallel_map, plan_segments, run_sharded, shard_packets, vote_packet_float,
+    vote_packet_quantized_bilinear, vote_packet_quantized_nearest, KeyframeSegment, ParallelConfig,
+    QuantizedFrameParams, ShardState,
+};
 use crate::quantized::{quantize_event_pixel, QuantizedCoefficients, QuantizedHomography};
-use eventor_dsi::{detect_structure, DepthPlanes, DetectionConfig, DsiVolume, PointCloud};
+use eventor_dsi::{
+    detect_structure, DepthPlanes, DetectionConfig, DsiVolume, PointCloud, VoxelScore,
+};
 use eventor_emvs::{
     EmvsConfig, EmvsError, EmvsOutput, FrameGeometry, KeyframeReconstruction, KeyframeSelector,
     Stage, StageProfile, VotingMode,
 };
-use eventor_events::{aggregate, EventStream};
+use eventor_events::{aggregate, EventStream, VotePacket};
 use eventor_fixed::PackedCoord;
 use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
 use std::time::Instant;
@@ -38,7 +45,10 @@ pub struct EventorOptions {
 
 impl Default for EventorOptions {
     fn default() -> Self {
-        Self { voting: VotingMode::Nearest, quantize: true }
+        Self {
+            voting: VotingMode::Nearest,
+            quantize: true,
+        }
     }
 }
 
@@ -51,18 +61,27 @@ impl EventorOptions {
 
     /// Nearest voting only (Fig. 4a ablation).
     pub fn nearest_only() -> Self {
-        Self { voting: VotingMode::Nearest, quantize: false }
+        Self {
+            voting: VotingMode::Nearest,
+            quantize: false,
+        }
     }
 
     /// Quantization only (Fig. 4b ablation).
     pub fn quantized_only() -> Self {
-        Self { voting: VotingMode::Bilinear, quantize: true }
+        Self {
+            voting: VotingMode::Bilinear,
+            quantize: true,
+        }
     }
 
     /// No approximation at all (matches the baseline mapper; useful for
     /// validating the rescheduled dataflow in isolation).
     pub fn exact() -> Self {
-        Self { voting: VotingMode::Bilinear, quantize: false }
+        Self {
+            voting: VotingMode::Bilinear,
+            quantize: false,
+        }
     }
 }
 
@@ -142,6 +161,7 @@ pub struct EventorPipeline {
     camera: CameraModel,
     config: EmvsConfig,
     options: EventorOptions,
+    parallel: ParallelConfig,
 }
 
 impl EventorPipeline {
@@ -157,17 +177,58 @@ impl EventorPipeline {
         options: EventorOptions,
     ) -> Result<Self, EmvsError> {
         if config.events_per_frame == 0 {
-            return Err(EmvsError::InvalidConfig { reason: "events_per_frame must be positive".into() });
+            return Err(EmvsError::InvalidConfig {
+                reason: "events_per_frame must be positive".into(),
+            });
         }
         if config.num_depth_planes < 2 {
-            return Err(EmvsError::InvalidConfig { reason: "need at least two depth planes".into() });
+            return Err(EmvsError::InvalidConfig {
+                reason: "need at least two depth planes".into(),
+            });
         }
         if config.depth_range.0 <= 0.0 || config.depth_range.1 <= config.depth_range.0 {
             return Err(EmvsError::InvalidConfig {
                 reason: format!("invalid depth range {:?}", config.depth_range),
             });
         }
-        Ok(Self { camera, config, options })
+        Ok(Self {
+            camera,
+            config,
+            options,
+            parallel: ParallelConfig::sequential(),
+        })
+    }
+
+    /// Enables the parallel sharded voting engine.
+    ///
+    /// With [`ParallelConfig::sequential`] (the default) the original
+    /// single-threaded golden path runs unchanged. With more than one shard,
+    /// [`reconstruct`](Self::reconstruct) plans the stream into key-frame
+    /// segments, distributes vote packets round-robin over worker shards
+    /// voting into private DSI tiles, and merges the tiles with a
+    /// deterministic tree reduction (see [`crate::parallel`]). For the
+    /// accelerator datapath ([`EventorOptions::accelerator`]) the output is
+    /// bit-identical to the sequential result for every shard count.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use eventor_core::{EventorOptions, EventorPipeline, ParallelConfig};
+    /// use eventor_emvs::EmvsConfig;
+    /// use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let seq = SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test())?;
+    /// let config = EmvsConfig::default().with_depth_range(seq.depth_range.0, seq.depth_range.1);
+    /// let pipeline = EventorPipeline::new(seq.camera, config, EventorOptions::accelerator())?
+    ///     .with_parallelism(ParallelConfig::auto());
+    /// let output = pipeline.reconstruct(&seq.events, &seq.trajectory)?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// The active reformulation options.
@@ -178,6 +239,11 @@ impl EventorPipeline {
     /// The EMVS configuration.
     pub fn config(&self) -> &EmvsConfig {
         &self.config
+    }
+
+    /// The active parallelism configuration.
+    pub fn parallelism(&self) -> &ParallelConfig {
+        &self.parallel
     }
 
     /// Runs the reformulated reconstruction.
@@ -193,6 +259,9 @@ impl EventorPipeline {
         if events.is_empty() {
             return Err(EmvsError::NoEvents);
         }
+        if self.parallel.is_engine() {
+            return self.reconstruct_parallel(events, trajectory);
+        }
         let mut profile = StageProfile::new();
 
         // ➊ Streaming event distortion correction, *before* aggregation
@@ -200,7 +269,10 @@ impl EventorPipeline {
         let t = Instant::now();
         let corrected: Vec<Vec2> = events
             .iter()
-            .map(|e| self.camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64)))
+            .map(|e| {
+                self.camera
+                    .undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
+            })
             .collect();
         // The corrected coordinates are what the DMA ships to the FPGA; under
         // quantization they are stored as packed Q9.7 pairs.
@@ -236,7 +308,9 @@ impl EventorPipeline {
         let mut events_in_keyframe = 0usize;
 
         for frame in &frames {
-            let Some(timestamp) = frame.timestamp() else { continue };
+            let Some(timestamp) = frame.timestamp() else {
+                continue;
+            };
             let pose = trajectory.pose_at(timestamp)?;
 
             match reference {
@@ -324,7 +398,209 @@ impl EventorPipeline {
             }
         }
 
-        Ok(EmvsOutput { keyframes, global_map, profile })
+        Ok(EmvsOutput {
+            keyframes,
+            global_map,
+            profile,
+        })
+    }
+
+    /// The parallel sharded voting engine's drive of the reformulated
+    /// dataflow: parallel streaming distortion correction and transport
+    /// encoding, key-frame segment planning, per-shard packet voting and
+    /// deterministic tree-reduction merge (see [`crate::parallel`]).
+    fn reconstruct_parallel(
+        &self,
+        events: &EventStream,
+        trajectory: &Trajectory,
+    ) -> Result<EmvsOutput, EmvsError> {
+        let shards = self.parallel.shards();
+        let mut profile = StageProfile::new();
+
+        // ➊ Streaming event distortion correction + Q9.7 transport encoding,
+        //   chunked over the shards (per-event pure maps: bit-identical to
+        //   the sequential stage for any shard count).
+        let t = Instant::now();
+        let corrected: Vec<Vec2> = parallel_map(events.as_slice(), shards, |e| {
+            self.camera
+                .undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
+        });
+        let transported: Vec<PackedCoord> = if self.options.quantize {
+            parallel_map(&corrected, shards, |&p| quantize_event_pixel(p))
+        } else {
+            Vec::new()
+        };
+        profile.add(Stage::DistortionCorrection, t.elapsed());
+
+        // ➋ Event aggregation (sequential: a cheap chunking pass).
+        let t = Instant::now();
+        let frames = aggregate(events, self.config.events_per_frame);
+        profile.add(Stage::Aggregation, t.elapsed());
+
+        let planes = DepthPlanes::uniform_inverse_depth(
+            self.config.depth_range.0,
+            self.config.depth_range.1,
+            self.config.num_depth_planes,
+        )?;
+
+        // ➌ Key-frame segment planning: replays the sequential key-frame
+        //   selector over the trajectory and precomputes H_Z0 / φ per frame.
+        let t = Instant::now();
+        let segments = plan_segments(
+            &frames,
+            trajectory,
+            &self.camera.intrinsics,
+            &planes,
+            &self.config,
+        )?;
+        profile.add(Stage::ComputeHomography, t.elapsed());
+
+        // ➍ Per-segment sharded voting, merged with a deterministic tree
+        //   reduction, on the storage type the options select. The quantized
+        //   per-frame parameter blocks (Q11.21 → f64 decode, hoisted out of
+        //   the per-event hot loop) are prepared one segment at a time, so
+        //   the resident working set is bounded by one key frame.
+        let hoist_segment = |segment: &KeyframeSegment| -> Vec<QuantizedFrameParams> {
+            parallel_map(&segment.frames, shards, QuantizedFrameParams::from_frame)
+        };
+        let (keyframes, global_map) =
+            if self.options.quantize && self.options.voting == VotingMode::Nearest {
+                let width = self.camera.intrinsics.width;
+                let height = self.camera.intrinsics.height;
+                self.vote_segments::<u16, _, _, _>(
+                    &segments,
+                    &planes,
+                    &mut profile,
+                    hoist_segment,
+                    |params, _seg, packet, tile| {
+                        vote_packet_quantized_nearest(
+                            tile,
+                            &params[packet.frame],
+                            &transported[packet.range.clone()],
+                            width,
+                            height,
+                        )
+                    },
+                )?
+            } else if self.options.quantize {
+                self.vote_segments::<f32, _, _, _>(
+                    &segments,
+                    &planes,
+                    &mut profile,
+                    hoist_segment,
+                    |params, _seg, packet, tile| {
+                        vote_packet_quantized_bilinear(
+                            tile,
+                            &params[packet.frame],
+                            &transported[packet.range.clone()],
+                        )
+                    },
+                )?
+            } else {
+                self.vote_segments::<f32, _, _, _>(
+                    &segments,
+                    &planes,
+                    &mut profile,
+                    |_| (),
+                    |(), seg, packet, tile| {
+                        vote_packet_float(
+                            tile,
+                            &segments[seg].frames[packet.frame],
+                            &corrected[packet.range.clone()],
+                            self.options.voting,
+                        )
+                    },
+                )?
+            };
+
+        Ok(EmvsOutput {
+            keyframes,
+            global_map,
+            profile,
+        })
+    }
+
+    /// Runs the sharded vote → tree-reduce → detect loop over all planned
+    /// segments with per-shard tiles of score type `S`, reusing the tiles
+    /// (reset, not reallocated) across key frames.
+    ///
+    /// `prepare` builds the per-segment voting context (e.g. the hoisted
+    /// quantized parameter blocks) just before that segment votes, so only
+    /// one segment's context is ever resident; `vote` receives it along with
+    /// the segment index.
+    ///
+    /// The fused vote kernel's wall time cannot be split into the paper's
+    /// canonical/proportional/vote stages once fused, so it is attributed
+    /// evenly to the three.
+    fn vote_segments<S, P, G, F>(
+        &self,
+        segments: &[KeyframeSegment],
+        planes: &DepthPlanes,
+        profile: &mut StageProfile,
+        prepare: G,
+        vote: F,
+    ) -> Result<(Vec<KeyframeReconstruction>, PointCloud), EmvsError>
+    where
+        S: VoxelScore,
+        P: Sync,
+        G: Fn(&KeyframeSegment) -> P,
+        F: Fn(&P, usize, &VotePacket, &mut ShardState<S>) + Sync,
+    {
+        let shards = self.parallel.shards();
+        let width = self.camera.intrinsics.width as usize;
+        let height = self.camera.intrinsics.height as usize;
+        let mut states: Vec<ShardState<S>> = (0..shards)
+            .map(|_| {
+                DsiVolume::new(width, height, planes.clone())
+                    .map(|tile| ShardState::new(tile, self.parallel.packet_events()))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut keyframes: Vec<KeyframeReconstruction> = Vec::new();
+        let mut global_map = PointCloud::new();
+
+        for (seg_index, segment) in segments.iter().enumerate() {
+            let t = Instant::now();
+            let context = prepare(segment);
+            profile.add(Stage::ComputeCoefficients, t.elapsed());
+
+            let t = Instant::now();
+            let packets = segment.packets(self.parallel.packet_events());
+            run_sharded(&mut states, |shard, state| {
+                for packet in shard_packets(&packets, shard, shards) {
+                    vote(&context, seg_index, packet, state);
+                }
+            });
+            let fused = t.elapsed() / 3;
+            profile.add(Stage::CanonicalProjection, fused);
+            profile.add(Stage::ProportionalProjection, fused);
+            profile.add(Stage::VoteDsi, fused);
+
+            let t = Instant::now();
+            {
+                let mut tiles: Vec<&mut DsiVolume<S>> =
+                    states.iter_mut().map(|s| &mut s.tile).collect();
+                DsiVolume::tree_reduce_refs(&mut tiles);
+            }
+            let merged = &states[0].tile;
+            let reconstruction = self.finalize_keyframe_volume(
+                merged,
+                &segment.reference_pose,
+                segment.frames.len(),
+                segment.events,
+            );
+            profile.add(Stage::Detection, t.elapsed());
+            let t = Instant::now();
+            global_map.merge(&reconstruction.local_cloud);
+            keyframes.push(reconstruction);
+            profile.keyframes += 1;
+            for state in &mut states {
+                state.tile.reset();
+            }
+            profile.add(Stage::Merging, t.elapsed());
+            profile.frames_processed += segment.frames.len() as u64;
+            profile.events_processed += segment.events as u64;
+        }
+        Ok((keyframes, global_map))
     }
 
     /// Quantized FPGA datapath for one frame.
@@ -351,7 +627,10 @@ impl EventorPipeline {
             VotingMode::Nearest => {
                 for c in canonical.iter().flatten() {
                     for i in 0..n_planes {
-                        if let Some((x, y)) = coefficients.transfer_nearest(*c, i, width, height).address() {
+                        if let Some((x, y)) = coefficients
+                            .transfer_nearest(*c, i, width, height)
+                            .address()
+                        {
                             dsi.vote(x as f64, y as f64, i, VotingMode::Nearest);
                         }
                     }
@@ -400,6 +679,28 @@ impl EventorPipeline {
         profile.add(Stage::VoteDsi, elapsed - elapsed / 2);
     }
 
+    /// [`Self::finalize_keyframe`] on a bare volume — the entry point the
+    /// parallel engine uses on a tree-reduced shard tile.
+    fn finalize_keyframe_volume<S: VoxelScore>(
+        &self,
+        dsi: &DsiVolume<S>,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+    ) -> KeyframeReconstruction {
+        let depth_map = detect_structure(dsi, &self.config.detection);
+        let local_cloud =
+            PointCloud::from_depth_map(&depth_map, &self.camera.intrinsics, reference_pose);
+        KeyframeReconstruction {
+            reference_pose: *reference_pose,
+            depth_map,
+            local_cloud,
+            frames_used,
+            events_used,
+            votes_cast: dsi.votes_cast(),
+        }
+    }
+
     fn finalize_keyframe(
         &self,
         dsi: &DsiStorage,
@@ -441,35 +742,55 @@ mod tests {
         assert_eq!(EventorOptions::accelerator().voting, VotingMode::Nearest);
         assert!(EventorOptions::accelerator().quantize);
         assert!(!EventorOptions::nearest_only().quantize);
-        assert_eq!(EventorOptions::quantized_only().voting, VotingMode::Bilinear);
-        assert_eq!(EventorOptions::exact(), EventorOptions { voting: VotingMode::Bilinear, quantize: false });
+        assert_eq!(
+            EventorOptions::quantized_only().voting,
+            VotingMode::Bilinear
+        );
+        assert_eq!(
+            EventorOptions::exact(),
+            EventorOptions {
+                voting: VotingMode::Bilinear,
+                quantize: false
+            }
+        );
     }
 
     #[test]
     fn invalid_config_rejected() {
         let cam = CameraModel::davis240_ideal();
-        let bad = EmvsConfig { num_depth_planes: 1, ..Default::default() };
+        let bad = EmvsConfig {
+            num_depth_planes: 1,
+            ..Default::default()
+        };
         assert!(EventorPipeline::new(cam, bad, EventorOptions::default()).is_err());
     }
 
     #[test]
     fn empty_stream_is_error() {
         let cam = CameraModel::davis240_ideal();
-        let p = EventorPipeline::new(cam, EmvsConfig::default(), EventorOptions::default()).unwrap();
+        let p =
+            EventorPipeline::new(cam, EmvsConfig::default(), EventorOptions::default()).unwrap();
         let traj = Trajectory::linear(Pose::identity(), Pose::identity(), 0.0, 1.0, 2);
-        assert!(matches!(p.reconstruct(&EventStream::new(), &traj), Err(EmvsError::NoEvents)));
+        assert!(matches!(
+            p.reconstruct(&EventStream::new(), &traj),
+            Err(EmvsError::NoEvents)
+        ));
     }
 
     #[test]
     fn accelerator_pipeline_reconstructs_with_low_abs_rel() {
         let seq = sequence();
         let pipeline =
-            EventorPipeline::new(seq.camera, config_for(&seq), EventorOptions::accelerator()).unwrap();
+            EventorPipeline::new(seq.camera, config_for(&seq), EventorOptions::accelerator())
+                .unwrap();
         let out = pipeline.reconstruct(&seq.events, &seq.trajectory).unwrap();
         let primary = out.primary().expect("at least one key frame");
         assert!(primary.depth_map.valid_count() > 50);
         let gt = seq.ground_truth_depth_at(&primary.reference_pose);
-        let m = primary.depth_map.compare_to_ground_truth(gt.as_slice()).unwrap();
+        let m = primary
+            .depth_map
+            .compare_to_ground_truth(gt.as_slice())
+            .unwrap();
         assert!(m.abs_rel < 0.12, "AbsRel {:.4}", m.abs_rel);
     }
 
@@ -480,13 +801,26 @@ mod tests {
         let seq = sequence();
         let baseline = eventor_emvs::EmvsMapper::new(seq.camera, config_for(&seq)).unwrap();
         let reformulated =
-            EventorPipeline::new(seq.camera, config_for(&seq), EventorOptions::accelerator()).unwrap();
+            EventorPipeline::new(seq.camera, config_for(&seq), EventorOptions::accelerator())
+                .unwrap();
         let out_base = baseline.reconstruct(&seq.events, &seq.trajectory).unwrap();
-        let out_ref = reformulated.reconstruct(&seq.events, &seq.trajectory).unwrap();
+        let out_ref = reformulated
+            .reconstruct(&seq.events, &seq.trajectory)
+            .unwrap();
         let gt_b = seq.ground_truth_depth_at(&out_base.primary().unwrap().reference_pose);
         let gt_r = seq.ground_truth_depth_at(&out_ref.primary().unwrap().reference_pose);
-        let m_b = out_base.primary().unwrap().depth_map.compare_to_ground_truth(gt_b.as_slice()).unwrap();
-        let m_r = out_ref.primary().unwrap().depth_map.compare_to_ground_truth(gt_r.as_slice()).unwrap();
+        let m_b = out_base
+            .primary()
+            .unwrap()
+            .depth_map
+            .compare_to_ground_truth(gt_b.as_slice())
+            .unwrap();
+        let m_r = out_ref
+            .primary()
+            .unwrap()
+            .depth_map
+            .compare_to_ground_truth(gt_r.as_slice())
+            .unwrap();
         assert!(
             (m_r.abs_rel - m_b.abs_rel).abs() < 0.05,
             "reformulated {:.4} vs baseline {:.4}",
@@ -513,14 +847,52 @@ mod tests {
     }
 
     #[test]
+    fn parallel_engine_is_bit_identical_to_sequential_on_slider() {
+        let seq = sequence();
+        let sequential =
+            EventorPipeline::new(seq.camera, config_for(&seq), EventorOptions::accelerator())
+                .unwrap()
+                .reconstruct(&seq.events, &seq.trajectory)
+                .unwrap();
+        let parallel =
+            EventorPipeline::new(seq.camera, config_for(&seq), EventorOptions::accelerator())
+                .unwrap()
+                .with_parallelism(ParallelConfig::with_shards(4))
+                .reconstruct(&seq.events, &seq.trajectory)
+                .unwrap();
+        assert_eq!(sequential.keyframes.len(), parallel.keyframes.len());
+        for (s, p) in sequential.keyframes.iter().zip(&parallel.keyframes) {
+            assert_eq!(s.votes_cast, p.votes_cast);
+            assert_eq!(s.depth_map.depth_data(), p.depth_map.depth_data());
+        }
+    }
+
+    #[test]
+    fn parallelism_defaults_to_sequential_and_is_configurable() {
+        let cam = CameraModel::davis240_ideal();
+        let p =
+            EventorPipeline::new(cam, EmvsConfig::default(), EventorOptions::default()).unwrap();
+        assert!(!p.parallelism().is_parallel());
+        let p = p.with_parallelism(ParallelConfig::with_shards(8).with_packet_events(128));
+        assert_eq!(p.parallelism().shards(), 8);
+        assert_eq!(p.parallelism().packet_events(), 128);
+    }
+
+    #[test]
     fn quantized_only_and_nearest_only_both_work() {
         let seq = sequence();
-        for options in [EventorOptions::quantized_only(), EventorOptions::nearest_only()] {
+        for options in [
+            EventorOptions::quantized_only(),
+            EventorOptions::nearest_only(),
+        ] {
             let pipeline = EventorPipeline::new(seq.camera, config_for(&seq), options).unwrap();
             let out = pipeline.reconstruct(&seq.events, &seq.trajectory).unwrap();
             let primary = out.primary().unwrap();
             let gt = seq.ground_truth_depth_at(&primary.reference_pose);
-            let m = primary.depth_map.compare_to_ground_truth(gt.as_slice()).unwrap();
+            let m = primary
+                .depth_map
+                .compare_to_ground_truth(gt.as_slice())
+                .unwrap();
             assert!(m.abs_rel < 0.15, "{options:?}: AbsRel {:.4}", m.abs_rel);
             assert!(primary.depth_map.valid_count() > 30, "{options:?}");
         }

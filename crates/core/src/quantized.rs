@@ -41,15 +41,37 @@ impl QuantizedHomography {
     /// Returns `None` when the point maps to infinity (normalization by a
     /// near-zero denominator), mirroring the projection-missing judgement.
     pub fn project(&self, coord: PackedCoord) -> Option<PackedCoord> {
+        Self::project_hoisted(&self.entries_f64(), coord)
+    }
+
+    /// The quantized entries as an `f64` matrix, for hoisting the fixed-point
+    /// decode out of per-event loops (the parallel voting engine converts
+    /// once per frame instead of nine times per event).
+    #[inline]
+    pub fn entries_f64(&self) -> [[f64; 3]; 3] {
+        let mut m = [[0.0; 3]; 3];
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, e) in row.iter_mut().enumerate() {
+                *e = self.entries[i][j].to_f64();
+            }
+        }
+        m
+    }
+
+    /// [`QuantizedHomography::project`] on a pre-hoisted entry matrix
+    /// (obtained from [`QuantizedHomography::entries_f64`]). This *is* the
+    /// projection implementation — `project` delegates here — so the hoisted
+    /// fast path of the parallel engine cannot drift from the golden model.
+    #[inline]
+    pub fn project_hoisted(h: &[[f64; 3]; 3], coord: PackedCoord) -> Option<PackedCoord> {
         let x = coord.x_f64();
         let y = coord.y_f64();
-        let h = |i: usize, j: usize| self.entries[i][j].to_f64();
-        let w = h(2, 0) * x + h(2, 1) * y + h(2, 2);
+        let w = h[2][0] * x + h[2][1] * y + h[2][2];
         if w.abs() < 1e-9 {
             return None;
         }
-        let px = (h(0, 0) * x + h(0, 1) * y + h(0, 2)) / w;
-        let py = (h(1, 0) * x + h(1, 1) * y + h(1, 2)) / w;
+        let px = (h[0][0] * x + h[0][1] * y + h[0][2]) / w;
+        let py = (h[1][0] * x + h[1][1] * y + h[1][2]) / w;
         if !px.is_finite() || !py.is_finite() {
             return None;
         }
@@ -99,9 +121,20 @@ impl QuantizedCoefficients {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn transfer_nearest(&self, canonical: PackedCoord, i: usize, width: u32, height: u32) -> PlaneCoord {
-        let x = self.scale[i].to_f64() * canonical.x_f64() + self.offset_x[i].to_f64();
-        let y = self.scale[i].to_f64() * canonical.y_f64() + self.offset_y[i].to_f64();
+    pub fn transfer_nearest(
+        &self,
+        canonical: PackedCoord,
+        i: usize,
+        width: u32,
+        height: u32,
+    ) -> PlaneCoord {
+        let (x, y) = Self::transfer_hoisted(
+            self.scale[i].to_f64(),
+            self.offset_x[i].to_f64(),
+            self.offset_y[i].to_f64(),
+            canonical.x_f64(),
+            canonical.y_f64(),
+        );
         PlaneCoord::from_projection(x, y, width, height)
     }
 
@@ -112,10 +145,43 @@ impl QuantizedCoefficients {
     ///
     /// Panics if `i` is out of range.
     pub fn transfer_subpixel(&self, canonical: PackedCoord, i: usize) -> Vec2 {
-        Vec2::new(
-            self.scale[i].to_f64() * canonical.x_f64() + self.offset_x[i].to_f64(),
-            self.scale[i].to_f64() * canonical.y_f64() + self.offset_y[i].to_f64(),
-        )
+        let (x, y) = Self::transfer_hoisted(
+            self.scale[i].to_f64(),
+            self.offset_x[i].to_f64(),
+            self.offset_y[i].to_f64(),
+            canonical.x_f64(),
+            canonical.y_f64(),
+        );
+        Vec2::new(x, y)
+    }
+
+    /// The scalar-MAC of `PE_Zi` on pre-hoisted `f64` coefficients — the
+    /// single implementation behind [`Self::transfer_nearest`] and
+    /// [`Self::transfer_subpixel`], exposed so the parallel engine's hoisted
+    /// per-frame coefficient tables produce bit-identical transfers.
+    #[inline]
+    pub fn transfer_hoisted(
+        scale: f64,
+        offset_x: f64,
+        offset_y: f64,
+        cx: f64,
+        cy: f64,
+    ) -> (f64, f64) {
+        (scale * cx + offset_x, scale * cy + offset_y)
+    }
+
+    /// The per-plane coefficients decoded to `f64` as `(scale, offset_x,
+    /// offset_y)` triples, hoisted once per frame by the parallel engine.
+    pub fn hoisted(&self) -> Vec<(f64, f64, f64)> {
+        (0..self.len())
+            .map(|i| {
+                (
+                    self.scale[i].to_f64(),
+                    self.offset_x[i].to_f64(),
+                    self.offset_y[i].to_f64(),
+                )
+            })
+            .collect()
     }
 }
 
@@ -145,7 +211,8 @@ mod tests {
             })
             .collect();
         let h = CanonicalHomography::compute(&reference, &camera, &k, depths[0]).unwrap();
-        let phi = ProportionalCoefficients::compute(&reference, &camera, &k, &depths, depths[0]).unwrap();
+        let phi =
+            ProportionalCoefficients::compute(&reference, &camera, &k, &depths, depths[0]).unwrap();
         (h, phi, depths)
     }
 
@@ -167,7 +234,8 @@ mod tests {
         for &(x, y) in &[(10.0, 10.0), (120.0, 90.0), (230.0, 170.0), (57.0, 133.0)] {
             let exact = h.project(Vec2::new(x, y)).unwrap();
             let quant = qh.project(PackedCoord::from_f64(x, y)).unwrap();
-            let err = ((quant.x_f64() - exact.x).powi(2) + (quant.y_f64() - exact.y).powi(2)).sqrt();
+            let err =
+                ((quant.x_f64() - exact.x).powi(2) + (quant.y_f64() - exact.y).powi(2)).sqrt();
             assert!(err < 0.05, "pixel ({x},{y}): quantized error {err}");
         }
     }

@@ -202,12 +202,28 @@ impl DepthMap {
         }
         let estimated = self.valid_count();
         Ok(DepthMetrics {
-            abs_rel: if compared > 0 { abs_rel_sum / compared as f64 } else { 0.0 },
-            rmse: if compared > 0 { (sq_sum / compared as f64).sqrt() } else { 0.0 },
+            abs_rel: if compared > 0 {
+                abs_rel_sum / compared as f64
+            } else {
+                0.0
+            },
+            rmse: if compared > 0 {
+                (sq_sum / compared as f64).sqrt()
+            } else {
+                0.0
+            },
             compared_pixels: compared,
             estimated_pixels: estimated,
-            completeness: if gt_valid > 0 { compared as f64 / gt_valid as f64 } else { 0.0 },
-            inlier_ratio_10: if compared > 0 { inliers as f64 / compared as f64 } else { 0.0 },
+            completeness: if gt_valid > 0 {
+                compared as f64 / gt_valid as f64
+            } else {
+                0.0
+            },
+            inlier_ratio_10: if compared > 0 {
+                inliers as f64 / compared as f64
+            } else {
+                0.0
+            },
         })
     }
 }

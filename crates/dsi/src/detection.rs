@@ -82,7 +82,8 @@ fn gaussian_blur(data: &[f64], width: usize, height: usize, sigma: f64) -> Vec<f
         for x in 0..width {
             let mut acc = 0.0;
             for (k, &w) in kernel.iter().enumerate() {
-                let xi = (x as isize + k as isize - radius as isize).clamp(0, width as isize - 1) as usize;
+                let xi = (x as isize + k as isize - radius as isize).clamp(0, width as isize - 1)
+                    as usize;
                 acc += w * data[y * width + xi];
             }
             tmp[y * width + x] = acc;
@@ -93,7 +94,8 @@ fn gaussian_blur(data: &[f64], width: usize, height: usize, sigma: f64) -> Vec<f
         for x in 0..width {
             let mut acc = 0.0;
             for (k, &w) in kernel.iter().enumerate() {
-                let yi = (y as isize + k as isize - radius as isize).clamp(0, height as isize - 1) as usize;
+                let yi = (y as isize + k as isize - radius as isize).clamp(0, height as isize - 1)
+                    as usize;
                 acc += w * tmp[yi * width + x];
             }
             out[y * width + x] = acc;
@@ -138,7 +140,13 @@ pub fn confidence_map<S: VoxelScore>(dsi: &DsiVolume<S>) -> ConfidenceMap {
             best_plane[y * width + x] = plane;
         }
     }
-    ConfidenceMap { width, height, confidence, mean_score, best_plane }
+    ConfidenceMap {
+        width,
+        height,
+        confidence,
+        mean_score,
+        best_plane,
+    }
 }
 
 /// Parabolic sub-plane refinement of the peak position, performed in inverse
@@ -171,7 +179,12 @@ fn refine_depth<S: VoxelScore>(dsi: &DsiVolume<S>, x: usize, y: usize, plane: us
 /// depth map at the virtual camera.
 pub fn detect_structure<S: VoxelScore>(dsi: &DsiVolume<S>, config: &DetectionConfig) -> DepthMap {
     let cmap = confidence_map(dsi);
-    let blurred = gaussian_blur(&cmap.confidence, cmap.width, cmap.height, config.adaptive_sigma);
+    let blurred = gaussian_blur(
+        &cmap.confidence,
+        cmap.width,
+        cmap.height,
+        config.adaptive_sigma,
+    );
 
     let mut depth_map = DepthMap::new(cmap.width, cmap.height).expect("dsi dimensions are nonzero");
     for y in 0..cmap.height {
@@ -282,7 +295,10 @@ mod tests {
                 }
             }
         }
-        assert!(on_line > 10, "too few detections on the signal line: {on_line}");
+        assert!(
+            on_line > 10,
+            "too few detections on the signal line: {on_line}"
+        );
         assert!(correct as f64 >= 0.9 * on_line as f64);
         // Background (far from the signal) should be mostly rejected.
         let mut false_positives = 0;
@@ -293,7 +309,10 @@ mod tests {
                 }
             }
         }
-        assert!(false_positives < 10, "too many background detections: {false_positives}");
+        assert!(
+            false_positives < 10,
+            "too many background detections: {false_positives}"
+        );
     }
 
     #[test]
@@ -307,7 +326,10 @@ mod tests {
     fn min_confidence_suppresses_weak_evidence() {
         let mut dsi = DsiVolume::<u16>::new(20, 20, planes()).unwrap();
         dsi.vote_nearest(10.0, 10.0, 2, 1.0);
-        let config = DetectionConfig { min_confidence: 3.0, ..Default::default() };
+        let config = DetectionConfig {
+            min_confidence: 3.0,
+            ..Default::default()
+        };
         let depth_map = detect_structure(&dsi, &config);
         assert_eq!(depth_map.valid_count(), 0);
         // With the threshold lowered the single vote becomes a detection.

@@ -37,7 +37,11 @@ pub enum DsiError {
 impl fmt::Display for DsiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::InvalidDepthRange { z_min, z_max, count } => write!(
+            Self::InvalidDepthRange {
+                z_min,
+                z_max,
+                count,
+            } => write!(
                 f,
                 "invalid depth plane range [{z_min}, {z_max}] with {count} planes"
             ),
@@ -45,7 +49,10 @@ impl fmt::Display for DsiError {
                 write!(f, "volume dimensions {width}x{height} must be nonzero")
             }
             Self::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} elements, got {actual}"
+                )
             }
             Self::EmptyPointCloud => write!(f, "operation requires a non-empty point cloud"),
         }
@@ -61,9 +68,19 @@ mod tests {
     #[test]
     fn messages_nonempty() {
         for e in [
-            DsiError::InvalidDepthRange { z_min: 0.0, z_max: 1.0, count: 2 },
-            DsiError::EmptyVolume { width: 0, height: 1 },
-            DsiError::DimensionMismatch { expected: 4, actual: 2 },
+            DsiError::InvalidDepthRange {
+                z_min: 0.0,
+                z_max: 1.0,
+                count: 2,
+            },
+            DsiError::EmptyVolume {
+                width: 0,
+                height: 1,
+            },
+            DsiError::DimensionMismatch {
+                expected: 4,
+                actual: 2,
+            },
             DsiError::EmptyPointCloud,
         ] {
             assert!(!e.to_string().is_empty());

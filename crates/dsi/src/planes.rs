@@ -27,8 +27,13 @@ impl DepthPlanes {
     /// Returns [`DsiError::InvalidDepthRange`] when the range is not
     /// `0 < z_min < z_max` or `count < 2`.
     pub fn uniform_inverse_depth(z_min: f64, z_max: f64, count: usize) -> Result<Self, DsiError> {
-        if !(z_min.is_finite() && z_max.is_finite()) || z_min <= 0.0 || z_max <= z_min || count < 2 {
-            return Err(DsiError::InvalidDepthRange { z_min, z_max, count });
+        if !(z_min.is_finite() && z_max.is_finite()) || z_min <= 0.0 || z_max <= z_min || count < 2
+        {
+            return Err(DsiError::InvalidDepthRange {
+                z_min,
+                z_max,
+                count,
+            });
         }
         let inv_min = 1.0 / z_max;
         let inv_max = 1.0 / z_min;
@@ -39,7 +44,11 @@ impl DepthPlanes {
                 1.0 / (inv_max + t * (inv_min - inv_max))
             })
             .collect();
-        Ok(Self { depths, z_min, z_max })
+        Ok(Self {
+            depths,
+            z_min,
+            z_max,
+        })
     }
 
     /// Samples `count` planes uniformly in metric depth (used by ablations).
@@ -48,8 +57,13 @@ impl DepthPlanes {
     ///
     /// Same contract as [`DepthPlanes::uniform_inverse_depth`].
     pub fn uniform_depth(z_min: f64, z_max: f64, count: usize) -> Result<Self, DsiError> {
-        if !(z_min.is_finite() && z_max.is_finite()) || z_min <= 0.0 || z_max <= z_min || count < 2 {
-            return Err(DsiError::InvalidDepthRange { z_min, z_max, count });
+        if !(z_min.is_finite() && z_max.is_finite()) || z_min <= 0.0 || z_max <= z_min || count < 2
+        {
+            return Err(DsiError::InvalidDepthRange {
+                z_min,
+                z_max,
+                count,
+            });
         }
         let depths = (0..count)
             .map(|i| {
@@ -57,7 +71,11 @@ impl DepthPlanes {
                 z_min + t * (z_max - z_min)
             })
             .collect();
-        Ok(Self { depths, z_min, z_max })
+        Ok(Self {
+            depths,
+            z_min,
+            z_max,
+        })
     }
 
     /// Number of planes.

@@ -33,7 +33,11 @@ impl PointCloud {
     ///
     /// `pose` is the camera-to-world pose of the virtual camera; `intrinsics`
     /// its pinhole model.
-    pub fn from_depth_map(depth_map: &DepthMap, intrinsics: &CameraIntrinsics, pose: &Pose) -> Self {
+    pub fn from_depth_map(
+        depth_map: &DepthMap,
+        intrinsics: &CameraIntrinsics,
+        pose: &Pose,
+    ) -> Self {
         let mut points = Vec::with_capacity(depth_map.valid_count());
         for y in 0..depth_map.height() {
             for x in 0..depth_map.width() {
@@ -83,8 +87,16 @@ impl PointCloud {
         let mut min = first.position;
         let mut max = first.position;
         for p in &self.points {
-            min = Vec3::new(min.x.min(p.position.x), min.y.min(p.position.y), min.z.min(p.position.z));
-            max = Vec3::new(max.x.max(p.position.x), max.y.max(p.position.y), max.z.max(p.position.z));
+            min = Vec3::new(
+                min.x.min(p.position.x),
+                min.y.min(p.position.y),
+                min.z.min(p.position.z),
+            );
+            max = Vec3::new(
+                max.x.max(p.position.x),
+                max.y.max(p.position.y),
+                max.z.max(p.position.z),
+            );
         }
         Some((min, max))
     }
@@ -227,9 +239,15 @@ mod tests {
     #[test]
     fn merge_and_bounds_and_centroid() {
         let mut a = PointCloud::new();
-        a.push(MapPoint { position: Vec3::new(0.0, 0.0, 0.0), confidence: 1.0 });
+        a.push(MapPoint {
+            position: Vec3::new(0.0, 0.0, 0.0),
+            confidence: 1.0,
+        });
         let mut b = PointCloud::new();
-        b.push(MapPoint { position: Vec3::new(2.0, 2.0, 2.0), confidence: 1.0 });
+        b.push(MapPoint {
+            position: Vec3::new(2.0, 2.0, 2.0),
+            confidence: 1.0,
+        });
         a.merge(&b);
         assert_eq!(a.len(), 2);
         let (min, max) = a.bounds().unwrap();
@@ -251,7 +269,10 @@ mod tests {
             });
         }
         // One far outlier.
-        cloud.push(MapPoint { position: Vec3::new(10.0, 10.0, 10.0), confidence: 1.0 });
+        cloud.push(MapPoint {
+            position: Vec3::new(10.0, 10.0, 10.0),
+            confidence: 1.0,
+        });
         let filtered = cloud.radius_outlier_filtered(0.1, 3);
         assert_eq!(filtered.len(), 20);
     }
@@ -259,8 +280,14 @@ mod tests {
     #[test]
     fn ply_export_has_header_and_one_line_per_point() {
         let mut cloud = PointCloud::new();
-        cloud.push(MapPoint { position: Vec3::new(1.0, 2.0, 3.0), confidence: 4.0 });
-        cloud.push(MapPoint { position: Vec3::new(-1.0, 0.5, 2.0), confidence: 7.0 });
+        cloud.push(MapPoint {
+            position: Vec3::new(1.0, 2.0, 3.0),
+            confidence: 4.0,
+        });
+        cloud.push(MapPoint {
+            position: Vec3::new(-1.0, 0.5, 2.0),
+            confidence: 7.0,
+        });
         let mut buf = Vec::new();
         cloud.write_ply(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();

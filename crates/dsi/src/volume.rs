@@ -10,12 +10,25 @@ use crate::DsiError;
 /// weights); the Eventor accelerator uses 16-bit integer scores (nearest
 /// voting deposits unit votes, Table 1). The trait is sealed to these two
 /// types so the two datapaths stay comparable.
-pub trait VoxelScore: Copy + Default + PartialOrd + private::Sealed + std::fmt::Debug {
+pub trait VoxelScore:
+    Copy + Default + PartialOrd + private::Sealed + std::fmt::Debug + Send
+{
     /// Adds a vote of the given weight (implementations may round or
     /// saturate).
     fn add_vote(&mut self, weight: f64);
     /// The score as `f64` for detection and comparison.
     fn as_f64(self) -> f64;
+    /// Accumulates another score of the same type — the shard-merge operation
+    /// of the parallel voting engine. Integer scores saturate exactly like
+    /// repeated unit votes would; float scores add.
+    fn merge(&mut self, other: Self);
+    /// Adds one unit vote — exactly equivalent to `add_vote(1.0)`, without
+    /// the weight-rounding work. The parallel engine's fused kernels use this
+    /// in their inner loop.
+    #[inline]
+    fn add_unit(&mut self) {
+        self.add_vote(1.0);
+    }
 }
 
 mod private {
@@ -33,6 +46,10 @@ impl VoxelScore for f32 {
     fn as_f64(self) -> f64 {
         self as f64
     }
+    #[inline]
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
 }
 
 impl VoxelScore for u16 {
@@ -45,6 +62,19 @@ impl VoxelScore for u16 {
     #[inline]
     fn as_f64(self) -> f64 {
         self as f64
+    }
+    #[inline]
+    fn merge(&mut self, other: Self) {
+        // Saturating accumulation: merging shard counts is exact with respect
+        // to sequential unit voting because min(Σ min(cᵢ, MAX), MAX) equals
+        // min(Σ cᵢ, MAX) for non-negative counts.
+        *self = (*self).saturating_add(other);
+    }
+    #[inline]
+    fn add_unit(&mut self) {
+        // Identical to `add_vote(1.0)` (the weight 1.0 rounds to the integer
+        // increment 1), skipping the float rounding.
+        *self = (*self).saturating_add(1);
     }
 }
 
@@ -120,9 +150,19 @@ impl<S: VoxelScore> DsiVolume<S> {
         }
         let expected = width * height * planes.len();
         if scores.len() != expected {
-            return Err(DsiError::DimensionMismatch { expected, actual: scores.len() });
+            return Err(DsiError::DimensionMismatch {
+                expected,
+                actual: scores.len(),
+            });
         }
-        Ok(Self { width, height, planes, data: scores, votes_cast, votes_missed: 0 })
+        Ok(Self {
+            width,
+            height,
+            planes,
+            data: scores,
+            votes_cast,
+            votes_missed: 0,
+        })
     }
 
     /// Image width (voxels per row).
@@ -193,6 +233,27 @@ impl<S: VoxelScore> DsiVolume<S> {
         &self.data[start..start + self.width * self.height]
     }
 
+    /// Mutable raw scores of one depth plane, row-major — the parallel
+    /// engine's fused kernels vote plane by plane directly into the slab
+    /// (index `y * width + x`), then account the deposited votes in bulk via
+    /// [`Self::add_cast_votes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn plane_scores_mut(&mut self, plane: usize) -> &mut [S] {
+        assert!(plane < self.planes.len());
+        let start = plane * self.width * self.height;
+        let len = self.width * self.height;
+        &mut self.data[start..start + len]
+    }
+
+    /// Bulk-accounts `n` votes deposited directly into plane slabs obtained
+    /// from [`Self::plane_scores_mut`].
+    pub fn add_cast_votes(&mut self, n: u64) {
+        self.votes_cast += n;
+    }
+
     /// Resets every score to zero (the "Reset DSI" step performed when a new
     /// key frame is selected) and clears the vote counters.
     pub fn reset(&mut self) {
@@ -253,7 +314,12 @@ impl<S: VoxelScore> DsiVolume<S> {
         ] {
             let xi = x0 + dx;
             let yi = y0 + dy;
-            if w <= 0.0 || xi < 0.0 || yi < 0.0 || xi >= self.width as f64 || yi >= self.height as f64 {
+            if w <= 0.0
+                || xi < 0.0
+                || yi < 0.0
+                || xi >= self.width as f64
+                || yi >= self.height as f64
+            {
                 continue;
             }
             let idx = self.index(xi as usize, yi as usize, plane);
@@ -264,6 +330,81 @@ impl<S: VoxelScore> DsiVolume<S> {
             self.votes_cast += 1;
         } else {
             self.votes_missed += 1;
+        }
+    }
+
+    /// Deposits one unit vote at an integer voxel address — the
+    /// bounds-checked single-vote entry point for producers whose addresses
+    /// are already rounded (e.g. a Nearest Voxel Finder that performed the
+    /// projection-missing judgement upstream).
+    ///
+    /// Bit-identical to `vote_nearest(x as f64, y as f64, plane, 1.0)` for
+    /// in-range addresses; out-of-range addresses are counted as missed, like
+    /// the float entry points do. The parallel engine's hot kernel instead
+    /// writes plane slabs directly ([`Self::plane_scores_mut`] +
+    /// [`Self::add_cast_votes`]) to keep the bounds work per plane rather
+    /// than per vote; this method is the safe equivalent for one-off votes.
+    #[inline]
+    pub fn vote_unit_at(&mut self, x: u16, y: u16, plane: usize) {
+        let (x, y) = (x as usize, y as usize);
+        if x >= self.width || y >= self.height || plane >= self.planes.len() {
+            self.votes_missed += 1;
+            return;
+        }
+        let idx = self.index(x, y, plane);
+        self.data[idx].add_vote(1.0);
+        self.votes_cast += 1;
+    }
+
+    /// Accumulates another volume of identical dimensions into this one —
+    /// the shard-merge step of the parallel voting engine. Scores merge
+    /// voxel-wise through [`VoxelScore::merge`]; the vote counters add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two volumes have different dimensions or plane counts.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.width == other.width
+                && self.height == other.height
+                && self.planes.len() == other.planes.len(),
+            "cannot merge DSI volumes of different dimensions"
+        );
+        for (dst, src) in self.data.iter_mut().zip(&other.data) {
+            dst.merge(*src);
+        }
+        self.votes_cast += other.votes_cast;
+        self.votes_missed += other.votes_missed;
+    }
+
+    /// Merges a set of per-shard volumes into `tiles[0]` with a fixed-shape
+    /// binary tree reduction: pass 1 merges tile `i+1` into tile `i` for even
+    /// `i`, pass 2 merges stride 2, and so on. The reduction shape depends
+    /// only on `tiles.len()`, never on thread timing, so the result is
+    /// deterministic for a given shard count (and — for integer scores and
+    /// unit votes — bit-identical to sequential voting regardless of the
+    /// shard count).
+    ///
+    /// Returns `None` when `tiles` is empty.
+    pub fn tree_reduce(tiles: &mut [Self]) -> Option<&mut Self> {
+        let mut refs: Vec<&mut Self> = tiles.iter_mut().collect();
+        Self::tree_reduce_refs(&mut refs);
+        tiles.first_mut()
+    }
+
+    /// [`Self::tree_reduce`] over a slice of mutable references (used when
+    /// the tiles are embedded in larger per-shard state structs). The merged
+    /// result lands in `tiles[0]`.
+    pub fn tree_reduce_refs(tiles: &mut [&mut Self]) {
+        let mut stride = 1;
+        while stride < tiles.len() {
+            let mut i = 0;
+            while i + stride < tiles.len() {
+                let (head, tail) = tiles.split_at_mut(i + stride);
+                head[i].merge_from(&*tail[0]);
+                i += 2 * stride;
+            }
+            stride *= 2;
         }
     }
 
@@ -339,7 +480,10 @@ mod tests {
         let mut dsi = DsiVolume::<f32>::new(16, 12, planes(3)).unwrap();
         dsi.vote_bilinear(4.25, 7.75, 2, 1.0);
         let total = dsi.total_score();
-        assert!((total - 1.0).abs() < 1e-6, "bilinear weights should sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "bilinear weights should sum to 1, got {total}"
+        );
         // The dominant voxel is the nearest one.
         assert!(dsi.score(4, 8, 2) > dsi.score(5, 7, 2));
         assert_eq!(dsi.votes_cast(), 1);
@@ -401,6 +545,89 @@ mod tests {
         assert_eq!(plane, 2);
         assert_eq!(score, 3.0);
         assert_eq!(dsi.max_score(), 3.0);
+    }
+
+    #[test]
+    fn vote_unit_at_matches_vote_nearest() {
+        let mut a = DsiVolume::<u16>::new(16, 12, planes(3)).unwrap();
+        let mut b = DsiVolume::<u16>::new(16, 12, planes(3)).unwrap();
+        for (x, y, p) in [(0u16, 0u16, 0usize), (15, 11, 2), (7, 3, 1), (7, 3, 1)] {
+            a.vote_unit_at(x, y, p);
+            b.vote_nearest(x as f64, y as f64, p, 1.0);
+        }
+        a.vote_unit_at(16, 0, 0); // out of range -> missed
+        b.vote_nearest(16.0, 0.0, 0, 1.0);
+        assert_eq!(a, b);
+        assert_eq!(a.votes_cast(), 4);
+        assert_eq!(a.votes_missed(), 1);
+    }
+
+    #[test]
+    fn merge_from_adds_scores_and_counters() {
+        let mut a = DsiVolume::<u16>::new(8, 8, planes(2)).unwrap();
+        let mut b = DsiVolume::<u16>::new(8, 8, planes(2)).unwrap();
+        a.vote_unit_at(1, 1, 0);
+        b.vote_unit_at(1, 1, 0);
+        b.vote_unit_at(2, 3, 1);
+        b.vote_nearest(-1.0, 0.0, 0, 1.0); // missed
+        a.merge_from(&b);
+        assert_eq!(a.score(1, 1, 0), 2.0);
+        assert_eq!(a.score(2, 3, 1), 1.0);
+        assert_eq!(a.votes_cast(), 3);
+        assert_eq!(a.votes_missed(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_from_rejects_dimension_mismatch() {
+        let mut a = DsiVolume::<u16>::new(8, 8, planes(2)).unwrap();
+        let b = DsiVolume::<u16>::new(8, 9, planes(2)).unwrap();
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn merged_saturation_matches_sequential_saturation() {
+        // Sequential: 70000 unit votes on one voxel saturate at u16::MAX.
+        let mut sequential = DsiVolume::<u16>::new(4, 4, planes(2)).unwrap();
+        for _ in 0..70_000 {
+            sequential.vote_nearest(1.0, 1.0, 0, 1.0);
+        }
+        // Sharded: 35000 votes in each of two tiles, then merged.
+        let mut tiles = vec![
+            DsiVolume::<u16>::new(4, 4, planes(2)).unwrap(),
+            DsiVolume::<u16>::new(4, 4, planes(2)).unwrap(),
+        ];
+        for tile in &mut tiles {
+            for _ in 0..35_000 {
+                tile.vote_unit_at(1, 1, 0);
+            }
+        }
+        let merged = DsiVolume::tree_reduce(&mut tiles).unwrap();
+        assert_eq!(merged.score(1, 1, 0), sequential.score(1, 1, 0));
+        assert_eq!(merged.votes_cast(), sequential.votes_cast());
+    }
+
+    #[test]
+    fn tree_reduce_is_equivalent_for_any_shard_count() {
+        for shards in 1..=8usize {
+            let mut tiles: Vec<DsiVolume<u16>> = (0..shards)
+                .map(|_| DsiVolume::new(16, 12, planes(3)).unwrap())
+                .collect();
+            // Deterministic vote pattern distributed round-robin over shards.
+            let votes: Vec<(u16, u16, usize)> = (0..500)
+                .map(|i| ((i * 7 % 16) as u16, (i * 5 % 12) as u16, i % 3))
+                .collect();
+            for (i, &(x, y, p)) in votes.iter().enumerate() {
+                tiles[i % shards].vote_unit_at(x, y, p);
+            }
+            let mut reference = DsiVolume::<u16>::new(16, 12, planes(3)).unwrap();
+            for &(x, y, p) in &votes {
+                reference.vote_unit_at(x, y, p);
+            }
+            let merged = DsiVolume::tree_reduce(&mut tiles).unwrap();
+            assert_eq!(*merged, reference, "shards = {shards}");
+        }
+        assert!(DsiVolume::<u16>::tree_reduce(&mut []).is_none());
     }
 
     #[test]

@@ -47,8 +47,7 @@ impl FrameGeometry {
         planes: &DepthPlanes,
     ) -> Result<Self, EmvsError> {
         let z0 = planes.z_max();
-        let homography =
-            CanonicalHomography::compute(reference_pose, frame_pose, intrinsics, z0)?;
+        let homography = CanonicalHomography::compute(reference_pose, frame_pose, intrinsics, z0)?;
         let coefficients = ProportionalCoefficients::compute(
             reference_pose,
             frame_pose,
@@ -56,7 +55,10 @@ impl FrameGeometry {
             planes.as_slice(),
             z0,
         )?;
-        Ok(Self { homography, coefficients })
+        Ok(Self {
+            homography,
+            coefficients,
+        })
     }
 
     /// Canonical back-projection `𝒫{Z0}` of one undistorted event pixel.
@@ -107,7 +109,13 @@ mod tests {
 
         let px = Vec2::new(150.0, 60.0);
         let canonical = geom.canonical(px).unwrap();
-        let exact = backproject_exhaustive(&reference, &frame_pose, &intrinsics(), px, planes.as_slice());
+        let exact = backproject_exhaustive(
+            &reference,
+            &frame_pose,
+            &intrinsics(),
+            px,
+            planes.as_slice(),
+        );
         for (i, expect) in exact.iter().enumerate() {
             let got = geom.transfer(canonical, i);
             let expect = expect.unwrap();
@@ -126,7 +134,8 @@ mod tests {
     #[test]
     fn identity_frame_is_identity_mapping() {
         let reference = Pose::identity();
-        let geom = FrameGeometry::compute(&reference, &reference, &intrinsics(), &planes()).unwrap();
+        let geom =
+            FrameGeometry::compute(&reference, &reference, &intrinsics(), &planes()).unwrap();
         let px = Vec2::new(100.0, 80.0);
         let canonical = geom.canonical(px).unwrap();
         assert!((canonical - px).norm() < 1e-6);

@@ -22,7 +22,11 @@ impl KeyframeSelector {
     /// * `min_frames` — minimum number of event frames that must have been
     ///   accumulated before a switch is allowed.
     pub fn new(distance_threshold: f64, min_frames: usize) -> Self {
-        Self { distance_threshold, min_frames, frames_since_switch: 0 }
+        Self {
+            distance_threshold,
+            min_frames,
+            frames_since_switch: 0,
+        }
     }
 
     /// The configured distance threshold.

@@ -40,6 +40,7 @@ mod config;
 mod error;
 mod keyframe;
 mod mapper;
+mod parallel;
 mod profile;
 
 pub use backproject::FrameGeometry;
@@ -47,4 +48,7 @@ pub use config::{EmvsConfig, VotingMode};
 pub use error::EmvsError;
 pub use keyframe::KeyframeSelector;
 pub use mapper::{EmvsMapper, EmvsOutput, KeyframeReconstruction};
+pub use parallel::{
+    plan_segments, run_sharded, shard_packets, KeyframeSegment, ParallelConfig, PlannedFrame,
+};
 pub use profile::{Stage, StageProfile};

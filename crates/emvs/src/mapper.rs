@@ -9,6 +9,7 @@
 use crate::backproject::FrameGeometry;
 use crate::config::{EmvsConfig, VotingMode};
 use crate::keyframe::KeyframeSelector;
+use crate::parallel::{plan_segments, run_sharded, shard_packets, ParallelConfig};
 use crate::profile::{Stage, StageProfile};
 use crate::EmvsError;
 use eventor_dsi::{detect_structure, DepthMap, DepthPlanes, DsiVolume, PointCloud};
@@ -57,6 +58,7 @@ impl EmvsOutput {
 pub struct EmvsMapper {
     camera: CameraModel,
     config: EmvsConfig,
+    parallel: ParallelConfig,
 }
 
 impl EmvsMapper {
@@ -68,17 +70,39 @@ impl EmvsMapper {
     /// (zero frame size, fewer than two depth planes, inverted depth range).
     pub fn new(camera: CameraModel, config: EmvsConfig) -> Result<Self, EmvsError> {
         if config.events_per_frame == 0 {
-            return Err(EmvsError::InvalidConfig { reason: "events_per_frame must be positive".into() });
+            return Err(EmvsError::InvalidConfig {
+                reason: "events_per_frame must be positive".into(),
+            });
         }
         if config.num_depth_planes < 2 {
-            return Err(EmvsError::InvalidConfig { reason: "need at least two depth planes".into() });
+            return Err(EmvsError::InvalidConfig {
+                reason: "need at least two depth planes".into(),
+            });
         }
         if config.depth_range.0 <= 0.0 || config.depth_range.1 <= config.depth_range.0 {
             return Err(EmvsError::InvalidConfig {
                 reason: format!("invalid depth range {:?}", config.depth_range),
             });
         }
-        Ok(Self { camera, config })
+        Ok(Self {
+            camera,
+            config,
+            parallel: ParallelConfig::sequential(),
+        })
+    }
+
+    /// Enables the parallel sharded voting engine for this mapper.
+    ///
+    /// With [`ParallelConfig::sequential`] (the default) the original
+    /// single-threaded golden path runs. With more than one shard the
+    /// reconstruction is planned into key-frame segments and voted on worker
+    /// shards with a deterministic tree-reduction merge; see
+    /// [`crate::plan_segments`]. Nearest voting stays bit-identical to the
+    /// sequential result; bilinear voting is deterministic per shard count
+    /// but may differ from the sequential float summation order by ULPs.
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// The camera model.
@@ -89,6 +113,11 @@ impl EmvsMapper {
     /// The configuration.
     pub fn config(&self) -> &EmvsConfig {
         &self.config
+    }
+
+    /// The active parallelism configuration.
+    pub fn parallelism(&self) -> &ParallelConfig {
+        &self.parallel
     }
 
     /// Runs the full reconstruction on an event stream with a known
@@ -107,6 +136,9 @@ impl EmvsMapper {
     ) -> Result<EmvsOutput, EmvsError> {
         if events.is_empty() {
             return Err(EmvsError::NoEvents);
+        }
+        if self.parallel.is_engine() {
+            return self.reconstruct_parallel(events, trajectory);
         }
         let mut profile = StageProfile::new();
 
@@ -140,7 +172,9 @@ impl EmvsMapper {
             Vec::with_capacity(self.config.events_per_frame * planes.len());
 
         for frame in &frames {
-            let Some(timestamp) = frame.timestamp() else { continue };
+            let Some(timestamp) = frame.timestamp() else {
+                continue;
+            };
             let pose = trajectory.pose_at(timestamp)?;
 
             match reference {
@@ -204,7 +238,116 @@ impl EmvsMapper {
             }
         }
 
-        Ok(EmvsOutput { keyframes, global_map, profile })
+        Ok(EmvsOutput {
+            keyframes,
+            global_map,
+            profile,
+        })
+    }
+
+    /// The parallel sharded voting engine's drive of the baseline dataflow:
+    /// plan key-frame segments, vote packets on worker shards into per-shard
+    /// DSI tiles, tree-reduce, detect.
+    ///
+    /// The fused per-stage work is identical to the sequential path
+    /// (undistort → canonical projection → per-plane transfer → vote); only
+    /// the schedule differs. Wall-clock time of the fused hot loop is
+    /// attributed evenly to its four stages in the profile, since the stages
+    /// are not separately timeable once fused.
+    fn reconstruct_parallel(
+        &self,
+        events: &EventStream,
+        trajectory: &Trajectory,
+    ) -> Result<EmvsOutput, EmvsError> {
+        let mut profile = StageProfile::new();
+        let planes = DepthPlanes::uniform_inverse_depth(
+            self.config.depth_range.0,
+            self.config.depth_range.1,
+            self.config.num_depth_planes,
+        )?;
+        let width = self.camera.intrinsics.width as usize;
+        let height = self.camera.intrinsics.height as usize;
+
+        let t = Instant::now();
+        let frames = aggregate(events, self.config.events_per_frame);
+        profile.add(Stage::Aggregation, t.elapsed());
+
+        let t = Instant::now();
+        let segments = plan_segments(
+            &frames,
+            trajectory,
+            &self.camera.intrinsics,
+            &planes,
+            &self.config,
+        )?;
+        profile.add(Stage::ComputeHomography, t.elapsed());
+
+        let shards = self.parallel.shards();
+        let mut tiles: Vec<DsiVolume<f32>> = (0..shards)
+            .map(|_| DsiVolume::new(width, height, planes.clone()))
+            .collect::<Result<_, _>>()?;
+
+        let mut keyframes: Vec<KeyframeReconstruction> = Vec::new();
+        let mut global_map = PointCloud::new();
+
+        for segment in &segments {
+            let t = Instant::now();
+            let packets = segment.packets(self.parallel.packet_events());
+            let camera = &self.camera;
+            let voting = self.config.voting;
+            run_sharded(&mut tiles, |shard, tile| {
+                for packet in shard_packets(&packets, shard, shards) {
+                    let frame = &segment.frames[packet.frame];
+                    let local = packet.range.start - frame.event_range.start
+                        ..packet.range.end - frame.event_range.start;
+                    for e in &frames[frame.frame_index].events[local] {
+                        let px = camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64));
+                        let Some(c) = frame.geometry.canonical(px) else {
+                            continue;
+                        };
+                        for i in 0..frame.geometry.num_planes() {
+                            let p = frame.geometry.transfer(c, i);
+                            match voting {
+                                VotingMode::Bilinear => tile.vote_bilinear(p.x, p.y, i, 1.0),
+                                VotingMode::Nearest => tile.vote_nearest(p.x, p.y, i, 1.0),
+                            }
+                        }
+                    }
+                }
+            });
+            let fused = t.elapsed() / 4;
+            profile.add(Stage::DistortionCorrection, fused);
+            profile.add(Stage::CanonicalProjection, fused);
+            profile.add(Stage::ProportionalProjection, fused);
+            profile.add(Stage::VoteDsi, fused);
+
+            let t = Instant::now();
+            let merged =
+                DsiVolume::tree_reduce(&mut tiles).expect("at least one shard tile exists");
+            let reconstruction = self.finalize_keyframe(
+                merged,
+                &segment.reference_pose,
+                segment.frames.len(),
+                segment.events,
+            );
+            profile.add(Stage::Detection, t.elapsed());
+            let t = Instant::now();
+            global_map.merge(&reconstruction.local_cloud);
+            keyframes.push(reconstruction);
+            profile.keyframes += 1;
+            for tile in &mut tiles {
+                tile.reset();
+            }
+            profile.add(Stage::Merging, t.elapsed());
+            profile.frames_processed += segment.frames.len() as u64;
+            profile.events_processed += segment.events as u64;
+        }
+
+        Ok(EmvsOutput {
+            keyframes,
+            global_map,
+            profile,
+        })
     }
 
     /// Back-projects one event frame into the DSI (the `𝒫` and `ℛ` stages).
@@ -226,13 +369,15 @@ impl EmvsMapper {
         let t = Instant::now();
         undistorted.clear();
         undistorted.extend(frame.events.iter().map(|e| {
-            self.camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
+            self.camera
+                .undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
         }));
         profile.add(Stage::DistortionCorrection, t.elapsed());
 
         // Homography H_Z0 and proportional coefficients φ (once per frame).
         let t = Instant::now();
-        let geometry = FrameGeometry::compute(reference_pose, frame_pose, &self.camera.intrinsics, planes)?;
+        let geometry =
+            FrameGeometry::compute(reference_pose, frame_pose, &self.camera.intrinsics, planes)?;
         profile.add(Stage::ComputeHomography, t.elapsed());
         // The reference implementation computes φ after the canonical
         // projection; the cost is attributed to its own stage either way.
@@ -285,7 +430,8 @@ impl EmvsMapper {
         events_used: usize,
     ) -> KeyframeReconstruction {
         let depth_map = detect_structure(dsi, &self.config.detection);
-        let local_cloud = PointCloud::from_depth_map(&depth_map, &self.camera.intrinsics, reference_pose);
+        let local_cloud =
+            PointCloud::from_depth_map(&depth_map, &self.camera.intrinsics, reference_pose);
         KeyframeReconstruction {
             reference_pose: *reference_pose,
             depth_map,
@@ -315,11 +461,20 @@ mod tests {
     #[test]
     fn invalid_configurations_rejected() {
         let cam = CameraModel::davis240_ideal();
-        let bad = EmvsConfig { events_per_frame: 0, ..Default::default() };
+        let bad = EmvsConfig {
+            events_per_frame: 0,
+            ..Default::default()
+        };
         assert!(EmvsMapper::new(cam, bad).is_err());
-        let bad = EmvsConfig { num_depth_planes: 1, ..Default::default() };
+        let bad = EmvsConfig {
+            num_depth_planes: 1,
+            ..Default::default()
+        };
         assert!(EmvsMapper::new(cam, bad).is_err());
-        let bad = EmvsConfig { depth_range: (2.0, 1.0), ..Default::default() };
+        let bad = EmvsConfig {
+            depth_range: (2.0, 1.0),
+            ..Default::default()
+        };
         assert!(EmvsMapper::new(cam, bad).is_err());
         assert!(EmvsMapper::new(cam, EmvsConfig::default()).is_ok());
     }
@@ -342,10 +497,17 @@ mod tests {
         let out = mapper.reconstruct(&seq.events, &seq.trajectory).unwrap();
         assert!(!out.keyframes.is_empty());
         let primary = out.primary().unwrap();
-        assert!(primary.depth_map.valid_count() > 50, "too sparse: {}", primary.depth_map.valid_count());
+        assert!(
+            primary.depth_map.valid_count() > 50,
+            "too sparse: {}",
+            primary.depth_map.valid_count()
+        );
 
         let gt = seq.ground_truth_depth_at(&primary.reference_pose);
-        let metrics = primary.depth_map.compare_to_ground_truth(gt.as_slice()).unwrap();
+        let metrics = primary
+            .depth_map
+            .compare_to_ground_truth(gt.as_slice())
+            .unwrap();
         assert!(
             metrics.abs_rel < 0.12,
             "AbsRel too high: {:.4} ({} px compared)",
@@ -389,8 +551,18 @@ mod tests {
         let out_n = nearest.reconstruct(&seq.events, &seq.trajectory).unwrap();
         let gt_b = seq.ground_truth_depth_at(&out_b.primary().unwrap().reference_pose);
         let gt_n = seq.ground_truth_depth_at(&out_n.primary().unwrap().reference_pose);
-        let m_b = out_b.primary().unwrap().depth_map.compare_to_ground_truth(gt_b.as_slice()).unwrap();
-        let m_n = out_n.primary().unwrap().depth_map.compare_to_ground_truth(gt_n.as_slice()).unwrap();
+        let m_b = out_b
+            .primary()
+            .unwrap()
+            .depth_map
+            .compare_to_ground_truth(gt_b.as_slice())
+            .unwrap();
+        let m_n = out_n
+            .primary()
+            .unwrap()
+            .depth_map
+            .compare_to_ground_truth(gt_n.as_slice())
+            .unwrap();
         // Fig. 4a: the nearest-voting accuracy loss is small (paper: <1.18%
         // AbsRel difference). Allow a slightly wider band on the tiny test set.
         assert!(
@@ -398,6 +570,30 @@ mod tests {
             "nearest {:.4} vs bilinear {:.4}",
             m_n.abs_rel,
             m_b.abs_rel
+        );
+    }
+
+    #[test]
+    fn parallel_mapper_matches_sequential_nearest_voting() {
+        let seq = slider_sequence();
+        let config = config_for(&seq).with_voting(VotingMode::Nearest);
+        let sequential = EmvsMapper::new(seq.camera, config.clone())
+            .unwrap()
+            .reconstruct(&seq.events, &seq.trajectory)
+            .unwrap();
+        let parallel = EmvsMapper::new(seq.camera, config)
+            .unwrap()
+            .with_parallelism(ParallelConfig::with_shards(4))
+            .reconstruct(&seq.events, &seq.trajectory)
+            .unwrap();
+        assert_eq!(sequential.keyframes.len(), parallel.keyframes.len());
+        for (s, p) in sequential.keyframes.iter().zip(&parallel.keyframes) {
+            assert_eq!(s.votes_cast, p.votes_cast);
+            assert_eq!(s.depth_map.depth_data(), p.depth_map.depth_data());
+        }
+        assert_eq!(
+            sequential.profile.events_processed,
+            parallel.profile.events_processed
         );
     }
 

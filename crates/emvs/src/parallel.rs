@@ -1,0 +1,441 @@
+//! Shared infrastructure of the **parallel sharded voting engine**: the
+//! shard-count/packet-size configuration, the keyframe segment planner that
+//! turns the sequential reconstruction loop into a batch schedule, and the
+//! scoped worker-shard runner.
+//!
+//! The engine's execution model (used by both the baseline
+//! [`EmvsMapper`](crate::EmvsMapper) and `eventor-core`'s reformulated
+//! pipeline):
+//!
+//! 1. **Plan** — walk the aggregated event frames once, interpolating poses
+//!    and replaying the key-frame selector, producing one
+//!    [`KeyframeSegment`] per key frame with the per-frame back-projection
+//!    geometry precomputed. Planning is cheap (no per-event work) and
+//!    independent of voting, because key-frame selection depends only on the
+//!    trajectory.
+//! 2. **Vote** — for each segment, split every frame's event range into
+//!    [`VotePacket`]s (`crates/events`) and distribute the packets round-robin
+//!    over `shards` worker threads. Each worker votes into its own private
+//!    DSI tile, so the hot loop is lock-free and allocation-free.
+//! 3. **Reduce** — merge the per-shard tiles with the fixed-shape binary tree
+//!    reduction of [`DsiVolume::tree_reduce`](eventor_dsi::DsiVolume::tree_reduce),
+//!    whose result depends only on the shard count, never on thread timing.
+//!
+//! For integer (`u16`) DSI scores and unit votes the merged volume is
+//! **bit-identical to the sequential golden path for every shard count**,
+//! because saturating unit-vote accumulation is order-independent. For `f32`
+//! scores, nearest voting (whole `1.0` increments, exact in `f32`) is also
+//! bit-identical; bilinear voting deposits fractional weights whose final
+//! float rounding can differ from the sequential summation order by a few
+//! ULPs — still deterministic for a fixed shard count.
+
+use crate::backproject::FrameGeometry;
+use crate::config::EmvsConfig;
+use crate::keyframe::KeyframeSelector;
+use crate::EmvsError;
+use eventor_dsi::DepthPlanes;
+use eventor_events::{packetize_frame, EventFrame, VotePacket};
+use eventor_geom::{CameraIntrinsics, Pose, Trajectory};
+use std::ops::Range;
+
+/// Degree of parallelism of the sharded voting engine.
+///
+/// The default is [`ParallelConfig::sequential`], which preserves the exact
+/// single-threaded golden path; [`ParallelConfig::auto`] spreads work over the
+/// machine's available cores.
+///
+/// # Examples
+///
+/// ```
+/// use eventor_emvs::ParallelConfig;
+/// let p = ParallelConfig::with_shards(4).with_packet_events(512);
+/// assert_eq!(p.shards(), 4);
+/// assert_eq!(p.packet_events(), 512);
+/// assert!(p.is_parallel());
+/// assert!(!ParallelConfig::sequential().is_parallel());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    shards: usize,
+    packet_events: usize,
+    force_engine: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl ParallelConfig {
+    /// Single-shard configuration: the engine is bypassed entirely and the
+    /// sequential golden path runs.
+    pub fn sequential() -> Self {
+        Self {
+            shards: 1,
+            packet_events: eventor_events::DEFAULT_PACKET_EVENTS,
+            force_engine: false,
+        }
+    }
+
+    /// Runs the batched engine (segment planning + fused vote kernels) on a
+    /// single shard, without worker threads.
+    ///
+    /// With one shard the packets execute in exact sequential order into one
+    /// tile, so the result is bit-identical to the golden path for *every*
+    /// datapath, including float bilinear voting. This isolates the engine's
+    /// batching/hoisting speedup from its thread scaling — the
+    /// `parallel_voting` benchmark's `engine_1_shard` row.
+    pub fn batched() -> Self {
+        Self {
+            force_engine: true,
+            ..Self::sequential()
+        }
+    }
+
+    /// One shard per available hardware thread.
+    pub fn auto() -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_shards(shards)
+    }
+
+    /// A fixed shard count (clamped to at least 1). A single shard behaves
+    /// like [`ParallelConfig::batched`].
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            force_engine: true,
+            ..Self::sequential()
+        }
+    }
+
+    /// Overrides the packet size (clamped to at least 1 event per packet).
+    pub fn with_packet_events(mut self, packet_events: usize) -> Self {
+        self.packet_events = packet_events.max(1);
+        self
+    }
+
+    /// Number of worker shards: the size of the work partition (tiles,
+    /// packet assignment, reduction shape).
+    ///
+    /// The partition is a pure function of this count — it never depends on
+    /// the host — so results are reproducible across machines for a fixed
+    /// configuration. How many OS threads actually execute the shards is a
+    /// separate, host-dependent cap: [`Self::worker_threads`].
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of OS worker threads the engine uses to execute the shards:
+    /// `min(shards, available hardware threads)`.
+    ///
+    /// Oversubscribing a CPU-bound vote kernel has no concurrency gain, so a
+    /// 2-core host executes an 8-shard partition on 2 threads (each thread
+    /// processes a contiguous block of shard tiles). The cap affects *only*
+    /// scheduling — the partition, and therefore the output, is unchanged.
+    pub fn worker_threads(&self) -> usize {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.shards.min(available).max(1)
+    }
+
+    /// Events per vote packet.
+    pub fn packet_events(&self) -> usize {
+        self.packet_events
+    }
+
+    /// Whether the work partition has more than one shard.
+    pub fn is_parallel(&self) -> bool {
+        self.shards > 1
+    }
+
+    /// Whether the batched engine runs at all (multi-shard, or single-shard
+    /// batched mode).
+    pub fn is_engine(&self) -> bool {
+        self.shards > 1 || self.force_engine
+    }
+}
+
+/// One event frame of a planned segment: its pose, global event range and
+/// precomputed back-projection geometry.
+#[derive(Debug, Clone)]
+pub struct PlannedFrame {
+    /// Index of the frame in the aggregated stream.
+    pub frame_index: usize,
+    /// Global event-index range of the frame in the event stream.
+    pub event_range: Range<usize>,
+    /// Interpolated camera-to-world pose at the frame's timestamp.
+    pub pose: Pose,
+    /// `H_{Z0}` and `φ` for the frame, relative to the segment's reference.
+    pub geometry: FrameGeometry,
+}
+
+/// All event frames voted into one key frame's DSI, with the reference pose
+/// that owns the DSI.
+#[derive(Debug, Clone)]
+pub struct KeyframeSegment {
+    /// Camera-to-world pose of the key reference (virtual camera) view.
+    pub reference_pose: Pose,
+    /// The frames of the segment, in stream order.
+    pub frames: Vec<PlannedFrame>,
+    /// Total number of events across the segment's frames.
+    pub events: usize,
+}
+
+impl KeyframeSegment {
+    /// Splits every frame of the segment into vote packets of at most
+    /// `packet_events` events. Packet order follows frame order, so packet
+    /// `i` of the returned list always precedes packet `i+1` in the
+    /// sequential schedule.
+    pub fn packets(&self, packet_events: usize) -> Vec<VotePacket> {
+        let mut packets = Vec::with_capacity(
+            self.frames
+                .iter()
+                .map(|f| f.event_range.len().div_ceil(packet_events))
+                .sum(),
+        );
+        for (i, frame) in self.frames.iter().enumerate() {
+            packetize_frame(i, frame.event_range.clone(), packet_events, &mut packets);
+        }
+        packets
+    }
+}
+
+/// Replays the sequential reconstruction loop's key-frame logic over the
+/// aggregated frames, producing the batch schedule the parallel engine
+/// executes.
+///
+/// The walk is an exact replica of the sequential golden path: frames without
+/// a timestamp are skipped, the first timestamped frame's pose becomes the
+/// initial reference, and a key-frame switch (checked *before* a frame is
+/// voted) starts a new segment whose reference is that frame's pose. Segments
+/// with zero frames are never emitted, matching the sequential
+/// `frames_in_keyframe > 0` finalization guard.
+///
+/// # Errors
+///
+/// Propagates [`EmvsError::Geometry`] from pose interpolation and geometry
+/// computation — the same failures the sequential path reports.
+pub fn plan_segments(
+    frames: &[EventFrame],
+    trajectory: &Trajectory,
+    intrinsics: &CameraIntrinsics,
+    planes: &DepthPlanes,
+    config: &EmvsConfig,
+) -> Result<Vec<KeyframeSegment>, EmvsError> {
+    let mut selector =
+        KeyframeSelector::new(config.keyframe_distance, config.min_frames_per_keyframe);
+    let mut segments: Vec<KeyframeSegment> = Vec::new();
+    let mut current: Option<KeyframeSegment> = None;
+
+    for frame in frames {
+        let Some(timestamp) = frame.timestamp() else {
+            continue;
+        };
+        let pose = trajectory.pose_at(timestamp)?;
+
+        match current {
+            None => {
+                current = Some(KeyframeSegment {
+                    reference_pose: pose,
+                    frames: Vec::new(),
+                    events: 0,
+                });
+            }
+            Some(ref segment) => {
+                if selector.should_switch(&segment.reference_pose, &pose) {
+                    segments.push(current.take().expect("segment is Some in this branch"));
+                    current = Some(KeyframeSegment {
+                        reference_pose: pose,
+                        frames: Vec::new(),
+                        events: 0,
+                    });
+                    selector.reset();
+                }
+            }
+        }
+
+        let segment = current.as_mut().expect("segment initialised above");
+        let geometry = FrameGeometry::compute(&segment.reference_pose, &pose, intrinsics, planes)?;
+        let event_range = frame.index * config.events_per_frame
+            ..(frame.index * config.events_per_frame + frame.len());
+        segment.frames.push(PlannedFrame {
+            frame_index: frame.index,
+            event_range,
+            pose,
+            geometry,
+        });
+        segment.events += frame.len();
+        selector.register_frame();
+    }
+
+    if let Some(segment) = current {
+        if !segment.frames.is_empty() {
+            segments.push(segment);
+        }
+    }
+    Ok(segments)
+}
+
+/// Round-robin packet-to-shard assignment: the packets shard `shard` owns
+/// out of `packets`, in sequential-schedule order. This single function is
+/// the load-balancing rule both engines (the baseline mapper's and
+/// `eventor-core`'s) use, and the one the bit-identity argument fixes:
+/// packet `p` goes to shard `p mod shards`, independent of thread timing.
+#[inline]
+pub fn shard_packets(
+    packets: &[VotePacket],
+    shard: usize,
+    shards: usize,
+) -> impl Iterator<Item = &VotePacket> {
+    packets.iter().skip(shard).step_by(shards.max(1))
+}
+
+/// Runs `work(shard_index, &mut tiles[shard_index])` for every shard, on at
+/// most `min(tiles.len(), available hardware threads)` scoped worker
+/// threads; with more tiles than threads, each thread processes a contiguous
+/// block of tiles.
+///
+/// The single-thread case runs inline on the caller's thread (no spawn),
+/// which is what makes [`ParallelConfig::sequential`] a true golden path —
+/// and also means an N-shard partition is fully exercised on a 1-core host,
+/// just without concurrency. Each worker owns its tiles exclusively for the
+/// duration of the call, so the closure needs no synchronisation;
+/// determinism follows from the fixed packet-to-shard assignment chosen by
+/// the caller, not from scheduling.
+pub fn run_sharded<T, F>(tiles: &mut [T], work: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = tiles.len().min(available);
+    if threads <= 1 {
+        for (index, tile) in tiles.iter_mut().enumerate() {
+            work(index, tile);
+        }
+        return;
+    }
+    let block = tiles.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_index, chunk) in tiles.chunks_mut(block).enumerate() {
+            let work = &work;
+            scope.spawn(move || {
+                for (offset, tile) in chunk.iter_mut().enumerate() {
+                    work(chunk_index * block + offset, tile);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_events::{aggregate, DatasetConfig, SequenceKind, SyntheticSequence};
+
+    fn sequence() -> SyntheticSequence {
+        SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test()).unwrap()
+    }
+
+    #[test]
+    fn config_clamps_and_reports() {
+        assert_eq!(ParallelConfig::with_shards(0).shards(), 1);
+        assert_eq!(
+            ParallelConfig::sequential()
+                .with_packet_events(0)
+                .packet_events(),
+            1
+        );
+        assert!(ParallelConfig::auto().shards() >= 1);
+        assert_eq!(ParallelConfig::default(), ParallelConfig::sequential());
+        // Engine selection: sequential bypasses it, batched forces it at one
+        // shard, multi-shard always uses it.
+        assert!(!ParallelConfig::sequential().is_engine());
+        assert!(ParallelConfig::batched().is_engine());
+        assert!(!ParallelConfig::batched().is_parallel());
+        assert!(ParallelConfig::with_shards(2).is_engine());
+        assert!(ParallelConfig::with_shards(2).is_parallel());
+        // The partition is never clamped — only the thread count is.
+        assert_eq!(ParallelConfig::with_shards(64).shards(), 64);
+        let threads = ParallelConfig::with_shards(64).worker_threads();
+        assert!((1..=64).contains(&threads));
+    }
+
+    #[test]
+    fn plan_covers_every_event_exactly_once() {
+        let seq = sequence();
+        let config = EmvsConfig::default()
+            .with_depth_range(seq.depth_range.0, seq.depth_range.1)
+            .with_depth_planes(30);
+        let frames = aggregate(&seq.events, config.events_per_frame);
+        let planes = DepthPlanes::uniform_inverse_depth(
+            config.depth_range.0,
+            config.depth_range.1,
+            config.num_depth_planes,
+        )
+        .unwrap();
+        let segments = plan_segments(
+            &frames,
+            &seq.trajectory,
+            &seq.camera.intrinsics,
+            &planes,
+            &config,
+        )
+        .unwrap();
+        assert!(!segments.is_empty());
+        let planned_events: usize = segments.iter().map(|s| s.events).sum();
+        assert_eq!(planned_events, seq.events.len());
+        // Frame ranges are contiguous and strictly increasing across segments.
+        let mut cursor = 0;
+        for segment in &segments {
+            assert!(!segment.frames.is_empty());
+            for frame in &segment.frames {
+                assert_eq!(frame.event_range.start, cursor);
+                cursor = frame.event_range.end;
+            }
+        }
+        assert_eq!(cursor, seq.events.len());
+    }
+
+    #[test]
+    fn segment_packets_tile_frames_in_order() {
+        let seq = sequence();
+        let config = EmvsConfig::default()
+            .with_depth_range(seq.depth_range.0, seq.depth_range.1)
+            .with_depth_planes(20);
+        let frames = aggregate(&seq.events, config.events_per_frame);
+        let planes = DepthPlanes::uniform_inverse_depth(0.5, 5.0, 20).unwrap();
+        let segments = plan_segments(
+            &frames,
+            &seq.trajectory,
+            &seq.camera.intrinsics,
+            &planes,
+            &config,
+        )
+        .unwrap();
+        let segment = &segments[0];
+        let packets = segment.packets(100);
+        let total: usize = packets.iter().map(|p| p.len()).sum();
+        assert_eq!(total, segment.events);
+        for pair in packets.windows(2) {
+            assert!(pair[0].range.end <= pair[1].range.start || pair[0].frame != pair[1].frame);
+        }
+    }
+
+    #[test]
+    fn run_sharded_executes_every_shard_once() {
+        let mut tiles = vec![0u64; 8];
+        run_sharded(&mut tiles, |i, t| *t = i as u64 + 1);
+        assert_eq!(tiles, (1..=8).collect::<Vec<_>>());
+        let mut single = vec![0u64];
+        run_sharded(&mut single, |_, t| *t = 7);
+        assert_eq!(single, vec![7]);
+        run_sharded::<u64, _>(&mut [], |_, _| unreachable!());
+    }
+}

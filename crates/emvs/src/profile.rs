@@ -111,7 +111,10 @@ impl StageProfile {
     }
 
     fn slot(stage: Stage) -> usize {
-        Stage::ALL.iter().position(|&s| s == stage).expect("stage is in ALL")
+        Stage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("stage is in ALL")
     }
 
     /// Adds elapsed time to a stage.
@@ -169,7 +172,8 @@ impl StageProfile {
         if self.frames_processed == 0 {
             return 0.0;
         }
-        self.stage_time(Stage::CanonicalProjection).as_secs_f64() * 1e6 / self.frames_processed as f64
+        self.stage_time(Stage::CanonicalProjection).as_secs_f64() * 1e6
+            / self.frames_processed as f64
     }
 
     /// Mean runtime of `𝒫{Z0;Zi} + ℛ` per event frame, in microseconds
@@ -203,7 +207,10 @@ impl StageProfile {
     pub fn to_table(&self) -> String {
         let mut out = String::new();
         let total = self.total_time().as_secs_f64().max(1e-12);
-        out.push_str(&format!("{:<24} {:>12} {:>8}\n", "stage", "time (ms)", "share"));
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>8}\n",
+            "stage", "time (ms)", "share"
+        ));
         for stage in Stage::ALL {
             let t = self.stage_time(stage).as_secs_f64();
             out.push_str(&format!(

@@ -99,7 +99,10 @@ impl DatasetConfig {
     /// Full DAVIS-resolution configuration with lens distortion enabled, to
     /// exercise the event distortion-correction stage.
     pub fn paper_scale_distorted() -> Self {
-        Self { camera: CameraModel::davis240_distorted(), ..Self::default() }
+        Self {
+            camera: CameraModel::davis240_distorted(),
+            ..Self::default()
+        }
     }
 
     /// A reduced-resolution, reduced-sample configuration that keeps unit and
@@ -109,7 +112,10 @@ impl DatasetConfig {
             .expect("static test intrinsics are valid");
         Self {
             camera: CameraModel::new(intrinsics, DistortionModel::none()),
-            simulator: SimulatorConfig { samples: 60, ..SimulatorConfig::default() },
+            simulator: SimulatorConfig {
+                samples: 60,
+                ..SimulatorConfig::default()
+            },
             duration: 1.0,
             trajectory_samples: 40,
         }
@@ -203,10 +209,26 @@ fn texture(idx: usize) -> Texture {
     // Non-periodic, gradient-rich textures: periodic patterns (checkerboards)
     // would create false stereo matches between repeated edges.
     match idx % 4 {
-        0 => Texture::Blobs { spacing: 0.24, radius_fraction: 0.38, seed: 11 },
-        1 => Texture::Blobs { spacing: 0.30, radius_fraction: 0.40, seed: 53 },
-        2 => Texture::Blobs { spacing: 0.20, radius_fraction: 0.42, seed: 97 },
-        _ => Texture::Blobs { spacing: 0.26, radius_fraction: 0.36, seed: 1234 },
+        0 => Texture::Blobs {
+            spacing: 0.24,
+            radius_fraction: 0.38,
+            seed: 11,
+        },
+        1 => Texture::Blobs {
+            spacing: 0.30,
+            radius_fraction: 0.40,
+            seed: 53,
+        },
+        2 => Texture::Blobs {
+            spacing: 0.20,
+            radius_fraction: 0.42,
+            seed: 97,
+        },
+        _ => Texture::Blobs {
+            spacing: 0.26,
+            radius_fraction: 0.36,
+            seed: 1234,
+        },
     }
 }
 
@@ -235,7 +257,8 @@ fn three_planes_world(config: &DatasetConfig) -> (Scene, Trajectory, (f64, f64))
     ));
     let start = Pose::from_translation(Vec3::new(-0.30, 0.0, 0.0));
     let end = Pose::from_translation(Vec3::new(0.30, 0.05, 0.0));
-    let trajectory = Trajectory::linear(start, end, 0.0, config.duration, config.trajectory_samples);
+    let trajectory =
+        Trajectory::linear(start, end, 0.0, config.duration, config.trajectory_samples);
     (scene, trajectory, (0.8, 4.0))
 }
 
@@ -270,7 +293,8 @@ fn three_walls_world(config: &DatasetConfig) -> (Scene, Trajectory, (f64, f64)) 
     ));
     let start = Pose::from_translation(Vec3::new(-0.35, -0.03, 0.0));
     let end = Pose::from_translation(Vec3::new(0.35, 0.03, 0.05));
-    let trajectory = Trajectory::linear(start, end, 0.0, config.duration, config.trajectory_samples);
+    let trajectory =
+        Trajectory::linear(start, end, 0.0, config.duration, config.trajectory_samples);
     (scene, trajectory, (0.9, 4.5))
 }
 
@@ -295,7 +319,8 @@ fn slider_world(config: &DatasetConfig, depth: f64, tex: usize) -> (Scene, Traje
     let amplitude = 0.22 * depth;
     let start = Pose::from_translation(Vec3::new(-amplitude, 0.0, 0.0));
     let end = Pose::from_translation(Vec3::new(amplitude, 0.0, 0.0));
-    let trajectory = Trajectory::linear(start, end, 0.0, config.duration, config.trajectory_samples);
+    let trajectory =
+        Trajectory::linear(start, end, 0.0, config.duration, config.trajectory_samples);
     (scene, trajectory, (0.5 * depth, 2.5 * depth))
 }
 
@@ -315,8 +340,14 @@ mod tests {
 
     #[test]
     fn three_planes_sequence_generates_events_and_ground_truth() {
-        let seq = SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test()).unwrap();
-        assert!(seq.events.len() > 1000, "too few events: {}", seq.events.len());
+        let seq =
+            SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test())
+                .unwrap();
+        assert!(
+            seq.events.len() > 1000,
+            "too few events: {}",
+            seq.events.len()
+        );
         // Ground truth covers most of the image and lies in the advertised range.
         assert!(seq.ground_truth_depth.finite_fraction() > 0.5);
         let min = seq.ground_truth_depth.min_finite().unwrap();
@@ -334,18 +365,26 @@ mod tests {
         let far = SyntheticSequence::generate(SequenceKind::SliderFar, &cfg).unwrap();
         let close_mean = close.ground_truth_depth.mean_finite();
         let far_mean = far.ground_truth_depth.mean_finite();
-        assert!(far_mean > 2.0 * close_mean, "close {close_mean} vs far {far_mean}");
+        assert!(
+            far_mean > 2.0 * close_mean,
+            "close {close_mean} vs far {far_mean}"
+        );
         assert!(close.events.len() > 500);
         assert!(far.events.len() > 500);
     }
 
     #[test]
     fn three_walls_has_slanted_depth() {
-        let seq = SyntheticSequence::generate(SequenceKind::ThreeWalls, &DatasetConfig::fast_test()).unwrap();
+        let seq =
+            SyntheticSequence::generate(SequenceKind::ThreeWalls, &DatasetConfig::fast_test())
+                .unwrap();
         let min = seq.ground_truth_depth.min_finite().unwrap();
         let max = seq.ground_truth_depth.max_finite().unwrap();
         // Side walls produce a continuous depth gradient, not just two values.
-        assert!(max - min > 1.0, "expected a wide depth range, got {min}..{max}");
+        assert!(
+            max - min > 1.0,
+            "expected a wide depth range, got {min}..{max}"
+        );
     }
 
     #[test]
@@ -355,14 +394,24 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            vec!["simulation_3planes", "simulation_3walls", "slider_close", "slider_far"]
+            vec![
+                "simulation_3planes",
+                "simulation_3walls",
+                "slider_close",
+                "slider_far"
+            ]
         );
     }
 
     #[test]
     fn reference_pose_is_trajectory_start() {
-        let seq = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test()).unwrap();
-        let start = seq.trajectory.pose_at(seq.trajectory.start_time().unwrap()).unwrap();
+        let seq =
+            SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())
+                .unwrap();
+        let start = seq
+            .trajectory
+            .pose_at(seq.trajectory.start_time().unwrap())
+            .unwrap();
         assert!(seq.reference_pose.translation_distance(&start) < 1e-12);
         // Ground truth at the reference pose matches the stored one.
         let re_rendered = seq.ground_truth_depth_at(&seq.reference_pose);

@@ -50,8 +50,13 @@ mod tests {
     fn error_messages_nonempty() {
         for e in [
             EventError::UnsortedEvents { timestamp: 1.0 },
-            EventError::ImageSizeMismatch { expected: 4, actual: 3 },
-            EventError::InvalidSimulation { reason: "x".to_string() },
+            EventError::ImageSizeMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            EventError::InvalidSimulation {
+                reason: "x".to_string(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

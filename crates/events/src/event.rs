@@ -79,7 +79,11 @@ impl Event {
 
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "e(t={:.6}, x={}, y={}, p={})", self.t, self.x, self.y, self.polarity)
+        write!(
+            f,
+            "e(t={:.6}, x={}, y={}, p={})",
+            self.t, self.x, self.y, self.polarity
+        )
     }
 }
 

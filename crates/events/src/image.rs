@@ -26,7 +26,11 @@ pub struct Image {
 impl Image {
     /// Creates an image filled with a constant value.
     pub fn filled(width: usize, height: usize, value: f64) -> Self {
-        Self { width, height, data: vec![value; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
     }
 
     /// Creates an image from raw row-major data.
@@ -41,7 +45,11 @@ impl Image {
                 actual: data.len(),
             });
         }
-        Ok(Self { width, height, data })
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Image width in pixels.
@@ -66,7 +74,10 @@ impl Image {
     /// Panics if the coordinate is out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> f64 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -77,7 +88,10 @@ impl Image {
     /// Panics if the coordinate is out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: f64) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] = value;
     }
 
@@ -93,22 +107,30 @@ impl Image {
 
     /// Minimum finite value, if any pixel is finite.
     pub fn min_finite(&self) -> Option<f64> {
-        self.data.iter().copied().filter(|v| v.is_finite()).fold(None, |acc, v| {
-            Some(match acc {
-                None => v,
-                Some(a) => a.min(v),
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    None => v,
+                    Some(a) => a.min(v),
+                })
             })
-        })
     }
 
     /// Maximum finite value, if any pixel is finite.
     pub fn max_finite(&self) -> Option<f64> {
-        self.data.iter().copied().filter(|v| v.is_finite()).fold(None, |acc, v| {
-            Some(match acc {
-                None => v,
-                Some(a) => a.max(v),
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    None => v,
+                    Some(a) => a.max(v),
+                })
             })
-        })
     }
 
     /// Mean of the finite pixel values (zero when none are finite).

@@ -56,13 +56,36 @@ pub fn read_events<R: Read>(reader: R) -> Result<EventStream, EventError> {
         }
         let mut parts = trimmed.split_whitespace();
         let parse_err = |what: &str| EventError::InvalidSimulation {
-            reason: format!("line {}: missing or invalid {what}: `{trimmed}`", line_no + 1),
+            reason: format!(
+                "line {}: missing or invalid {what}: `{trimmed}`",
+                line_no + 1
+            ),
         };
-        let t: f64 = parts.next().ok_or_else(|| parse_err("timestamp"))?.parse().map_err(|_| parse_err("timestamp"))?;
-        let x: u16 = parts.next().ok_or_else(|| parse_err("x"))?.parse().map_err(|_| parse_err("x"))?;
-        let y: u16 = parts.next().ok_or_else(|| parse_err("y"))?.parse().map_err(|_| parse_err("y"))?;
-        let p: i32 = parts.next().ok_or_else(|| parse_err("polarity"))?.parse().map_err(|_| parse_err("polarity"))?;
-        let polarity = if p > 0 { Polarity::Positive } else { Polarity::Negative };
+        let t: f64 = parts
+            .next()
+            .ok_or_else(|| parse_err("timestamp"))?
+            .parse()
+            .map_err(|_| parse_err("timestamp"))?;
+        let x: u16 = parts
+            .next()
+            .ok_or_else(|| parse_err("x"))?
+            .parse()
+            .map_err(|_| parse_err("x"))?;
+        let y: u16 = parts
+            .next()
+            .ok_or_else(|| parse_err("y"))?
+            .parse()
+            .map_err(|_| parse_err("y"))?;
+        let p: i32 = parts
+            .next()
+            .ok_or_else(|| parse_err("polarity"))?
+            .parse()
+            .map_err(|_| parse_err("polarity"))?;
+        let polarity = if p > 0 {
+            Polarity::Positive
+        } else {
+            Polarity::Negative
+        };
         events.push(Event::new(t, x, y, polarity));
     }
     Ok(EventStream::from_unsorted(events))

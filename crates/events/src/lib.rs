@@ -46,17 +46,20 @@ mod undistort;
 
 pub use datasets::{DatasetConfig, SequenceKind, SyntheticSequence};
 pub use error::EventError;
-pub use noise::{NoiseConfig, NoiseInjector, NoiseReport};
-pub use rate::{rate_profile, slice_stream, RateProfile, SlicePolicy, SliceStats};
-pub use undistort::UndistortionLut;
 pub use event::{Event, Polarity};
 pub use image::Image;
 pub use io::{read_events, read_trajectory, write_events, write_trajectory};
-pub use packet::{aggregate, EventFrame, FrameIter, DEFAULT_EVENTS_PER_FRAME};
+pub use noise::{NoiseConfig, NoiseInjector, NoiseReport};
+pub use packet::{
+    aggregate, packetize_frame, EventFrame, FrameIter, VotePacket, DEFAULT_EVENTS_PER_FRAME,
+    DEFAULT_PACKET_EVENTS,
+};
+pub use rate::{rate_profile, slice_stream, RateProfile, SlicePolicy, SliceStats};
 pub use render::{render_depth, render_edge_map, render_log_intensity};
 pub use scene::{PlanarPatch, RayHit, Scene, Texture};
 pub use simulator::{EventCameraSimulator, SimulationStats, SimulatorConfig};
 pub use stream::EventStream;
+pub use undistort::UndistortionLut;
 
 #[cfg(test)]
 mod proptests {

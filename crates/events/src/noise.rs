@@ -132,8 +132,15 @@ impl NoiseInjector {
     ///
     /// Panics if the sensor resolution is zero in either dimension.
     pub fn new(width: u16, height: u16, config: NoiseConfig) -> Self {
-        assert!(width > 0 && height > 0, "sensor resolution must be non-zero");
-        Self { width, height, config }
+        assert!(
+            width > 0 && height > 0,
+            "sensor resolution must be non-zero"
+        );
+        Self {
+            width,
+            height,
+            config,
+        }
     }
 
     /// The active configuration.
@@ -182,7 +189,11 @@ impl NoiseInjector {
                     t0 + rng.gen::<f64>() * span,
                     rng.gen_range(0..self.width),
                     rng.gen_range(0..self.height),
-                    if rng.gen::<bool>() { Polarity::Positive } else { Polarity::Negative },
+                    if rng.gen::<bool>() {
+                        Polarity::Positive
+                    } else {
+                        Polarity::Negative
+                    },
                 ));
             }
             report.background_events = count;
@@ -239,7 +250,12 @@ mod tests {
     fn signal(n: usize) -> EventStream {
         (0..n)
             .map(|i| {
-                Event::new(i as f64 * 1e-4, (i % 240) as u16, (i % 180) as u16, Polarity::Positive)
+                Event::new(
+                    i as f64 * 1e-4,
+                    (i % 240) as u16,
+                    (i % 180) as u16,
+                    Polarity::Positive,
+                )
             })
             .collect()
     }
@@ -259,7 +275,10 @@ mod tests {
     #[test]
     fn background_activity_adds_events_in_span() {
         let stream = signal(1000);
-        let config = NoiseConfig { background_activity_rate: 1.0, ..NoiseConfig::clean() };
+        let config = NoiseConfig {
+            background_activity_rate: 1.0,
+            ..NoiseConfig::clean()
+        };
         let injector = NoiseInjector::new(240, 180, config);
         let (out, report) = injector.corrupt(&stream);
         assert!(report.background_events > 0);
@@ -284,13 +303,19 @@ mod tests {
         assert_eq!(report.hot_pixels, 43);
         // Each hot pixel fires ~1000 Hz over a ~0.1 s span.
         let per_pixel = report.hot_pixel_events as f64 / report.hot_pixels as f64;
-        assert!(per_pixel > 50.0 && per_pixel < 150.0, "per-pixel {per_pixel}");
+        assert!(
+            per_pixel > 50.0 && per_pixel < 150.0,
+            "per-pixel {per_pixel}"
+        );
     }
 
     #[test]
     fn drops_remove_a_matching_fraction() {
         let stream = signal(10_000);
-        let config = NoiseConfig { drop_probability: 0.2, ..NoiseConfig::clean() };
+        let config = NoiseConfig {
+            drop_probability: 0.2,
+            ..NoiseConfig::clean()
+        };
         let injector = NoiseInjector::new(240, 180, config);
         let (_, report) = injector.corrupt(&stream);
         let fraction = report.dropped_events as f64 / 10_000.0;
@@ -300,7 +325,10 @@ mod tests {
     #[test]
     fn jitter_keeps_the_stream_sorted_and_in_span() {
         let stream = signal(2000);
-        let config = NoiseConfig { timestamp_jitter_std: 1e-3, ..NoiseConfig::clean() };
+        let config = NoiseConfig {
+            timestamp_jitter_std: 1e-3,
+            ..NoiseConfig::clean()
+        };
         let injector = NoiseInjector::new(240, 180, config);
         let (out, _) = injector.corrupt(&stream);
         let slice = out.as_slice();
@@ -324,10 +352,19 @@ mod tests {
     #[test]
     fn preset_severities_are_ordered() {
         let stream = signal(5000);
-        let results: Vec<usize> = [NoiseConfig::clean(), NoiseConfig::moderate(), NoiseConfig::severe()]
-            .into_iter()
-            .map(|c| NoiseInjector::new(240, 180, c).corrupt(&stream).1.total_events())
-            .collect();
+        let results: Vec<usize> = [
+            NoiseConfig::clean(),
+            NoiseConfig::moderate(),
+            NoiseConfig::severe(),
+        ]
+        .into_iter()
+        .map(|c| {
+            NoiseInjector::new(240, 180, c)
+                .corrupt(&stream)
+                .1
+                .total_events()
+        })
+        .collect();
         assert!(results[0] <= results[1]);
         assert!(results[1] < results[2]);
     }

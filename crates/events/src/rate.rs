@@ -60,7 +60,13 @@ pub fn rate_profile(stream: &EventStream, window: f64) -> Option<RateProfile> {
     let mean_rate = stream.len() as f64 / span;
     let peak_rate = rates.iter().copied().fold(0.0, f64::max);
     let min_rate = rates.iter().copied().fold(f64::INFINITY, f64::min);
-    Some(RateProfile { window, rates, mean_rate, peak_rate, min_rate })
+    Some(RateProfile {
+        window,
+        rates,
+        mean_rate,
+        peak_rate,
+        min_rate,
+    })
 }
 
 /// Frame-slicing policy.
@@ -122,7 +128,10 @@ pub fn slice_stream(stream: &EventStream, policy: SlicePolicy) -> (Vec<EventFram
                 e.t - frame_start > seconds
             })
         }
-        SlicePolicy::Adaptive { events, max_seconds } => {
+        SlicePolicy::Adaptive {
+            events,
+            max_seconds,
+        } => {
             assert!(events > 0, "events per frame must be positive");
             assert!(max_seconds > 0.0, "maximum frame duration must be positive");
             slice_by(stream, |frame_start, frame_len, e| {
@@ -145,7 +154,10 @@ where
     let mut frame_start = stream.start_time().unwrap_or(0.0);
     for &e in stream.iter() {
         if !current.is_empty() && should_split(frame_start, current.len(), &e) {
-            frames.push(EventFrame { events: std::mem::take(&mut current), index: frames.len() });
+            frames.push(EventFrame {
+                events: std::mem::take(&mut current),
+                index: frames.len(),
+            });
             frame_start = e.t;
         }
         if current.is_empty() {
@@ -154,7 +166,10 @@ where
         current.push(e);
     }
     if !current.is_empty() {
-        frames.push(EventFrame { events: current, index: frames.len() });
+        frames.push(EventFrame {
+            events: current,
+            index: frames.len(),
+        });
     }
     frames
 }
@@ -183,7 +198,9 @@ mod tests {
     use crate::event::{Event, Polarity};
 
     fn uniform_stream(n: usize, dt: f64) -> EventStream {
-        (0..n).map(|i| Event::new(i as f64 * dt, 0, 0, Polarity::Positive)).collect()
+        (0..n)
+            .map(|i| Event::new(i as f64 * dt, 0, 0, Polarity::Positive))
+            .collect()
     }
 
     /// A stream whose rate drops by 10x half-way through.
@@ -222,8 +239,9 @@ mod tests {
     fn rate_profile_rejects_degenerate_inputs() {
         assert!(rate_profile(&EventStream::new(), 0.01).is_none());
         assert!(rate_profile(&uniform_stream(100, 1e-4), 0.0).is_none());
-        let instant: EventStream =
-            (0..10).map(|_| Event::new(1.0, 0, 0, Polarity::Positive)).collect();
+        let instant: EventStream = (0..10)
+            .map(|_| Event::new(1.0, 0, 0, Polarity::Positive))
+            .collect();
         assert!(rate_profile(&instant, 0.01).is_none());
     }
 
@@ -243,28 +261,45 @@ mod tests {
         let stream = bursty_stream();
         let (frames, stats) = slice_stream(&stream, SlicePolicy::FixedDuration { seconds: 0.005 });
         assert!(stats.frames > 5);
-        assert!(stats.max_duration <= 0.005 + 1e-4, "max duration {}", stats.max_duration);
+        assert!(
+            stats.max_duration <= 0.005 + 1e-4,
+            "max duration {}",
+            stats.max_duration
+        );
         // The slow half of the stream produces much smaller frames.
         assert!(stats.min_events < stats.max_events);
-        assert_eq!(frames.iter().map(EventFrame::len).sum::<usize>(), stream.len());
+        assert_eq!(
+            frames.iter().map(EventFrame::len).sum::<usize>(),
+            stream.len()
+        );
     }
 
     #[test]
     fn adaptive_slicing_caps_both_count_and_duration() {
         let stream = bursty_stream();
-        let (frames, stats) =
-            slice_stream(&stream, SlicePolicy::Adaptive { events: 1024, max_seconds: 0.004 });
+        let (frames, stats) = slice_stream(
+            &stream,
+            SlicePolicy::Adaptive {
+                events: 1024,
+                max_seconds: 0.004,
+            },
+        );
         assert!(stats.max_events <= 1024);
         assert!(stats.max_duration <= 0.004 + 1e-4);
-        assert_eq!(frames.iter().map(EventFrame::len).sum::<usize>(), stream.len());
+        assert_eq!(
+            frames.iter().map(EventFrame::len).sum::<usize>(),
+            stream.len()
+        );
         // Frame indices are consecutive.
         assert!(frames.iter().enumerate().all(|(i, f)| f.index == i));
     }
 
     #[test]
     fn empty_stream_produces_no_frames() {
-        let (frames, stats) =
-            slice_stream(&EventStream::new(), SlicePolicy::FixedDuration { seconds: 0.01 });
+        let (frames, stats) = slice_stream(
+            &EventStream::new(),
+            SlicePolicy::FixedDuration { seconds: 0.01 },
+        );
         assert!(frames.is_empty());
         assert_eq!(stats, SliceStats::default());
     }
@@ -272,13 +307,18 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_count_policy_panics() {
-        let _ = slice_stream(&uniform_stream(10, 1e-3), SlicePolicy::FixedCount { events: 0 });
+        let _ = slice_stream(
+            &uniform_stream(10, 1e-3),
+            SlicePolicy::FixedCount { events: 0 },
+        );
     }
 
     #[test]
     #[should_panic]
     fn non_positive_duration_policy_panics() {
-        let _ =
-            slice_stream(&uniform_stream(10, 1e-3), SlicePolicy::FixedDuration { seconds: 0.0 });
+        let _ = slice_stream(
+            &uniform_stream(10, 1e-3),
+            SlicePolicy::FixedDuration { seconds: 0.0 },
+        );
     }
 }

@@ -125,7 +125,10 @@ mod tests {
         let img = render_log_intensity(&scene, &cam, &Pose::identity());
         let min = img.min_finite().unwrap();
         let max = img.max_finite().unwrap();
-        assert!(max - min > 0.5, "checkerboard should produce contrast, got {min}..{max}");
+        assert!(
+            max - min > 0.5,
+            "checkerboard should produce contrast, got {min}..{max}"
+        );
     }
 
     #[test]

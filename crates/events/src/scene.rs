@@ -75,7 +75,11 @@ impl Texture {
                     0.15
                 }
             }
-            Self::MultiScaleSine { base_frequency, octaves, phase } => {
+            Self::MultiScaleSine {
+                base_frequency,
+                octaves,
+                phase,
+            } => {
                 let mut value = 0.0;
                 let mut amplitude = 1.0;
                 let mut freq = *base_frequency;
@@ -92,7 +96,11 @@ impl Texture {
                 }
                 (value / total).clamp(0.0, 1.0)
             }
-            Self::Blobs { spacing, radius_fraction, seed } => {
+            Self::Blobs {
+                spacing,
+                radius_fraction,
+                seed,
+            } => {
                 let s = spacing.max(1e-6);
                 let gx = (u / s).floor() as i64;
                 let gy = (v / s).floor() as i64;
@@ -174,7 +182,14 @@ impl PlanarPatch {
     /// # Panics
     ///
     /// Panics if either axis has zero length.
-    pub fn oriented(center: Vec3, u_axis: Vec3, v_axis: Vec3, half_u: f64, half_v: f64, texture: Texture) -> Self {
+    pub fn oriented(
+        center: Vec3,
+        u_axis: Vec3,
+        v_axis: Vec3,
+        half_u: f64,
+        half_v: f64,
+        texture: Texture,
+    ) -> Self {
         Self {
             center,
             u_axis: u_axis.normalized().expect("u_axis must be non-zero"),
@@ -233,7 +248,10 @@ impl Default for Scene {
 impl Scene {
     /// Creates an empty scene with a mid-grey background.
     pub fn new() -> Self {
-        Self { patches: Vec::new(), background_intensity: 0.5 }
+        Self {
+            patches: Vec::new(),
+            background_intensity: 0.5,
+        }
     }
 
     /// Adds a patch and returns its index.
@@ -262,7 +280,7 @@ impl Scene {
         let mut best: Option<(f64, f64, f64, usize)> = None;
         for (i, patch) in self.patches.iter().enumerate() {
             if let Some((t, u, v)) = patch.intersect(origin, direction, 1e-6) {
-                if best.map_or(true, |(bt, _, _, _)| t < bt) {
+                if best.is_none_or(|(bt, _, _, _)| t < bt) {
                     best = Some((t, u, v, i));
                 }
             }
@@ -285,7 +303,9 @@ impl Scene {
     /// Depth (distance along the ray, *not* the Z-coordinate) of the closest
     /// hit, or `f64::INFINITY`.
     pub fn ray_depth(&self, origin: Vec3, direction: Vec3) -> f64 {
-        self.cast_ray(origin, direction).map(|h| h.t).unwrap_or(f64::INFINITY)
+        self.cast_ray(origin, direction)
+            .map(|h| h.t)
+            .unwrap_or(f64::INFINITY)
     }
 }
 
@@ -298,8 +318,16 @@ mod tests {
         let textures = [
             Texture::Uniform { value: 2.0 },
             Texture::Checkerboard { period: 0.1 },
-            Texture::MultiScaleSine { base_frequency: 3.0, octaves: 4, phase: 0.3 },
-            Texture::Blobs { spacing: 0.2, radius_fraction: 0.35, seed: 42 },
+            Texture::MultiScaleSine {
+                base_frequency: 3.0,
+                octaves: 4,
+                phase: 0.3,
+            },
+            Texture::Blobs {
+                spacing: 0.2,
+                radius_fraction: 0.35,
+                seed: 42,
+            },
         ];
         for tex in &textures {
             for i in 0..50 {
@@ -323,8 +351,16 @@ mod tests {
         // A texture without variation produces no events; guard against that.
         for tex in [
             Texture::Checkerboard { period: 0.05 },
-            Texture::MultiScaleSine { base_frequency: 4.0, octaves: 3, phase: 0.0 },
-            Texture::Blobs { spacing: 0.15, radius_fraction: 0.4, seed: 7 },
+            Texture::MultiScaleSine {
+                base_frequency: 4.0,
+                octaves: 3,
+                phase: 0.0,
+            },
+            Texture::Blobs {
+                spacing: 0.15,
+                radius_fraction: 0.4,
+                seed: 7,
+            },
         ] {
             let mut min = f64::INFINITY;
             let mut max = f64::NEG_INFINITY;
@@ -339,8 +375,16 @@ mod tests {
 
     #[test]
     fn blob_texture_is_deterministic() {
-        let a = Texture::Blobs { spacing: 0.2, radius_fraction: 0.3, seed: 5 };
-        let b = Texture::Blobs { spacing: 0.2, radius_fraction: 0.3, seed: 5 };
+        let a = Texture::Blobs {
+            spacing: 0.2,
+            radius_fraction: 0.3,
+            seed: 5,
+        };
+        let b = Texture::Blobs {
+            spacing: 0.2,
+            radius_fraction: 0.3,
+            seed: 5,
+        };
         for i in 0..100 {
             let (u, v) = (i as f64 * 0.017, i as f64 * 0.029);
             assert_eq!(a.sample(u, v), b.sample(u, v));
@@ -362,7 +406,9 @@ mod tests {
         // Ray pointing away misses.
         assert!(patch.intersect(Vec3::ZERO, -Vec3::Z, 1e-6).is_none());
         // Ray that passes outside the extent misses.
-        assert!(patch.intersect(Vec3::new(5.0, 0.0, 0.0), Vec3::Z, 1e-6).is_none());
+        assert!(patch
+            .intersect(Vec3::new(5.0, 0.0, 0.0), Vec3::Z, 1e-6)
+            .is_none());
         // Parallel ray misses.
         assert!(patch.intersect(Vec3::ZERO, Vec3::X, 1e-6).is_none());
     }
@@ -392,7 +438,10 @@ mod tests {
     #[test]
     fn missing_ray_uses_background() {
         let scene = Scene::new();
-        assert_eq!(scene.radiance(Vec3::ZERO, Vec3::Z), scene.background_intensity);
+        assert_eq!(
+            scene.radiance(Vec3::ZERO, Vec3::Z),
+            scene.background_intensity
+        );
         assert_eq!(scene.ray_depth(Vec3::ZERO, Vec3::Z), f64::INFINITY);
         assert!(scene.is_empty());
     }

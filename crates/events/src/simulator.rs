@@ -105,7 +105,10 @@ impl EventCameraSimulator {
         }
         if cfg.contrast_threshold <= 0.0 || !cfg.contrast_threshold.is_finite() {
             return Err(EventError::InvalidSimulation {
-                reason: format!("contrast threshold {} must be positive", cfg.contrast_threshold),
+                reason: format!(
+                    "contrast threshold {} must be positive",
+                    cfg.contrast_threshold
+                ),
             });
         }
         let (t0, t1) = match (trajectory.start_time(), trajectory.end_time()) {
@@ -124,7 +127,9 @@ impl EventCameraSimulator {
         let dt = (t1 - t0) / (cfg.samples - 1) as f64;
         let pose0 = trajectory
             .pose_at(t0)
-            .map_err(|e| EventError::InvalidSimulation { reason: e.to_string() })?;
+            .map_err(|e| EventError::InvalidSimulation {
+                reason: e.to_string(),
+            })?;
         let first = render_log_intensity(scene, &self.camera, &pose0);
 
         // Per-pixel state: reference level and time of the last emitted event.
@@ -137,9 +142,12 @@ impl EventCameraSimulator {
 
         for k in 1..cfg.samples {
             let t = t0 + k as f64 * dt;
-            let pose = trajectory
-                .pose_at(t.min(t1))
-                .map_err(|e| EventError::InvalidSimulation { reason: e.to_string() })?;
+            let pose =
+                trajectory
+                    .pose_at(t.min(t1))
+                    .map_err(|e| EventError::InvalidSimulation {
+                        reason: e.to_string(),
+                    })?;
             let current = render_log_intensity(scene, &self.camera, &pose);
             let cur = current.as_slice();
             let t_prev = t - dt;
@@ -193,7 +201,11 @@ impl EventCameraSimulator {
                 let t = rng.gen_range(t0..t1);
                 let x = rng.gen_range(0..w) as u16;
                 let y = rng.gen_range(0..h) as u16;
-                let polarity = if rng.gen_bool(0.5) { Polarity::Positive } else { Polarity::Negative };
+                let polarity = if rng.gen_bool(0.5) {
+                    Polarity::Positive
+                } else {
+                    Polarity::Negative
+                };
                 events.push(Event::new(t, x, y, polarity));
                 noise_events += 1;
             }
@@ -248,10 +260,19 @@ mod tests {
     fn moving_camera_over_textured_scene_generates_events() {
         let sim = EventCameraSimulator::new(
             small_camera(),
-            SimulatorConfig { samples: 60, ..SimulatorConfig::default() },
+            SimulatorConfig {
+                samples: 60,
+                ..SimulatorConfig::default()
+            },
         );
-        let (stream, stats) = sim.simulate(&textured_scene(), &slider_trajectory(0.2)).unwrap();
-        assert!(stream.len() > 500, "expected many events, got {}", stream.len());
+        let (stream, stats) = sim
+            .simulate(&textured_scene(), &slider_trajectory(0.2))
+            .unwrap();
+        assert!(
+            stream.len() > 500,
+            "expected many events, got {}",
+            stream.len()
+        );
         assert_eq!(stats.total_events, stream.len());
         assert!(stats.mean_event_rate > 0.0);
         // Events must be time sorted and within the trajectory span.
@@ -266,7 +287,10 @@ mod tests {
     fn static_camera_generates_no_signal_events() {
         let sim = EventCameraSimulator::new(
             small_camera(),
-            SimulatorConfig { samples: 30, ..SimulatorConfig::default() },
+            SimulatorConfig {
+                samples: 30,
+                ..SimulatorConfig::default()
+            },
         );
         let static_traj = Trajectory::linear(Pose::identity(), Pose::identity(), 0.0, 1.0, 10);
         let (stream, _) = sim.simulate(&textured_scene(), &static_traj).unwrap();
@@ -277,7 +301,11 @@ mod tests {
     fn noise_injection_adds_events_even_without_motion() {
         let sim = EventCameraSimulator::new(
             small_camera(),
-            SimulatorConfig { samples: 10, noise_rate: 0.5, ..SimulatorConfig::default() },
+            SimulatorConfig {
+                samples: 10,
+                noise_rate: 0.5,
+                ..SimulatorConfig::default()
+            },
         );
         let static_traj = Trajectory::linear(Pose::identity(), Pose::identity(), 0.0, 1.0, 10);
         let (stream, stats) = sim.simulate(&Scene::new(), &static_traj).unwrap();
@@ -291,11 +319,19 @@ mod tests {
         let traj = slider_trajectory(0.2);
         let low = EventCameraSimulator::new(
             small_camera(),
-            SimulatorConfig { contrast_threshold: 0.1, samples: 40, ..SimulatorConfig::default() },
+            SimulatorConfig {
+                contrast_threshold: 0.1,
+                samples: 40,
+                ..SimulatorConfig::default()
+            },
         );
         let high = EventCameraSimulator::new(
             small_camera(),
-            SimulatorConfig { contrast_threshold: 0.4, samples: 40, ..SimulatorConfig::default() },
+            SimulatorConfig {
+                contrast_threshold: 0.4,
+                samples: 40,
+                ..SimulatorConfig::default()
+            },
         );
         let (s_low, _) = low.simulate(&scene, &traj).unwrap();
         let (s_high, _) = high.simulate(&scene, &traj).unwrap();
@@ -308,12 +344,21 @@ mod tests {
         let traj = slider_trajectory(0.1);
         let scene = textured_scene();
 
-        let sim = EventCameraSimulator::new(cam, SimulatorConfig { samples: 1, ..Default::default() });
+        let sim = EventCameraSimulator::new(
+            cam,
+            SimulatorConfig {
+                samples: 1,
+                ..Default::default()
+            },
+        );
         assert!(sim.simulate(&scene, &traj).is_err());
 
         let sim = EventCameraSimulator::new(
             small_camera(),
-            SimulatorConfig { contrast_threshold: 0.0, ..Default::default() },
+            SimulatorConfig {
+                contrast_threshold: 0.0,
+                ..Default::default()
+            },
         );
         assert!(sim.simulate(&scene, &traj).is_err());
 
@@ -327,7 +372,11 @@ mod tests {
     fn simulation_is_deterministic() {
         let sim = EventCameraSimulator::new(
             small_camera(),
-            SimulatorConfig { samples: 30, noise_rate: 0.1, ..SimulatorConfig::default() },
+            SimulatorConfig {
+                samples: 30,
+                noise_rate: 0.1,
+                ..SimulatorConfig::default()
+            },
         );
         let scene = textured_scene();
         let traj = slider_trajectory(0.15);

@@ -33,7 +33,9 @@ impl EventStream {
 
     /// Creates an empty stream with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { events: Vec::with_capacity(capacity) }
+        Self {
+            events: Vec::with_capacity(capacity),
+        }
     }
 
     /// Builds a stream from a vector, validating the time ordering.

@@ -51,7 +51,12 @@ impl UndistortionLut {
                 table.push((p.x as f32, p.y as f32));
             }
         }
-        Self { width, height, table, identity }
+        Self {
+            width,
+            height,
+            table,
+            identity,
+        }
     }
 
     /// Sensor width covered by the table.
@@ -148,7 +153,10 @@ mod tests {
         let lut = UndistortionLut::build(&camera);
         let center_shift = (lut.lookup(120, 90) - Vec2::new(120.0, 90.0)).norm();
         let corner_shift = (lut.lookup(2, 2) - Vec2::new(2.0, 2.0)).norm();
-        assert!(corner_shift > center_shift, "corner {corner_shift} vs center {center_shift}");
+        assert!(
+            corner_shift > center_shift,
+            "corner {corner_shift} vs center {center_shift}"
+        );
     }
 
     #[test]
@@ -163,7 +171,14 @@ mod tests {
         let camera = CameraModel::davis240_distorted();
         let lut = UndistortionLut::build(&camera);
         let stream: EventStream = (0..100)
-            .map(|i| Event::new(i as f64 * 1e-4, (i * 7 % 240) as u16, (i * 3 % 180) as u16, Polarity::Positive))
+            .map(|i| {
+                Event::new(
+                    i as f64 * 1e-4,
+                    (i * 7 % 240) as u16,
+                    (i * 3 % 180) as u16,
+                    Polarity::Positive,
+                )
+            })
             .collect();
         let corrected = lut.correct_stream(&stream);
         assert_eq!(corrected.len(), 100);

@@ -95,12 +95,16 @@ impl<S: FixedStorage, const FRAC: u32> Fix<S, FRAC> {
 
     /// Zero.
     pub fn zero() -> Self {
-        Self { raw: S::from_i64_saturating(0) }
+        Self {
+            raw: S::from_i64_saturating(0),
+        }
     }
 
     /// One.
     pub fn one() -> Self {
-        Self { raw: S::from_i64_saturating(1i64 << FRAC) }
+        Self {
+            raw: S::from_i64_saturating(1i64 << FRAC),
+        }
     }
 
     /// Creates a value from its raw (already shifted) representation.
@@ -125,12 +129,16 @@ impl<S: FixedStorage, const FRAC: u32> Fix<S, FRAC> {
 
     /// Largest representable value.
     pub fn max_value() -> Self {
-        Self { raw: S::from_i64_saturating(S::max_raw()) }
+        Self {
+            raw: S::from_i64_saturating(S::max_raw()),
+        }
     }
 
     /// Smallest (most negative) representable value.
     pub fn min_value() -> Self {
-        Self { raw: S::from_i64_saturating(S::min_raw()) }
+        Self {
+            raw: S::from_i64_saturating(S::min_raw()),
+        }
     }
 
     /// Converts from `f64`, rounding to nearest and saturating at the range
@@ -148,7 +156,9 @@ impl<S: FixedStorage, const FRAC: u32> Fix<S, FRAC> {
         } else {
             rounded as i64
         };
-        Self { raw: S::from_i64_saturating(clamped) }
+        Self {
+            raw: S::from_i64_saturating(clamped),
+        }
     }
 
     /// Converts to `f64` exactly.
@@ -163,12 +173,16 @@ impl<S: FixedStorage, const FRAC: u32> Fix<S, FRAC> {
 
     /// Saturating addition.
     pub fn saturating_add(self, rhs: Self) -> Self {
-        Self { raw: S::from_i64_saturating(self.raw.to_i64() + rhs.raw.to_i64()) }
+        Self {
+            raw: S::from_i64_saturating(self.raw.to_i64() + rhs.raw.to_i64()),
+        }
     }
 
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: Self) -> Self {
-        Self { raw: S::from_i64_saturating(self.raw.to_i64() - rhs.raw.to_i64()) }
+        Self {
+            raw: S::from_i64_saturating(self.raw.to_i64() - rhs.raw.to_i64()),
+        }
     }
 
     /// Saturating multiplication (result renormalised to `FRAC` bits, rounded
@@ -177,7 +191,9 @@ impl<S: FixedStorage, const FRAC: u32> Fix<S, FRAC> {
         let wide = self.raw.to_i64().wrapping_mul(rhs.raw.to_i64());
         let half = 1i64 << (FRAC - 1);
         let shifted = (wide + half) >> FRAC;
-        Self { raw: S::from_i64_saturating(shifted) }
+        Self {
+            raw: S::from_i64_saturating(shifted),
+        }
     }
 
     /// Rounds to the nearest integer, returning a plain `i64`.
@@ -239,7 +255,9 @@ impl<S: FixedStorage, const FRAC: u32> Mul for Fix<S, FRAC> {
 impl<S: FixedStorage, const FRAC: u32> Neg for Fix<S, FRAC> {
     type Output = Self;
     fn neg(self) -> Self {
-        Self { raw: S::from_i64_saturating(-self.raw.to_i64()) }
+        Self {
+            raw: S::from_i64_saturating(-self.raw.to_i64()),
+        }
     }
 }
 

@@ -53,7 +53,10 @@ pub struct PackedCoord {
 impl PackedCoord {
     /// Quantizes a floating-point pixel coordinate.
     pub fn from_f64(x: f64, y: f64) -> Self {
-        Self { x: Q9p7::from_f64(x), y: Q9p7::from_f64(y) }
+        Self {
+            x: Q9p7::from_f64(x),
+            y: Q9p7::from_f64(y),
+        }
     }
 
     /// The x coordinate as `f64`.
@@ -113,17 +116,28 @@ pub enum PlaneCoord {
 impl PlaneCoord {
     /// Rounds a floating-point plane projection to the nearest voxel, mapping
     /// out-of-sensor projections to [`PlaneCoord::Missing`].
+    #[inline]
     pub fn from_projection(x: f64, y: f64, width: u32, height: u32) -> Self {
         let xi = x.round();
         let yi = y.round();
-        if xi < 0.0 || yi < 0.0 || xi >= width as f64 || yi >= height as f64 || !xi.is_finite() || !yi.is_finite() {
+        if xi < 0.0
+            || yi < 0.0
+            || xi >= width as f64
+            || yi >= height as f64
+            || !xi.is_finite()
+            || !yi.is_finite()
+        {
             Self::Missing
         } else {
-            Self::Inside { x: xi as u8, y: yi as u8 }
+            Self::Inside {
+                x: xi as u8,
+                y: yi as u8,
+            }
         }
     }
 
     /// The vote address `(x, y)` when inside the sensor.
+    #[inline]
     pub fn address(self) -> Option<(u16, u16)> {
         match self {
             Self::Inside { x, y } => Some((x as u16, y as u16)),
@@ -152,12 +166,42 @@ pub struct QuantizationSpec {
 
 /// The full Table 1 quantization strategy.
 pub const TABLE1_STRATEGY: [QuantizationSpec; 6] = [
-    QuantizationSpec { name: "(x_k, y_k)", total_bits: 16, integer_bits: 9, decimal_bits: 7 },
-    QuantizationSpec { name: "(x_k(Z0), y_k(Z0))", total_bits: 16, integer_bits: 9, decimal_bits: 7 },
-    QuantizationSpec { name: "(x_k(Zi), y_k(Zi))", total_bits: 8, integer_bits: 8, decimal_bits: 0 },
-    QuantizationSpec { name: "H_Z0", total_bits: 32, integer_bits: 11, decimal_bits: 21 },
-    QuantizationSpec { name: "phi", total_bits: 32, integer_bits: 11, decimal_bits: 21 },
-    QuantizationSpec { name: "DSI scores", total_bits: 16, integer_bits: 16, decimal_bits: 0 },
+    QuantizationSpec {
+        name: "(x_k, y_k)",
+        total_bits: 16,
+        integer_bits: 9,
+        decimal_bits: 7,
+    },
+    QuantizationSpec {
+        name: "(x_k(Z0), y_k(Z0))",
+        total_bits: 16,
+        integer_bits: 9,
+        decimal_bits: 7,
+    },
+    QuantizationSpec {
+        name: "(x_k(Zi), y_k(Zi))",
+        total_bits: 8,
+        integer_bits: 8,
+        decimal_bits: 0,
+    },
+    QuantizationSpec {
+        name: "H_Z0",
+        total_bits: 32,
+        integer_bits: 11,
+        decimal_bits: 21,
+    },
+    QuantizationSpec {
+        name: "phi",
+        total_bits: 32,
+        integer_bits: 11,
+        decimal_bits: 21,
+    },
+    QuantizationSpec {
+        name: "DSI scores",
+        total_bits: 16,
+        integer_bits: 16,
+        decimal_bits: 0,
+    },
 ];
 
 /// Memory footprint comparison between the float baseline and the quantized
@@ -194,7 +238,12 @@ mod tests {
 
     #[test]
     fn packed_coord_round_trip_through_bus_word() {
-        for &(x, y) in &[(0.0, 0.0), (239.5, 179.25), (120.0078125, 90.9921875), (1.0, 255.0)] {
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (239.5, 179.25),
+            (120.0078125, 90.9921875),
+            (1.0, 255.0),
+        ] {
             let p = PackedCoord::from_f64(x, y);
             let q = PackedCoord::from_word(p.to_word());
             assert_eq!(p, q);
@@ -224,10 +273,22 @@ mod tests {
             PlaneCoord::from_projection(10.4, 20.6, 240, 180),
             PlaneCoord::Inside { x: 10, y: 21 }
         );
-        assert_eq!(PlaneCoord::from_projection(-0.6, 5.0, 240, 180), PlaneCoord::Missing);
-        assert_eq!(PlaneCoord::from_projection(239.6, 5.0, 240, 180), PlaneCoord::Missing);
-        assert_eq!(PlaneCoord::from_projection(5.0, 180.0, 240, 180), PlaneCoord::Missing);
-        assert_eq!(PlaneCoord::from_projection(f64::NAN, 5.0, 240, 180), PlaneCoord::Missing);
+        assert_eq!(
+            PlaneCoord::from_projection(-0.6, 5.0, 240, 180),
+            PlaneCoord::Missing
+        );
+        assert_eq!(
+            PlaneCoord::from_projection(239.6, 5.0, 240, 180),
+            PlaneCoord::Missing
+        );
+        assert_eq!(
+            PlaneCoord::from_projection(5.0, 180.0, 240, 180),
+            PlaneCoord::Missing
+        );
+        assert_eq!(
+            PlaneCoord::from_projection(f64::NAN, 5.0, 240, 180),
+            PlaneCoord::Missing
+        );
         // Boundary: -0.4 rounds to 0 which is inside.
         assert_eq!(
             PlaneCoord::from_projection(-0.4, 0.0, 240, 180),

@@ -72,11 +72,31 @@ impl CameraIntrinsics {
     ///
     /// Returns [`GeometryError::InvalidIntrinsics`] if either focal length is
     /// not strictly positive or the resolution is zero.
-    pub fn new(fx: f64, fy: f64, cx: f64, cy: f64, width: u32, height: u32) -> Result<Self, GeometryError> {
-        if fx <= 0.0 || fy <= 0.0 || !fx.is_finite() || !fy.is_finite() || width == 0 || height == 0 {
-            return Err(GeometryError::InvalidIntrinsics { fx, fy, width, height });
+    pub fn new(
+        fx: f64,
+        fy: f64,
+        cx: f64,
+        cy: f64,
+        width: u32,
+        height: u32,
+    ) -> Result<Self, GeometryError> {
+        if fx <= 0.0 || fy <= 0.0 || !fx.is_finite() || !fy.is_finite() || width == 0 || height == 0
+        {
+            return Err(GeometryError::InvalidIntrinsics {
+                fx,
+                fy,
+                width,
+                height,
+            });
         }
-        Ok(Self { fx, fy, cx, cy, width, height })
+        Ok(Self {
+            fx,
+            fy,
+            cx,
+            cy,
+            width,
+            height,
+        })
     }
 
     /// Default intrinsics for a DAVIS240-class sensor (240×180, ~66° HFOV).
@@ -84,13 +104,24 @@ impl CameraIntrinsics {
     /// The values approximate the calibration shipped with the event-camera
     /// dataset the paper evaluates on.
     pub fn davis240_default() -> Self {
-        Self { fx: 199.0, fy: 199.0, cx: 120.0, cy: 90.0, width: DAVIS_WIDTH, height: DAVIS_HEIGHT }
+        Self {
+            fx: 199.0,
+            fy: 199.0,
+            cx: 120.0,
+            cy: 90.0,
+            width: DAVIS_WIDTH,
+            height: DAVIS_HEIGHT,
+        }
     }
 
     /// The calibration matrix `K`.
     pub fn matrix(&self) -> Mat3 {
         Mat3 {
-            m: [[self.fx, 0.0, self.cx], [0.0, self.fy, self.cy], [0.0, 0.0, 1.0]],
+            m: [
+                [self.fx, 0.0, self.cx],
+                [0.0, self.fy, self.cy],
+                [0.0, 0.0, 1.0],
+            ],
         }
     }
 
@@ -152,12 +183,23 @@ impl DistortionModel {
 
     /// Creates a radial-only model.
     pub fn radial(k1: f64, k2: f64, k3: f64) -> Self {
-        Self { k1, k2, k3, ..Self::default() }
+        Self {
+            k1,
+            k2,
+            k3,
+            ..Self::default()
+        }
     }
 
     /// A mild distortion profile similar to the DAVIS240C lens calibration.
     pub fn davis240_default() -> Self {
-        Self { k1: -0.368, k2: 0.150, p1: -0.0003, p2: -0.0002, k3: 0.0 }
+        Self {
+            k1: -0.368,
+            k2: 0.150,
+            p1: -0.0003,
+            p2: -0.0002,
+            k3: 0.0,
+        }
     }
 
     /// Whether all coefficients are zero.
@@ -188,7 +230,7 @@ impl DistortionModel {
         for _ in 0..20 {
             let distorted = self.distort(n);
             let err = distorted - d;
-            n = n - err;
+            n -= err;
             if err.norm_squared() < 1e-18 {
                 break;
             }
@@ -200,17 +242,26 @@ impl DistortionModel {
 impl CameraModel {
     /// Creates a camera model from intrinsics and distortion.
     pub fn new(intrinsics: CameraIntrinsics, distortion: DistortionModel) -> Self {
-        Self { intrinsics, distortion }
+        Self {
+            intrinsics,
+            distortion,
+        }
     }
 
     /// A distortion-free DAVIS240-class camera.
     pub fn davis240_ideal() -> Self {
-        Self::new(CameraIntrinsics::davis240_default(), DistortionModel::none())
+        Self::new(
+            CameraIntrinsics::davis240_default(),
+            DistortionModel::none(),
+        )
     }
 
     /// A DAVIS240-class camera with the default lens distortion profile.
     pub fn davis240_distorted() -> Self {
-        Self::new(CameraIntrinsics::davis240_default(), DistortionModel::davis240_default())
+        Self::new(
+            CameraIntrinsics::davis240_default(),
+            DistortionModel::davis240_default(),
+        )
     }
 
     /// Projects a camera-frame point to a *distorted* pixel (what the sensor

@@ -47,7 +47,12 @@ pub enum GeometryError {
 impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::InvalidIntrinsics { fx, fy, width, height } => write!(
+            Self::InvalidIntrinsics {
+                fx,
+                fy,
+                width,
+                height,
+            } => write!(
                 f,
                 "invalid camera intrinsics (fx={fx}, fy={fy}, {width}x{height})"
             ),
@@ -58,10 +63,17 @@ impl fmt::Display for GeometryError {
                 write!(f, "plane-induced homography is degenerate")
             }
             Self::UnsortedTrajectory { timestamp } => {
-                write!(f, "trajectory timestamp {timestamp} is not strictly increasing")
+                write!(
+                    f,
+                    "trajectory timestamp {timestamp} is not strictly increasing"
+                )
             }
             Self::EmptyTrajectory => write!(f, "trajectory has no samples"),
-            Self::TimestampOutOfRange { timestamp, start, end } => write!(
+            Self::TimestampOutOfRange {
+                timestamp,
+                start,
+                end,
+            } => write!(
                 f,
                 "timestamp {timestamp} outside trajectory span [{start}, {end}]"
             ),
@@ -78,12 +90,21 @@ mod tests {
     #[test]
     fn display_messages_are_nonempty_and_lowercase_start() {
         let errors = [
-            GeometryError::InvalidIntrinsics { fx: 0.0, fy: 1.0, width: 1, height: 1 },
+            GeometryError::InvalidIntrinsics {
+                fx: 0.0,
+                fy: 1.0,
+                width: 1,
+                height: 1,
+            },
             GeometryError::InvalidDepth { depth: -1.0 },
             GeometryError::DegenerateHomography,
             GeometryError::UnsortedTrajectory { timestamp: 1.0 },
             GeometryError::EmptyTrajectory,
-            GeometryError::TimestampOutOfRange { timestamp: 5.0, start: 0.0, end: 1.0 },
+            GeometryError::TimestampOutOfRange {
+                timestamp: 5.0,
+                start: 0.0,
+                end: 1.0,
+            },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -91,9 +91,7 @@ impl CanonicalHomography {
         let k = intrinsics.matrix();
         let k_inv = intrinsics.inverse_matrix();
         let h_cv = k * (r_cv + Mat3::outer(t_cv, n_v) * (1.0 / z0)) * k_inv;
-        let h_vc = h_cv
-            .inverse()
-            .ok_or(GeometryError::DegenerateHomography)?;
+        let h_vc = h_cv.inverse().ok_or(GeometryError::DegenerateHomography)?;
         let h = h_vc
             .normalized_homography()
             .ok_or(GeometryError::DegenerateHomography)?;
@@ -207,7 +205,12 @@ impl ProportionalCoefficients {
             }
         }
 
-        Ok(Self { scale, offset_x, offset_y, depths: depths.to_vec() })
+        Ok(Self {
+            scale,
+            offset_x,
+            offset_y,
+            depths: depths.to_vec(),
+        })
     }
 
     /// Number of depth planes covered.
@@ -336,7 +339,8 @@ mod tests {
         );
         let zs = depths(50, 1.0, 6.0);
         let h = CanonicalHomography::compute(&virtual_pose, &cam_pose, &k, zs[0]).unwrap();
-        let phi = ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).unwrap();
+        let phi =
+            ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).unwrap();
         assert_eq!(phi.len(), zs.len());
 
         for &(x, y) in &[(30.0, 40.0), (120.0, 90.0), (200.0, 160.0)] {
@@ -362,7 +366,8 @@ mod tests {
         let cam_pose = Pose::from_translation(Vec3::new(0.15, 0.0, 0.0));
         let zs = depths(30, 0.8, 4.0);
         let h = CanonicalHomography::compute(&virtual_pose, &cam_pose, &k, zs[0]).unwrap();
-        let phi = ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).unwrap();
+        let phi =
+            ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).unwrap();
         let px = Vec2::new(80.0, 60.0);
         let canonical = h.project(px).unwrap();
         let exhaustive = backproject_exhaustive(&virtual_pose, &cam_pose, &k, px, &zs);
@@ -379,7 +384,8 @@ mod tests {
         let virtual_pose = Pose::identity();
         let cam_pose = Pose::from_translation(Vec3::new(0.05, 0.02, 0.03));
         let zs = depths(10, 1.0, 3.0);
-        let phi = ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).unwrap();
+        let phi =
+            ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).unwrap();
         assert!((phi.scale[0] - 1.0).abs() < 1e-12);
         assert!(phi.offset_x[0].abs() < 1e-9);
         assert!(phi.offset_y[0].abs() < 1e-9);
@@ -400,6 +406,8 @@ mod tests {
         // Camera centre exactly on the canonical plane Z0 = 1.
         let cam_pose = Pose::from_translation(Vec3::new(0.0, 0.0, 1.0));
         let zs = vec![1.0, 2.0, 3.0];
-        assert!(ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).is_err());
+        assert!(
+            ProportionalCoefficients::compute(&virtual_pose, &cam_pose, &k, &zs, zs[0]).is_err()
+        );
     }
 }

@@ -169,9 +169,9 @@ impl Mat3 {
             ],
         ];
         let mut out = Self::zeros();
-        for i in 0..3 {
-            for j in 0..3 {
-                out.m[i][j] = adj[i][j] * inv_det;
+        for (row, adj_row) in out.m.iter_mut().zip(&adj) {
+            for (entry, &a) in row.iter_mut().zip(adj_row) {
+                *entry = a * inv_det;
             }
         }
         Some(out)

@@ -39,7 +39,12 @@ impl Default for UnitQuaternion {
 impl UnitQuaternion {
     /// The identity rotation.
     pub const fn identity() -> Self {
-        Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+        Self {
+            w: 1.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
     }
 
     /// Creates a unit quaternion from raw components, normalizing them.
@@ -50,7 +55,12 @@ impl UnitQuaternion {
     pub fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
         let n = (w * w + x * x + y * y + z * z).sqrt();
         assert!(n > 0.0, "cannot normalize a zero quaternion");
-        Self { w: w / n, x: x / n, y: y / n, z: z / n }
+        Self {
+            w: w / n,
+            x: x / n,
+            y: y / n,
+            z: z / n,
+        }
     }
 
     /// Creates a rotation of `angle` radians about `axis`.
@@ -62,7 +72,12 @@ impl UnitQuaternion {
             Some(a) => {
                 let half = angle * 0.5;
                 let s = half.sin();
-                Self { w: half.cos(), x: a.x * s, y: a.y * s, z: a.z * s }
+                Self {
+                    w: half.cos(),
+                    x: a.x * s,
+                    y: a.y * s,
+                    z: a.z * s,
+                }
             }
         }
     }
@@ -149,7 +164,12 @@ impl UnitQuaternion {
 
     /// The inverse (conjugate for unit quaternions) rotation.
     pub fn inverse(self) -> Self {
-        Self { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Self {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Quaternion dot product (cosine of half the angle between rotations).
@@ -176,7 +196,12 @@ impl UnitQuaternion {
         let mut cos = self.dot(other);
         if cos < 0.0 {
             cos = -cos;
-            b = Self { w: -other.w, x: -other.x, y: -other.y, z: -other.z };
+            b = Self {
+                w: -other.w,
+                x: -other.x,
+                y: -other.y,
+                z: -other.z,
+            };
         }
         if cos > 0.9995 {
             // Nearly parallel: fall back to normalized linear interpolation.
@@ -219,7 +244,11 @@ impl Mul for UnitQuaternion {
 
 impl fmt::Display for UnitQuaternion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "q(w={:.6}, x={:.6}, y={:.6}, z={:.6})", self.w, self.x, self.y, self.z)
+        write!(
+            f,
+            "q(w={:.6}, x={:.6}, y={:.6}, z={:.6})",
+            self.w, self.x, self.y, self.z
+        )
     }
 }
 

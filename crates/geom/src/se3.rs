@@ -39,22 +39,34 @@ pub struct Pose {
 impl Pose {
     /// The identity pose.
     pub fn identity() -> Self {
-        Self { rotation: UnitQuaternion::identity(), translation: Vec3::ZERO }
+        Self {
+            rotation: UnitQuaternion::identity(),
+            translation: Vec3::ZERO,
+        }
     }
 
     /// Creates a pose from a rotation and translation.
     pub fn new(rotation: UnitQuaternion, translation: Vec3) -> Self {
-        Self { rotation, translation }
+        Self {
+            rotation,
+            translation,
+        }
     }
 
     /// Creates a pure translation pose.
     pub fn from_translation(translation: Vec3) -> Self {
-        Self { rotation: UnitQuaternion::identity(), translation }
+        Self {
+            rotation: UnitQuaternion::identity(),
+            translation,
+        }
     }
 
     /// Creates a pose from a rotation matrix and translation.
     pub fn from_matrix_parts(r: &Mat3, t: Vec3) -> Self {
-        Self { rotation: UnitQuaternion::from_rotation_matrix(r), translation: t }
+        Self {
+            rotation: UnitQuaternion::from_rotation_matrix(r),
+            translation: t,
+        }
     }
 
     /// Applies the pose to a point (`p_world = R p + t`).
@@ -72,7 +84,10 @@ impl Pose {
     /// The inverse transform (world-to-camera when `self` is camera-to-world).
     pub fn inverse(&self) -> Self {
         let inv_rot = self.rotation.inverse();
-        Self { rotation: inv_rot, translation: -inv_rot.rotate(self.translation) }
+        Self {
+            rotation: inv_rot,
+            translation: -inv_rot.rotate(self.translation),
+        }
     }
 
     /// Composition: `self * rhs` applies `rhs` first, then `self`.
@@ -156,8 +171,14 @@ mod tests {
 
     #[test]
     fn compose_then_apply_matches_sequential() {
-        let a = Pose::new(UnitQuaternion::from_axis_angle(Vec3::Z, 0.3), Vec3::new(1.0, 0.0, 0.0));
-        let b = Pose::new(UnitQuaternion::from_axis_angle(Vec3::X, -0.5), Vec3::new(0.0, 2.0, 0.0));
+        let a = Pose::new(
+            UnitQuaternion::from_axis_angle(Vec3::Z, 0.3),
+            Vec3::new(1.0, 0.0, 0.0),
+        );
+        let b = Pose::new(
+            UnitQuaternion::from_axis_angle(Vec3::X, -0.5),
+            Vec3::new(0.0, 2.0, 0.0),
+        );
         let p = Vec3::new(0.1, 0.2, 0.3);
         let via_compose = a.compose(&b).transform(p);
         let via_seq = a.transform(b.transform(p));
@@ -167,11 +188,19 @@ mod tests {
 
     #[test]
     fn relative_pose_maps_between_frames() {
-        let world_from_a = Pose::new(UnitQuaternion::from_axis_angle(Vec3::Y, 0.4), Vec3::new(1.0, 1.0, 1.0));
-        let world_from_b = Pose::new(UnitQuaternion::from_axis_angle(Vec3::Z, -0.2), Vec3::new(-1.0, 0.0, 2.0));
+        let world_from_a = Pose::new(
+            UnitQuaternion::from_axis_angle(Vec3::Y, 0.4),
+            Vec3::new(1.0, 1.0, 1.0),
+        );
+        let world_from_b = Pose::new(
+            UnitQuaternion::from_axis_angle(Vec3::Z, -0.2),
+            Vec3::new(-1.0, 0.0, 2.0),
+        );
         let a_from_b = world_from_a.relative_to(&world_from_b);
         let p_b = Vec3::new(0.5, -0.5, 1.5);
-        let via_world = world_from_a.inverse().transform(world_from_b.transform(p_b));
+        let via_world = world_from_a
+            .inverse()
+            .transform(world_from_b.transform(p_b));
         let direct = a_from_b.transform(p_b);
         assert!((via_world - direct).norm() < 1e-12);
     }
@@ -202,7 +231,10 @@ mod tests {
 
     #[test]
     fn to_matrix_matches_transform() {
-        let pose = Pose::new(UnitQuaternion::from_euler(0.1, 0.2, 0.3), Vec3::new(4.0, 5.0, 6.0));
+        let pose = Pose::new(
+            UnitQuaternion::from_euler(0.1, 0.2, 0.3),
+            Vec3::new(4.0, 5.0, 6.0),
+        );
         let p = Vec3::new(-1.0, 2.0, 0.5);
         let via_pose = pose.transform(p);
         let via_mat = pose.to_matrix().transform_point(p);

@@ -223,10 +223,7 @@ mod tests {
             Trajectory::from_samples(vec![]),
             Err(GeometryError::EmptyTrajectory)
         ));
-        let bad = vec![
-            (1.0, Pose::identity()),
-            (0.5, Pose::identity()),
-        ];
+        let bad = vec![(1.0, Pose::identity()), (0.5, Pose::identity())];
         assert!(matches!(
             Trajectory::from_samples(bad),
             Err(GeometryError::UnsortedTrajectory { .. })
@@ -255,7 +252,10 @@ mod tests {
 
     #[test]
     fn exact_sample_times_return_stored_pose() {
-        let pose1 = Pose::new(UnitQuaternion::from_euler(0.1, 0.0, 0.0), Vec3::new(1.0, 2.0, 3.0));
+        let pose1 = Pose::new(
+            UnitQuaternion::from_euler(0.1, 0.0, 0.0),
+            Vec3::new(1.0, 2.0, 3.0),
+        );
         let traj = Trajectory::from_samples(vec![
             (0.0, Pose::identity()),
             (1.0, pose1),
@@ -271,11 +271,8 @@ mod tests {
 
     #[test]
     fn out_of_range_is_an_error() {
-        let traj = Trajectory::from_samples(vec![
-            (1.0, Pose::identity()),
-            (2.0, Pose::identity()),
-        ])
-        .unwrap();
+        let traj = Trajectory::from_samples(vec![(1.0, Pose::identity()), (2.0, Pose::identity())])
+            .unwrap();
         assert!(traj.pose_at(0.5).is_err());
         assert!(traj.pose_at(2.5).is_err());
         assert!(traj.pose_at(1.5).is_ok());

@@ -127,7 +127,9 @@ impl ActivityEnergyModel {
         let pj = 1e-12;
         let surviving = execution.events_in - execution.events_dropped;
         let transfers = execution.votes_applied + execution.transfers_missed;
-        let seconds = config.fabric_clock.cycles_to_seconds(execution.total_cycles);
+        let seconds = config
+            .fabric_clock
+            .cycles_to_seconds(execution.total_cycles);
 
         // Input payload: packed events, per-plane phi and the homography.
         let dma_bytes =
@@ -135,8 +137,9 @@ impl ActivityEnergyModel {
         // Buffer traffic: each event word is written and read once in Buf_E,
         // each surviving canonical projection is written and read once in
         // Buf_I, each vote address is written and read once in Buf_V.
-        let bram_accesses =
-            2.0 * execution.events_in as f64 + 2.0 * surviving as f64 + 2.0 * execution.votes_applied as f64;
+        let bram_accesses = 2.0 * execution.events_in as f64
+            + 2.0 * surviving as f64
+            + 2.0 * execution.votes_applied as f64;
 
         EnergyBreakdown {
             canonical_j: self.pj_per_canonical_projection * execution.events_in as f64 * pj,
@@ -177,11 +180,8 @@ mod tests {
     fn paper_scale_execution() -> (FrameExecution, AcceleratorConfig) {
         let config = AcceleratorConfig::default();
         let mut device = EventorDevice::new(config.clone());
-        let identity = HomographyRegisters::from_matrix(&[
-            [1.0, 0.0, 0.0],
-            [0.0, 1.0, 0.0],
-            [0.0, 0.0, 1.0],
-        ]);
+        let identity =
+            HomographyRegisters::from_matrix(&[[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]);
         let phi = PhiEntry::from_f64(1.0, 0.0, 0.0).raw_words();
         let job = FrameJob {
             event_words: (0..1024)
@@ -204,7 +204,10 @@ mod tests {
         assert!((power - 1.86).abs() < 0.2, "average power {power} W");
         assert!(breakdown.total_j() > 0.0);
         assert!(breakdown.dynamic_j() > 0.0);
-        assert!(breakdown.static_j > breakdown.dynamic_j(), "static power dominates at 130 MHz");
+        assert!(
+            breakdown.static_j > breakdown.dynamic_j(),
+            "static power dominates at 130 MHz"
+        );
         // Roughly 1 µJ per event at ~1.86 W and ~1.86 Mev/s.
         let nj = breakdown.nj_per_event();
         assert!(nj > 500.0 && nj < 2000.0, "{nj} nJ per event");

@@ -42,12 +42,22 @@ pub struct AxiBurst {
 impl AxiBurst {
     /// Creates a read burst.
     pub fn read(address: u64, beats: u32, bytes_per_beat: u32) -> Self {
-        Self { address, beats, bytes_per_beat, direction: AxiDirection::Read }
+        Self {
+            address,
+            beats,
+            bytes_per_beat,
+            direction: AxiDirection::Read,
+        }
     }
 
     /// Creates a write burst.
     pub fn write(address: u64, beats: u32, bytes_per_beat: u32) -> Self {
-        Self { address, beats, bytes_per_beat, direction: AxiDirection::Write }
+        Self {
+            address,
+            beats,
+            bytes_per_beat,
+            direction: AxiDirection::Write,
+        }
     }
 
     /// Payload size of the burst in bytes.
@@ -103,7 +113,12 @@ impl AxiPort {
     /// Panics if `bytes_per_cycle` is not strictly positive.
     pub fn new(name: impl Into<String>, issue_latency: Cycles, bytes_per_cycle: f64) -> Self {
         assert!(bytes_per_cycle > 0.0, "AXI port bandwidth must be positive");
-        Self { name: name.into(), issue_latency, bytes_per_cycle, stats: AxiPortStats::default() }
+        Self {
+            name: name.into(),
+            issue_latency,
+            bytes_per_cycle,
+            stats: AxiPortStats::default(),
+        }
     }
 
     /// A 64-bit AXI-HP port as configured on the XC7Z020 (high-performance
@@ -176,7 +191,10 @@ impl AxiHpInterconnect {
     /// Panics if `num_ports` is zero.
     pub fn new(num_ports: usize) -> Self {
         assert!(num_ports > 0, "need at least one AXI-HP port");
-        Self { ports: (0..num_ports).map(AxiPort::hp_default).collect(), next: 0 }
+        Self {
+            ports: (0..num_ports).map(AxiPort::hp_default).collect(),
+            next: 0,
+        }
     }
 
     /// Number of ports.

@@ -223,7 +223,10 @@ impl PeZiArrayDatapath {
     /// Panics if `num_pe` is zero or the sensor is empty.
     pub fn new(phi: Vec<PhiEntry>, num_pe: usize, sensor_width: u32, sensor_height: u32) -> Self {
         assert!(num_pe > 0, "need at least one PE_Zi");
-        assert!(sensor_width > 0 && sensor_height > 0, "sensor must be non-empty");
+        assert!(
+            sensor_width > 0 && sensor_height > 0,
+            "sensor must be non-empty"
+        );
         Self {
             phi,
             num_pe,
@@ -257,7 +260,11 @@ impl PeZiArrayDatapath {
             {
                 Some((vx, vy)) => {
                     self.stats.votes_generated += 1;
-                    votes.push(VoteAddress { x: vx, y: vy, plane: i as u16 });
+                    votes.push(VoteAddress {
+                        x: vx,
+                        y: vy,
+                        plane: i as u16,
+                    });
                 }
                 None => self.stats.transfers_missed += 1,
             }
@@ -383,13 +390,12 @@ mod tests {
     fn degenerate_projection_is_dropped() {
         // A homography whose third row annihilates the input maps it to
         // infinity; the projection-missing judgement must drop it.
-        let h = HomographyRegisters::from_matrix(&[
-            [1.0, 0.0, 0.0],
-            [0.0, 1.0, 0.0],
-            [0.0, 0.0, 0.0],
-        ]);
+        let h =
+            HomographyRegisters::from_matrix(&[[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 0.0]]);
         let mut pe = PeZ0Datapath::new();
-        assert!(pe.project(&h, PackedCoord::from_f64(10.0, 10.0).to_word()).is_none());
+        assert!(pe
+            .project(&h, PackedCoord::from_f64(10.0, 10.0).to_word())
+            .is_none());
         assert_eq!(pe.events_dropped(), 1);
     }
 
@@ -397,13 +403,12 @@ mod tests {
     fn out_of_transport_range_projection_is_dropped() {
         // Scaling by 8 pushes a 100-pixel coordinate far beyond the Q9.7
         // range.
-        let h = HomographyRegisters::from_matrix(&[
-            [8.0, 0.0, 0.0],
-            [0.0, 8.0, 0.0],
-            [0.0, 0.0, 1.0],
-        ]);
+        let h =
+            HomographyRegisters::from_matrix(&[[8.0, 0.0, 0.0], [0.0, 8.0, 0.0], [0.0, 0.0, 1.0]]);
         let mut pe = PeZ0Datapath::new();
-        assert!(pe.project(&h, PackedCoord::from_f64(100.0, 10.0).to_word()).is_none());
+        assert!(pe
+            .project(&h, PackedCoord::from_f64(100.0, 10.0).to_word())
+            .is_none());
         assert_eq!(pe.events_dropped(), 1);
     }
 
@@ -411,8 +416,9 @@ mod tests {
     fn frame_projection_preserves_order_and_length() {
         let h = identity_registers();
         let mut pe = PeZ0Datapath::new();
-        let words: Vec<u32> =
-            (0..16).map(|i| PackedCoord::from_f64(i as f64 * 10.0, 5.0).to_word()).collect();
+        let words: Vec<u32> = (0..16)
+            .map(|i| PackedCoord::from_f64(i as f64 * 10.0, 5.0).to_word())
+            .collect();
         let out = pe.project_frame(&h, &words);
         assert_eq!(out.len(), 16);
         assert!(out.iter().all(Option::is_some));
@@ -432,7 +438,10 @@ mod tests {
         let mut array = PeZiArrayDatapath::new(phi, 2, 240, 180);
         let votes = array.generate_votes(PackedCoord::from_f64(30.0, 40.0));
         assert_eq!(votes.len(), 10);
-        assert!(votes.iter().enumerate().all(|(i, v)| v.plane as usize == i && v.x == 30 && v.y == 40));
+        assert!(votes
+            .iter()
+            .enumerate()
+            .all(|(i, v)| v.plane as usize == i && v.x == 30 && v.y == 40));
         let stats = array.stats();
         assert_eq!(stats.transfers, 10);
         assert_eq!(stats.votes_generated, 10);
@@ -455,7 +464,11 @@ mod tests {
     fn frame_votes_skip_dropped_events() {
         let phi = vec![PhiEntry::from_f64(1.0, 0.0, 0.0); 3];
         let mut array = PeZiArrayDatapath::new(phi, 1, 240, 180);
-        let canonical = vec![Some(PackedCoord::from_f64(1.0, 1.0)), None, Some(PackedCoord::from_f64(2.0, 2.0))];
+        let canonical = vec![
+            Some(PackedCoord::from_f64(1.0, 1.0)),
+            None,
+            Some(PackedCoord::from_f64(2.0, 2.0)),
+        ];
         let votes = array.generate_frame_votes(&canonical);
         assert_eq!(votes.len(), 6);
         assert_eq!(array.num_planes(), 3);
@@ -464,7 +477,11 @@ mod tests {
 
     #[test]
     fn vote_addresses_match_dram_layout() {
-        let v = VoteAddress { x: 3, y: 2, plane: 1 };
+        let v = VoteAddress {
+            x: 3,
+            y: 2,
+            plane: 1,
+        };
         let dram = DsiDram::new(10, 5, 4);
         assert_eq!(Some(v.linear(10, 5)), dram.linear_address(3, 2, 1));
     }
@@ -475,9 +492,21 @@ mod tests {
         let mut axi = AxiHpInterconnect::new(2);
         let mut unit = VoteExecuteDatapath::new();
         let votes = vec![
-            VoteAddress { x: 1, y: 1, plane: 0 },
-            VoteAddress { x: 1, y: 1, plane: 0 },
-            VoteAddress { x: 5, y: 3, plane: 2 },
+            VoteAddress {
+                x: 1,
+                y: 1,
+                plane: 0,
+            },
+            VoteAddress {
+                x: 1,
+                y: 1,
+                plane: 0,
+            },
+            VoteAddress {
+                x: 5,
+                y: 3,
+                plane: 2,
+            },
         ];
         let batch = unit.execute(&votes, &mut dram, &mut axi);
         assert_eq!(batch.votes_applied, 3);

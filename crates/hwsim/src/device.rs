@@ -212,7 +212,8 @@ impl EventorDevice {
         let _ = self.buffers.buf_p.fill_bank().fill(phi_bytes);
         self.buffers.buf_e.swap();
         self.buffers.buf_p.swap();
-        self.registers.write(Register::NumEvents, job.event_words.len() as u32);
+        self.registers
+            .write(Register::NumEvents, job.event_words.len() as u32);
         self.registers.write(
             Register::FrameKind,
             match job.kind {
@@ -246,9 +247,12 @@ impl EventorDevice {
         let execution = self.execute(&job);
 
         self.registers.clear_status(status::BUSY);
-        self.registers.set_status(status::DONE | status::BUF_E_READY);
-        self.registers.write(Register::VotesApplied, execution.votes_applied as u32);
-        self.registers.write(Register::EventsDropped, execution.events_dropped as u32);
+        self.registers
+            .set_status(status::DONE | status::BUF_E_READY);
+        self.registers
+            .write(Register::VotesApplied, execution.votes_applied as u32);
+        self.registers
+            .write(Register::EventsDropped, execution.events_dropped as u32);
         self.registers.set_cycle_result(execution.total_cycles);
         self.registers.write(Register::InterruptStatus, 1);
 
@@ -296,22 +300,29 @@ impl EventorDevice {
 
         // PE_Zi array: proportional projection and vote-address generation.
         self.proportional_state = ProportionalState::TransferAndVote;
-        let phi: Vec<PhiEntry> =
-            job.phi_words.iter().map(|&w| PhiEntry::from_raw_words(w)).collect();
-        let mut pe_zi =
-            PeZiArrayDatapath::new(phi, self.config.num_pe_zi, width, height);
+        let phi: Vec<PhiEntry> = job
+            .phi_words
+            .iter()
+            .map(|&w| PhiEntry::from_raw_words(w))
+            .collect();
+        let mut pe_zi = PeZiArrayDatapath::new(phi, self.config.num_pe_zi, width, height);
         let votes = pe_zi.generate_frame_votes(&canonical);
         let planes_per_pe = self.config.num_depth_planes.div_ceil(self.config.num_pe_zi);
         let surviving_events = canonical.iter().flatten().count();
-        let address_cycles = (surviving_events * planes_per_pe) as Cycles
-            + self.config.pe_zi_pipeline_overhead;
+        let address_cycles =
+            (surviving_events * planes_per_pe) as Cycles + self.config.pe_zi_pipeline_overhead;
 
         // Vote Execute Unit: DSI read-modify-write over the AXI-HP ports.
-        let _ = self.buffers.buf_v.fill_bank().fill(votes.len().min(4096) * 4);
+        let _ = self
+            .buffers
+            .buf_v
+            .fill_bank()
+            .fill(votes.len().min(4096) * 4);
         self.buffers.buf_v.swap();
-        let vote_stats = self.vote_unit.execute(&votes, &mut self.dram, &mut self.axi_hp);
-        let vote_cycles =
-            (votes.len() as f64 / self.config.votes_per_cycle()).ceil() as Cycles;
+        let vote_stats = self
+            .vote_unit
+            .execute(&votes, &mut self.dram, &mut self.axi_hp);
+        let vote_cycles = (votes.len() as f64 / self.config.votes_per_cycle()).ceil() as Cycles;
 
         // The PE array and the Vote Execute Unit stream through Buf_V and
         // overlap; the slower one bounds the proportional-module time.
@@ -327,7 +338,11 @@ impl EventorDevice {
             self.config.dma_setup_cycles
                 + (payload / self.config.dma_bytes_per_cycle).ceil() as Cycles
         };
-        let exposed_dma = if self.config.double_buffering { 0 } else { frame_dma_cycles };
+        let exposed_dma = if self.config.double_buffering {
+            0
+        } else {
+            frame_dma_cycles
+        };
 
         // The DSI reset of a key frame is issued as background DRAM write
         // traffic and is not part of the paper's key-frame latency (Table 3);
@@ -358,17 +373,12 @@ mod tests {
     use eventor_fixed::PackedCoord;
 
     fn identity_job(events: usize, planes: usize, kind: FrameKind) -> FrameJob {
-        let identity = HomographyRegisters::from_matrix(&[
-            [1.0, 0.0, 0.0],
-            [0.0, 1.0, 0.0],
-            [0.0, 0.0, 1.0],
-        ]);
+        let identity =
+            HomographyRegisters::from_matrix(&[[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]);
         let phi = PhiEntry::from_f64(1.0, 0.0, 0.0).raw_words();
         FrameJob {
             event_words: (0..events)
-                .map(|i| {
-                    PackedCoord::from_f64((i % 240) as f64, (i % 180) as f64).to_word()
-                })
+                .map(|i| PackedCoord::from_f64((i % 240) as f64, (i % 180) as f64).to_word())
                 .collect(),
             homography_words: identity.raw_words(),
             phi_words: vec![phi; planes],
@@ -407,7 +417,10 @@ mod tests {
         let exec = device.run_frame(job).unwrap();
         assert!(device.registers().status_is(status::DONE));
         assert!(!device.registers().status_is(status::BUSY));
-        assert_eq!(device.registers().peek(Register::VotesApplied) as u64, exec.votes_applied);
+        assert_eq!(
+            device.registers().peek(Register::VotesApplied) as u64,
+            exec.votes_applied
+        );
         assert_eq!(device.registers().cycle_result(), exec.total_cycles);
         assert_eq!(device.registers().peek(Register::NumEvents), 32);
         assert!(device.registers().peek(Register::Control) & ctrl::START != 0);
@@ -433,9 +446,13 @@ mod tests {
     fn key_frames_reset_the_dsi_and_cost_more() {
         let config = small_config();
         let mut device = EventorDevice::new(config);
-        let normal = device.run_frame(identity_job(64, 10, FrameKind::Normal)).unwrap();
+        let normal = device
+            .run_frame(identity_job(64, 10, FrameKind::Normal))
+            .unwrap();
         assert_eq!(device.dsi().total_score(), 640);
-        let key = device.run_frame(identity_job(64, 10, FrameKind::Key)).unwrap();
+        let key = device
+            .run_frame(identity_job(64, 10, FrameKind::Key))
+            .unwrap();
         // The key frame zeroed the DSI before voting again.
         assert_eq!(device.dsi().total_score(), 640);
         assert!(key.total_cycles > normal.total_cycles);
@@ -454,7 +471,12 @@ mod tests {
         // to within a few percent (the analytic model assumes every transfer
         // votes; identity jobs satisfy that).
         let ratio = exec.total_cycles as f64 / analytic.total_cycles as f64;
-        assert!(ratio > 0.95 && ratio < 1.05, "functional {} vs analytic {}", exec.total_cycles, analytic.total_cycles);
+        assert!(
+            ratio > 0.95 && ratio < 1.05,
+            "functional {} vs analytic {}",
+            exec.total_cycles,
+            analytic.total_cycles
+        );
         assert!((exec.total_us(&config) - 551.58).abs() < 30.0);
     }
 
@@ -463,11 +485,8 @@ mod tests {
         let config = small_config();
         let mut device = EventorDevice::new(config);
         // A scaling homography throws most events out of the Q9.7 range.
-        let h = HomographyRegisters::from_matrix(&[
-            [8.0, 0.0, 0.0],
-            [0.0, 8.0, 0.0],
-            [0.0, 0.0, 1.0],
-        ]);
+        let h =
+            HomographyRegisters::from_matrix(&[[8.0, 0.0, 0.0], [0.0, 8.0, 0.0], [0.0, 0.0, 1.0]]);
         let mut job = identity_job(64, 10, FrameKind::Normal);
         job.homography_words = h.raw_words();
         let exec = device.run_frame(job).unwrap();
@@ -484,7 +503,11 @@ mod tests {
         let config = small_config();
         let mut device = EventorDevice::new(config);
         for i in 0..5 {
-            let kind = if i == 0 { FrameKind::Key } else { FrameKind::Normal };
+            let kind = if i == 0 {
+                FrameKind::Key
+            } else {
+                FrameKind::Normal
+            };
             device.run_frame(identity_job(64, 10, kind)).unwrap();
         }
         let stats = device.stats();

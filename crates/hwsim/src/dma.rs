@@ -39,7 +39,11 @@ pub struct DmaDescriptor {
 impl DmaDescriptor {
     /// Creates a descriptor.
     pub fn new(source_address: u64, length_bytes: usize, target: DmaTarget) -> Self {
-        Self { source_address, length_bytes, target }
+        Self {
+            source_address,
+            length_bytes,
+            target,
+        }
     }
 }
 
@@ -155,7 +159,10 @@ mod tests {
         // analytic model folds into its single setup constant, so allow a
         // modest margin.
         let ratio = cycles as f64 / analytic as f64;
-        assert!(ratio > 0.8 && ratio < 2.0, "functional {cycles} vs analytic {analytic}");
+        assert!(
+            ratio > 0.8 && ratio < 2.0,
+            "functional {cycles} vs analytic {analytic}"
+        );
     }
 
     #[test]

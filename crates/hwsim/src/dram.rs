@@ -72,13 +72,26 @@ impl DsiDram {
     /// Panics if any dimension is zero (the hardware cannot address an empty
     /// volume).
     pub fn new(width: usize, height: usize, planes: usize) -> Self {
-        assert!(width > 0 && height > 0 && planes > 0, "DSI dimensions must be positive");
-        Self { width, height, planes, scores: vec![0; width * height * planes], stats: DramStats::default() }
+        assert!(
+            width > 0 && height > 0 && planes > 0,
+            "DSI dimensions must be positive"
+        );
+        Self {
+            width,
+            height,
+            planes,
+            scores: vec![0; width * height * planes],
+            stats: DramStats::default(),
+        }
     }
 
     /// Allocates the DSI region described by an accelerator configuration.
     pub fn for_config(config: &AcceleratorConfig) -> Self {
-        Self::new(config.sensor_width, config.sensor_height, config.num_depth_planes)
+        Self::new(
+            config.sensor_width,
+            config.sensor_height,
+            config.num_depth_planes,
+        )
     }
 
     /// Volume width in voxels.

@@ -48,7 +48,11 @@ impl Default for PowerModel {
 impl PowerModel {
     /// Total accelerator power for a configuration and its resource usage,
     /// in watts.
-    pub fn accelerator_power_w(&self, config: &AcceleratorConfig, resources: &ResourceReport) -> f64 {
+    pub fn accelerator_power_w(
+        &self,
+        config: &AcceleratorConfig,
+        resources: &ResourceReport,
+    ) -> f64 {
         let clock_scale = config.fabric_clock.frequency_hz / 100.0e6;
         let pl_dynamic = clock_scale
             * (self.w_per_lut_100mhz * resources.total_luts() as f64

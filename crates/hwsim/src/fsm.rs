@@ -238,7 +238,13 @@ impl PipelineSimulator {
     pub fn simulate_periodic(&self, n: usize, keyframe_interval: usize) -> PipelineTrace {
         let interval = keyframe_interval.max(1);
         let kinds: Vec<FrameKind> = (0..n)
-            .map(|i| if i % interval == 0 { FrameKind::Key } else { FrameKind::Normal })
+            .map(|i| {
+                if i % interval == 0 {
+                    FrameKind::Key
+                } else {
+                    FrameKind::Normal
+                }
+            })
             .collect();
         self.simulate(&kinds)
     }
@@ -313,9 +319,24 @@ mod tests {
         let config = AcceleratorConfig::default();
         let sim = PipelineSimulator::new(config.clone());
         let trace = sim.simulate_periodic(40, 10);
-        assert_eq!(trace.frames.iter().filter(|f| f.kind == FrameKind::Key).count(), 4);
-        assert!(trace.proportional_utilization() > 0.9, "{}", trace.proportional_utilization());
-        assert!(trace.canonical_utilization() < 0.1, "{}", trace.canonical_utilization());
+        assert_eq!(
+            trace
+                .frames
+                .iter()
+                .filter(|f| f.kind == FrameKind::Key)
+                .count(),
+            4
+        );
+        assert!(
+            trace.proportional_utilization() > 0.9,
+            "{}",
+            trace.proportional_utilization()
+        );
+        assert!(
+            trace.canonical_utilization() < 0.1,
+            "{}",
+            trace.canonical_utilization()
+        );
         let rate = trace.event_rate(&config);
         assert!(rate > 1.5e6 && rate < 2.0e6, "event rate {rate}");
         assert!(trace.mean_frame_cycles() > 0.0);

@@ -16,7 +16,9 @@
 //! The per-component costs and memory-efficiency factors are calibrated
 //! against the paper's published prototype figures; scaling experiments
 //! (more PEs, different plane counts, no double buffering) extrapolate from
-//! that calibration. See `DESIGN.md` for the substitution rationale.
+//! that calibration. See `docs/ARCHITECTURE.md` (section 4) for the
+//! golden-model-versus-device co-simulation lifecycle this crate's
+//! functional datapath participates in.
 //!
 //! ## Example
 //!
@@ -56,9 +58,7 @@ pub use device::{DeviceStats, EventorDevice, FrameExecution, FrameJob};
 pub use dma::{DmaDescriptor, DmaEngine, DmaStats, DmaTarget};
 pub use dram::{DramStats, DsiDram, VoxelAddress};
 pub use energy::{EnergyComparison, PowerModel, INTEL_I5_POWER_W};
-pub use fsm::{
-    CanonicalState, FrameTrace, PipelineSimulator, PipelineTrace, ProportionalState,
-};
+pub use fsm::{CanonicalState, FrameTrace, PipelineSimulator, PipelineTrace, ProportionalState};
 pub use memory::{Bram, BufferInventory, DmaModel, DoubleBuffer, DramDsiModel};
 pub use pe::{proportional_module_cycles, PeZ0, PeZiArray, VoteExecuteUnit};
 pub use registers::{ctrl, status, Register, RegisterFile, REGISTER_COUNT};

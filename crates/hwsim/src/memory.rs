@@ -14,7 +14,11 @@ pub struct Bram {
 impl Bram {
     /// Creates a buffer of the given capacity.
     pub fn new(name: impl Into<String>, capacity_bytes: usize) -> Self {
-        Self { name: name.into(), capacity_bytes, used_bytes: 0 }
+        Self {
+            name: name.into(),
+            capacity_bytes,
+            used_bytes: 0,
+        }
     }
 
     /// The buffer's name (e.g. `Buf_E`).
@@ -192,7 +196,11 @@ impl BufferInventory {
     /// Total BRAM bytes used by all buffers.
     pub fn total_bram_bytes(&self) -> usize {
         self.buf_e.total_bytes()
-            + self.buf_i.iter().map(DoubleBuffer::total_bytes).sum::<usize>()
+            + self
+                .buf_i
+                .iter()
+                .map(DoubleBuffer::total_bytes)
+                .sum::<usize>()
             + self.buf_p.total_bytes()
             + self.buf_v.total_bytes()
     }
@@ -245,7 +253,10 @@ mod tests {
     #[test]
     fn vote_cycles_scale_inversely_with_efficiency() {
         let fast = AcceleratorConfig::default();
-        let slow = AcceleratorConfig { dram_efficiency: fast.dram_efficiency / 2.0, ..fast.clone() };
+        let slow = AcceleratorConfig {
+            dram_efficiency: fast.dram_efficiency / 2.0,
+            ..fast.clone()
+        };
         let c_fast = DramDsiModel::vote_cycles(&fast);
         let c_slow = DramDsiModel::vote_cycles(&slow);
         assert!(c_slow > c_fast);

@@ -99,7 +99,10 @@ mod tests {
     fn single_pe_zi_makes_address_generation_dominate() {
         let one = AcceleratorConfig::default().with_pe_zi(1);
         assert!(PeZiArray::frame_cycles(&one) > VoteExecuteUnit::frame_cycles(&one));
-        assert_eq!(proportional_module_cycles(&one), PeZiArray::frame_cycles(&one));
+        assert_eq!(
+            proportional_module_cycles(&one),
+            PeZiArray::frame_cycles(&one)
+        );
     }
 
     #[test]

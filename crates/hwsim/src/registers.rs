@@ -88,7 +88,11 @@ impl Default for RegisterFile {
 impl RegisterFile {
     /// Creates a register file in its reset state (`Buf_E`/`Buf_I` ready).
     pub fn new() -> Self {
-        let mut rf = Self { words: [0; REGISTER_COUNT], writes: 0, reads: 0 };
+        let mut rf = Self {
+            words: [0; REGISTER_COUNT],
+            writes: 0,
+            reads: 0,
+        };
         rf.words[Register::Status as usize] = status::BUF_E_READY | status::BUF_I_READY;
         rf
     }
@@ -151,8 +155,16 @@ impl RegisterFile {
 
 impl fmt::Display for RegisterFile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "CTRL   = {:#010x}", self.words[Register::Control as usize])?;
-        writeln!(f, "STATUS = {:#010x}", self.words[Register::Status as usize])?;
+        writeln!(
+            f,
+            "CTRL   = {:#010x}",
+            self.words[Register::Control as usize]
+        )?;
+        writeln!(
+            f,
+            "STATUS = {:#010x}",
+            self.words[Register::Status as usize]
+        )?;
         writeln!(f, "EVENTS = {}", self.words[Register::NumEvents as usize])?;
         writeln!(f, "PLANES = {}", self.words[Register::NumPlanes as usize])?;
         write!(f, "CYCLES = {}", self.cycle_result())

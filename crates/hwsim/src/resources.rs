@@ -179,7 +179,10 @@ pub fn estimate_resources(config: &AcceleratorConfig) -> ResourceReport {
             bram_bytes,
         },
     ];
-    ResourceReport { components, device: XC7Z020 }
+    ResourceReport {
+        components,
+        device: XC7Z020,
+    }
 }
 
 #[cfg(test)]

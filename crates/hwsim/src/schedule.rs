@@ -115,12 +115,28 @@ mod tests {
     fn table3_shape_is_reproduced() {
         let perf = performance(&AcceleratorConfig::default());
         // Paper: 8.24 us / 551.58 us / 551.58 us / 559.82 us, 1.86 / 1.83 Meps.
-        assert!((perf.canonical_us - 8.24).abs() < 0.1, "{}", perf.canonical_us);
-        assert!((perf.proportional_us - 551.58).abs() < 15.0, "{}", perf.proportional_us);
+        assert!(
+            (perf.canonical_us - 8.24).abs() < 0.1,
+            "{}",
+            perf.canonical_us
+        );
+        assert!(
+            (perf.proportional_us - 551.58).abs() < 15.0,
+            "{}",
+            perf.proportional_us
+        );
         assert!((perf.normal_frame_us - perf.proportional_us).abs() < 1e-9);
         assert!((perf.key_frame_us - (perf.normal_frame_us + perf.canonical_us)).abs() < 1e-9);
-        assert!((perf.event_rate_normal / 1e6 - 1.86).abs() < 0.06, "{}", perf.event_rate_normal);
-        assert!((perf.event_rate_key / 1e6 - 1.83).abs() < 0.06, "{}", perf.event_rate_key);
+        assert!(
+            (perf.event_rate_normal / 1e6 - 1.86).abs() < 0.06,
+            "{}",
+            perf.event_rate_normal
+        );
+        assert!(
+            (perf.event_rate_key / 1e6 - 1.83).abs() < 0.06,
+            "{}",
+            perf.event_rate_key
+        );
         assert!(perf.event_rate_normal > perf.event_rate_key);
     }
 
@@ -130,7 +146,10 @@ mod tests {
         let normal = frame_timing(&config, FrameKind::Normal);
         let key = frame_timing(&config, FrameKind::Key);
         assert!(key.total_cycles > normal.total_cycles);
-        assert_eq!(key.total_cycles - normal.total_cycles, normal.canonical_cycles);
+        assert_eq!(
+            key.total_cycles - normal.total_cycles,
+            normal.canonical_cycles
+        );
     }
 
     #[test]

@@ -14,12 +14,16 @@ pub struct ClockDomain {
 impl ClockDomain {
     /// The Eventor programmable-logic clock (130 MHz in the paper).
     pub fn fabric_default() -> Self {
-        Self { frequency_hz: 130.0e6 }
+        Self {
+            frequency_hz: 130.0e6,
+        }
     }
 
     /// The DDR3 memory clock (533 MHz in the paper).
     pub fn ddr_default() -> Self {
-        Self { frequency_hz: 533.0e6 }
+        Self {
+            frequency_hz: 533.0e6,
+        }
     }
 
     /// Creates a clock domain.
@@ -164,7 +168,8 @@ impl AcceleratorConfig {
     /// fabric cycle, limited by DRAM read-modify-write bandwidth across the
     /// available AXI-HP ports.
     pub fn votes_per_cycle(&self) -> f64 {
-        let effective_bw = self.dram_peak_bandwidth() * self.dram_efficiency
+        let effective_bw = self.dram_peak_bandwidth()
+            * self.dram_efficiency
             * (self.axi_hp_ports as f64 / 2.0).min(1.0);
         let votes_per_second = effective_bw / self.bytes_per_vote as f64;
         votes_per_second / self.fabric_clock.frequency_hz
@@ -221,10 +226,16 @@ mod tests {
         let vpc = c.votes_per_cycle();
         assert!(vpc > 0.5 && vpc < 4.0, "votes per cycle {vpc}");
         // Halving the DRAM efficiency halves the throughput.
-        let slow = AcceleratorConfig { dram_efficiency: c.dram_efficiency / 2.0, ..c.clone() };
+        let slow = AcceleratorConfig {
+            dram_efficiency: c.dram_efficiency / 2.0,
+            ..c.clone()
+        };
         assert!((slow.votes_per_cycle() - vpc / 2.0).abs() < 1e-9);
         // A single AXI port halves it as well.
-        let one_port = AcceleratorConfig { axi_hp_ports: 1, ..c };
+        let one_port = AcceleratorConfig {
+            axi_hp_ports: 1,
+            ..c
+        };
         assert!((one_port.votes_per_cycle() - vpc / 2.0).abs() < 1e-9);
     }
 }

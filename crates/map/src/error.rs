@@ -26,7 +26,10 @@ impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidResolution { resolution } => {
-                write!(f, "voxel-grid resolution must be positive, got {resolution}")
+                write!(
+                    f,
+                    "voxel-grid resolution must be positive, got {resolution}"
+                )
             }
             Self::DimensionMismatch { expected, actual } => write!(
                 f,
@@ -48,7 +51,10 @@ mod tests {
     fn error_messages_are_informative() {
         let errors = [
             MapError::InvalidResolution { resolution: 0.0 },
-            MapError::DimensionMismatch { expected: (240, 180), actual: (80, 60) },
+            MapError::DimensionMismatch {
+                expected: (240, 180),
+                actual: (80, 60),
+            },
             MapError::EmptyMap,
         ];
         for e in errors {

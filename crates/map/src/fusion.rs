@@ -26,7 +26,11 @@ pub struct FusionConfig {
 
 impl Default for FusionConfig {
     fn default() -> Self {
-        Self { agreement_threshold: 0.1, min_observations: 2, require_consensus: false }
+        Self {
+            agreement_threshold: 0.1,
+            min_observations: 2,
+            require_consensus: false,
+        }
     }
 }
 
@@ -95,7 +99,10 @@ impl DepthFusion {
     /// Returns [`MapError::DimensionMismatch`] when either dimension is zero.
     pub fn new(width: usize, height: usize, config: FusionConfig) -> Result<Self, MapError> {
         if width == 0 || height == 0 {
-            return Err(MapError::DimensionMismatch { expected: (1, 1), actual: (width, height) });
+            return Err(MapError::DimensionMismatch {
+                expected: (1, 1),
+                actual: (width, height),
+            });
         }
         Ok(Self {
             width,
@@ -160,7 +167,10 @@ impl DepthFusion {
 
     /// Number of pixels that currently hold a fused depth.
     pub fn fused_pixel_count(&self) -> usize {
-        self.pixels.iter().filter(|p| p.fused_depth().is_some()).count()
+        self.pixels
+            .iter()
+            .filter(|p| p.fused_depth().is_some())
+            .count()
     }
 
     /// Total observations rejected by the agreement gate.
@@ -181,13 +191,16 @@ impl DepthFusion {
         if self.maps_fused == 0 {
             return Err(MapError::EmptyMap);
         }
-        let mut out = DepthMap::new(self.width, self.height)
-            .expect("dimensions validated at construction");
+        let mut out =
+            DepthMap::new(self.width, self.height).expect("dimensions validated at construction");
         for y in 0..self.height {
             for x in 0..self.width {
                 let pixel = &self.pixels[y * self.width + x];
-                let Some(depth) = pixel.fused_depth() else { continue };
-                if self.config.require_consensus && pixel.observations < self.config.min_observations
+                let Some(depth) = pixel.fused_depth() else {
+                    continue;
+                };
+                if self.config.require_consensus
+                    && pixel.observations < self.config.min_observations
                 {
                     continue;
                 }
@@ -220,7 +233,10 @@ mod tests {
     fn dimension_mismatch_is_rejected() {
         let mut fusion = DepthFusion::new(4, 4, FusionConfig::default()).unwrap();
         let wrong = DepthMap::new(8, 8).unwrap();
-        assert!(matches!(fusion.fuse(&wrong), Err(MapError::DimensionMismatch { .. })));
+        assert!(matches!(
+            fusion.fuse(&wrong),
+            Err(MapError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -257,19 +273,35 @@ mod tests {
 
     #[test]
     fn higher_confidence_pulls_the_fusion_harder() {
-        let mut fusion = DepthFusion::new(4, 4, FusionConfig { agreement_threshold: 1.0, ..Default::default() })
-            .unwrap();
+        let mut fusion = DepthFusion::new(
+            4,
+            4,
+            FusionConfig {
+                agreement_threshold: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         fusion.fuse(&map_with(4, 4, &[(0, 0, 2.0, 1.0)])).unwrap();
         fusion.fuse(&map_with(4, 4, &[(0, 0, 3.0, 9.0)])).unwrap();
         let d = fusion.finalize().unwrap().depth(0, 0);
-        assert!((d - 2.0).abs() > (d - 3.0).abs(), "fused depth {d} should sit nearer 3.0");
+        assert!(
+            (d - 2.0).abs() > (d - 3.0).abs(),
+            "fused depth {d} should sit nearer 3.0"
+        );
     }
 
     #[test]
     fn consensus_requirement_drops_single_observations() {
-        let config = FusionConfig { require_consensus: true, min_observations: 2, ..Default::default() };
+        let config = FusionConfig {
+            require_consensus: true,
+            min_observations: 2,
+            ..Default::default()
+        };
         let mut fusion = DepthFusion::new(4, 4, config).unwrap();
-        fusion.fuse(&map_with(4, 4, &[(0, 0, 2.0, 1.0), (1, 0, 3.0, 1.0)])).unwrap();
+        fusion
+            .fuse(&map_with(4, 4, &[(0, 0, 2.0, 1.0), (1, 0, 3.0, 1.0)]))
+            .unwrap();
         fusion.fuse(&map_with(4, 4, &[(0, 0, 2.0, 1.0)])).unwrap();
         let fused = fusion.finalize().unwrap();
         assert!(fused.is_valid(0, 0), "pixel seen twice survives");

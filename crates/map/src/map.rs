@@ -19,7 +19,10 @@ pub struct GlobalMapConfig {
 
 impl Default for GlobalMapConfig {
     fn default() -> Self {
-        Self { voxel_resolution: 0.02, min_voxel_support: 1 }
+        Self {
+            voxel_resolution: 0.02,
+            min_voxel_support: 1,
+        }
     }
 }
 
@@ -85,7 +88,11 @@ impl GlobalMap {
     /// Returns [`MapError::InvalidResolution`] when the configured voxel
     /// resolution is not strictly positive.
     pub fn new(config: GlobalMapConfig) -> Result<Self, MapError> {
-        Ok(Self { grid: VoxelGrid::new(config.voxel_resolution)?, config, keyframes: Vec::new() })
+        Ok(Self {
+            grid: VoxelGrid::new(config.voxel_resolution)?,
+            config,
+            keyframes: Vec::new(),
+        })
     }
 
     /// The map configuration.
@@ -211,7 +218,10 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let config = GlobalMapConfig { voxel_resolution: 0.0, ..Default::default() };
+        let config = GlobalMapConfig {
+            voxel_resolution: 0.0,
+            ..Default::default()
+        };
         assert!(GlobalMap::new(config).is_err());
     }
 
@@ -237,27 +247,45 @@ mod tests {
 
     #[test]
     fn overlapping_keyframes_do_not_duplicate_structure() {
-        let mut map = GlobalMap::new(GlobalMapConfig { voxel_resolution: 0.05, min_voxel_support: 1 })
-            .unwrap();
+        let mut map = GlobalMap::new(GlobalMapConfig {
+            voxel_resolution: 0.05,
+            min_voxel_support: 1,
+        })
+        .unwrap();
         let intrinsics = CameraIntrinsics::davis240_default();
         let pose = Pose::identity();
         map.insert_depth_map(&sample_depth_map(), &intrinsics, &pose);
         let after_one = map.point_cloud().len();
         map.insert_depth_map(&sample_depth_map(), &intrinsics, &pose);
         let after_two = map.point_cloud().len();
-        assert_eq!(after_one, after_two, "identical keyframes must collapse in the voxel grid");
+        assert_eq!(
+            after_one, after_two,
+            "identical keyframes must collapse in the voxel grid"
+        );
         assert_eq!(map.statistics().raw_points, 80);
     }
 
     #[test]
     fn voxel_support_pruning_removes_spurious_points() {
-        let config = GlobalMapConfig { voxel_resolution: 0.05, min_voxel_support: 2 };
+        let config = GlobalMapConfig {
+            voxel_resolution: 0.05,
+            min_voxel_support: 2,
+        };
         let mut map = GlobalMap::new(config).unwrap();
         let mut cloud = PointCloud::new();
         // Two points in one voxel, one isolated point elsewhere.
-        cloud.push(MapPoint { position: Vec3::new(0.0, 0.0, 1.0), confidence: 1.0 });
-        cloud.push(MapPoint { position: Vec3::new(0.01, 0.0, 1.0), confidence: 1.0 });
-        cloud.push(MapPoint { position: Vec3::new(5.0, 5.0, 5.0), confidence: 1.0 });
+        cloud.push(MapPoint {
+            position: Vec3::new(0.0, 0.0, 1.0),
+            confidence: 1.0,
+        });
+        cloud.push(MapPoint {
+            position: Vec3::new(0.01, 0.0, 1.0),
+            confidence: 1.0,
+        });
+        cloud.push(MapPoint {
+            position: Vec3::new(5.0, 5.0, 5.0),
+            confidence: 1.0,
+        });
         map.insert_cloud(&cloud, &Pose::identity());
         assert_eq!(map.point_cloud().len(), 1);
         assert!(map.is_occupied(Vec3::new(0.0, 0.0, 1.0)));

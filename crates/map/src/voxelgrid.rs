@@ -92,7 +92,11 @@ impl VoxelGrid {
         if resolution <= 0.0 || !resolution.is_finite() {
             return Err(MapError::InvalidResolution { resolution });
         }
-        Ok(Self { resolution, voxels: HashMap::new(), points_inserted: 0 })
+        Ok(Self {
+            resolution,
+            voxels: HashMap::new(),
+            points_inserted: 0,
+        })
     }
 
     /// The voxel edge length in metres.
@@ -120,7 +124,7 @@ impl VoxelGrid {
         let key = VoxelKey::from_position(point.position, self.resolution);
         let weight = point.confidence.max(1e-9);
         let acc = self.voxels.entry(key).or_default();
-        acc.weighted_sum = acc.weighted_sum + point.position * weight;
+        acc.weighted_sum += point.position * weight;
         acc.weight += weight;
         acc.count += 1;
         acc.max_confidence = acc.max_confidence.max(point.confidence);
@@ -136,7 +140,8 @@ impl VoxelGrid {
 
     /// Whether the voxel containing `position` is occupied.
     pub fn is_occupied(&self, position: Vec3) -> bool {
-        self.voxels.contains_key(&VoxelKey::from_position(position, self.resolution))
+        self.voxels
+            .contains_key(&VoxelKey::from_position(position, self.resolution))
     }
 
     /// Number of raw points accumulated in the voxel containing `position`.
@@ -192,7 +197,10 @@ mod tests {
     use super::*;
 
     fn point(x: f64, y: f64, z: f64, c: f64) -> MapPoint {
-        MapPoint { position: Vec3::new(x, y, z), confidence: c }
+        MapPoint {
+            position: Vec3::new(x, y, z),
+            confidence: c,
+        }
     }
 
     #[test]

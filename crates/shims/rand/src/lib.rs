@@ -1,0 +1,221 @@
+//! In-tree shim for the `rand` crate used by hermetic builds of this
+//! workspace (no registry access). Implements the subset of the `rand` 0.8
+//! API the workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and [`Rng`] with `gen`, `gen_bool` and `gen_range`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — high-quality,
+//! fast and fully reproducible for a fixed seed, but the sequences are *not*
+//! numerically identical to upstream `rand`'s `StdRng` (ChaCha12). Every
+//! consumer in this repository only relies on seed-reproducibility.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (subset: [`SeedableRng::seed_from_u64`]).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from their "natural" domain by
+/// [`Rng::gen`] (`[0, 1)` for floats, the full domain for integers/bool).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Modulo bias is < 2^-32 for all spans used in this repo.
+                (self.start as u64).wrapping_add(rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i16, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f32::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its natural domain.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::sample(self) < p
+    }
+
+    /// Draws uniformly from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators (subset: [`rngs::StdRng`]).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn fixed_seed_reproduces() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u16..9);
+            assert!((3..9).contains(&v));
+            let f = rng.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_is_sane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "got {hits}");
+    }
+}

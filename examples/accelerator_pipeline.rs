@@ -17,7 +17,8 @@ use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // A reconstruction workload: the synthetic 3-walls sequence.
-    let sequence = SyntheticSequence::generate(SequenceKind::ThreeWalls, &DatasetConfig::fast_test())?;
+    let sequence =
+        SyntheticSequence::generate(SequenceKind::ThreeWalls, &DatasetConfig::fast_test())?;
     let config = config_for_sequence(&sequence, 100);
     let mapper = EmvsMapper::new(sequence.camera, config.clone())?;
     let output = mapper.reconstruct(&sequence.events, &sequence.trajectory)?;
@@ -35,20 +36,40 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_depth_planes(config.num_depth_planes);
     let run = AcceleratorRun::evaluate_from_profile(&accel_config, cpu_profile);
     println!("\nEventor prototype (1x PE_Z0, 2x PE_Zi, double buffering):");
-    println!("  resources          : {} LUT, {} FF, {:.0} KB BRAM",
+    println!(
+        "  resources          : {} LUT, {} FF, {:.0} KB BRAM",
         run.resources.total_luts(),
         run.resources.total_flip_flops(),
-        run.resources.total_bram_bytes() as f64 / 1024.0);
-    println!("  P(Z0) per frame    : {:.2} us", run.performance.canonical_us);
-    println!("  P(Z0;Zi)+R per frame: {:.2} us", run.performance.proportional_us);
-    println!("  event rate         : {:.2} Mevents/s", run.performance.event_rate_normal / 1e6);
-    println!("  power              : {:.2} W (CPU: {:.0} W)", run.power_w, INTEL_I5_POWER_W);
+        run.resources.total_bram_bytes() as f64 / 1024.0
+    );
+    println!(
+        "  P(Z0) per frame    : {:.2} us",
+        run.performance.canonical_us
+    );
+    println!(
+        "  P(Z0;Zi)+R per frame: {:.2} us",
+        run.performance.proportional_us
+    );
+    println!(
+        "  event rate         : {:.2} Mevents/s",
+        run.performance.event_rate_normal / 1e6
+    );
+    println!(
+        "  power              : {:.2} W (CPU: {:.0} W)",
+        run.power_w, INTEL_I5_POWER_W
+    );
     let energy = run.energy_versus_cpu(cpu_profile);
-    println!("  energy efficiency  : {:.1}x better than the CPU baseline", energy.efficiency_gain());
+    println!(
+        "  energy efficiency  : {:.1}x better than the CPU baseline",
+        energy.efficiency_gain()
+    );
 
     // Design-space sweep: how does the PE_Zi count trade throughput for area?
     println!("\nPE_Zi sweep:");
-    println!("{:>6} {:>12} {:>14} {:>10} {:>10}", "PE_Zi", "LUT", "frame (us)", "Mev/s", "power W");
+    println!(
+        "{:>6} {:>12} {:>14} {:>10} {:>10}",
+        "PE_Zi", "LUT", "frame (us)", "Mev/s", "power W"
+    );
     for n_pe in [1usize, 2, 4, 8] {
         let cfg = accel_config.clone().with_pe_zi(n_pe);
         let sweep = AcceleratorRun::evaluate_from_profile(&cfg, cpu_profile);

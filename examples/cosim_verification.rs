@@ -28,8 +28,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // 2. Software reference: the quantized, nearest-voting Eventor pipeline.
-    let software =
-        EventorPipeline::new(sequence.camera, config.clone(), EventorOptions::accelerator())?;
+    let software = EventorPipeline::new(
+        sequence.camera,
+        config.clone(),
+        EventorOptions::accelerator(),
+    )?;
     let sw = software.reconstruct(&sequence.events, &sequence.trajectory)?;
 
     // 3. Device co-simulation: the same dataflow driven through the
@@ -51,18 +54,40 @@ fn main() -> Result<(), Box<dyn Error>> {
             if depth_equal { "IDENTICAL" } else { "DIVERGED" }
         );
     }
-    println!("overall: {}", if identical { "bit-exact agreement" } else { "MISMATCH" });
+    println!(
+        "overall: {}",
+        if identical {
+            "bit-exact agreement"
+        } else {
+            "MISMATCH"
+        }
+    );
 
     // 5. What the device measured while doing it.
     let report = cosim.report();
     let device = cosim.device();
     println!("\n--- accelerator activity (device model) ---");
-    println!("frames executed        : {} ({} key)", report.frames, report.key_frames);
-    println!("events in / dropped    : {} / {}", report.events_in, report.events_dropped);
+    println!(
+        "frames executed        : {} ({} key)",
+        report.frames, report.key_frames
+    );
+    println!(
+        "events in / dropped    : {} / {}",
+        report.events_in, report.events_dropped
+    );
     println!("votes applied          : {}", report.votes_applied);
-    println!("mean normal frame      : {:.2} us", report.mean_normal_frame_us);
-    println!("mean key frame         : {:.2} us", report.mean_key_frame_us);
-    println!("accelerator busy time  : {:.3} ms", report.accelerator_seconds * 1e3);
+    println!(
+        "mean normal frame      : {:.2} us",
+        report.mean_normal_frame_us
+    );
+    println!(
+        "mean key frame         : {:.2} us",
+        report.mean_key_frame_us
+    );
+    println!(
+        "accelerator busy time  : {:.3} ms",
+        report.accelerator_seconds * 1e3
+    );
     println!(
         "event rate             : {:.2} Mev/s",
         report.events_in as f64 / report.accelerator_seconds / 1e6
@@ -73,7 +98,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         dram.vote_rmw_ops,
         dram.score_bytes() as f64 / 1e6
     );
-    println!("host register accesses : {}", device.registers().host_accesses());
+    println!(
+        "host register accesses : {}",
+        device.registers().host_accesses()
+    );
     println!(
         "activity-based energy  : {:.3} mJ total, {:.0} nJ/event, {:.2} W average",
         report.energy.total_j() * 1e3,

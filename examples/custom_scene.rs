@@ -11,9 +11,7 @@
 
 use eventor::core::{EventorOptions, EventorPipeline};
 use eventor::emvs::EmvsConfig;
-use eventor::events::{
-    EventCameraSimulator, PlanarPatch, Scene, SimulatorConfig, Texture,
-};
+use eventor::events::{EventCameraSimulator, PlanarPatch, Scene, SimulatorConfig, Texture};
 use eventor::geom::{
     CameraIntrinsics, CameraModel, DistortionModel, Pose, Trajectory, UnitQuaternion, Vec3,
 };
@@ -34,24 +32,43 @@ fn main() -> Result<(), Box<dyn Error>> {
         Vec3::Y,
         0.8,
         0.6,
-        Texture::Blobs { spacing: 0.18, radius_fraction: 0.4, seed: 2024 },
+        Texture::Blobs {
+            spacing: 0.18,
+            radius_fraction: 0.4,
+            seed: 2024,
+        },
     ));
     scene.add_patch(PlanarPatch::frontoparallel(
         Vec3::new(0.3, 0.1, 2.8),
         3.0,
         2.4,
-        Texture::MultiScaleSine { base_frequency: 2.0, octaves: 4, phase: 0.2 },
+        Texture::MultiScaleSine {
+            base_frequency: 2.0,
+            octaves: 4,
+            phase: 0.2,
+        },
     ));
 
     // 3. A custom trajectory: a sideways sweep with a slight yaw.
-    let start = Pose::new(UnitQuaternion::from_euler(0.0, 0.0, 0.03), Vec3::new(-0.35, 0.0, 0.0));
-    let end = Pose::new(UnitQuaternion::from_euler(0.0, 0.0, -0.03), Vec3::new(0.35, 0.05, 0.0));
+    let start = Pose::new(
+        UnitQuaternion::from_euler(0.0, 0.0, 0.03),
+        Vec3::new(-0.35, 0.0, 0.0),
+    );
+    let end = Pose::new(
+        UnitQuaternion::from_euler(0.0, 0.0, -0.03),
+        Vec3::new(0.35, 0.05, 0.0),
+    );
     let trajectory = Trajectory::linear(start, end, 0.0, 1.5, 80);
 
     // 4. Simulate the event camera.
     let simulator = EventCameraSimulator::new(
         camera,
-        SimulatorConfig { samples: 120, contrast_threshold: 0.15, noise_rate: 0.02, ..Default::default() },
+        SimulatorConfig {
+            samples: 120,
+            contrast_threshold: 0.15,
+            noise_rate: 0.02,
+            ..Default::default()
+        },
     );
     let (events, stats) = simulator.simulate(&scene, &trajectory)?;
     println!(

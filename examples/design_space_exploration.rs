@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     println!("\n--- double buffering ablation ---");
-    for (label, enabled) in [("with double buffering", true), ("without double buffering", false)] {
+    for (label, enabled) in [
+        ("with double buffering", true),
+        ("without double buffering", false),
+    ] {
         let config = AcceleratorConfig::default().with_double_buffering(enabled);
         let perf = performance(&config);
         println!(
@@ -59,7 +62,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             100.0 * trace.proportional_utilization(),
             100.0 * (1.0 - trace.canonical_utilization())
         );
-        let key_frames = trace.frames.iter().filter(|f| f.kind == FrameKind::Key).count();
+        let key_frames = trace
+            .frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::Key)
+            .count();
         assert_eq!(key_frames, 4);
     }
 

@@ -23,10 +23,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Tighten the key-frame spacing so the trajectory yields several key
     // reference views to merge (the default spacing targets larger scenes).
     let keyframe_distance = (sequence.trajectory.path_length() / 4.0).max(1e-3);
-    let config =
-        config_for_sequence(&sequence, 80).with_keyframe_distance(keyframe_distance);
-    let pipeline =
-        EventorPipeline::new(sequence.camera, config, EventorOptions::accelerator())?;
+    let config = config_for_sequence(&sequence, 80).with_keyframe_distance(keyframe_distance);
+    let pipeline = EventorPipeline::new(sequence.camera, config, EventorOptions::accelerator())?;
     let output = pipeline.reconstruct(&sequence.events, &sequence.trajectory)?;
     println!(
         "reconstructed `{}`: {} key frames, {} raw map points",
@@ -37,10 +35,16 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 2. Merge every key frame into the voxel-grid global map (the EMVS
     //    map-updating stage, with deduplication and support-based pruning).
-    let mut map = GlobalMap::new(GlobalMapConfig { voxel_resolution: 0.02, min_voxel_support: 1 })?;
+    let mut map = GlobalMap::new(GlobalMapConfig {
+        voxel_resolution: 0.02,
+        min_voxel_support: 1,
+    })?;
     for (i, kf) in output.keyframes.iter().enumerate() {
-        let contributed =
-            map.insert_depth_map(&kf.depth_map, &sequence.camera.intrinsics, &kf.reference_pose);
+        let contributed = map.insert_depth_map(
+            &kf.depth_map,
+            &sequence.camera.intrinsics,
+            &kf.reference_pose,
+        );
         println!(
             "  keyframe {i}: {} semi-dense pixels -> {} points (mean depth {:.2} m)",
             kf.depth_map.valid_count(),
@@ -52,7 +56,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\n--- global map ---");
     println!("key frames       : {}", stats.keyframes);
     println!("raw points       : {}", stats.raw_points);
-    println!("map points       : {} ({} voxels occupied)", stats.map_points, stats.occupied_voxels);
+    println!(
+        "map points       : {} ({} voxels occupied)",
+        stats.map_points, stats.occupied_voxels
+    );
     println!("mean confidence  : {:.1}", stats.mean_confidence);
     println!(
         "extent           : {:.2} x {:.2} x {:.2} m",
@@ -69,7 +76,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let fused = fusion.finalize()?;
     println!("\n--- depth-map fusion ---");
     println!("maps fused       : {}", fusion.maps_fused());
-    println!("coverage         : {} -> {} valid pixels", first.valid_count(), fused.valid_count());
+    println!(
+        "coverage         : {} -> {} valid pixels",
+        first.valid_count(),
+        fused.valid_count()
+    );
     println!("rejected outliers: {}", fusion.rejected_observations());
 
     // 4. Export the deduplicated global map for external viewers.

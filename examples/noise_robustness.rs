@@ -41,8 +41,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         let base_out = baseline.reconstruct(&events, &sequence.trajectory)?;
         let base_abs_rel = abs_rel(&sequence, &base_out)?;
 
-        let eventor =
-            EventorPipeline::new(sequence.camera, config.clone(), EventorOptions::accelerator())?;
+        let eventor = EventorPipeline::new(
+            sequence.camera,
+            config.clone(),
+            EventorOptions::accelerator(),
+        )?;
         let ev_out = eventor.reconstruct(&events, &sequence.trajectory)?;
         let ev_abs_rel = abs_rel(&sequence, &ev_out)?;
 
@@ -71,5 +74,8 @@ fn abs_rel(
 ) -> Result<f64, Box<dyn Error>> {
     let primary = output.primary().ok_or("no key frame")?;
     let gt = sequence.ground_truth_depth_at(&primary.reference_pose);
-    Ok(primary.depth_map.compare_to_ground_truth(gt.as_slice())?.abs_rel)
+    Ok(primary
+        .depth_map
+        .compare_to_ground_truth(gt.as_slice())?
+        .abs_rel)
 }

@@ -18,7 +18,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    (a textured target observed from a linear slider). `fast_test`
     //    keeps the example quick; use `DatasetConfig::paper_scale()` for the
     //    full 240x180 resolution.
-    let sequence = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
+    let sequence =
+        SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
     println!(
         "sequence `{}`: {} events over {:.2} s ({:.2} Mev/s)",
         sequence.name(),
@@ -40,7 +41,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let eventor_output = eventor.reconstruct(&sequence.events, &sequence.trajectory)?;
 
     // 5. Compare both against the rendered ground truth.
-    for (name, output) in [("baseline EMVS", &baseline_output), ("Eventor", &eventor_output)] {
+    for (name, output) in [
+        ("baseline EMVS", &baseline_output),
+        ("Eventor", &eventor_output),
+    ] {
         let primary = output.keyframes.first().expect("at least one key frame");
         let gt = sequence.ground_truth_depth_at(&primary.reference_pose);
         let metrics = primary.depth_map.compare_to_ground_truth(gt.as_slice())?;

@@ -16,7 +16,8 @@ use std::error::Error;
 use std::fs;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let sequence = SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test())?;
+    let sequence =
+        SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test())?;
     println!(
         "generated `{}`: {} events, ground-truth depth {:.2}..{:.2} m",
         sequence.name(),

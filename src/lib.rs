@@ -42,9 +42,15 @@
 //! # }
 //! ```
 //!
-//! See `README.md` for the architecture overview, `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for the paper-versus-measured record of
-//! every table and figure.
+//! All three pipelines (baseline mapper, reformulated pipeline,
+//! co-simulation) accept an [`core::ParallelConfig`] to run the
+//! reconstruction hot path on the parallel sharded voting engine — see
+//! [`core::parallel`] and `docs/ARCHITECTURE.md`.
+//!
+//! See `README.md` for the crate map and the table mapping paper
+//! figures/tables to their reproduction binaries, `docs/ARCHITECTURE.md` for
+//! the dataflow/quantization/co-simulation contracts, and
+//! `docs/BENCHMARKS.md` for the benchmark harness and its JSON schema.
 
 #![warn(missing_docs)]
 

@@ -26,19 +26,34 @@ fn device_matches_software_pipeline_on_every_sequence() {
         let mut cosim = CosimPipeline::new(seq.camera, config, AcceleratorConfig::default())
             .expect("valid config");
 
-        let sw = software.reconstruct(&seq.events, &seq.trajectory).expect("software run");
-        let hw = cosim.reconstruct(&seq.events, &seq.trajectory).expect("cosim run");
+        let sw = software
+            .reconstruct(&seq.events, &seq.trajectory)
+            .expect("software run");
+        let hw = cosim
+            .reconstruct(&seq.events, &seq.trajectory)
+            .expect("cosim run");
 
-        assert_eq!(sw.keyframes.len(), hw.keyframes.len(), "{kind:?}: key-frame count diverged");
+        assert_eq!(
+            sw.keyframes.len(),
+            hw.keyframes.len(),
+            "{kind:?}: key-frame count diverged"
+        );
         for (i, (s, h)) in sw.keyframes.iter().zip(&hw.keyframes).enumerate() {
-            assert_eq!(s.votes_cast, h.votes_cast, "{kind:?} keyframe {i}: vote count diverged");
+            assert_eq!(
+                s.votes_cast, h.votes_cast,
+                "{kind:?} keyframe {i}: vote count diverged"
+            );
             assert_eq!(
                 s.depth_map.depth_data(),
                 h.depth_map.depth_data(),
                 "{kind:?} keyframe {i}: depth maps diverged"
             );
         }
-        assert_eq!(sw.global_map.len(), hw.global_map.len(), "{kind:?}: global map diverged");
+        assert_eq!(
+            sw.global_map.len(),
+            hw.global_map.len(),
+            "{kind:?}: global map diverged"
+        );
     }
 }
 
@@ -53,7 +68,9 @@ fn device_agreement_holds_for_different_pe_counts() {
         let accel = AcceleratorConfig::default().with_pe_zi(n_pe);
         let mut cosim =
             CosimPipeline::new(seq.camera, config.clone(), accel).expect("valid config");
-        let _ = cosim.reconstruct(&seq.events, &seq.trajectory).expect("cosim run");
+        let _ = cosim
+            .reconstruct(&seq.events, &seq.trajectory)
+            .expect("cosim run");
         let scores = cosim.device().dsi().scores().to_vec();
         match &reference {
             None => reference = Some(scores),
@@ -70,11 +87,8 @@ fn cosim_report_matches_paper_scale_accelerator_model() {
     // the energy model).
     let config = AcceleratorConfig::default();
     let mut device = EventorDevice::new(config.clone());
-    let identity = HomographyRegisters::from_matrix(&[
-        [1.0, 0.0, 0.0],
-        [0.0, 1.0, 0.0],
-        [0.0, 0.0, 1.0],
-    ]);
+    let identity =
+        HomographyRegisters::from_matrix(&[[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]);
     let phi = PhiEntry::from_f64(1.0, 0.0, 0.0).raw_words();
     let job = FrameJob {
         event_words: (0..1024)
@@ -90,7 +104,10 @@ fn cosim_report_matches_paper_scale_accelerator_model() {
     let us = exec.total_us(&config);
     assert!((us - 551.58).abs() < 30.0, "normal frame latency {us} us");
     assert!(device.registers().status_is(status::DONE));
-    assert_eq!(device.registers().peek(Register::VotesApplied) as u64, exec.votes_applied);
+    assert_eq!(
+        device.registers().peek(Register::VotesApplied) as u64,
+        exec.votes_applied
+    );
     assert_eq!(exec.votes_applied, 1024 * 100);
 }
 
@@ -98,9 +115,11 @@ fn cosim_report_matches_paper_scale_accelerator_model() {
 fn device_register_protocol_round_trips_through_the_driver() {
     let seq = sequence(SequenceKind::ThreePlanes);
     let config = config_for_sequence(&seq, 30);
-    let mut cosim = CosimPipeline::new(seq.camera, config, AcceleratorConfig::default())
-        .expect("valid config");
-    let out = cosim.reconstruct(&seq.events, &seq.trajectory).expect("cosim run");
+    let mut cosim =
+        CosimPipeline::new(seq.camera, config, AcceleratorConfig::default()).expect("valid config");
+    let out = cosim
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("cosim run");
     let device = cosim.device();
     // After the run the device reports done, not busy, and its lifetime
     // counters agree with the reconstruction output.

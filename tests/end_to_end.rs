@@ -33,7 +33,10 @@ fn baseline_reconstructs_every_sequence() {
             primary.depth_map.valid_count()
         );
         let gt = seq.ground_truth_depth_at(&primary.reference_pose);
-        let metrics = primary.depth_map.compare_to_ground_truth(gt.as_slice()).expect("same size");
+        let metrics = primary
+            .depth_map
+            .compare_to_ground_truth(gt.as_slice())
+            .expect("same size");
         // Absolute accuracy at the reduced test scale is limited by the small
         // focal length and baseline; the slider sequences are geometrically
         // easier than the wide-depth-range simulation scenes.
@@ -57,10 +60,10 @@ fn eventor_pipeline_tracks_baseline_accuracy_on_all_sequences() {
     for kind in SequenceKind::ALL {
         let seq = sequence(kind);
         let config = config_for_sequence(&seq, 60);
-        let original = run_variant(&seq, PipelineVariant::OriginalBilinear, &config)
-            .expect("baseline runs");
-        let reformulated = run_variant(&seq, PipelineVariant::Reformulated, &config)
-            .expect("reformulated runs");
+        let original =
+            run_variant(&seq, PipelineVariant::OriginalBilinear, &config).expect("baseline runs");
+        let reformulated =
+            run_variant(&seq, PipelineVariant::Reformulated, &config).expect("reformulated runs");
         let diff = (reformulated.metrics.abs_rel - original.metrics.abs_rel).abs();
         assert!(
             diff < 0.06,
@@ -172,7 +175,10 @@ fn distorted_camera_pipeline_round_trip() {
     let output = pipeline.reconstruct(&seq.events, &seq.trajectory).unwrap();
     let primary = output.keyframes.first().unwrap();
     let gt = seq.ground_truth_depth_at(&primary.reference_pose);
-    let metrics = primary.depth_map.compare_to_ground_truth(gt.as_slice()).unwrap();
+    let metrics = primary
+        .depth_map
+        .compare_to_ground_truth(gt.as_slice())
+        .unwrap();
     assert!(
         metrics.abs_rel < 0.20,
         "distorted-lens AbsRel {:.3}",

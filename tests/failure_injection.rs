@@ -27,8 +27,14 @@ fn stationary_trajectory_reconstructs_without_panicking() {
     let stationary = Trajectory::linear(Pose::identity(), Pose::identity(), 0.0, 10.0, 8);
     let pipeline =
         EventorPipeline::new(seq.camera, config, EventorOptions::accelerator()).expect("config");
-    let output = pipeline.reconstruct(&seq.events, &stationary).expect("must not fail");
-    assert_eq!(output.keyframes.len(), 1, "no key-frame switch without motion");
+    let output = pipeline
+        .reconstruct(&seq.events, &stationary)
+        .expect("must not fail");
+    assert_eq!(
+        output.keyframes.len(),
+        1,
+        "no key-frame switch without motion"
+    );
 }
 
 #[test]
@@ -46,7 +52,10 @@ fn events_outside_the_trajectory_time_span_are_an_error_not_a_panic() {
     let pipeline =
         EventorPipeline::new(seq.camera, config, EventorOptions::accelerator()).expect("config");
     let result = pipeline.reconstruct(&seq.events, &short);
-    assert!(result.is_err(), "out-of-span pose lookups must surface as an error");
+    assert!(
+        result.is_err(),
+        "out-of-span pose lookups must surface as an error"
+    );
 }
 
 #[test]
@@ -61,11 +70,16 @@ fn empty_and_single_event_streams_are_handled() {
         4,
     );
     let mapper = EmvsMapper::new(cam, config.clone()).expect("config");
-    assert!(matches!(mapper.reconstruct(&EventStream::new(), &trajectory), Err(EmvsError::NoEvents)));
+    assert!(matches!(
+        mapper.reconstruct(&EventStream::new(), &trajectory),
+        Err(EmvsError::NoEvents)
+    ));
 
     // A single event still produces a (nearly empty) reconstruction.
     let one: EventStream = std::iter::once(Event::new(0.5, 120, 90, Polarity::Positive)).collect();
-    let output = mapper.reconstruct(&one, &trajectory).expect("single event is fine");
+    let output = mapper
+        .reconstruct(&one, &trajectory)
+        .expect("single event is fine");
     assert_eq!(output.keyframes.len(), 1);
     assert_eq!(output.profile.events_processed, 1);
 }
@@ -80,11 +94,16 @@ fn heavy_sensor_noise_degrades_accuracy_gracefully() {
     let clean_pipeline =
         EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
             .expect("config");
-    let clean = clean_pipeline.reconstruct(&seq.events, &seq.trajectory).expect("clean run");
+    let clean = clean_pipeline
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("clean run");
     let clean_primary = clean.primary().expect("keyframe");
     let gt = seq.ground_truth_depth_at(&clean_primary.reference_pose);
-    let clean_abs_rel =
-        clean_primary.depth_map.compare_to_ground_truth(gt.as_slice()).expect("metrics").abs_rel;
+    let clean_abs_rel = clean_primary
+        .depth_map
+        .compare_to_ground_truth(gt.as_slice())
+        .expect("metrics")
+        .abs_rel;
 
     for noise in [NoiseConfig::moderate(), NoiseConfig::severe()] {
         let injector = NoiseInjector::new(width, height, noise);
@@ -93,10 +112,15 @@ fn heavy_sensor_noise_degrades_accuracy_gracefully() {
         let pipeline =
             EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
                 .expect("config");
-        let noisy = pipeline.reconstruct(&noisy_events, &seq.trajectory).expect("noisy run");
+        let noisy = pipeline
+            .reconstruct(&noisy_events, &seq.trajectory)
+            .expect("noisy run");
         let primary = noisy.primary().expect("keyframe under noise");
         let gt = seq.ground_truth_depth_at(&primary.reference_pose);
-        let metrics = primary.depth_map.compare_to_ground_truth(gt.as_slice()).expect("metrics");
+        let metrics = primary
+            .depth_map
+            .compare_to_ground_truth(gt.as_slice())
+            .expect("metrics");
         // Noise may cost accuracy but must stay bounded: the ray-density
         // voting washes uncorrelated noise out of the local maxima.
         assert!(
@@ -153,13 +177,16 @@ fn cosim_survives_a_noisy_stream_and_stays_consistent_with_software() {
     let config = config_for_sequence(&seq, 40);
     let width = seq.camera.intrinsics.width as u16;
     let height = seq.camera.intrinsics.height as u16;
-    let (noisy, _) = NoiseInjector::new(width, height, NoiseConfig::moderate()).corrupt(&seq.events);
+    let (noisy, _) =
+        NoiseInjector::new(width, height, NoiseConfig::moderate()).corrupt(&seq.events);
 
     let software = EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
         .expect("config");
     let mut cosim =
         CosimPipeline::new(seq.camera, config, AcceleratorConfig::default()).expect("config");
-    let sw = software.reconstruct(&noisy, &seq.trajectory).expect("software");
+    let sw = software
+        .reconstruct(&noisy, &seq.trajectory)
+        .expect("software");
     let hw = cosim.reconstruct(&noisy, &seq.trajectory).expect("cosim");
     assert_eq!(sw.keyframes.len(), hw.keyframes.len());
     for (s, h) in sw.keyframes.iter().zip(&hw.keyframes) {

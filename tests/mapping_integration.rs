@@ -18,18 +18,24 @@ fn pipeline_keyframes_populate_the_global_map() {
     let config = config_for_sequence(&seq, 50);
     let pipeline =
         EventorPipeline::new(seq.camera, config, EventorOptions::accelerator()).expect("config");
-    let output = pipeline.reconstruct(&seq.events, &seq.trajectory).expect("run");
+    let output = pipeline
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("run");
 
     let mut map = GlobalMap::new(GlobalMapConfig::default()).expect("config");
     let mut raw_points = 0usize;
     for kf in &output.keyframes {
-        raw_points += map.insert_depth_map(&kf.depth_map, &seq.camera.intrinsics, &kf.reference_pose);
+        raw_points +=
+            map.insert_depth_map(&kf.depth_map, &seq.camera.intrinsics, &kf.reference_pose);
     }
     let stats = map.statistics();
     assert_eq!(stats.keyframes, output.keyframes.len());
     assert_eq!(stats.raw_points as usize, raw_points);
     assert!(stats.map_points > 0);
-    assert!(stats.map_points <= raw_points, "voxel grid never grows the cloud");
+    assert!(
+        stats.map_points <= raw_points,
+        "voxel grid never grows the cloud"
+    );
     // The map extent must be commensurate with the scene depth range.
     assert!(stats.extent.z > 0.0 && stats.extent.z < 2.0 * seq.depth_range.1);
 }
@@ -40,10 +46,15 @@ fn voxel_map_is_no_larger_than_naive_concatenation() {
     let config = config_for_sequence(&seq, 50);
     let pipeline =
         EventorPipeline::new(seq.camera, config, EventorOptions::accelerator()).expect("config");
-    let output = pipeline.reconstruct(&seq.events, &seq.trajectory).expect("run");
+    let output = pipeline
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("run");
 
-    let mut map = GlobalMap::new(GlobalMapConfig { voxel_resolution: 0.03, min_voxel_support: 1 })
-        .expect("config");
+    let mut map = GlobalMap::new(GlobalMapConfig {
+        voxel_resolution: 0.03,
+        min_voxel_support: 1,
+    })
+    .expect("config");
     for kf in &output.keyframes {
         map.insert_cloud(&kf.local_cloud, &kf.reference_pose);
     }
@@ -59,7 +70,9 @@ fn fusing_keyframe_depth_maps_increases_or_preserves_coverage() {
     let config = config_for_sequence(&seq, 50);
     let pipeline =
         EventorPipeline::new(seq.camera, config, EventorOptions::accelerator()).expect("config");
-    let output = pipeline.reconstruct(&seq.events, &seq.trajectory).expect("run");
+    let output = pipeline
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("run");
     let first = &output.keyframes[0].depth_map;
 
     let mut fusion =
@@ -80,7 +93,9 @@ fn map_export_round_trips_through_ply_text() {
     let config = config_for_sequence(&seq, 40);
     let pipeline =
         EventorPipeline::new(seq.camera, config, EventorOptions::accelerator()).expect("config");
-    let output = pipeline.reconstruct(&seq.events, &seq.trajectory).expect("run");
+    let output = pipeline
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("run");
 
     let mut map = GlobalMap::new(GlobalMapConfig::default()).expect("config");
     for kf in &output.keyframes {
@@ -91,5 +106,8 @@ fn map_export_round_trips_through_ply_text() {
     let text = String::from_utf8(buffer).expect("ascii ply");
     assert!(text.starts_with("ply"));
     let vertex_line = format!("element vertex {}", map.point_cloud().len());
-    assert!(text.contains(&vertex_line), "header must declare every exported point");
+    assert!(
+        text.contains(&vertex_line),
+        "header must declare every exported point"
+    );
 }

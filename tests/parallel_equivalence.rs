@@ -1,0 +1,252 @@
+//! Parallel sharded voting engine versus the sequential golden path.
+//!
+//! The engine's contract (see `eventor_core::parallel`): for the quantized
+//! nearest-voting accelerator datapath the parallel reconstruction is
+//! **bit-identical** to the sequential one for every shard count; float
+//! nearest voting is also bit-identical (whole `f32` increments are exact);
+//! float bilinear voting is deterministic per shard count and numerically
+//! within float-summation-order noise of the sequential result.
+
+use eventor::core::{
+    config_for_sequence, CosimPipeline, EventorOptions, EventorPipeline, ParallelConfig,
+};
+use eventor::emvs::{EmvsMapper, EmvsOutput, VotingMode};
+use eventor::events::{DatasetConfig, SequenceKind, SyntheticSequence};
+use eventor::hwsim::AcceleratorConfig;
+
+fn three_planes() -> SyntheticSequence {
+    SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test())
+        .expect("fast_test sequences generate")
+}
+
+fn assert_bit_identical(sequential: &EmvsOutput, parallel: &EmvsOutput, label: &str) {
+    assert_eq!(
+        sequential.keyframes.len(),
+        parallel.keyframes.len(),
+        "{label}: key-frame count diverged"
+    );
+    for (i, (s, p)) in sequential
+        .keyframes
+        .iter()
+        .zip(&parallel.keyframes)
+        .enumerate()
+    {
+        assert_eq!(
+            s.votes_cast, p.votes_cast,
+            "{label} keyframe {i}: DSI vote count diverged"
+        );
+        assert_eq!(
+            s.frames_used, p.frames_used,
+            "{label} keyframe {i}: frame count diverged"
+        );
+        assert_eq!(
+            s.events_used, p.events_used,
+            "{label} keyframe {i}: event count diverged"
+        );
+        assert_eq!(
+            s.depth_map.depth_data(),
+            p.depth_map.depth_data(),
+            "{label} keyframe {i}: depth map diverged"
+        );
+        assert_eq!(
+            s.depth_map.valid_count(),
+            p.depth_map.valid_count(),
+            "{label} keyframe {i}: valid pixel count diverged"
+        );
+    }
+    assert_eq!(
+        sequential.global_map.len(),
+        parallel.global_map.len(),
+        "{label}: global map size diverged"
+    );
+    assert_eq!(
+        sequential.profile.events_processed,
+        parallel.profile.events_processed
+    );
+    assert_eq!(
+        sequential.profile.frames_processed,
+        parallel.profile.frames_processed
+    );
+}
+
+#[test]
+fn accelerator_pipeline_is_bit_identical_across_shard_counts() {
+    let seq = three_planes();
+    let config = config_for_sequence(&seq, 50);
+    let sequential =
+        EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
+            .expect("valid config")
+            .reconstruct(&seq.events, &seq.trajectory)
+            .expect("sequential run");
+    assert!(!sequential.keyframes.is_empty());
+
+    for shards in [2, 4, 8] {
+        let parallel =
+            EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
+                .expect("valid config")
+                .with_parallelism(ParallelConfig::with_shards(shards))
+                .reconstruct(&seq.events, &seq.trajectory)
+                .expect("parallel run");
+        assert_bit_identical(&sequential, &parallel, &format!("accelerator x{shards}"));
+    }
+
+    // Single-shard batched mode (the engine without worker threads) is also
+    // bit-identical — packets run in exact sequential order.
+    let batched = EventorPipeline::new(seq.camera, config, EventorOptions::accelerator())
+        .expect("valid config")
+        .with_parallelism(ParallelConfig::batched())
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("batched run");
+    assert_bit_identical(&sequential, &batched, "accelerator batched x1");
+}
+
+#[test]
+fn batched_single_shard_is_bit_identical_even_for_bilinear() {
+    // With one shard the engine's packet order equals the sequential event
+    // order, so even the float bilinear datapath (order-sensitive f32 sums)
+    // is bit-identical.
+    let seq = three_planes();
+    let config = config_for_sequence(&seq, 50);
+    for options in [EventorOptions::exact(), EventorOptions::quantized_only()] {
+        let sequential = EventorPipeline::new(seq.camera, config.clone(), options)
+            .expect("valid config")
+            .reconstruct(&seq.events, &seq.trajectory)
+            .expect("sequential run");
+        let batched = EventorPipeline::new(seq.camera, config.clone(), options)
+            .expect("valid config")
+            .with_parallelism(ParallelConfig::batched())
+            .reconstruct(&seq.events, &seq.trajectory)
+            .expect("batched run");
+        assert_bit_identical(&sequential, &batched, &format!("{options:?} batched"));
+    }
+}
+
+#[test]
+fn small_packets_do_not_change_the_result() {
+    let seq = three_planes();
+    let config = config_for_sequence(&seq, 40);
+    let sequential =
+        EventorPipeline::new(seq.camera, config.clone(), EventorOptions::accelerator())
+            .expect("valid config")
+            .reconstruct(&seq.events, &seq.trajectory)
+            .expect("sequential run");
+    let parallel = EventorPipeline::new(seq.camera, config, EventorOptions::accelerator())
+        .expect("valid config")
+        .with_parallelism(ParallelConfig::with_shards(3).with_packet_events(64))
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("parallel run");
+    assert_bit_identical(&sequential, &parallel, "accelerator x3 packet=64");
+}
+
+#[test]
+fn float_nearest_ablation_is_bit_identical() {
+    let seq = three_planes();
+    let config = config_for_sequence(&seq, 50);
+    let sequential =
+        EventorPipeline::new(seq.camera, config.clone(), EventorOptions::nearest_only())
+            .expect("valid config")
+            .reconstruct(&seq.events, &seq.trajectory)
+            .expect("sequential run");
+    let parallel = EventorPipeline::new(seq.camera, config, EventorOptions::nearest_only())
+        .expect("valid config")
+        .with_parallelism(ParallelConfig::with_shards(4))
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("parallel run");
+    assert_bit_identical(&sequential, &parallel, "nearest_only x4");
+}
+
+#[test]
+fn bilinear_ablations_are_deterministic_and_vote_exact() {
+    let seq = three_planes();
+    let config = config_for_sequence(&seq, 50);
+    for options in [EventorOptions::exact(), EventorOptions::quantized_only()] {
+        let run = |parallel: ParallelConfig| {
+            EventorPipeline::new(seq.camera, config.clone(), options)
+                .expect("valid config")
+                .with_parallelism(parallel)
+                .reconstruct(&seq.events, &seq.trajectory)
+                .expect("run succeeds")
+        };
+        let sequential = run(ParallelConfig::sequential());
+        let parallel_a = run(ParallelConfig::with_shards(4));
+        let parallel_b = run(ParallelConfig::with_shards(4));
+
+        // Deterministic: two parallel runs with the same shard count are
+        // bit-identical to each other.
+        assert_bit_identical(&parallel_a, &parallel_b, "bilinear determinism");
+
+        // Vote *counts* are exact regardless of float summation order.
+        assert_eq!(sequential.keyframes.len(), parallel_a.keyframes.len());
+        for (s, p) in sequential.keyframes.iter().zip(&parallel_a.keyframes) {
+            assert_eq!(
+                s.votes_cast, p.votes_cast,
+                "{options:?}: vote count diverged"
+            );
+            // Depth maps agree up to float-summation-order noise: the f32
+            // score sums differ by ULPs between schedules, and the parabolic
+            // sub-plane refinement amplifies that to ~1e-7 relative depth.
+            // Require millimetre-level agreement outside a small budget of
+            // pixels where a detection threshold or argmax tie flips.
+            let sd = s.depth_map.depth_data();
+            let pd = p.depth_map.depth_data();
+            let mut diverging = 0usize;
+            for (a, b) in sd.iter().zip(pd) {
+                if (a - b).abs() > 1e-3 {
+                    diverging += 1;
+                }
+            }
+            let budget = sd.len() / 50; // <2% of pixels may flip a threshold
+            assert!(
+                diverging <= budget,
+                "{options:?}: {diverging} of {} depth pixels diverged",
+                sd.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_mapper_nearest_voting_matches_sequential() {
+    let seq = three_planes();
+    let config = config_for_sequence(&seq, 50).with_voting(VotingMode::Nearest);
+    let sequential = EmvsMapper::new(seq.camera, config.clone())
+        .expect("valid config")
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("sequential run");
+    for shards in [2, 8] {
+        let parallel = EmvsMapper::new(seq.camera, config.clone())
+            .expect("valid config")
+            .with_parallelism(ParallelConfig::with_shards(shards))
+            .reconstruct(&seq.events, &seq.trajectory)
+            .expect("parallel run");
+        assert_bit_identical(&sequential, &parallel, &format!("mapper nearest x{shards}"));
+    }
+}
+
+#[test]
+fn parallel_cosim_is_bit_identical_to_sequential_cosim() {
+    let seq = three_planes();
+    let config = config_for_sequence(&seq, 40);
+    let mut sequential =
+        CosimPipeline::new(seq.camera, config.clone(), AcceleratorConfig::default())
+            .expect("valid config");
+    let mut parallel = CosimPipeline::new(seq.camera, config, AcceleratorConfig::default())
+        .expect("valid config")
+        .with_parallelism(ParallelConfig::with_shards(4));
+
+    let s = sequential
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("sequential cosim");
+    let p = parallel
+        .reconstruct(&seq.events, &seq.trajectory)
+        .expect("parallel cosim");
+    assert_bit_identical(&s, &p, "cosim x4");
+    assert_eq!(
+        sequential.report().votes_applied,
+        parallel.report().votes_applied
+    );
+    assert_eq!(
+        sequential.report().events_dropped,
+        parallel.report().events_dropped
+    );
+}
