@@ -2,12 +2,13 @@
 //! reformulated EMVS dataflow on the functional device model of
 //! `eventor-hwsim`.
 //!
-//! [`CosimPipeline`] plays the role of the ARM firmware in the prototype:
-//! it performs the PS-side stages (streaming distortion correction, event
-//! aggregation, per-frame `H_{Z0}` / `φ` computation, key-frame selection,
-//! scene-structure detection and map merging) and drives the PL-side stages
-//! (`𝒫{Z0}`, `𝒫{Z0;Zi}`, `𝒢`, `𝒱`) through the register/DMA interface of
-//! [`EventorDevice`].
+//! [`CosimBackend`] plays the role of the ARM firmware in the prototype
+//! behind the streaming session contract: it performs the PS-side per-frame
+//! stages (streaming distortion correction, Q9.7 transport encoding,
+//! register/BRAM parameter staging) and drives the PL-side stages (`𝒫{Z0}`,
+//! `𝒫{Z0;Zi}`, `𝒢`, `𝒱`) through the register/DMA interface of
+//! [`EventorDevice`]. [`CosimPipeline`] is the legacy batch façade — a thin
+//! wrapper that feeds a session the whole stream at once.
 //!
 //! Because the device datapath and the software datapath in
 //! [`crate::EventorPipeline`] quantize with the same Table 1 formats and make
@@ -18,18 +19,18 @@
 
 use crate::parallel::{parallel_map, ParallelConfig};
 use crate::quantized::quantize_event_pixel;
-use eventor_dsi::{detect_structure, DepthPlanes, DsiVolume, PointCloud};
+use eventor_dsi::{DepthPlanes, DetectionConfig, DsiVolume};
 use eventor_emvs::{
-    EmvsConfig, EmvsError, EmvsOutput, FrameGeometry, KeyframeReconstruction, KeyframeSelector,
-    Stage, StageProfile,
+    finalize_volume, EmvsConfig, EmvsError, EmvsOutput, ExecutionBackend, FrameGeometry, FrameWork,
+    KeyframeReconstruction, Stage, StageProfile,
 };
-use eventor_events::{aggregate, EventStream};
+use eventor_events::EventStream;
 use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
 use eventor_hwsim::{
     AcceleratorConfig, ActivityEnergyModel, DeviceStats, EnergyBreakdown, EventorDevice,
-    FrameExecution, FrameJob, FrameKind, HomographyRegisters, PhiEntry,
+    FrameExecution, FrameKind, HomographyRegisters, PhiEntry,
 };
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Summary of the accelerator activity during one co-simulated
 /// reconstruction.
@@ -56,8 +57,242 @@ pub struct CosimReport {
     pub energy: EnergyBreakdown,
 }
 
-/// The co-simulated Eventor pipeline: PS-side firmware plus the functional
-/// PL device model.
+/// The co-simulated execution backend: PS-side firmware stages plus the
+/// functional PL device model, behind the `eventor-backend/1` session
+/// contract.
+///
+/// The device resets its DSI DRAM on every `FrameKind::Key` job, so the
+/// backend marks the first frame after each retirement as a key frame — the
+/// same protocol the batch firmware loop used.
+#[derive(Debug)]
+pub struct CosimBackend {
+    camera: CameraModel,
+    detection: DetectionConfig,
+    planes: DepthPlanes,
+    parallel: ParallelConfig,
+    device: EventorDevice,
+    report: CosimReport,
+    normal_us_sum: f64,
+    key_us_sum: f64,
+    votes_in_keyframe: u64,
+    next_is_key: bool,
+}
+
+impl CosimBackend {
+    /// Creates a backend with a fresh device whose accelerator configuration
+    /// is aligned with the EMVS configuration (frame size, plane count and
+    /// sensor resolution are taken from `config` / `camera`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] for unusable configurations.
+    pub fn new(
+        camera: CameraModel,
+        config: &EmvsConfig,
+        accelerator: AcceleratorConfig,
+        parallel: ParallelConfig,
+    ) -> Result<Self, EmvsError> {
+        let mut accelerator = accelerator;
+        accelerator.events_per_frame = config.events_per_frame;
+        accelerator.num_depth_planes = config.num_depth_planes;
+        accelerator.sensor_width = camera.intrinsics.width as usize;
+        accelerator.sensor_height = camera.intrinsics.height as usize;
+        Self::with_device(camera, config, EventorDevice::new(accelerator), parallel)
+    }
+
+    /// Creates a backend around an existing device (whose configuration must
+    /// already match the EMVS configuration) — used by the batch pipeline to
+    /// preserve device lifetime statistics across reconstructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] for unusable configurations.
+    pub fn with_device(
+        camera: CameraModel,
+        config: &EmvsConfig,
+        device: EventorDevice,
+        parallel: ParallelConfig,
+    ) -> Result<Self, EmvsError> {
+        let planes = config.depth_planes()?;
+        Ok(Self {
+            camera,
+            detection: config.detection,
+            planes,
+            parallel,
+            device,
+            report: CosimReport::default(),
+            normal_us_sum: 0.0,
+            key_us_sum: 0.0,
+            votes_in_keyframe: 0,
+            next_is_key: true,
+        })
+    }
+
+    /// The device model (for DSI readback and traffic inspection).
+    pub fn device(&self) -> &EventorDevice {
+        &self.device
+    }
+
+    /// Consumes the backend and returns the device.
+    pub fn into_device(self) -> EventorDevice {
+        self.device
+    }
+
+    /// The accelerator activity report accumulated so far, with the mean
+    /// frame latencies computed from the running sums.
+    pub fn report(&self) -> CosimReport {
+        let mut report = self.report;
+        report.mean_normal_frame_us = if report.frames > report.key_frames {
+            self.normal_us_sum / (report.frames - report.key_frames) as f64
+        } else {
+            0.0
+        };
+        report.mean_key_frame_us = if report.key_frames > 0 {
+            self.key_us_sum / report.key_frames as f64
+        } else {
+            0.0
+        };
+        report
+    }
+
+    /// Builds the per-frame job shipped to the device: the frame's Q9.7
+    /// event words plus the quantized `H_{Z0}` and `φ` parameter payloads.
+    fn frame_job(
+        geometry: &FrameGeometry,
+        event_words: Vec<u32>,
+        kind: FrameKind,
+    ) -> eventor_hwsim::FrameJob {
+        let homography_words =
+            HomographyRegisters::from_matrix(&geometry.homography.h.m).raw_words();
+        let phi = &geometry.coefficients;
+        let phi_words: Vec<[i32; 3]> = (0..phi.len())
+            .map(|i| PhiEntry::from_f64(phi.scale[i], phi.offset_x[i], phi.offset_y[i]).raw_words())
+            .collect();
+        eventor_hwsim::FrameJob {
+            event_words,
+            homography_words,
+            phi_words,
+            kind,
+        }
+    }
+
+    fn charge_profile(
+        profile: &mut StageProfile,
+        execution: &FrameExecution,
+        fabric: eventor_hwsim::ClockDomain,
+    ) {
+        let canonical =
+            Duration::from_secs_f64(fabric.cycles_to_seconds(execution.canonical_cycles));
+        let proportional =
+            Duration::from_secs_f64(fabric.cycles_to_seconds(execution.proportional_cycles));
+        profile.add(Stage::CanonicalProjection, canonical);
+        profile.add(Stage::ProportionalProjection, proportional / 2);
+        profile.add(Stage::VoteDsi, proportional - proportional / 2);
+    }
+
+    fn charge_report(&mut self, execution: &FrameExecution, fabric: eventor_hwsim::ClockDomain) {
+        self.report.frames += 1;
+        self.report.events_in += execution.events_in;
+        self.report.events_dropped += execution.events_dropped;
+        self.report.votes_applied += execution.votes_applied;
+        let us = fabric.cycles_to_us(execution.total_cycles);
+        self.report.accelerator_seconds += us * 1e-6;
+        match execution.kind {
+            FrameKind::Key => {
+                self.report.key_frames += 1;
+                self.key_us_sum += us;
+            }
+            FrameKind::Normal => self.normal_us_sum += us,
+        }
+    }
+}
+
+impl ExecutionBackend for CosimBackend {
+    fn name(&self) -> &'static str {
+        "cosim"
+    }
+
+    fn vote_frame(
+        &mut self,
+        work: &FrameWork<'_>,
+        profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        let fabric = self.device.config().fabric_clock;
+        // PS side: streaming distortion correction + Q9.7 transport encoding,
+        // chunked over the configured worker shards (bit-identical for any
+        // shard count — both stages are per-event pure maps).
+        let camera = &self.camera;
+        let event_words: Vec<u32> = parallel_map(work.events, self.parallel.shards(), |e| {
+            let p = camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64));
+            quantize_event_pixel(p).to_word()
+        });
+        let kind = if self.next_is_key {
+            FrameKind::Key
+        } else {
+            FrameKind::Normal
+        };
+        let job = Self::frame_job(work.geometry, event_words, kind);
+
+        // PL side: run the frame on the device. `next_is_key` is only
+        // cleared on success: the driver keeps a failed frame buffered for
+        // retry, and the retried job must still be a Key frame so the device
+        // resets its DSI for the new key frame.
+        let execution = self
+            .device
+            .run_frame(job)
+            .ok_or_else(|| EmvsError::InvalidConfig {
+                reason: "accelerator rejected the staged frame".into(),
+            })?;
+        self.next_is_key = false;
+        Self::charge_profile(profile, &execution, fabric);
+        self.charge_report(&execution, fabric);
+        self.report.energy.accumulate(
+            &ActivityEnergyModel::default().frame_energy(&execution, self.device.config()),
+        );
+        self.votes_in_keyframe += execution.votes_applied;
+        Ok(())
+    }
+
+    fn retire_keyframe(
+        &mut self,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+        profile: &mut StageProfile,
+    ) -> Result<KeyframeReconstruction, EmvsError> {
+        // Read the DSI back from device DRAM and run the PS-side detection
+        // and point-cloud conversion.
+        let t = Instant::now();
+        let dram = self.device.dsi();
+        let dsi: DsiVolume<u16> = DsiVolume::from_scores(
+            dram.width(),
+            dram.height(),
+            self.planes.clone(),
+            dram.scores().to_vec(),
+            self.votes_in_keyframe,
+        )?;
+        let reconstruction = finalize_volume(
+            &dsi,
+            &self.detection,
+            &self.camera,
+            reference_pose,
+            frames_used,
+            events_used,
+        );
+        profile.add(Stage::Detection, t.elapsed());
+        // The device clears its DSI on the next Key frame job.
+        self.votes_in_keyframe = 0;
+        self.next_is_key = true;
+        Ok(reconstruction)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// The co-simulated Eventor pipeline: the legacy batch façade over a
+/// streaming session with the [`CosimBackend`].
 ///
 /// # Examples
 ///
@@ -81,7 +316,9 @@ pub struct CosimReport {
 pub struct CosimPipeline {
     camera: CameraModel,
     config: EmvsConfig,
-    device: EventorDevice,
+    /// `None` only while a `reconstruct` call has lent the device to its
+    /// session backend.
+    device: Option<EventorDevice>,
     report: CosimReport,
     parallel: ParallelConfig,
 }
@@ -96,27 +333,14 @@ impl CosimPipeline {
     /// # Errors
     ///
     /// Returns [`EmvsError::InvalidConfig`] for unusable configurations (same
-    /// contract as [`crate::EventorPipeline::new`]).
+    /// contract as [`crate::EventorPipeline::new`], via the shared
+    /// [`EmvsConfig::validate`]).
     pub fn new(
         camera: CameraModel,
         config: EmvsConfig,
         accelerator: AcceleratorConfig,
     ) -> Result<Self, EmvsError> {
-        if config.events_per_frame == 0 {
-            return Err(EmvsError::InvalidConfig {
-                reason: "events_per_frame must be positive".into(),
-            });
-        }
-        if config.num_depth_planes < 2 {
-            return Err(EmvsError::InvalidConfig {
-                reason: "need at least two depth planes".into(),
-            });
-        }
-        if config.depth_range.0 <= 0.0 || config.depth_range.1 <= config.depth_range.0 {
-            return Err(EmvsError::InvalidConfig {
-                reason: format!("invalid depth range {:?}", config.depth_range),
-            });
-        }
+        config.validate()?;
         let mut accelerator = accelerator;
         accelerator.events_per_frame = config.events_per_frame;
         accelerator.num_depth_planes = config.num_depth_planes;
@@ -126,10 +350,16 @@ impl CosimPipeline {
         Ok(Self {
             camera,
             config,
-            device,
+            device: Some(device),
             report: CosimReport::default(),
             parallel: ParallelConfig::sequential(),
         })
+    }
+
+    fn device_ref(&self) -> &EventorDevice {
+        self.device
+            .as_ref()
+            .expect("device is only absent while reconstruct borrows it")
     }
 
     /// Parallelizes the PS-side (ARM firmware) stages of the co-simulation:
@@ -155,17 +385,17 @@ impl CosimPipeline {
 
     /// The accelerator configuration the device was built with.
     pub fn accelerator_config(&self) -> &AcceleratorConfig {
-        self.device.config()
+        self.device_ref().config()
     }
 
     /// The device model (for DSI readback and traffic inspection).
     pub fn device(&self) -> &EventorDevice {
-        &self.device
+        self.device_ref()
     }
 
     /// Lifetime statistics of the underlying device.
     pub fn device_stats(&self) -> DeviceStats {
-        self.device.stats()
+        self.device_ref().stats()
     }
 
     /// The accelerator activity report of the last reconstruction.
@@ -173,7 +403,8 @@ impl CosimPipeline {
         self.report
     }
 
-    /// Runs the co-simulated reconstruction.
+    /// Runs the co-simulated reconstruction — a batch wrapper over a
+    /// streaming session with the [`CosimBackend`].
     ///
     /// The returned profile contains the *modelled* accelerator time for the
     /// FPGA stages (canonical projection, proportional projection + voting)
@@ -191,238 +422,55 @@ impl CosimPipeline {
         if events.is_empty() {
             return Err(EmvsError::NoEvents);
         }
-        let mut profile = StageProfile::new();
-        let fabric = self.device.config().fabric_clock;
-
-        // PS side: streaming distortion correction + Q9.7 transport encoding,
-        // chunked over the configured worker shards (bit-identical for any
-        // shard count — both stages are per-event pure maps).
-        let transported: Vec<u32> = parallel_map(events.as_slice(), self.parallel.shards(), |e| {
-            let p = self
-                .camera
-                .undistort_pixel(Vec2::new(e.x as f64, e.y as f64));
-            quantize_event_pixel(p).to_word()
-        });
-
-        // PS side: aggregation into event frames.
-        let frames = aggregate(events, self.config.events_per_frame);
-
-        let planes = DepthPlanes::uniform_inverse_depth(
-            self.config.depth_range.0,
-            self.config.depth_range.1,
-            self.config.num_depth_planes,
-        )?;
-        let mut selector = KeyframeSelector::new(
-            self.config.keyframe_distance,
-            self.config.min_frames_per_keyframe,
+        // Backend construction only fails on config validation; check before
+        // taking the device so a failure can never lose it.
+        self.config.validate()?;
+        // Lend the device to the backend for the run and take it back after,
+        // so lifetime statistics survive across reconstructions.
+        let device = self
+            .device
+            .take()
+            .expect("device is present between reconstructions");
+        let backend = CosimBackend::with_device(self.camera, &self.config, device, self.parallel)
+            .expect("config validated above");
+        let (result, backend) = reconstruct_with_backend_recovering(
+            self.camera,
+            self.config.clone(),
+            backend,
+            events,
+            trajectory,
         );
-        let mut reference: Option<Pose> = None;
-        let mut keyframes: Vec<KeyframeReconstruction> = Vec::new();
-        let mut global_map = PointCloud::new();
-        let mut frames_in_keyframe = 0usize;
-        let mut events_in_keyframe = 0usize;
-        let mut votes_in_keyframe = 0u64;
-        let mut next_is_key = true;
-        let mut report = CosimReport::default();
-        let mut normal_us_sum = 0.0;
-        let mut key_us_sum = 0.0;
-
-        for frame in &frames {
-            let Some(timestamp) = frame.timestamp() else {
-                continue;
-            };
-            let pose = trajectory.pose_at(timestamp)?;
-
-            match reference {
-                None => reference = Some(pose),
-                Some(ref ref_pose) => {
-                    if selector.should_switch(ref_pose, &pose) {
-                        let reconstruction = self.finalize_keyframe(
-                            &planes,
-                            ref_pose,
-                            frames_in_keyframe,
-                            events_in_keyframe,
-                            votes_in_keyframe,
-                        )?;
-                        global_map.merge(&reconstruction.local_cloud);
-                        keyframes.push(reconstruction);
-                        profile.keyframes += 1;
-                        reference = Some(pose);
-                        selector.reset();
-                        frames_in_keyframe = 0;
-                        events_in_keyframe = 0;
-                        votes_in_keyframe = 0;
-                        next_is_key = true;
-                    }
-                }
-            }
-            let ref_pose = reference.expect("reference pose set above");
-
-            // PS side: per-frame geometry (H_Z0 and φ), pre-computed before
-            // the PL is started.
-            let geometry =
-                FrameGeometry::compute(&ref_pose, &pose, &self.camera.intrinsics, &planes)?;
-            let job = Self::frame_job(
-                &geometry,
-                &transported,
-                frame.index * self.config.events_per_frame,
-                frame.len(),
-                if next_is_key {
-                    FrameKind::Key
-                } else {
-                    FrameKind::Normal
-                },
-            );
-            next_is_key = false;
-
-            // PL side: run the frame on the device.
-            let execution = self
-                .device
-                .run_frame(job)
-                .ok_or_else(|| EmvsError::InvalidConfig {
-                    reason: "accelerator rejected the staged frame".into(),
-                })?;
-            Self::charge_profile(&mut profile, &execution, fabric);
-            Self::charge_report(
-                &mut report,
-                &execution,
-                fabric,
-                &mut normal_us_sum,
-                &mut key_us_sum,
-            );
-            report.energy.accumulate(
-                &ActivityEnergyModel::default().frame_energy(&execution, self.device.config()),
-            );
-            votes_in_keyframe += execution.votes_applied;
-
-            selector.register_frame();
-            frames_in_keyframe += 1;
-            events_in_keyframe += frame.len();
-            profile.frames_processed += 1;
-            profile.events_processed += frame.len() as u64;
+        // Keep the last *successful* run's report, like the original loop
+        // did — a failed run must not clobber it.
+        if result.is_ok() {
+            self.report = backend.report();
         }
-
-        if let Some(ref_pose) = reference {
-            if frames_in_keyframe > 0 {
-                let reconstruction = self.finalize_keyframe(
-                    &planes,
-                    &ref_pose,
-                    frames_in_keyframe,
-                    events_in_keyframe,
-                    votes_in_keyframe,
-                )?;
-                global_map.merge(&reconstruction.local_cloud);
-                keyframes.push(reconstruction);
-                profile.keyframes += 1;
-            }
-        }
-
-        report.mean_normal_frame_us = if report.frames > report.key_frames {
-            normal_us_sum / (report.frames - report.key_frames) as f64
-        } else {
-            0.0
-        };
-        report.mean_key_frame_us = if report.key_frames > 0 {
-            key_us_sum / report.key_frames as f64
-        } else {
-            0.0
-        };
-        self.report = report;
-        Ok(EmvsOutput {
-            keyframes,
-            global_map,
-            profile,
-        })
+        self.device = Some(backend.into_device());
+        result
     }
+}
 
-    /// Builds the per-frame job shipped to the device: the event words of the
-    /// frame plus the quantized `H_{Z0}` and `φ` parameter payloads.
-    fn frame_job(
-        geometry: &FrameGeometry,
-        transported: &[u32],
-        first_event: usize,
-        len: usize,
-        kind: FrameKind,
-    ) -> FrameJob {
-        let homography_words =
-            HomographyRegisters::from_matrix(&geometry.homography.h.m).raw_words();
-        let phi = &geometry.coefficients;
-        let phi_words: Vec<[i32; 3]> = (0..phi.len())
-            .map(|i| PhiEntry::from_f64(phi.scale[i], phi.offset_x[i], phi.offset_y[i]).raw_words())
-            .collect();
-        FrameJob {
-            event_words: transported[first_event..first_event + len].to_vec(),
-            homography_words,
-            phi_words,
-            kind,
-        }
+/// [`reconstruct_with_backend`] that hands the backend back even on error —
+/// needed because the cosim backend owns the device the pipeline must
+/// recover.
+fn reconstruct_with_backend_recovering(
+    camera: CameraModel,
+    config: EmvsConfig,
+    backend: CosimBackend,
+    events: &EventStream,
+    trajectory: &Trajectory,
+) -> (Result<EmvsOutput, EmvsError>, CosimBackend) {
+    let mut driver = match eventor_emvs::SessionDriver::new(camera, config, backend) {
+        Ok(driver) => driver.with_max_pending_events(usize::MAX),
+        Err(_) => unreachable!("config validated by the pipeline constructor"),
+    };
+    let mut staged = driver.push_trajectory(trajectory);
+    if staged.is_ok() {
+        staged = driver.push_events(events.as_slice()).map(|_| ());
     }
-
-    fn charge_profile(
-        profile: &mut StageProfile,
-        execution: &FrameExecution,
-        fabric: eventor_hwsim::ClockDomain,
-    ) {
-        let canonical =
-            Duration::from_secs_f64(fabric.cycles_to_seconds(execution.canonical_cycles));
-        let proportional =
-            Duration::from_secs_f64(fabric.cycles_to_seconds(execution.proportional_cycles));
-        profile.add(Stage::CanonicalProjection, canonical);
-        profile.add(Stage::ProportionalProjection, proportional / 2);
-        profile.add(Stage::VoteDsi, proportional - proportional / 2);
-    }
-
-    fn charge_report(
-        report: &mut CosimReport,
-        execution: &FrameExecution,
-        fabric: eventor_hwsim::ClockDomain,
-        normal_us_sum: &mut f64,
-        key_us_sum: &mut f64,
-    ) {
-        report.frames += 1;
-        report.events_in += execution.events_in;
-        report.events_dropped += execution.events_dropped;
-        report.votes_applied += execution.votes_applied;
-        let us = fabric.cycles_to_us(execution.total_cycles);
-        report.accelerator_seconds += us * 1e-6;
-        match execution.kind {
-            FrameKind::Key => {
-                report.key_frames += 1;
-                *key_us_sum += us;
-            }
-            FrameKind::Normal => *normal_us_sum += us,
-        }
-    }
-
-    /// Reads the DSI back from device DRAM and runs the PS-side detection and
-    /// point-cloud conversion.
-    fn finalize_keyframe(
-        &self,
-        planes: &DepthPlanes,
-        reference_pose: &Pose,
-        frames_used: usize,
-        events_used: usize,
-        votes_cast: u64,
-    ) -> Result<KeyframeReconstruction, EmvsError> {
-        let dram = self.device.dsi();
-        let dsi: DsiVolume<u16> = DsiVolume::from_scores(
-            dram.width(),
-            dram.height(),
-            planes.clone(),
-            dram.scores().to_vec(),
-            votes_cast,
-        )?;
-        let depth_map = detect_structure(&dsi, &self.config.detection);
-        let local_cloud =
-            PointCloud::from_depth_map(&depth_map, &self.camera.intrinsics, reference_pose);
-        Ok(KeyframeReconstruction {
-            reference_pose: *reference_pose,
-            depth_map,
-            local_cloud,
-            frames_used,
-            events_used,
-            votes_cast,
-        })
+    match staged {
+        Ok(()) => driver.finish_with_backend(),
+        Err(e) => (Err(e), driver.into_backend()),
     }
 }
 
@@ -512,5 +560,26 @@ mod tests {
         assert!(report.energy.total_j() > 0.0);
         assert!(report.energy.average_power_w() > 1.0 && report.energy.average_power_w() < 4.0);
         assert!((report.energy.seconds - report.accelerator_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_stats_survive_a_failed_reconstruction() {
+        let seq = sequence();
+        let mut cosim =
+            CosimPipeline::new(seq.camera, config_for(&seq), AcceleratorConfig::default()).unwrap();
+        cosim.reconstruct(&seq.events, &seq.trajectory).unwrap();
+        let frames_before = cosim.device_stats().frames;
+        assert!(frames_before > 0);
+        // A trajectory that ends before the events do: the run fails, but the
+        // device (and its lifetime statistics) must be recovered.
+        let short = Trajectory::linear(
+            Pose::identity(),
+            Pose::from_translation(eventor_geom::Vec3::new(0.1, 0.0, 0.0)),
+            -10.0,
+            -9.0,
+            4,
+        );
+        assert!(cosim.reconstruct(&seq.events, &short).is_err());
+        assert!(cosim.device_stats().frames >= frames_before);
     }
 }

@@ -17,7 +17,13 @@
 //!   power and the energy-efficiency comparison against the Intel i5
 //!   baseline,
 //! * [`run_variant`] / [`PipelineVariant`] — the accuracy-comparison harness
-//!   behind Fig. 4a, Fig. 4b and Fig. 7a.
+//!   behind Fig. 4a, Fig. 4b and Fig. 7a,
+//! * [`EventorSession`] — the unified **streaming** API: push-based
+//!   incremental ingestion (`push_pose` / `push_events` / `poll`) over a
+//!   pluggable [`ExecutionBackend`] ([`SoftwareBackend`],
+//!   [`ShardedBackend`], [`CosimBackend`]), with optional incremental
+//!   `eventor-map` fusion. The batch `reconstruct()` entry points are thin
+//!   wrappers over it.
 //!
 //! ## Quick start
 //!
@@ -45,16 +51,24 @@ mod cosim;
 pub mod parallel;
 mod pipeline;
 mod quantized;
+mod session;
 
 pub use accel::AcceleratorRun;
 pub use compare::{
     config_for_sequence, run_variant, run_variants, PipelineVariant, VariantAccuracy,
 };
-pub use cosim::{CosimPipeline, CosimReport};
+pub use cosim::{CosimBackend, CosimPipeline, CosimReport};
 pub use parallel::{parallel_map, ParallelConfig, QuantizedFrameParams};
 pub use pipeline::{EventorOptions, EventorPipeline};
 pub use quantized::{
     quantize_event_pixel, QuantizedCoefficients, QuantizedHomography, COORD_QUANTIZATION_ERROR,
+};
+pub use session::{EventorSession, SessionBuilder, SessionOutput, ShardedBackend, SoftwareBackend};
+// The session contract itself lives in `eventor-emvs`; re-export it so
+// downstream users of the session API need only this crate.
+pub use eventor_emvs::{
+    ExecutionBackend, FrameWork, SessionDriver, SessionEvent, DEFAULT_MAX_PENDING_EVENTS,
+    ENGINE_SPILL_EVENTS,
 };
 
 #[cfg(test)]

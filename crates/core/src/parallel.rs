@@ -1,9 +1,10 @@
 //! The **parallel sharded voting engine** for the reformulated (quantized)
 //! Eventor datapath.
 //!
-//! This module is the `eventor-core` half of the engine whose planning and
-//! shard-running primitives live in [`eventor_emvs`] (see
-//! [`plan_segments`], [`run_sharded`], [`ParallelConfig`]):
+//! This module is the `eventor-core` half of the engine whose shard-running
+//! primitives live in [`eventor_emvs`] (see [`run_sharded`],
+//! [`ParallelConfig`]); key-frame segmentation is performed live by the
+//! session driver's key-frame selector:
 //!
 //! * [`parallel_map`] — chunked, order-preserving parallel map used for the
 //!   streaming distortion-correction and Q9.7 transport-encoding stages
@@ -37,13 +38,11 @@
 
 use crate::quantized::{QuantizedCoefficients, QuantizedHomography};
 use eventor_dsi::{DsiVolume, VoxelScore};
-use eventor_emvs::{PlannedFrame, VotingMode};
+use eventor_emvs::{FrameGeometry, VotingMode};
 use eventor_fixed::{PackedCoord, PlaneCoord};
 use eventor_geom::Vec2;
 
-pub use eventor_emvs::{
-    plan_segments, run_sharded, shard_packets, KeyframeSegment, ParallelConfig,
-};
+pub use eventor_emvs::{run_sharded, shard_packets, ParallelConfig};
 
 /// Per-shard working state: the private DSI tile plus the canonical-point
 /// scratch buffer the fused kernels reuse across packets and key frames (no
@@ -112,10 +111,10 @@ pub struct QuantizedFrameParams {
 }
 
 impl QuantizedFrameParams {
-    /// Quantizes and hoists one planned frame's geometry.
-    pub fn from_frame(frame: &PlannedFrame) -> Self {
-        let qh = QuantizedHomography::from_homography(&frame.geometry.homography);
-        let qphi = QuantizedCoefficients::from_coefficients(&frame.geometry.coefficients);
+    /// Quantizes and hoists one frame's geometry.
+    pub fn from_geometry(geometry: &FrameGeometry) -> Self {
+        let qh = QuantizedHomography::from_homography(&geometry.homography);
+        let qphi = QuantizedCoefficients::from_coefficients(&geometry.coefficients);
         Self {
             homography: qh.entries_f64(),
             coefficients: qphi.hoisted(),
@@ -213,17 +212,17 @@ pub(crate) fn vote_packet_quantized_bilinear(
 #[inline]
 pub(crate) fn vote_packet_float(
     state: &mut ShardState<f32>,
-    frame: &PlannedFrame,
+    geometry: &FrameGeometry,
     events: &[Vec2],
     voting: VotingMode,
 ) {
-    let n_planes = frame.geometry.num_planes();
+    let n_planes = geometry.num_planes();
     for &pixel in events {
-        let Some(canonical) = frame.geometry.canonical(pixel) else {
+        let Some(canonical) = geometry.canonical(pixel) else {
             continue;
         };
         for i in 0..n_planes {
-            let p = frame.geometry.transfer(canonical, i);
+            let p = geometry.transfer(canonical, i);
             match voting {
                 VotingMode::Bilinear => state.tile.vote_bilinear(p.x, p.y, i, 1.0),
                 VotingMode::Nearest => state.tile.vote_nearest(p.x, p.y, i, 1.0),
@@ -290,13 +289,7 @@ mod tests {
             &planes,
         )
         .unwrap();
-        let frame = PlannedFrame {
-            frame_index: 0,
-            event_range: 0..0,
-            pose: Pose::identity(),
-            geometry: geometry.clone(),
-        };
-        let params = QuantizedFrameParams::from_frame(&frame);
+        let params = QuantizedFrameParams::from_geometry(&geometry);
         let qh = QuantizedHomography::from_homography(&geometry.homography);
         let qphi = QuantizedCoefficients::from_coefficients(&geometry.coefficients);
         assert_eq!(params.num_planes(), qphi.len());

@@ -15,24 +15,17 @@
 //! Both approximations can be toggled independently through
 //! [`EventorOptions`], which is what the Fig. 4a / Fig. 4b / Fig. 7a
 //! ablations sweep.
+//!
+//! Since the streaming redesign the datapaths live in the session backends
+//! ([`crate::SoftwareBackend`] for the sequential golden path,
+//! [`crate::ShardedBackend`] for the parallel voting engine) and
+//! [`EventorPipeline::reconstruct`] is a thin batch wrapper over a session.
 
-use crate::parallel::{
-    parallel_map, plan_segments, run_sharded, shard_packets, vote_packet_float,
-    vote_packet_quantized_bilinear, vote_packet_quantized_nearest, KeyframeSegment, ParallelConfig,
-    QuantizedFrameParams, ShardState,
-};
-use crate::quantized::{quantize_event_pixel, QuantizedCoefficients, QuantizedHomography};
-use eventor_dsi::{
-    detect_structure, DepthPlanes, DetectionConfig, DsiVolume, PointCloud, VoxelScore,
-};
-use eventor_emvs::{
-    EmvsConfig, EmvsError, EmvsOutput, FrameGeometry, KeyframeReconstruction, KeyframeSelector,
-    Stage, StageProfile, VotingMode,
-};
-use eventor_events::{aggregate, EventStream, VotePacket};
-use eventor_fixed::PackedCoord;
-use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
-use std::time::Instant;
+use crate::parallel::ParallelConfig;
+use crate::session::{ShardedBackend, SoftwareBackend};
+use eventor_emvs::{reconstruct_with_backend, EmvsConfig, EmvsError, EmvsOutput, VotingMode};
+use eventor_events::EventStream;
+use eventor_geom::{CameraModel, Trajectory};
 
 /// Reformulation/approximation switches of the Eventor datapath.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,59 +78,6 @@ impl EventorOptions {
     }
 }
 
-/// DSI storage used by the pipeline: 16-bit integer scores for the quantized
-/// nearest-voting datapath, `f32` otherwise.
-#[derive(Debug, Clone)]
-enum DsiStorage {
-    Float(DsiVolume<f32>),
-    Quantized(DsiVolume<u16>),
-}
-
-impl DsiStorage {
-    fn new(
-        width: usize,
-        height: usize,
-        planes: DepthPlanes,
-        options: &EventorOptions,
-    ) -> Result<Self, EmvsError> {
-        if options.quantize && options.voting == VotingMode::Nearest {
-            Ok(Self::Quantized(DsiVolume::new(width, height, planes)?))
-        } else {
-            Ok(Self::Float(DsiVolume::new(width, height, planes)?))
-        }
-    }
-
-    fn vote(&mut self, x: f64, y: f64, plane: usize, voting: VotingMode) {
-        match (self, voting) {
-            (Self::Float(dsi), VotingMode::Bilinear) => dsi.vote_bilinear(x, y, plane, 1.0),
-            (Self::Float(dsi), VotingMode::Nearest) => dsi.vote_nearest(x, y, plane, 1.0),
-            (Self::Quantized(dsi), VotingMode::Bilinear) => dsi.vote_bilinear(x, y, plane, 1.0),
-            (Self::Quantized(dsi), VotingMode::Nearest) => dsi.vote_nearest(x, y, plane, 1.0),
-        }
-    }
-
-    fn detect(&self, config: &DetectionConfig) -> eventor_dsi::DepthMap {
-        match self {
-            Self::Float(dsi) => detect_structure(dsi, config),
-            Self::Quantized(dsi) => detect_structure(dsi, config),
-        }
-    }
-
-    fn reset(&mut self) {
-        match self {
-            Self::Float(dsi) => dsi.reset(),
-            Self::Quantized(dsi) => dsi.reset(),
-        }
-    }
-
-    fn votes_cast(&self) -> u64 {
-        match self {
-            Self::Float(dsi) => dsi.votes_cast(),
-            Self::Quantized(dsi) => dsi.votes_cast(),
-        }
-    }
-}
-
 /// The Eventor reformulated EMVS pipeline.
 ///
 /// # Examples
@@ -170,27 +110,14 @@ impl EventorPipeline {
     /// # Errors
     ///
     /// Returns [`EmvsError::InvalidConfig`] for unusable configurations (same
-    /// contract as [`eventor_emvs::EmvsMapper::new`]).
+    /// contract as [`eventor_emvs::EmvsMapper::new`], via the shared
+    /// [`EmvsConfig::validate`]).
     pub fn new(
         camera: CameraModel,
         config: EmvsConfig,
         options: EventorOptions,
     ) -> Result<Self, EmvsError> {
-        if config.events_per_frame == 0 {
-            return Err(EmvsError::InvalidConfig {
-                reason: "events_per_frame must be positive".into(),
-            });
-        }
-        if config.num_depth_planes < 2 {
-            return Err(EmvsError::InvalidConfig {
-                reason: "need at least two depth planes".into(),
-            });
-        }
-        if config.depth_range.0 <= 0.0 || config.depth_range.1 <= config.depth_range.0 {
-            return Err(EmvsError::InvalidConfig {
-                reason: format!("invalid depth range {:?}", config.depth_range),
-            });
-        }
+        config.validate()?;
         Ok(Self {
             camera,
             config,
@@ -202,10 +129,10 @@ impl EventorPipeline {
     /// Enables the parallel sharded voting engine.
     ///
     /// With [`ParallelConfig::sequential`] (the default) the original
-    /// single-threaded golden path runs unchanged. With more than one shard,
-    /// [`reconstruct`](Self::reconstruct) plans the stream into key-frame
-    /// segments, distributes vote packets round-robin over worker shards
-    /// voting into private DSI tiles, and merges the tiles with a
+    /// single-threaded golden path runs unchanged ([`SoftwareBackend`]).
+    /// With more than one shard the reconstruction runs on the
+    /// [`ShardedBackend`]: vote packets are distributed round-robin over
+    /// worker shards voting into private DSI tiles, merged with a
     /// deterministic tree reduction (see [`crate::parallel`]). For the
     /// accelerator datapath ([`EventorOptions::accelerator`]) the output is
     /// bit-identical to the sequential result for every shard count.
@@ -246,7 +173,9 @@ impl EventorPipeline {
         &self.parallel
     }
 
-    /// Runs the reformulated reconstruction.
+    /// Runs the reformulated reconstruction — a batch wrapper over a
+    /// streaming session with the backend the parallelism configuration
+    /// selects.
     ///
     /// # Errors
     ///
@@ -256,468 +185,25 @@ impl EventorPipeline {
         events: &EventStream,
         trajectory: &Trajectory,
     ) -> Result<EmvsOutput, EmvsError> {
-        if events.is_empty() {
-            return Err(EmvsError::NoEvents);
-        }
         if self.parallel.is_engine() {
-            return self.reconstruct_parallel(events, trajectory);
-        }
-        let mut profile = StageProfile::new();
-
-        // ➊ Streaming event distortion correction, *before* aggregation
-        //   (rescheduled stage).
-        let t = Instant::now();
-        let corrected: Vec<Vec2> = events
-            .iter()
-            .map(|e| {
-                self.camera
-                    .undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
-            })
-            .collect();
-        // The corrected coordinates are what the DMA ships to the FPGA; under
-        // quantization they are stored as packed Q9.7 pairs.
-        let transported: Vec<PackedCoord> = if self.options.quantize {
-            corrected.iter().map(|&p| quantize_event_pixel(p)).collect()
+            let backend =
+                ShardedBackend::new(self.camera, &self.config, self.options, self.parallel)?;
+            reconstruct_with_backend(
+                self.camera,
+                self.config.clone(),
+                backend,
+                events,
+                trajectory,
+            )
         } else {
-            Vec::new()
-        };
-        profile.add(Stage::DistortionCorrection, t.elapsed());
-
-        // ➋ Event aggregation on the corrected stream.
-        let t = Instant::now();
-        let frames = aggregate(events, self.config.events_per_frame);
-        profile.add(Stage::Aggregation, t.elapsed());
-
-        let planes = DepthPlanes::uniform_inverse_depth(
-            self.config.depth_range.0,
-            self.config.depth_range.1,
-            self.config.num_depth_planes,
-        )?;
-        let width = self.camera.intrinsics.width as usize;
-        let height = self.camera.intrinsics.height as usize;
-        let mut dsi = DsiStorage::new(width, height, planes.clone(), &self.options)?;
-
-        let mut selector = KeyframeSelector::new(
-            self.config.keyframe_distance,
-            self.config.min_frames_per_keyframe,
-        );
-        let mut reference: Option<Pose> = None;
-        let mut keyframes: Vec<KeyframeReconstruction> = Vec::new();
-        let mut global_map = PointCloud::new();
-        let mut frames_in_keyframe = 0usize;
-        let mut events_in_keyframe = 0usize;
-
-        for frame in &frames {
-            let Some(timestamp) = frame.timestamp() else {
-                continue;
-            };
-            let pose = trajectory.pose_at(timestamp)?;
-
-            match reference {
-                None => reference = Some(pose),
-                Some(ref ref_pose) => {
-                    if selector.should_switch(ref_pose, &pose) {
-                        let t = Instant::now();
-                        let reconstruction = self.finalize_keyframe(
-                            &dsi,
-                            ref_pose,
-                            frames_in_keyframe,
-                            events_in_keyframe,
-                        );
-                        profile.add(Stage::Detection, t.elapsed());
-                        let t = Instant::now();
-                        global_map.merge(&reconstruction.local_cloud);
-                        dsi.reset();
-                        profile.add(Stage::Merging, t.elapsed());
-                        keyframes.push(reconstruction);
-                        profile.keyframes += 1;
-                        reference = Some(pose);
-                        selector.reset();
-                        frames_in_keyframe = 0;
-                        events_in_keyframe = 0;
-                    }
-                }
-            }
-            let ref_pose = reference.expect("reference pose set above");
-            let event_range = frame.index * self.config.events_per_frame
-                ..(frame.index * self.config.events_per_frame + frame.len());
-
-            // ➌ Pre-compute H_Z0 and φ for the frame (rescheduled: before the
-            //   canonical projection).
-            let t = Instant::now();
-            let geometry =
-                FrameGeometry::compute(&ref_pose, &pose, &self.camera.intrinsics, &planes)?;
-            profile.add(Stage::ComputeHomography, t.elapsed());
-            let t = Instant::now();
-            let quantized = if self.options.quantize {
-                Some((
-                    QuantizedHomography::from_homography(&geometry.homography),
-                    QuantizedCoefficients::from_coefficients(&geometry.coefficients),
-                ))
-            } else {
-                None
-            };
-            profile.add(Stage::ComputeCoefficients, t.elapsed());
-
-            // ➍ The FPGA datapath: canonical projection, proportional
-            //   projection, vote generation and DSI voting.
-            match &quantized {
-                Some((qh, qphi)) => self.process_frame_quantized(
-                    &transported[event_range],
-                    qh,
-                    qphi,
-                    &mut dsi,
-                    &mut profile,
-                ),
-                None => self.process_frame_float(
-                    &corrected[event_range],
-                    &geometry,
-                    &mut dsi,
-                    &mut profile,
-                ),
-            }
-
-            selector.register_frame();
-            frames_in_keyframe += 1;
-            events_in_keyframe += frame.len();
-            profile.frames_processed += 1;
-            profile.events_processed += frame.len() as u64;
-        }
-
-        if let Some(ref_pose) = reference {
-            if frames_in_keyframe > 0 {
-                let t = Instant::now();
-                let reconstruction =
-                    self.finalize_keyframe(&dsi, &ref_pose, frames_in_keyframe, events_in_keyframe);
-                profile.add(Stage::Detection, t.elapsed());
-                let t = Instant::now();
-                global_map.merge(&reconstruction.local_cloud);
-                profile.add(Stage::Merging, t.elapsed());
-                keyframes.push(reconstruction);
-                profile.keyframes += 1;
-            }
-        }
-
-        Ok(EmvsOutput {
-            keyframes,
-            global_map,
-            profile,
-        })
-    }
-
-    /// The parallel sharded voting engine's drive of the reformulated
-    /// dataflow: parallel streaming distortion correction and transport
-    /// encoding, key-frame segment planning, per-shard packet voting and
-    /// deterministic tree-reduction merge (see [`crate::parallel`]).
-    fn reconstruct_parallel(
-        &self,
-        events: &EventStream,
-        trajectory: &Trajectory,
-    ) -> Result<EmvsOutput, EmvsError> {
-        let shards = self.parallel.shards();
-        let mut profile = StageProfile::new();
-
-        // ➊ Streaming event distortion correction + Q9.7 transport encoding,
-        //   chunked over the shards (per-event pure maps: bit-identical to
-        //   the sequential stage for any shard count).
-        let t = Instant::now();
-        let corrected: Vec<Vec2> = parallel_map(events.as_slice(), shards, |e| {
-            self.camera
-                .undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
-        });
-        let transported: Vec<PackedCoord> = if self.options.quantize {
-            parallel_map(&corrected, shards, |&p| quantize_event_pixel(p))
-        } else {
-            Vec::new()
-        };
-        profile.add(Stage::DistortionCorrection, t.elapsed());
-
-        // ➋ Event aggregation (sequential: a cheap chunking pass).
-        let t = Instant::now();
-        let frames = aggregate(events, self.config.events_per_frame);
-        profile.add(Stage::Aggregation, t.elapsed());
-
-        let planes = DepthPlanes::uniform_inverse_depth(
-            self.config.depth_range.0,
-            self.config.depth_range.1,
-            self.config.num_depth_planes,
-        )?;
-
-        // ➌ Key-frame segment planning: replays the sequential key-frame
-        //   selector over the trajectory and precomputes H_Z0 / φ per frame.
-        let t = Instant::now();
-        let segments = plan_segments(
-            &frames,
-            trajectory,
-            &self.camera.intrinsics,
-            &planes,
-            &self.config,
-        )?;
-        profile.add(Stage::ComputeHomography, t.elapsed());
-
-        // ➍ Per-segment sharded voting, merged with a deterministic tree
-        //   reduction, on the storage type the options select. The quantized
-        //   per-frame parameter blocks (Q11.21 → f64 decode, hoisted out of
-        //   the per-event hot loop) are prepared one segment at a time, so
-        //   the resident working set is bounded by one key frame.
-        let hoist_segment = |segment: &KeyframeSegment| -> Vec<QuantizedFrameParams> {
-            parallel_map(&segment.frames, shards, QuantizedFrameParams::from_frame)
-        };
-        let (keyframes, global_map) =
-            if self.options.quantize && self.options.voting == VotingMode::Nearest {
-                let width = self.camera.intrinsics.width;
-                let height = self.camera.intrinsics.height;
-                self.vote_segments::<u16, _, _, _>(
-                    &segments,
-                    &planes,
-                    &mut profile,
-                    hoist_segment,
-                    |params, _seg, packet, tile| {
-                        vote_packet_quantized_nearest(
-                            tile,
-                            &params[packet.frame],
-                            &transported[packet.range.clone()],
-                            width,
-                            height,
-                        )
-                    },
-                )?
-            } else if self.options.quantize {
-                self.vote_segments::<f32, _, _, _>(
-                    &segments,
-                    &planes,
-                    &mut profile,
-                    hoist_segment,
-                    |params, _seg, packet, tile| {
-                        vote_packet_quantized_bilinear(
-                            tile,
-                            &params[packet.frame],
-                            &transported[packet.range.clone()],
-                        )
-                    },
-                )?
-            } else {
-                self.vote_segments::<f32, _, _, _>(
-                    &segments,
-                    &planes,
-                    &mut profile,
-                    |_| (),
-                    |(), seg, packet, tile| {
-                        vote_packet_float(
-                            tile,
-                            &segments[seg].frames[packet.frame],
-                            &corrected[packet.range.clone()],
-                            self.options.voting,
-                        )
-                    },
-                )?
-            };
-
-        Ok(EmvsOutput {
-            keyframes,
-            global_map,
-            profile,
-        })
-    }
-
-    /// Runs the sharded vote → tree-reduce → detect loop over all planned
-    /// segments with per-shard tiles of score type `S`, reusing the tiles
-    /// (reset, not reallocated) across key frames.
-    ///
-    /// `prepare` builds the per-segment voting context (e.g. the hoisted
-    /// quantized parameter blocks) just before that segment votes, so only
-    /// one segment's context is ever resident; `vote` receives it along with
-    /// the segment index.
-    ///
-    /// The fused vote kernel's wall time cannot be split into the paper's
-    /// canonical/proportional/vote stages once fused, so it is attributed
-    /// evenly to the three.
-    fn vote_segments<S, P, G, F>(
-        &self,
-        segments: &[KeyframeSegment],
-        planes: &DepthPlanes,
-        profile: &mut StageProfile,
-        prepare: G,
-        vote: F,
-    ) -> Result<(Vec<KeyframeReconstruction>, PointCloud), EmvsError>
-    where
-        S: VoxelScore,
-        P: Sync,
-        G: Fn(&KeyframeSegment) -> P,
-        F: Fn(&P, usize, &VotePacket, &mut ShardState<S>) + Sync,
-    {
-        let shards = self.parallel.shards();
-        let width = self.camera.intrinsics.width as usize;
-        let height = self.camera.intrinsics.height as usize;
-        let mut states: Vec<ShardState<S>> = (0..shards)
-            .map(|_| {
-                DsiVolume::new(width, height, planes.clone())
-                    .map(|tile| ShardState::new(tile, self.parallel.packet_events()))
-            })
-            .collect::<Result<_, _>>()?;
-        let mut keyframes: Vec<KeyframeReconstruction> = Vec::new();
-        let mut global_map = PointCloud::new();
-
-        for (seg_index, segment) in segments.iter().enumerate() {
-            let t = Instant::now();
-            let context = prepare(segment);
-            profile.add(Stage::ComputeCoefficients, t.elapsed());
-
-            let t = Instant::now();
-            let packets = segment.packets(self.parallel.packet_events());
-            run_sharded(&mut states, |shard, state| {
-                for packet in shard_packets(&packets, shard, shards) {
-                    vote(&context, seg_index, packet, state);
-                }
-            });
-            let fused = t.elapsed() / 3;
-            profile.add(Stage::CanonicalProjection, fused);
-            profile.add(Stage::ProportionalProjection, fused);
-            profile.add(Stage::VoteDsi, fused);
-
-            let t = Instant::now();
-            {
-                let mut tiles: Vec<&mut DsiVolume<S>> =
-                    states.iter_mut().map(|s| &mut s.tile).collect();
-                DsiVolume::tree_reduce_refs(&mut tiles);
-            }
-            let merged = &states[0].tile;
-            let reconstruction = self.finalize_keyframe_volume(
-                merged,
-                &segment.reference_pose,
-                segment.frames.len(),
-                segment.events,
-            );
-            profile.add(Stage::Detection, t.elapsed());
-            let t = Instant::now();
-            global_map.merge(&reconstruction.local_cloud);
-            keyframes.push(reconstruction);
-            profile.keyframes += 1;
-            for state in &mut states {
-                state.tile.reset();
-            }
-            profile.add(Stage::Merging, t.elapsed());
-            profile.frames_processed += segment.frames.len() as u64;
-            profile.events_processed += segment.events as u64;
-        }
-        Ok((keyframes, global_map))
-    }
-
-    /// Quantized FPGA datapath for one frame.
-    fn process_frame_quantized(
-        &self,
-        events: &[PackedCoord],
-        homography: &QuantizedHomography,
-        coefficients: &QuantizedCoefficients,
-        dsi: &mut DsiStorage,
-        profile: &mut StageProfile,
-    ) {
-        let width = self.camera.intrinsics.width;
-        let height = self.camera.intrinsics.height;
-        // Canonical projection P{Z0} on PE_Z0.
-        let t = Instant::now();
-        let canonical: Vec<Option<PackedCoord>> =
-            events.iter().map(|&c| homography.project(c)).collect();
-        profile.add(Stage::CanonicalProjection, t.elapsed());
-
-        // Proportional projection + vote generation + voting.
-        let t = Instant::now();
-        let n_planes = coefficients.len();
-        match self.options.voting {
-            VotingMode::Nearest => {
-                for c in canonical.iter().flatten() {
-                    for i in 0..n_planes {
-                        if let Some((x, y)) = coefficients
-                            .transfer_nearest(*c, i, width, height)
-                            .address()
-                        {
-                            dsi.vote(x as f64, y as f64, i, VotingMode::Nearest);
-                        }
-                    }
-                }
-            }
-            VotingMode::Bilinear => {
-                for c in canonical.iter().flatten() {
-                    for i in 0..n_planes {
-                        let p = coefficients.transfer_subpixel(*c, i);
-                        dsi.vote(p.x, p.y, i, VotingMode::Bilinear);
-                    }
-                }
-            }
-        }
-        // The address-generation and vote stages are fused on the FPGA; their
-        // combined cost is attributed to the proportional-projection stage,
-        // with the DSI update counted under VoteDsi for profile compatibility.
-        let elapsed = t.elapsed();
-        profile.add(Stage::ProportionalProjection, elapsed / 2);
-        profile.add(Stage::VoteDsi, elapsed - elapsed / 2);
-    }
-
-    /// Full-precision datapath for one frame (used by the ablations that
-    /// disable quantization).
-    fn process_frame_float(
-        &self,
-        events: &[Vec2],
-        geometry: &FrameGeometry,
-        dsi: &mut DsiStorage,
-        profile: &mut StageProfile,
-    ) {
-        let t = Instant::now();
-        let canonical: Vec<Option<Vec2>> = events.iter().map(|&p| geometry.canonical(p)).collect();
-        profile.add(Stage::CanonicalProjection, t.elapsed());
-
-        let t = Instant::now();
-        let n_planes = geometry.num_planes();
-        for c in canonical.iter().flatten() {
-            for i in 0..n_planes {
-                let p = geometry.transfer(*c, i);
-                dsi.vote(p.x, p.y, i, self.options.voting);
-            }
-        }
-        let elapsed = t.elapsed();
-        profile.add(Stage::ProportionalProjection, elapsed / 2);
-        profile.add(Stage::VoteDsi, elapsed - elapsed / 2);
-    }
-
-    /// [`Self::finalize_keyframe`] on a bare volume — the entry point the
-    /// parallel engine uses on a tree-reduced shard tile.
-    fn finalize_keyframe_volume<S: VoxelScore>(
-        &self,
-        dsi: &DsiVolume<S>,
-        reference_pose: &Pose,
-        frames_used: usize,
-        events_used: usize,
-    ) -> KeyframeReconstruction {
-        let depth_map = detect_structure(dsi, &self.config.detection);
-        let local_cloud =
-            PointCloud::from_depth_map(&depth_map, &self.camera.intrinsics, reference_pose);
-        KeyframeReconstruction {
-            reference_pose: *reference_pose,
-            depth_map,
-            local_cloud,
-            frames_used,
-            events_used,
-            votes_cast: dsi.votes_cast(),
-        }
-    }
-
-    fn finalize_keyframe(
-        &self,
-        dsi: &DsiStorage,
-        reference_pose: &Pose,
-        frames_used: usize,
-        events_used: usize,
-    ) -> KeyframeReconstruction {
-        let depth_map = dsi.detect(&self.config.detection);
-        let local_cloud =
-            PointCloud::from_depth_map(&depth_map, &self.camera.intrinsics, reference_pose);
-        KeyframeReconstruction {
-            reference_pose: *reference_pose,
-            depth_map,
-            local_cloud,
-            frames_used,
-            events_used,
-            votes_cast: dsi.votes_cast(),
+            let backend = SoftwareBackend::new(self.camera, &self.config, self.options)?;
+            reconstruct_with_backend(
+                self.camera,
+                self.config.clone(),
+                backend,
+                events,
+                trajectory,
+            )
         }
     }
 }
@@ -726,6 +212,7 @@ impl EventorPipeline {
 mod tests {
     use super::*;
     use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+    use eventor_geom::Pose;
 
     fn sequence() -> SyntheticSequence {
         SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test()).unwrap()

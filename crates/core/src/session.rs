@@ -1,0 +1,1124 @@
+//! The unified streaming **`EventorSession`** API: push-based incremental
+//! reconstruction with pluggable execution backends.
+//!
+//! This is the public entry point the ROADMAP's online/multi-backend goal
+//! asks for. One validated configuration path ([`SessionBuilder`]) selects an
+//! [`ExecutionBackend`] trait object —
+//!
+//! * [`SoftwareBackend`] — the sequential reformulated (optionally
+//!   quantized) golden path of [`crate::EventorPipeline`],
+//! * [`ShardedBackend`] — the parallel sharded voting engine (private
+//!   per-shard DSI tiles, round-robin vote packets, deterministic tree
+//!   reduction),
+//! * [`CosimBackend`](crate::CosimBackend) — the functional
+//!   `eventor-hwsim` device driven through its register/DMA interface,
+//! * any user type implementing [`ExecutionBackend`]
+//!   (`eventor-backend/1`, `docs/ARCHITECTURE.md` §6).
+//!
+//! Ingestion is push-based and backpressure-aware: [`EventorSession::push_pose`]
+//! and [`EventorSession::push_events`] / [`EventorSession::push_packet`] feed
+//! the session, [`EventorSession::poll`] drains ready frames and yields
+//! [`SessionEvent`] lifecycle notifications, and
+//! [`EventorSession::finish`] flushes the trailing partial frame and returns
+//! the batch-shaped [`SessionOutput`]. For the quantized nearest-voting
+//! datapath the output is **bit-identical** to the batch `reconstruct()`
+//! golden path for every backend and for arbitrary packet boundaries
+//! (`tests/session_equivalence.rs`).
+//!
+//! Finished key frames can optionally be fused incrementally into an
+//! `eventor-map` [`GlobalMap`] ([`SessionBuilder::fuse_into_map`]), emitting
+//! [`SessionEvent::MapFused`] per key frame.
+
+use crate::cosim::CosimBackend;
+use crate::parallel::{
+    parallel_map, run_sharded, shard_packets, vote_packet_float, vote_packet_quantized_bilinear,
+    vote_packet_quantized_nearest, ParallelConfig, QuantizedFrameParams, ShardState,
+};
+use crate::pipeline::EventorOptions;
+use crate::quantized::{quantize_event_pixel, QuantizedCoefficients, QuantizedHomography};
+use eventor_dsi::{DepthPlanes, DetectionConfig, DsiVolume, VoxelScore};
+use eventor_emvs::{
+    finalize_volume, EmvsConfig, EmvsError, EmvsOutput, FrameGeometry, KeyframeReconstruction,
+    SessionDriver, Stage, StageProfile, VotingMode,
+};
+use eventor_events::{packetize_frame, Event, EventStream, VotePacket};
+use eventor_fixed::PackedCoord;
+use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
+use eventor_hwsim::AcceleratorConfig;
+use eventor_map::{GlobalMap, GlobalMapConfig};
+use std::time::Instant;
+
+pub use crate::cosim::CosimReport;
+pub use eventor_emvs::{
+    ExecutionBackend, FrameWork, SessionEvent, DEFAULT_MAX_PENDING_EVENTS, ENGINE_SPILL_EVENTS,
+};
+
+/// DSI storage of the software backend: 16-bit integer scores for the
+/// quantized nearest-voting datapath, `f32` otherwise.
+#[derive(Debug, Clone)]
+enum DsiStorage {
+    Float(DsiVolume<f32>),
+    Quantized(DsiVolume<u16>),
+}
+
+impl DsiStorage {
+    fn new(
+        width: usize,
+        height: usize,
+        planes: DepthPlanes,
+        options: &EventorOptions,
+    ) -> Result<Self, EmvsError> {
+        if options.quantize && options.voting == VotingMode::Nearest {
+            Ok(Self::Quantized(DsiVolume::new(width, height, planes)?))
+        } else {
+            Ok(Self::Float(DsiVolume::new(width, height, planes)?))
+        }
+    }
+
+    fn vote(&mut self, x: f64, y: f64, plane: usize, voting: VotingMode) {
+        match (self, voting) {
+            (Self::Float(dsi), VotingMode::Bilinear) => dsi.vote_bilinear(x, y, plane, 1.0),
+            (Self::Float(dsi), VotingMode::Nearest) => dsi.vote_nearest(x, y, plane, 1.0),
+            (Self::Quantized(dsi), VotingMode::Bilinear) => dsi.vote_bilinear(x, y, plane, 1.0),
+            (Self::Quantized(dsi), VotingMode::Nearest) => dsi.vote_nearest(x, y, plane, 1.0),
+        }
+    }
+
+    fn finalize(
+        &self,
+        detection: &DetectionConfig,
+        camera: &CameraModel,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+    ) -> KeyframeReconstruction {
+        match self {
+            Self::Float(dsi) => finalize_volume(
+                dsi,
+                detection,
+                camera,
+                reference_pose,
+                frames_used,
+                events_used,
+            ),
+            Self::Quantized(dsi) => finalize_volume(
+                dsi,
+                detection,
+                camera,
+                reference_pose,
+                frames_used,
+                events_used,
+            ),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Self::Float(dsi) => dsi.reset(),
+            Self::Quantized(dsi) => dsi.reset(),
+        }
+    }
+}
+
+/// Tree-reduces a set of shard tiles into `states[0]` and finalizes the
+/// merged volume — the score-type-generic body of
+/// [`ShardedBackend::retire_keyframe`], so a change to the reduction can
+/// never silently miss one tile variant.
+fn reduce_and_finalize<S: VoxelScore>(
+    states: &mut [ShardState<S>],
+    detection: &DetectionConfig,
+    camera: &CameraModel,
+    reference_pose: &Pose,
+    frames_used: usize,
+    events_used: usize,
+) -> KeyframeReconstruction {
+    {
+        let mut tiles: Vec<&mut DsiVolume<S>> = states.iter_mut().map(|s| &mut s.tile).collect();
+        DsiVolume::tree_reduce_refs(&mut tiles);
+    }
+    finalize_volume(
+        &states[0].tile,
+        detection,
+        camera,
+        reference_pose,
+        frames_used,
+        events_used,
+    )
+}
+
+/// Resets every shard tile for the next key frame (reused, not
+/// reallocated).
+fn reset_tiles<S: VoxelScore>(states: &mut [ShardState<S>]) {
+    for state in states {
+        state.tile.reset();
+    }
+}
+
+/// The sequential reformulated (Fig. 3 right) datapath behind the session
+/// contract: streaming per-event distortion correction, pre-computed
+/// `H_{Z0}` / `φ`, nearest or bilinear voting, optional Table 1
+/// quantization — exactly the per-frame work of the seed
+/// `EventorPipeline::reconstruct` loop.
+#[derive(Debug)]
+pub struct SoftwareBackend {
+    camera: CameraModel,
+    options: EventorOptions,
+    detection: DetectionConfig,
+    dsi: DsiStorage,
+    // Scratch buffers reused across frames (cleared, never reallocated), so
+    // the per-frame hot path allocates nothing — like the batch loop it
+    // replaced, which built these buffers once per stream.
+    corrected: Vec<Vec2>,
+    transported: Vec<PackedCoord>,
+    canonical_packed: Vec<Option<PackedCoord>>,
+    canonical_float: Vec<Option<Vec2>>,
+}
+
+impl SoftwareBackend {
+    /// Creates the backend, allocating its DSI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] for unusable configurations and
+    /// [`EmvsError::Dsi`] when the DSI cannot be allocated.
+    pub fn new(
+        camera: CameraModel,
+        config: &EmvsConfig,
+        options: EventorOptions,
+    ) -> Result<Self, EmvsError> {
+        let planes = config.depth_planes()?;
+        let width = camera.intrinsics.width as usize;
+        let height = camera.intrinsics.height as usize;
+        let dsi = DsiStorage::new(width, height, planes, &options)?;
+        Ok(Self {
+            camera,
+            options,
+            detection: config.detection,
+            dsi,
+            corrected: Vec::with_capacity(config.events_per_frame),
+            transported: Vec::with_capacity(config.events_per_frame),
+            canonical_packed: Vec::new(),
+            canonical_float: Vec::new(),
+        })
+    }
+
+    /// The active reformulation options.
+    pub fn options(&self) -> &EventorOptions {
+        &self.options
+    }
+
+    /// Quantized FPGA datapath for one frame.
+    fn process_frame_quantized(
+        &mut self,
+        events: &[PackedCoord],
+        homography: &QuantizedHomography,
+        coefficients: &QuantizedCoefficients,
+        profile: &mut StageProfile,
+    ) {
+        let width = self.camera.intrinsics.width;
+        let height = self.camera.intrinsics.height;
+        // Canonical projection P{Z0} on PE_Z0 (scratch buffer reused across
+        // frames; taken so the borrow doesn't alias the DSI votes below).
+        let t = Instant::now();
+        let mut canonical = std::mem::take(&mut self.canonical_packed);
+        canonical.clear();
+        canonical.extend(events.iter().map(|&c| homography.project(c)));
+        profile.add(Stage::CanonicalProjection, t.elapsed());
+
+        // Proportional projection + vote generation + voting.
+        let t = Instant::now();
+        let n_planes = coefficients.len();
+        match self.options.voting {
+            VotingMode::Nearest => {
+                for c in canonical.iter().flatten() {
+                    for i in 0..n_planes {
+                        if let Some((x, y)) = coefficients
+                            .transfer_nearest(*c, i, width, height)
+                            .address()
+                        {
+                            self.dsi.vote(x as f64, y as f64, i, VotingMode::Nearest);
+                        }
+                    }
+                }
+            }
+            VotingMode::Bilinear => {
+                for c in canonical.iter().flatten() {
+                    for i in 0..n_planes {
+                        let p = coefficients.transfer_subpixel(*c, i);
+                        self.dsi.vote(p.x, p.y, i, VotingMode::Bilinear);
+                    }
+                }
+            }
+        }
+        // The address-generation and vote stages are fused on the FPGA; their
+        // combined cost is attributed to the proportional-projection stage,
+        // with the DSI update counted under VoteDsi for profile compatibility.
+        let elapsed = t.elapsed();
+        profile.add(Stage::ProportionalProjection, elapsed / 2);
+        profile.add(Stage::VoteDsi, elapsed - elapsed / 2);
+        self.canonical_packed = canonical;
+    }
+
+    /// Full-precision datapath for one frame (used by the ablations that
+    /// disable quantization).
+    fn process_frame_float(
+        &mut self,
+        events: &[Vec2],
+        geometry: &FrameGeometry,
+        profile: &mut StageProfile,
+    ) {
+        let t = Instant::now();
+        let mut canonical = std::mem::take(&mut self.canonical_float);
+        canonical.clear();
+        canonical.extend(events.iter().map(|&p| geometry.canonical(p)));
+        profile.add(Stage::CanonicalProjection, t.elapsed());
+
+        let t = Instant::now();
+        let n_planes = geometry.num_planes();
+        for c in canonical.iter().flatten() {
+            for i in 0..n_planes {
+                let p = geometry.transfer(*c, i);
+                self.dsi.vote(p.x, p.y, i, self.options.voting);
+            }
+        }
+        let elapsed = t.elapsed();
+        profile.add(Stage::ProportionalProjection, elapsed / 2);
+        profile.add(Stage::VoteDsi, elapsed - elapsed / 2);
+        self.canonical_float = canonical;
+    }
+}
+
+impl ExecutionBackend for SoftwareBackend {
+    fn name(&self) -> &'static str {
+        "software"
+    }
+
+    fn vote_frame(
+        &mut self,
+        work: &FrameWork<'_>,
+        profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        // ➊ Streaming event distortion correction (rescheduled stage) and,
+        //   under quantization, Q9.7 transport encoding. The scratch buffers
+        //   are taken out of `self` for the duration of the frame so they can
+        //   be passed to the `&mut self` datapath methods below.
+        let t = Instant::now();
+        let mut corrected = std::mem::take(&mut self.corrected);
+        corrected.clear();
+        corrected.extend(work.events.iter().map(|e| {
+            self.camera
+                .undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
+        }));
+        let mut transported = std::mem::take(&mut self.transported);
+        transported.clear();
+        if self.options.quantize {
+            transported.extend(corrected.iter().map(|&p| quantize_event_pixel(p)));
+        }
+        profile.add(Stage::DistortionCorrection, t.elapsed());
+
+        // ➌ Quantize H_Z0 and φ (rescheduled: before the canonical
+        //   projection).
+        let t = Instant::now();
+        let quantized = if self.options.quantize {
+            Some((
+                QuantizedHomography::from_homography(&work.geometry.homography),
+                QuantizedCoefficients::from_coefficients(&work.geometry.coefficients),
+            ))
+        } else {
+            None
+        };
+        profile.add(Stage::ComputeCoefficients, t.elapsed());
+
+        // ➍ The FPGA datapath: canonical projection, proportional
+        //   projection, vote generation and DSI voting.
+        match &quantized {
+            Some((qh, qphi)) => self.process_frame_quantized(&transported, qh, qphi, profile),
+            None => self.process_frame_float(&corrected, work.geometry, profile),
+        }
+        self.corrected = corrected;
+        self.transported = transported;
+        Ok(())
+    }
+
+    fn retire_keyframe(
+        &mut self,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+        profile: &mut StageProfile,
+    ) -> Result<KeyframeReconstruction, EmvsError> {
+        let t = Instant::now();
+        let reconstruction = self.dsi.finalize(
+            &self.detection,
+            &self.camera,
+            reference_pose,
+            frames_used,
+            events_used,
+        );
+        profile.add(Stage::Detection, t.elapsed());
+        let t = Instant::now();
+        self.dsi.reset();
+        profile.add(Stage::Merging, t.elapsed());
+        Ok(reconstruction)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Per-shard tiles of the sharded backend, on the score type the options
+/// select.
+#[derive(Debug)]
+enum ShardTiles {
+    Quantized(Vec<ShardState<u16>>),
+    Float(Vec<ShardState<f32>>),
+}
+
+/// The parallel sharded voting engine behind the session contract: frames
+/// buffer (corrected/transported events plus hoisted per-frame parameters)
+/// while their key frame is open, and retirement votes the key frame's
+/// packets round-robin over worker shards into private DSI tiles, merged
+/// with a deterministic tree reduction.
+///
+/// For the accelerator datapath (`u16` scores, nearest voting) the output is
+/// bit-identical to [`SoftwareBackend`] for every shard count; see
+/// `docs/ARCHITECTURE.md` §5.
+#[derive(Debug)]
+pub struct ShardedBackend {
+    camera: CameraModel,
+    options: EventorOptions,
+    detection: DetectionConfig,
+    parallel: ParallelConfig,
+    tiles: ShardTiles,
+    // Buffered state of the open key frame.
+    buffered_events: usize,
+    frame_lens: Vec<usize>,
+    transported: Vec<PackedCoord>,
+    corrected: Vec<Vec2>,
+    params: Vec<QuantizedFrameParams>,
+    geometries: Vec<FrameGeometry>,
+}
+
+impl ShardedBackend {
+    /// Creates the backend, allocating one private DSI tile per shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] for unusable configurations and
+    /// [`EmvsError::Dsi`] when the tiles cannot be allocated.
+    pub fn new(
+        camera: CameraModel,
+        config: &EmvsConfig,
+        options: EventorOptions,
+        parallel: ParallelConfig,
+    ) -> Result<Self, EmvsError> {
+        let planes = config.depth_planes()?;
+        let width = camera.intrinsics.width as usize;
+        let height = camera.intrinsics.height as usize;
+        let shards = parallel.shards();
+        let tiles = if options.quantize && options.voting == VotingMode::Nearest {
+            ShardTiles::Quantized(
+                (0..shards)
+                    .map(|_| {
+                        DsiVolume::new(width, height, planes.clone())
+                            .map(|tile| ShardState::new(tile, parallel.packet_events()))
+                    })
+                    .collect::<Result<_, _>>()?,
+            )
+        } else {
+            ShardTiles::Float(
+                (0..shards)
+                    .map(|_| {
+                        DsiVolume::new(width, height, planes.clone())
+                            .map(|tile| ShardState::new(tile, parallel.packet_events()))
+                    })
+                    .collect::<Result<_, _>>()?,
+            )
+        };
+        Ok(Self {
+            camera,
+            options,
+            detection: config.detection,
+            parallel,
+            tiles,
+            buffered_events: 0,
+            frame_lens: Vec::new(),
+            transported: Vec::new(),
+            corrected: Vec::new(),
+            params: Vec::new(),
+            geometries: Vec::new(),
+        })
+    }
+
+    /// The parallelism configuration.
+    pub fn parallelism(&self) -> &ParallelConfig {
+        &self.parallel
+    }
+
+    /// Splits the buffered frames into vote packets addressing the
+    /// key-frame-local concatenated event buffer.
+    fn packets(&self) -> Vec<VotePacket> {
+        let mut packets = Vec::new();
+        let mut start = 0usize;
+        for (i, &len) in self.frame_lens.iter().enumerate() {
+            packetize_frame(
+                i,
+                start..start + len,
+                self.parallel.packet_events(),
+                &mut packets,
+            );
+            start += len;
+        }
+        packets
+    }
+
+    /// Votes every buffered frame into the shard tiles (packet round-robin
+    /// over the fused kernels) and clears the key-frame buffer. Called at
+    /// retirement and whenever the buffer crosses [`ENGINE_SPILL_EVENTS`],
+    /// so an arbitrarily long key frame never buffers unboundedly — only
+    /// the fixed-size tiles accumulate. Spilling at any boundary is safe:
+    /// nearest voting is order-independent, and a single-shard partition
+    /// keeps the exact sequential packet order across spills.
+    fn vote_buffered(&mut self, profile: &mut StageProfile) {
+        if self.frame_lens.is_empty() {
+            return;
+        }
+        let t = Instant::now();
+        let packets = self.packets();
+        let shards = self.parallel.shards();
+        match &mut self.tiles {
+            ShardTiles::Quantized(states) => {
+                let width = self.camera.intrinsics.width;
+                let height = self.camera.intrinsics.height;
+                let params = &self.params;
+                let transported = &self.transported;
+                run_sharded(states, |shard, state| {
+                    for packet in shard_packets(&packets, shard, shards) {
+                        vote_packet_quantized_nearest(
+                            state,
+                            &params[packet.frame],
+                            &transported[packet.range.clone()],
+                            width,
+                            height,
+                        );
+                    }
+                });
+            }
+            ShardTiles::Float(states) => {
+                if self.options.quantize {
+                    let params = &self.params;
+                    let transported = &self.transported;
+                    run_sharded(states, |shard, state| {
+                        for packet in shard_packets(&packets, shard, shards) {
+                            vote_packet_quantized_bilinear(
+                                state,
+                                &params[packet.frame],
+                                &transported[packet.range.clone()],
+                            );
+                        }
+                    });
+                } else {
+                    let geometries = &self.geometries;
+                    let corrected = &self.corrected;
+                    let voting = self.options.voting;
+                    run_sharded(states, |shard, state| {
+                        for packet in shard_packets(&packets, shard, shards) {
+                            vote_packet_float(
+                                state,
+                                &geometries[packet.frame],
+                                &corrected[packet.range.clone()],
+                                voting,
+                            );
+                        }
+                    });
+                }
+            }
+        }
+        self.buffered_events = 0;
+        self.frame_lens.clear();
+        self.transported.clear();
+        self.corrected.clear();
+        self.params.clear();
+        self.geometries.clear();
+        // The fused vote kernel's wall time cannot be split into the paper's
+        // canonical/proportional/vote stages once fused.
+        let fused = t.elapsed() / 3;
+        profile.add(Stage::CanonicalProjection, fused);
+        profile.add(Stage::ProportionalProjection, fused);
+        profile.add(Stage::VoteDsi, fused);
+    }
+}
+
+impl ExecutionBackend for ShardedBackend {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn vote_frame(
+        &mut self,
+        work: &FrameWork<'_>,
+        profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        let shards = self.parallel.shards();
+        // ➊ Streaming distortion correction, chunked over the shards
+        //   (per-event pure map: bit-identical for any shard count).
+        let t = Instant::now();
+        let corrected: Vec<Vec2> = parallel_map(work.events, shards, |e| {
+            self.camera
+                .undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
+        });
+        profile.add(Stage::DistortionCorrection, t.elapsed());
+
+        // ➋ Transport-encode (chunked over the shards, like the distortion
+        //   correction above — another per-event pure map) and hoist the
+        //   per-frame parameter block (Q11.21 → f64 decode out of the
+        //   per-event hot loop).
+        let t = Instant::now();
+        if self.options.quantize {
+            let transported = parallel_map(&corrected, shards, |&p| quantize_event_pixel(p));
+            self.transported.extend_from_slice(&transported);
+            self.params
+                .push(QuantizedFrameParams::from_geometry(work.geometry));
+        } else {
+            self.corrected.extend_from_slice(&corrected);
+            self.geometries.push(work.geometry.clone());
+        }
+        self.frame_lens.push(work.events.len());
+        self.buffered_events += work.events.len();
+        profile.add(Stage::ComputeCoefficients, t.elapsed());
+        if self.buffered_events >= ENGINE_SPILL_EVENTS {
+            self.vote_buffered(profile);
+        }
+        Ok(())
+    }
+
+    fn retire_keyframe(
+        &mut self,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+        profile: &mut StageProfile,
+    ) -> Result<KeyframeReconstruction, EmvsError> {
+        self.vote_buffered(profile);
+        let t = Instant::now();
+        let reconstruction = match &mut self.tiles {
+            ShardTiles::Quantized(states) => reduce_and_finalize(
+                states,
+                &self.detection,
+                &self.camera,
+                reference_pose,
+                frames_used,
+                events_used,
+            ),
+            ShardTiles::Float(states) => reduce_and_finalize(
+                states,
+                &self.detection,
+                &self.camera,
+                reference_pose,
+                frames_used,
+                events_used,
+            ),
+        };
+        profile.add(Stage::Detection, t.elapsed());
+
+        let t = Instant::now();
+        match &mut self.tiles {
+            ShardTiles::Quantized(states) => reset_tiles(states),
+            ShardTiles::Float(states) => reset_tiles(states),
+        }
+        profile.add(Stage::Merging, t.elapsed());
+        Ok(reconstruction)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Backend selection recorded by the builder until [`SessionBuilder::build`].
+#[derive(Debug)]
+enum BackendChoice {
+    Software(EventorOptions),
+    Sharded(EventorOptions, ParallelConfig),
+    Cosim(AcceleratorConfig, ParallelConfig),
+    Custom(Box<dyn ExecutionBackend>),
+}
+
+/// Builder of an [`EventorSession`]: one validated configuration path for
+/// every backend.
+///
+/// # Examples
+///
+/// ```no_run
+/// use eventor_core::{EventorOptions, EventorSession, ParallelConfig};
+/// use eventor_emvs::EmvsConfig;
+/// use eventor_geom::CameraModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let session = EventorSession::builder(CameraModel::davis240_ideal(), EmvsConfig::default())
+///     .sharded(EventorOptions::accelerator(), ParallelConfig::with_shards(4))
+///     .build()?;
+/// assert_eq!(session.backend_name(), "sharded");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder {
+    camera: CameraModel,
+    config: EmvsConfig,
+    backend: BackendChoice,
+    fusion: Option<GlobalMapConfig>,
+    max_pending_events: usize,
+}
+
+impl SessionBuilder {
+    /// Selects the sequential software backend (default:
+    /// [`EventorOptions::accelerator`]).
+    pub fn software(mut self, options: EventorOptions) -> Self {
+        self.backend = BackendChoice::Software(options);
+        self
+    }
+
+    /// Selects the parallel sharded voting engine.
+    pub fn sharded(mut self, options: EventorOptions, parallel: ParallelConfig) -> Self {
+        self.backend = BackendChoice::Sharded(options, parallel);
+        self
+    }
+
+    /// Selects the co-simulated `eventor-hwsim` device. The accelerator
+    /// configuration is aligned with the EMVS configuration at build time
+    /// (frame size, plane count, sensor resolution).
+    pub fn cosim(mut self, accelerator: AcceleratorConfig) -> Self {
+        self.backend = BackendChoice::Cosim(accelerator, ParallelConfig::sequential());
+        self
+    }
+
+    /// Selects the co-simulated device with PS-side (firmware) stages
+    /// chunked over worker shards.
+    pub fn cosim_with_parallelism(
+        mut self,
+        accelerator: AcceleratorConfig,
+        parallel: ParallelConfig,
+    ) -> Self {
+        self.backend = BackendChoice::Cosim(accelerator, parallel);
+        self
+    }
+
+    /// Installs a custom execution backend.
+    pub fn custom_backend(mut self, backend: Box<dyn ExecutionBackend>) -> Self {
+        self.backend = BackendChoice::Custom(backend);
+        self
+    }
+
+    /// Fuses every finished key frame into an incremental `eventor-map`
+    /// [`GlobalMap`] and emits [`SessionEvent::MapFused`] per key frame.
+    pub fn fuse_into_map(mut self, config: GlobalMapConfig) -> Self {
+        self.fusion = Some(config);
+        self
+    }
+
+    /// Bounds the session's pending-event buffer (default
+    /// [`DEFAULT_MAX_PENDING_EVENTS`]; clamped to at least one frame).
+    pub fn max_pending_events(mut self, cap: usize) -> Self {
+        self.max_pending_events = cap;
+        self
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] for unusable configurations
+    /// (via [`EmvsConfig::validate`] — the single validation path) or an
+    /// invalid fusion-map resolution, and [`EmvsError::Dsi`] when backend
+    /// state cannot be allocated.
+    pub fn build(self) -> Result<EventorSession, EmvsError> {
+        // Validation happens once, inside the backend constructor and
+        // `SessionDriver::new` (both independently-constructible public
+        // APIs) — no extra copy of the checks here.
+        let backend: Box<dyn ExecutionBackend> = match self.backend {
+            BackendChoice::Software(options) => {
+                Box::new(SoftwareBackend::new(self.camera, &self.config, options)?)
+            }
+            BackendChoice::Sharded(options, parallel) => Box::new(ShardedBackend::new(
+                self.camera,
+                &self.config,
+                options,
+                parallel,
+            )?),
+            BackendChoice::Cosim(accelerator, parallel) => Box::new(CosimBackend::new(
+                self.camera,
+                &self.config,
+                accelerator,
+                parallel,
+            )?),
+            BackendChoice::Custom(backend) => backend,
+        };
+        let driver = SessionDriver::new(self.camera, self.config, backend)?
+            .with_max_pending_events(self.max_pending_events);
+        let fusion = match self.fusion {
+            Some(config) => Some(
+                GlobalMap::new(config).map_err(|e| EmvsError::InvalidConfig {
+                    reason: format!("fusion map: {e}"),
+                })?,
+            ),
+            None => None,
+        };
+        Ok(EventorSession {
+            driver,
+            fusion,
+            fused_keyframes: 0,
+        })
+    }
+}
+
+/// Everything a finished session produced.
+#[derive(Debug)]
+pub struct SessionOutput {
+    /// The reconstruction, in the same shape the batch `reconstruct()` entry
+    /// points return.
+    pub output: EmvsOutput,
+    /// Lifecycle events emitted by the final flush (key frames retired at
+    /// `finish` time that were never polled).
+    pub events: Vec<SessionEvent>,
+    /// The incremental global map, when fusion was enabled.
+    pub fused_map: Option<GlobalMap>,
+    /// The accelerator activity report, when the cosim backend ran.
+    pub cosim_report: Option<CosimReport>,
+}
+
+/// A streaming reconstruction session over a pluggable execution backend:
+/// push-based incremental ingestion (poses + event packets), lifecycle
+/// notifications via [`poll`](Self::poll), bounded in-flight memory with
+/// backpressure, and optional incremental map fusion.
+///
+/// # Examples
+///
+/// ```no_run
+/// use eventor_core::{EventorOptions, EventorSession, SessionEvent};
+/// use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+/// use eventor_core::config_for_sequence;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let seq = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
+/// let mut session = EventorSession::builder(seq.camera, config_for_sequence(&seq, 100))
+///     .software(EventorOptions::accelerator())
+///     .build()?;
+/// for sample in seq.trajectory.iter() {
+///     session.push_pose(sample.timestamp, sample.pose)?;
+/// }
+/// for packet in seq.events.packets(1024) {
+///     session.push_events(packet)?;
+///     for event in session.poll()? {
+///         if let SessionEvent::KeyframeReady { index, .. } = event {
+///             println!("keyframe {index} ready");
+///         }
+///     }
+/// }
+/// let finished = session.finish()?;
+/// println!("{} key frames", finished.output.keyframes.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EventorSession {
+    driver: SessionDriver<Box<dyn ExecutionBackend>>,
+    fusion: Option<GlobalMap>,
+    fused_keyframes: usize,
+}
+
+impl EventorSession {
+    /// Starts building a session for the given camera and configuration
+    /// (software accelerator backend unless overridden).
+    pub fn builder(camera: CameraModel, config: EmvsConfig) -> SessionBuilder {
+        SessionBuilder {
+            camera,
+            config,
+            backend: BackendChoice::Software(EventorOptions::accelerator()),
+            fusion: None,
+            max_pending_events: DEFAULT_MAX_PENDING_EVENTS,
+        }
+    }
+
+    /// Short identifier of the active backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.driver.backend().name()
+    }
+
+    /// The EMVS configuration.
+    pub fn config(&self) -> &EmvsConfig {
+        self.driver.config()
+    }
+
+    /// Events buffered but not yet aggregated into a processed frame.
+    pub fn pending_events(&self) -> usize {
+        self.driver.pending_events()
+    }
+
+    /// Key frames retired so far.
+    pub fn keyframes(&self) -> &[KeyframeReconstruction] {
+        self.driver.keyframes()
+    }
+
+    /// The per-stage runtime profile accumulated so far.
+    pub fn profile(&self) -> &StageProfile {
+        self.driver.profile()
+    }
+
+    /// The incremental global map (when fusion is enabled).
+    pub fn fused_map(&self) -> Option<&GlobalMap> {
+        self.fusion.as_ref()
+    }
+
+    /// The accelerator activity report accumulated so far (cosim backend
+    /// only).
+    pub fn cosim_report(&self) -> Option<CosimReport> {
+        self.driver
+            .backend()
+            .as_any()
+            .and_then(|a| a.downcast_ref::<CosimBackend>())
+            .map(|b| b.report())
+    }
+
+    /// Appends one trajectory sample (strictly increasing timestamps).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SessionDriver::push_pose`].
+    pub fn push_pose(&mut self, timestamp: f64, pose: Pose) -> Result<(), EmvsError> {
+        self.driver.push_pose(timestamp, pose)
+    }
+
+    /// Appends every sample of a trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SessionDriver::push_trajectory`].
+    pub fn push_trajectory(&mut self, trajectory: &Trajectory) -> Result<(), EmvsError> {
+        self.driver.push_trajectory(trajectory)
+    }
+
+    /// Pushes a packet of time-ordered events (any size), returning the
+    /// number of events ingested — `write(2)`-style short-write semantics
+    /// when the bounded buffer fills mid-push (see
+    /// [`SessionDriver::push_events`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SessionDriver::push_events`] —
+    /// [`EmvsError::Backpressure`] when the buffer is full and nothing could
+    /// be accepted, [`EmvsError::OutOfOrder`] for non-monotonic events.
+    pub fn push_events(&mut self, events: &[Event]) -> Result<usize, EmvsError> {
+        self.driver.push_events(events)
+    }
+
+    /// [`Self::push_events`] on an [`EventStream`] packet.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::push_events`].
+    pub fn push_packet(&mut self, packet: &EventStream) -> Result<usize, EmvsError> {
+        self.driver.push_packet(packet)
+    }
+
+    /// Drops every buffered (unprocessed) event and returns how many were
+    /// discarded — the explicit escape hatch for events whose poses can
+    /// never arrive (see [`SessionDriver::discard_pending`]).
+    pub fn discard_pending(&mut self) -> usize {
+        self.driver.discard_pending()
+    }
+
+    /// Processes **all** buffered frames (including the trailing partial
+    /// frame) and retires the final key frame, without consuming the
+    /// session.
+    ///
+    /// Call this before [`Self::finish`] when a flush failure must be
+    /// recoverable: on error the session — retired key frames, fused map,
+    /// backend state — stays intact, so the caller can push the missing
+    /// poses or [`Self::discard_pending`] and try again. Lifecycle events
+    /// from the flush arrive with the next [`Self::poll`] or in
+    /// [`SessionOutput::events`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SessionDriver::flush`].
+    pub fn flush(&mut self) -> Result<(), EmvsError> {
+        self.driver.flush()
+    }
+
+    /// Processes every ready frame and returns the lifecycle events emitted
+    /// since the last poll (including [`SessionEvent::MapFused`] when fusion
+    /// is enabled).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SessionDriver::poll`].
+    pub fn poll(&mut self) -> Result<Vec<SessionEvent>, EmvsError> {
+        let mut events = self.driver.poll()?;
+        self.fuse_new(&mut events);
+        Ok(events)
+    }
+
+    /// Flushes the trailing partial frame, retires the final key frame and
+    /// returns everything the session produced.
+    ///
+    /// # Errors
+    ///
+    /// [`EmvsError::NoEvents`] when no event was ever pushed, plus the
+    /// [`SessionDriver::flush`] failure modes.
+    pub fn finish(mut self) -> Result<SessionOutput, EmvsError> {
+        self.driver.flush()?;
+        let mut events = self.driver.take_events();
+        self.fuse_new(&mut events);
+        let fused_map = self.fusion.take();
+        let (result, backend) = self.driver.finish_with_backend();
+        let output = result?;
+        let cosim_report = backend
+            .as_any()
+            .and_then(|a| a.downcast_ref::<CosimBackend>())
+            .map(|b| b.report());
+        Ok(SessionOutput {
+            output,
+            events,
+            fused_map,
+            cosim_report,
+        })
+    }
+
+    /// Fuses any not-yet-fused retired key frames into the attached map,
+    /// inserting each `MapFused` event directly after its key frame's
+    /// `KeyframeReady` so the per-key-frame lifecycle order of Contract 6.2
+    /// (`docs/ARCHITECTURE.md` §6) holds even when one poll retires several
+    /// key frames.
+    fn fuse_new(&mut self, events: &mut Vec<SessionEvent>) {
+        let Some(map) = self.fusion.as_mut() else {
+            return;
+        };
+        let keyframes = self.driver.keyframes();
+        if self.fused_keyframes == keyframes.len() {
+            return;
+        }
+        let mut fuse = |index: usize, out: &mut Vec<SessionEvent>| {
+            let reconstruction = &keyframes[index];
+            let delta =
+                map.fuse_incremental(&reconstruction.local_cloud, &reconstruction.reference_pose);
+            out.push(SessionEvent::MapFused {
+                index,
+                points: delta.points,
+                new_voxels: delta.new_voxels,
+            });
+        };
+        let mut out = Vec::with_capacity(events.len() + keyframes.len() - self.fused_keyframes);
+        for event in events.drain(..) {
+            let ready_index = match &event {
+                SessionEvent::KeyframeReady { index, .. } => Some(*index),
+                _ => None,
+            };
+            out.push(event);
+            if let Some(index) = ready_index {
+                if index == self.fused_keyframes {
+                    fuse(index, &mut out);
+                    self.fused_keyframes += 1;
+                }
+            }
+        }
+        // Catch-up for key frames whose KeyframeReady was consumed earlier
+        // (defensive; cannot happen through the public API).
+        while self.fused_keyframes < keyframes.len() {
+            fuse(self.fused_keyframes, &mut out);
+            self.fused_keyframes += 1;
+        }
+        *events = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config_for_sequence;
+    use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
+
+    fn sequence() -> SyntheticSequence {
+        SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test()).unwrap()
+    }
+
+    #[test]
+    fn builder_validates_through_the_shared_path() {
+        let cam = CameraModel::davis240_ideal();
+        let bad = EmvsConfig {
+            num_depth_planes: 1,
+            ..Default::default()
+        };
+        assert!(EventorSession::builder(cam, bad).build().is_err());
+        let session = EventorSession::builder(cam, EmvsConfig::default())
+            .build()
+            .unwrap();
+        assert_eq!(session.backend_name(), "software");
+    }
+
+    #[test]
+    fn all_builtin_backends_build() {
+        let cam = CameraModel::davis240_ideal();
+        let config = EmvsConfig::default();
+        for (builder, name) in [
+            (
+                EventorSession::builder(cam, config.clone()).software(EventorOptions::exact()),
+                "software",
+            ),
+            (
+                EventorSession::builder(cam, config.clone()).sharded(
+                    EventorOptions::accelerator(),
+                    ParallelConfig::with_shards(2),
+                ),
+                "sharded",
+            ),
+            (
+                EventorSession::builder(cam, config.clone()).cosim(AcceleratorConfig::default()),
+                "cosim",
+            ),
+        ] {
+            assert_eq!(builder.build().unwrap().backend_name(), name);
+        }
+    }
+
+    #[test]
+    fn session_with_fusion_builds_a_global_map() {
+        let seq = sequence();
+        let config = config_for_sequence(&seq, 60);
+        let mut session = EventorSession::builder(seq.camera, config)
+            .software(EventorOptions::accelerator())
+            .fuse_into_map(GlobalMapConfig::default())
+            .build()
+            .unwrap();
+        session.push_trajectory(&seq.trajectory).unwrap();
+        session.push_events(seq.events.as_slice()).unwrap();
+        let finished = session.finish().unwrap();
+        let map = finished.fused_map.expect("fusion was enabled");
+        assert_eq!(map.num_keyframes(), finished.output.keyframes.len());
+        assert!(finished
+            .events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::MapFused { .. })));
+        assert!(map.statistics().map_points > 0);
+    }
+
+    #[test]
+    fn cosim_session_exposes_its_report() {
+        let seq = sequence();
+        let config = config_for_sequence(&seq, 60);
+        let mut session = EventorSession::builder(seq.camera, config)
+            .cosim(AcceleratorConfig::default())
+            .build()
+            .unwrap();
+        session.push_trajectory(&seq.trajectory).unwrap();
+        session.push_events(seq.events.as_slice()).unwrap();
+        session.poll().unwrap();
+        let report = session.cosim_report().expect("cosim backend");
+        assert!(report.frames > 0);
+        let finished = session.finish().unwrap();
+        let report = finished.cosim_report.expect("cosim backend");
+        assert_eq!(report.events_in, finished.output.profile.events_processed);
+        assert!(finished.fused_map.is_none());
+    }
+}

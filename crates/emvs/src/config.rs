@@ -1,6 +1,7 @@
 //! Configuration of the EMVS space-sweep mapper.
 
-use eventor_dsi::DetectionConfig;
+use crate::EmvsError;
+use eventor_dsi::{DepthPlanes, DetectionConfig};
 use eventor_events::DEFAULT_EVENTS_PER_FRAME;
 
 /// DSI voting mode.
@@ -64,6 +65,57 @@ impl Default for EmvsConfig {
 }
 
 impl EmvsConfig {
+    /// Validates the configuration.
+    ///
+    /// This is the single validation path shared by the session builder and
+    /// every legacy constructor (`EmvsMapper::new`, `EventorPipeline::new`,
+    /// `CosimPipeline::new`), which used to copy-paste these checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] when the frame size is zero,
+    /// fewer than two depth planes are requested, or the depth range is
+    /// non-positive or inverted.
+    pub fn validate(&self) -> Result<(), EmvsError> {
+        if self.events_per_frame == 0 {
+            return Err(EmvsError::InvalidConfig {
+                reason: "events_per_frame must be positive".into(),
+            });
+        }
+        if self.num_depth_planes < 2 {
+            return Err(EmvsError::InvalidConfig {
+                reason: "need at least two depth planes".into(),
+            });
+        }
+        if !self.depth_range.0.is_finite()
+            || !self.depth_range.1.is_finite()
+            || self.depth_range.0 <= 0.0
+            || self.depth_range.1 <= self.depth_range.0
+        {
+            return Err(EmvsError::InvalidConfig {
+                reason: format!("invalid depth range {:?}", self.depth_range),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration and constructs its DSI depth planes — the
+    /// one place the `depth_range` / `num_depth_planes` pair is turned into
+    /// geometry, so a configuration that validates is guaranteed to
+    /// construct.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`EmvsConfig::validate`].
+    pub fn depth_planes(&self) -> Result<DepthPlanes, EmvsError> {
+        self.validate()?;
+        Ok(DepthPlanes::uniform_inverse_depth(
+            self.depth_range.0,
+            self.depth_range.1,
+            self.num_depth_planes,
+        )?)
+    }
+
     /// Builder-style override of the depth range.
     pub fn with_depth_range(mut self, z_min: f64, z_max: f64) -> Self {
         self.depth_range = (z_min, z_max);
@@ -118,6 +170,40 @@ mod tests {
         assert_eq!(c.voting, VotingMode::Nearest);
         assert_eq!(c.num_depth_planes, 50);
         assert_eq!(c.keyframe_distance, 0.4);
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        assert!(EmvsConfig::default().validate().is_ok());
+        let bad = EmvsConfig {
+            events_per_frame: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = EmvsConfig {
+            num_depth_planes: 1,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(EmvsConfig::default()
+            .with_depth_range(2.0, 1.0)
+            .validate()
+            .is_err());
+        assert!(EmvsConfig::default()
+            .with_depth_range(0.0, 1.0)
+            .validate()
+            .is_err());
+        // Non-finite ranges must be rejected by validation, not surface later
+        // as a planes-construction failure (or a panic behind an `expect`).
+        assert!(EmvsConfig::default()
+            .with_depth_range(1.0, f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(EmvsConfig::default()
+            .with_depth_range(f64::NAN, f64::NAN)
+            .validate()
+            .is_err());
+        assert!(EmvsConfig::default().depth_planes().is_ok());
     }
 
     #[test]

@@ -21,6 +21,20 @@ pub enum EmvsError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A streaming session's bounded in-flight event buffer is full; the
+    /// caller must `poll()` (or push the poses the buffered frames are
+    /// waiting for) before pushing more events.
+    Backpressure {
+        /// Events currently buffered in the session.
+        pending: usize,
+        /// Configured in-flight capacity.
+        capacity: usize,
+    },
+    /// An event was pushed into a streaming session out of time order.
+    OutOfOrder {
+        /// Timestamp of the offending event.
+        timestamp: f64,
+    },
 }
 
 impl fmt::Display for EmvsError {
@@ -30,6 +44,13 @@ impl fmt::Display for EmvsError {
             Self::Dsi(e) => write!(f, "dsi error: {e}"),
             Self::NoEvents => write!(f, "event stream is empty"),
             Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::Backpressure { pending, capacity } => write!(
+                f,
+                "session buffer full ({pending}/{capacity} events in flight): poll() or push poses"
+            ),
+            Self::OutOfOrder { timestamp } => {
+                write!(f, "event at t={timestamp} pushed out of time order")
+            }
         }
     }
 }
@@ -69,6 +90,14 @@ mod tests {
         assert!(matches!(e, EmvsError::Dsi(_)));
         assert!(!EmvsError::NoEvents.to_string().is_empty());
         assert!(EmvsError::NoEvents.source().is_none());
+        let e = EmvsError::Backpressure {
+            pending: 10,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("10/8"));
+        assert!(e.source().is_none());
+        let e = EmvsError::OutOfOrder { timestamp: 1.5 };
+        assert!(e.to_string().contains("1.5"));
     }
 
     #[test]

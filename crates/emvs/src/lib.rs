@@ -16,6 +16,11 @@
 //! pre-computed coefficients, nearest voting, fixed-point quantization) lives
 //! in `eventor-core`.
 //!
+//! This crate also hosts the **streaming session core** shared by every
+//! pipeline: the [`ExecutionBackend`] contract, the push/poll
+//! [`SessionDriver`] and the [`BaselineBackend`] — see [`EmvsMapper::reconstruct`],
+//! which is a thin batch wrapper over a session.
+//!
 //! ## Example
 //!
 //! ```no_run
@@ -42,13 +47,16 @@ mod keyframe;
 mod mapper;
 mod parallel;
 mod profile;
+mod session;
 
 pub use backproject::FrameGeometry;
 pub use config::{EmvsConfig, VotingMode};
 pub use error::EmvsError;
 pub use keyframe::KeyframeSelector;
 pub use mapper::{EmvsMapper, EmvsOutput, KeyframeReconstruction};
-pub use parallel::{
-    plan_segments, run_sharded, shard_packets, KeyframeSegment, ParallelConfig, PlannedFrame,
-};
+pub use parallel::{run_sharded, shard_packets, ParallelConfig};
 pub use profile::{Stage, StageProfile};
+pub use session::{
+    finalize_volume, reconstruct_with_backend, BaselineBackend, ExecutionBackend, FrameWork,
+    SessionDriver, SessionEvent, DEFAULT_MAX_PENDING_EVENTS, ENGINE_SPILL_EVENTS,
+};

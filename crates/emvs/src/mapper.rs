@@ -5,17 +5,20 @@
 //! proportional event back-projection, DSI voting (bilinear by default),
 //! key-frame management, scene-structure detection and map merging — all in
 //! double/single-precision floating point.
+//!
+//! Since the streaming redesign, [`EmvsMapper::reconstruct`] is a thin batch
+//! wrapper over the session core ([`crate::SessionDriver`]) running the
+//! [`crate::BaselineBackend`]; the per-frame datapath is unchanged and the
+//! nearest-voting output is bit-identical to the original in-line loop.
 
-use crate::backproject::FrameGeometry;
-use crate::config::{EmvsConfig, VotingMode};
-use crate::keyframe::KeyframeSelector;
-use crate::parallel::{plan_segments, run_sharded, shard_packets, ParallelConfig};
-use crate::profile::{Stage, StageProfile};
+use crate::config::EmvsConfig;
+use crate::parallel::ParallelConfig;
+use crate::profile::StageProfile;
+use crate::session::{reconstruct_with_backend, BaselineBackend};
 use crate::EmvsError;
-use eventor_dsi::{detect_structure, DepthMap, DepthPlanes, DsiVolume, PointCloud};
-use eventor_events::{aggregate, EventFrame, EventStream};
-use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
-use std::time::Instant;
+use eventor_dsi::{DepthMap, PointCloud};
+use eventor_events::EventStream;
+use eventor_geom::{CameraModel, Pose, Trajectory};
 
 /// The reconstruction produced for one key reference view.
 #[derive(Debug, Clone)]
@@ -67,23 +70,10 @@ impl EmvsMapper {
     /// # Errors
     ///
     /// Returns [`EmvsError::InvalidConfig`] for unusable configurations
-    /// (zero frame size, fewer than two depth planes, inverted depth range).
+    /// (zero frame size, fewer than two depth planes, inverted depth range)
+    /// — the shared [`EmvsConfig::validate`] contract.
     pub fn new(camera: CameraModel, config: EmvsConfig) -> Result<Self, EmvsError> {
-        if config.events_per_frame == 0 {
-            return Err(EmvsError::InvalidConfig {
-                reason: "events_per_frame must be positive".into(),
-            });
-        }
-        if config.num_depth_planes < 2 {
-            return Err(EmvsError::InvalidConfig {
-                reason: "need at least two depth planes".into(),
-            });
-        }
-        if config.depth_range.0 <= 0.0 || config.depth_range.1 <= config.depth_range.0 {
-            return Err(EmvsError::InvalidConfig {
-                reason: format!("invalid depth range {:?}", config.depth_range),
-            });
-        }
+        config.validate()?;
         Ok(Self {
             camera,
             config,
@@ -95,11 +85,11 @@ impl EmvsMapper {
     ///
     /// With [`ParallelConfig::sequential`] (the default) the original
     /// single-threaded golden path runs. With more than one shard the
-    /// reconstruction is planned into key-frame segments and voted on worker
-    /// shards with a deterministic tree-reduction merge; see
-    /// [`crate::plan_segments`]. Nearest voting stays bit-identical to the
-    /// sequential result; bilinear voting is deterministic per shard count
-    /// but may differ from the sequential float summation order by ULPs.
+    /// key frame's vote packets are distributed over worker shards with a
+    /// deterministic tree-reduction merge (see [`crate::BaselineBackend`]).
+    /// Nearest voting stays bit-identical to the sequential result; bilinear
+    /// voting is deterministic per shard count but may differ from the
+    /// sequential float summation order by ULPs.
     pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
         self.parallel = parallel;
         self
@@ -121,7 +111,8 @@ impl EmvsMapper {
     }
 
     /// Runs the full reconstruction on an event stream with a known
-    /// trajectory.
+    /// trajectory — the batch wrapper over a streaming session with the
+    /// [`BaselineBackend`].
     ///
     /// # Errors
     ///
@@ -134,318 +125,21 @@ impl EmvsMapper {
         events: &EventStream,
         trajectory: &Trajectory,
     ) -> Result<EmvsOutput, EmvsError> {
-        if events.is_empty() {
-            return Err(EmvsError::NoEvents);
-        }
-        if self.parallel.is_engine() {
-            return self.reconstruct_parallel(events, trajectory);
-        }
-        let mut profile = StageProfile::new();
-
-        let planes = DepthPlanes::uniform_inverse_depth(
-            self.config.depth_range.0,
-            self.config.depth_range.1,
-            self.config.num_depth_planes,
-        )?;
-        let width = self.camera.intrinsics.width as usize;
-        let height = self.camera.intrinsics.height as usize;
-        let mut dsi = DsiVolume::<f32>::new(width, height, planes.clone())?;
-
-        let t0 = Instant::now();
-        let frames = aggregate(events, self.config.events_per_frame);
-        profile.add(Stage::Aggregation, t0.elapsed());
-
-        let mut selector = KeyframeSelector::new(
-            self.config.keyframe_distance,
-            self.config.min_frames_per_keyframe,
-        );
-        let mut reference: Option<Pose> = None;
-        let mut keyframes: Vec<KeyframeReconstruction> = Vec::new();
-        let mut global_map = PointCloud::new();
-        let mut frames_in_keyframe = 0usize;
-        let mut events_in_keyframe = 0usize;
-
-        // Scratch buffers reused across frames.
-        let mut undistorted: Vec<Vec2> = Vec::with_capacity(self.config.events_per_frame);
-        let mut canonical: Vec<Option<Vec2>> = Vec::with_capacity(self.config.events_per_frame);
-        let mut vote_targets: Vec<(f64, f64, usize)> =
-            Vec::with_capacity(self.config.events_per_frame * planes.len());
-
-        for frame in &frames {
-            let Some(timestamp) = frame.timestamp() else {
-                continue;
-            };
-            let pose = trajectory.pose_at(timestamp)?;
-
-            match reference {
-                None => reference = Some(pose),
-                Some(ref ref_pose) => {
-                    if selector.should_switch(ref_pose, &pose) {
-                        let t = Instant::now();
-                        let reconstruction = self.finalize_keyframe(
-                            &dsi,
-                            ref_pose,
-                            frames_in_keyframe,
-                            events_in_keyframe,
-                        );
-                        profile.add(Stage::Detection, t.elapsed());
-                        let t = Instant::now();
-                        global_map.merge(&reconstruction.local_cloud);
-                        dsi.reset();
-                        profile.add(Stage::Merging, t.elapsed());
-                        keyframes.push(reconstruction);
-                        profile.keyframes += 1;
-                        reference = Some(pose);
-                        selector.reset();
-                        frames_in_keyframe = 0;
-                        events_in_keyframe = 0;
-                    }
-                }
-            }
-            let ref_pose = reference.expect("reference pose set above");
-
-            self.process_frame(
-                frame,
-                &ref_pose,
-                &pose,
-                &planes,
-                &mut dsi,
-                &mut profile,
-                &mut undistorted,
-                &mut canonical,
-                &mut vote_targets,
-            )?;
-
-            selector.register_frame();
-            frames_in_keyframe += 1;
-            events_in_keyframe += frame.len();
-            profile.frames_processed += 1;
-            profile.events_processed += frame.len() as u64;
-        }
-
-        // Finalize the last key frame.
-        if let Some(ref_pose) = reference {
-            if frames_in_keyframe > 0 {
-                let t = Instant::now();
-                let reconstruction =
-                    self.finalize_keyframe(&dsi, &ref_pose, frames_in_keyframe, events_in_keyframe);
-                profile.add(Stage::Detection, t.elapsed());
-                let t = Instant::now();
-                global_map.merge(&reconstruction.local_cloud);
-                profile.add(Stage::Merging, t.elapsed());
-                keyframes.push(reconstruction);
-                profile.keyframes += 1;
-            }
-        }
-
-        Ok(EmvsOutput {
-            keyframes,
-            global_map,
-            profile,
-        })
-    }
-
-    /// The parallel sharded voting engine's drive of the baseline dataflow:
-    /// plan key-frame segments, vote packets on worker shards into per-shard
-    /// DSI tiles, tree-reduce, detect.
-    ///
-    /// The fused per-stage work is identical to the sequential path
-    /// (undistort → canonical projection → per-plane transfer → vote); only
-    /// the schedule differs. Wall-clock time of the fused hot loop is
-    /// attributed evenly to its four stages in the profile, since the stages
-    /// are not separately timeable once fused.
-    fn reconstruct_parallel(
-        &self,
-        events: &EventStream,
-        trajectory: &Trajectory,
-    ) -> Result<EmvsOutput, EmvsError> {
-        let mut profile = StageProfile::new();
-        let planes = DepthPlanes::uniform_inverse_depth(
-            self.config.depth_range.0,
-            self.config.depth_range.1,
-            self.config.num_depth_planes,
-        )?;
-        let width = self.camera.intrinsics.width as usize;
-        let height = self.camera.intrinsics.height as usize;
-
-        let t = Instant::now();
-        let frames = aggregate(events, self.config.events_per_frame);
-        profile.add(Stage::Aggregation, t.elapsed());
-
-        let t = Instant::now();
-        let segments = plan_segments(
-            &frames,
+        let backend = BaselineBackend::new(self.camera, &self.config, self.parallel)?;
+        reconstruct_with_backend(
+            self.camera,
+            self.config.clone(),
+            backend,
+            events,
             trajectory,
-            &self.camera.intrinsics,
-            &planes,
-            &self.config,
-        )?;
-        profile.add(Stage::ComputeHomography, t.elapsed());
-
-        let shards = self.parallel.shards();
-        let mut tiles: Vec<DsiVolume<f32>> = (0..shards)
-            .map(|_| DsiVolume::new(width, height, planes.clone()))
-            .collect::<Result<_, _>>()?;
-
-        let mut keyframes: Vec<KeyframeReconstruction> = Vec::new();
-        let mut global_map = PointCloud::new();
-
-        for segment in &segments {
-            let t = Instant::now();
-            let packets = segment.packets(self.parallel.packet_events());
-            let camera = &self.camera;
-            let voting = self.config.voting;
-            run_sharded(&mut tiles, |shard, tile| {
-                for packet in shard_packets(&packets, shard, shards) {
-                    let frame = &segment.frames[packet.frame];
-                    let local = packet.range.start - frame.event_range.start
-                        ..packet.range.end - frame.event_range.start;
-                    for e in &frames[frame.frame_index].events[local] {
-                        let px = camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64));
-                        let Some(c) = frame.geometry.canonical(px) else {
-                            continue;
-                        };
-                        for i in 0..frame.geometry.num_planes() {
-                            let p = frame.geometry.transfer(c, i);
-                            match voting {
-                                VotingMode::Bilinear => tile.vote_bilinear(p.x, p.y, i, 1.0),
-                                VotingMode::Nearest => tile.vote_nearest(p.x, p.y, i, 1.0),
-                            }
-                        }
-                    }
-                }
-            });
-            let fused = t.elapsed() / 4;
-            profile.add(Stage::DistortionCorrection, fused);
-            profile.add(Stage::CanonicalProjection, fused);
-            profile.add(Stage::ProportionalProjection, fused);
-            profile.add(Stage::VoteDsi, fused);
-
-            let t = Instant::now();
-            let merged =
-                DsiVolume::tree_reduce(&mut tiles).expect("at least one shard tile exists");
-            let reconstruction = self.finalize_keyframe(
-                merged,
-                &segment.reference_pose,
-                segment.frames.len(),
-                segment.events,
-            );
-            profile.add(Stage::Detection, t.elapsed());
-            let t = Instant::now();
-            global_map.merge(&reconstruction.local_cloud);
-            keyframes.push(reconstruction);
-            profile.keyframes += 1;
-            for tile in &mut tiles {
-                tile.reset();
-            }
-            profile.add(Stage::Merging, t.elapsed());
-            profile.frames_processed += segment.frames.len() as u64;
-            profile.events_processed += segment.events as u64;
-        }
-
-        Ok(EmvsOutput {
-            keyframes,
-            global_map,
-            profile,
-        })
-    }
-
-    /// Back-projects one event frame into the DSI (the `𝒫` and `ℛ` stages).
-    #[allow(clippy::too_many_arguments)]
-    fn process_frame(
-        &self,
-        frame: &EventFrame,
-        reference_pose: &Pose,
-        frame_pose: &Pose,
-        planes: &DepthPlanes,
-        dsi: &mut DsiVolume<f32>,
-        profile: &mut StageProfile,
-        undistorted: &mut Vec<Vec2>,
-        canonical: &mut Vec<Option<Vec2>>,
-        vote_targets: &mut Vec<(f64, f64, usize)>,
-    ) -> Result<(), EmvsError> {
-        // Event distortion correction (in the original schedule: after
-        // aggregation, once per frame).
-        let t = Instant::now();
-        undistorted.clear();
-        undistorted.extend(frame.events.iter().map(|e| {
-            self.camera
-                .undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
-        }));
-        profile.add(Stage::DistortionCorrection, t.elapsed());
-
-        // Homography H_Z0 and proportional coefficients φ (once per frame).
-        let t = Instant::now();
-        let geometry =
-            FrameGeometry::compute(reference_pose, frame_pose, &self.camera.intrinsics, planes)?;
-        profile.add(Stage::ComputeHomography, t.elapsed());
-        // The reference implementation computes φ after the canonical
-        // projection; the cost is attributed to its own stage either way.
-        let t = Instant::now();
-        let n_planes = geometry.num_planes();
-        profile.add(Stage::ComputeCoefficients, t.elapsed());
-
-        // Canonical back-projection P{Z0}, per event.
-        let t = Instant::now();
-        canonical.clear();
-        canonical.extend(undistorted.iter().map(|&px| geometry.canonical(px)));
-        profile.add(Stage::CanonicalProjection, t.elapsed());
-
-        // Proportional back-projection P{Z0;Zi} + vote generation G.
-        let t = Instant::now();
-        vote_targets.clear();
-        for c in canonical.iter().flatten() {
-            for i in 0..n_planes {
-                let p = geometry.transfer(*c, i);
-                vote_targets.push((p.x, p.y, i));
-            }
-        }
-        profile.add(Stage::ProportionalProjection, t.elapsed());
-
-        // Vote DSI voxels V.
-        let t = Instant::now();
-        match self.config.voting {
-            VotingMode::Bilinear => {
-                for &(x, y, plane) in vote_targets.iter() {
-                    dsi.vote_bilinear(x, y, plane, 1.0);
-                }
-            }
-            VotingMode::Nearest => {
-                for &(x, y, plane) in vote_targets.iter() {
-                    dsi.vote_nearest(x, y, plane, 1.0);
-                }
-            }
-        }
-        profile.add(Stage::VoteDsi, t.elapsed());
-        Ok(())
-    }
-
-    /// Scene-structure detection and point-cloud conversion for a finished
-    /// key frame.
-    fn finalize_keyframe(
-        &self,
-        dsi: &DsiVolume<f32>,
-        reference_pose: &Pose,
-        frames_used: usize,
-        events_used: usize,
-    ) -> KeyframeReconstruction {
-        let depth_map = detect_structure(dsi, &self.config.detection);
-        let local_cloud =
-            PointCloud::from_depth_map(&depth_map, &self.camera.intrinsics, reference_pose);
-        KeyframeReconstruction {
-            reference_pose: *reference_pose,
-            depth_map,
-            local_cloud,
-            frames_used,
-            events_used,
-            votes_cast: dsi.votes_cast(),
-        }
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::VotingMode;
     use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
 
     fn slider_sequence() -> SyntheticSequence {

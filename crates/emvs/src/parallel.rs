@@ -1,23 +1,18 @@
 //! Shared infrastructure of the **parallel sharded voting engine**: the
-//! shard-count/packet-size configuration, the keyframe segment planner that
-//! turns the sequential reconstruction loop into a batch schedule, and the
-//! scoped worker-shard runner.
+//! shard-count/packet-size configuration and the scoped worker-shard runner.
 //!
-//! The engine's execution model (used by both the baseline
-//! [`EmvsMapper`](crate::EmvsMapper) and `eventor-core`'s reformulated
-//! pipeline):
+//! The engine's execution model (used by the session backends — the baseline
+//! [`BaselineBackend`](crate::BaselineBackend) and `eventor-core`'s
+//! `ShardedBackend`; key-frame segmentation itself is performed live by the
+//! session driver's key-frame selector, the same state machine the
+//! sequential golden path runs):
 //!
-//! 1. **Plan** — walk the aggregated event frames once, interpolating poses
-//!    and replaying the key-frame selector, producing one
-//!    [`KeyframeSegment`] per key frame with the per-frame back-projection
-//!    geometry precomputed. Planning is cheap (no per-event work) and
-//!    independent of voting, because key-frame selection depends only on the
-//!    trajectory.
-//! 2. **Vote** — for each segment, split every frame's event range into
-//!    [`VotePacket`]s (`crates/events`) and distribute the packets round-robin
-//!    over `shards` worker threads. Each worker votes into its own private
-//!    DSI tile, so the hot loop is lock-free and allocation-free.
-//! 3. **Reduce** — merge the per-shard tiles with the fixed-shape binary tree
+//! 1. **Vote** — split each key frame's event frames into
+//!    [`VotePacket`](eventor_events::VotePacket)s (`crates/events`) and
+//!    distribute the packets round-robin over `shards` worker threads. Each
+//!    worker votes into its own private DSI tile, so the hot loop is
+//!    lock-free and allocation-free.
+//! 2. **Reduce** — merge the per-shard tiles with the fixed-shape binary tree
 //!    reduction of [`DsiVolume::tree_reduce`](eventor_dsi::DsiVolume::tree_reduce),
 //!    whose result depends only on the shard count, never on thread timing.
 //!
@@ -29,14 +24,7 @@
 //! float rounding can differ from the sequential summation order by a few
 //! ULPs — still deterministic for a fixed shard count.
 
-use crate::backproject::FrameGeometry;
-use crate::config::EmvsConfig;
-use crate::keyframe::KeyframeSelector;
-use crate::EmvsError;
-use eventor_dsi::DepthPlanes;
-use eventor_events::{packetize_frame, EventFrame, VotePacket};
-use eventor_geom::{CameraIntrinsics, Pose, Trajectory};
-use std::ops::Range;
+use eventor_events::VotePacket;
 
 /// Degree of parallelism of the sharded voting engine.
 ///
@@ -159,127 +147,6 @@ impl ParallelConfig {
     }
 }
 
-/// One event frame of a planned segment: its pose, global event range and
-/// precomputed back-projection geometry.
-#[derive(Debug, Clone)]
-pub struct PlannedFrame {
-    /// Index of the frame in the aggregated stream.
-    pub frame_index: usize,
-    /// Global event-index range of the frame in the event stream.
-    pub event_range: Range<usize>,
-    /// Interpolated camera-to-world pose at the frame's timestamp.
-    pub pose: Pose,
-    /// `H_{Z0}` and `φ` for the frame, relative to the segment's reference.
-    pub geometry: FrameGeometry,
-}
-
-/// All event frames voted into one key frame's DSI, with the reference pose
-/// that owns the DSI.
-#[derive(Debug, Clone)]
-pub struct KeyframeSegment {
-    /// Camera-to-world pose of the key reference (virtual camera) view.
-    pub reference_pose: Pose,
-    /// The frames of the segment, in stream order.
-    pub frames: Vec<PlannedFrame>,
-    /// Total number of events across the segment's frames.
-    pub events: usize,
-}
-
-impl KeyframeSegment {
-    /// Splits every frame of the segment into vote packets of at most
-    /// `packet_events` events. Packet order follows frame order, so packet
-    /// `i` of the returned list always precedes packet `i+1` in the
-    /// sequential schedule.
-    pub fn packets(&self, packet_events: usize) -> Vec<VotePacket> {
-        let mut packets = Vec::with_capacity(
-            self.frames
-                .iter()
-                .map(|f| f.event_range.len().div_ceil(packet_events))
-                .sum(),
-        );
-        for (i, frame) in self.frames.iter().enumerate() {
-            packetize_frame(i, frame.event_range.clone(), packet_events, &mut packets);
-        }
-        packets
-    }
-}
-
-/// Replays the sequential reconstruction loop's key-frame logic over the
-/// aggregated frames, producing the batch schedule the parallel engine
-/// executes.
-///
-/// The walk is an exact replica of the sequential golden path: frames without
-/// a timestamp are skipped, the first timestamped frame's pose becomes the
-/// initial reference, and a key-frame switch (checked *before* a frame is
-/// voted) starts a new segment whose reference is that frame's pose. Segments
-/// with zero frames are never emitted, matching the sequential
-/// `frames_in_keyframe > 0` finalization guard.
-///
-/// # Errors
-///
-/// Propagates [`EmvsError::Geometry`] from pose interpolation and geometry
-/// computation — the same failures the sequential path reports.
-pub fn plan_segments(
-    frames: &[EventFrame],
-    trajectory: &Trajectory,
-    intrinsics: &CameraIntrinsics,
-    planes: &DepthPlanes,
-    config: &EmvsConfig,
-) -> Result<Vec<KeyframeSegment>, EmvsError> {
-    let mut selector =
-        KeyframeSelector::new(config.keyframe_distance, config.min_frames_per_keyframe);
-    let mut segments: Vec<KeyframeSegment> = Vec::new();
-    let mut current: Option<KeyframeSegment> = None;
-
-    for frame in frames {
-        let Some(timestamp) = frame.timestamp() else {
-            continue;
-        };
-        let pose = trajectory.pose_at(timestamp)?;
-
-        match current {
-            None => {
-                current = Some(KeyframeSegment {
-                    reference_pose: pose,
-                    frames: Vec::new(),
-                    events: 0,
-                });
-            }
-            Some(ref segment) => {
-                if selector.should_switch(&segment.reference_pose, &pose) {
-                    segments.push(current.take().expect("segment is Some in this branch"));
-                    current = Some(KeyframeSegment {
-                        reference_pose: pose,
-                        frames: Vec::new(),
-                        events: 0,
-                    });
-                    selector.reset();
-                }
-            }
-        }
-
-        let segment = current.as_mut().expect("segment initialised above");
-        let geometry = FrameGeometry::compute(&segment.reference_pose, &pose, intrinsics, planes)?;
-        let event_range = frame.index * config.events_per_frame
-            ..(frame.index * config.events_per_frame + frame.len());
-        segment.frames.push(PlannedFrame {
-            frame_index: frame.index,
-            event_range,
-            pose,
-            geometry,
-        });
-        segment.events += frame.len();
-        selector.register_frame();
-    }
-
-    if let Some(segment) = current {
-        if !segment.frames.is_empty() {
-            segments.push(segment);
-        }
-    }
-    Ok(segments)
-}
-
 /// Round-robin packet-to-shard assignment: the packets shard `shard` owns
 /// out of `packets`, in sequential-schedule order. This single function is
 /// the load-balancing rule both engines (the baseline mapper's and
@@ -337,11 +204,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eventor_events::{aggregate, DatasetConfig, SequenceKind, SyntheticSequence};
-
-    fn sequence() -> SyntheticSequence {
-        SyntheticSequence::generate(SequenceKind::ThreePlanes, &DatasetConfig::fast_test()).unwrap()
-    }
 
     #[test]
     fn config_clamps_and_reports() {
@@ -365,67 +227,6 @@ mod tests {
         assert_eq!(ParallelConfig::with_shards(64).shards(), 64);
         let threads = ParallelConfig::with_shards(64).worker_threads();
         assert!((1..=64).contains(&threads));
-    }
-
-    #[test]
-    fn plan_covers_every_event_exactly_once() {
-        let seq = sequence();
-        let config = EmvsConfig::default()
-            .with_depth_range(seq.depth_range.0, seq.depth_range.1)
-            .with_depth_planes(30);
-        let frames = aggregate(&seq.events, config.events_per_frame);
-        let planes = DepthPlanes::uniform_inverse_depth(
-            config.depth_range.0,
-            config.depth_range.1,
-            config.num_depth_planes,
-        )
-        .unwrap();
-        let segments = plan_segments(
-            &frames,
-            &seq.trajectory,
-            &seq.camera.intrinsics,
-            &planes,
-            &config,
-        )
-        .unwrap();
-        assert!(!segments.is_empty());
-        let planned_events: usize = segments.iter().map(|s| s.events).sum();
-        assert_eq!(planned_events, seq.events.len());
-        // Frame ranges are contiguous and strictly increasing across segments.
-        let mut cursor = 0;
-        for segment in &segments {
-            assert!(!segment.frames.is_empty());
-            for frame in &segment.frames {
-                assert_eq!(frame.event_range.start, cursor);
-                cursor = frame.event_range.end;
-            }
-        }
-        assert_eq!(cursor, seq.events.len());
-    }
-
-    #[test]
-    fn segment_packets_tile_frames_in_order() {
-        let seq = sequence();
-        let config = EmvsConfig::default()
-            .with_depth_range(seq.depth_range.0, seq.depth_range.1)
-            .with_depth_planes(20);
-        let frames = aggregate(&seq.events, config.events_per_frame);
-        let planes = DepthPlanes::uniform_inverse_depth(0.5, 5.0, 20).unwrap();
-        let segments = plan_segments(
-            &frames,
-            &seq.trajectory,
-            &seq.camera.intrinsics,
-            &planes,
-            &config,
-        )
-        .unwrap();
-        let segment = &segments[0];
-        let packets = segment.packets(100);
-        let total: usize = packets.iter().map(|p| p.len()).sum();
-        assert_eq!(total, segment.events);
-        for pair in packets.windows(2) {
-            assert!(pair[0].range.end <= pair[1].range.start || pair[0].frame != pair[1].frame);
-        }
     }
 
     #[test]

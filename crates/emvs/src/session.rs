@@ -1,0 +1,1220 @@
+//! The streaming **session** core: push-based incremental ingestion of poses
+//! and events, driven frame by frame through a pluggable
+//! [`ExecutionBackend`].
+//!
+//! The paper's accelerator is an *online* system — events arrive as a stream
+//! and the device votes incrementally — but the original entry points of this
+//! repository were batch-only (`reconstruct(&EventStream, &Trajectory)`).
+//! This module provides the streaming core both worlds share:
+//!
+//! * [`SessionDriver`] owns the host-side state machine that is common to
+//!   every execution backend: the incrementally grown trajectory, the
+//!   bounded pending-event buffer, fixed-size frame aggregation, key-frame
+//!   selection, per-frame geometry (`H_{Z0}` / `φ`) computation, keyframe
+//!   retirement and global-map merging.
+//! * [`ExecutionBackend`] is the narrow contract a voting engine implements:
+//!   vote one aggregated frame, retire one key frame. The baseline float
+//!   mapper ([`BaselineBackend`]), the reformulated/quantized software and
+//!   sharded engines and the co-simulated device (`eventor-core`) all sit
+//!   behind it.
+//! * [`SessionEvent`] is what [`SessionDriver::poll`] yields: lifecycle
+//!   notifications (`SegmentRetired` → `DepthMapReady` → `KeyframeReady`)
+//!   emitted as key frames complete.
+//!
+//! ## Equivalence guarantee
+//!
+//! Frames are cut from the *concatenation* of all pushed events at fixed
+//! `events_per_frame` boundaries, exactly like the batch `aggregate` pass, so
+//! the reconstruction is a pure function of the event sequence and the
+//! trajectory — **independent of how the stream was split into pushed
+//! packets**. For the quantized nearest-voting datapath the output is
+//! bit-identical to the batch golden path for every backend
+//! (`tests/session_equivalence.rs`, `tests/session_properties.rs`).
+//!
+//! ## Backpressure and bounded memory
+//!
+//! In-flight memory is bounded: at most `max_pending_events` events are
+//! buffered (frames leave the buffer as soon as the trajectory covers their
+//! mid-point timestamp), and each backend holds fixed-size DSI state plus at
+//! most [`ENGINE_SPILL_EVENTS`] buffered key-frame events (the sharded
+//! engines spill buffered votes into their tiles past that threshold, so
+//! even a key frame that never retires cannot grow without bound). When the
+//! buffer is full, [`SessionDriver::push_events`] first tries to drain ready
+//! frames and then reports [`EmvsError::Backpressure`] instead of growing
+//! without bound; [`SessionDriver::discard_pending`] is the explicit escape
+//! hatch for events whose poses can never arrive.
+
+use crate::backproject::FrameGeometry;
+use crate::config::{EmvsConfig, VotingMode};
+use crate::keyframe::KeyframeSelector;
+use crate::mapper::{EmvsOutput, KeyframeReconstruction};
+use crate::parallel::{run_sharded, shard_packets, ParallelConfig};
+use crate::profile::{Stage, StageProfile};
+use crate::EmvsError;
+use eventor_dsi::{detect_structure, DepthPlanes, DetectionConfig, DsiVolume, PointCloud};
+use eventor_events::{packetize_frame, Event, EventStream, VotePacket};
+use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
+use std::time::Instant;
+
+/// Default bound on the session's pending-event buffer (events not yet
+/// aggregated into a processed frame). Generous enough for batch-style
+/// feeding of the synthetic sequences, small enough to keep a runaway
+/// producer from exhausting memory (~16 MiB of events).
+pub const DEFAULT_MAX_PENDING_EVENTS: usize = 1 << 20;
+
+/// One aggregated event frame handed to an [`ExecutionBackend`], with the
+/// host-side per-frame context already computed by the driver.
+#[derive(Debug)]
+pub struct FrameWork<'a> {
+    /// Sequential index of the frame within the session's stream.
+    pub frame_index: usize,
+    /// Representative timestamp of the frame (mid-point of first and last
+    /// event), the time the frame pose was interpolated at.
+    pub timestamp: f64,
+    /// The frame's events, in time order.
+    pub events: &'a [Event],
+    /// Camera-to-world pose of the active key reference view.
+    pub reference_pose: Pose,
+    /// Interpolated camera-to-world pose of this frame.
+    pub frame_pose: Pose,
+    /// `H_{Z0}` and `φ` for this frame, relative to the reference view.
+    pub geometry: &'a FrameGeometry,
+}
+
+/// Lifecycle notifications yielded by [`SessionDriver::poll`].
+///
+/// For each retired key frame the driver emits, in order: `SegmentRetired`
+/// (the DSI stopped accumulating), `DepthMapReady` (structure detection ran),
+/// `KeyframeReady` (the full reconstruction — depth map and world-frame
+/// cloud — is available via [`SessionDriver::keyframes`]). Sessions with map
+/// fusion enabled (`eventor-core`'s `EventorSession`) additionally emit
+/// `MapFused`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SessionEvent {
+    /// A key frame's voting segment closed: no more votes will be cast into
+    /// its DSI.
+    SegmentRetired {
+        /// Key-frame index (position in [`SessionDriver::keyframes`]).
+        index: usize,
+        /// Event frames voted into the segment.
+        frames: usize,
+        /// Events voted into the segment.
+        events: usize,
+    },
+    /// Structure detection ran on the retired segment's DSI.
+    DepthMapReady {
+        /// Key-frame index.
+        index: usize,
+        /// Semi-dense pixels estimated in the depth map.
+        valid_pixels: usize,
+    },
+    /// The key frame's full reconstruction is available.
+    KeyframeReady {
+        /// Key-frame index.
+        index: usize,
+        /// DSI votes cast for this key frame.
+        votes_cast: u64,
+        /// Points contributed to the session's global point cloud.
+        map_points: usize,
+    },
+    /// The key frame's cloud was fused into an attached incremental global
+    /// map (only emitted by sessions with fusion enabled).
+    MapFused {
+        /// Key-frame index.
+        index: usize,
+        /// Points inserted into the map.
+        points: usize,
+        /// Voxels newly occupied by this key frame.
+        new_voxels: usize,
+    },
+}
+
+/// The contract between the streaming session driver and a voting engine
+/// (versioned as `eventor-backend/1`, see `docs/ARCHITECTURE.md` §6).
+///
+/// A backend owns the DSI state of exactly one in-flight key frame. The
+/// driver guarantees the call sequence
+/// `vote_frame* (retire_keyframe vote_frame*)*`: every frame between two
+/// retirements (and before the first) belongs to the key frame retired next,
+/// and `retire_keyframe` must leave the backend ready for the next key
+/// frame's first `vote_frame`.
+pub trait ExecutionBackend: std::fmt::Debug {
+    /// Short stable identifier of the backend (`"software"`, `"sharded"`,
+    /// `"cosim"`, `"baseline"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Votes one aggregated event frame into the active key frame's DSI.
+    ///
+    /// Stage timings the backend performs itself (distortion correction,
+    /// projections, voting) are attributed to `profile`; the driver accounts
+    /// for aggregation, geometry computation and merging.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific failures (e.g. the co-simulated device rejecting a
+    /// staged frame) surface as [`EmvsError`] and abort the session.
+    fn vote_frame(
+        &mut self,
+        work: &FrameWork<'_>,
+        profile: &mut StageProfile,
+    ) -> Result<(), EmvsError>;
+
+    /// Closes the active key frame: runs structure detection on the
+    /// accumulated DSI, converts it to a world-frame cloud, resets the DSI
+    /// and returns the reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific failures surface as [`EmvsError`].
+    fn retire_keyframe(
+        &mut self,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+        profile: &mut StageProfile,
+    ) -> Result<KeyframeReconstruction, EmvsError>;
+
+    /// Optional [`std::any::Any`] view for downcasting a boxed backend (used
+    /// e.g. to recover the co-simulation report). Backends that carry no
+    /// queryable state can keep the default `None`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+impl<B: ExecutionBackend + ?Sized> ExecutionBackend for Box<B> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn vote_frame(
+        &mut self,
+        work: &FrameWork<'_>,
+        profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        (**self).vote_frame(work, profile)
+    }
+
+    fn retire_keyframe(
+        &mut self,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+        profile: &mut StageProfile,
+    ) -> Result<KeyframeReconstruction, EmvsError> {
+        (**self).retire_keyframe(reference_pose, frames_used, events_used, profile)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
+}
+
+/// The streaming session state machine, generic over the execution backend.
+///
+/// `eventor-core` wraps this in the boxed-backend `EventorSession` façade;
+/// the batch `reconstruct()` entry points of all three legacy pipelines are
+/// thin wrappers that feed a driver the whole trajectory and stream at once
+/// (see [`reconstruct_with_backend`]).
+#[derive(Debug)]
+pub struct SessionDriver<B: ExecutionBackend> {
+    camera: CameraModel,
+    config: EmvsConfig,
+    planes: DepthPlanes,
+    backend: B,
+    trajectory: Trajectory,
+    /// Buffered events not yet processed: the live region is
+    /// `pending[cursor..]`. Frames are cut by advancing `cursor` (O(1)) and
+    /// the consumed prefix is compacted away amortizedly, so the batch
+    /// wrappers — which buffer the whole stream — stay O(events) instead of
+    /// the O(events²) a `drain(..n)` per frame would cost.
+    pending: Vec<Event>,
+    cursor: usize,
+    max_pending_events: usize,
+    last_event_t: Option<f64>,
+    events_pushed: u64,
+    next_frame_index: usize,
+    selector: KeyframeSelector,
+    reference: Option<Pose>,
+    frames_in_keyframe: usize,
+    events_in_keyframe: usize,
+    keyframes: Vec<KeyframeReconstruction>,
+    global_map: PointCloud,
+    profile: StageProfile,
+    outbox: Vec<SessionEvent>,
+}
+
+impl<B: ExecutionBackend> SessionDriver<B> {
+    /// Creates a driver for the given camera, configuration and backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] for unusable configurations
+    /// (via [`EmvsConfig::validate`], through [`EmvsConfig::depth_planes`]).
+    pub fn new(camera: CameraModel, config: EmvsConfig, backend: B) -> Result<Self, EmvsError> {
+        let planes = config.depth_planes()?;
+        let selector =
+            KeyframeSelector::new(config.keyframe_distance, config.min_frames_per_keyframe);
+        Ok(Self {
+            camera,
+            config,
+            planes,
+            backend,
+            trajectory: Trajectory::new(),
+            pending: Vec::new(),
+            cursor: 0,
+            max_pending_events: DEFAULT_MAX_PENDING_EVENTS,
+            last_event_t: None,
+            events_pushed: 0,
+            next_frame_index: 0,
+            selector,
+            reference: None,
+            frames_in_keyframe: 0,
+            events_in_keyframe: 0,
+            keyframes: Vec::new(),
+            global_map: PointCloud::new(),
+            profile: StageProfile::new(),
+            outbox: Vec::new(),
+        })
+    }
+
+    /// Overrides the in-flight event bound (clamped to at least one frame).
+    pub fn with_max_pending_events(mut self, cap: usize) -> Self {
+        self.max_pending_events = cap.max(self.config.events_per_frame);
+        self
+    }
+
+    /// The camera model.
+    pub fn camera(&self) -> &CameraModel {
+        &self.camera
+    }
+
+    /// The EMVS configuration.
+    pub fn config(&self) -> &EmvsConfig {
+        &self.config
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Events buffered but not yet aggregated into a processed frame.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len() - self.cursor
+    }
+
+    /// Total events pushed into the session so far.
+    pub fn events_pushed(&self) -> u64 {
+        self.events_pushed
+    }
+
+    /// Key frames retired so far, in stream order.
+    pub fn keyframes(&self) -> &[KeyframeReconstruction] {
+        &self.keyframes
+    }
+
+    /// The per-stage runtime profile accumulated so far.
+    pub fn profile(&self) -> &StageProfile {
+        &self.profile
+    }
+
+    /// Appends one trajectory sample; timestamps must be strictly
+    /// increasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::Geometry`] for non-monotonic or non-finite
+    /// timestamps.
+    pub fn push_pose(&mut self, timestamp: f64, pose: Pose) -> Result<(), EmvsError> {
+        self.trajectory.push(timestamp, pose)?;
+        Ok(())
+    }
+
+    /// Appends every sample of `trajectory` (convenience for the batch
+    /// wrappers and replay feeds).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::push_pose`].
+    pub fn push_trajectory(&mut self, trajectory: &Trajectory) -> Result<(), EmvsError> {
+        for sample in trajectory.iter() {
+            self.push_pose(sample.timestamp, sample.pose)?;
+        }
+        Ok(())
+    }
+
+    /// Pushes a packet of events (any size, including a partial or multiple
+    /// frames' worth). Events must be time-ordered across all pushes.
+    ///
+    /// # Returns
+    ///
+    /// The number of events ingested. It equals `events.len()` unless the
+    /// bounded buffer filled (or draining hit an error) mid-push: then the
+    /// accepted prefix is safely inside the session and the caller resumes
+    /// from the returned offset after [`poll`](Self::poll)ing or pushing
+    /// the missing poses — `write(2)`-style short-write semantics, so no
+    /// event is ever consumed twice or lost.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmvsError::OutOfOrder`] when an event precedes one already
+    ///   pushed (nothing is ingested),
+    /// * [`EmvsError::Backpressure`] when the buffer is full even after
+    ///   draining every ready frame and **zero** events could be accepted —
+    ///   the caller must [`poll`](Self::poll) or push the missing poses
+    ///   first.
+    ///
+    /// Errors are only returned when no event was ingested; a failure after
+    /// part of the packet was accepted reports the short count instead, and
+    /// the underlying error resurfaces on the next [`poll`](Self::poll) or
+    /// push.
+    pub fn push_events(&mut self, events: &[Event]) -> Result<usize, EmvsError> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        // Validate ordering of the whole packet up front so a rejected push
+        // ingests nothing.
+        let mut last = self.last_event_t;
+        for e in events {
+            if let Some(l) = last {
+                if e.t < l {
+                    return Err(EmvsError::OutOfOrder { timestamp: e.t });
+                }
+            }
+            last = Some(e.t);
+        }
+        let mut accepted = 0usize;
+        while accepted < events.len() {
+            let mut free = self.max_pending_events - self.pending_events();
+            if free == 0 {
+                if let Err(e) = self.drain_ready() {
+                    if accepted > 0 {
+                        // Short write: the prefix is ingested; the drain
+                        // error resurfaces on the next poll/push, so the
+                        // caller never re-pushes (and duplicates) it.
+                        return Ok(accepted);
+                    }
+                    return Err(e);
+                }
+                free = self.max_pending_events - self.pending_events();
+            }
+            if free == 0 {
+                if accepted == 0 {
+                    return Err(EmvsError::Backpressure {
+                        pending: self.pending_events(),
+                        capacity: self.max_pending_events,
+                    });
+                }
+                break;
+            }
+            let take = free.min(events.len() - accepted);
+            let t = Instant::now();
+            self.pending
+                .extend_from_slice(&events[accepted..accepted + take]);
+            self.profile.add(Stage::Aggregation, t.elapsed());
+            self.events_pushed += take as u64;
+            accepted += take;
+            self.last_event_t = Some(events[accepted - 1].t);
+        }
+        Ok(accepted)
+    }
+
+    /// [`Self::push_events`] on an [`EventStream`] packet.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::push_events`].
+    pub fn push_packet(&mut self, packet: &EventStream) -> Result<usize, EmvsError> {
+        self.push_events(packet.as_slice())
+    }
+
+    /// Processes every ready frame (complete frames whose mid-point
+    /// timestamp the trajectory already covers) and returns the session
+    /// events emitted since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pose-interpolation, geometry and backend errors — the same
+    /// failures the batch `reconstruct()` paths report.
+    pub fn poll(&mut self) -> Result<Vec<SessionEvent>, EmvsError> {
+        self.drain_ready()?;
+        Ok(std::mem::take(&mut self.outbox))
+    }
+
+    /// Takes any emitted session events without processing more frames.
+    pub fn take_events(&mut self) -> Vec<SessionEvent> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drops every buffered (unprocessed) event and returns how many were
+    /// discarded.
+    ///
+    /// This is the explicit escape hatch for unrecoverable ingestion
+    /// failures — e.g. events whose frame mid-point precedes the first
+    /// pushed pose, which no future `push_pose` can cover (timestamps are
+    /// strictly increasing): [`Self::poll`] keeps the failed frame buffered
+    /// and repeats the error, and the caller decides whether to discard and
+    /// move on. Already-processed frames and retired key frames are
+    /// unaffected.
+    pub fn discard_pending(&mut self) -> usize {
+        let dropped = self.pending_events();
+        self.pending.clear();
+        self.cursor = 0;
+        dropped
+    }
+
+    /// Flushes the session: processes **all** buffered frames (including the
+    /// trailing partial frame) and retires the final key frame. Pose lookups
+    /// beyond the pushed trajectory fail here, exactly as they do in the
+    /// batch paths.
+    ///
+    /// Idempotent; [`Self::finish`] calls it implicitly.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::poll`].
+    pub fn flush(&mut self) -> Result<(), EmvsError> {
+        let n = self.config.events_per_frame;
+        while self.pending_events() >= n {
+            self.cut_and_process(n)?;
+        }
+        let trailing = self.pending_events();
+        if trailing > 0 {
+            self.cut_and_process(trailing)?;
+        }
+        if self.frames_in_keyframe > 0 {
+            self.retire_active_keyframe()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and consumes the session, returning the accumulated output in
+    /// the same shape as the batch `reconstruct()` entry points.
+    ///
+    /// # Errors
+    ///
+    /// [`EmvsError::NoEvents`] when no event was ever pushed, plus the
+    /// [`Self::flush`] failure modes.
+    pub fn finish(self) -> Result<EmvsOutput, EmvsError> {
+        self.finish_with_backend().0
+    }
+
+    /// [`Self::finish`], additionally handing the backend back to the caller
+    /// (even on error), so owners of stateful backends — e.g. the
+    /// co-simulation's device — can recover them.
+    pub fn finish_with_backend(mut self) -> (Result<EmvsOutput, EmvsError>, B) {
+        if let Err(e) = self.flush() {
+            return (Err(e), self.backend);
+        }
+        if self.events_pushed == 0 {
+            return (Err(EmvsError::NoEvents), self.backend);
+        }
+        let output = EmvsOutput {
+            keyframes: self.keyframes,
+            global_map: self.global_map,
+            profile: self.profile,
+        };
+        (Ok(output), self.backend)
+    }
+
+    /// Consumes the driver and returns the backend without flushing.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Whether the next complete frame can be processed (enough events and
+    /// trajectory coverage of its mid-point timestamp).
+    fn frame_ready(&self) -> bool {
+        let n = self.config.events_per_frame;
+        if self.pending_events() < n {
+            return false;
+        }
+        let mid = 0.5 * (self.pending[self.cursor].t + self.pending[self.cursor + n - 1].t);
+        matches!(self.trajectory.end_time(), Some(end) if end >= mid)
+    }
+
+    fn drain_ready(&mut self) -> Result<(), EmvsError> {
+        while self.frame_ready() {
+            let n = self.config.events_per_frame;
+            self.cut_and_process(n)?;
+        }
+        Ok(())
+    }
+
+    /// Cuts the next `n` pending events into a frame (advancing the buffer
+    /// cursor, O(1)) and processes it. The consumed prefix is compacted away
+    /// once it dominates the buffer, keeping the total cost linear in the
+    /// number of events.
+    ///
+    /// The cursor only advances when the frame processed successfully: a
+    /// failed frame (e.g. a pose lookup outside the pushed trajectory) stays
+    /// buffered, so an erroring `poll()` never silently drops events — the
+    /// caller sees the same error again until the situation is resolved.
+    fn cut_and_process(&mut self, n: usize) -> Result<(), EmvsError> {
+        debug_assert!(n > 0 && self.pending_events() >= n);
+        let buffer = std::mem::take(&mut self.pending);
+        let start = self.cursor;
+        let frame = &buffer[start..start + n];
+        let timestamp = 0.5 * (frame[0].t + frame[n - 1].t);
+        let result = self.process_frame(frame, timestamp);
+        self.pending = buffer;
+        if result.is_ok() {
+            self.cursor += n;
+            // The buffer-management copies are the session's analogue of the
+            // batch `aggregate()` chunking pass; attribute them (together
+            // with the ingestion copies in `push_events`) to Aggregation.
+            let t = Instant::now();
+            if self.cursor == self.pending.len() {
+                self.pending.clear();
+                self.cursor = 0;
+            } else if self.cursor >= 4096 && self.cursor * 2 >= self.pending.len() {
+                self.pending.drain(..self.cursor);
+                self.cursor = 0;
+            }
+            self.profile.add(Stage::Aggregation, t.elapsed());
+        }
+        result
+    }
+
+    /// The per-frame body of the sequential golden path: pose lookup,
+    /// key-frame switch check, geometry computation, backend vote.
+    fn process_frame(&mut self, events: &[Event], timestamp: f64) -> Result<(), EmvsError> {
+        let pose = self.trajectory.pose_at(timestamp)?;
+
+        match self.reference {
+            None => self.reference = Some(pose),
+            Some(ref ref_pose) => {
+                if self.selector.should_switch(ref_pose, &pose) {
+                    self.retire_active_keyframe()?;
+                    self.reference = Some(pose);
+                    self.selector.reset();
+                }
+            }
+        }
+        let ref_pose = self.reference.expect("reference pose set above");
+
+        let t = Instant::now();
+        let geometry =
+            FrameGeometry::compute(&ref_pose, &pose, &self.camera.intrinsics, &self.planes)?;
+        self.profile.add(Stage::ComputeHomography, t.elapsed());
+
+        let work = FrameWork {
+            frame_index: self.next_frame_index,
+            timestamp,
+            events,
+            reference_pose: ref_pose,
+            frame_pose: pose,
+            geometry: &geometry,
+        };
+        self.backend.vote_frame(&work, &mut self.profile)?;
+
+        self.next_frame_index += 1;
+        self.selector.register_frame();
+        self.frames_in_keyframe += 1;
+        self.events_in_keyframe += events.len();
+        self.profile.frames_processed += 1;
+        self.profile.events_processed += events.len() as u64;
+        Ok(())
+    }
+
+    fn retire_active_keyframe(&mut self) -> Result<(), EmvsError> {
+        let ref_pose = self.reference.expect("a key frame is active");
+        let index = self.keyframes.len();
+        let frames = self.frames_in_keyframe;
+        let events = self.events_in_keyframe;
+        let reconstruction =
+            self.backend
+                .retire_keyframe(&ref_pose, frames, events, &mut self.profile)?;
+        let t = Instant::now();
+        self.global_map.merge(&reconstruction.local_cloud);
+        self.profile.add(Stage::Merging, t.elapsed());
+        self.outbox.push(SessionEvent::SegmentRetired {
+            index,
+            frames,
+            events,
+        });
+        self.outbox.push(SessionEvent::DepthMapReady {
+            index,
+            valid_pixels: reconstruction.depth_map.valid_count(),
+        });
+        self.outbox.push(SessionEvent::KeyframeReady {
+            index,
+            votes_cast: reconstruction.votes_cast,
+            map_points: reconstruction.local_cloud.len(),
+        });
+        self.keyframes.push(reconstruction);
+        self.profile.keyframes += 1;
+        self.frames_in_keyframe = 0;
+        self.events_in_keyframe = 0;
+        Ok(())
+    }
+}
+
+/// Builds a [`KeyframeReconstruction`] from an accumulated DSI: structure
+/// detection, world-frame point-cloud conversion, vote-count capture — the
+/// one keyframe-finalization path every backend (baseline, software,
+/// sharded, cosim readback) shares.
+pub fn finalize_volume<S: eventor_dsi::VoxelScore>(
+    dsi: &DsiVolume<S>,
+    detection: &DetectionConfig,
+    camera: &CameraModel,
+    reference_pose: &Pose,
+    frames_used: usize,
+    events_used: usize,
+) -> KeyframeReconstruction {
+    let depth_map = detect_structure(dsi, detection);
+    let local_cloud = PointCloud::from_depth_map(&depth_map, &camera.intrinsics, reference_pose);
+    KeyframeReconstruction {
+        reference_pose: *reference_pose,
+        depth_map,
+        local_cloud,
+        frames_used,
+        events_used,
+        votes_cast: dsi.votes_cast(),
+    }
+}
+
+/// Runs a whole batch reconstruction through a session: the shared body of
+/// every legacy `reconstruct(&EventStream, &Trajectory)` entry point.
+///
+/// # Errors
+///
+/// [`EmvsError::NoEvents`] for an empty stream, otherwise the session's
+/// failure modes (which match the original batch loops).
+pub fn reconstruct_with_backend<B: ExecutionBackend>(
+    camera: CameraModel,
+    config: EmvsConfig,
+    backend: B,
+    events: &EventStream,
+    trajectory: &Trajectory,
+) -> Result<EmvsOutput, EmvsError> {
+    if events.is_empty() {
+        return Err(EmvsError::NoEvents);
+    }
+    let mut driver =
+        SessionDriver::new(camera, config, backend)?.with_max_pending_events(usize::MAX);
+    driver.push_trajectory(trajectory)?;
+    driver.push_events(events.as_slice())?;
+    driver.finish()
+}
+
+/// Buffered events at which the sharded backends flush their open key
+/// frame's buffered votes into the shard tiles. Bounds backend memory for
+/// arbitrarily long key frames (e.g. a stationary camera that never triggers
+/// a key-frame switch) at roughly one spill window of events plus the
+/// fixed-size tiles.
+pub const ENGINE_SPILL_EVENTS: usize = 1 << 16;
+
+/// One event frame buffered by [`BaselineBackend`]'s sharded mode until its
+/// key frame retires.
+#[derive(Debug)]
+struct BufferedFrame {
+    events: Vec<Event>,
+    geometry: FrameGeometry,
+}
+
+/// The baseline float EMVS datapath behind the session contract: the
+/// original (non-reformulated) schedule with bilinear or nearest voting into
+/// an `f32` DSI — exactly the per-frame work of the seed
+/// `EmvsMapper::reconstruct` loop.
+///
+/// With an engine [`ParallelConfig`] the backend buffers the key frame's
+/// frames and votes them on worker shards at retirement (packet round-robin,
+/// private tiles, deterministic tree reduction) — the baseline half of the
+/// PR-1 parallel voting engine, now expressed as a session backend.
+#[derive(Debug)]
+pub struct BaselineBackend {
+    camera: CameraModel,
+    voting: VotingMode,
+    detection: DetectionConfig,
+    parallel: ParallelConfig,
+    /// Sequential mode: `tiles[0]` is the single DSI. Engine mode: one
+    /// private tile per shard.
+    tiles: Vec<DsiVolume<f32>>,
+    buffered: Vec<BufferedFrame>,
+    buffered_events: usize,
+    // Scratch buffers reused across frames (sequential mode).
+    undistorted: Vec<Vec2>,
+    canonical: Vec<Option<Vec2>>,
+    vote_targets: Vec<(f64, f64, usize)>,
+}
+
+impl BaselineBackend {
+    /// Creates the backend, allocating its DSI tile(s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmvsError::InvalidConfig`] for unusable configurations and
+    /// [`EmvsError::Dsi`] when the DSI cannot be allocated.
+    pub fn new(
+        camera: CameraModel,
+        config: &EmvsConfig,
+        parallel: ParallelConfig,
+    ) -> Result<Self, EmvsError> {
+        let planes = config.depth_planes()?;
+        let width = camera.intrinsics.width as usize;
+        let height = camera.intrinsics.height as usize;
+        let count = if parallel.is_engine() {
+            parallel.shards()
+        } else {
+            1
+        };
+        let tiles: Vec<DsiVolume<f32>> = (0..count)
+            .map(|_| DsiVolume::new(width, height, planes.clone()))
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            camera,
+            voting: config.voting,
+            detection: config.detection,
+            parallel,
+            tiles,
+            buffered: Vec::new(),
+            buffered_events: 0,
+            undistorted: Vec::with_capacity(config.events_per_frame),
+            canonical: Vec::with_capacity(config.events_per_frame),
+            vote_targets: Vec::new(),
+        })
+    }
+
+    /// Sequential golden path for one frame: undistort → canonical
+    /// projection → proportional projection → vote (the `𝒫` / `ℛ` stages of
+    /// the original schedule, identical to the seed mapper's per-frame
+    /// body).
+    fn vote_frame_sequential(&mut self, work: &FrameWork<'_>, profile: &mut StageProfile) {
+        let t = Instant::now();
+        self.undistorted.clear();
+        self.undistorted.extend(work.events.iter().map(|e| {
+            self.camera
+                .undistort_pixel(Vec2::new(e.x as f64, e.y as f64))
+        }));
+        profile.add(Stage::DistortionCorrection, t.elapsed());
+
+        // The reference implementation computes φ after the canonical
+        // projection; the (trivial) cost keeps its own stage either way.
+        let t = Instant::now();
+        let n_planes = work.geometry.num_planes();
+        profile.add(Stage::ComputeCoefficients, t.elapsed());
+
+        let t = Instant::now();
+        self.canonical.clear();
+        self.canonical.extend(
+            self.undistorted
+                .iter()
+                .map(|&px| work.geometry.canonical(px)),
+        );
+        profile.add(Stage::CanonicalProjection, t.elapsed());
+
+        let t = Instant::now();
+        self.vote_targets.clear();
+        for c in self.canonical.iter().flatten() {
+            for i in 0..n_planes {
+                let p = work.geometry.transfer(*c, i);
+                self.vote_targets.push((p.x, p.y, i));
+            }
+        }
+        profile.add(Stage::ProportionalProjection, t.elapsed());
+
+        let t = Instant::now();
+        let dsi = &mut self.tiles[0];
+        match self.voting {
+            VotingMode::Bilinear => {
+                for &(x, y, plane) in &self.vote_targets {
+                    dsi.vote_bilinear(x, y, plane, 1.0);
+                }
+            }
+            VotingMode::Nearest => {
+                for &(x, y, plane) in &self.vote_targets {
+                    dsi.vote_nearest(x, y, plane, 1.0);
+                }
+            }
+        }
+        profile.add(Stage::VoteDsi, t.elapsed());
+    }
+
+    /// Votes every buffered frame into the shard tiles (packet round-robin)
+    /// and clears the buffer. Called at key-frame retirement and whenever
+    /// the buffer crosses [`ENGINE_SPILL_EVENTS`], so an arbitrarily long
+    /// key frame never buffers unboundedly — only the tiles (fixed-size)
+    /// accumulate. Safe at any boundary: nearest voting is
+    /// order-independent, and a single-shard partition preserves the exact
+    /// sequential packet order across spills.
+    fn vote_buffered(&mut self, profile: &mut StageProfile) {
+        if self.buffered.is_empty() {
+            return;
+        }
+        let t = Instant::now();
+        let packet_events = self.parallel.packet_events();
+        let mut packets: Vec<VotePacket> = Vec::new();
+        for (i, frame) in self.buffered.iter().enumerate() {
+            packetize_frame(i, 0..frame.events.len(), packet_events, &mut packets);
+        }
+        let shards = self.parallel.shards();
+        let camera = &self.camera;
+        let voting = self.voting;
+        let buffered = &self.buffered;
+        run_sharded(&mut self.tiles, |shard, tile| {
+            for packet in shard_packets(&packets, shard, shards) {
+                let frame = &buffered[packet.frame];
+                for e in &frame.events[packet.range.clone()] {
+                    let px = camera.undistort_pixel(Vec2::new(e.x as f64, e.y as f64));
+                    let Some(c) = frame.geometry.canonical(px) else {
+                        continue;
+                    };
+                    for i in 0..frame.geometry.num_planes() {
+                        let p = frame.geometry.transfer(c, i);
+                        match voting {
+                            VotingMode::Bilinear => tile.vote_bilinear(p.x, p.y, i, 1.0),
+                            VotingMode::Nearest => tile.vote_nearest(p.x, p.y, i, 1.0),
+                        }
+                    }
+                }
+            }
+        });
+        self.buffered.clear();
+        self.buffered_events = 0;
+        // The fused kernel's wall time cannot be split into its four stages
+        // once fused; attribute it evenly, as the batch engine did.
+        let fused = t.elapsed() / 4;
+        profile.add(Stage::DistortionCorrection, fused);
+        profile.add(Stage::CanonicalProjection, fused);
+        profile.add(Stage::ProportionalProjection, fused);
+        profile.add(Stage::VoteDsi, fused);
+    }
+
+    /// Engine-mode retirement: flush the buffered frames into the tiles,
+    /// tree-reduce, detect.
+    fn retire_sharded(
+        &mut self,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+        profile: &mut StageProfile,
+    ) -> KeyframeReconstruction {
+        self.vote_buffered(profile);
+        let t = Instant::now();
+        DsiVolume::tree_reduce(&mut self.tiles).expect("at least one shard tile");
+        let reconstruction = finalize_volume(
+            &self.tiles[0],
+            &self.detection,
+            &self.camera,
+            reference_pose,
+            frames_used,
+            events_used,
+        );
+        profile.add(Stage::Detection, t.elapsed());
+        reconstruction
+    }
+}
+
+impl ExecutionBackend for BaselineBackend {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn vote_frame(
+        &mut self,
+        work: &FrameWork<'_>,
+        profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        if self.parallel.is_engine() {
+            self.buffered_events += work.events.len();
+            self.buffered.push(BufferedFrame {
+                events: work.events.to_vec(),
+                geometry: work.geometry.clone(),
+            });
+            if self.buffered_events >= ENGINE_SPILL_EVENTS {
+                self.vote_buffered(profile);
+            }
+        } else {
+            self.vote_frame_sequential(work, profile);
+        }
+        Ok(())
+    }
+
+    fn retire_keyframe(
+        &mut self,
+        reference_pose: &Pose,
+        frames_used: usize,
+        events_used: usize,
+        profile: &mut StageProfile,
+    ) -> Result<KeyframeReconstruction, EmvsError> {
+        let reconstruction = if self.parallel.is_engine() {
+            self.retire_sharded(reference_pose, frames_used, events_used, profile)
+        } else {
+            let t = Instant::now();
+            let reconstruction = finalize_volume(
+                &self.tiles[0],
+                &self.detection,
+                &self.camera,
+                reference_pose,
+                frames_used,
+                events_used,
+            );
+            profile.add(Stage::Detection, t.elapsed());
+            reconstruction
+        };
+        let t = Instant::now();
+        for tile in &mut self.tiles {
+            tile.reset();
+        }
+        profile.add(Stage::Merging, t.elapsed());
+        Ok(reconstruction)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_events::{DatasetConfig, Polarity, SequenceKind, SyntheticSequence};
+    use eventor_geom::Vec3;
+
+    fn sequence() -> SyntheticSequence {
+        SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test()).unwrap()
+    }
+
+    fn config_for(seq: &SyntheticSequence) -> EmvsConfig {
+        EmvsConfig::default()
+            .with_depth_range(seq.depth_range.0, seq.depth_range.1)
+            .with_depth_planes(60)
+    }
+
+    fn driver_for(seq: &SyntheticSequence, config: &EmvsConfig) -> SessionDriver<BaselineBackend> {
+        let backend =
+            BaselineBackend::new(seq.camera, config, ParallelConfig::sequential()).unwrap();
+        SessionDriver::new(seq.camera, config.clone(), backend).unwrap()
+    }
+
+    #[test]
+    fn push_poll_finish_matches_batch_wrapper() {
+        let seq = sequence();
+        let config = config_for(&seq).with_voting(VotingMode::Nearest);
+        let batch = reconstruct_with_backend(
+            seq.camera,
+            config.clone(),
+            BaselineBackend::new(seq.camera, &config, ParallelConfig::sequential()).unwrap(),
+            &seq.events,
+            &seq.trajectory,
+        )
+        .unwrap();
+
+        let mut driver = driver_for(&seq, &config);
+        driver.push_trajectory(&seq.trajectory).unwrap();
+        let mut seen = Vec::new();
+        for chunk in seq.events.as_slice().chunks(777) {
+            driver.push_events(chunk).unwrap();
+            seen.extend(driver.poll().unwrap());
+        }
+        driver.flush().unwrap();
+        seen.extend(driver.take_events());
+        let streamed = driver.finish().unwrap();
+
+        assert_eq!(batch.keyframes.len(), streamed.keyframes.len());
+        for (b, s) in batch.keyframes.iter().zip(&streamed.keyframes) {
+            assert_eq!(b.votes_cast, s.votes_cast);
+            assert_eq!(b.depth_map.depth_data(), s.depth_map.depth_data());
+            assert_eq!(b.frames_used, s.frames_used);
+            assert_eq!(b.events_used, s.events_used);
+        }
+        // Three lifecycle events per retired key frame, in order.
+        assert_eq!(seen.len(), 3 * streamed.keyframes.len());
+        assert!(matches!(
+            seen[0],
+            SessionEvent::SegmentRetired { index: 0, .. }
+        ));
+        assert!(matches!(
+            seen[1],
+            SessionEvent::DepthMapReady { index: 0, .. }
+        ));
+        assert!(matches!(
+            seen[2],
+            SessionEvent::KeyframeReady { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn frames_wait_for_pose_coverage() {
+        let seq = sequence();
+        let config = config_for(&seq);
+        let mut driver = driver_for(&seq, &config);
+        driver.push_events(seq.events.as_slice()).unwrap();
+        // No poses yet: nothing can be processed.
+        assert!(driver.poll().unwrap().is_empty());
+        assert_eq!(driver.pending_events(), seq.events.len());
+        driver.push_trajectory(&seq.trajectory).unwrap();
+        driver.flush().unwrap();
+        assert!(!driver.keyframes().is_empty());
+        assert_eq!(driver.pending_events(), 0);
+    }
+
+    #[test]
+    fn backpressure_is_reported_when_the_buffer_is_full() {
+        let seq = sequence();
+        let config = config_for(&seq);
+        let cap = 2 * config.events_per_frame;
+        let mut driver = driver_for(&seq, &config).with_max_pending_events(cap);
+        // Without poses frames are never ready, so the buffer must fill.
+        let events = seq.events.as_slice();
+        let mut pushed = 0;
+        let err = loop {
+            match driver.push_events(&events[pushed..pushed + config.events_per_frame]) {
+                Ok(n) => {
+                    assert_eq!(n, config.events_per_frame, "full frames fit whole");
+                    pushed += n;
+                }
+                Err(e) => break e,
+            }
+            assert!(pushed <= cap, "buffer exceeded its bound");
+        };
+        assert!(matches!(err, EmvsError::Backpressure { .. }));
+        // Pushing the poses unblocks the same session: the buffered frames
+        // drain and the rejected packet can be pushed again.
+        driver.push_trajectory(&seq.trajectory).unwrap();
+        driver.poll().unwrap();
+        assert_eq!(driver.pending_events(), 0);
+        driver
+            .push_events(&events[pushed..pushed + config.events_per_frame])
+            .unwrap();
+    }
+
+    #[test]
+    fn out_of_order_events_are_rejected() {
+        let seq = sequence();
+        let config = config_for(&seq);
+        let mut driver = driver_for(&seq, &config);
+        let e1 = Event::new(1.0, 0, 0, Polarity::Positive);
+        let e0 = Event::new(0.5, 0, 0, Polarity::Positive);
+        driver.push_events(&[e1]).unwrap();
+        assert!(matches!(
+            driver.push_events(&[e0]),
+            Err(EmvsError::OutOfOrder { .. })
+        ));
+        // Equal timestamps are allowed (sensors emit bursts).
+        driver.push_events(&[e1]).unwrap();
+    }
+
+    #[test]
+    fn oversized_packets_are_ingested_in_chunks() {
+        let seq = sequence();
+        let config = config_for(&seq);
+        let cap = 2 * config.events_per_frame;
+        // Poses first, then the entire stream (far larger than the buffer) in
+        // one push: chunking + draining must accept it whole.
+        let mut driver = driver_for(&seq, &config).with_max_pending_events(cap);
+        driver.push_trajectory(&seq.trajectory).unwrap();
+        driver.push_events(seq.events.as_slice()).unwrap();
+        let streamed = driver.finish().unwrap();
+        let batch = reconstruct_with_backend(
+            seq.camera,
+            config.clone(),
+            BaselineBackend::new(seq.camera, &config, ParallelConfig::sequential()).unwrap(),
+            &seq.events,
+            &seq.trajectory,
+        )
+        .unwrap();
+        assert_eq!(batch.keyframes.len(), streamed.keyframes.len());
+        assert_eq!(
+            batch.profile.events_processed,
+            streamed.profile.events_processed
+        );
+    }
+
+    #[test]
+    fn failed_frames_stay_buffered_and_can_be_discarded() {
+        let seq = sequence();
+        let config = config_for(&seq);
+        let mut driver = driver_for(&seq, &config);
+        // Events whose frame mid-points precede the first pose: pose lookup
+        // fails and no future push_pose can cover them.
+        let early: Vec<Event> = (0..config.events_per_frame)
+            .map(|i| Event::new(i as f64 * 1e-4, 0, 0, Polarity::Positive))
+            .collect();
+        driver.push_events(&early).unwrap();
+        driver.push_pose(100.0, Pose::identity()).unwrap();
+        driver.push_pose(101.0, Pose::identity()).unwrap();
+        // The error repeats without losing the events...
+        assert!(driver.poll().is_err());
+        assert_eq!(driver.pending_events(), config.events_per_frame);
+        assert!(driver.poll().is_err());
+        // ...until the caller explicitly discards them.
+        assert_eq!(driver.discard_pending(), config.events_per_frame);
+        assert!(driver.poll().unwrap().is_empty());
+        assert_eq!(driver.pending_events(), 0);
+    }
+
+    #[test]
+    fn sharded_spill_keeps_a_giant_single_keyframe_bit_identical() {
+        // One key frame holding the whole stream (more events than
+        // ENGINE_SPILL_EVENTS), so the engine must spill buffered votes into
+        // its tiles mid-key-frame — and stay bit-identical to sequential.
+        let seq = sequence();
+        assert!(seq.events.len() > ENGINE_SPILL_EVENTS);
+        let config = config_for(&seq)
+            .with_voting(VotingMode::Nearest)
+            .with_keyframe_distance(1e9);
+        let run = |parallel: ParallelConfig| {
+            reconstruct_with_backend(
+                seq.camera,
+                config.clone(),
+                BaselineBackend::new(seq.camera, &config, parallel).unwrap(),
+                &seq.events,
+                &seq.trajectory,
+            )
+            .unwrap()
+        };
+        let sequential = run(ParallelConfig::sequential());
+        let sharded = run(ParallelConfig::with_shards(4));
+        assert_eq!(sequential.keyframes.len(), 1);
+        assert_eq!(sharded.keyframes.len(), 1);
+        assert_eq!(
+            sequential.keyframes[0].votes_cast,
+            sharded.keyframes[0].votes_cast
+        );
+        assert_eq!(
+            sequential.keyframes[0].depth_map.depth_data(),
+            sharded.keyframes[0].depth_map.depth_data()
+        );
+    }
+
+    #[test]
+    fn finishing_an_empty_session_is_no_events() {
+        let seq = sequence();
+        let config = config_for(&seq);
+        let driver = driver_for(&seq, &config);
+        assert!(matches!(driver.finish(), Err(EmvsError::NoEvents)));
+    }
+
+    #[test]
+    fn pose_lookup_outside_trajectory_errors_at_flush() {
+        let seq = sequence();
+        let config = config_for(&seq);
+        let mut driver = driver_for(&seq, &config);
+        // A trajectory that ends before the events do.
+        driver.push_pose(-10.0, Pose::identity()).unwrap();
+        driver
+            .push_pose(-9.0, Pose::from_translation(Vec3::new(0.1, 0.0, 0.0)))
+            .unwrap();
+        driver.push_events(seq.events.as_slice()).unwrap();
+        assert!(driver.flush().is_err());
+    }
+
+    #[test]
+    fn boxed_backend_forwards_the_contract() {
+        let seq = sequence();
+        let config = config_for(&seq);
+        let backend: Box<dyn ExecutionBackend> = Box::new(
+            BaselineBackend::new(seq.camera, &config, ParallelConfig::sequential()).unwrap(),
+        );
+        assert_eq!(backend.name(), "baseline");
+        assert!(backend.as_any().is_some());
+        let output =
+            reconstruct_with_backend(seq.camera, config, backend, &seq.events, &seq.trajectory)
+                .unwrap();
+        assert!(!output.keyframes.is_empty());
+    }
+}

@@ -122,6 +122,31 @@ impl EventStream {
         }
     }
 
+    /// Iterator over contiguous packets of at most `packet_events` events —
+    /// the natural feed unit for the streaming session API
+    /// (`push_events(packet)` per yielded slice reproduces the batch result
+    /// exactly, for any packet size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_events` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eventor_events::{Event, EventStream, Polarity};
+    /// let s: EventStream = (0..10)
+    ///     .map(|i| Event::new(i as f64, 0, 0, Polarity::Positive))
+    ///     .collect();
+    /// let packets: Vec<_> = s.packets(4).collect();
+    /// assert_eq!(packets.len(), 3);
+    /// assert_eq!(packets[2].len(), 2);
+    /// ```
+    pub fn packets(&self, packet_events: usize) -> std::slice::Chunks<'_, Event> {
+        assert!(packet_events > 0, "packet_events must be positive");
+        self.events.chunks(packet_events)
+    }
+
     /// Events with `t_begin <= t < t_end` as a sub-slice (binary search on the
     /// sorted timestamps).
     pub fn slice_time(&self, t_begin: f64, t_end: f64) -> &[Event] {
@@ -222,6 +247,16 @@ mod tests {
         assert_eq!(sl[0].t, 2.0);
         assert_eq!(sl[2].t, 4.0);
         assert!(s.slice_time(100.0, 200.0).is_empty());
+    }
+
+    #[test]
+    fn packets_tile_the_stream_exactly() {
+        let s = EventStream::from_events((0..10).map(|i| ev(i as f64)).collect()).unwrap();
+        let total: usize = s.packets(3).map(<[Event]>::len).sum();
+        assert_eq!(total, 10);
+        assert_eq!(s.packets(3).count(), 4);
+        assert_eq!(s.packets(100).count(), 1);
+        assert_eq!(EventStream::new().packets(4).count(), 0);
     }
 
     #[test]

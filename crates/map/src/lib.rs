@@ -41,7 +41,7 @@ mod voxelgrid;
 
 pub use error::MapError;
 pub use fusion::{DepthFusion, FusionConfig};
-pub use map::{GlobalMap, GlobalMapConfig, KeyframeEntry, MapStatistics};
+pub use map::{FusionDelta, GlobalMap, GlobalMapConfig, KeyframeEntry, MapStatistics};
 pub use voxelgrid::{VoxelGrid, VoxelKey};
 
 #[cfg(test)]

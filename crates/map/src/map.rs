@@ -54,6 +54,20 @@ pub struct MapStatistics {
     pub extent: Vec3,
 }
 
+/// What one incremental fusion step changed in the map — the per-key-frame
+/// delta a streaming session observes (see
+/// [`GlobalMap::fuse_incremental`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionDelta {
+    /// Raw points inserted by this key frame.
+    pub points: usize,
+    /// Voxels newly occupied by this key frame (structure the map had not
+    /// seen before).
+    pub new_voxels: usize,
+    /// Occupied voxels after the fusion.
+    pub total_voxels: usize,
+}
+
 /// The global semi-dense map.
 ///
 /// # Examples
@@ -148,6 +162,20 @@ impl GlobalMap {
             mean_depth,
         });
         cloud.len()
+    }
+
+    /// Incremental fusion hook for streaming consumers: merges a key frame's
+    /// local cloud and reports what changed, so a session can surface
+    /// per-key-frame map growth without re-walking the grid.
+    pub fn fuse_incremental(&mut self, cloud: &PointCloud, pose: &Pose) -> FusionDelta {
+        let before = self.grid.occupied_voxels();
+        let points = self.insert_cloud(cloud, pose);
+        let total_voxels = self.grid.occupied_voxels();
+        FusionDelta {
+            points,
+            new_voxels: total_voxels - before,
+            total_voxels,
+        }
     }
 
     /// Extracts the downsampled global point cloud (one point per
@@ -290,6 +318,27 @@ mod tests {
         assert_eq!(map.point_cloud().len(), 1);
         assert!(map.is_occupied(Vec3::new(0.0, 0.0, 1.0)));
         assert_eq!(map.statistics().occupied_voxels, 2);
+    }
+
+    #[test]
+    fn incremental_fusion_reports_per_keyframe_deltas() {
+        let mut map = GlobalMap::new(GlobalMapConfig {
+            voxel_resolution: 0.05,
+            min_voxel_support: 1,
+        })
+        .unwrap();
+        let intrinsics = CameraIntrinsics::davis240_default();
+        let pose = Pose::identity();
+        let cloud = PointCloud::from_depth_map(&sample_depth_map(), &intrinsics, &pose);
+        let first = map.fuse_incremental(&cloud, &pose);
+        assert_eq!(first.points, cloud.len());
+        assert!(first.new_voxels > 0);
+        assert_eq!(first.total_voxels, first.new_voxels);
+        // Re-fusing identical structure adds points but no new voxels.
+        let second = map.fuse_incremental(&cloud, &pose);
+        assert_eq!(second.new_voxels, 0);
+        assert_eq!(second.total_voxels, first.total_voxels);
+        assert_eq!(map.num_keyframes(), 2);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Streaming session quick-start: push/poll ingestion with the co-simulated
+//! accelerator backend.
+//!
+//! The example plays the role of an online host: pose samples and event
+//! packets arrive incrementally (here replayed from a synthetic sequence),
+//! the session votes each aggregated frame on the functional `eventor-hwsim`
+//! device, and `poll()` surfaces key frames as they finish — no batch
+//! `reconstruct()` call, no full stream in memory.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example streaming_session
+//! ```
+
+use eventor::core::{config_for_sequence, EventorSession, SessionEvent};
+use eventor::events::{DatasetConfig, SequenceKind, SyntheticSequence};
+use eventor::hwsim::AcceleratorConfig;
+use eventor::map::GlobalMapConfig;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A synthetic stand-in for a live sensor + odometry feed.
+    let sequence =
+        SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
+    let config = config_for_sequence(&sequence, 100);
+
+    // 2. One validated configuration path, one backend choice: here the
+    //    co-simulated FPGA device, with incremental global-map fusion and a
+    //    bounded in-flight buffer (backpressure instead of unbounded growth).
+    let mut session = EventorSession::builder(sequence.camera, config.clone())
+        .cosim(AcceleratorConfig::default())
+        .fuse_into_map(GlobalMapConfig::default())
+        .max_pending_events(8 * config.events_per_frame)
+        .build()?;
+
+    // 3. Interleave pose and event pushes the way an online feed would:
+    //    poses first (frames wait for trajectory coverage), then event
+    //    packets of arbitrary size, polling as we go.
+    for sample in sequence.trajectory.iter() {
+        session.push_pose(sample.timestamp, sample.pose)?;
+    }
+    let packet_size = 512;
+    for packet in sequence.events.packets(packet_size) {
+        session.push_events(packet)?;
+        for event in session.poll()? {
+            match event {
+                SessionEvent::SegmentRetired {
+                    index,
+                    frames,
+                    events,
+                } => {
+                    println!("segment {index} retired: {frames} frames, {events} events");
+                }
+                SessionEvent::DepthMapReady {
+                    index,
+                    valid_pixels,
+                } => {
+                    println!("depth map {index} ready: {valid_pixels} semi-dense pixels");
+                }
+                SessionEvent::KeyframeReady {
+                    index,
+                    votes_cast,
+                    map_points,
+                } => {
+                    println!("keyframe {index} ready: {votes_cast} votes, {map_points} points");
+                }
+                SessionEvent::MapFused {
+                    index, new_voxels, ..
+                } => {
+                    println!("keyframe {index} fused: {new_voxels} new voxels in the global map");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // 4. Flush the trailing partial frame and collect the batch-shaped
+    //    output plus the accelerator activity report.
+    let finished = session.finish()?;
+    let report = finished.cosim_report.expect("cosim backend ran");
+    println!(
+        "\n{} key frames, {} events, accelerator busy {:.3} ms ({:.2} Mev/s modelled)",
+        finished.output.keyframes.len(),
+        finished.output.profile.events_processed,
+        1e3 * report.accelerator_seconds,
+        report.events_in as f64 / report.accelerator_seconds / 1e6,
+    );
+    if let Some(map) = &finished.fused_map {
+        let stats = map.statistics();
+        println!(
+            "fused global map: {} points in {} voxels from {} key frames",
+            stats.map_points, stats.occupied_voxels, stats.keyframes
+        );
+    }
+    Ok(())
+}

@@ -18,23 +18,35 @@
 //! | [`hwsim`] | the Zynq accelerator model: analytic timing/resources/power plus the functional register/DMA/datapath device |
 //! | [`core`] | the reformulated, quantized Eventor pipeline, the accelerator driver, hardware/software co-simulation and the accuracy-comparison harness |
 //!
-//! ## Quick start
+//! ## Quick start: the streaming session API
 //!
 //! ```no_run
-//! use eventor::core::{config_for_sequence, EventorOptions, EventorPipeline};
+//! use eventor::core::{config_for_sequence, EventorOptions, EventorSession, SessionEvent};
 //! use eventor::events::{DatasetConfig, SequenceKind, SyntheticSequence};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Generate a synthetic stand-in for the DAVIS `slider_close` sequence.
+//! // A synthetic stand-in for a live sensor + odometry feed.
 //! let sequence = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
 //!
-//! // Run the hardware-friendly Eventor pipeline on it.
-//! let config = config_for_sequence(&sequence, 100);
-//! let pipeline = EventorPipeline::new(sequence.camera, config, EventorOptions::accelerator())?;
-//! let output = pipeline.reconstruct(&sequence.events, &sequence.trajectory)?;
+//! // Push-based incremental reconstruction on the accelerator datapath.
+//! let mut session = EventorSession::builder(sequence.camera, config_for_sequence(&sequence, 100))
+//!     .software(EventorOptions::accelerator())
+//!     .build()?;
+//! for sample in sequence.trajectory.iter() {
+//!     session.push_pose(sample.timestamp, sample.pose)?;
+//! }
+//! for packet in sequence.events.packets(1024) {
+//!     session.push_events(packet)?;
+//!     for event in session.poll()? {
+//!         if let SessionEvent::KeyframeReady { index, .. } = event {
+//!             println!("keyframe {index} ready");
+//!         }
+//!     }
+//! }
+//! let finished = session.finish()?;
 //!
 //! // Compare the semi-dense depth map against ground truth.
-//! let primary = output.keyframes.first().expect("at least one key frame");
+//! let primary = finished.output.keyframes.first().expect("at least one key frame");
 //! let gt = sequence.ground_truth_depth_at(&primary.reference_pose);
 //! let metrics = primary.depth_map.compare_to_ground_truth(gt.as_slice())?;
 //! println!("AbsRel = {:.2}%", 100.0 * metrics.abs_rel);
@@ -42,10 +54,14 @@
 //! # }
 //! ```
 //!
-//! All three pipelines (baseline mapper, reformulated pipeline,
-//! co-simulation) accept an [`core::ParallelConfig`] to run the
-//! reconstruction hot path on the parallel sharded voting engine — see
-//! [`core::parallel`] and `docs/ARCHITECTURE.md`.
+//! The streaming session accepts pluggable execution backends
+//! (`.software(..)`, `.sharded(..)`, `.cosim(..)` on the builder) with
+//! bit-identical nearest-voting output, and the legacy batch entry points
+//! (baseline mapper, reformulated pipeline, co-simulation) are thin
+//! wrappers over it. All three also still accept a
+//! [`core::ParallelConfig`] to run the reconstruction hot path on the
+//! parallel sharded voting engine — see [`core::parallel`] and
+//! `docs/ARCHITECTURE.md`.
 //!
 //! See `README.md` for the crate map and the table mapping paper
 //! figures/tables to their reproduction binaries, `docs/ARCHITECTURE.md` for
