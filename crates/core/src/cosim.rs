@@ -10,12 +10,13 @@
 //! [`EventorDevice`]. [`CosimPipeline`] is the legacy batch façade — a thin
 //! wrapper that feeds a session the whole stream at once.
 //!
-//! Because the device datapath and the software datapath in
-//! [`crate::EventorPipeline`] quantize with the same Table 1 formats and make
-//! the same projection-missing judgements, the two produce **identical DSI
-//! volumes** for identical inputs; the workspace integration tests assert
-//! this bit-exact agreement, which is the co-verification argument of the
-//! accelerator design.
+//! The device datapath and the software datapath in
+//! [`crate::EventorPipeline`] are both thin wrappers over the **bit-true
+//! integer kernel** in [`eventor_fixed::kernel`] — same raw fixed-point
+//! words, same wide-MAC/normalization/judgement functions — so the two
+//! produce **identical DSI volumes** for identical inputs *by construction*;
+//! the workspace integration tests assert this bit-exact agreement, which is
+//! the co-verification argument of the accelerator design.
 
 use crate::parallel::{parallel_map, ParallelConfig};
 use crate::quantized::quantize_event_pixel;

@@ -11,7 +11,10 @@
 //!   coefficients, nearest voting, Table 1 hybrid quantization), with each
 //!   approximation individually switchable through [`EventorOptions`],
 //! * [`QuantizedHomography`] / [`QuantizedCoefficients`] — the fixed-point
-//!   datapath executed by the `PE_Z0` / `PE_Zi` processing elements,
+//!   datapath executed by the `PE_Z0` / `PE_Zi` processing elements: thin
+//!   wrappers (raw-word storage) over the bit-true integer kernel in
+//!   `eventor_fixed::kernel`, which the `eventor-hwsim` device model wraps
+//!   too — co-simulation agreement holds by construction,
 //! * [`AcceleratorRun`] — binding a reconstruction workload to the
 //!   `eventor-hwsim` hardware model to obtain Table 3 runtimes, event rates,
 //!   power and the energy-efficiency comparison against the Intel i5

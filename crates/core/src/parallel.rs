@@ -30,16 +30,20 @@
 //! bilinear voting can differ from the sequential float summation order by
 //! ULPs.
 //!
-//! The hot-loop kernels delegate their arithmetic to
-//! [`QuantizedHomography::project_hoisted`] and
-//! [`QuantizedCoefficients::transfer_hoisted`] — the same functions the
-//! sequential golden model calls — so the fused fast path cannot drift from
-//! the reference implementation.
+//! The quantized hot-loop kernels delegate their arithmetic to the bit-true
+//! integer kernel ([`eventor_fixed::kernel`]) — the same functions the
+//! sequential golden model ([`QuantizedHomography`] /
+//! [`QuantizedCoefficients`]) and the `eventor-hwsim` device model call —
+//! so the fused fast path cannot drift from the reference implementation.
+//! [`QuantizedFrameParams`] hoists the **raw fixed-point words** out of the
+//! per-event loop (not an `f64` decode: there is none anymore), so the hot
+//! loop runs on integers end to end.
 
 use crate::quantized::{QuantizedCoefficients, QuantizedHomography};
 use eventor_dsi::{DsiVolume, VoxelScore};
 use eventor_emvs::{FrameGeometry, VotingMode};
-use eventor_fixed::{PackedCoord, PlaneCoord};
+use eventor_fixed::kernel::{self, PhiWords};
+use eventor_fixed::PackedCoord;
 use eventor_geom::Vec2;
 
 pub use eventor_emvs::{run_sharded, shard_packets, ParallelConfig};
@@ -51,8 +55,9 @@ pub use eventor_emvs::{run_sharded, shard_packets, ParallelConfig};
 pub(crate) struct ShardState<S: VoxelScore> {
     /// The shard's private DSI tile.
     pub tile: DsiVolume<S>,
-    /// Canonical-plane points of the packet being processed.
-    pub canon: Vec<(f64, f64)>,
+    /// Canonical-plane points of the packet being processed, in the Q9.7
+    /// transport format (raw words — the kernels never decode them).
+    pub canon: Vec<PackedCoord>,
 }
 
 impl<S: VoxelScore> ShardState<S> {
@@ -101,13 +106,15 @@ where
     })
 }
 
-/// Per-frame quantized datapath parameters with the Q11.21 → `f64` decode
-/// hoisted out of the per-event loop: the `3 × 3` homography matrix and the
-/// per-plane `(scale, offset_x, offset_y)` coefficient triples.
-#[derive(Debug, Clone)]
+/// Per-frame quantized datapath parameters hoisted out of the per-event
+/// loop as **raw fixed-point words**: the nine Q11.21 `Buf_H` words of
+/// `H_{Z0}` and the per-plane Q11.21 `Buf_P` word triples of `φ` — exactly
+/// the payloads the DMA would ship to the device, consumed directly by the
+/// integer kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuantizedFrameParams {
-    homography: [[f64; 3]; 3],
-    coefficients: Vec<(f64, f64, f64)>,
+    homography: [i32; 9],
+    coefficients: Vec<PhiWords>,
 }
 
 impl QuantizedFrameParams {
@@ -116,8 +123,8 @@ impl QuantizedFrameParams {
         let qh = QuantizedHomography::from_homography(&geometry.homography);
         let qphi = QuantizedCoefficients::from_coefficients(&geometry.coefficients);
         Self {
-            homography: qh.entries_f64(),
-            coefficients: qphi.hoisted(),
+            homography: qh.raw_words(),
+            coefficients: qphi.words().to_vec(),
         }
     }
 
@@ -126,11 +133,18 @@ impl QuantizedFrameParams {
         self.coefficients.len()
     }
 
-    /// The canonical projection `𝒫{Z0}` (delegates to the golden model's
-    /// [`QuantizedHomography::project_hoisted`]).
+    /// The per-plane raw coefficient words.
+    #[inline]
+    pub fn coefficients(&self) -> &[PhiWords] {
+        &self.coefficients
+    }
+
+    /// The canonical projection `𝒫{Z0}` (delegates to the bit-true
+    /// [`kernel::project_z0`], the same function the golden model and the
+    /// device model call).
     #[inline]
     pub fn project(&self, coord: PackedCoord) -> Option<PackedCoord> {
-        QuantizedHomography::project_hoisted(&self.homography, coord)
+        kernel::project_z0(&self.homography, coord)
     }
 }
 
@@ -138,9 +152,9 @@ impl QuantizedFrameParams {
 /// packet of the quantized nearest-voting (accelerator) datapath.
 ///
 /// Equivalent, vote for vote, to the sequential
-/// `EventorPipeline::process_frame_quantized` path; the only differences are
-/// scheduling (one packet instead of one frame) and the hoisted parameter
-/// decode.
+/// `EventorPipeline::process_frame_quantized` path — both run the same
+/// integer kernel on the same raw words; the only difference is scheduling
+/// (one packet instead of one frame).
 /// The kernel runs plane-major: all canonical points of the packet are
 /// computed once into the shard's scratch buffer, then each depth plane's
 /// transfers are generated back-to-back and voted straight into that plane's
@@ -159,17 +173,16 @@ pub(crate) fn vote_packet_quantized_nearest(
     state.canon.clear();
     for &coord in events {
         if let Some(canonical) = params.project(coord) {
-            state.canon.push((canonical.x_f64(), canonical.y_f64()));
+            state.canon.push(canonical);
         }
     }
     let width = state.tile.width();
     let mut cast: u64 = 0;
-    for (i, &(scale, off_x, off_y)) in params.coefficients.iter().enumerate() {
+    for (i, phi) in params.coefficients.iter().enumerate() {
         let slab = state.tile.plane_scores_mut(i);
-        for &(cx, cy) in &state.canon {
-            let (x, y) = QuantizedCoefficients::transfer_hoisted(scale, off_x, off_y, cx, cy);
+        for &canonical in &state.canon {
             if let Some((vx, vy)) =
-                PlaneCoord::from_projection(x, y, sensor_width, sensor_height).address()
+                kernel::transfer_nearest(phi, canonical, sensor_width, sensor_height).address()
             {
                 slab[vy as usize * width + vx as usize].add_unit();
                 cast += 1;
@@ -195,10 +208,8 @@ pub(crate) fn vote_packet_quantized_bilinear(
         let Some(canonical) = params.project(coord) else {
             continue;
         };
-        let cx = canonical.x_f64();
-        let cy = canonical.y_f64();
-        for (i, &(scale, off_x, off_y)) in params.coefficients.iter().enumerate() {
-            let (x, y) = QuantizedCoefficients::transfer_hoisted(scale, off_x, off_y, cx, cy);
+        for (i, phi) in params.coefficients.iter().enumerate() {
+            let (x, y) = kernel::transfer_subpixel(phi, canonical);
             state.tile.vote_bilinear(x, y, i, 1.0);
         }
     }
@@ -293,27 +304,18 @@ mod tests {
         let qh = QuantizedHomography::from_homography(&geometry.homography);
         let qphi = QuantizedCoefficients::from_coefficients(&geometry.coefficients);
         assert_eq!(params.num_planes(), qphi.len());
+        // The hoisted block is the golden model's raw words, verbatim — the
+        // hoist copies storage, it no longer re-derives arithmetic.
+        assert_eq!(params.coefficients(), qphi.words());
         for &(x, y) in &[(10.0, 10.0), (120.5, 90.25), (230.0, 170.0)] {
             let coord = PackedCoord::from_f64(x, y);
             let via_params = params.project(coord);
             let via_golden = qh.project(coord);
             assert_eq!(via_params, via_golden);
             if let Some(c) = via_golden {
-                for i in 0..qphi.len() {
-                    let (scale, off_x, off_y) = (
-                        params.coefficients[i].0,
-                        params.coefficients[i].1,
-                        params.coefficients[i].2,
-                    );
-                    let (tx, ty) = QuantizedCoefficients::transfer_hoisted(
-                        scale,
-                        off_x,
-                        off_y,
-                        c.x_f64(),
-                        c.y_f64(),
-                    );
+                for (i, phi) in params.coefficients().iter().enumerate() {
                     let golden = qphi.transfer_nearest(c, i, 240, 180);
-                    assert_eq!(PlaneCoord::from_projection(tx, ty, 240, 180), golden);
+                    assert_eq!(kernel::transfer_nearest(phi, c, 240, 180), golden);
                 }
             }
         }

@@ -10,7 +10,10 @@
 //!   the FPGA.
 //! * **Approximate computing** — nearest voting instead of bilinear voting.
 //! * **Hybrid quantization** — Table 1 fixed-point formats on every datum
-//!   crossing the FPGA datapath, with 16-bit integer DSI scores.
+//!   crossing the FPGA datapath, with 16-bit integer DSI scores; the
+//!   arithmetic between the quantization points is the bit-true integer
+//!   kernel of [`eventor_fixed::kernel`], shared with the `eventor-hwsim`
+//!   device model.
 //!
 //! Both approximations can be toggled independently through
 //! [`EventorOptions`], which is what the Fig. 4a / Fig. 4b / Fig. 7a

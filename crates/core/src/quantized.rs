@@ -1,126 +1,108 @@
-//! The quantized back-projection datapath: the arithmetic the Eventor FPGA
-//! performs, expressed with the fixed-point formats of Table 1.
+//! The quantized back-projection datapath: the golden software model of the
+//! arithmetic the Eventor FPGA performs, expressed with the fixed-point
+//! formats of Table 1.
 //!
 //! Quantization is modelled faithfully at the *data* level: every value is
 //! snapped to its fixed-point grid (Q9.7 event/canonical coordinates, Q11.21
 //! homography and coefficients, integer plane coordinates and DSI scores)
-//! exactly where the hardware would store or transfer it. The arithmetic
-//! between those storage points is carried out in `f64`, which upper-bounds
-//! the precision of the RTL datapath's wide accumulators.
+//! exactly where the hardware would store or transfer it — and, since the
+//! bit-true kernel refactor, the arithmetic *between* those storage points
+//! is integer too: [`QuantizedHomography`] and [`QuantizedCoefficients`]
+//! store raw fixed-point words and delegate every MAC, normalization,
+//! saturation judgement and nearest-voxel rounding to
+//! [`eventor_fixed::kernel`] — the same functions the `eventor-hwsim`
+//! device model executes, so golden-model ↔ device agreement holds by
+//! construction (ARCHITECTURE.md contract 4.1).
 
+use eventor_fixed::kernel::{self, PhiWords};
 use eventor_fixed::{PackedCoord, PlaneCoord, Q11p21};
 use eventor_geom::{CanonicalHomography, ProportionalCoefficients, Vec2};
 
-/// The homography `H_{Z0}` quantized to Q11.21 entries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The homography `H_{Z0}` quantized to Q11.21, stored as the nine raw bus
+/// words of the `Buf_H` register bank (row-major).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuantizedHomography {
-    entries: [[Q11p21; 3]; 3],
+    words: [i32; 9],
 }
 
 impl QuantizedHomography {
     /// Quantizes a full-precision canonical homography.
     pub fn from_homography(h: &CanonicalHomography) -> Self {
-        let mut entries = [[Q11p21::zero(); 3]; 3];
-        for (i, row) in entries.iter_mut().enumerate() {
-            for (j, e) in row.iter_mut().enumerate() {
-                *e = Q11p21::from_f64(h.h.m[i][j]);
-            }
+        Self {
+            words: kernel::quantize_homography(&h.h.m),
         }
-        Self { entries }
     }
 
-    /// The quantized entry at `(row, col)` as `f64`.
+    /// The quantized entry at `(row, col)` as `f64` (inspection exit point).
     pub fn entry(&self, row: usize, col: usize) -> f64 {
-        self.entries[row][col].to_f64()
+        Q11p21::from_raw(self.words[row * 3 + col]).to_f64()
+    }
+
+    /// The nine raw Q11.21 words in row-major order — the hoisted per-frame
+    /// parameter block the hot loops consume directly.
+    #[inline]
+    pub fn raw_words(&self) -> [i32; 9] {
+        self.words
     }
 
     /// Applies the quantized homography to a quantized event coordinate — the
-    /// operation `PE_Z0` performs (matrix-vector MAC plus normalization) —
-    /// and quantizes the result to Q9.7.
+    /// operation `PE_Z0` performs (wide-MAC plus normalization) — and
+    /// re-quantizes the result to Q9.7, entirely in integer arithmetic
+    /// ([`kernel::project_z0`]).
     ///
-    /// Returns `None` when the point maps to infinity (normalization by a
-    /// near-zero denominator), mirroring the projection-missing judgement.
+    /// Returns `None` when the projection-missing judgement drops the event:
+    /// a zero normalization denominator, or a canonical coordinate that does
+    /// not fit the Q9.7 transport format (saturating it would corrupt every
+    /// subsequent plane transfer).
+    #[inline]
     pub fn project(&self, coord: PackedCoord) -> Option<PackedCoord> {
-        Self::project_hoisted(&self.entries_f64(), coord)
-    }
-
-    /// The quantized entries as an `f64` matrix, for hoisting the fixed-point
-    /// decode out of per-event loops (the parallel voting engine converts
-    /// once per frame instead of nine times per event).
-    #[inline]
-    pub fn entries_f64(&self) -> [[f64; 3]; 3] {
-        let mut m = [[0.0; 3]; 3];
-        for (i, row) in m.iter_mut().enumerate() {
-            for (j, e) in row.iter_mut().enumerate() {
-                *e = self.entries[i][j].to_f64();
-            }
-        }
-        m
-    }
-
-    /// [`QuantizedHomography::project`] on a pre-hoisted entry matrix
-    /// (obtained from [`QuantizedHomography::entries_f64`]). This *is* the
-    /// projection implementation — `project` delegates here — so the hoisted
-    /// fast path of the parallel engine cannot drift from the golden model.
-    #[inline]
-    pub fn project_hoisted(h: &[[f64; 3]; 3], coord: PackedCoord) -> Option<PackedCoord> {
-        let x = coord.x_f64();
-        let y = coord.y_f64();
-        let w = h[2][0] * x + h[2][1] * y + h[2][2];
-        if w.abs() < 1e-9 {
-            return None;
-        }
-        let px = (h[0][0] * x + h[0][1] * y + h[0][2]) / w;
-        let py = (h[1][0] * x + h[1][1] * y + h[1][2]) / w;
-        if !px.is_finite() || !py.is_finite() {
-            return None;
-        }
-        // Projection-missing judgement: canonical coordinates that do not fit
-        // the Q9.7 transport format would saturate and corrupt every
-        // subsequent plane transfer, so the hardware drops the event instead.
-        const Q9P7_MAX: f64 = 255.9921875;
-        if px.abs() > Q9P7_MAX || py.abs() > Q9P7_MAX {
-            return None;
-        }
-        Some(PackedCoord::from_f64(px, py))
+        kernel::project_z0(&self.words, coord)
     }
 }
 
-/// The proportional back-projection coefficients `φ` quantized to Q11.21.
-#[derive(Debug, Clone, PartialEq)]
+/// The proportional back-projection coefficients `φ` quantized to Q11.21,
+/// stored as raw `Buf_P` words per depth plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuantizedCoefficients {
-    scale: Vec<Q11p21>,
-    offset_x: Vec<Q11p21>,
-    offset_y: Vec<Q11p21>,
+    phi: Vec<PhiWords>,
 }
 
 impl QuantizedCoefficients {
     /// Quantizes full-precision proportional coefficients.
     pub fn from_coefficients(phi: &ProportionalCoefficients) -> Self {
         Self {
-            scale: phi.scale.iter().map(|&v| Q11p21::from_f64(v)).collect(),
-            offset_x: phi.offset_x.iter().map(|&v| Q11p21::from_f64(v)).collect(),
-            offset_y: phi.offset_y.iter().map(|&v| Q11p21::from_f64(v)).collect(),
+            phi: (0..phi.len())
+                .map(|i| PhiWords::from_f64(phi.scale[i], phi.offset_x[i], phi.offset_y[i]))
+                .collect(),
         }
     }
 
     /// Number of depth planes covered.
     pub fn len(&self) -> usize {
-        self.scale.len()
+        self.phi.len()
     }
 
     /// Whether there are no planes.
     pub fn is_empty(&self) -> bool {
-        self.scale.is_empty()
+        self.phi.is_empty()
+    }
+
+    /// The per-plane raw Q11.21 word triples — the hoisted per-frame
+    /// parameter table the hot loops consume directly.
+    #[inline]
+    pub fn words(&self) -> &[PhiWords] {
+        &self.phi
     }
 
     /// Transfers a quantized canonical point to depth plane `i` and rounds it
     /// to the nearest voxel — the scalar-MAC plus Nearest Voxel Finder path
-    /// of `PE_Zi`.
+    /// of `PE_Zi`, entirely in integer arithmetic
+    /// ([`kernel::transfer_nearest`]).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
+    #[inline]
     pub fn transfer_nearest(
         &self,
         canonical: PackedCoord,
@@ -128,60 +110,21 @@ impl QuantizedCoefficients {
         width: u32,
         height: u32,
     ) -> PlaneCoord {
-        let (x, y) = Self::transfer_hoisted(
-            self.scale[i].to_f64(),
-            self.offset_x[i].to_f64(),
-            self.offset_y[i].to_f64(),
-            canonical.x_f64(),
-            canonical.y_f64(),
-        );
-        PlaneCoord::from_projection(x, y, width, height)
+        kernel::transfer_nearest(&self.phi[i], canonical, width, height)
     }
 
     /// Transfers a quantized canonical point to depth plane `i`, returning the
-    /// sub-pixel position (used by the bilinear-voting ablation).
+    /// sub-pixel position (used by the bilinear-voting ablation). The integer
+    /// MAC result is decoded exactly to `f64` — a quantization exit point,
+    /// not an arithmetic step ([`kernel::transfer_subpixel`]).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn transfer_subpixel(&self, canonical: PackedCoord, i: usize) -> Vec2 {
-        let (x, y) = Self::transfer_hoisted(
-            self.scale[i].to_f64(),
-            self.offset_x[i].to_f64(),
-            self.offset_y[i].to_f64(),
-            canonical.x_f64(),
-            canonical.y_f64(),
-        );
-        Vec2::new(x, y)
-    }
-
-    /// The scalar-MAC of `PE_Zi` on pre-hoisted `f64` coefficients — the
-    /// single implementation behind [`Self::transfer_nearest`] and
-    /// [`Self::transfer_subpixel`], exposed so the parallel engine's hoisted
-    /// per-frame coefficient tables produce bit-identical transfers.
     #[inline]
-    pub fn transfer_hoisted(
-        scale: f64,
-        offset_x: f64,
-        offset_y: f64,
-        cx: f64,
-        cy: f64,
-    ) -> (f64, f64) {
-        (scale * cx + offset_x, scale * cy + offset_y)
-    }
-
-    /// The per-plane coefficients decoded to `f64` as `(scale, offset_x,
-    /// offset_y)` triples, hoisted once per frame by the parallel engine.
-    pub fn hoisted(&self) -> Vec<(f64, f64, f64)> {
-        (0..self.len())
-            .map(|i| {
-                (
-                    self.scale[i].to_f64(),
-                    self.offset_x[i].to_f64(),
-                    self.offset_y[i].to_f64(),
-                )
-            })
-            .collect()
+    pub fn transfer_subpixel(&self, canonical: PackedCoord, i: usize) -> Vec2 {
+        let (x, y) = kernel::transfer_subpixel(&self.phi[i], canonical);
+        Vec2::new(x, y)
     }
 }
 
@@ -198,6 +141,7 @@ pub const COORD_QUANTIZATION_ERROR: f64 = 0.5 / 128.0;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eventor_fixed::Q9p7;
     use eventor_geom::{CameraIntrinsics, Pose, Vec3};
 
     fn setup() -> (CanonicalHomography, ProportionalCoefficients, Vec<f64>) {
@@ -225,6 +169,11 @@ mod tests {
                 assert!((qh.entry(i, j) - h.h.m[i][j]).abs() < 1e-5);
             }
         }
+        // The raw words are exactly the per-entry Q11.21 quantization.
+        let words = qh.raw_words();
+        for (k, &w) in words.iter().enumerate() {
+            assert_eq!(w, Q11p21::from_f64(h.h.m[k / 3][k % 3]).raw());
+        }
     }
 
     #[test]
@@ -246,6 +195,7 @@ mod tests {
         let qh = QuantizedHomography::from_homography(&h);
         let qphi = QuantizedCoefficients::from_coefficients(&phi);
         assert_eq!(qphi.len(), phi.len());
+        assert!(!qphi.is_empty());
         let px = Vec2::new(140.0, 70.0);
         let exact_canonical = h.project(px).unwrap();
         let quant_canonical = qh.project(quantize_event_pixel(px)).unwrap();
@@ -280,7 +230,7 @@ mod tests {
         assert!(qh.project(PackedCoord::from_f64(120.0, 90.0)).is_some());
         let far_out = qh.project(PackedCoord::from_f64(255.9, 179.0));
         if let Some(c) = far_out {
-            assert!(c.x_f64().abs() <= 255.9921875);
+            assert!(c.x_f64().abs() <= Q9p7::MAX_MAGNITUDE);
         }
     }
 

@@ -42,6 +42,7 @@ use eventor_emvs::{
     SessionDriver, Stage, StageProfile, VotingMode,
 };
 use eventor_events::{packetize_frame, Event, EventStream, VotePacket};
+use eventor_fixed::kernel;
 use eventor_fixed::PackedCoord;
 use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
 use eventor_hwsim::AcceleratorConfig;
@@ -229,18 +230,37 @@ impl SoftwareBackend {
         let t = Instant::now();
         let n_planes = coefficients.len();
         match self.options.voting {
-            VotingMode::Nearest => {
-                for c in canonical.iter().flatten() {
-                    for i in 0..n_planes {
-                        if let Some((x, y)) = coefficients
-                            .transfer_nearest(*c, i, width, height)
-                            .address()
-                        {
-                            self.dsi.vote(x as f64, y as f64, i, VotingMode::Nearest);
+            VotingMode::Nearest => match &mut self.dsi {
+                // The accelerator datapath: the integer kernel's voxel
+                // addresses vote straight into the u16 DSI — raw words in,
+                // integer addresses out, no `f64` anywhere in the loop.
+                DsiStorage::Quantized(dsi) => {
+                    for c in canonical.iter().flatten() {
+                        for (i, phi) in coefficients.words().iter().enumerate() {
+                            if let Some((x, y)) =
+                                kernel::transfer_nearest(phi, *c, width, height).address()
+                            {
+                                dsi.vote_at(x, y, i);
+                            }
                         }
                     }
                 }
-            }
+                // Unreachable through the public options (quantize +
+                // nearest always selects integer storage); kept as the
+                // generic fallback.
+                DsiStorage::Float(dsi) => {
+                    for c in canonical.iter().flatten() {
+                        for i in 0..n_planes {
+                            if let Some((x, y)) = coefficients
+                                .transfer_nearest(*c, i, width, height)
+                                .address()
+                            {
+                                dsi.vote_nearest(x as f64, y as f64, i, 1.0);
+                            }
+                        }
+                    }
+                }
+            },
             VotingMode::Bilinear => {
                 for c in canonical.iter().flatten() {
                     for i in 0..n_planes {

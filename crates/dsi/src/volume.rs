@@ -285,6 +285,25 @@ impl<S: VoxelScore> DsiVolume<S> {
         self.votes_cast += 1;
     }
 
+    /// Deposits one unit vote at an exact integer voxel address — the
+    /// integer entry point of the quantized nearest datapath, fed directly
+    /// by the Nearest Voxel Finder's in-sensor addresses (no `f64` round
+    /// trip, no re-rounding).
+    ///
+    /// The caller has already performed the in-sensor judgement; addresses
+    /// outside the volume are counted as missed, like
+    /// [`Self::vote_nearest`].
+    #[inline]
+    pub fn vote_at(&mut self, x: u16, y: u16, plane: usize) {
+        if plane >= self.planes.len() || x as usize >= self.width || y as usize >= self.height {
+            self.votes_missed += 1;
+            return;
+        }
+        let idx = self.index(x as usize, y as usize, plane);
+        self.data[idx].add_unit();
+        self.votes_cast += 1;
+    }
+
     /// Deposits a vote split over the four voxels surrounding the projected
     /// point, weighted by bilinear interpolation — the exact voting mode of
     /// the baseline EMVS.

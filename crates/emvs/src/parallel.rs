@@ -18,7 +18,11 @@
 //!
 //! For integer (`u16`) DSI scores and unit votes the merged volume is
 //! **bit-identical to the sequential golden path for every shard count**,
-//! because saturating unit-vote accumulation is order-independent. For `f32`
+//! because saturating unit-vote accumulation is order-independent — and,
+//! since the bit-true kernel refactor, every quantized vote address is
+//! computed by the same integer kernel (`eventor_fixed::kernel`) on the
+//! same hoisted raw words regardless of which engine runs the packet, so
+//! there is no arithmetic left to diverge, only scheduling. For `f32`
 //! scores, nearest voting (whole `1.0` increments, exact in `f32`) is also
 //! bit-identical; bilinear voting deposits fractional weights whose final
 //! float rounding can differ from the sequential summation order by a few

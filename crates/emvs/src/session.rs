@@ -29,7 +29,10 @@
 //! trajectory — **independent of how the stream was split into pushed
 //! packets**. For the quantized nearest-voting datapath the output is
 //! bit-identical to the batch golden path for every backend
-//! (`tests/session_equivalence.rs`, `tests/session_properties.rs`).
+//! (`tests/session_equivalence.rs`, `tests/session_properties.rs`): all of
+//! them — software, sharded, and the co-simulated device — delegate the
+//! per-event arithmetic to the one bit-true integer kernel in
+//! `eventor_fixed::kernel`, so backends differ only in scheduling.
 //!
 //! ## Backpressure and bounded memory
 //!

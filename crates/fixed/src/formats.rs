@@ -19,6 +19,19 @@ use std::fmt;
 /// back-projections `(x_k(Z0), y_k(Z0))`.
 pub type Q9p7 = Fix<i16, 7>;
 
+impl Q9p7 {
+    /// Largest representable Q9.7 magnitude (`i16::MAX / 128 =
+    /// 255.9921875`) — the bound of the **projection-missing judgement**:
+    /// canonical projections beyond it would saturate the transport format
+    /// and corrupt every subsequent plane transfer, so the datapath drops
+    /// the event instead (ARCHITECTURE.md contract 3.1).
+    ///
+    /// Note the asymmetry: the raw word `i16::MIN` (`-256.0`) is
+    /// representable but never produced — the judgement brackets results at
+    /// `±i16::MAX` so the bound is symmetric.
+    pub const MAX_MAGNITUDE: f64 = i16::MAX as f64 * Self::RESOLUTION;
+}
+
 /// Q11.21 — 32-bit fixed point with 21 fractional bits.
 ///
 /// Used for the homography `H_{Z0}` and the proportional back-projection

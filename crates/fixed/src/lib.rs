@@ -14,6 +14,14 @@
 //! types, so the accuracy comparison of Fig. 4b / Fig. 7a exercises exactly
 //! the arithmetic the RTL would perform.
 //!
+//! The [`kernel`] module is the **bit-true integer datapath kernel**: the
+//! single implementation of the Table 1 arithmetic (wide-MAC canonical
+//! projection, normalization with the projection-missing judgement,
+//! per-plane scalar MAC, Nearest Voxel Finder) that both the software
+//! golden model (`eventor-core::quantized`) and the functional device model
+//! (`eventor-hwsim::datapath`) wrap — integer end to end, no `f64` between
+//! quantization points.
+//!
 //! ## Example
 //!
 //! ```
@@ -34,6 +42,7 @@
 
 mod fix;
 mod formats;
+pub mod kernel;
 mod quantize;
 
 pub use fix::{Fix, FixedStorage};

@@ -13,19 +13,18 @@
 //!   Unit (`𝒱`) against [`crate::DsiDram`], issuing transaction-level AXI
 //!   bursts.
 //!
-//! These models are the reference against which the software datapath in
-//! `eventor-core` is co-simulated: the workspace integration tests assert
-//! that, fed the same quantized inputs, the device model and the
-//! reformulated pipeline produce identical DSI volumes.
+//! These models are the register/FSM face of the datapath; the arithmetic
+//! itself — wide MAC, normalization, saturation judgement, nearest-voxel
+//! rounding — is the **bit-true integer kernel** in
+//! [`eventor_fixed::kernel`], the same functions the software golden model
+//! in `eventor-core` calls. Device ↔ golden-model agreement is therefore a
+//! property of construction; the workspace integration tests
+//! (`tests/cosim_equivalence.rs`) assert it end to end.
 
 use crate::axi::{AxiBurst, AxiHpInterconnect};
 use crate::dram::DsiDram;
-use eventor_fixed::{PackedCoord, PlaneCoord, Q11p21};
-
-/// Maximum representable magnitude of a Q9.7 coordinate; canonical
-/// projections beyond this would saturate the transport format, so the
-/// hardware drops the event (projection-missing judgement).
-const Q9P7_MAX: f64 = 255.9921875;
+use eventor_fixed::kernel::{self, PhiWords};
+use eventor_fixed::{PackedCoord, Q11p21};
 
 /// The `Buf_H` register bank: the 3×3 homography `H_{Z0}` stored as nine
 /// Q11.21 words.
@@ -72,11 +71,13 @@ impl HomographyRegisters {
 
 /// Functional model of `PE_Z0`: the canonical back-projection `𝒫{Z0}`.
 ///
-/// The matrix-vector MAC runs in wide precision (the RTL keeps full-width
-/// partial products), the normalization divider produces the canonical
-/// coordinates, and the result is re-quantized to the Q9.7 transport format
-/// written into `Buf_I`. Events whose canonical projection cannot be
-/// represented in Q9.7, or that map to infinity, are dropped.
+/// The matrix-vector MAC runs in explicit `i64` wide accumulators (the RTL
+/// keeps full-width partial products), the normalization divider produces
+/// the canonical coordinates, and the result is re-quantized to the Q9.7
+/// transport format written into `Buf_I` — all via
+/// [`kernel::project_z0`] on the raw register words, no `f64` anywhere.
+/// Events whose canonical projection cannot be represented in Q9.7, or that
+/// map to infinity, are dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PeZ0Datapath {
     events_processed: u64,
@@ -94,23 +95,20 @@ impl PeZ0Datapath {
     /// Returns the canonical projection in the Q9.7 transport format, or
     /// `None` when the projection-missing judgement drops the event.
     pub fn project(&mut self, h: &HomographyRegisters, event_word: u32) -> Option<PackedCoord> {
+        self.project_words(&h.raw_words(), event_word)
+    }
+
+    /// [`Self::project`] on pre-hoisted raw register words — the per-event
+    /// body of [`Self::project_frame`], which reads the register bank once
+    /// per frame instead of once per event.
+    #[inline]
+    fn project_words(&mut self, words: &[i32; 9], event_word: u32) -> Option<PackedCoord> {
         self.events_processed += 1;
-        let coord = PackedCoord::from_word(event_word);
-        let x = coord.x_f64();
-        let y = coord.y_f64();
-        let e = |r: usize, c: usize| h.entry(r, c);
-        let w = e(2, 0) * x + e(2, 1) * y + e(2, 2);
-        if w.abs() < 1e-9 {
+        let out = kernel::project_z0(words, PackedCoord::from_word(event_word));
+        if out.is_none() {
             self.events_dropped += 1;
-            return None;
         }
-        let px = (e(0, 0) * x + e(0, 1) * y + e(0, 2)) / w;
-        let py = (e(1, 0) * x + e(1, 1) * y + e(1, 2)) / w;
-        if !px.is_finite() || !py.is_finite() || px.abs() > Q9P7_MAX || py.abs() > Q9P7_MAX {
-            self.events_dropped += 1;
-            return None;
-        }
-        Some(PackedCoord::from_f64(px, py))
+        out
     }
 
     /// Processes a whole `Buf_E` bank, producing the `Buf_I` contents.
@@ -119,7 +117,11 @@ impl PeZ0Datapath {
         h: &HomographyRegisters,
         event_words: &[u32],
     ) -> Vec<Option<PackedCoord>> {
-        event_words.iter().map(|&w| self.project(h, w)).collect()
+        let words = h.raw_words();
+        event_words
+            .iter()
+            .map(|&w| self.project_words(&words, w))
+            .collect()
     }
 
     /// Events processed since construction.
@@ -168,6 +170,13 @@ impl PhiEntry {
     pub fn raw_words(&self) -> [i32; 3] {
         [self.scale.raw(), self.offset_x.raw(), self.offset_y.raw()]
     }
+
+    /// The entry as the kernel's raw-word form — what the `PE_Zi` scalar
+    /// MACs actually consume.
+    #[inline]
+    pub fn words(&self) -> PhiWords {
+        PhiWords::from_raw_words(self.raw_words())
+    }
 }
 
 /// A DSI vote address produced by the Vote Address Generator.
@@ -207,7 +216,9 @@ pub struct PeZiStats {
 /// canonical input, exactly as the Data Allocator distributes it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PeZiArrayDatapath {
-    phi: Vec<PhiEntry>,
+    /// `Buf_P` contents in the kernel's raw-word form, hoisted once at
+    /// construction so the per-event loop touches only integers.
+    phi: Vec<PhiWords>,
     num_pe: usize,
     sensor_width: u32,
     sensor_height: u32,
@@ -228,7 +239,7 @@ impl PeZiArrayDatapath {
             "sensor must be non-empty"
         );
         Self {
-            phi,
+            phi: phi.iter().map(PhiEntry::words).collect(),
             num_pe,
             sensor_width,
             sensor_height,
@@ -254,9 +265,8 @@ impl PeZiArrayDatapath {
         for (i, phi) in self.phi.iter().enumerate() {
             self.per_pe_transfers[i % self.num_pe] += 1;
             self.stats.transfers += 1;
-            let x = phi.scale.to_f64() * canonical.x_f64() + phi.offset_x.to_f64();
-            let y = phi.scale.to_f64() * canonical.y_f64() + phi.offset_y.to_f64();
-            match PlaneCoord::from_projection(x, y, self.sensor_width, self.sensor_height).address()
+            match kernel::transfer_nearest(phi, canonical, self.sensor_width, self.sensor_height)
+                .address()
             {
                 Some((vx, vy)) => {
                     self.stats.votes_generated += 1;

@@ -186,20 +186,30 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        // target/criterion-shim next to the workspace's target directory.
-        let out_dir = std::env::var_os("CARGO_TARGET_DIR")
-            .map(PathBuf::from)
-            .or_else(|| {
-                std::env::current_exe().ok().and_then(|exe| {
-                    // target/release/deps/bench-... -> target
-                    exe.ancestors()
-                        .find(|p| p.file_name() == Some("target".as_ref()))
-                        .map(PathBuf::from)
-                })
-            })
-            .map(|t| t.join("criterion-shim"));
-        Self { out_dir }
+        Self {
+            out_dir: output_dir(),
+        }
     }
+}
+
+/// Where this shim writes its per-benchmark JSON documents
+/// (`<target>/criterion-shim`): `CARGO_TARGET_DIR` when set, else the first
+/// `target` ancestor of the running executable. Exposed so benches that
+/// post-process their own JSON (e.g. to compute a speedup ratio) resolve
+/// the directory through the same logic that produced the files, instead
+/// of re-implementing it.
+pub fn output_dir() -> Option<PathBuf> {
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .or_else(|| {
+            std::env::current_exe().ok().and_then(|exe| {
+                // target/release/deps/bench-... -> target
+                exe.ancestors()
+                    .find(|p| p.file_name() == Some("target".as_ref()))
+                    .map(PathBuf::from)
+            })
+        })
+        .map(|t| t.join("criterion-shim"))
 }
 
 impl Criterion {
