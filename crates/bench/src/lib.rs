@@ -32,7 +32,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use eventor_core::config_for_sequence;
 use eventor_emvs::EmvsConfig;

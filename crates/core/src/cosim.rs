@@ -451,7 +451,8 @@ impl CosimPipeline {
     }
 }
 
-/// [`reconstruct_with_backend`] that hands the backend back even on error —
+/// [`reconstruct_with_backend`](eventor_emvs::reconstruct_with_backend) that
+/// hands the backend back even on error —
 /// needed because the cosim backend owns the device the pipeline must
 /// recover.
 fn reconstruct_with_backend_recovering(

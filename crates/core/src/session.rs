@@ -10,7 +10,7 @@
 //! * [`ShardedBackend`] — the parallel sharded voting engine (private
 //!   per-shard DSI tiles, round-robin vote packets, deterministic tree
 //!   reduction),
-//! * [`CosimBackend`](crate::CosimBackend) — the functional
+//! * [`CosimBackend`] — the functional
 //!   `eventor-hwsim` device driven through its register/DMA interface,
 //! * any user type implementing [`ExecutionBackend`]
 //!   (`eventor-backend/1`, `docs/ARCHITECTURE.md` §6).
@@ -670,7 +670,9 @@ enum BackendChoice {
 ///
 /// # Examples
 ///
-/// ```no_run
+/// A runnable, compile-checked builder walkthrough (every combinator):
+///
+/// ```
 /// use eventor_core::{EventorOptions, EventorSession, ParallelConfig};
 /// use eventor_emvs::EmvsConfig;
 /// use eventor_geom::CameraModel;
@@ -678,8 +680,24 @@ enum BackendChoice {
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let session = EventorSession::builder(CameraModel::davis240_ideal(), EmvsConfig::default())
 ///     .sharded(EventorOptions::accelerator(), ParallelConfig::with_shards(4))
+///     .max_pending_events(64 * 1024)
 ///     .build()?;
 /// assert_eq!(session.backend_name(), "sharded");
+///
+/// // The default backend is the sequential software datapath.
+/// let session =
+///     EventorSession::builder(CameraModel::davis240_ideal(), EmvsConfig::default()).build()?;
+/// assert_eq!(session.backend_name(), "software");
+///
+/// // Invalid configurations fail at `build()`, through the one shared
+/// // validation path.
+/// let bad = EmvsConfig {
+///     num_depth_planes: 1,
+///     ..EmvsConfig::default()
+/// };
+/// assert!(EventorSession::builder(CameraModel::davis240_ideal(), bad)
+///     .build()
+///     .is_err());
 /// # Ok(())
 /// # }
 /// ```
@@ -815,29 +833,35 @@ pub struct SessionOutput {
 ///
 /// # Examples
 ///
-/// ```no_run
+/// The full push/poll/finish quickstart, runnable as a doctest (a reduced
+/// synthetic sequence stands in for a live sensor + odometry feed):
+///
+/// ```
 /// use eventor_core::{EventorOptions, EventorSession, SessionEvent};
 /// use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};
 /// use eventor_core::config_for_sequence;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let seq = SyntheticSequence::generate(SequenceKind::SliderClose, &DatasetConfig::fast_test())?;
-/// let mut session = EventorSession::builder(seq.camera, config_for_sequence(&seq, 100))
+/// let mut session = EventorSession::builder(seq.camera, config_for_sequence(&seq, 50))
 ///     .software(EventorOptions::accelerator())
 ///     .build()?;
 /// for sample in seq.trajectory.iter() {
 ///     session.push_pose(sample.timestamp, sample.pose)?;
 /// }
-/// for packet in seq.events.packets(1024) {
+/// let mut ready = 0;
+/// for packet in seq.events.packets(4096) {
 ///     session.push_events(packet)?;
 ///     for event in session.poll()? {
 ///         if let SessionEvent::KeyframeReady { index, .. } = event {
 ///             println!("keyframe {index} ready");
+///             ready += 1;
 ///         }
 ///     }
 /// }
 /// let finished = session.finish()?;
-/// println!("{} key frames", finished.output.keyframes.len());
+/// assert!(!finished.output.keyframes.is_empty());
+/// assert!(ready <= finished.output.keyframes.len());
 /// # Ok(())
 /// # }
 /// ```

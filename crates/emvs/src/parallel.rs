@@ -8,7 +8,7 @@
 //! sequential golden path runs):
 //!
 //! 1. **Vote** — split each key frame's event frames into
-//!    [`VotePacket`](eventor_events::VotePacket)s (`crates/events`) and
+//!    [`VotePacket`]s (`crates/events`) and
 //!    distribute the packets round-robin over `shards` worker threads. Each
 //!    worker votes into its own private DSI tile, so the hot loop is
 //!    lock-free and allocation-free.

@@ -142,7 +142,12 @@ pub enum SessionEvent {
 /// retirements (and before the first) belongs to the key frame retired next,
 /// and `retire_keyframe` must leave the backend ready for the next key
 /// frame's first `vote_frame`.
-pub trait ExecutionBackend: std::fmt::Debug {
+///
+/// Backends are [`Send`] so a whole session can migrate between the worker
+/// threads of the `eventor-serve` multi-session engine; all calls remain
+/// `&mut self` from one thread at a time, so no internal synchronisation is
+/// required.
+pub trait ExecutionBackend: std::fmt::Debug + Send {
     /// Short stable identifier of the backend (`"software"`, `"sharded"`,
     /// `"cosim"`, `"baseline"`, …).
     fn name(&self) -> &'static str;
@@ -379,14 +384,8 @@ impl<B: ExecutionBackend> SessionDriver<B> {
         }
         // Validate ordering of the whole packet up front so a rejected push
         // ingests nothing.
-        let mut last = self.last_event_t;
-        for e in events {
-            if let Some(l) = last {
-                if e.t < l {
-                    return Err(EmvsError::OutOfOrder { timestamp: e.t });
-                }
-            }
-            last = Some(e.t);
+        if let Some(timestamp) = eventor_events::first_out_of_order(events, self.last_event_t) {
+            return Err(EmvsError::OutOfOrder { timestamp });
         }
         let mut accepted = 0usize;
         while accepted < events.len() {

@@ -87,9 +87,42 @@ impl fmt::Display for Event {
     }
 }
 
+/// Scans a packet for time order against `watermark` (the newest timestamp
+/// already accepted by the consumer): returns the timestamp of the first
+/// event that regresses, or `None` when the packet is well ordered. Equal
+/// timestamps are allowed — sensors emit bursts.
+///
+/// This is the one ordering rule every bounded ingestion layer shares
+/// (`SessionDriver::push_events` in `eventor-emvs`, the serving engine's
+/// ingest queues in `eventor-serve`), extracted so the validate-whole-packet
+/// semantics cannot drift between them.
+pub fn first_out_of_order(events: &[Event], watermark: Option<f64>) -> Option<f64> {
+    let mut last = watermark;
+    for e in events {
+        if let Some(l) = last {
+            if e.t < l {
+                return Some(e.t);
+            }
+        }
+        last = Some(e.t);
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn first_out_of_order_finds_the_first_regression() {
+        let ev = |t| Event::new(t, 0, 0, Polarity::Positive);
+        assert_eq!(first_out_of_order(&[], None), None);
+        assert_eq!(first_out_of_order(&[ev(1.0), ev(1.0), ev(2.0)], None), None);
+        assert_eq!(first_out_of_order(&[ev(1.0), ev(0.5)], None), Some(0.5));
+        // The watermark is what makes cross-packet order enforceable.
+        assert_eq!(first_out_of_order(&[ev(1.0)], Some(2.0)), Some(1.0));
+        assert_eq!(first_out_of_order(&[ev(2.0)], Some(2.0)), None);
+    }
 
     #[test]
     fn polarity_sign_round_trip() {

@@ -27,7 +27,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod datasets;
@@ -46,7 +46,7 @@ mod undistort;
 
 pub use datasets::{DatasetConfig, SequenceKind, SyntheticSequence};
 pub use error::EventError;
-pub use event::{Event, Polarity};
+pub use event::{first_out_of_order, Event, Polarity};
 pub use image::Image;
 pub use io::{read_events, read_trajectory, write_events, write_trajectory};
 pub use noise::{NoiseConfig, NoiseInjector, NoiseReport};

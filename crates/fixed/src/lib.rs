@@ -37,7 +37,7 @@
 //! # let _ = Q9p7::from_f64(1.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod fix;

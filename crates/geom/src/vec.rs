@@ -1,7 +1,7 @@
 //! Small fixed-size vectors used throughout the EMVS pipeline.
 //!
 //! All types are `f64`-backed: the baseline EMVS algorithm operates in double
-//! precision and the quantized datapath in [`eventor-fixed`] converts from
+//! precision and the quantized datapath in `eventor-fixed` converts from
 //! these representations.
 
 use std::fmt;

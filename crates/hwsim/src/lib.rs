@@ -30,7 +30,7 @@
 //! assert!(perf.event_rate_normal > 1.7e6 && perf.event_rate_normal < 2.0e6);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod activity;

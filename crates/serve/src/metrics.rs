@@ -1,0 +1,138 @@
+//! Serving metrics: per-session and engine-aggregate counters exposed by
+//! [`ServeEngine`](crate::ServeEngine).
+//!
+//! Every field is documented in `docs/SERVING.md` (the operations guide's
+//! metrics reference). Rates are derived from two clocks the engine keeps:
+//!
+//! * **busy time** — wall time a worker actually spent inside one session's
+//!   pump quantum (pose/event ingestion, voting, polling); summed per
+//!   session,
+//! * **pump wall time** — wall time of whole [`pump`](crate::ServeEngine::pump)
+//!   rounds, the engine-level denominator for aggregate throughput.
+
+use crate::SessionId;
+
+/// Lifecycle state of one admitted session, as reported by
+/// [`ServeEngine::status`](crate::ServeEngine::status) and
+/// [`SessionMetrics::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionStatus {
+    /// Accepting input; pump rounds make progress whenever input is queued.
+    Active,
+    /// [`close`](crate::ServeEngine::close)d: no further events are
+    /// accepted, the remaining queue is being drained toward the final
+    /// flush.
+    Draining,
+    /// Finished: the terminal [`SessionOutput`](eventor_core::SessionOutput)
+    /// is stashed (or was already taken) and the session consumed.
+    Finished,
+    /// The last pump round recorded an error for this session (see
+    /// [`ServeEngine::last_error`](crate::ServeEngine::last_error)). The
+    /// session itself is intact and recovers as soon as the cause is fixed —
+    /// e.g. the missing poses arrive or the caller
+    /// [`discard_pending`](crate::ServeEngine::discard_pending)s.
+    Failed,
+}
+
+/// A point-in-time snapshot of one session's serving counters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SessionMetrics {
+    /// The session this snapshot describes.
+    pub session: SessionId,
+    /// Short identifier of the session's execution backend (`"software"`,
+    /// `"sharded"`, `"cosim"`, …).
+    pub backend: &'static str,
+    /// Lifecycle state at snapshot time.
+    pub status: SessionStatus,
+    /// Events currently waiting in the ingest queue.
+    pub queue_depth: usize,
+    /// Pose samples currently waiting in the ingest queue.
+    pub queued_poses: usize,
+    /// Capacity of the ingest queue's event lane.
+    pub queue_capacity: usize,
+    /// Events accepted into the ingest queue so far (including ones since
+    /// ingested).
+    pub events_enqueued: u64,
+    /// Events moved from the ingest queue into the session so far.
+    pub events_ingested: u64,
+    /// Events the session's datapath has fully processed (voted) so far.
+    pub events_processed: u64,
+    /// Key frames retired so far. One semi-dense depth map is produced per
+    /// key frame, so this doubles as the depth-map count.
+    pub depth_maps: usize,
+    /// Wall time workers spent executing this session's pump quanta, in
+    /// seconds.
+    pub busy_seconds: f64,
+    /// `events_processed / busy_seconds` (0 while no time was spent).
+    pub events_per_second: f64,
+    /// `depth_maps / busy_seconds` (0 while no time was spent).
+    pub depth_maps_per_second: f64,
+    /// Whether the last pump round could not move a single queued event into
+    /// the session (it is waiting on poses or on its own pending buffer).
+    pub stalled: bool,
+}
+
+/// A point-in-time snapshot of the whole engine's serving counters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ServeMetrics {
+    /// Sessions ever admitted.
+    pub sessions: usize,
+    /// Sessions currently [`SessionStatus::Active`].
+    pub active: usize,
+    /// Sessions currently [`SessionStatus::Draining`].
+    pub draining: usize,
+    /// Sessions that finished (terminal output produced).
+    pub finished: usize,
+    /// Sessions currently [`SessionStatus::Failed`].
+    pub failed: usize,
+    /// Size of the worker pool.
+    pub workers: usize,
+    /// Total events waiting across every ingest queue.
+    pub queue_depth: usize,
+    /// Total events accepted into ingest queues.
+    pub events_enqueued: u64,
+    /// Total events moved from ingest queues into sessions.
+    pub events_ingested: u64,
+    /// Total events fully processed across all sessions.
+    pub events_processed: u64,
+    /// Total key frames (= depth maps) retired across all sessions.
+    pub depth_maps: usize,
+    /// Completed [`pump`](crate::ServeEngine::pump) rounds.
+    pub pump_rounds: u64,
+    /// Sum of per-session busy time, in seconds.
+    pub busy_seconds: f64,
+    /// Wall time spent inside `pump` calls, in seconds.
+    pub wall_seconds: f64,
+    /// Aggregate throughput: `events_processed / wall_seconds` (0 while no
+    /// pump ran).
+    pub events_per_second: f64,
+    /// Aggregate `depth_maps / wall_seconds` (0 while no pump ran).
+    pub depth_maps_per_second: f64,
+    /// Worker-pool utilisation: `busy_seconds / (wall_seconds × workers)`,
+    /// in `[0, 1]`. Low values mean the pool is starved (too few runnable
+    /// sessions per round) or dominated by coordination overhead.
+    pub utilization: f64,
+}
+
+/// `numerator / seconds`, defined as 0 when no time has been observed.
+pub(crate) fn per_second(numerator: f64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        numerator / seconds
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_second_handles_zero_time() {
+        assert_eq!(per_second(100.0, 0.0), 0.0);
+        assert_eq!(per_second(100.0, 2.0), 50.0);
+    }
+}

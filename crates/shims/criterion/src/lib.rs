@@ -13,7 +13,7 @@
 //! `docs/BENCHMARKS.md`) so figures can be regenerated without scraping
 //! stdout.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt::Write as _;
 use std::hint::black_box as std_black_box;

@@ -15,7 +15,7 @@
 //! rejected case (`prop_assume!`) is retried with the next index and does not
 //! count towards the case budget.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::ops::Range;
 

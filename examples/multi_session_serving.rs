@@ -1,0 +1,167 @@
+//! Multi-session serving quick-start: six concurrent streams — different
+//! scenes, different noise levels, different execution backends — served by
+//! one `ServeEngine` over a bounded worker pool.
+//!
+//! The example plays the role of a serving host: producers enqueue poses and
+//! event packets into per-session bounded queues, `pump()` runs fair
+//! round-robin scheduling rounds over the worker pool, `poll_serve()` /
+//! `poll_session()` surface lifecycle events, and `shutdown()` returns every
+//! stream's terminal reconstruction. Each session's output is bit-identical
+//! to running its stream alone (`tests/serve_equivalence.rs`).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example multi_session_serving
+//! ```
+
+use eventor::core::{config_for_sequence, EventorOptions, EventorSession, ParallelConfig};
+use eventor::events::{DatasetConfig, NoiseConfig, NoiseInjector, SequenceKind, SyntheticSequence};
+use eventor::hwsim::AcceleratorConfig;
+use eventor::serve::{ServeConfig, ServeEngine, ServeEvent};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Six heterogeneous workloads: the four synthetic scenes, two of them
+    //    additionally degraded by the sensor-noise injector, on a mix of
+    //    execution backends.
+    let mut workloads = Vec::new();
+    for (i, &kind) in SequenceKind::ALL.iter().enumerate() {
+        let seq = SyntheticSequence::generate(kind, &DatasetConfig::fast_test())?;
+        workloads.push((format!("{}", kind), seq, None));
+        if i < 2 {
+            let seq = SyntheticSequence::generate(kind, &DatasetConfig::fast_test())?;
+            workloads.push((format!("{kind}+noise"), seq, Some(NoiseConfig::moderate())));
+        }
+    }
+
+    // 2. The serving engine: a bounded worker pool with per-session bounded
+    //    ingest queues (see docs/SERVING.md for sizing guidance).
+    let mut engine = ServeEngine::new(
+        ServeConfig::new()
+            .with_workers(4)
+            .with_queue_capacity(32 * 1024)
+            .with_quantum_events(4 * 1024),
+    );
+
+    // 3. Admit one session per workload — backends can be mixed freely.
+    let mut ids = Vec::new();
+    for (i, (name, seq, noise)) in workloads.iter().enumerate() {
+        let config = config_for_sequence(seq, 50);
+        let builder = EventorSession::builder(seq.camera, config);
+        let session = match i % 3 {
+            0 => builder.software(EventorOptions::accelerator()),
+            1 => builder.sharded(
+                EventorOptions::accelerator(),
+                ParallelConfig::with_shards(2),
+            ),
+            _ => builder.cosim(AcceleratorConfig::default()),
+        }
+        .build()?;
+        let id = engine.admit(session);
+        let backend = engine.session_metrics(id)?.backend;
+        println!(
+            "admitted {id} [{name}] on the {backend} backend ({})",
+            noise_label(noise)
+        );
+        ids.push(id);
+    }
+
+    // 4. Feed all six producers concurrently: poses up front (a live feed
+    //    would interleave them), then event packets round-robin, pumping the
+    //    pool as traffic arrives. Backpressure (a full queue) is handled by
+    //    pumping and retrying — no producer can exhaust memory.
+    let streams: Vec<Vec<eventor::events::Event>> = workloads
+        .iter()
+        .map(|(_, seq, noise)| match noise {
+            Some(config) => {
+                let injector = NoiseInjector::new(
+                    seq.camera.intrinsics.width as u16,
+                    seq.camera.intrinsics.height as u16,
+                    *config,
+                );
+                injector.corrupt(&seq.events).0.as_slice().to_vec()
+            }
+            None => seq.events.as_slice().to_vec(),
+        })
+        .collect();
+    for (&id, (_, seq, _)) in ids.iter().zip(&workloads) {
+        engine.enqueue_trajectory(id, &seq.trajectory)?;
+    }
+    let mut cursors = vec![0usize; ids.len()];
+    loop {
+        let mut idle = true;
+        for (i, &id) in ids.iter().enumerate() {
+            let stream = &streams[i];
+            if cursors[i] >= stream.len() {
+                continue;
+            }
+            idle = false;
+            let end = (cursors[i] + 4096).min(stream.len());
+            // A full queue is fine: the pump below frees space.
+            if let Ok(accepted) = engine.enqueue_events(id, &stream[cursors[i]..end]) {
+                cursors[i] += accepted;
+            }
+        }
+        engine.pump();
+        if idle {
+            break;
+        }
+    }
+
+    // 5. Graceful end-of-stream: close every session, drain the pool, report
+    //    the engine-level lifecycle and the serving metrics.
+    for &id in &ids {
+        engine.close(id)?;
+    }
+    engine.drain()?;
+    for event in engine.poll_serve() {
+        if let ServeEvent::SessionFinished {
+            session,
+            keyframes,
+            events_processed,
+        } = event
+        {
+            println!("{session} finished: {keyframes} key frames from {events_processed} events");
+        }
+    }
+    println!("\nper-session serving metrics:");
+    println!("  session  backend   events/s     depth maps/s  busy s");
+    for &id in &ids {
+        let m = engine.session_metrics(id)?;
+        println!(
+            "  {:<8} {:<9} {:>10.0}   {:>10.2}   {:>6.3}",
+            format!("#{}", id.index()),
+            m.backend,
+            m.events_per_second,
+            m.depth_maps_per_second,
+            m.busy_seconds,
+        );
+    }
+    let m = engine.metrics();
+    println!(
+        "\naggregate: {} sessions on {} workers, {:.0} events/s, {:.2} depth maps/s, \
+         {:.0}% pool utilisation over {} pump rounds",
+        m.sessions,
+        m.workers,
+        m.events_per_second,
+        m.depth_maps_per_second,
+        100.0 * m.utilization,
+        m.pump_rounds,
+    );
+
+    // 6. Shutdown hands back every terminal output (here: already finished).
+    for (id, result) in engine.shutdown() {
+        let output = result.expect("all sessions finished during drain");
+        let cloud = output.output.global_map.len();
+        println!("{id}: {cloud} global map points");
+    }
+    Ok(())
+}
+
+fn noise_label(noise: &Option<NoiseConfig>) -> &'static str {
+    match noise {
+        Some(_) => "degraded feed",
+        None => "clean feed",
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`map`] | global mapping: voxel-grid downsampling, depth-map fusion, the accumulated world map |
 //! | [`hwsim`] | the Zynq accelerator model: analytic timing/resources/power plus the functional register/DMA/datapath device |
 //! | [`core`] | the reformulated, quantized Eventor pipeline, the accelerator driver, hardware/software co-simulation and the accuracy-comparison harness |
+//! | [`serve`] | the multi-session serving engine: many concurrent streaming sessions multiplexed over a bounded worker pool |
 //!
 //! ## Quick start: the streaming session API
 //!
@@ -61,14 +62,16 @@
 //! wrappers over it. All three also still accept a
 //! [`core::ParallelConfig`] to run the reconstruction hot path on the
 //! parallel sharded voting engine — see [`core::parallel`] and
-//! `docs/ARCHITECTURE.md`.
+//! `docs/ARCHITECTURE.md`. To serve **many** concurrent streams over shared
+//! compute, admit the sessions into a [`serve::ServeEngine`]
+//! (`docs/SERVING.md`).
 //!
 //! See `README.md` for the crate map and the table mapping paper
 //! figures/tables to their reproduction binaries, `docs/ARCHITECTURE.md` for
 //! the dataflow/quantization/co-simulation contracts, and
 //! `docs/BENCHMARKS.md` for the benchmark harness and its JSON schema.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use eventor_core as core;
 pub use eventor_dsi as dsi;
@@ -78,3 +81,11 @@ pub use eventor_fixed as fixed;
 pub use eventor_geom as geom;
 pub use eventor_hwsim as hwsim;
 pub use eventor_map as map;
+pub use eventor_serve as serve;
+
+/// Compile-checks every Rust code block in the repository's `README.md`
+/// (the quickstart and serving snippets are doctests, not prose): doc rot
+/// in the front page fails `cargo test --doc`.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

@@ -1,0 +1,490 @@
+//! The acceptance bar of the serving tier (`eventor-serve/1`,
+//! `docs/ARCHITECTURE.md` §7): every session served by [`ServeEngine`] —
+//! heterogeneous scenes, heterogeneous backends, arbitrary interleavings of
+//! enqueues and pump rounds, any worker count — produces output
+//! **bit-identical** to the same stream run standalone through
+//! [`EventorSession`], *including* the per-session lifecycle event sequence.
+//!
+//! Determinism argument under test: sessions share compute but no state, and
+//! each session's input is delivered in enqueue order, so scheduling can
+//! change wall time only. The proptests drive randomized interleaving
+//! schedules (chunk sizes, session orders, pump cadences) at the engine to
+//! hunt for any crack in that argument.
+
+use eventor::core::{
+    config_for_sequence, EventorOptions, EventorSession, ParallelConfig, SessionOutput,
+};
+use eventor::emvs::{EmvsConfig, EmvsError, SessionEvent, VotingMode};
+use eventor::events::{
+    DatasetConfig, Event, NoiseConfig, NoiseInjector, SequenceKind, SyntheticSequence,
+};
+use eventor::geom::Trajectory;
+use eventor::hwsim::AcceleratorConfig;
+use eventor::serve::{ServeConfig, ServeEngine, ServeError, ServeEvent, SessionStatus};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Events per served stream: enough for several key frames, small enough to
+/// keep the whole suite debug-friendly.
+const STREAM_EVENTS: usize = 24_000;
+
+/// One independent stream to serve: its input (events + trajectory), camera
+/// and reconstruction configuration, and which backend its session uses.
+#[derive(Clone)]
+struct Scenario {
+    label: &'static str,
+    camera: eventor::geom::CameraModel,
+    config: EmvsConfig,
+    backend: Backend,
+    trajectory: Trajectory,
+    events: Vec<Event>,
+}
+
+#[derive(Clone, Copy)]
+enum Backend {
+    Software,
+    Sharded(usize),
+    Cosim,
+}
+
+impl Scenario {
+    fn session(&self) -> EventorSession {
+        let builder = EventorSession::builder(self.camera, self.config.clone());
+        match self.backend {
+            Backend::Software => builder.software(EventorOptions::accelerator()),
+            Backend::Sharded(n) => builder.sharded(
+                EventorOptions::accelerator(),
+                ParallelConfig::with_shards(n),
+            ),
+            Backend::Cosim => builder.cosim(AcceleratorConfig::default()),
+        }
+        .build()
+        .expect("scenario session builds")
+    }
+}
+
+/// A standalone run and everything it produced: the reference each served
+/// session is compared against.
+struct Reference {
+    output: SessionOutput,
+    lifecycle: Vec<SessionEvent>,
+}
+
+fn run_standalone(scenario: &Scenario) -> Reference {
+    let mut session = scenario.session();
+    session
+        .push_trajectory(&scenario.trajectory)
+        .expect("trajectory pushes");
+    let mut lifecycle = Vec::new();
+    let mut offset = 0usize;
+    while offset < scenario.events.len() {
+        offset += session
+            .push_events(&scenario.events[offset..])
+            .expect("standalone push");
+        lifecycle.extend(session.poll().expect("standalone poll"));
+    }
+    let output = session.finish().expect("standalone finish");
+    lifecycle.extend(output.events.iter().cloned());
+    Reference { output, lifecycle }
+}
+
+/// The heterogeneous scenario pool: the four synthetic scenes at different
+/// reconstruction configurations and noise levels, across all three
+/// backends. Generated once (sequence synthesis dominates the suite's debug
+/// runtime).
+fn scenarios() -> &'static Vec<(Scenario, Reference)> {
+    static POOL: OnceLock<Vec<(Scenario, Reference)>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut pool = Vec::new();
+        type Spec = (
+            SequenceKind,
+            Option<NoiseConfig>,
+            usize,
+            f64,
+            Backend,
+            &'static str,
+        );
+        let specs: [Spec; 6] = [
+            (
+                SequenceKind::SliderClose,
+                None,
+                60,
+                0.12,
+                Backend::Software,
+                "slider_close/software",
+            ),
+            (
+                SequenceKind::SliderClose,
+                Some(NoiseConfig::moderate()),
+                50,
+                0.12,
+                Backend::Sharded(4),
+                "slider_close+noise/sharded4",
+            ),
+            (
+                SequenceKind::ThreePlanes,
+                None,
+                40,
+                0.10,
+                Backend::Sharded(2),
+                "3planes/sharded2",
+            ),
+            (
+                SequenceKind::ThreeWalls,
+                Some(NoiseConfig::severe()),
+                45,
+                0.15,
+                Backend::Software,
+                "3walls+noise/software",
+            ),
+            (
+                SequenceKind::SliderFar,
+                None,
+                55,
+                0.20,
+                Backend::Software,
+                "slider_far/software",
+            ),
+            (
+                SequenceKind::SliderClose,
+                None,
+                50,
+                0.12,
+                Backend::Cosim,
+                "slider_close/cosim",
+            ),
+        ];
+        for (kind, noise, planes, keyframe_distance, backend, label) in specs {
+            let seq = SyntheticSequence::generate(kind, &DatasetConfig::fast_test())
+                .expect("fast_test sequences generate");
+            let stream = match noise {
+                Some(config) => {
+                    let injector = NoiseInjector::new(
+                        seq.camera.intrinsics.width as u16,
+                        seq.camera.intrinsics.height as u16,
+                        config,
+                    );
+                    injector.corrupt(&seq.events).0
+                }
+                None => seq.events.clone(),
+            };
+            let events: Vec<Event> = stream
+                .as_slice()
+                .iter()
+                .take(STREAM_EVENTS)
+                .copied()
+                .collect();
+            let config = config_for_sequence(&seq, planes)
+                .with_voting(VotingMode::Nearest)
+                .with_keyframe_distance(keyframe_distance);
+            let scenario = Scenario {
+                label,
+                camera: seq.camera,
+                config,
+                backend,
+                trajectory: seq.trajectory.clone(),
+                events,
+            };
+            let reference = run_standalone(&scenario);
+            pool.push((scenario, reference));
+        }
+        pool
+    })
+}
+
+fn assert_bit_identical(reference: &Reference, served: &SessionOutput, label: &str) {
+    let (a, b) = (&reference.output.output, &served.output);
+    assert_eq!(a.keyframes.len(), b.keyframes.len(), "{label}: keyframes");
+    for (i, (x, y)) in a.keyframes.iter().zip(&b.keyframes).enumerate() {
+        assert_eq!(x.votes_cast, y.votes_cast, "{label} keyframe {i}: votes");
+        assert_eq!(x.frames_used, y.frames_used, "{label} keyframe {i}: frames");
+        assert_eq!(x.events_used, y.events_used, "{label} keyframe {i}: events");
+        assert_eq!(
+            x.depth_map.depth_data(),
+            y.depth_map.depth_data(),
+            "{label} keyframe {i}: depth map"
+        );
+    }
+    assert_eq!(a.global_map.len(), b.global_map.len(), "{label}: map");
+    assert_eq!(
+        a.profile.events_processed, b.profile.events_processed,
+        "{label}: events processed"
+    );
+}
+
+/// Serves a set of scenarios on one engine, interleaving enqueues according
+/// to `chunks` (cycled per session) and pumping every `pump_every` enqueue
+/// steps, then drains and returns each session's output plus its collected
+/// per-session lifecycle events.
+fn serve_interleaved(
+    scenarios: &[&Scenario],
+    config: ServeConfig,
+    chunks: &[usize],
+    pump_every: usize,
+) -> Vec<(SessionOutput, Vec<SessionEvent>)> {
+    let mut engine = ServeEngine::new(config);
+    let ids: Vec<_> = scenarios
+        .iter()
+        .map(|s| engine.admit(s.session()))
+        .collect();
+    for (&id, scenario) in ids.iter().zip(scenarios) {
+        engine
+            .enqueue_trajectory(id, &scenario.trajectory)
+            .expect("trajectory enqueues");
+    }
+    let mut cursors = vec![0usize; scenarios.len()];
+    let mut lifecycle: Vec<Vec<SessionEvent>> = vec![Vec::new(); scenarios.len()];
+    let mut step = 0usize;
+    loop {
+        let mut all_done = true;
+        for (i, scenario) in scenarios.iter().enumerate() {
+            if cursors[i] >= scenario.events.len() {
+                continue;
+            }
+            all_done = false;
+            let chunk = chunks[step % chunks.len()].max(1);
+            let end = (cursors[i] + chunk).min(scenario.events.len());
+            match engine.enqueue_events(ids[i], &scenario.events[cursors[i]..end]) {
+                Ok(accepted) => cursors[i] += accepted,
+                Err(ServeError::Session {
+                    source: EmvsError::Backpressure { .. },
+                    ..
+                }) => {
+                    engine.pump();
+                }
+                Err(e) => panic!("{}: unexpected enqueue error: {e}", scenario.label),
+            }
+            step += 1;
+            if step.is_multiple_of(pump_every.max(1)) {
+                engine.pump();
+            }
+            lifecycle[i].extend(engine.poll_session(ids[i]).expect("poll_session"));
+        }
+        if all_done {
+            break;
+        }
+    }
+    for &id in &ids {
+        engine.close(id).expect("close");
+    }
+    engine.drain().expect("drain succeeds");
+    ids.iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            lifecycle[i].extend(engine.poll_session(id).expect("final poll_session"));
+            let output = engine.take_output(id).expect("session finished");
+            (output, std::mem::take(&mut lifecycle[i]))
+        })
+        .collect()
+}
+
+#[test]
+fn every_backend_is_bit_identical_under_the_engine() {
+    let pool = scenarios();
+    // The three slider_close variants cover software, sharded and cosim.
+    let picks: Vec<&(Scenario, Reference)> = pool
+        .iter()
+        .filter(|(s, _)| s.label.starts_with("slider_close"))
+        .collect();
+    assert_eq!(picks.len(), 3);
+    let subset: Vec<&Scenario> = picks.iter().map(|(s, _)| s).collect();
+    let served = serve_interleaved(
+        &subset,
+        ServeConfig::new().with_workers(2),
+        &[1024, 333, 4096],
+        3,
+    );
+    for ((scenario, reference), (output, lifecycle)) in picks.iter().zip(&served) {
+        assert_bit_identical(reference, output, scenario.label);
+        assert_eq!(
+            &reference.lifecycle, lifecycle,
+            "{}: lifecycle event sequence",
+            scenario.label
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_scene_mix_stays_isolated() {
+    let pool = scenarios();
+    let subset: Vec<&Scenario> = pool.iter().map(|(s, _)| s).collect();
+    // More sessions than workers: the pool is oversubscribed, every session
+    // still finishes with untouched output.
+    let served = serve_interleaved(
+        &subset,
+        ServeConfig::new().with_workers(3).with_quantum_events(2048),
+        &[2048, 777, 128, 4096],
+        2,
+    );
+    for ((scenario, reference), (output, lifecycle)) in pool.iter().zip(&served) {
+        assert_bit_identical(reference, output, scenario.label);
+        assert_eq!(
+            &reference.lifecycle, lifecycle,
+            "{}: lifecycle event sequence",
+            scenario.label
+        );
+    }
+}
+
+#[test]
+fn stalls_resolve_and_output_is_unchanged_when_poses_arrive_late() {
+    let pool = scenarios();
+    let (scenario, reference) = &pool[0];
+    let mut engine = ServeEngine::new(
+        ServeConfig::new()
+            .with_workers(2)
+            .with_queue_capacity(4 * 1024)
+            .with_quantum_events(1024),
+    );
+    // A tightly bounded session (small pending buffer), so the withheld
+    // poses exhaust queue + buffer well before the stream ends.
+    let session = EventorSession::builder(scenario.camera, scenario.config.clone())
+        .software(EventorOptions::accelerator())
+        .max_pending_events(2048)
+        .build()
+        .expect("bounded session builds");
+    let id = engine.admit(session);
+    // Events first, poses withheld: the queue and session buffers fill and
+    // the engine reports the stall instead of growing without bound.
+    let mut offset = 0usize;
+    let mut saw_backpressure = false;
+    while offset < scenario.events.len() {
+        match engine.enqueue_events(id, &scenario.events[offset..]) {
+            Ok(n) => offset += n,
+            Err(ServeError::Session {
+                source: EmvsError::Backpressure { .. },
+                ..
+            }) => {
+                saw_backpressure = true;
+                break;
+            }
+            Err(e) => panic!("unexpected enqueue error: {e}"),
+        }
+        engine.pump();
+    }
+    assert!(
+        saw_backpressure,
+        "withheld poses must backpressure the feed"
+    );
+    engine.pump();
+    assert!(engine
+        .poll_serve()
+        .iter()
+        .any(|e| matches!(e, ServeEvent::SessionStalled { .. })));
+    assert!(matches!(engine.status(id), Ok(SessionStatus::Active)));
+    // The poses arrive; the feed resumes and completes.
+    engine
+        .enqueue_trajectory(id, &scenario.trajectory)
+        .expect("trajectory enqueues");
+    while offset < scenario.events.len() {
+        match engine.enqueue_events(id, &scenario.events[offset..]) {
+            Ok(n) => offset += n,
+            Err(ServeError::Session {
+                source: EmvsError::Backpressure { .. },
+                ..
+            }) => {}
+            Err(e) => panic!("unexpected enqueue error: {e}"),
+        }
+        engine.pump();
+    }
+    let output = engine.finish_session(id).expect("session finishes");
+    assert_bit_identical(reference, &output, scenario.label);
+}
+
+#[test]
+fn serve_metrics_account_for_every_event() {
+    let pool = scenarios();
+    let subset: Vec<&Scenario> = pool.iter().take(3).map(|(s, _)| s).collect();
+    let mut engine = ServeEngine::new(ServeConfig::new().with_workers(2));
+    let ids: Vec<_> = subset.iter().map(|s| engine.admit(s.session())).collect();
+    for (&id, scenario) in ids.iter().zip(&subset) {
+        engine.enqueue_trajectory(id, &scenario.trajectory).unwrap();
+        let mut offset = 0usize;
+        while offset < scenario.events.len() {
+            offset += engine
+                .enqueue_events(id, &scenario.events[offset..])
+                .unwrap();
+            engine.pump();
+        }
+        engine.close(id).unwrap();
+    }
+    engine.drain().expect("drain succeeds");
+    let total: u64 = subset.iter().map(|s| s.events.len() as u64).sum();
+    let m = engine.metrics();
+    assert_eq!(m.events_enqueued, total);
+    assert_eq!(m.events_ingested, total);
+    assert_eq!(m.events_processed, total);
+    assert_eq!(m.queue_depth, 0);
+    assert_eq!(m.finished, subset.len());
+    for (&id, (scenario, reference)) in ids.iter().zip(pool.iter().take(3)) {
+        let sm = engine.session_metrics(id).unwrap();
+        assert_eq!(
+            sm.events_processed,
+            scenario.events.len() as u64,
+            "{}",
+            scenario.label
+        );
+        assert_eq!(
+            sm.depth_maps,
+            reference.output.output.keyframes.len(),
+            "{}: depth maps",
+            scenario.label
+        );
+        let output = engine.take_output(id).expect("finished output");
+        assert_eq!(output.output.keyframes.len(), sm.depth_maps);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole property: a proptest-random interleaving schedule —
+    /// random chunk sizes, random pump cadence, random worker count —
+    /// leaves every session's output and lifecycle bit-identical to its
+    /// standalone reference, across all three backends at once.
+    #[test]
+    fn random_interleavings_are_bit_identical(
+        chunks in prop::collection::vec(1usize..5000, 1..12),
+        pump_every in 1usize..6,
+        workers in 1usize..9,
+    ) {
+        let pool = scenarios();
+        let picks: Vec<&(Scenario, Reference)> = pool
+            .iter()
+            .filter(|(s, _)| s.label.starts_with("slider_close"))
+            .collect();
+        let subset: Vec<&Scenario> = picks.iter().map(|(s, _)| s).collect();
+        let served = serve_interleaved(
+            &subset,
+            ServeConfig::new().with_workers(workers),
+            &chunks,
+            pump_every,
+        );
+        for ((scenario, reference), (output, lifecycle)) in picks.iter().zip(&served) {
+            let (a, b) = (&reference.output.output, &output.output);
+            prop_assert_eq!(a.keyframes.len(), b.keyframes.len(), "{}: keyframes", scenario.label);
+            for (i, (x, y)) in a.keyframes.iter().zip(&b.keyframes).enumerate() {
+                prop_assert_eq!(x.votes_cast, y.votes_cast, "{} keyframe {}: votes", scenario.label, i);
+                prop_assert_eq!(
+                    x.depth_map.depth_data(),
+                    y.depth_map.depth_data(),
+                    "{} keyframe {}: depth map",
+                    scenario.label,
+                    i
+                );
+            }
+            prop_assert_eq!(
+                a.profile.events_processed,
+                b.profile.events_processed,
+                "{}: events processed",
+                scenario.label
+            );
+            prop_assert_eq!(
+                &reference.lifecycle,
+                lifecycle,
+                "{}: lifecycle sequence",
+                scenario.label
+            );
+        }
+    }
+}
