@@ -10,9 +10,9 @@
 //! * `serve_8_workers` — all 64 sessions admitted into one `ServeEngine`
 //!   with 8 workers, fed, closed and drained to completion.
 //!
-//! Scenario diversity reuses the `eventor-events` generators: the four
-//! synthetic scenes, four noise profiles (`NoiseInjector`), and per-stream
-//! variation in depth-plane count, key-frame distance and stream length.
+//! Scenario diversity comes from the **scenario corpus**
+//! (`eventor_scenarios::heterogeneous_pool`): the ten corpus worlds cycled
+//! at derived seeds, with per-stream variation in stream length.
 //! Both rows execute identical sessions on identical input — the engine adds
 //! only scheduling — and the harness asserts bit-identical outputs before
 //! timing anything.
@@ -28,12 +28,9 @@
 //! silently skipped.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use eventor_core::{config_for_sequence, EventorOptions, EventorSession};
-use eventor_emvs::{EmvsConfig, VotingMode};
-use eventor_events::{
-    DatasetConfig, Event, NoiseConfig, NoiseInjector, SequenceKind, SyntheticSequence,
-};
-use eventor_geom::{CameraModel, Trajectory};
+use eventor_bench::enforce::{enforce_speedup_bar, SpeedupBar};
+use eventor_core::{EventorOptions, EventorSession};
+use eventor_scenarios::{heterogeneous_pool, ScenarioWorld};
 use eventor_serve::{ServeConfig, ServeEngine};
 use std::hint::black_box;
 
@@ -42,73 +39,34 @@ const WORKERS: usize = 8;
 const SPEEDUP_BAR: f64 = 3.0;
 const PARALLEL_EFFICIENCY: f64 = 0.75;
 
-/// One served stream: input and reconstruction configuration.
+/// One served stream: a corpus world on the software backend.
 struct Scene {
-    camera: CameraModel,
-    config: EmvsConfig,
-    trajectory: Trajectory,
-    events: Vec<Event>,
+    world: ScenarioWorld,
 }
 
 impl Scene {
+    fn events(&self) -> &[eventor_events::Event] {
+        self.world.events.as_slice()
+    }
+
     fn session(&self) -> EventorSession {
-        EventorSession::builder(self.camera, self.config.clone())
+        EventorSession::builder(self.world.camera, self.world.config.clone())
             .software(EventorOptions::accelerator())
             .build()
             .expect("scene session builds")
     }
 }
 
-/// The four noise profiles cycled across the pool.
-fn noise_profile(index: usize) -> NoiseConfig {
-    match index % 4 {
-        0 => NoiseConfig::clean(),
-        1 => NoiseConfig::moderate(),
-        2 => NoiseConfig::severe(),
-        _ => NoiseConfig {
-            background_activity_rate: 0.5,
-            timestamp_jitter_std: 2e-4,
-            drop_probability: 0.02,
-            seed: 0xC0FFEE ^ index as u64,
-            ..NoiseConfig::clean()
-        },
-    }
-}
-
-/// Builds the 64-scene heterogeneous pool from the four base sequences.
+/// The 64-scene heterogeneous pool: the corpus cycled at derived seeds,
+/// stream lengths staggered per index so the scheduler sees uneven
+/// workloads.
 fn build_scenes() -> Vec<Scene> {
-    let bases: Vec<SyntheticSequence> = SequenceKind::ALL
-        .iter()
-        .map(|&kind| {
-            SyntheticSequence::generate(kind, &DatasetConfig::fast_test())
-                .expect("fast_test sequences generate")
-        })
-        .collect();
-    (0..NUM_SCENES)
-        .map(|i| {
-            let base = &bases[i % bases.len()];
-            let injector = NoiseInjector::new(
-                base.camera.intrinsics.width as u16,
-                base.camera.intrinsics.height as u16,
-                NoiseConfig {
-                    seed: 0x5EED + i as u64,
-                    ..noise_profile(i / bases.len())
-                },
-            );
-            let (stream, _) = injector.corrupt(&base.events);
-            let length = 8_000 + (i % 5) * 2_000;
-            let events: Vec<Event> = stream.as_slice().iter().take(length).copied().collect();
-            let planes = 40 + (i % 3) * 8;
-            let mean_depth = 0.5 * (base.depth_range.0 + base.depth_range.1);
-            let config = config_for_sequence(base, planes)
-                .with_voting(VotingMode::Nearest)
-                .with_keyframe_distance((0.10 + 0.03 * (i % 5) as f64) * mean_depth);
-            Scene {
-                camera: base.camera,
-                config,
-                trajectory: base.trajectory.clone(),
-                events,
-            }
+    heterogeneous_pool(NUM_SCENES, 0x5EED)
+        .expect("corpus worlds build")
+        .into_iter()
+        .enumerate()
+        .map(|(i, world)| Scene {
+            world: world.truncated(8_000 + (i % 5) * 2_000),
         })
         .collect()
 }
@@ -119,12 +77,12 @@ fn run_sequential(scenes: &[Scene]) -> u64 {
     for scene in scenes {
         let mut session = scene.session();
         session
-            .push_trajectory(&scene.trajectory)
+            .push_trajectory(&scene.world.trajectory)
             .expect("trajectory pushes");
         let mut offset = 0usize;
-        while offset < scene.events.len() {
+        while offset < scene.events().len() {
             offset += session
-                .push_events(&scene.events[offset..])
+                .push_events(&scene.events()[offset..])
                 .expect("events push");
             session.poll().expect("poll succeeds");
         }
@@ -141,7 +99,7 @@ fn run_sequential(scenes: &[Scene]) -> u64 {
 
 /// The serving tier: all scenes admitted into one engine, drained together.
 fn run_served(scenes: &[Scene], workers: usize) -> u64 {
-    let max_len = scenes.iter().map(|s| s.events.len()).max().unwrap_or(1);
+    let max_len = scenes.iter().map(|s| s.events().len()).max().unwrap_or(1);
     let mut engine = ServeEngine::new(
         ServeConfig::new()
             .with_workers(workers)
@@ -153,12 +111,12 @@ fn run_served(scenes: &[Scene], workers: usize) -> u64 {
     let ids: Vec<_> = scenes.iter().map(|s| engine.admit(s.session())).collect();
     for (&id, scene) in ids.iter().zip(scenes) {
         engine
-            .enqueue_trajectory(id, &scene.trajectory)
+            .enqueue_trajectory(id, &scene.world.trajectory)
             .expect("trajectory enqueues");
         let accepted = engine
-            .enqueue_events(id, &scene.events)
+            .enqueue_events(id, scene.events())
             .expect("events enqueue");
-        assert_eq!(accepted, scene.events.len(), "queue sized for the stream");
+        assert_eq!(accepted, scene.events().len(), "queue sized for the stream");
         engine.close(id).expect("close");
     }
     engine.drain().expect("drain succeeds");
@@ -175,19 +133,9 @@ fn run_served(scenes: &[Scene], workers: usize) -> u64 {
     votes
 }
 
-fn read_mean_ns(benchmark: &str) -> Option<f64> {
-    let path = criterion::output_dir()?
-        .join("multi_session")
-        .join(format!("{benchmark}.json"));
-    let text = std::fs::read_to_string(path).ok()?;
-    let key = "\"mean_ns\":";
-    let at = text.find(key)? + key.len();
-    text[at..].split([',', '}']).next()?.trim().parse().ok()
-}
-
 fn bench_multi_session(c: &mut Criterion) {
     let scenes = build_scenes();
-    let total_events: u64 = scenes.iter().map(|s| s.events.len() as u64).sum();
+    let total_events: u64 = scenes.iter().map(|s| s.events().len() as u64).sum();
 
     // The two schedules must agree on the workload before being compared:
     // serving adds scheduling, never votes.
@@ -211,41 +159,20 @@ fn bench_multi_session(c: &mut Criterion) {
     group.finish();
 
     // The acceptance bar is a *thread-scaling* bar: 3x assumes the host can
-    // run at least 4 of the 8 workers concurrently. Smaller hosts get the
-    // physically available bar at 75% efficiency, loudly stated — and under
-    // EVENTOR_ENFORCE_BENCH a failed readback is itself a failure, so the
-    // bar can never be skipped silently.
-    let enforce = std::env::var_os("EVENTOR_ENFORCE_BENCH").is_some();
-    let hardware = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let bar = SPEEDUP_BAR.min(PARALLEL_EFFICIENCY * WORKERS.min(hardware) as f64);
-    match (
-        read_mean_ns("sequential_1_worker"),
-        read_mean_ns("serve_8_workers"),
-    ) {
-        (Some(sequential), Some(served)) => {
-            let speedup = sequential / served;
-            let pass = speedup >= bar;
-            println!(
-                "multi_session: {NUM_SCENES} streams, {WORKERS} workers on {hardware} hardware \
-                 threads: aggregate speedup over sequential: {speedup:.2}x \
-                 (acceptance bar: >= {bar:.2}x; the full {SPEEDUP_BAR:.1}x bar applies at >= 4 \
-                 hardware threads) — {}",
-                if pass { "OK" } else { "BELOW BAR" }
-            );
-            if enforce {
-                assert!(
-                    pass,
-                    "multi-session aggregate speedup {speedup:.2}x is below the {bar:.2}x bar"
-                );
-            }
-        }
-        _ if enforce => {
-            panic!("EVENTOR_ENFORCE_BENCH is set but the eventor-bench/1 JSON could not be read");
-        }
-        _ => println!("multi_session: JSON readback unavailable, speedup not computed"),
-    }
+    // run at least 4 of the 8 workers concurrently; smaller hosts get the
+    // physically available bar at 75% efficiency. The readback, the
+    // host-scaling arithmetic and the never-silently-skipped rule live in
+    // the shared helper (`eventor_bench::enforce`).
+    enforce_speedup_bar(
+        "multi_session",
+        "sequential_1_worker",
+        "serve_8_workers",
+        SpeedupBar::HostScaled {
+            full: SPEEDUP_BAR,
+            workers: WORKERS,
+            efficiency: PARALLEL_EFFICIENCY,
+        },
+    );
 }
 
 criterion_group!(benches, bench_multi_session);

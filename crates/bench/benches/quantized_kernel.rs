@@ -144,18 +144,6 @@ fn setup() -> (QuantizedHomography, Vec<PhiWords>, Vec<PackedCoord>) {
     (qh, qphi.words().to_vec(), events)
 }
 
-fn read_mean_ns(benchmark: &str) -> Option<f64> {
-    // The shim exposes its own output-directory resolution, so the readback
-    // can never drift from where the JSON was actually written.
-    let path = criterion::output_dir()?
-        .join("quantized_kernel")
-        .join(format!("{benchmark}.json"));
-    let text = std::fs::read_to_string(path).ok()?;
-    let key = "\"mean_ns\":";
-    let at = text.find(key)? + key.len();
-    text[at..].split([',', '}']).next()?.trim().parse().ok()
-}
-
 fn bench_quantized_kernel(c: &mut Criterion) {
     let (qh, phi, events) = setup();
     let words = qh.raw_words();
@@ -186,34 +174,15 @@ fn bench_quantized_kernel(c: &mut Criterion) {
     // Local runs only report, so contributors on unusual hosts are never
     // blocked by a wall-clock ratio; CI opts into hard enforcement with
     // EVENTOR_ENFORCE_BENCH=1 because the recorded margin (~3x vs the 1.2x
-    // bar) dwarfs runner noise (docs/BENCHMARKS.md). Under enforcement a
-    // failed JSON readback is itself a failure — the bar must never be
-    // silently skipped.
-    let enforce = std::env::var_os("EVENTOR_ENFORCE_BENCH").is_some();
-    match (
-        read_mean_ns("f64_hoisted_reference"),
-        read_mean_ns("integer_kernel"),
-    ) {
-        (Some(reference), Some(integer)) => {
-            let speedup = reference / integer;
-            let pass = speedup >= 1.2;
-            println!(
-                "quantized_kernel: integer kernel speedup over f64-hoisted reference: \
-                 {speedup:.2}x (acceptance bar: >= 1.2x) — {}",
-                if pass { "OK" } else { "BELOW BAR" }
-            );
-            if enforce {
-                assert!(
-                    pass,
-                    "integer kernel speedup {speedup:.2}x is below the 1.2x acceptance bar"
-                );
-            }
-        }
-        _ if enforce => {
-            panic!("EVENTOR_ENFORCE_BENCH is set but the eventor-bench/1 JSON could not be read");
-        }
-        _ => println!("quantized_kernel: JSON readback unavailable, speedup not computed"),
-    }
+    // bar) dwarfs runner noise (docs/BENCHMARKS.md). The readback, the
+    // verdict line and the never-silently-skipped rule live in the shared
+    // helper.
+    eventor_bench::enforce::enforce_speedup_bar(
+        "quantized_kernel",
+        "f64_hoisted_reference",
+        "integer_kernel",
+        eventor_bench::enforce::SpeedupBar::Fixed(1.2),
+    );
 }
 
 criterion_group!(benches, bench_quantized_kernel);

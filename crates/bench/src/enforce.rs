@@ -1,0 +1,172 @@
+//! Shared acceptance-bar enforcement for the Criterion-shim benches.
+//!
+//! Every bar-carrying bench (`quantized_kernel`, `multi_session`) used to
+//! inline the same three steps — read back the `eventor-bench/1` JSON,
+//! host-scale the bar, print/enforce under `EVENTOR_ENFORCE_BENCH` — and
+//! the two copies had already started to drift. This module is the single
+//! implementation:
+//!
+//! * [`read_mean_ns`] resolves the shim's output directory itself, so the
+//!   readback can never drift from where the JSON was written;
+//! * [`SpeedupBar`] expresses both fixed bars and thread-scaling bars
+//!   (`full` at ≥ `workers` hardware threads, degrading to
+//!   `efficiency × min(workers, hardware)` on smaller hosts — the speedup
+//!   physically available at that parallel efficiency);
+//! * [`enforce_speedup_bar`] prints the verdict and, under
+//!   `EVENTOR_ENFORCE_BENCH`, turns a miss **or a failed readback** into a
+//!   panic — the bar is never silently skipped.
+
+/// The environment variable that turns printed bars into hard failures
+/// (set in CI).
+pub const ENFORCE_ENV: &str = "EVENTOR_ENFORCE_BENCH";
+
+/// Reads `mean_ns` back from the `eventor-bench/1` JSON document the
+/// Criterion shim wrote for `group/benchmark`.
+pub fn read_mean_ns(group: &str, benchmark: &str) -> Option<f64> {
+    let path = criterion::output_dir()?
+        .join(group)
+        .join(format!("{benchmark}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"mean_ns\":";
+    let at = text.find(key)? + key.len();
+    text[at..].split([',', '}']).next()?.trim().parse().ok()
+}
+
+/// An acceptance bar on a `baseline / candidate` speedup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedupBar {
+    /// The candidate must be at least this many times faster, on any host.
+    Fixed(f64),
+    /// A thread-scaling bar: `full` applies on hosts that can run the
+    /// workload's parallelism; smaller hosts get
+    /// `efficiency × min(workers, hardware_threads)` — the speedup
+    /// physically available at `efficiency` parallel efficiency.
+    HostScaled {
+        /// The bar on a sufficiently parallel host.
+        full: f64,
+        /// Worker threads the measured configuration uses.
+        workers: usize,
+        /// Assumed parallel efficiency in `(0, 1]`.
+        efficiency: f64,
+    },
+}
+
+impl SpeedupBar {
+    /// The numeric bar for a host with `hardware_threads` threads.
+    pub fn for_host(self, hardware_threads: usize) -> f64 {
+        match self {
+            Self::Fixed(bar) => bar,
+            Self::HostScaled {
+                full,
+                workers,
+                efficiency,
+            } => full.min(efficiency * workers.min(hardware_threads) as f64),
+        }
+    }
+}
+
+/// Outcome of a bar evaluation (also returned so benches can add
+/// bench-specific reporting on top).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupVerdict {
+    /// `baseline_mean_ns / candidate_mean_ns`.
+    pub speedup: f64,
+    /// The bar that applied on this host.
+    pub bar: f64,
+    /// Hardware threads detected on this host.
+    pub hardware_threads: usize,
+    /// Whether the speedup met the bar.
+    pub passed: bool,
+}
+
+/// Reads both rows back, evaluates `bar`, prints a one-line verdict
+/// (prefixed with `group:`), and — when [`ENFORCE_ENV`] is set — panics on
+/// a miss or on a failed readback.
+///
+/// Returns `None` when the JSON could not be read and enforcement is off
+/// (local runs stay unblocked on unusual hosts).
+///
+/// # Panics
+///
+/// Under [`ENFORCE_ENV`]: when the speedup is below the bar, or when either
+/// JSON document cannot be read back.
+pub fn enforce_speedup_bar(
+    group: &str,
+    baseline: &str,
+    candidate: &str,
+    bar: SpeedupBar,
+) -> Option<SpeedupVerdict> {
+    let enforce = std::env::var_os(ENFORCE_ENV).is_some();
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match (
+        read_mean_ns(group, baseline),
+        read_mean_ns(group, candidate),
+    ) {
+        (Some(baseline_ns), Some(candidate_ns)) => {
+            let speedup = baseline_ns / candidate_ns;
+            let applied = bar.for_host(hardware_threads);
+            let passed = speedup >= applied;
+            let scaling_note = match bar {
+                SpeedupBar::Fixed(_) => String::new(),
+                SpeedupBar::HostScaled {
+                    full, efficiency, ..
+                } => {
+                    // The full bar applies once `efficiency × hardware`
+                    // reaches it, not only at the full worker count.
+                    let full_at = (full / efficiency).ceil() as usize;
+                    format!(
+                        " on {hardware_threads} hardware threads; the full {full:.1}x bar \
+                         applies at >= {full_at} threads",
+                    )
+                }
+            };
+            println!(
+                "{group}: {candidate} speedup over {baseline}: {speedup:.2}x \
+                 (acceptance bar: >= {applied:.2}x{scaling_note}) — {}",
+                if passed { "OK" } else { "BELOW BAR" }
+            );
+            if enforce {
+                assert!(
+                    passed,
+                    "{group}: speedup {speedup:.2}x is below the {applied:.2}x acceptance bar"
+                );
+            }
+            Some(SpeedupVerdict {
+                speedup,
+                bar: applied,
+                hardware_threads,
+                passed,
+            })
+        }
+        _ if enforce => {
+            panic!(
+                "{ENFORCE_ENV} is set but the eventor-bench/1 JSON for `{group}` could not be read"
+            );
+        }
+        _ => {
+            println!("{group}: JSON readback unavailable, speedup not computed");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_scaled_bar_degrades_below_worker_count() {
+        let bar = SpeedupBar::HostScaled {
+            full: 3.0,
+            workers: 8,
+            efficiency: 0.75,
+        };
+        assert_eq!(bar.for_host(16), 3.0);
+        assert_eq!(bar.for_host(8), 3.0);
+        assert_eq!(bar.for_host(2), 1.5);
+        assert_eq!(bar.for_host(1), 0.75);
+        assert_eq!(SpeedupBar::Fixed(1.2).for_host(1), 1.2);
+    }
+}

@@ -34,6 +34,8 @@
 
 #![deny(missing_docs)]
 
+pub mod enforce;
+
 use eventor_core::config_for_sequence;
 use eventor_emvs::EmvsConfig;
 use eventor_events::{DatasetConfig, SequenceKind, SyntheticSequence};

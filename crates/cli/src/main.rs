@@ -1,0 +1,346 @@
+//! `eventor-cli` — the command-line front end of the scenario corpus
+//! (`eventor-scenarios`, `docs/SCENARIOS.md`).
+//!
+//! ```text
+//! eventor-cli list
+//! eventor-cli generate --scenario NAME [--seed N] [--out FILE.evtr]
+//! eventor-cli replay   --scenario NAME --in FILE.evtr [--seed N] [--backend B] [--expect HEX]
+//! eventor-cli check    (--all | --scenario NAME) [--backend B] [--print-table]
+//! ```
+//!
+//! * `list` prints the catalog (name, tags, default seed, description).
+//! * `generate` builds a world and records it as an `eventor-evtr/1` file,
+//!   printing the reconstruction digest the record must replay to.
+//! * `replay` reads a record, runs it through a backend with the named
+//!   scenario's configuration, and verifies the digest — against `--expect`
+//!   if given, else against the committed golden.
+//! * `check` re-runs scenarios from scratch and compares against the
+//!   committed golden digests; the CI regression matrix runs
+//!   `check --all --backend {software,sharded,serve}`. `--print-table`
+//!   emits a fresh `GOLDEN_DIGESTS` table body for intentional re-records.
+//!
+//! Exit status is non-zero on any mismatch, so the binary doubles as a CI
+//! gate without wrapper scripts.
+
+use eventor_scenarios::{
+    corpus, digest_output, find, golden_digest, run_world, BackendKind, Scenario, ScenarioWorld,
+};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "eventor-cli — scenario corpus driver\n");
+    let _ = writeln!(s, "USAGE:");
+    let _ = writeln!(s, "  eventor-cli list");
+    let _ = writeln!(
+        s,
+        "  eventor-cli generate --scenario NAME [--seed N] [--out FILE.evtr]"
+    );
+    let _ = writeln!(
+        s,
+        "  eventor-cli replay   --scenario NAME --in FILE.evtr [--seed N] [--backend B] [--expect HEX]"
+    );
+    let _ = writeln!(
+        s,
+        "  eventor-cli check    (--all | --scenario NAME) [--backend B] [--print-table]"
+    );
+    let _ = writeln!(
+        s,
+        "\nBackends: software (default), sharded, cosim, serve. Digests are FNV-1a 64"
+    );
+    let _ = write!(
+        s,
+        "over the reconstruction's depth maps; goldens live in eventor-scenarios."
+    );
+    s
+}
+
+/// Minimal `--flag value` parser: no external dependencies, exact flags
+/// only, every unknown flag is an error.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap()),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Self { positional, flags })
+    }
+
+    fn flag_value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for (n, _) in &self.flags {
+            if !allowed.contains(&n.as_str()) {
+                return Err(format!("unknown flag --{n}\n\n{}", usage()));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn backend_from(args: &Args) -> Result<BackendKind, String> {
+    match args.flag_value("backend") {
+        None => Ok(BackendKind::Software),
+        Some(name) => BackendKind::parse(name).ok_or_else(|| {
+            format!(
+                "unknown backend `{name}` (expected one of: {})",
+                BackendKind::ALL.map(BackendKind::name).join(", ")
+            )
+        }),
+    }
+}
+
+fn scenario_from(args: &Args) -> Result<&'static eventor_scenarios::CorpusScenario, String> {
+    let name = args
+        .flag_value("scenario")
+        .ok_or_else(|| format!("--scenario NAME is required\n\n{}", usage()))?;
+    find(name)
+        .ok_or_else(|| format!("unknown scenario `{name}`; run `eventor-cli list` for the catalog"))
+}
+
+fn cmd_list(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[])?;
+    println!(
+        "{:<20} {:>10} {:<44} description",
+        "scenario", "seed", "tags"
+    );
+    for s in corpus() {
+        println!(
+            "{:<20} {:>#10x} {:<44} {}",
+            s.name(),
+            s.default_seed(),
+            s.tags().join(","),
+            s.description()
+        );
+    }
+    println!(
+        "\n{} scenarios; digests recorded at each default seed.",
+        corpus().len()
+    );
+    Ok(())
+}
+
+fn build_world(
+    scenario: &dyn Scenario,
+    seed: Option<&str>,
+) -> Result<(ScenarioWorld, u64), String> {
+    let seed = match seed {
+        None => scenario.default_seed(),
+        Some(text) => parse_u64(text)?,
+    };
+    let world = scenario
+        .build(seed)
+        .map_err(|e| format!("{}: build failed: {e}", scenario.name()))?;
+    Ok((world, seed))
+}
+
+fn parse_u64(text: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| format!("`{text}` is not a u64 (decimal or 0x-hex)"))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["scenario", "seed", "out", "backend"])?;
+    let scenario = scenario_from(args)?;
+    let backend = backend_from(args)?;
+    let (world, seed) = build_world(scenario, args.flag_value("seed"))?;
+    let output = run_world(&world, backend)
+        .map_err(|e| format!("{}: reconstruction failed: {e}", scenario.name()))?;
+    let digest = digest_output(&output);
+    if let Some(path) = args.flag_value("out") {
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        eventor_events::write_evtr(&world.events, &world.trajectory, file)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "recorded {} events + {} poses -> {path} (eventor-evtr/1)",
+            world.events.len(),
+            world.trajectory.len()
+        );
+    }
+    println!(
+        "{}: seed {seed:#x} backend {backend} keyframes {} digest {digest:#018x}",
+        scenario.name(),
+        output.output.keyframes.len(),
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["scenario", "in", "seed", "backend", "expect"])?;
+    let scenario = scenario_from(args)?;
+    let backend = backend_from(args)?;
+    let path = args
+        .flag_value("in")
+        .ok_or_else(|| format!("--in FILE.evtr is required\n\n{}", usage()))?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (events, trajectory) =
+        eventor_events::read_evtr(file).map_err(|e| format!("{path}: {e}"))?;
+    // The record carries the inputs; the scenario contributes the camera and
+    // reconstruction configuration they were recorded for — recovered
+    // without rebuilding (and re-simulating) the world.
+    let seed = match args.flag_value("seed") {
+        None => scenario.default_seed(),
+        Some(text) => parse_u64(text)?,
+    };
+    let (camera, config) = scenario.session_profile(seed);
+    let world = ScenarioWorld {
+        name: scenario.name().to_string(),
+        seed,
+        camera,
+        trajectory,
+        events,
+        config,
+    };
+    let output = run_world(&world, backend)
+        .map_err(|e| format!("{}: replay failed: {e}", scenario.name()))?;
+    let digest = digest_output(&output);
+    let expected = match args.flag_value("expect") {
+        Some(text) => Some(parse_u64(text)?),
+        None => golden_digest(scenario.name()),
+    };
+    match expected {
+        Some(want) if want == digest => {
+            println!(
+                "{}: replay of {path} on {backend} reproduces digest {digest:#018x} — OK",
+                scenario.name()
+            );
+            Ok(())
+        }
+        Some(want) => Err(format!(
+            "{}: replay digest {digest:#018x} != expected {want:#018x}",
+            scenario.name()
+        )),
+        None => {
+            println!(
+                "{}: replay digest {digest:#018x} (no golden to compare against)",
+                scenario.name()
+            );
+            Ok(())
+        }
+    }
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["all", "scenario", "backend", "print-table"])?;
+    let backend = backend_from(args)?;
+    let targets: Vec<&eventor_scenarios::CorpusScenario> = if args.has_flag("all") {
+        corpus().iter().collect()
+    } else {
+        vec![scenario_from(args)?]
+    };
+    let mut failures = Vec::new();
+    let mut table = String::new();
+    for scenario in &targets {
+        let (world, _) = build_world(*scenario, None)?;
+        let output = run_world(&world, backend)
+            .map_err(|e| format!("{}: run failed: {e}", scenario.name()))?;
+        let digest = digest_output(&output);
+        let _ = writeln!(table, "    ({:?}, {digest:#018x}),", scenario.name());
+        match golden_digest(scenario.name()) {
+            Some(want) if want == digest => {
+                println!(
+                    "  ok   {:<20} {backend:<9} digest {digest:#018x}",
+                    scenario.name()
+                );
+            }
+            Some(want) => {
+                println!(
+                    "  FAIL {:<20} {backend:<9} digest {digest:#018x} != golden {want:#018x}",
+                    scenario.name()
+                );
+                failures.push(scenario.name());
+            }
+            None => {
+                println!(
+                    "  FAIL {:<20} {backend:<9} digest {digest:#018x} has no committed golden",
+                    scenario.name()
+                );
+                failures.push(scenario.name());
+            }
+        }
+    }
+    if args.has_flag("print-table") {
+        println!("\n// GOLDEN_DIGESTS body for crates/scenarios/src/golden.rs:");
+        print!("{table}");
+    }
+    if failures.is_empty() {
+        println!(
+            "check: {} scenario(s) bit-identical on the {backend} backend",
+            targets.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "check: {} of {} scenario(s) diverged on the {backend} backend: {}",
+            failures.len(),
+            targets.len(),
+            failures.join(", ")
+        ))
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return Err(usage());
+    }
+    let command = raw.remove(0);
+    let args = Args::parse(raw)?;
+    if !args.positional.is_empty() {
+        return Err(format!(
+            "unexpected argument `{}`\n\n{}",
+            args.positional[0],
+            usage()
+        ));
+    }
+    match command.as_str() {
+        "list" => cmd_list(&args),
+        "generate" => cmd_generate(&args),
+        "replay" => cmd_replay(&args),
+        "check" => cmd_check(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

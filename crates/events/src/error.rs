@@ -24,6 +24,12 @@ pub enum EventError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An `eventor-evtr/1` record was truncated, corrupt, or of an
+    /// unsupported version.
+    InvalidRecord {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EventError {
@@ -36,6 +42,7 @@ impl fmt::Display for EventError {
                 write!(f, "image data has {actual} values, expected {expected}")
             }
             Self::InvalidSimulation { reason } => write!(f, "invalid simulation: {reason}"),
+            Self::InvalidRecord { reason } => write!(f, "invalid evtr record: {reason}"),
         }
     }
 }
@@ -55,6 +62,9 @@ mod tests {
                 actual: 3,
             },
             EventError::InvalidSimulation {
+                reason: "x".to_string(),
+            },
+            EventError::InvalidRecord {
                 reason: "x".to_string(),
             },
         ] {

@@ -1,0 +1,500 @@
+//! `eventor-evtr/1` — the compact binary record/replay container for event
+//! streams and their camera trajectories.
+//!
+//! The format exists so a scenario run can be **recorded once and replayed
+//! bit-identically**: a replayed file feeds the exact same events and poses
+//! into the pipeline that the generator produced, so the reconstruction
+//! digest of a replay must equal the digest of the original run
+//! (`docs/SCENARIOS.md`).
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! magic        [u8; 4]  = b"EVTR"
+//! version      u32      = 1
+//! section_count u32
+//! section * section_count:
+//!     tag          [u8; 4]   (b"TRAJ" or b"EVTS"; unknown tags rejected)
+//!     payload_len  u64       (bytes)
+//!     payload      [u8; payload_len]
+//! checksum     u64      FNV-1a 64 over every preceding byte of the file
+//! ```
+//!
+//! Section payloads:
+//!
+//! * `TRAJ` — `count: u64`, then `count` samples of
+//!   `t tx ty tz qx qy qz qw`, eight `f64` bit patterns (64 bytes each).
+//! * `EVTS` — `count: u64`, then `count` events of
+//!   `t: f64, x: u16, y: u16, polarity: u8` (13 bytes each, packed).
+//!
+//! The reader rejects truncated files, bad magic, unsupported versions,
+//! unknown sections, length overruns and checksum mismatches with
+//! [`EventError::InvalidRecord`], and re-validates the decoded stream and
+//! trajectory orderings through the normal constructors.
+
+use crate::event::{Event, Polarity};
+use crate::stream::EventStream;
+use crate::EventError;
+use eventor_geom::{Pose, Trajectory, UnitQuaternion, Vec3};
+use std::io::{Read, Write};
+
+/// Magic bytes opening every `.evtr` file.
+pub const EVTR_MAGIC: [u8; 4] = *b"EVTR";
+
+/// Format version written by [`write_evtr`] and accepted by [`read_evtr`].
+pub const EVTR_VERSION: u32 = 1;
+
+const TAG_TRAJ: [u8; 4] = *b"TRAJ";
+const TAG_EVTS: [u8; 4] = *b"EVTS";
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// This is the checksum of the `.evtr` container **and** the hash behind the
+/// scenario golden digests (`eventor-scenarios`), so the two can never drift
+/// apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// FNV-1a 64 offset basis.
+    pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as its 8 little-endian bytes.
+    pub fn update_u64(&mut self, value: u64) {
+        self.update(&value.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+fn corrupt(reason: impl Into<String>) -> EventError {
+    EventError::InvalidRecord {
+        reason: reason.into(),
+    }
+}
+
+fn encode_trajectory(trajectory: &Trajectory) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + trajectory.len() * 64);
+    out.extend_from_slice(&(trajectory.len() as u64).to_le_bytes());
+    for sample in trajectory {
+        let t = sample.pose.translation;
+        let q = sample.pose.rotation;
+        for v in [sample.timestamp, t.x, t.y, t.z, q.x, q.y, q.z, q.w] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn encode_events(stream: &EventStream) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + stream.len() * 13);
+    out.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+    for e in stream {
+        out.extend_from_slice(&e.t.to_le_bytes());
+        out.extend_from_slice(&e.x.to_le_bytes());
+        out.extend_from_slice(&e.y.to_le_bytes());
+        out.push(match e.polarity {
+            Polarity::Positive => 1,
+            Polarity::Negative => 0,
+        });
+    }
+    out
+}
+
+/// Serializes a recorded run — an event stream plus the trajectory it was
+/// captured against — into the `eventor-evtr/1` container.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_evtr<W: Write>(
+    stream: &EventStream,
+    trajectory: &Trajectory,
+    mut writer: W,
+) -> std::io::Result<()> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&EVTR_MAGIC);
+    bytes.extend_from_slice(&EVTR_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&2u32.to_le_bytes());
+    for (tag, payload) in [
+        (TAG_TRAJ, encode_trajectory(trajectory)),
+        (TAG_EVTS, encode_events(stream)),
+    ] {
+        bytes.extend_from_slice(&tag);
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+    }
+    let checksum = fnv1a_64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    writer.write_all(&bytes)
+}
+
+/// A little-endian byte cursor with bounds-checked reads.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], EventError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| corrupt(format!("truncated while reading {what}")))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, EventError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, EventError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, EventError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, EventError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+}
+
+fn decode_trajectory(payload: &[u8]) -> Result<Trajectory, EventError> {
+    let mut c = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    let count = c.u64("trajectory sample count")? as usize;
+    // Checked arithmetic: a crafted count must yield InvalidRecord, never
+    // an overflow panic or a capacity-overflow abort.
+    if count
+        .checked_mul(64)
+        .and_then(|n| n.checked_add(8))
+        .is_none_or(|expected| payload.len() != expected)
+    {
+        return Err(corrupt(format!(
+            "TRAJ section declares {count} samples but holds {} payload bytes",
+            payload.len()
+        )));
+    }
+    let mut samples = Vec::with_capacity(count);
+    for i in 0..count {
+        let what = format!("trajectory sample {i}");
+        let t = c.f64(&what)?;
+        let translation = Vec3::new(c.f64(&what)?, c.f64(&what)?, c.f64(&what)?);
+        let (qx, qy, qz, qw) = (c.f64(&what)?, c.f64(&what)?, c.f64(&what)?, c.f64(&what)?);
+        if !t.is_finite() {
+            return Err(corrupt(format!("{what}: non-finite timestamp")));
+        }
+        // Bit-preserving: `UnitQuaternion::new` would renormalize and could
+        // perturb the stored rotation by a ULP, breaking bit-exact replay.
+        let rotation = UnitQuaternion::from_normalized(qw, qx, qy, qz, 1e-6)
+            .ok_or_else(|| corrupt(format!("{what}: rotation is not unit norm")))?;
+        samples.push((t, Pose::new(rotation, translation)));
+    }
+    if samples.is_empty() {
+        return Ok(Trajectory::new());
+    }
+    Trajectory::from_samples(samples)
+        .map_err(|e| corrupt(format!("TRAJ section is not strictly time-ordered: {e}")))
+}
+
+fn decode_events(payload: &[u8]) -> Result<EventStream, EventError> {
+    let mut c = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    let count = c.u64("event count")? as usize;
+    if count
+        .checked_mul(13)
+        .and_then(|n| n.checked_add(8))
+        .is_none_or(|expected| payload.len() != expected)
+    {
+        return Err(corrupt(format!(
+            "EVTS section declares {count} events but holds {} payload bytes",
+            payload.len()
+        )));
+    }
+    let mut events = Vec::with_capacity(count);
+    for i in 0..count {
+        let what = format!("event {i}");
+        let t = c.f64(&what)?;
+        let x = c.u16(&what)?;
+        let y = c.u16(&what)?;
+        let polarity = match c.take(1, &what)?[0] {
+            1 => Polarity::Positive,
+            0 => Polarity::Negative,
+            other => {
+                return Err(corrupt(format!("{what}: invalid polarity byte {other}")));
+            }
+        };
+        if !t.is_finite() {
+            return Err(corrupt(format!("{what}: non-finite timestamp")));
+        }
+        events.push(Event::new(t, x, y, polarity));
+    }
+    EventStream::from_events(events)
+        .map_err(|e| corrupt(format!("EVTS section is not time-ordered: {e}")))
+}
+
+/// Deserializes an `eventor-evtr/1` container back into the recorded event
+/// stream and trajectory.
+///
+/// # Errors
+///
+/// Returns [`EventError::InvalidRecord`] for truncated input, bad magic, an
+/// unsupported version, unknown or duplicated sections, payload-length
+/// mismatches, checksum failures, or decoded data that violates the stream /
+/// trajectory ordering invariants. I/O errors from the reader surface as
+/// [`EventError::InvalidRecord`] too (the container is read whole).
+pub fn read_evtr<R: Read>(mut reader: R) -> Result<(EventStream, Trajectory), EventError> {
+    let mut bytes = Vec::new();
+    reader
+        .read_to_end(&mut bytes)
+        .map_err(|e| corrupt(format!("i/o error reading record: {e}")))?;
+    if bytes.len() < EVTR_MAGIC.len() + 4 + 4 + 8 {
+        return Err(corrupt(format!(
+            "file too short for an evtr header ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+    let declared = u64::from_le_bytes(checksum_bytes.try_into().unwrap());
+    let actual = fnv1a_64(body);
+    if declared != actual {
+        return Err(corrupt(format!(
+            "checksum mismatch: file declares {declared:#018x}, content hashes to {actual:#018x}"
+        )));
+    }
+    let mut c = Cursor { bytes: body, at: 0 };
+    let magic = c.take(4, "magic")?;
+    if magic != EVTR_MAGIC {
+        return Err(corrupt(format!("bad magic {magic:?}, expected \"EVTR\"")));
+    }
+    let version = c.u32("version")?;
+    if version != EVTR_VERSION {
+        return Err(corrupt(format!(
+            "unsupported evtr version {version} (this reader speaks {EVTR_VERSION})"
+        )));
+    }
+    let section_count = c.u32("section count")?;
+    let mut trajectory: Option<Trajectory> = None;
+    let mut events: Option<EventStream> = None;
+    for i in 0..section_count {
+        let tag: [u8; 4] = c.take(4, "section tag")?.try_into().unwrap();
+        let len = c.u64("section length")? as usize;
+        let payload = c.take(len, &format!("section {i} payload"))?;
+        match tag {
+            TAG_TRAJ if trajectory.is_none() => trajectory = Some(decode_trajectory(payload)?),
+            TAG_EVTS if events.is_none() => events = Some(decode_events(payload)?),
+            TAG_TRAJ | TAG_EVTS => {
+                return Err(corrupt(format!(
+                    "duplicate {:?} section",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            other => {
+                return Err(corrupt(format!(
+                    "unknown section tag {:?}",
+                    String::from_utf8_lossy(&other)
+                )));
+            }
+        }
+    }
+    if c.at != body.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the declared sections",
+            body.len() - c.at
+        )));
+    }
+    match (events, trajectory) {
+        (Some(e), Some(t)) => Ok((e, t)),
+        (None, _) => Err(corrupt("missing EVTS section")),
+        (_, None) => Err(corrupt("missing TRAJ section")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventor_geom::Vec3;
+
+    fn sample_trajectory() -> Trajectory {
+        Trajectory::linear(
+            Pose::identity(),
+            Pose::new(
+                UnitQuaternion::from_euler(0.02, -0.01, 0.3),
+                Vec3::new(0.4, -0.1, 0.05),
+            ),
+            0.0,
+            1.0,
+            7,
+        )
+    }
+
+    fn sample_stream() -> EventStream {
+        (0..200)
+            .map(|i| {
+                Event::new(
+                    i as f64 * 1e-3,
+                    (i * 7 % 240) as u16,
+                    (i * 13 % 180) as u16,
+                    if i % 3 == 0 {
+                        Polarity::Negative
+                    } else {
+                        Polarity::Positive
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn encode(stream: &EventStream, trajectory: &Trajectory) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_evtr(stream, trajectory, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let stream = sample_stream();
+        let trajectory = sample_trajectory();
+        let bytes = encode(&stream, &trajectory);
+        let (s, t) = read_evtr(bytes.as_slice()).unwrap();
+        assert_eq!(s, stream);
+        assert_eq!(t.len(), trajectory.len());
+        for (a, b) in trajectory.iter().zip(t.iter()) {
+            // Bit-exact, not approximately equal: the container stores raw
+            // f64 bit patterns.
+            assert_eq!(a.timestamp.to_bits(), b.timestamp.to_bits());
+            assert_eq!(
+                a.pose.translation.x.to_bits(),
+                b.pose.translation.x.to_bits()
+            );
+            assert_eq!(a.pose.rotation.w.to_bits(), b.pose.rotation.w.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_stream_and_trajectory_round_trip() {
+        let bytes = encode(&EventStream::new(), &Trajectory::new());
+        let (s, t) = read_evtr(bytes.as_slice()).unwrap();
+        assert!(s.is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample_stream(), &sample_trajectory());
+        bytes[0] = b'X';
+        // Re-seal the checksum so the magic check (not the checksum) fires.
+        let n = bytes.len();
+        let fixed = fnv1a_64(&bytes[..n - 8]).to_le_bytes();
+        bytes[n - 8..].copy_from_slice(&fixed);
+        let err = read_evtr(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = encode(&sample_stream(), &sample_trajectory());
+        bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
+        let n = bytes.len();
+        let fixed = fnv1a_64(&bytes[..n - 8]).to_le_bytes();
+        bytes[n - 8..].copy_from_slice(&fixed);
+        let err = read_evtr(bytes.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported evtr version"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let mut bytes = encode(&sample_stream(), &sample_trajectory());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = read_evtr(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let bytes = encode(&sample_stream(), &sample_trajectory());
+        // Every proper prefix must fail: either too short for the header or
+        // a checksum/length mismatch. Step through a spread of lengths.
+        for cut in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
+            assert!(
+                read_evtr(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_declared_counts_are_rejected_not_panicked() {
+        // A record whose TRAJ section is 8 bytes long but declares 2^58
+        // samples: `8 + count * 64` would wrap in release mode and pass a
+        // naive length check, then abort on Vec::with_capacity. The FNV
+        // checksum is unkeyed (anyone can reseal it), so the parser itself
+        // must reject this with InvalidRecord.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&EVTR_MAGIC);
+        bytes.extend_from_slice(&EVTR_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(b"TRAJ");
+        bytes.extend_from_slice(&8u64.to_le_bytes());
+        bytes.extend_from_slice(&(1u64 << 58).to_le_bytes());
+        let checksum = fnv1a_64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let err = read_evtr(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("payload bytes"), "{err}");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -11,7 +11,11 @@
 //! * builders for synthetic stand-ins of the four evaluation sequences
 //!   (`simulation_3planes`, `simulation_3walls`, `slider_close`,
 //!   `slider_far`) with ground-truth depth at the reference view
-//!   ([`SyntheticSequence`]).
+//!   ([`SyntheticSequence`]),
+//! * the `eventor-evtr/1` binary record/replay container
+//!   ([`write_evtr`] / [`read_evtr`]): length-prefixed, checksummed,
+//!   bit-exact — a recorded run replays to identical reconstruction output
+//!   (`docs/SCENARIOS.md`).
 //!
 //! ## Example
 //!
@@ -33,6 +37,7 @@
 mod datasets;
 mod error;
 mod event;
+mod evtr;
 mod image;
 mod io;
 mod noise;
@@ -47,6 +52,7 @@ mod undistort;
 pub use datasets::{DatasetConfig, SequenceKind, SyntheticSequence};
 pub use error::EventError;
 pub use event::{first_out_of_order, Event, Polarity};
+pub use evtr::{fnv1a_64, read_evtr, write_evtr, Fnv64, EVTR_MAGIC, EVTR_VERSION};
 pub use image::Image;
 pub use io::{read_events, read_trajectory, write_events, write_trajectory};
 pub use noise::{NoiseConfig, NoiseInjector, NoiseReport};
@@ -120,6 +126,128 @@ mod proptests {
                 let s = tex.sample(u, v);
                 prop_assert!((0.0..=1.0).contains(&s));
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod evtr_proptests {
+    use super::*;
+    use eventor_geom::{Pose, Trajectory, UnitQuaternion, Vec3};
+    use proptest::prelude::*;
+
+    /// Builds a valid stream + trajectory pair from proptest-drawn raw data.
+    fn build_inputs(
+        raw_events: &[(f64, u16, u16, u8)],
+        raw_poses: &[(f64, f64, f64)],
+    ) -> (EventStream, Trajectory) {
+        let stream = EventStream::from_unsorted(
+            raw_events
+                .iter()
+                .map(|&(t, x, y, pos)| {
+                    let p = if pos == 1 {
+                        Polarity::Positive
+                    } else {
+                        Polarity::Negative
+                    };
+                    Event::new(t, x, y, p)
+                })
+                .collect(),
+        );
+        // Strictly increasing timestamps via a cumulative sum of positive
+        // steps; rotations vary per sample.
+        let mut t = 0.0;
+        let samples: Vec<(f64, Pose)> = raw_poses
+            .iter()
+            .enumerate()
+            .map(|(i, &(dt, tx, ty))| {
+                t += 1e-4 + dt.abs();
+                let pose = Pose::new(
+                    UnitQuaternion::from_euler(0.01 * i as f64, tx * 0.1, ty * 0.1),
+                    Vec3::new(tx, ty, 0.1 * i as f64),
+                );
+                (t, pose)
+            })
+            .collect();
+        let trajectory = if samples.is_empty() {
+            Trajectory::new()
+        } else {
+            Trajectory::from_samples(samples).expect("strictly increasing")
+        };
+        (stream, trajectory)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn evtr_round_trip_preserves_everything(
+            raw_events in prop::collection::vec(
+                (0.0..100.0f64, 0u16..240, 0u16..180, 0u8..2),
+                0..400,
+            ),
+            raw_poses in prop::collection::vec(
+                (0.0..0.1f64, -1.0..1.0f64, -1.0..1.0f64),
+                0..40,
+            ),
+        ) {
+            let (stream, trajectory) = build_inputs(&raw_events, &raw_poses);
+            let mut buf = Vec::new();
+            write_evtr(&stream, &trajectory, &mut buf).expect("write to Vec");
+            let (s, t) = read_evtr(buf.as_slice()).expect("round trip reads");
+            prop_assert_eq!(&s, &stream);
+            prop_assert_eq!(t.len(), trajectory.len());
+            for (a, b) in trajectory.iter().zip(t.iter()) {
+                prop_assert_eq!(a.timestamp.to_bits(), b.timestamp.to_bits());
+                prop_assert_eq!(
+                    a.pose.translation.x.to_bits(), b.pose.translation.x.to_bits());
+                prop_assert_eq!(
+                    a.pose.translation.y.to_bits(), b.pose.translation.y.to_bits());
+                prop_assert_eq!(
+                    a.pose.translation.z.to_bits(), b.pose.translation.z.to_bits());
+                prop_assert_eq!(a.pose.rotation.w.to_bits(), b.pose.rotation.w.to_bits());
+                prop_assert_eq!(a.pose.rotation.x.to_bits(), b.pose.rotation.x.to_bits());
+            }
+        }
+
+        #[test]
+        fn evtr_rejects_any_single_byte_corruption(
+            raw_events in prop::collection::vec(
+                (0.0..10.0f64, 0u16..240, 0u16..180, 0u8..2),
+                1..100,
+            ),
+            position in 0.0..1.0f64,
+            flip in 1u16..256,
+        ) {
+            let (stream, trajectory) = build_inputs(&raw_events, &[(0.01, 0.0, 0.0), (0.02, 0.5, 0.1)]);
+            let mut buf = Vec::new();
+            write_evtr(&stream, &trajectory, &mut buf).expect("write to Vec");
+            let at = ((buf.len() - 1) as f64 * position) as usize;
+            buf[at] ^= flip as u8;
+            // Any bit flip anywhere must be caught: by the checksum footer,
+            // or (for flips inside the footer itself) by the checksum
+            // comparison against the intact body.
+            prop_assert!(read_evtr(buf.as_slice()).is_err(), "flip at byte {} accepted", at);
+        }
+
+        #[test]
+        fn evtr_rejects_every_truncation(
+            raw_events in prop::collection::vec(
+                (0.0..10.0f64, 0u16..240, 0u16..180, 0u8..2),
+                1..60,
+            ),
+            cut_fraction in 0.0..1.0f64,
+        ) {
+            let (stream, trajectory) = build_inputs(&raw_events, &[(0.01, 0.3, -0.2)]);
+            let mut buf = Vec::new();
+            write_evtr(&stream, &trajectory, &mut buf).expect("write to Vec");
+            let cut = (buf.len() as f64 * cut_fraction) as usize; // strictly < len
+            prop_assert!(
+                read_evtr(&buf[..cut]).is_err(),
+                "prefix of {} of {} bytes accepted",
+                cut,
+                buf.len()
+            );
         }
     }
 }

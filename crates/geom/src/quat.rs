@@ -63,6 +63,23 @@ impl UnitQuaternion {
         }
     }
 
+    /// Builds a quaternion from components that are **already unit norm**,
+    /// preserving their exact bit patterns (no renormalization).
+    ///
+    /// [`UnitQuaternion::new`] divides by the computed norm, which can
+    /// perturb even an already-normalized quaternion by one ULP per
+    /// component; deserializers that must round-trip poses bit-exactly (the
+    /// `eventor-evtr/1` record/replay container) use this constructor
+    /// instead. Returns `None` when the components deviate from unit norm
+    /// by more than `tolerance`.
+    pub fn from_normalized(w: f64, x: f64, y: f64, z: f64, tolerance: f64) -> Option<Self> {
+        let norm = (w * w + x * x + y * y + z * z).sqrt();
+        if !norm.is_finite() || (norm - 1.0).abs() > tolerance {
+            return None;
+        }
+        Some(Self { w, x, y, z })
+    }
+
     /// Creates a rotation of `angle` radians about `axis`.
     ///
     /// A zero axis yields the identity rotation.

@@ -1,0 +1,74 @@
+//! Error type of the scenario corpus.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while building or running a scenario.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// No scenario with the requested name exists in the corpus.
+    UnknownScenario {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The event-camera substrate rejected the generated world.
+    Event(eventor_events::EventError),
+    /// The reconstruction session rejected the world or failed mid-run.
+    Emvs(eventor_emvs::EmvsError),
+    /// The serving engine failed while running the world.
+    Serve(eventor_serve::ServeError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownScenario { name } => {
+                write!(f, "unknown scenario `{name}` (see `eventor-cli list`)")
+            }
+            Self::Event(e) => write!(f, "event generation failed: {e}"),
+            Self::Emvs(e) => write!(f, "reconstruction failed: {e}"),
+            Self::Serve(e) => write!(f, "serving failed: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::UnknownScenario { .. } => None,
+            Self::Event(e) => Some(e),
+            Self::Emvs(e) => Some(e),
+            Self::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<eventor_events::EventError> for ScenarioError {
+    fn from(e: eventor_events::EventError) -> Self {
+        Self::Event(e)
+    }
+}
+
+impl From<eventor_emvs::EmvsError> for ScenarioError {
+    fn from(e: eventor_emvs::EmvsError) -> Self {
+        Self::Emvs(e)
+    }
+}
+
+impl From<eventor_serve::ServeError> for ScenarioError {
+    fn from(e: eventor_serve::ServeError) -> Self {
+        Self::Serve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        let e = ScenarioError::UnknownScenario { name: "x".into() };
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,71 @@
+//! The committed golden-digest table: one `u64` FNV digest per corpus
+//! scenario, recorded at the scenario's default seed on the
+//! quantized-nearest datapath ([`crate::digest_output`]).
+//!
+//! ## Workflow
+//!
+//! * **Verify** (CI, every push): `eventor-cli check --all --backend
+//!   {software,sharded,serve}` re-runs every scenario and compares against
+//!   this table. Any mismatch is a named bit-identity regression.
+//! * **Re-record** (after an *intentional* datapath change):
+//!   `eventor-cli check --all --print-table` prints this table's new
+//!   contents; paste them here and explain the change in the PR. A golden
+//!   update must always be a reviewed, deliberate act — that is the point
+//!   of committing the table.
+
+/// `(scenario name, digest)` — recorded at the scenario's default seed.
+pub const GOLDEN_DIGESTS: &[(&str, u64)] = &[
+    ("orbit_dense", 0x0ce7e1a4534a1d6b),
+    ("orbit_burst", 0x02336df3a55ad1b4),
+    ("spiral_multiplane", 0x8b37025c5f3a2024),
+    ("spiral_sparse", 0x80b6cce276fd64e8),
+    ("dolly_corridor", 0xddd5d0333222f691),
+    ("dolly_dropout", 0x83ad0667e23e9747),
+    ("shake_closeup", 0x2ba537e2aa240384),
+    ("shake_hotpixel", 0x867a24e0e40c30a1),
+    ("slide_clutter", 0x666293c0fbf35de7),
+    ("slide_far_sparse", 0xbe70d3aea206af4b),
+];
+
+/// The committed digest for a scenario, if one is recorded.
+pub fn golden_digest(name: &str) -> Option<u64> {
+    GOLDEN_DIGESTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, d)| d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{corpus, Scenario};
+
+    #[test]
+    fn every_corpus_scenario_has_a_golden() {
+        for s in corpus() {
+            assert!(
+                golden_digest(s.name()).is_some(),
+                "{} has no committed golden digest",
+                s.name()
+            );
+        }
+        assert_eq!(GOLDEN_DIGESTS.len(), corpus().len());
+    }
+
+    #[test]
+    fn goldens_hold_on_the_software_backend_for_a_fast_subset() {
+        // The full matrix runs in CI through `eventor-cli check --all`; this
+        // in-tree guard covers a cross-section (one per trajectory family)
+        // so `cargo test` alone still catches digest drift.
+        for name in ["shake_closeup", "spiral_sparse", "slide_far_sparse"] {
+            let s = crate::find(name).unwrap();
+            let world = s.build(s.default_seed()).unwrap();
+            let digest = crate::digest_world(&world, crate::BackendKind::Software).unwrap();
+            assert_eq!(
+                Some(digest),
+                golden_digest(name),
+                "{name}: digest {digest:#018x} diverged from the committed golden"
+            );
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Scenario-level sensor degradations beyond what
+//! [`eventor_events::NoiseInjector`] models: readout **bursts** (a storm of
+//! spurious events concentrated in a few milliseconds, as produced by a
+//! saturated readout bus) and **dropout windows** (whole stretches of the
+//! stream lost, as under sensor brown-out or transport loss).
+//!
+//! All stages are deterministic in their seeds; a stage applied twice to the
+//! same stream yields bit-identical output.
+
+use crate::mix_seed;
+use eventor_events::{Event, EventStream, NoiseConfig, NoiseInjector, Polarity};
+
+/// A burst-noise model: `bursts` storms, each injecting `events_per_burst`
+/// spurious events within `burst_duration` seconds at seeded pixels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstNoise {
+    /// Number of storms spread over the stream's time span.
+    pub bursts: usize,
+    /// Spurious events injected per storm.
+    pub events_per_burst: usize,
+    /// Duration of one storm, in seconds.
+    pub burst_duration: f64,
+    /// Seed for storm placement and pixel selection.
+    pub seed: u64,
+}
+
+/// A dropout model: `windows` stretches of the stream, each `window_duration`
+/// seconds long, are deleted entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropoutNoise {
+    /// Number of dropout windows spread over the stream's time span.
+    pub windows: usize,
+    /// Duration of one window, in seconds.
+    pub window_duration: f64,
+    /// Seed for window placement.
+    pub seed: u64,
+}
+
+/// One stage of a scenario's degradation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseStage {
+    /// The per-event sensor-noise injector (background activity, hot pixels,
+    /// timestamp jitter, uniform drop).
+    Injector(NoiseConfig),
+    /// Readout bursts.
+    Burst(BurstNoise),
+    /// Dropout windows.
+    Dropout(DropoutNoise),
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn apply_burst(stream: &EventStream, width: u16, height: u16, noise: &BurstNoise) -> EventStream {
+    let (Some(t0), Some(t1)) = (stream.start_time(), stream.end_time()) else {
+        return stream.clone();
+    };
+    let span = (t1 - t0).max(1e-6);
+    let mut events: Vec<Event> = stream.as_slice().to_vec();
+    for b in 0..noise.bursts {
+        let base = mix_seed(noise.seed, b as u64);
+        // Storm centre placed away from the stream edges so injected events
+        // always have pose coverage.
+        let centre = t0 + span * (0.1 + 0.8 * unit_f64(mix_seed(base, 0)));
+        // One storm concentrates on a small cluster of pixels, like a
+        // misbehaving column driver.
+        let cx = (mix_seed(base, 1) % width as u64) as u16;
+        let cy = (mix_seed(base, 2) % height as u64) as u16;
+        for i in 0..noise.events_per_burst {
+            let s = mix_seed(base, 3 + i as u64);
+            let t = centre + noise.burst_duration * (unit_f64(s) - 0.5);
+            let dx = (mix_seed(s, 0) % 9) as i32 - 4;
+            let dy = (mix_seed(s, 1) % 9) as i32 - 4;
+            let x = (cx as i32 + dx).clamp(0, width as i32 - 1) as u16;
+            let y = (cy as i32 + dy).clamp(0, height as i32 - 1) as u16;
+            let polarity = if mix_seed(s, 2) & 1 == 1 {
+                Polarity::Positive
+            } else {
+                Polarity::Negative
+            };
+            events.push(Event::new(t.clamp(t0, t1), x, y, polarity));
+        }
+    }
+    EventStream::from_unsorted(events)
+}
+
+fn apply_dropout(stream: &EventStream, noise: &DropoutNoise) -> EventStream {
+    let (Some(t0), Some(t1)) = (stream.start_time(), stream.end_time()) else {
+        return stream.clone();
+    };
+    let span = (t1 - t0).max(1e-6);
+    let windows: Vec<(f64, f64)> = (0..noise.windows)
+        .map(|w| {
+            let start = t0 + span * (0.05 + 0.9 * unit_f64(mix_seed(noise.seed, w as u64)));
+            (start, start + noise.window_duration)
+        })
+        .collect();
+    stream
+        .iter()
+        .filter(|e| !windows.iter().any(|&(a, b)| e.t >= a && e.t < b))
+        .copied()
+        .collect()
+}
+
+/// Applies a degradation pipeline to a stream, in order.
+///
+/// `width`/`height` describe the sensor (burst pixels and the injector's hot
+/// pixels are drawn inside it).
+pub fn apply_noise(
+    stream: &EventStream,
+    width: u16,
+    height: u16,
+    stages: &[NoiseStage],
+) -> EventStream {
+    let mut out = stream.clone();
+    for stage in stages {
+        out = match stage {
+            NoiseStage::Injector(config) => {
+                NoiseInjector::new(width, height, *config).corrupt(&out).0
+            }
+            NoiseStage::Burst(b) => apply_burst(&out, width, height, b),
+            NoiseStage::Dropout(d) => apply_dropout(&out, d),
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize) -> EventStream {
+        (0..n)
+            .map(|i| {
+                Event::new(
+                    i as f64 * 1e-3,
+                    (i % 80) as u16,
+                    (i % 60) as u16,
+                    Polarity::Positive,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn burst_adds_events_deterministically() {
+        let s = stream(1000);
+        let noise = BurstNoise {
+            bursts: 3,
+            events_per_burst: 200,
+            burst_duration: 0.004,
+            seed: 42,
+        };
+        let a = apply_noise(&s, 80, 60, &[NoiseStage::Burst(noise)]);
+        let b = apply_noise(&s, 80, 60, &[NoiseStage::Burst(noise)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000 + 3 * 200);
+        assert!(a.iter().all(|e| e.x < 80 && e.y < 60));
+        // Injected timestamps stay inside the original span.
+        assert!(a.start_time().unwrap() >= s.start_time().unwrap());
+        assert!(a.end_time().unwrap() <= s.end_time().unwrap());
+    }
+
+    #[test]
+    fn dropout_removes_whole_windows() {
+        let s = stream(1000);
+        let noise = DropoutNoise {
+            windows: 2,
+            window_duration: 0.05,
+            seed: 7,
+        };
+        let a = apply_noise(&s, 80, 60, &[NoiseStage::Dropout(noise)]);
+        let b = apply_noise(&s, 80, 60, &[NoiseStage::Dropout(noise)]);
+        assert_eq!(a, b);
+        assert!(a.len() < s.len(), "dropout removed nothing");
+        // Order is preserved (filtering never reorders).
+        assert!(a.as_slice().windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn empty_stream_passes_through() {
+        let s = EventStream::new();
+        let out = apply_noise(
+            &s,
+            80,
+            60,
+            &[
+                NoiseStage::Burst(BurstNoise {
+                    bursts: 2,
+                    events_per_burst: 10,
+                    burst_duration: 0.01,
+                    seed: 1,
+                }),
+                NoiseStage::Dropout(DropoutNoise {
+                    windows: 1,
+                    window_duration: 0.01,
+                    seed: 2,
+                }),
+            ],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stages_compose_in_order() {
+        let s = stream(2000);
+        let stages = [
+            NoiseStage::Injector(NoiseConfig {
+                background_activity_rate: 0.2,
+                seed: 3,
+                ..NoiseConfig::clean()
+            }),
+            NoiseStage::Dropout(DropoutNoise {
+                windows: 1,
+                window_duration: 0.1,
+                seed: 4,
+            }),
+        ];
+        let a = apply_noise(&s, 80, 60, &stages);
+        let b = apply_noise(&s, 80, 60, &stages);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,235 @@
+//! Runs a [`ScenarioWorld`] through any execution path — software, sharded,
+//! co-simulated, or the full serving tier — and reduces the reconstruction
+//! to a `u64` FNV digest over its depth maps.
+//!
+//! The digest is the regression currency of the corpus: software, sharded
+//! and served runs of the same world must produce the **same digest**
+//! (bit-identity of the quantized-nearest datapath, `docs/ARCHITECTURE.md`
+//! §6/§7), and the committed table in [`crate::GOLDEN_DIGESTS`] pins each
+//! scenario's digest so any drift fails CI by name.
+
+use crate::{ScenarioError, ScenarioWorld};
+use eventor_core::{EventorOptions, EventorSession, ParallelConfig, SessionOutput};
+use eventor_emvs::EmvsError;
+use eventor_events::Fnv64;
+use eventor_hwsim::AcceleratorConfig;
+use eventor_serve::{ServeConfig, ServeEngine, ServeError};
+
+/// Number of shards the sharded backend runs with (fixed so digests are
+/// reproducible across hosts; shard count must never affect output bits
+/// anyway, and the equivalence suites hold that line).
+pub const SHARDS: usize = 4;
+
+/// The execution paths a scenario can run through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// In-process software session on the accelerator datapath.
+    Software,
+    /// Parallel sharded voting engine.
+    Sharded,
+    /// Functional hardware co-simulation.
+    Cosim,
+    /// The full `eventor-serve` multi-session engine (software sessions
+    /// under the scheduler, chunked interleaved ingest).
+    Serve,
+}
+
+impl BackendKind {
+    /// Every backend, in documentation order.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Software,
+        BackendKind::Sharded,
+        BackendKind::Cosim,
+        BackendKind::Serve,
+    ];
+
+    /// CLI name of the backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Software => "software",
+            Self::Sharded => "sharded",
+            Self::Cosim => "cosim",
+            Self::Serve => "serve",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|b| b.name() == name)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+fn session_for(world: &ScenarioWorld, backend: BackendKind) -> Result<EventorSession, EmvsError> {
+    let builder = EventorSession::builder(world.camera, world.config.clone());
+    match backend {
+        BackendKind::Software | BackendKind::Serve => {
+            builder.software(EventorOptions::accelerator())
+        }
+        BackendKind::Sharded => builder.sharded(
+            EventorOptions::accelerator(),
+            ParallelConfig::with_shards(SHARDS),
+        ),
+        BackendKind::Cosim => builder.cosim(AcceleratorConfig::default()),
+    }
+    .build()
+}
+
+fn run_standalone(
+    world: &ScenarioWorld,
+    backend: BackendKind,
+) -> Result<SessionOutput, ScenarioError> {
+    let mut session = session_for(world, backend)?;
+    session.push_trajectory(&world.trajectory)?;
+    let events = world.events.as_slice();
+    let mut offset = 0usize;
+    while offset < events.len() {
+        offset += session.push_events(&events[offset..])?;
+        session.poll()?;
+    }
+    Ok(session.finish()?)
+}
+
+/// Serves a set of worlds on one engine with interleaved chunked ingest and
+/// returns each world's output, in input order.
+///
+/// This is the multiplexed form behind `eventor-cli check --backend serve`:
+/// all scenarios share one scheduler, so the check also regresses the
+/// serving tier's session isolation.
+///
+/// # Errors
+///
+/// Propagates engine errors ([`ScenarioError::Serve`]).
+pub fn serve_worlds(worlds: &[&ScenarioWorld]) -> Result<Vec<SessionOutput>, ScenarioError> {
+    let mut engine = ServeEngine::new(ServeConfig::new().with_workers(4));
+    let mut ids = Vec::with_capacity(worlds.len());
+    for world in worlds {
+        let id = engine.admit(session_for(world, BackendKind::Software)?);
+        engine.enqueue_trajectory(id, &world.trajectory)?;
+        ids.push(id);
+    }
+    // Interleave enqueues with a cycling chunk pattern so the scheduler sees
+    // genuinely concurrent sessions, not back-to-back full streams.
+    const CHUNKS: [usize; 4] = [1536, 640, 2048, 1024];
+    let mut cursors = vec![0usize; worlds.len()];
+    let mut step = 0usize;
+    loop {
+        let mut all_done = true;
+        for (i, world) in worlds.iter().enumerate() {
+            let events = world.events.as_slice();
+            if cursors[i] >= events.len() {
+                continue;
+            }
+            all_done = false;
+            let end = (cursors[i] + CHUNKS[step % CHUNKS.len()]).min(events.len());
+            match engine.enqueue_events(ids[i], &events[cursors[i]..end]) {
+                Ok(accepted) => cursors[i] += accepted,
+                Err(ServeError::Session {
+                    source: EmvsError::Backpressure { .. },
+                    ..
+                }) => {
+                    engine.pump();
+                }
+                Err(e) => return Err(e.into()),
+            }
+            step += 1;
+            if step.is_multiple_of(3) {
+                engine.pump();
+            }
+        }
+        if all_done {
+            break;
+        }
+    }
+    for &id in &ids {
+        engine.close(id)?;
+    }
+    engine.drain()?;
+    ids.iter()
+        .map(|&id| {
+            engine
+                .take_output(id)
+                .ok_or(ScenarioError::Serve(ServeError::UnknownSession {
+                    session: id,
+                }))
+        })
+        .collect()
+}
+
+/// Runs one world through one backend to completion.
+///
+/// # Errors
+///
+/// Propagates session and engine failures.
+pub fn run_world(
+    world: &ScenarioWorld,
+    backend: BackendKind,
+) -> Result<SessionOutput, ScenarioError> {
+    match backend {
+        BackendKind::Serve => Ok(serve_worlds(&[world])?
+            .pop()
+            .expect("one world in, one out")),
+        _ => run_standalone(world, backend),
+    }
+}
+
+/// The scenario digest: FNV-1a 64 over the reconstruction's depth maps —
+/// key-frame count, then per key frame its dimensions, vote count and every
+/// depth sample's raw `f64` bit pattern.
+///
+/// Quantized-nearest output is bit-identical across software, sharded and
+/// served execution, so one golden digest per scenario covers all three.
+pub fn digest_output(output: &SessionOutput) -> u64 {
+    let mut h = Fnv64::new();
+    let out = &output.output;
+    h.update_u64(out.keyframes.len() as u64);
+    for k in &out.keyframes {
+        h.update_u64(k.depth_map.width() as u64);
+        h.update_u64(k.depth_map.height() as u64);
+        h.update_u64(k.votes_cast);
+        for &d in k.depth_map.depth_data() {
+            h.update_u64(d.to_bits());
+        }
+    }
+    h.finish()
+}
+
+/// Builds nothing, runs nothing twice: one world, one backend, one digest.
+///
+/// # Errors
+///
+/// Propagates [`run_world`] failures.
+pub fn digest_world(world: &ScenarioWorld, backend: BackendKind) -> Result<u64, ScenarioError> {
+    Ok(digest_output(&run_world(world, backend)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find, Scenario};
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(b.name()), Some(b));
+        }
+        assert_eq!(BackendKind::parse("gpu"), None);
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let scenario = find("shake_closeup").unwrap();
+        let world = scenario.build(scenario.default_seed()).unwrap();
+        let a = digest_world(&world, BackendKind::Software).unwrap();
+        let b = digest_world(&world, BackendKind::Software).unwrap();
+        assert_eq!(a, b, "digest not reproducible");
+        let other = scenario.build(scenario.default_seed() ^ 1).unwrap();
+        let c = digest_world(&other, BackendKind::Software).unwrap();
+        assert_ne!(a, c, "digest blind to seed change");
+    }
+}

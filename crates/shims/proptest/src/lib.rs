@@ -8,7 +8,10 @@
 //! * `name in strategy` bindings where a strategy is a numeric [`Range`],
 //!   a tuple of strategies, or [`collection::vec`],
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
-//! * [`ProptestConfig::with_cases`].
+//! * [`ProptestConfig::with_cases`],
+//! * the `PROPTEST_CASES_MULTIPLIER` environment variable, which scales
+//!   every test's case count proportionally (see [`scaled_cases`]; CI's
+//!   nightly job runs the suite at 10×).
 //!
 //! Cases are generated deterministically from the test's module path, name
 //! and case index; there is no shrinking and no failure persistence. A
@@ -46,6 +49,28 @@ impl ProptestConfig {
             ..Self::default()
         }
     }
+}
+
+/// The effective case count for a test configured with `base` cases:
+/// `base × PROPTEST_CASES_MULTIPLIER` when that environment variable is a
+/// positive integer, `base` otherwise.
+///
+/// Upstream proptest's `PROPTEST_CASES` replaces the *default* case count;
+/// this workspace sets an explicit count on almost every test, so an
+/// absolute override would distort the suite's carefully budgeted expensive
+/// tests. The multiplier scales every test proportionally instead — CI's
+/// scheduled nightly job runs the whole suite at 10× depth with
+/// `PROPTEST_CASES_MULTIPLIER=10`.
+pub fn scaled_cases(base: u32) -> u32 {
+    static MULTIPLIER: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    let m = *MULTIPLIER.get_or_init(|| {
+        std::env::var("PROPTEST_CASES_MULTIPLIER")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&m| m > 0)
+            .unwrap_or(1)
+    });
+    base.saturating_mul(m)
 }
 
 /// Why a test case did not pass.
@@ -339,10 +364,11 @@ macro_rules! __proptest_fns {
         #[allow(unreachable_code)]
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
+            let target_cases = $crate::scaled_cases(config.cases);
             let mut executed: u32 = 0;
             let mut rejected: u32 = 0;
             let mut case: u64 = 0;
-            while executed < config.cases {
+            while executed < target_cases {
                 let mut __proptest_rng = $crate::TestRng::deterministic(
                     concat!(module_path!(), "::", stringify!($name)),
                     case,

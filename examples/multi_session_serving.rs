@@ -1,6 +1,7 @@
-//! Multi-session serving quick-start: six concurrent streams — different
-//! scenes, different noise levels, different execution backends — served by
-//! one `ServeEngine` over a bounded worker pool.
+//! Multi-session serving quick-start: six concurrent streams — corpus
+//! scenarios with different trajectories, noise regimes and depth
+//! structures, on a mix of execution backends — served by one `ServeEngine`
+//! over a bounded worker pool.
 //!
 //! The example plays the role of a serving host: producers enqueue poses and
 //! event packets into per-session bounded queues, `pump()` runs fair
@@ -15,25 +16,17 @@
 //! cargo run --release --example multi_session_serving
 //! ```
 
-use eventor::core::{config_for_sequence, EventorOptions, EventorSession, ParallelConfig};
-use eventor::events::{DatasetConfig, NoiseConfig, NoiseInjector, SequenceKind, SyntheticSequence};
+use eventor::core::{EventorOptions, EventorSession, ParallelConfig};
 use eventor::hwsim::AcceleratorConfig;
+use eventor::scenarios::{heterogeneous_pool, ScenarioWorld};
 use eventor::serve::{ServeConfig, ServeEngine, ServeEvent};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    // 1. Six heterogeneous workloads: the four synthetic scenes, two of them
-    //    additionally degraded by the sensor-noise injector, on a mix of
-    //    execution backends.
-    let mut workloads = Vec::new();
-    for (i, &kind) in SequenceKind::ALL.iter().enumerate() {
-        let seq = SyntheticSequence::generate(kind, &DatasetConfig::fast_test())?;
-        workloads.push((format!("{}", kind), seq, None));
-        if i < 2 {
-            let seq = SyntheticSequence::generate(kind, &DatasetConfig::fast_test())?;
-            workloads.push((format!("{kind}+noise"), seq, Some(NoiseConfig::moderate())));
-        }
-    }
+    // 1. Six heterogeneous workloads straight from the scenario corpus
+    //    (`docs/SCENARIOS.md`): orbit/spiral/dolly trajectories, burst and
+    //    dropout degradations, sparse to multi-plane depth structure.
+    let workloads: Vec<ScenarioWorld> = heterogeneous_pool(6, 0xDE40)?;
 
     // 2. The serving engine: a bounded worker pool with per-session bounded
     //    ingest queues (see docs/SERVING.md for sizing guidance).
@@ -46,9 +39,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 3. Admit one session per workload — backends can be mixed freely.
     let mut ids = Vec::new();
-    for (i, (name, seq, noise)) in workloads.iter().enumerate() {
-        let config = config_for_sequence(seq, 50);
-        let builder = EventorSession::builder(seq.camera, config);
+    for (i, world) in workloads.iter().enumerate() {
+        let builder = EventorSession::builder(world.camera, world.config.clone());
         let session = match i % 3 {
             0 => builder.software(EventorOptions::accelerator()),
             1 => builder.sharded(
@@ -60,10 +52,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .build()?;
         let id = engine.admit(session);
         let backend = engine.session_metrics(id)?.backend;
-        println!(
-            "admitted {id} [{name}] on the {backend} backend ({})",
-            noise_label(noise)
-        );
+        println!("admitted {id} [{}] on the {backend} backend", world.name);
         ids.push(id);
     }
 
@@ -71,28 +60,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    would interleave them), then event packets round-robin, pumping the
     //    pool as traffic arrives. Backpressure (a full queue) is handled by
     //    pumping and retrying — no producer can exhaust memory.
-    let streams: Vec<Vec<eventor::events::Event>> = workloads
-        .iter()
-        .map(|(_, seq, noise)| match noise {
-            Some(config) => {
-                let injector = NoiseInjector::new(
-                    seq.camera.intrinsics.width as u16,
-                    seq.camera.intrinsics.height as u16,
-                    *config,
-                );
-                injector.corrupt(&seq.events).0.as_slice().to_vec()
-            }
-            None => seq.events.as_slice().to_vec(),
-        })
-        .collect();
-    for (&id, (_, seq, _)) in ids.iter().zip(&workloads) {
-        engine.enqueue_trajectory(id, &seq.trajectory)?;
+    let streams: Vec<&[eventor::events::Event]> =
+        workloads.iter().map(|w| w.events.as_slice()).collect();
+    for (&id, world) in ids.iter().zip(&workloads) {
+        engine.enqueue_trajectory(id, &world.trajectory)?;
     }
     let mut cursors = vec![0usize; ids.len()];
     loop {
         let mut idle = true;
         for (i, &id) in ids.iter().enumerate() {
-            let stream = &streams[i];
+            let stream = streams[i];
             if cursors[i] >= stream.len() {
                 continue;
             }
@@ -157,11 +134,4 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("{id}: {cloud} global map points");
     }
     Ok(())
-}
-
-fn noise_label(noise: &Option<NoiseConfig>) -> &'static str {
-    match noise {
-        Some(_) => "degraded feed",
-        None => "clean feed",
-    }
 }

@@ -18,6 +18,7 @@
 //! | [`hwsim`] | the Zynq accelerator model: analytic timing/resources/power plus the functional register/DMA/datapath device |
 //! | [`core`] | the reformulated, quantized Eventor pipeline, the accelerator driver, hardware/software co-simulation and the accuracy-comparison harness |
 //! | [`serve`] | the multi-session serving engine: many concurrent streaming sessions multiplexed over a bounded worker pool |
+//! | [`scenarios`] | the versioned scenario corpus: seeded synthetic worlds, reconstruction digests, the golden regression table |
 //!
 //! ## Quick start: the streaming session API
 //!
@@ -66,6 +67,10 @@
 //! compute, admit the sessions into a [`serve::ServeEngine`]
 //! (`docs/SERVING.md`).
 //!
+//! Test scenes come from the **scenario corpus** ([`scenarios`]): ten named,
+//! seeded synthetic worlds with committed golden digests and deterministic
+//! `.evtr` record/replay (`docs/SCENARIOS.md`, `eventor-cli`).
+//!
 //! See `README.md` for the crate map and the table mapping paper
 //! figures/tables to their reproduction binaries, `docs/ARCHITECTURE.md` for
 //! the dataflow/quantization/co-simulation contracts, and
@@ -81,6 +86,7 @@ pub use eventor_fixed as fixed;
 pub use eventor_geom as geom;
 pub use eventor_hwsim as hwsim;
 pub use eventor_map as map;
+pub use eventor_scenarios as scenarios;
 pub use eventor_serve as serve;
 
 /// Compile-checks every Rust code block in the repository's `README.md`

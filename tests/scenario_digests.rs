@@ -1,0 +1,105 @@
+//! The corpus acceptance bar in tier-1 form (`docs/SCENARIOS.md`): corpus
+//! scenarios reconstruct to their committed golden digests, the digest is
+//! bit-identical across the software, sharded, co-simulated and served
+//! execution paths, and an `eventor-evtr/1` record of a scenario replays to
+//! the generator's digest exactly.
+//!
+//! The full 10-scenario × 3-backend sweep runs in CI's `scenario-matrix`
+//! job through `eventor-cli check --all`; this suite keeps a debug-friendly
+//! cross-section of the same guarantees inside `cargo test`.
+
+use eventor::events::{read_evtr, write_evtr};
+use eventor::scenarios::{
+    digest_output, digest_world, find, golden_digest, run_world, BackendKind, Scenario,
+    ScenarioWorld,
+};
+use std::sync::OnceLock;
+
+/// Worlds used across the suite, built once (simulation dominates debug
+/// runtime). A cross-section of the corpus: one degraded orbit, one clean
+/// close-range shake.
+fn worlds() -> &'static Vec<ScenarioWorld> {
+    static POOL: OnceLock<Vec<ScenarioWorld>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        ["orbit_burst", "shake_closeup"]
+            .iter()
+            .map(|name| {
+                let s = find(name).expect("corpus scenario exists");
+                s.build(s.default_seed()).expect("corpus worlds build")
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn digests_match_the_committed_goldens() {
+    for world in worlds() {
+        let digest = digest_world(world, BackendKind::Software).expect("software run");
+        assert_eq!(
+            Some(digest),
+            golden_digest(&world.name),
+            "{}: digest {digest:#018x} diverged from the committed golden",
+            world.name
+        );
+    }
+}
+
+#[test]
+fn every_backend_reconstructs_to_the_same_bits() {
+    for world in worlds() {
+        let software = digest_world(world, BackendKind::Software).expect("software run");
+        for backend in [BackendKind::Sharded, BackendKind::Serve] {
+            let digest = digest_world(world, backend).expect("backend run");
+            assert_eq!(
+                software, digest,
+                "{}: {backend} digest diverged from software",
+                world.name
+            );
+        }
+    }
+    // Co-simulation wraps the same bit-true kernel; one world keeps that
+    // contract inside tier-1 too.
+    let world = &worlds()[1];
+    let cosim = digest_world(world, BackendKind::Cosim).expect("cosim run");
+    let software = digest_world(world, BackendKind::Software).expect("software run");
+    assert_eq!(cosim, software, "{}: cosim digest diverged", world.name);
+}
+
+#[test]
+fn evtr_replay_reproduces_the_generator_digest() {
+    let world = &worlds()[0];
+    let generated = run_world(world, BackendKind::Software).expect("generator run");
+    let generated_digest = digest_output(&generated);
+
+    // Record the world's inputs, replay them from the container, and run
+    // the replayed inputs through a different backend.
+    let mut record = Vec::new();
+    write_evtr(&world.events, &world.trajectory, &mut record).expect("record writes");
+    let (events, trajectory) = read_evtr(record.as_slice()).expect("record reads");
+    assert_eq!(events, world.events, "replayed stream differs");
+    let replayed_world = ScenarioWorld {
+        events,
+        trajectory,
+        ..world.clone()
+    };
+    for backend in [BackendKind::Software, BackendKind::Sharded] {
+        let replayed = run_world(&replayed_world, backend).expect("replay run");
+        assert_eq!(
+            generated_digest,
+            digest_output(&replayed),
+            "replay on {backend} does not reproduce the generator digest"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_digests() {
+    let scenario = find("shake_closeup").unwrap();
+    let default_world = &worlds()[1];
+    let reseeded = scenario
+        .build(scenario.default_seed().wrapping_add(1))
+        .expect("reseeded world builds");
+    let a = digest_world(default_world, BackendKind::Software).unwrap();
+    let b = digest_world(&reseeded, BackendKind::Software).unwrap();
+    assert_ne!(a, b, "digest is blind to the seed");
+}

@@ -11,15 +11,12 @@
 //! schedules (chunk sizes, session orders, pump cadences) at the engine to
 //! hunt for any crack in that argument.
 
-use eventor::core::{
-    config_for_sequence, EventorOptions, EventorSession, ParallelConfig, SessionOutput,
-};
-use eventor::emvs::{EmvsConfig, EmvsError, SessionEvent, VotingMode};
-use eventor::events::{
-    DatasetConfig, Event, NoiseConfig, NoiseInjector, SequenceKind, SyntheticSequence,
-};
+use eventor::core::{EventorOptions, EventorSession, ParallelConfig, SessionOutput};
+use eventor::emvs::{EmvsConfig, EmvsError, SessionEvent};
+use eventor::events::Event;
 use eventor::geom::Trajectory;
 use eventor::hwsim::AcceleratorConfig;
+use eventor::scenarios::{find, Scenario as _, ScenarioWorld};
 use eventor::serve::{ServeConfig, ServeEngine, ServeError, ServeEvent, SessionStatus};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -28,8 +25,11 @@ use std::sync::OnceLock;
 /// keep the whole suite debug-friendly.
 const STREAM_EVENTS: usize = 24_000;
 
-/// One independent stream to serve: its input (events + trajectory), camera
-/// and reconstruction configuration, and which backend its session uses.
+/// One independent stream to serve — a corpus world plus the backend its
+/// session runs on. The scenes themselves come from `eventor-scenarios`
+/// (the corpus is the single source of scenes for tests, benches and
+/// examples); this suite contributes only the backend assignment and the
+/// interleaving schedules.
 #[derive(Clone)]
 struct Scenario {
     label: &'static str,
@@ -88,101 +88,64 @@ fn run_standalone(scenario: &Scenario) -> Reference {
     Reference { output, lifecycle }
 }
 
-/// The heterogeneous scenario pool: the four synthetic scenes at different
-/// reconstruction configurations and noise levels, across all three
-/// backends. Generated once (sequence synthesis dominates the suite's debug
-/// runtime).
+/// The heterogeneous scenario pool: six corpus worlds — clean and degraded
+/// sensors, all three depth structures — across all three backends. The
+/// three `shake_closeup` variants pin the *same* world to every backend, so
+/// cross-backend bit identity is exercised on identical input. Generated
+/// once (world synthesis dominates the suite's debug runtime).
 fn scenarios() -> &'static Vec<(Scenario, Reference)> {
     static POOL: OnceLock<Vec<(Scenario, Reference)>> = OnceLock::new();
     POOL.get_or_init(|| {
         let mut pool = Vec::new();
-        type Spec = (
-            SequenceKind,
-            Option<NoiseConfig>,
-            usize,
-            f64,
-            Backend,
-            &'static str,
-        );
-        let specs: [Spec; 6] = [
+        let specs: [(&str, Backend, &'static str); 6] = [
+            ("shake_closeup", Backend::Software, "shake_closeup/software"),
             (
-                SequenceKind::SliderClose,
-                None,
-                60,
-                0.12,
-                Backend::Software,
-                "slider_close/software",
-            ),
-            (
-                SequenceKind::SliderClose,
-                Some(NoiseConfig::moderate()),
-                50,
-                0.12,
+                "shake_closeup",
                 Backend::Sharded(4),
-                "slider_close+noise/sharded4",
+                "shake_closeup/sharded4",
             ),
+            ("shake_closeup", Backend::Cosim, "shake_closeup/cosim"),
             (
-                SequenceKind::ThreePlanes,
-                None,
-                40,
-                0.10,
+                "slide_clutter",
                 Backend::Sharded(2),
-                "3planes/sharded2",
+                "slide_clutter/sharded2",
             ),
             (
-                SequenceKind::ThreeWalls,
-                Some(NoiseConfig::severe()),
-                45,
-                0.15,
+                "shake_hotpixel",
                 Backend::Software,
-                "3walls+noise/software",
+                "shake_hotpixel/software",
             ),
             (
-                SequenceKind::SliderFar,
-                None,
-                55,
-                0.20,
+                "spiral_multiplane",
                 Backend::Software,
-                "slider_far/software",
-            ),
-            (
-                SequenceKind::SliderClose,
-                None,
-                50,
-                0.12,
-                Backend::Cosim,
-                "slider_close/cosim",
+                "spiral_multiplane/software",
             ),
         ];
-        for (kind, noise, planes, keyframe_distance, backend, label) in specs {
-            let seq = SyntheticSequence::generate(kind, &DatasetConfig::fast_test())
-                .expect("fast_test sequences generate");
-            let stream = match noise {
-                Some(config) => {
-                    let injector = NoiseInjector::new(
-                        seq.camera.intrinsics.width as u16,
-                        seq.camera.intrinsics.height as u16,
-                        config,
-                    );
-                    injector.corrupt(&seq.events).0
-                }
-                None => seq.events.clone(),
-            };
-            let events: Vec<Event> = stream
+        let mut worlds: std::collections::HashMap<&str, ScenarioWorld> =
+            std::collections::HashMap::new();
+        for (name, backend, label) in specs {
+            let world = worlds
+                .entry(name)
+                .or_insert_with(|| {
+                    let scenario = find(name).expect("corpus scenario exists");
+                    scenario
+                        .build(scenario.default_seed())
+                        .expect("corpus worlds build")
+                })
+                .clone();
+            let events: Vec<Event> = world
+                .events
                 .as_slice()
                 .iter()
                 .take(STREAM_EVENTS)
                 .copied()
                 .collect();
-            let config = config_for_sequence(&seq, planes)
-                .with_voting(VotingMode::Nearest)
-                .with_keyframe_distance(keyframe_distance);
             let scenario = Scenario {
                 label,
-                camera: seq.camera,
-                config,
+                camera: world.camera,
+                config: world.config.clone(),
                 backend,
-                trajectory: seq.trajectory.clone(),
+                trajectory: world.trajectory.clone(),
                 events,
             };
             let reference = run_standalone(&scenario);
@@ -281,10 +244,10 @@ fn serve_interleaved(
 #[test]
 fn every_backend_is_bit_identical_under_the_engine() {
     let pool = scenarios();
-    // The three slider_close variants cover software, sharded and cosim.
+    // The three shake_closeup variants cover software, sharded and cosim.
     let picks: Vec<&(Scenario, Reference)> = pool
         .iter()
-        .filter(|(s, _)| s.label.starts_with("slider_close"))
+        .filter(|(s, _)| s.label.starts_with("shake_closeup"))
         .collect();
     assert_eq!(picks.len(), 3);
     let subset: Vec<&Scenario> = picks.iter().map(|(s, _)| s).collect();
@@ -451,7 +414,7 @@ proptest! {
         let pool = scenarios();
         let picks: Vec<&(Scenario, Reference)> = pool
             .iter()
-            .filter(|(s, _)| s.label.starts_with("slider_close"))
+            .filter(|(s, _)| s.label.starts_with("shake_closeup"))
             .collect();
         let subset: Vec<&Scenario> = picks.iter().map(|(s, _)| s).collect();
         let served = serve_interleaved(
