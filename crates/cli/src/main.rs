@@ -5,7 +5,10 @@
 //! eventor-cli list
 //! eventor-cli generate --scenario NAME [--seed N] [--out FILE.evtr]
 //! eventor-cli replay   --scenario NAME --in FILE.evtr [--seed N] [--backend B] [--expect HEX]
-//! eventor-cli check    (--all | --scenario NAME) [--backend B] [--print-table]
+//! eventor-cli check    (--all | --scenario NAME | --spec FILE) [--backend B] [--print-table]
+//! eventor-cli fuzz     --seed N [--count N] [--max-events N] [--backend B]...
+//!                      [--invariant NAME]... [--report FILE] [--minimize-dir DIR] [--no-minimize]
+//! eventor-cli minimize --spec FILE [--backend B] [--invariant NAME] [--out FILE]
 //! ```
 //!
 //! * `list` prints the catalog (name, tags, default seed, description).
@@ -18,15 +21,83 @@
 //!   committed golden digests; the CI regression matrix runs
 //!   `check --all --backend {software,sharded,serve}`. `--print-table`
 //!   emits a fresh `GOLDEN_DIGESTS` table body for intentional re-records.
+//!   `--spec FILE` instead checks one `eventor-fuzzworld/1` spec against its
+//!   pinned golden (the committed-regression path).
+//! * `fuzz` runs a seeded generative campaign: `--count` worlds (scaled by
+//!   `PROPTEST_CASES_MULTIPLIER`) are generated from `--seed`, every
+//!   metamorphic invariant (F.1-F.5, `docs/SCENARIOS.md` §8) is checked, and
+//!   violations are auto-minimized. The machine-readable `eventor-fuzz/1`
+//!   JSON report goes to stdout (and `--report FILE`); minimized
+//!   reproductions go to `--minimize-dir` as `.fuzzworld` files. Output is
+//!   bit-reproducible: same seed, count and environment — same bytes.
+//! * `minimize` shrinks one failing `.fuzzworld` spec along the generator
+//!   axes and emits the minimized spec (stdout or `--out`).
 //!
-//! Exit status is non-zero on any mismatch, so the binary doubles as a CI
-//! gate without wrapper scripts.
+//! Exit codes are distinct and stable (`docs/SCENARIOS.md` §9): 0 success,
+//! 1 usage or internal error, 2 digest mismatch or invariant violation,
+//! 3 unknown scenario, 4 invalid or truncated record/spec.
 
 use eventor_scenarios::{
-    corpus, digest_output, find, golden_digest, run_world, BackendKind, Scenario, ScenarioWorld,
+    check_invariant, corpus, digest_output, digest_world, find, golden_digest, minimize_spec,
+    run_fuzz, run_world, BackendKind, FuzzOptions, FuzzReport, Invariant, Scenario, ScenarioError,
+    ScenarioWorld, Violation, WorldSpec,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
+
+/// Exit code: bad flags, missing arguments, or an internal failure.
+const CODE_USAGE: u8 = 1;
+/// Exit code: a digest mismatch or a caught invariant violation.
+const CODE_MISMATCH: u8 = 2;
+/// Exit code: a scenario name that is not in the corpus.
+const CODE_UNKNOWN_SCENARIO: u8 = 3;
+/// Exit code: an `.evtr` record or `.fuzzworld` spec that failed to parse.
+const CODE_BAD_RECORD: u8 = 4;
+
+/// An error carrying its process exit code.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            code: CODE_USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn mismatch(message: impl Into<String>) -> Self {
+        Self {
+            code: CODE_MISMATCH,
+            message: message.into(),
+        }
+    }
+
+    fn unknown_scenario(message: impl Into<String>) -> Self {
+        Self {
+            code: CODE_UNKNOWN_SCENARIO,
+            message: message.into(),
+        }
+    }
+
+    fn bad_record(message: impl Into<String>) -> Self {
+        Self {
+            code: CODE_BAD_RECORD,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a scenario-layer error: spec problems are record problems
+    /// (exit 4); everything else is internal (exit 1).
+    fn from_scenario(context: &str, e: ScenarioError) -> Self {
+        match e {
+            ScenarioError::Spec { .. } => Self::bad_record(format!("{context}: {e}")),
+            _ => Self::usage(format!("{context}: {e}")),
+        }
+    }
+}
 
 fn usage() -> String {
     let mut s = String::new();
@@ -43,15 +114,31 @@ fn usage() -> String {
     );
     let _ = writeln!(
         s,
-        "  eventor-cli check    (--all | --scenario NAME) [--backend B] [--print-table]"
+        "  eventor-cli check    (--all | --scenario NAME | --spec FILE) [--backend B] [--print-table]"
+    );
+    let _ = writeln!(
+        s,
+        "  eventor-cli fuzz     --seed N [--count N] [--max-events N] [--backend B]..."
+    );
+    let _ = writeln!(
+        s,
+        "                       [--invariant NAME]... [--report FILE] [--minimize-dir DIR] [--no-minimize]"
+    );
+    let _ = writeln!(
+        s,
+        "  eventor-cli minimize --spec FILE [--backend B] [--invariant NAME] [--out FILE]"
     );
     let _ = writeln!(
         s,
         "\nBackends: software (default), sharded, cosim, serve. Digests are FNV-1a 64"
     );
-    let _ = write!(
+    let _ = writeln!(
         s,
         "over the reconstruction's depth maps; goldens live in eventor-scenarios."
+    );
+    let _ = write!(
+        s,
+        "Exit codes: 0 ok, 1 usage/internal, 2 mismatch/violation, 3 unknown scenario, 4 bad record."
     );
     s
 }
@@ -89,41 +176,69 @@ impl Args {
             .and_then(|(_, v)| v.as_deref())
     }
 
+    /// Every value of a repeatable flag, in order.
+    fn flag_values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
     fn has_flag(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
     }
 
-    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), CliError> {
         for (n, _) in &self.flags {
             if !allowed.contains(&n.as_str()) {
-                return Err(format!("unknown flag --{n}\n\n{}", usage()));
+                return Err(CliError::usage(format!(
+                    "unknown flag --{n}\n\n{}",
+                    usage()
+                )));
             }
         }
         Ok(())
     }
 }
 
-fn backend_from(args: &Args) -> Result<BackendKind, String> {
+fn backend_from(args: &Args) -> Result<BackendKind, CliError> {
     match args.flag_value("backend") {
         None => Ok(BackendKind::Software),
-        Some(name) => BackendKind::parse(name).ok_or_else(|| {
-            format!(
-                "unknown backend `{name}` (expected one of: {})",
-                BackendKind::ALL.map(BackendKind::name).join(", ")
-            )
-        }),
+        Some(name) => parse_backend(name),
     }
 }
 
-fn scenario_from(args: &Args) -> Result<&'static eventor_scenarios::CorpusScenario, String> {
-    let name = args
-        .flag_value("scenario")
-        .ok_or_else(|| format!("--scenario NAME is required\n\n{}", usage()))?;
-    find(name)
-        .ok_or_else(|| format!("unknown scenario `{name}`; run `eventor-cli list` for the catalog"))
+fn parse_backend(name: &str) -> Result<BackendKind, CliError> {
+    BackendKind::parse(name).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown backend `{name}` (expected one of: {})",
+            BackendKind::ALL.map(BackendKind::name).join(", ")
+        ))
+    })
 }
 
-fn cmd_list(args: &Args) -> Result<(), String> {
+fn parse_invariant(name: &str) -> Result<Invariant, CliError> {
+    Invariant::parse(name).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown invariant `{name}` (expected one of: {})",
+            Invariant::ALL.map(Invariant::name).join(", ")
+        ))
+    })
+}
+
+fn scenario_from(args: &Args) -> Result<&'static eventor_scenarios::CorpusScenario, CliError> {
+    let name = args
+        .flag_value("scenario")
+        .ok_or_else(|| CliError::usage(format!("--scenario NAME is required\n\n{}", usage())))?;
+    find(name).ok_or_else(|| {
+        CliError::unknown_scenario(format!(
+            "unknown scenario `{name}`; run `eventor-cli list` for the catalog"
+        ))
+    })
+}
+
+fn cmd_list(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[])?;
     println!(
         "{:<20} {:>10} {:<44} description",
@@ -148,38 +263,44 @@ fn cmd_list(args: &Args) -> Result<(), String> {
 fn build_world(
     scenario: &dyn Scenario,
     seed: Option<&str>,
-) -> Result<(ScenarioWorld, u64), String> {
+) -> Result<(ScenarioWorld, u64), CliError> {
     let seed = match seed {
         None => scenario.default_seed(),
         Some(text) => parse_u64(text)?,
     };
     let world = scenario
         .build(seed)
-        .map_err(|e| format!("{}: build failed: {e}", scenario.name()))?;
+        .map_err(|e| CliError::usage(format!("{}: build failed: {e}", scenario.name())))?;
     Ok((world, seed))
 }
 
-fn parse_u64(text: &str) -> Result<u64, String> {
+fn parse_u64(text: &str) -> Result<u64, CliError> {
     let parsed = if let Some(hex) = text.strip_prefix("0x") {
         u64::from_str_radix(hex, 16)
     } else {
         text.parse()
     };
-    parsed.map_err(|_| format!("`{text}` is not a u64 (decimal or 0x-hex)"))
+    parsed.map_err(|_| CliError::usage(format!("`{text}` is not a u64 (decimal or 0x-hex)")))
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn parse_usize(text: &str) -> Result<usize, CliError> {
+    text.parse()
+        .map_err(|_| CliError::usage(format!("`{text}` is not a count")))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["scenario", "seed", "out", "backend"])?;
     let scenario = scenario_from(args)?;
     let backend = backend_from(args)?;
     let (world, seed) = build_world(scenario, args.flag_value("seed"))?;
     let output = run_world(&world, backend)
-        .map_err(|e| format!("{}: reconstruction failed: {e}", scenario.name()))?;
+        .map_err(|e| CliError::usage(format!("{}: reconstruction failed: {e}", scenario.name())))?;
     let digest = digest_output(&output);
     if let Some(path) = args.flag_value("out") {
-        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::usage(format!("cannot create {path}: {e}")))?;
         eventor_events::write_evtr(&world.events, &world.trajectory, file)
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| CliError::usage(format!("cannot write {path}: {e}")))?;
         println!(
             "recorded {} events + {} poses -> {path} (eventor-evtr/1)",
             world.events.len(),
@@ -194,16 +315,19 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_replay(args: &Args) -> Result<(), String> {
+fn cmd_replay(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["scenario", "in", "seed", "backend", "expect"])?;
     let scenario = scenario_from(args)?;
     let backend = backend_from(args)?;
     let path = args
         .flag_value("in")
-        .ok_or_else(|| format!("--in FILE.evtr is required\n\n{}", usage()))?;
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let (events, trajectory) =
-        eventor_events::read_evtr(file).map_err(|e| format!("{path}: {e}"))?;
+        .ok_or_else(|| CliError::usage(format!("--in FILE.evtr is required\n\n{}", usage())))?;
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError::usage(format!("cannot open {path}: {e}")))?;
+    // A record that fails to parse — truncated, corrupt, version-skewed —
+    // is its own failure class (exit 4), distinct from a digest mismatch.
+    let (events, trajectory) = eventor_events::read_evtr(file)
+        .map_err(|e| CliError::bad_record(format!("{path}: {e}")))?;
     // The record carries the inputs; the scenario contributes the camera and
     // reconstruction configuration they were recorded for — recovered
     // without rebuilding (and re-simulating) the world.
@@ -221,7 +345,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         config,
     };
     let output = run_world(&world, backend)
-        .map_err(|e| format!("{}: replay failed: {e}", scenario.name()))?;
+        .map_err(|e| CliError::usage(format!("{}: replay failed: {e}", scenario.name())))?;
     let digest = digest_output(&output);
     let expected = match args.flag_value("expect") {
         Some(text) => Some(parse_u64(text)?),
@@ -235,10 +359,10 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
             );
             Ok(())
         }
-        Some(want) => Err(format!(
+        Some(want) => Err(CliError::mismatch(format!(
             "{}: replay digest {digest:#018x} != expected {want:#018x}",
             scenario.name()
-        )),
+        ))),
         None => {
             println!(
                 "{}: replay digest {digest:#018x} (no golden to compare against)",
@@ -249,9 +373,40 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     }
 }
 
-fn cmd_check(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["all", "scenario", "backend", "print-table"])?;
+/// `check --spec FILE`: one committed `.fuzzworld` regression against its
+/// pinned golden.
+fn check_spec(path: &str, backend: BackendKind) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+    let spec = WorldSpec::parse(&text).map_err(|e| CliError::bad_record(format!("{path}: {e}")))?;
+    let want = spec.golden.ok_or_else(|| {
+        CliError::usage(format!(
+            "{path}: spec has no pinned golden digest; add one with `minimize` or the fuzzer"
+        ))
+    })?;
+    let world = spec.build().map_err(|e| CliError::from_scenario(path, e))?;
+    let digest = digest_world(&world, backend).map_err(|e| CliError::from_scenario(path, e))?;
+    if digest == want {
+        println!(
+            "  ok   {:<40} {backend:<9} digest {digest:#018x}",
+            spec.world_name()
+        );
+        println!("check: 1 fuzz regression bit-identical on the {backend} backend");
+        Ok(())
+    } else {
+        Err(CliError::mismatch(format!(
+            "{}: digest {digest:#018x} != golden {want:#018x} on the {backend} backend",
+            spec.world_name()
+        )))
+    }
+}
+
+fn cmd_check(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["all", "scenario", "spec", "backend", "print-table"])?;
     let backend = backend_from(args)?;
+    if let Some(path) = args.flag_value("spec") {
+        return check_spec(path, backend);
+    }
     let targets: Vec<&eventor_scenarios::CorpusScenario> = if args.has_flag("all") {
         corpus().iter().collect()
     } else {
@@ -262,7 +417,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     for scenario in &targets {
         let (world, _) = build_world(*scenario, None)?;
         let output = run_world(&world, backend)
-            .map_err(|e| format!("{}: run failed: {e}", scenario.name()))?;
+            .map_err(|e| CliError::usage(format!("{}: run failed: {e}", scenario.name())))?;
         let digest = digest_output(&output);
         let _ = writeln!(table, "    ({:?}, {digest:#018x}),", scenario.name());
         match golden_digest(scenario.name()) {
@@ -299,48 +454,273 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         );
         Ok(())
     } else {
-        Err(format!(
+        Err(CliError::mismatch(format!(
             "check: {} of {} scenario(s) diverged on the {backend} backend: {}",
             failures.len(),
             targets.len(),
             failures.join(", ")
-        ))
+        )))
     }
 }
 
-fn run() -> Result<(), String> {
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn violation_json(v: &Violation) -> String {
+    format!(
+        "{{\"contract\":\"{}\",\"invariant\":\"{}\",\"world\":\"{}\",\"backend\":\"{}\",\"detail\":\"{}\"}}",
+        v.invariant.contract(),
+        v.invariant.name(),
+        json_escape(&v.world),
+        v.backend.name(),
+        json_escape(&v.detail)
+    )
+}
+
+/// Renders the `eventor-fuzz/1` report. Deliberately free of timestamps,
+/// hostnames and paths: the same campaign must serialize to the same bytes.
+fn report_json(report: &FuzzReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"format\": \"eventor-fuzz/1\",");
+    let _ = writeln!(s, "  \"seed\": \"{:#018x}\",", report.seed);
+    let _ = writeln!(s, "  \"count\": {},", report.count);
+    let _ = writeln!(s, "  \"violations\": {},", report.violation_count());
+    let _ = writeln!(s, "  \"worlds\": [");
+    for (i, w) in report.worlds.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(
+            s,
+            "      \"name\": \"{}\",",
+            json_escape(&w.spec.world_name())
+        );
+        let _ = writeln!(s, "      \"digest\": \"{:#018x}\",", w.digest);
+        let _ = writeln!(s, "      \"spec\": \"{}\",", json_escape(&w.spec.to_text()));
+        let violations: Vec<String> = w.violations.iter().map(violation_json).collect();
+        let _ = writeln!(s, "      \"violations\": [{}],", violations.join(","));
+        match &w.minimized {
+            Some(min) => {
+                let _ = writeln!(
+                    s,
+                    "      \"minimized\": \"{}\"",
+                    json_escape(&min.to_text())
+                );
+            }
+            None => {
+                let _ = writeln!(s, "      \"minimized\": null");
+            }
+        }
+        let comma = if i + 1 < report.worlds.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    s.push_str("}\n");
+    s
+}
+
+fn cmd_fuzz(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "seed",
+        "count",
+        "max-events",
+        "backend",
+        "invariant",
+        "report",
+        "minimize-dir",
+        "no-minimize",
+    ])?;
+    let seed = parse_u64(
+        args.flag_value("seed")
+            .ok_or_else(|| CliError::usage(format!("--seed N is required\n\n{}", usage())))?,
+    )?;
+    let base_count = match args.flag_value("count") {
+        None => 4,
+        Some(text) => parse_usize(text)?,
+    };
+    // Nightly CI deepens campaigns the same way it deepens proptests: one
+    // multiplier environment variable scales the case count.
+    let count = proptest::scaled_cases(base_count.min(u32::MAX as usize) as u32) as usize;
+    let mut backends: Vec<BackendKind> = args
+        .flag_values("backend")
+        .into_iter()
+        .map(parse_backend)
+        .collect::<Result<_, _>>()?;
+    if backends.is_empty() {
+        backends.push(BackendKind::Software);
+    }
+    let mut invariants: Vec<Invariant> = args
+        .flag_values("invariant")
+        .into_iter()
+        .map(parse_invariant)
+        .collect::<Result<_, _>>()?;
+    if invariants.is_empty() {
+        invariants = Invariant::ALL.to_vec();
+    }
+    let max_events = match args.flag_value("max-events") {
+        None => None,
+        Some(text) => Some(parse_usize(text)?),
+    };
+    let options = FuzzOptions {
+        backends,
+        invariants,
+        max_events,
+        minimize: !args.has_flag("no-minimize"),
+    };
+    let report = run_fuzz(seed, count, &options)
+        .map_err(|e| CliError::from_scenario("fuzz campaign failed", e))?;
+    let json = report_json(&report);
+    print!("{json}");
+    if let Some(path) = args.flag_value("report") {
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::usage(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(dir) = args.flag_value("minimize-dir") {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::usage(format!("cannot create {dir}: {e}")))?;
+        for w in &report.worlds {
+            if let Some(min) = &w.minimized {
+                let path = format!("{dir}/{}.fuzzworld", min.world_name());
+                std::fs::write(&path, min.to_text())
+                    .map_err(|e| CliError::usage(format!("cannot write {path}: {e}")))?;
+                eprintln!("minimized reproduction -> {path}");
+            }
+        }
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::mismatch(format!(
+            "fuzz: {} invariant violation(s) across {} world(s) (seed {seed:#x})",
+            report.violation_count(),
+            report.count
+        )))
+    }
+}
+
+fn cmd_minimize(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["spec", "backend", "invariant", "out"])?;
+    let path = args
+        .flag_value("spec")
+        .ok_or_else(|| CliError::usage(format!("--spec FILE is required\n\n{}", usage())))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+    let spec = WorldSpec::parse(&text).map_err(|e| CliError::bad_record(format!("{path}: {e}")))?;
+    let backend = backend_from(args)?;
+    let invariants: Vec<Invariant> = match args.flag_value("invariant") {
+        Some(name) => vec![parse_invariant(name)?],
+        None => Invariant::ALL.to_vec(),
+    };
+    let world = spec.build().map_err(|e| CliError::from_scenario(path, e))?;
+    // Find the invariant the spec actually violates; minimizing a healthy
+    // spec would only shred it to the generator floors.
+    let mut failing = None;
+    for &invariant in &invariants {
+        let verdict = check_invariant(&world, invariant, backend)
+            .map_err(|e| CliError::from_scenario(path, e))?;
+        if let Some(v) = verdict {
+            eprintln!("reproduced: {v}");
+            failing = Some(invariant);
+            break;
+        }
+    }
+    let Some(invariant) = failing else {
+        println!(
+            "{}: no invariant violation reproduces on the {backend} backend; nothing to minimize",
+            spec.world_name()
+        );
+        return Ok(());
+    };
+    let mut fails = |probe: &WorldSpec| -> bool {
+        probe
+            .build()
+            .ok()
+            .and_then(|w| check_invariant(&w, invariant, backend).ok())
+            .flatten()
+            .is_some()
+    };
+    let mut min = minimize_spec(&spec, &mut fails);
+    min.golden = min
+        .build()
+        .ok()
+        .and_then(|w| digest_world(&w, backend).ok());
+    eprintln!(
+        "minimized {} -> {} (samples {} -> {}, events {} -> {}, planes {} -> {}, noise {} -> {})",
+        spec.world_name(),
+        min.world_name(),
+        spec.samples,
+        min.samples,
+        spec.event_cap,
+        min.event_cap,
+        spec.planes,
+        min.planes,
+        spec.noise.len(),
+        min.noise.len()
+    );
+    match args.flag_value("out") {
+        Some(out) => {
+            std::fs::write(out, min.to_text())
+                .map_err(|e| CliError::usage(format!("cannot write {out}: {e}")))?;
+            println!("minimized spec -> {out}");
+        }
+        None => print!("{}", min.to_text()),
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), CliError> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
-        return Err(usage());
+        return Err(CliError::usage(usage()));
     }
     let command = raw.remove(0);
-    let args = Args::parse(raw)?;
+    let args = Args::parse(raw).map_err(CliError::usage)?;
     if !args.positional.is_empty() {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "unexpected argument `{}`\n\n{}",
             args.positional[0],
             usage()
-        ));
+        )));
     }
     match command.as_str() {
         "list" => cmd_list(&args),
         "generate" => cmd_generate(&args),
         "replay" => cmd_replay(&args),
         "check" => cmd_check(&args),
+        "fuzz" => cmd_fuzz(&args),
+        "minimize" => cmd_minimize(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
     }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("{message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("{}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

@@ -1,0 +1,203 @@
+//! Negative-path contract of the `eventor-cli` binary: every failure class
+//! has its own stable exit code (`docs/SCENARIOS.md` §9), and the fuzz
+//! pipeline — campaign, planted-violation capture, auto-minimization,
+//! regression check — works end to end through the real executable.
+//!
+//! Exit codes under test: 0 success, 1 usage, 2 digest mismatch or invariant
+//! violation, 3 unknown scenario, 4 invalid/truncated record.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_eventor-cli"));
+    // Campaign sizing must come from the flags under test, not from an
+    // ambient multiplier (nightly CI sets one).
+    cmd.env_remove("PROPTEST_CASES_MULTIPLIER");
+    cmd.env_remove("EVENTOR_FUZZ_PLANT");
+    cmd
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("eventor-cli spawns")
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("exit code, not a signal")
+}
+
+/// A scratch directory unique to this test binary run.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "eventor-cli-exit-codes-{}-{label}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn missing_arguments_and_unknown_flags_exit_1() {
+    let no_args = run(&mut cli());
+    assert_eq!(exit_code(&no_args), 1);
+    let unknown_flag = run(cli().args(["list", "--frobnicate"]));
+    assert_eq!(exit_code(&unknown_flag), 1);
+    let unknown_command = run(cli().args(["explode"]));
+    assert_eq!(exit_code(&unknown_command), 1);
+}
+
+#[test]
+fn unknown_scenario_exits_3() {
+    let output = run(cli().args(["check", "--scenario", "definitely_not_a_scenario"]));
+    assert_eq!(exit_code(&output), 3);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown scenario"),
+        "stderr should name the failure: {stderr}"
+    );
+}
+
+#[test]
+fn truncated_record_exits_4() {
+    let dir = scratch("truncated");
+    let path = dir.join("truncated.evtr");
+    std::fs::write(&path, b"EVTR").expect("write truncated record");
+    let output = run(cli().args([
+        "replay",
+        "--scenario",
+        "shake_closeup",
+        "--in",
+        path.to_str().unwrap(),
+    ]));
+    assert_eq!(exit_code(&output), 4);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("invalid evtr record"), "stderr: {stderr}");
+}
+
+#[test]
+fn malformed_fuzz_spec_exits_4() {
+    let dir = scratch("badspec");
+    let path = dir.join("bad.fuzzworld");
+    std::fs::write(&path, "eventor-fuzzworld/1\nseed = not-a-number\n").expect("write spec");
+    let output = run(cli().args(["minimize", "--spec", path.to_str().unwrap()]));
+    assert_eq!(exit_code(&output), 4);
+}
+
+#[test]
+fn digest_mismatch_exits_2() {
+    let dir = scratch("mismatch");
+    let record = dir.join("shake.evtr");
+    let generated = run(cli().args([
+        "generate",
+        "--scenario",
+        "shake_closeup",
+        "--out",
+        record.to_str().unwrap(),
+    ]));
+    assert_eq!(exit_code(&generated), 0);
+    let output = run(cli().args([
+        "replay",
+        "--scenario",
+        "shake_closeup",
+        "--in",
+        record.to_str().unwrap(),
+        "--expect",
+        "0x1",
+    ]));
+    assert_eq!(exit_code(&output), 2);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("!="),
+        "stderr should show both digests: {stderr}"
+    );
+}
+
+/// The acceptance bar for the fuzz front end: two identical invocations
+/// produce identical bytes on stdout and in the report file.
+#[test]
+fn fuzz_campaign_is_bit_reproducible() {
+    let dir = scratch("repro");
+    let args = |report: &str| {
+        vec![
+            "fuzz".to_string(),
+            "--seed".into(),
+            "0xD5".into(),
+            "--count".into(),
+            "2".into(),
+            "--max-events".into(),
+            "1200".into(),
+            "--invariant".into(),
+            "polarity-relabel".into(),
+            "--report".into(),
+            report.into(),
+        ]
+    };
+    let r1 = dir.join("report1.json");
+    let r2 = dir.join("report2.json");
+    let a = run(cli().args(args(r1.to_str().unwrap())));
+    let b = run(cli().args(args(r2.to_str().unwrap())));
+    assert_eq!(exit_code(&a), 0, "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(exit_code(&b), 0);
+    assert_eq!(a.stdout, b.stdout, "fuzz stdout must be bit-reproducible");
+    let f1 = std::fs::read(&r1).expect("report 1");
+    let f2 = std::fs::read(&r2).expect("report 2");
+    assert_eq!(f1, f2, "fuzz report files must be bit-reproducible");
+    assert_eq!(a.stdout, f1, "report file mirrors stdout");
+    let text = String::from_utf8(f1).expect("report is UTF-8");
+    assert!(text.contains("\"format\": \"eventor-fuzz/1\""));
+    assert!(text.contains("\"violations\": 0"));
+}
+
+/// End-to-end planted-violation drill through the real binary: the hook
+/// (crossing the process boundary via `EVENTOR_FUZZ_PLANT`) makes the
+/// campaign fail with exit 2, the minimized reproduction lands in
+/// `--minimize-dir`, and `check --spec` accepts it once the hook is gone.
+#[test]
+fn planted_violation_exits_2_and_minimized_spec_checks_clean() {
+    let dir = scratch("planted");
+    let mindir = dir.join("minimized");
+    let output = run(cli().env("EVENTOR_FUZZ_PLANT", "8,400,4").args([
+        "fuzz",
+        "--seed",
+        "0xBEEF",
+        "--count",
+        "1",
+        "--max-events",
+        "1200",
+        "--invariant",
+        "polarity-relabel",
+        "--minimize-dir",
+        mindir.to_str().unwrap(),
+    ]));
+    assert_eq!(
+        exit_code(&output),
+        2,
+        "planted violation must fail the campaign: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"violations\": 1"), "stdout: {stdout}");
+    assert!(stdout.contains("planted violation hook fired"));
+
+    let minimized: Vec<PathBuf> = std::fs::read_dir(&mindir)
+        .expect("minimize dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(minimized.len(), 1, "one failing world, one reproduction");
+    let spec_text = std::fs::read_to_string(&minimized[0]).expect("minimized spec");
+    assert!(spec_text.starts_with("eventor-fuzzworld/1"));
+    assert!(spec_text.contains("samples = 8"), "spec: {spec_text}");
+    assert!(spec_text.contains("event_cap = 400"), "spec: {spec_text}");
+    assert!(spec_text.contains("planes = 4"), "spec: {spec_text}");
+    assert!(spec_text.contains("golden = 0x"), "spec: {spec_text}");
+
+    // Without the plant, the minimized world is healthy and its pinned
+    // golden verifies — the committed-regression workflow end to end.
+    let check = run(cli().args(["check", "--spec", minimized[0].to_str().unwrap()]));
+    assert_eq!(
+        exit_code(&check),
+        0,
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+}

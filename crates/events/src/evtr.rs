@@ -13,6 +13,7 @@
 //! magic        [u8; 4]  = b"EVTR"
 //! version      u32      = 1
 //! section_count u32
+//! reserved     u32      = 0  (writers write zero; readers reject nonzero)
 //! section * section_count:
 //!     tag          [u8; 4]   (b"TRAJ" or b"EVTS"; unknown tags rejected)
 //!     payload_len  u64       (bytes)
@@ -27,12 +28,14 @@
 //! * `EVTS` — `count: u64`, then `count` events of
 //!   `t: f64, x: u16, y: u16, polarity: u8` (13 bytes each, packed).
 //!
-//! The reader rejects truncated files, bad magic, unsupported versions,
-//! unknown sections, length overruns and checksum mismatches with
+//! The reader rejects truncated files, bad magic, unsupported versions
+//! (recorder/replayer version skew), nonzero reserved header bytes, unknown
+//! sections, length overruns and checksum mismatches with
 //! [`EventError::InvalidRecord`], and re-validates the decoded stream and
 //! trajectory orderings through the normal constructors.
 
 use crate::event::{Event, Polarity};
+use crate::fnv::fnv1a_64;
 use crate::stream::EventStream;
 use crate::EventError;
 use eventor_geom::{Pose, Trajectory, UnitQuaternion, Vec3};
@@ -46,60 +49,6 @@ pub const EVTR_VERSION: u32 = 1;
 
 const TAG_TRAJ: [u8; 4] = *b"TRAJ";
 const TAG_EVTS: [u8; 4] = *b"EVTS";
-
-/// Incremental FNV-1a 64-bit hasher.
-///
-/// This is the checksum of the `.evtr` container **and** the hash behind the
-/// scenario golden digests (`eventor-scenarios`), so the two can never drift
-/// apart.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Fnv64 {
-    state: u64,
-}
-
-impl Default for Fnv64 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Fnv64 {
-    /// FNV-1a 64 offset basis.
-    pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    /// Creates a hasher at the offset basis.
-    pub fn new() -> Self {
-        Self {
-            state: Self::OFFSET_BASIS,
-        }
-    }
-
-    /// Absorbs bytes.
-    pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= b as u64;
-            self.state = self.state.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    /// Absorbs a `u64` as its 8 little-endian bytes.
-    pub fn update_u64(&mut self, value: u64) {
-        self.update(&value.to_le_bytes());
-    }
-
-    /// The current hash value.
-    pub fn finish(&self) -> u64 {
-        self.state
-    }
-}
-
-/// One-shot FNV-1a 64 of a byte slice.
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut h = Fnv64::new();
-    h.update(bytes);
-    h.finish()
-}
 
 fn corrupt(reason: impl Into<String>) -> EventError {
     EventError::InvalidRecord {
@@ -150,6 +99,7 @@ pub fn write_evtr<W: Write>(
     bytes.extend_from_slice(&EVTR_MAGIC);
     bytes.extend_from_slice(&EVTR_VERSION.to_le_bytes());
     bytes.extend_from_slice(&2u32.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
     for (tag, payload) in [
         (TAG_TRAJ, encode_trajectory(trajectory)),
         (TAG_EVTS, encode_events(stream)),
@@ -291,7 +241,7 @@ pub fn read_evtr<R: Read>(mut reader: R) -> Result<(EventStream, Trajectory), Ev
     reader
         .read_to_end(&mut bytes)
         .map_err(|e| corrupt(format!("i/o error reading record: {e}")))?;
-    if bytes.len() < EVTR_MAGIC.len() + 4 + 4 + 8 {
+    if bytes.len() < EVTR_MAGIC.len() + 4 + 4 + 4 + 8 {
         return Err(corrupt(format!(
             "file too short for an evtr header ({} bytes)",
             bytes.len()
@@ -317,6 +267,12 @@ pub fn read_evtr<R: Read>(mut reader: R) -> Result<(EventStream, Trajectory), Ev
         )));
     }
     let section_count = c.u32("section count")?;
+    let reserved = c.u32("reserved header bytes")?;
+    if reserved != 0 {
+        return Err(corrupt(format!(
+            "reserved header bytes must be zero (got {reserved:#010x})"
+        )));
+    }
     let mut trajectory: Option<Trajectory> = None;
     let mut events: Option<EventStream> = None;
     for i in 0..section_count {
@@ -481,6 +437,7 @@ mod tests {
         bytes.extend_from_slice(&EVTR_MAGIC);
         bytes.extend_from_slice(&EVTR_VERSION.to_le_bytes());
         bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
         bytes.extend_from_slice(b"TRAJ");
         bytes.extend_from_slice(&8u64.to_le_bytes());
         bytes.extend_from_slice(&(1u64 << 58).to_le_bytes());
@@ -491,10 +448,14 @@ mod tests {
     }
 
     #[test]
-    fn fnv_matches_reference_vectors() {
-        // Published FNV-1a 64 test vectors.
-        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
-        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
-        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    fn nonzero_reserved_bytes_are_rejected() {
+        let mut bytes = encode(&sample_stream(), &sample_trajectory());
+        bytes[12..16].copy_from_slice(&0xdead_beefu32.to_le_bytes());
+        // Re-seal the checksum so the reserved check (not the checksum) fires.
+        let n = bytes.len();
+        let fixed = fnv1a_64(&bytes[..n - 8]).to_le_bytes();
+        bytes[n - 8..].copy_from_slice(&fixed);
+        let err = read_evtr(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("reserved header bytes"), "{err}");
     }
 }

@@ -1,0 +1,89 @@
+//! The workspace's one FNV-1a 64 implementation.
+//!
+//! Exactly one hasher backs every digest in the system — the `.evtr`
+//! container checksum (`crate::evtr`), the scenario golden digests
+//! (`eventor_scenarios`), and the fuzz-report world digests — so the hashes
+//! can never drift apart. Anything that wants an FNV digest uses [`Fnv64`]
+//! or [`fnv1a_64`] from here; private re-implementations are a bug.
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// This is the checksum of the `.evtr` container **and** the hash behind the
+/// scenario golden digests (`eventor-scenarios`), so the two can never drift
+/// apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// FNV-1a 64 offset basis.
+    pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as its 8 little-endian bytes.
+    pub fn update_u64(&mut self, value: u64) {
+        self.update(&value.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors: the one shared hasher is pinned
+        // here, so any drift breaks every digest consumer by name.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+        let mut u = Fnv64::new();
+        u.update_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            u.finish(),
+            fnv1a_64(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01])
+        );
+    }
+}

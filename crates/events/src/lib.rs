@@ -38,6 +38,7 @@ mod datasets;
 mod error;
 mod event;
 mod evtr;
+mod fnv;
 mod image;
 mod io;
 mod noise;
@@ -52,7 +53,8 @@ mod undistort;
 pub use datasets::{DatasetConfig, SequenceKind, SyntheticSequence};
 pub use error::EventError;
 pub use event::{first_out_of_order, Event, Polarity};
-pub use evtr::{fnv1a_64, read_evtr, write_evtr, Fnv64, EVTR_MAGIC, EVTR_VERSION};
+pub use evtr::{read_evtr, write_evtr, EVTR_MAGIC, EVTR_VERSION};
+pub use fnv::{fnv1a_64, Fnv64};
 pub use image::Image;
 pub use io::{read_events, read_trajectory, write_events, write_trajectory};
 pub use noise::{NoiseConfig, NoiseInjector, NoiseReport};
@@ -228,6 +230,49 @@ mod evtr_proptests {
             // or (for flips inside the footer itself) by the checksum
             // comparison against the intact body.
             prop_assert!(read_evtr(buf.as_slice()).is_err(), "flip at byte {} accepted", at);
+        }
+
+        #[test]
+        fn evtr_rejects_any_version_skew(
+            raw_events in prop::collection::vec(
+                (0.0..10.0f64, 0u16..240, 0u16..180, 0u8..2),
+                1..50,
+            ),
+            version in 0u32..0xffff_ffff,
+        ) {
+            prop_assume!(version != EVTR_VERSION);
+            let (stream, trajectory) = build_inputs(&raw_events, &[(0.01, 0.2, -0.1)]);
+            let mut buf = Vec::new();
+            write_evtr(&stream, &trajectory, &mut buf).expect("write to Vec");
+            buf[4..8].copy_from_slice(&version.to_le_bytes());
+            // Re-seal the checksum so the version check itself (not the
+            // checksum footer) must reject the recorder/replayer skew.
+            let n = buf.len();
+            let fixed = fnv1a_64(&buf[..n - 8]).to_le_bytes();
+            buf[n - 8..].copy_from_slice(&fixed);
+            let err = read_evtr(buf.as_slice()).expect_err("version skew accepted");
+            prop_assert!(matches!(err, EventError::InvalidRecord { .. }));
+            prop_assert!(err.to_string().contains("unsupported evtr version"), "{}", err);
+        }
+
+        #[test]
+        fn evtr_rejects_any_nonzero_reserved_bytes(
+            raw_events in prop::collection::vec(
+                (0.0..10.0f64, 0u16..240, 0u16..180, 0u8..2),
+                1..50,
+            ),
+            reserved in 1u32..0xffff_ffff,
+        ) {
+            let (stream, trajectory) = build_inputs(&raw_events, &[(0.01, 0.2, -0.1)]);
+            let mut buf = Vec::new();
+            write_evtr(&stream, &trajectory, &mut buf).expect("write to Vec");
+            buf[12..16].copy_from_slice(&reserved.to_le_bytes());
+            let n = buf.len();
+            let fixed = fnv1a_64(&buf[..n - 8]).to_le_bytes();
+            buf[n - 8..].copy_from_slice(&fixed);
+            let err = read_evtr(buf.as_slice()).expect_err("nonzero reserved accepted");
+            prop_assert!(matches!(err, EventError::InvalidRecord { .. }));
+            prop_assert!(err.to_string().contains("reserved header bytes"), "{}", err);
         }
 
         #[test]

@@ -18,6 +18,11 @@ pub enum ScenarioError {
     Emvs(eventor_emvs::EmvsError),
     /// The serving engine failed while running the world.
     Serve(eventor_serve::ServeError),
+    /// A fuzz world specification could not be parsed or is out of range.
+    Spec {
+        /// What was wrong with the specification.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -29,6 +34,7 @@ impl fmt::Display for ScenarioError {
             Self::Event(e) => write!(f, "event generation failed: {e}"),
             Self::Emvs(e) => write!(f, "reconstruction failed: {e}"),
             Self::Serve(e) => write!(f, "serving failed: {e}"),
+            Self::Spec { reason } => write!(f, "invalid fuzz world spec: {reason}"),
         }
     }
 }
@@ -36,7 +42,7 @@ impl fmt::Display for ScenarioError {
 impl Error for ScenarioError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            Self::UnknownScenario { .. } => None,
+            Self::UnknownScenario { .. } | Self::Spec { .. } => None,
             Self::Event(e) => Some(e),
             Self::Emvs(e) => Some(e),
             Self::Serve(e) => Some(e),

@@ -1,0 +1,775 @@
+//! `eventor-fuzz` — the seeded generative world composer.
+//!
+//! Where the corpus ([`crate::corpus`]) is ten *hand-picked* points in
+//! scenario space, this module makes the space itself enumerable: a
+//! [`WorldSpec`] names one point along every generator axis — trajectory
+//! shape × depth structure × trajectory length × stream budget × depth-plane
+//! count × a pipeline of sensor degradations — and [`WorldSpec::build`]
+//! materializes it deterministically, exactly like a corpus scenario.
+//!
+//! The spec is the fuzzer's unit of currency:
+//!
+//! * [`WorldSpec::generate`] draws spec `i` of a seeded campaign, so
+//!   `fuzz --seed S` enumerates the same worlds on every host,
+//! * the spec round-trips through a text form (`eventor-fuzzworld/1`,
+//!   [`WorldSpec::to_text`] / [`WorldSpec::parse`]) so a failing world is a
+//!   committable file, not a log line,
+//! * the auto-minimizer ([`crate::minimize_spec`]) shrinks a failing spec
+//!   *along its axes* — fewer samples, fewer events, fewer planes, fewer
+//!   noise stages — which is only possible because the axes are explicit
+//!   here instead of latent in a builder function.
+//!
+//! Grammar and ranges are documented in `docs/SCENARIOS.md` §8.
+
+use crate::noise::{BurstNoise, DropoutNoise, NoiseStage};
+use crate::worlds::{
+    corridor_scene, dense_scene, dolly_trajectory, multiplane_scene, orbit_trajectory,
+    shake_trajectory, simulator_config, slide_trajectory, small_camera, sparse_scene,
+    spiral_trajectory, MAX_WORLD_EVENTS,
+};
+use crate::{apply_noise, mix_seed, ScenarioError, ScenarioWorld};
+use eventor_emvs::{EmvsConfig, VotingMode};
+use eventor_events::{EventCameraSimulator, NoiseConfig, Scene};
+use eventor_geom::{Pose, Trajectory, UnitQuaternion, Vec3};
+
+/// Header line of the `eventor-fuzzworld/1` text form.
+pub const FUZZWORLD_HEADER: &str = "eventor-fuzzworld/1";
+
+/// Smallest trajectory the generator or minimizer will emit (the builders
+/// need at least two samples; eight keeps a world geometrically meaningful).
+pub const MIN_SAMPLES: usize = 8;
+/// Largest trajectory the generator draws.
+pub const MAX_SAMPLES: usize = 96;
+/// Smallest stream budget the minimizer may shrink to.
+pub const MIN_EVENT_CAP: usize = 64;
+/// Smallest depth-plane count the minimizer may shrink to
+/// ([`EmvsConfig`] itself requires at least two).
+pub const MIN_PLANES: usize = 4;
+/// Largest depth-plane count the generator draws.
+pub const MAX_PLANES: usize = 64;
+/// Most degradation stages one generated world carries.
+pub const MAX_NOISE_STAGES: usize = 2;
+
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Trajectory shapes the composer can draw, including the long-horizon
+/// `drift` walk that only exists in the fuzz grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrajectoryKind {
+    /// Circular arc around the scene centre.
+    Orbit,
+    /// Outward corkscrew sweep.
+    Spiral,
+    /// Forward dolly with lateral drift.
+    Dolly,
+    /// Hand-held jitter sweep.
+    Shake,
+    /// Linear slider sweep.
+    Slide,
+    /// Long-horizon drift: a seeded momentum random walk superimposed on a
+    /// slow lateral sweep, with bounded slowly-drifting attitude — the
+    /// "operator wandered off" trajectory class the corpus lacks.
+    Drift,
+}
+
+impl TrajectoryKind {
+    /// Every kind, in grammar order.
+    pub const ALL: [TrajectoryKind; 6] = [
+        TrajectoryKind::Orbit,
+        TrajectoryKind::Spiral,
+        TrajectoryKind::Dolly,
+        TrajectoryKind::Shake,
+        TrajectoryKind::Slide,
+        TrajectoryKind::Drift,
+    ];
+
+    /// Grammar name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Orbit => "orbit",
+            Self::Spiral => "spiral",
+            Self::Dolly => "dolly",
+            Self::Shake => "shake",
+            Self::Slide => "slide",
+            Self::Drift => "drift",
+        }
+    }
+
+    /// Parses a grammar name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Contrast threshold used when simulating this shape (tuned so streams
+    /// stay within budget before the cap truncates).
+    fn contrast(self) -> f64 {
+        match self {
+            Self::Orbit => 0.20,
+            Self::Spiral => 0.30,
+            Self::Dolly => 0.30,
+            Self::Shake => 0.32,
+            Self::Slide => 0.30,
+            Self::Drift => 0.30,
+        }
+    }
+
+    /// Builds the trajectory at `samples` poses over the unit time span.
+    fn build(self, seed: u64, samples: usize) -> Trajectory {
+        match self {
+            Self::Orbit => orbit_trajectory(Vec3::new(0.0, 0.0, 2.0), 1.9, 0.18, samples),
+            Self::Spiral => spiral_trajectory(1.8, 0.24, 0.08, samples),
+            Self::Dolly => dolly_trajectory(0.65, 0.18, samples),
+            Self::Shake => shake_trajectory(0.22, 0.012, mix_seed(seed, 0x54), samples),
+            Self::Slide => slide_trajectory(0.4, samples),
+            Self::Drift => drift_trajectory(mix_seed(seed, 0x55), samples),
+        }
+    }
+}
+
+/// Long-horizon drift: momentum random walk plus slow bounded attitude
+/// drift, superimposed on a lateral sweep so the scene stays in view and the
+/// baseline keeps growing.
+pub(crate) fn drift_trajectory(seed: u64, samples: usize) -> Trajectory {
+    let mut t = Trajectory::new();
+    let mut drift = Vec3::new(0.0, 0.0, 0.0);
+    let mut vel = Vec3::new(0.0, 0.0, 0.0);
+    let mut att = [0.0f64; 3];
+    let mut att_vel = [0.0f64; 3];
+    for i in 0..samples {
+        let s = i as f64 / (samples - 1) as f64;
+        let b = mix_seed(seed, i as u64);
+        let acc = Vec3::new(
+            0.012 * (unit_f64(mix_seed(b, 0)) - 0.5),
+            0.012 * (unit_f64(mix_seed(b, 1)) - 0.5),
+            0.006 * (unit_f64(mix_seed(b, 2)) - 0.5),
+        );
+        vel = vel * 0.92 + acc;
+        drift += vel;
+        drift = Vec3::new(
+            drift.x.clamp(-0.15, 0.15),
+            drift.y.clamp(-0.12, 0.12),
+            drift.z.clamp(-0.10, 0.10),
+        );
+        for a in 0..3 {
+            att_vel[a] = att_vel[a] * 0.9 + 0.002 * (unit_f64(mix_seed(b, 3 + a as u64)) - 0.5);
+            att[a] = (att[a] + att_vel[a]).clamp(-0.04, 0.04);
+        }
+        let sweep = -0.28 + 0.56 * s;
+        let eye = Vec3::new(sweep + drift.x, drift.y, drift.z);
+        let rot = UnitQuaternion::from_euler(att[0], att[1], att[2]);
+        t.push(s, Pose::new(rot, eye))
+            .expect("drift times increase");
+    }
+    t
+}
+
+/// Depth structures the composer can draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SceneKind {
+    /// One small textured target.
+    Sparse,
+    /// 3×3 grid of staggered patches.
+    Dense,
+    /// Four-plane staircase.
+    Multiplane,
+    /// Walled corridor with a back wall.
+    Corridor,
+}
+
+impl SceneKind {
+    /// Every kind, in grammar order.
+    pub const ALL: [SceneKind; 4] = [
+        SceneKind::Sparse,
+        SceneKind::Dense,
+        SceneKind::Multiplane,
+        SceneKind::Corridor,
+    ];
+
+    /// Grammar name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Sparse => "sparse",
+            Self::Dense => "dense",
+            Self::Multiplane => "multiplane",
+            Self::Corridor => "corridor",
+        }
+    }
+
+    /// Parses a grammar name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    fn build(self, seed: u64) -> Scene {
+        match self {
+            Self::Sparse => sparse_scene(mix_seed(seed, 0x5C), 1.5),
+            Self::Dense => dense_scene(mix_seed(seed, 0x5D), 1.8),
+            Self::Multiplane => multiplane_scene(mix_seed(seed, 0x5E)),
+            Self::Corridor => corridor_scene(mix_seed(seed, 0x5F)),
+        }
+    }
+
+    /// Depth sweep matched to the scene's geometry.
+    fn depth_range(self) -> (f64, f64) {
+        match self {
+            Self::Sparse => (0.7, 3.0),
+            Self::Dense => (0.8, 3.8),
+            Self::Multiplane => (0.8, 4.5),
+            Self::Corridor => (0.9, 4.8),
+        }
+    }
+
+    fn keyframe_distance(self) -> f64 {
+        match self {
+            Self::Sparse => 0.08,
+            Self::Dense => 0.16,
+            Self::Multiplane => 0.14,
+            Self::Corridor => 0.18,
+        }
+    }
+}
+
+/// One degradation stage of a fuzzed world.
+///
+/// Parameters are integers (micro-seconds, parts-per-million, milli-units)
+/// so the text form round-trips exactly; the stage seed is derived from the
+/// world seed and the stage's position, never stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseSpec {
+    /// Readout burst storms ([`BurstNoise`]).
+    Burst {
+        /// Number of storms.
+        bursts: u32,
+        /// Spurious events per storm.
+        events_per_burst: u32,
+        /// Storm duration in microseconds.
+        duration_us: u32,
+    },
+    /// Transport-loss dropout windows ([`DropoutNoise`]).
+    Dropout {
+        /// Number of windows.
+        windows: u32,
+        /// Window duration in microseconds.
+        duration_us: u32,
+    },
+    /// Hot pixels via the per-event injector.
+    HotPixel {
+        /// Hot-pixel fraction in parts per million of the sensor.
+        fraction_ppm: u32,
+        /// Firing rate of each hot pixel, events per second.
+        rate: u32,
+    },
+    /// Background-activity clutter plus uniform drop via the injector.
+    Clutter {
+        /// Background activity rate in milli-events per pixel-second.
+        rate_milli: u32,
+        /// Uniform drop probability in parts per million.
+        drop_ppm: u32,
+    },
+}
+
+impl NoiseSpec {
+    /// Draws one stage from a sub-seed.
+    fn generate(s: u64) -> Self {
+        match s % 4 {
+            0 => Self::Burst {
+                bursts: 1 + (mix_seed(s, 1) % 6) as u32,
+                events_per_burst: 100 + (mix_seed(s, 2) % 900) as u32,
+                duration_us: 2_000 + (mix_seed(s, 3) % 8_000) as u32,
+            },
+            1 => Self::Dropout {
+                windows: 1 + (mix_seed(s, 1) % 4) as u32,
+                duration_us: 10_000 + (mix_seed(s, 2) % 50_000) as u32,
+            },
+            2 => Self::HotPixel {
+                fraction_ppm: 500 + (mix_seed(s, 1) % 4_500) as u32,
+                rate: 100 + (mix_seed(s, 2) % 500) as u32,
+            },
+            _ => Self::Clutter {
+                rate_milli: 100 + (mix_seed(s, 1) % 1_200) as u32,
+                drop_ppm: (mix_seed(s, 2) % 60_000) as u32,
+            },
+        }
+    }
+
+    /// Instantiates the stage for a world, deriving its seed from the world
+    /// seed and the stage index.
+    pub(crate) fn to_stage(self, world_seed: u64, index: usize) -> NoiseStage {
+        let s = mix_seed(world_seed, 0x4E00 + index as u64);
+        match self {
+            Self::Burst {
+                bursts,
+                events_per_burst,
+                duration_us,
+            } => NoiseStage::Burst(BurstNoise {
+                bursts: bursts as usize,
+                events_per_burst: events_per_burst as usize,
+                burst_duration: duration_us as f64 * 1e-6,
+                seed: s,
+            }),
+            Self::Dropout {
+                windows,
+                duration_us,
+            } => NoiseStage::Dropout(DropoutNoise {
+                windows: windows as usize,
+                window_duration: duration_us as f64 * 1e-6,
+                seed: s,
+            }),
+            Self::HotPixel { fraction_ppm, rate } => NoiseSpec::injector(NoiseConfig {
+                hot_pixel_fraction: fraction_ppm as f64 * 1e-6,
+                hot_pixel_rate: rate as f64,
+                seed: s,
+                ..NoiseConfig::clean()
+            }),
+            Self::Clutter {
+                rate_milli,
+                drop_ppm,
+            } => NoiseSpec::injector(NoiseConfig {
+                background_activity_rate: rate_milli as f64 * 1e-3,
+                drop_probability: drop_ppm as f64 * 1e-6,
+                seed: s,
+                ..NoiseConfig::clean()
+            }),
+        }
+    }
+
+    fn injector(config: NoiseConfig) -> NoiseStage {
+        NoiseStage::Injector(config)
+    }
+
+    /// Text form (one `noise =` line's value).
+    fn to_value(self) -> String {
+        match self {
+            Self::Burst {
+                bursts,
+                events_per_burst,
+                duration_us,
+            } => format!("burst:{bursts}:{events_per_burst}:{duration_us}"),
+            Self::Dropout {
+                windows,
+                duration_us,
+            } => format!("dropout:{windows}:{duration_us}"),
+            Self::HotPixel { fraction_ppm, rate } => format!("hotpixel:{fraction_ppm}:{rate}"),
+            Self::Clutter {
+                rate_milli,
+                drop_ppm,
+            } => format!("clutter:{rate_milli}:{drop_ppm}"),
+        }
+    }
+
+    fn parse_value(value: &str) -> Result<Self, ScenarioError> {
+        let bad = |reason: String| ScenarioError::Spec { reason };
+        let mut parts = value.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let mut nums: Vec<u32> = Vec::new();
+        for p in parts {
+            nums.push(
+                p.parse()
+                    .map_err(|_| bad(format!("noise parameter `{p}` is not a u32")))?,
+            );
+        }
+        match (kind, nums.as_slice()) {
+            ("burst", &[bursts, events_per_burst, duration_us]) => Ok(Self::Burst {
+                bursts,
+                events_per_burst,
+                duration_us,
+            }),
+            ("dropout", &[windows, duration_us]) => Ok(Self::Dropout {
+                windows,
+                duration_us,
+            }),
+            ("hotpixel", &[fraction_ppm, rate]) => Ok(Self::HotPixel { fraction_ppm, rate }),
+            ("clutter", &[rate_milli, drop_ppm]) => Ok(Self::Clutter {
+                rate_milli,
+                drop_ppm,
+            }),
+            _ => Err(bad(format!(
+                "unknown or malformed noise stage `{value}` \
+                 (expected burst:n:n:n, dropout:n:n, hotpixel:n:n or clutter:n:n)"
+            ))),
+        }
+    }
+}
+
+/// One point in generator space: everything needed to rebuild a fuzzed world
+/// bit-identically on any host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldSpec {
+    /// World seed: all textures, jitter and noise-stage seeds derive from it.
+    pub seed: u64,
+    /// Trajectory shape.
+    pub trajectory: TrajectoryKind,
+    /// Depth structure.
+    pub scene: SceneKind,
+    /// Trajectory sample count (world length axis).
+    pub samples: usize,
+    /// Stream budget: events kept after degradation (workload axis).
+    pub event_cap: usize,
+    /// Depth-plane count of the reconstruction configuration.
+    pub planes: usize,
+    /// Degradation pipeline, applied in order.
+    pub noise: Vec<NoiseSpec>,
+    /// Expected reconstruction digest, once pinned (committed regressions).
+    pub golden: Option<u64>,
+}
+
+impl WorldSpec {
+    /// Draws campaign world `index` of seed `seed` — the generative grammar:
+    /// uniform over trajectory × scene, log-ish uniform over the numeric
+    /// axes, zero to [`MAX_NOISE_STAGES`] degradation stages.
+    pub fn generate(seed: u64, index: u64) -> Self {
+        let base = mix_seed(seed, index);
+        let n_noise = (mix_seed(base, 6) % (MAX_NOISE_STAGES as u64 + 1)) as usize;
+        Self {
+            seed: base,
+            trajectory: TrajectoryKind::ALL[(mix_seed(base, 1) % 6) as usize],
+            scene: SceneKind::ALL[(mix_seed(base, 2) % 4) as usize],
+            samples: 24 + (mix_seed(base, 3) % (MAX_SAMPLES as u64 - 23)) as usize,
+            event_cap: 1_500 + (mix_seed(base, 4) % 14_501) as usize,
+            planes: 16 + (mix_seed(base, 5) % (MAX_PLANES as u64 - 15)) as usize,
+            noise: (0..n_noise)
+                .map(|i| NoiseSpec::generate(mix_seed(base, 7 + i as u64)))
+                .collect(),
+            golden: None,
+        }
+    }
+
+    /// Checks the numeric axes against the grammar's floors and ceilings.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Spec`] naming the violated bound.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let bad = |reason: String| Err(ScenarioError::Spec { reason });
+        if self.samples < MIN_SAMPLES || self.samples > 4 * MAX_SAMPLES {
+            return bad(format!(
+                "samples {} outside [{MIN_SAMPLES}, {}]",
+                self.samples,
+                4 * MAX_SAMPLES
+            ));
+        }
+        if self.event_cap < MIN_EVENT_CAP || self.event_cap > MAX_WORLD_EVENTS {
+            return bad(format!(
+                "event_cap {} outside [{MIN_EVENT_CAP}, {MAX_WORLD_EVENTS}]",
+                self.event_cap
+            ));
+        }
+        if self.planes < MIN_PLANES || self.planes > 4 * MAX_PLANES {
+            return bad(format!(
+                "planes {} outside [{MIN_PLANES}, {}]",
+                self.planes,
+                4 * MAX_PLANES
+            ));
+        }
+        if self.noise.len() > 2 * MAX_NOISE_STAGES {
+            return bad(format!(
+                "{} noise stages (max {})",
+                self.noise.len(),
+                2 * MAX_NOISE_STAGES
+            ));
+        }
+        Ok(())
+    }
+
+    /// The reconstruction configuration this spec builds with (no
+    /// simulation).
+    pub fn config(&self) -> EmvsConfig {
+        let (near, far) = self.scene.depth_range();
+        EmvsConfig::default()
+            .with_depth_range(near, far)
+            .with_depth_planes(self.planes)
+            .with_keyframe_distance(self.scene.keyframe_distance())
+            .with_voting(VotingMode::Nearest)
+    }
+
+    /// Display name of the world this spec builds.
+    pub fn world_name(&self) -> String {
+        format!(
+            "fuzz_{}_{}_{:016x}",
+            self.trajectory.name(),
+            self.scene.name(),
+            self.seed
+        )
+    }
+
+    /// Materializes the world: simulate, degrade, truncate to the budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Spec`] for out-of-range axes, otherwise propagates
+    /// simulator failures.
+    pub fn build(&self) -> Result<ScenarioWorld, ScenarioError> {
+        self.validate()?;
+        let camera = small_camera();
+        let trajectory = self.trajectory.build(self.seed, self.samples);
+        let scene = self.scene.build(self.seed);
+        let simulator = EventCameraSimulator::new(
+            camera,
+            simulator_config(self.seed, self.trajectory.contrast()),
+        );
+        let (clean, _stats) = simulator.simulate(&scene, &trajectory)?;
+        let stages: Vec<NoiseStage> = self
+            .noise
+            .iter()
+            .enumerate()
+            .map(|(i, n)| n.to_stage(self.seed, i))
+            .collect();
+        let width = camera.intrinsics.width as u16;
+        let height = camera.intrinsics.height as u16;
+        let degraded = apply_noise(&clean, width, height, &stages);
+        let events: eventor_events::EventStream = degraded
+            .as_slice()
+            .iter()
+            .take(self.event_cap.min(MAX_WORLD_EVENTS))
+            .copied()
+            .collect();
+        Ok(ScenarioWorld {
+            name: self.world_name(),
+            seed: self.seed,
+            camera,
+            trajectory,
+            events,
+            config: self.config(),
+        })
+    }
+
+    /// Serializes the spec to the `eventor-fuzzworld/1` text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(FUZZWORLD_HEADER);
+        out.push('\n');
+        out.push_str(&format!("seed = {:#018x}\n", self.seed));
+        out.push_str(&format!("trajectory = {}\n", self.trajectory.name()));
+        out.push_str(&format!("scene = {}\n", self.scene.name()));
+        out.push_str(&format!("samples = {}\n", self.samples));
+        out.push_str(&format!("event_cap = {}\n", self.event_cap));
+        out.push_str(&format!("planes = {}\n", self.planes));
+        for n in &self.noise {
+            out.push_str(&format!("noise = {}\n", n.to_value()));
+        }
+        if let Some(golden) = self.golden {
+            out.push_str(&format!("golden = {golden:#018x}\n"));
+        }
+        out
+    }
+
+    /// Parses the `eventor-fuzzworld/1` text form (strict: unknown keys,
+    /// missing keys, duplicate keys and a wrong header are all errors).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Spec`] describing the first problem found.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let bad = |reason: String| ScenarioError::Spec { reason };
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some(FUZZWORLD_HEADER) => {}
+            other => {
+                return Err(bad(format!(
+                    "expected header `{FUZZWORLD_HEADER}`, found {other:?}"
+                )));
+            }
+        }
+        let parse_u64 = |v: &str| -> Result<u64, ScenarioError> {
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.map_err(|_| bad(format!("`{v}` is not a u64")))
+        };
+        let mut seed = None;
+        let mut trajectory = None;
+        let mut scene = None;
+        let mut samples = None;
+        let mut event_cap = None;
+        let mut planes = None;
+        let mut noise = Vec::new();
+        let mut golden = None;
+        for line in lines {
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| bad(format!("line `{line}` is not `key = value`")))?;
+            let duplicate = |k: &str| bad(format!("duplicate key `{k}`"));
+            match key {
+                "seed" => {
+                    if seed.replace(parse_u64(value)?).is_some() {
+                        return Err(duplicate(key));
+                    }
+                }
+                "trajectory" => {
+                    let kind = TrajectoryKind::parse(value)
+                        .ok_or_else(|| bad(format!("unknown trajectory `{value}`")))?;
+                    if trajectory.replace(kind).is_some() {
+                        return Err(duplicate(key));
+                    }
+                }
+                "scene" => {
+                    let kind = SceneKind::parse(value)
+                        .ok_or_else(|| bad(format!("unknown scene `{value}`")))?;
+                    if scene.replace(kind).is_some() {
+                        return Err(duplicate(key));
+                    }
+                }
+                "samples" => {
+                    if samples.replace(parse_u64(value)? as usize).is_some() {
+                        return Err(duplicate(key));
+                    }
+                }
+                "event_cap" => {
+                    if event_cap.replace(parse_u64(value)? as usize).is_some() {
+                        return Err(duplicate(key));
+                    }
+                }
+                "planes" => {
+                    if planes.replace(parse_u64(value)? as usize).is_some() {
+                        return Err(duplicate(key));
+                    }
+                }
+                "noise" => noise.push(NoiseSpec::parse_value(value)?),
+                "golden" => {
+                    if golden.replace(parse_u64(value)?).is_some() {
+                        return Err(duplicate(key));
+                    }
+                }
+                other => return Err(bad(format!("unknown key `{other}`"))),
+            }
+        }
+        let require = |name: &str| bad(format!("missing key `{name}`"));
+        let spec = Self {
+            seed: seed.ok_or_else(|| require("seed"))?,
+            trajectory: trajectory.ok_or_else(|| require("trajectory"))?,
+            scene: scene.ok_or_else(|| require("scene"))?,
+            samples: samples.ok_or_else(|| require("samples"))?,
+            event_cap: event_cap.ok_or_else(|| require("event_cap"))?,
+            planes: planes.ok_or_else(|| require("planes"))?,
+            noise,
+            golden,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_varied() {
+        let a = WorldSpec::generate(0xF00D, 3);
+        let b = WorldSpec::generate(0xF00D, 3);
+        assert_eq!(a, b);
+        let specs: Vec<WorldSpec> = (0..24).map(|i| WorldSpec::generate(0xF00D, i)).collect();
+        let kinds: std::collections::HashSet<_> =
+            specs.iter().map(|s| (s.trajectory, s.scene)).collect();
+        assert!(kinds.len() >= 6, "only {} distinct kind pairs", kinds.len());
+        for s in &specs {
+            s.validate().expect("generated specs are always in range");
+        }
+    }
+
+    #[test]
+    fn text_form_round_trips_exactly() {
+        for i in 0..16 {
+            let mut spec = WorldSpec::generate(0xBEEF, i);
+            if i % 3 == 0 {
+                spec.golden = Some(mix_seed(i, 0));
+            }
+            let text = spec.to_text();
+            let back = WorldSpec::parse(&text).expect("round trip parses");
+            assert_eq!(back, spec, "{text}");
+            assert_eq!(back.to_text(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        let good = WorldSpec::generate(1, 0).to_text();
+        for (mutation, needle) in [
+            (
+                good.replace(FUZZWORLD_HEADER, "eventor-fuzzworld/9"),
+                "header",
+            ),
+            (
+                good.replace("trajectory = ", "trajectory = warp # "),
+                "unknown trajectory",
+            ),
+            (good.replace("scene = ", "scene = void # "), "unknown scene"),
+            (good.replace("samples = ", "samples = -4 # "), "not a u64"),
+            (format!("{good}seed = 7\n"), "duplicate key"),
+            (format!("{good}warp = 9\n"), "unknown key"),
+            (good.replace("planes", "plains"), "unknown key"),
+        ] {
+            let err = WorldSpec::parse(&mutation).expect_err(&mutation);
+            assert!(err.to_string().contains(needle), "{err} !~ {needle}");
+        }
+        let missing = good
+            .lines()
+            .filter(|l| !l.starts_with("event_cap"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = WorldSpec::parse(&missing).unwrap_err();
+        assert!(err.to_string().contains("missing key `event_cap`"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_axes_are_rejected() {
+        let mut spec = WorldSpec::generate(2, 0);
+        spec.samples = 2;
+        assert!(spec.validate().is_err());
+        spec = WorldSpec::generate(2, 0);
+        spec.event_cap = 1;
+        assert!(spec.validate().is_err());
+        spec = WorldSpec::generate(2, 0);
+        spec.planes = 1;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn build_is_deterministic_and_respects_the_budget() {
+        // One spec per trajectory kind, so the drift walk is covered too.
+        for (i, kind) in TrajectoryKind::ALL.into_iter().enumerate() {
+            let mut spec = WorldSpec::generate(0xAB, i as u64);
+            spec.trajectory = kind;
+            spec.samples = 24;
+            spec.event_cap = 2_000;
+            let a = spec
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            let b = spec
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert_eq!(a.events, b.events, "{}", kind.name());
+            assert!(a.events.len() <= 2_000, "{}", kind.name());
+            assert!(!a.events.is_empty(), "{}: empty stream", kind.name());
+            assert_eq!(a.trajectory.len(), 24);
+            assert!(a.config.validate().is_ok());
+            // Events never outrun the poses.
+            assert!(
+                a.events.end_time().unwrap() <= a.trajectory.end_time().unwrap(),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn drift_trajectory_moves_but_stays_bounded() {
+        let t = drift_trajectory(77, 64);
+        assert_eq!(t.len(), 64);
+        let first = t.iter().next().unwrap().pose.translation;
+        let last = t.iter().last().unwrap().pose.translation;
+        assert!((last.x - first.x).abs() > 0.3, "no net sweep");
+        for s in t.iter() {
+            let p = s.pose.translation;
+            assert!(p.x.abs() < 0.6 && p.y.abs() < 0.2 && p.z.abs() < 0.15);
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! The metamorphic-invariant catalog: predictable output transformations
+//! that must hold for **every** world, fuzzed or hand-built — the harness
+//! behind `eventor-cli fuzz` and `tests/metamorphic_invariants.rs`.
+//!
+//! Golden digests can only regress worlds someone thought to commit; these
+//! invariants instead state how the *output must respond to a known change
+//! of the input*, so any generated world checks itself:
+//!
+//! * **F.1 rigid-transform equivariance** — applying one global rigid
+//!   transform to every camera pose leaves the depth maps unchanged (depth
+//!   is relative to the camera; events depend only on relative motion).
+//!   Floating-point pose composition perturbs intermediate values at the
+//!   10⁻¹³ level, which the fixed-point datapath can round across a
+//!   quantization edge, so this invariant is checked with a small bitwise
+//!   tolerance ([`F1_MAX_DIFF_FRACTION`]) instead of digest equality.
+//! * **F.2 polarity-relabel invariance** — flipping every event's polarity
+//!   changes output bits nowhere: the voting datapath never reads polarity.
+//!   Exact (digest equality).
+//! * **F.3 noise-order commutation** — two interior dropout windows delete
+//!   fixed time ranges, so applying them in either order yields the same
+//!   stream and therefore the same digest. Exact.
+//! * **F.4 load-shape independence** — serving a world under any
+//!   [`eventor_serve::LoadShape`] (bursty floods, session churn,
+//!   a slow consumer) produces the standalone digest. Exact.
+//! * **F.5 backend agreement** — software, sharded and served runs of one
+//!   world share one digest. Exact.
+//!
+//! The catalog is documented with contract numbers in `docs/SCENARIOS.md`
+//! §8.2; the planted-violation hook used to prove the fuzzer can actually
+//! catch and shrink a bug lives in [`plant`].
+
+use crate::noise::{apply_noise, DropoutNoise, NoiseStage};
+use crate::runner::{run_standalone, session_for};
+use crate::{digest_output, mix_seed, run_world, BackendKind, ScenarioError, ScenarioWorld};
+use eventor_events::{Event, EventStream, Polarity};
+use eventor_geom::{Pose, Trajectory, UnitQuaternion, Vec3};
+use eventor_serve::{loadgen, LoadShape, ServeConfig};
+
+/// F.1 tolerance: largest fraction of depth samples (per world) allowed to
+/// differ bitwise between the base and the rigidly transformed run.
+pub const F1_MAX_DIFF_FRACTION: f64 = 0.02;
+
+/// One invariant of the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// F.1: global rigid rotation + translation of the trajectory.
+    RigidTransform,
+    /// F.2: event polarity relabeling.
+    PolarityRelabel,
+    /// F.3: commutation of interior dropout stages.
+    NoiseCommutation,
+    /// F.4: serve-tier load-shape independence.
+    LoadShape,
+    /// F.5: software/sharded/serve backend agreement.
+    BackendAgreement,
+}
+
+impl Invariant {
+    /// Every invariant, in catalog order.
+    pub const ALL: [Invariant; 5] = [
+        Invariant::RigidTransform,
+        Invariant::PolarityRelabel,
+        Invariant::NoiseCommutation,
+        Invariant::LoadShape,
+        Invariant::BackendAgreement,
+    ];
+
+    /// Catalog contract number (`docs/SCENARIOS.md` §8.2).
+    pub fn contract(self) -> &'static str {
+        match self {
+            Self::RigidTransform => "F.1",
+            Self::PolarityRelabel => "F.2",
+            Self::NoiseCommutation => "F.3",
+            Self::LoadShape => "F.4",
+            Self::BackendAgreement => "F.5",
+        }
+    }
+
+    /// Grammar / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RigidTransform => "rigid-transform",
+            Self::PolarityRelabel => "polarity-relabel",
+            Self::NoiseCommutation => "noise-commutation",
+            Self::LoadShape => "load-shape",
+            Self::BackendAgreement => "backend-agreement",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|i| i.name() == name)
+    }
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.contract(), self.name())
+    }
+}
+
+/// A caught invariant violation — what failed, where, and how.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// Name of the world it failed on.
+    pub world: String,
+    /// Backend the check ran on (F.4/F.5 span several by construction).
+    pub backend: BackendKind,
+    /// Human-readable account of the mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} violated on {} ({}): {}",
+            self.invariant, self.world, self.backend, self.detail
+        )
+    }
+}
+
+/// Checks one invariant on one world via one backend.
+///
+/// Returns `Ok(None)` when the invariant holds, `Ok(Some(violation))` when
+/// it does not.
+///
+/// # Errors
+///
+/// Propagates reconstruction failures ([`ScenarioError`]); an *error* is a
+/// world that could not run at all, not a caught violation.
+pub fn check_invariant(
+    world: &ScenarioWorld,
+    invariant: Invariant,
+    backend: BackendKind,
+) -> Result<Option<Violation>, ScenarioError> {
+    // The planted hook fires before any reconstruction so minimizing a
+    // planted failure costs one world build per probe, nothing more.
+    if let Some(detail) = plant::fires_on(world) {
+        return Ok(Some(Violation {
+            invariant,
+            world: world.name.clone(),
+            backend,
+            detail,
+        }));
+    }
+    match invariant {
+        Invariant::RigidTransform => check_rigid_transform(world, backend),
+        Invariant::PolarityRelabel => check_polarity_relabel(world, backend),
+        Invariant::NoiseCommutation => check_noise_commutation(world, backend),
+        Invariant::LoadShape => check_load_shape(world),
+        Invariant::BackendAgreement => check_backend_agreement(world),
+    }
+}
+
+/// The seeded global rigid transform F.1 applies: rotations up to ±0.6 rad
+/// per axis, translations up to ±2 per component.
+fn rigid_transform_of(seed: u64) -> Pose {
+    fn unit(bits: u64) -> f64 {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+    let s = mix_seed(seed, 0xF1);
+    let rot = UnitQuaternion::from_euler(
+        1.2 * (unit(mix_seed(s, 0)) - 0.5),
+        1.2 * (unit(mix_seed(s, 1)) - 0.5),
+        1.2 * (unit(mix_seed(s, 2)) - 0.5),
+    );
+    let t = Vec3::new(
+        4.0 * (unit(mix_seed(s, 3)) - 0.5),
+        4.0 * (unit(mix_seed(s, 4)) - 0.5),
+        4.0 * (unit(mix_seed(s, 5)) - 0.5),
+    );
+    Pose::new(rot, t)
+}
+
+fn check_rigid_transform(
+    world: &ScenarioWorld,
+    backend: BackendKind,
+) -> Result<Option<Violation>, ScenarioError> {
+    let g = rigid_transform_of(world.seed);
+    let mut transformed = Trajectory::new();
+    for sample in world.trajectory.iter() {
+        transformed
+            .push(sample.timestamp, g.compose(&sample.pose))
+            .expect("timestamps preserved");
+    }
+    let moved = ScenarioWorld {
+        trajectory: transformed,
+        ..world.clone()
+    };
+    let base = run_world(world, backend)?;
+    let trans = run_world(&moved, backend)?;
+    let violation = |detail: String| {
+        Ok(Some(Violation {
+            invariant: Invariant::RigidTransform,
+            world: world.name.clone(),
+            backend,
+            detail,
+        }))
+    };
+    if base.output.keyframes.len() != trans.output.keyframes.len() {
+        return violation(format!(
+            "keyframe count changed under rigid transform: {} vs {}",
+            base.output.keyframes.len(),
+            trans.output.keyframes.len()
+        ));
+    }
+    let mut total = 0usize;
+    let mut differing = 0usize;
+    for (i, (a, b)) in base
+        .output
+        .keyframes
+        .iter()
+        .zip(&trans.output.keyframes)
+        .enumerate()
+    {
+        if a.depth_map.width() != b.depth_map.width()
+            || a.depth_map.height() != b.depth_map.height()
+        {
+            return violation(format!("keyframe {i}: dimensions changed"));
+        }
+        total += a.depth_map.depth_data().len();
+        differing += a
+            .depth_map
+            .depth_data()
+            .iter()
+            .zip(b.depth_map.depth_data())
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
+    }
+    let fraction = if total == 0 {
+        0.0
+    } else {
+        differing as f64 / total as f64
+    };
+    if fraction > F1_MAX_DIFF_FRACTION {
+        return violation(format!(
+            "{differing} of {total} depth samples ({:.2}%) changed under rigid transform \
+             (tolerance {:.0}%)",
+            100.0 * fraction,
+            100.0 * F1_MAX_DIFF_FRACTION
+        ));
+    }
+    Ok(None)
+}
+
+fn check_polarity_relabel(
+    world: &ScenarioWorld,
+    backend: BackendKind,
+) -> Result<Option<Violation>, ScenarioError> {
+    let flipped: EventStream = world
+        .events
+        .iter()
+        .map(|e| {
+            let polarity = match e.polarity {
+                Polarity::Positive => Polarity::Negative,
+                Polarity::Negative => Polarity::Positive,
+            };
+            Event::new(e.t, e.x, e.y, polarity)
+        })
+        .collect();
+    let relabeled = ScenarioWorld {
+        events: flipped,
+        ..world.clone()
+    };
+    let base = digest_output(&run_world(world, backend)?);
+    let flip = digest_output(&run_world(&relabeled, backend)?);
+    if base != flip {
+        return Ok(Some(Violation {
+            invariant: Invariant::PolarityRelabel,
+            world: world.name.clone(),
+            backend,
+            detail: format!(
+                "digest changed under polarity flip: {base:#018x} vs {flip:#018x} \
+                 (the datapath must not read polarity)"
+            ),
+        }));
+    }
+    Ok(None)
+}
+
+fn check_noise_commutation(
+    world: &ScenarioWorld,
+    backend: BackendKind,
+) -> Result<Option<Violation>, ScenarioError> {
+    let (Some(t0), Some(t1)) = (world.events.start_time(), world.events.end_time()) else {
+        return Ok(None); // no events: trivially commutes
+    };
+    // Interior windows strictly shorter than the placement margin, so
+    // neither stage can delete the first or last event: the stream's time
+    // span — and with it the second stage's window placement — is identical
+    // in both application orders, making commutation exact.
+    let duration = 0.03 * (t1 - t0).max(1e-6);
+    let d1 = NoiseStage::Dropout(DropoutNoise {
+        windows: 2,
+        window_duration: duration,
+        seed: mix_seed(world.seed, 0xF3_01),
+    });
+    let d2 = NoiseStage::Dropout(DropoutNoise {
+        windows: 1,
+        window_duration: duration,
+        seed: mix_seed(world.seed, 0xF3_02),
+    });
+    let width = world.camera.intrinsics.width as u16;
+    let height = world.camera.intrinsics.height as u16;
+    let forward = ScenarioWorld {
+        events: apply_noise(&world.events, width, height, &[d1.clone(), d2.clone()]),
+        ..world.clone()
+    };
+    let reversed = ScenarioWorld {
+        events: apply_noise(&world.events, width, height, &[d2, d1]),
+        ..world.clone()
+    };
+    let a = digest_output(&run_world(&forward, backend)?);
+    let b = digest_output(&run_world(&reversed, backend)?);
+    if a != b {
+        return Ok(Some(Violation {
+            invariant: Invariant::NoiseCommutation,
+            world: world.name.clone(),
+            backend,
+            detail: format!(
+                "dropout stages failed to commute: {a:#018x} vs {b:#018x} \
+                 ({} vs {} events)",
+                forward.events.len(),
+                reversed.events.len()
+            ),
+        }));
+    }
+    Ok(None)
+}
+
+fn check_load_shape(world: &ScenarioWorld) -> Result<Option<Violation>, ScenarioError> {
+    let base = digest_output(&run_standalone(world, BackendKind::Software)?);
+    for shape in LoadShape::ALL {
+        let stream = loadgen::LoadStream {
+            session: session_for(world, BackendKind::Software)?,
+            trajectory: world.trajectory.clone(),
+            events: world.events.as_slice().to_vec(),
+        };
+        let outputs = loadgen::drive(ServeConfig::new().with_workers(2), vec![stream], shape)?;
+        let digest = digest_output(&outputs[0]);
+        if digest != base {
+            return Ok(Some(Violation {
+                invariant: Invariant::LoadShape,
+                world: world.name.clone(),
+                backend: BackendKind::Serve,
+                detail: format!(
+                    "digest under load shape `{}` diverged from standalone: \
+                     {digest:#018x} vs {base:#018x}",
+                    shape.name()
+                ),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+fn check_backend_agreement(world: &ScenarioWorld) -> Result<Option<Violation>, ScenarioError> {
+    let software = digest_output(&run_world(world, BackendKind::Software)?);
+    for backend in [BackendKind::Sharded, BackendKind::Serve] {
+        let digest = digest_output(&run_world(world, backend)?);
+        if digest != software {
+            return Ok(Some(Violation {
+                invariant: Invariant::BackendAgreement,
+                world: world.name.clone(),
+                backend,
+                detail: format!(
+                    "backend digest diverged from software: {digest:#018x} vs {software:#018x}"
+                ),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// The test-only planted-violation hook.
+///
+/// A fuzzer whose invariants never fire is indistinguishable from a fuzzer
+/// that checks nothing, so this hook lets a test *plant* a deterministic
+/// violation: when active, every invariant check reports a violation on any
+/// world whose observable size reaches all three thresholds. Because the
+/// predicate is monotone in the generator axes, the auto-minimizer must
+/// shrink a planted failure down to (approximately) the thresholds — which
+/// is exactly what `tests/fuzz_regressions.rs` asserts.
+///
+/// Activation, in precedence order:
+///
+/// 1. [`plant::set_for_tests`] — in-process override, for tests in this
+///    workspace (serialize tests that use it; the override is global),
+/// 2. the `EVENTOR_FUZZ_PLANT` environment variable
+///    (`min_samples,min_events,min_planes`) — crosses process boundaries,
+///    for CLI integration tests.
+///
+/// Production code never sets either; with both unset the hook is inert.
+pub mod plant {
+    use crate::ScenarioWorld;
+    use std::sync::Mutex;
+
+    /// Environment variable that activates the hook across processes.
+    pub const ENV_VAR: &str = "EVENTOR_FUZZ_PLANT";
+
+    /// Thresholds of the planted violation: it fires on worlds at least
+    /// this large along **all** three axes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Plant {
+        /// Minimum trajectory sample count.
+        pub min_samples: usize,
+        /// Minimum event count.
+        pub min_events: usize,
+        /// Minimum depth-plane count.
+        pub min_planes: usize,
+    }
+
+    impl Plant {
+        /// Parses the `min_samples,min_events,min_planes` form.
+        pub fn parse(value: &str) -> Option<Self> {
+            let mut parts = value.split(',').map(|p| p.trim().parse::<usize>().ok());
+            let plant = Plant {
+                min_samples: parts.next()??,
+                min_events: parts.next()??,
+                min_planes: parts.next()??,
+            };
+            parts.next().is_none().then_some(plant)
+        }
+    }
+
+    static OVERRIDE: Mutex<Option<Plant>> = Mutex::new(None);
+
+    /// Installs (or clears) the in-process plant. Tests using this must not
+    /// run concurrently with other plant-sensitive tests.
+    pub fn set_for_tests(plant: Option<Plant>) {
+        *OVERRIDE.lock().unwrap_or_else(|e| e.into_inner()) = plant;
+    }
+
+    fn active() -> Option<Plant> {
+        if let Some(p) = *OVERRIDE.lock().unwrap_or_else(|e| e.into_inner()) {
+            return Some(p);
+        }
+        std::env::var(ENV_VAR).ok().and_then(|v| Plant::parse(&v))
+    }
+
+    /// Whether the hook fires on `world`; returns the violation detail text.
+    pub(crate) fn fires_on(world: &ScenarioWorld) -> Option<String> {
+        let p = active()?;
+        let fires = world.trajectory.len() >= p.min_samples
+            && world.events.len() >= p.min_events
+            && world.config.num_depth_planes >= p.min_planes;
+        fires.then(|| {
+            format!(
+                "planted violation hook fired (samples {} >= {}, events {} >= {}, planes {} >= {})",
+                world.trajectory.len(),
+                p.min_samples,
+                world.events.len(),
+                p.min_events,
+                world.config.num_depth_planes,
+                p.min_planes
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldSpec;
+
+    fn tiny_world() -> ScenarioWorld {
+        let mut spec = WorldSpec::generate(0x1A57, 0);
+        spec.samples = 24;
+        spec.event_cap = 1_500;
+        spec.planes = 16;
+        spec.noise.clear();
+        spec.build().expect("tiny world builds")
+    }
+
+    #[test]
+    fn invariant_names_round_trip() {
+        for i in Invariant::ALL {
+            assert_eq!(Invariant::parse(i.name()), Some(i));
+            assert!(i.contract().starts_with("F."));
+        }
+        assert_eq!(Invariant::parse("nope"), None);
+    }
+
+    #[test]
+    fn polarity_relabel_holds_on_a_tiny_world() {
+        let world = tiny_world();
+        let v = check_invariant(&world, Invariant::PolarityRelabel, BackendKind::Software)
+            .expect("check runs");
+        assert!(v.is_none(), "{}", v.unwrap());
+    }
+
+    #[test]
+    fn plant_parse_accepts_good_and_rejects_bad() {
+        assert_eq!(
+            plant::Plant::parse("8,400,4"),
+            Some(plant::Plant {
+                min_samples: 8,
+                min_events: 400,
+                min_planes: 4
+            })
+        );
+        assert_eq!(plant::Plant::parse("8,400"), None);
+        assert_eq!(plant::Plant::parse("8,400,4,2"), None);
+        assert_eq!(plant::Plant::parse("a,b,c"), None);
+    }
+
+    #[test]
+    fn rigid_transform_of_is_seeded_and_nontrivial() {
+        let a = rigid_transform_of(1);
+        let b = rigid_transform_of(1);
+        assert_eq!(a.translation.x.to_bits(), b.translation.x.to_bits());
+        let c = rigid_transform_of(2);
+        assert_ne!(a.translation.x.to_bits(), c.translation.x.to_bits());
+        assert!(a.translation.norm() > 1e-3, "transform is ~identity");
+    }
+}

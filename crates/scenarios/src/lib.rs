@@ -42,15 +42,24 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+mod fuzz;
 mod golden;
+pub mod invariants;
 mod noise;
 mod runner;
+mod shrink;
 mod worlds;
 
 pub use error::ScenarioError;
+pub use fuzz::{
+    NoiseSpec, SceneKind, TrajectoryKind, WorldSpec, FUZZWORLD_HEADER, MAX_NOISE_STAGES,
+    MAX_PLANES, MAX_SAMPLES, MIN_EVENT_CAP, MIN_PLANES, MIN_SAMPLES,
+};
 pub use golden::{golden_digest, GOLDEN_DIGESTS};
+pub use invariants::{check_invariant, Invariant, Violation, F1_MAX_DIFF_FRACTION};
 pub use noise::{apply_noise, BurstNoise, DropoutNoise, NoiseStage};
 pub use runner::{digest_output, digest_world, run_world, serve_worlds, BackendKind};
+pub use shrink::{minimize_spec, run_fuzz, FuzzOptions, FuzzReport, WorldReport};
 pub use worlds::{corpus, find, heterogeneous_pool, CorpusScenario};
 
 use eventor_emvs::EmvsConfig;

@@ -65,7 +65,10 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
-fn session_for(world: &ScenarioWorld, backend: BackendKind) -> Result<EventorSession, EmvsError> {
+pub(crate) fn session_for(
+    world: &ScenarioWorld,
+    backend: BackendKind,
+) -> Result<EventorSession, EmvsError> {
     let builder = EventorSession::builder(world.camera, world.config.clone());
     match backend {
         BackendKind::Software | BackendKind::Serve => {
@@ -80,7 +83,7 @@ fn session_for(world: &ScenarioWorld, backend: BackendKind) -> Result<EventorSes
     .build()
 }
 
-fn run_standalone(
+pub(crate) fn run_standalone(
     world: &ScenarioWorld,
     backend: BackendKind,
 ) -> Result<SessionOutput, ScenarioError> {

@@ -1,0 +1,314 @@
+//! Auto-minimization of failing fuzz worlds, and the fuzz campaign driver
+//! that feeds it.
+//!
+//! When an invariant check fails on a generated world, the raw
+//! [`WorldSpec`] is rarely a good regression: it carries hundreds of
+//! trajectory samples, thousands of events and a stack of noise stages that
+//! have nothing to do with the bug. [`minimize_spec`] shrinks the spec
+//! **along the generator's own axes** — drop noise stages, then binary-search
+//! each numeric axis down to its smallest still-failing value — so the
+//! committed regression is the smallest world of the same shape that still
+//! reproduces the failure.
+//!
+//! Shrinking assumes the failure is *monotone enough*: if a world fails, a
+//! larger world of the same shape usually fails too. Non-monotone failures
+//! still minimize correctly (the predicate is re-run at every probe); they
+//! just may not reach the global minimum, which is the standard
+//! delta-debugging trade-off.
+
+use crate::invariants::{check_invariant, Invariant, Violation};
+use crate::runner::{digest_world, BackendKind};
+use crate::{ScenarioError, WorldSpec, MIN_EVENT_CAP, MIN_PLANES, MIN_SAMPLES};
+
+/// Upper bound on full shrink passes; each pass re-walks every axis, and the
+/// loop stops early at the first pass that changes nothing.
+const MAX_PASSES: usize = 4;
+
+/// Shrinks `spec` to a smaller spec that still satisfies `fails`.
+///
+/// `fails` must return `true` for the input spec (the caller observed the
+/// failure there); if it does not, the input is returned unchanged. Probes
+/// that error inside `fails` should return `false` — an unbuildable world is
+/// not a reproduction.
+///
+/// The shrink order mirrors the generator grammar:
+///
+/// 1. **noise stages** — drop each stage (last first) if the failure
+///    persists without it,
+/// 2. **samples**, **event_cap**, **planes** — binary search the smallest
+///    still-failing value down to the generator floors ([`MIN_SAMPLES`],
+///    [`MIN_EVENT_CAP`], [`MIN_PLANES`]),
+///
+/// repeated to a fixpoint (bounded number of passes).
+pub fn minimize_spec(spec: &WorldSpec, fails: &mut dyn FnMut(&WorldSpec) -> bool) -> WorldSpec {
+    let mut current = spec.clone();
+    current.golden = None; // any pinned digest belongs to the unshrunk world
+    if !fails(&current) {
+        return current;
+    }
+    for _ in 0..MAX_PASSES {
+        let before = current.clone();
+
+        // Axis 1: noise stages, dropped one at a time from the back so
+        // indices of the stages not yet probed stay stable.
+        let mut i = current.noise.len();
+        while i > 0 {
+            i -= 1;
+            let mut probe = current.clone();
+            probe.noise.remove(i);
+            if fails(&probe) {
+                current = probe;
+            }
+        }
+
+        // Axes 2-4: each numeric axis shrinks independently via binary
+        // search for the smallest still-failing value.
+        current = shrink_axis(current, fails, MIN_SAMPLES, |s| &mut s.samples);
+        current = shrink_axis(current, fails, MIN_EVENT_CAP, |s| &mut s.event_cap);
+        current = shrink_axis(current, fails, MIN_PLANES, |s| &mut s.planes);
+
+        if current == before {
+            break;
+        }
+    }
+    current
+}
+
+/// Binary-searches one numeric axis of `spec` down to the smallest value
+/// `>= floor` for which `fails` still holds, leaving other axes untouched.
+fn shrink_axis(
+    spec: WorldSpec,
+    fails: &mut dyn FnMut(&WorldSpec) -> bool,
+    floor: usize,
+    axis: impl Fn(&mut WorldSpec) -> &mut usize,
+) -> WorldSpec {
+    let original = *axis(&mut spec.clone());
+    if original <= floor {
+        return spec;
+    }
+    let probe_at = |value: usize, fails: &mut dyn FnMut(&WorldSpec) -> bool| {
+        let mut probe = spec.clone();
+        *axis(&mut probe) = value;
+        fails(&probe).then_some(probe)
+    };
+    // Invariant of the search: `hi` fails (starts at the observed failure),
+    // values below `lo` are known-good or unprobed floors.
+    let (mut lo, mut hi) = (floor, original);
+    let mut best: Option<WorldSpec> = None;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match probe_at(mid, fails) {
+            Some(probe) => {
+                hi = mid;
+                best = Some(probe);
+            }
+            None => lo = mid + 1,
+        }
+    }
+    best.unwrap_or(spec)
+}
+
+/// What a fuzz campaign checks per generated world.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Backends the per-backend invariants (F.1-F.3) run on.
+    pub backends: Vec<BackendKind>,
+    /// The invariants to enforce.
+    pub invariants: Vec<Invariant>,
+    /// Hard cap applied to every generated spec's `event_cap` (bounds
+    /// campaign cost; `None` keeps the generated budgets).
+    pub max_events: Option<usize>,
+    /// Whether to auto-minimize the first violation of each world.
+    pub minimize: bool,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        Self {
+            backends: vec![BackendKind::Software],
+            invariants: Invariant::ALL.to_vec(),
+            max_events: None,
+            minimize: true,
+        }
+    }
+}
+
+/// Outcome of one generated world within a campaign.
+#[derive(Debug, Clone)]
+pub struct WorldReport {
+    /// The generated (pre-minimization) spec.
+    pub spec: WorldSpec,
+    /// Software-backend digest of the world (its replay pin).
+    pub digest: u64,
+    /// Every violation caught on this world.
+    pub violations: Vec<Violation>,
+    /// The minimized reproduction of the first violation, when minimization
+    /// ran and the failure survived shrinking.
+    pub minimized: Option<WorldSpec>,
+}
+
+/// Machine-readable result of a whole fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Number of worlds generated (world `i` is `WorldSpec::generate(seed, i)`).
+    pub count: usize,
+    /// Per-world outcomes, in generation order.
+    pub worlds: Vec<WorldReport>,
+}
+
+impl FuzzReport {
+    /// Total violations across the campaign.
+    pub fn violation_count(&self) -> usize {
+        self.worlds.iter().map(|w| w.violations.len()).sum()
+    }
+
+    /// Whether every invariant held on every world.
+    pub fn is_clean(&self) -> bool {
+        self.violation_count() == 0
+    }
+}
+
+/// Runs a fuzz campaign: generates `count` worlds from `seed`, checks every
+/// requested invariant on each, and auto-minimizes caught violations.
+///
+/// Deterministic in `(seed, count, options)` — two invocations produce the
+/// same report, which is what makes `eventor-cli fuzz` bit-reproducible.
+///
+/// # Errors
+///
+/// Propagates worlds that fail to *run* ([`ScenarioError`]); a caught
+/// violation is a report entry, not an error.
+pub fn run_fuzz(
+    seed: u64,
+    count: usize,
+    options: &FuzzOptions,
+) -> Result<FuzzReport, ScenarioError> {
+    let mut worlds = Vec::with_capacity(count);
+    for index in 0..count as u64 {
+        let mut spec = WorldSpec::generate(seed, index);
+        if let Some(cap) = options.max_events {
+            spec.event_cap = spec.event_cap.min(cap.max(MIN_EVENT_CAP));
+        }
+        worlds.push(check_world(spec, options)?);
+    }
+    Ok(FuzzReport {
+        seed,
+        count,
+        worlds,
+    })
+}
+
+/// Checks one spec against the requested invariant matrix; minimizes the
+/// first violation when asked to.
+fn check_world(spec: WorldSpec, options: &FuzzOptions) -> Result<WorldReport, ScenarioError> {
+    let world = spec.build()?;
+    let digest = digest_world(&world, BackendKind::Software)?;
+    let mut violations = Vec::new();
+    let mut first_failure: Option<(Invariant, BackendKind)> = None;
+    for &invariant in &options.invariants {
+        // F.4/F.5 sweep their own execution paths; running them once per
+        // requested backend would only repeat identical work.
+        let backends: &[BackendKind] = match invariant {
+            Invariant::LoadShape | Invariant::BackendAgreement => &[BackendKind::Software],
+            _ => &options.backends,
+        };
+        for &backend in backends {
+            if let Some(v) = check_invariant(&world, invariant, backend)? {
+                if first_failure.is_none() {
+                    first_failure = Some((invariant, backend));
+                }
+                violations.push(v);
+            }
+        }
+    }
+    let minimized = match first_failure {
+        Some((invariant, backend)) if options.minimize => {
+            let mut fails = |probe: &WorldSpec| -> bool {
+                probe
+                    .build()
+                    .ok()
+                    .and_then(|w| check_invariant(&w, invariant, backend).ok())
+                    .flatten()
+                    .is_some()
+            };
+            let mut min = minimize_spec(&spec, &mut fails);
+            // Pin the shrunk world's replay digest when it still runs; a
+            // committed regression needs one for `eventor-cli check`.
+            min.golden = min
+                .build()
+                .ok()
+                .and_then(|w| digest_world(&w, BackendKind::Software).ok());
+            Some(min)
+        }
+        _ => None,
+    };
+    Ok(WorldReport {
+        spec,
+        digest,
+        violations,
+        minimized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_reaches_floors_on_an_always_failing_predicate() {
+        let mut spec = WorldSpec::generate(77, 0);
+        spec.samples = 96;
+        spec.event_cap = 16_000;
+        spec.planes = 64;
+        let min = minimize_spec(&spec, &mut |_| true);
+        assert_eq!(min.samples, MIN_SAMPLES);
+        assert_eq!(min.event_cap, MIN_EVENT_CAP);
+        assert_eq!(min.planes, MIN_PLANES);
+        assert!(min.noise.is_empty());
+        assert_eq!(min.golden, None);
+    }
+
+    #[test]
+    fn minimize_respects_a_threshold_predicate() {
+        let mut spec = WorldSpec::generate(78, 0);
+        spec.samples = 96;
+        spec.event_cap = 16_000;
+        spec.planes = 64;
+        let mut fails = |s: &WorldSpec| s.samples >= 40 && s.event_cap >= 1_000 && s.planes >= 17;
+        let min = minimize_spec(&spec, &mut fails);
+        assert_eq!(min.samples, 40);
+        assert_eq!(min.event_cap, 1_000);
+        assert_eq!(min.planes, 17);
+        assert!(fails(&min));
+    }
+
+    #[test]
+    fn minimize_returns_input_when_failure_does_not_reproduce() {
+        let spec = WorldSpec::generate(79, 0);
+        let min = minimize_spec(&spec, &mut |_| false);
+        assert_eq!(min.samples, spec.samples);
+        assert_eq!(min.event_cap, spec.event_cap);
+        assert_eq!(min.planes, spec.planes);
+    }
+
+    #[test]
+    fn clean_fuzz_campaign_is_reproducible() {
+        let options = FuzzOptions {
+            backends: vec![BackendKind::Software],
+            invariants: vec![Invariant::PolarityRelabel],
+            max_events: Some(1_200),
+            minimize: true,
+        };
+        let a = run_fuzz(0xFA22, 2, &options).expect("campaign runs");
+        let b = run_fuzz(0xFA22, 2, &options).expect("campaign runs");
+        assert!(a.is_clean(), "unexpected violations: {:?}", a.worlds);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.worlds.len(), 2);
+        for (x, y) in a.worlds.iter().zip(&b.worlds) {
+            assert_eq!(x.digest, y.digest);
+            assert_eq!(x.spec, y.spec);
+        }
+    }
+}

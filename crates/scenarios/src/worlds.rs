@@ -17,11 +17,11 @@ use eventor_geom::{CameraIntrinsics, CameraModel, DistortionModel, Mat3, Pose, T
 /// Cap applied to every world's stream: bounds test/CI runtime without
 /// losing scenario character (the cap is part of the scenario definition, so
 /// digests are stable).
-const MAX_WORLD_EVENTS: usize = 24_000;
+pub(crate) const MAX_WORLD_EVENTS: usize = 24_000;
 
 /// The corpus camera: a reduced-resolution ideal pinhole fast enough for
 /// debug-mode test runs.
-fn small_camera() -> CameraModel {
+pub(crate) fn small_camera() -> CameraModel {
     let intrinsics = CameraIntrinsics::new(66.0, 66.0, 40.0, 30.0, 80, 60)
         .expect("static corpus intrinsics are valid");
     CameraModel::new(intrinsics, DistortionModel::none())
@@ -35,7 +35,7 @@ fn distorted_camera() -> CameraModel {
     CameraModel::new(intrinsics, DistortionModel::radial(-0.15, 0.04, 0.0))
 }
 
-fn simulator_config(seed: u64, contrast_threshold: f64) -> SimulatorConfig {
+pub(crate) fn simulator_config(seed: u64, contrast_threshold: f64) -> SimulatorConfig {
     SimulatorConfig {
         contrast_threshold,
         samples: 60,
@@ -60,7 +60,12 @@ fn blob_texture(seed: u64, spacing: f64) -> Texture {
 
 /// Orbit: the camera rides a circular arc of radius `radius` around
 /// `target`, always looking at it.
-fn orbit_trajectory(target: Vec3, radius: f64, half_angle: f64, samples: usize) -> Trajectory {
+pub(crate) fn orbit_trajectory(
+    target: Vec3,
+    radius: f64,
+    half_angle: f64,
+    samples: usize,
+) -> Trajectory {
     let mut t = Trajectory::new();
     for i in 0..samples {
         let s = i as f64 / (samples - 1) as f64;
@@ -78,7 +83,7 @@ fn orbit_trajectory(target: Vec3, radius: f64, half_angle: f64, samples: usize) 
 
 /// Builds a camera-to-world pose at `eye` with the optical axis (+Z of the
 /// camera frame) pointing at `target`.
-fn look_at(eye: Vec3, target: Vec3) -> Pose {
+pub(crate) fn look_at(eye: Vec3, target: Vec3) -> Pose {
     let cz = (target - eye).normalized().expect("eye != target");
     let cx = Vec3::Y.cross(cz).normalized().expect("axis not degenerate");
     let cy = cz.cross(cx);
@@ -87,7 +92,12 @@ fn look_at(eye: Vec3, target: Vec3) -> Pose {
 
 /// Spiral: the camera corkscrews outward in the image plane while slowly
 /// advancing along the optical axis, orientation fixed.
-fn spiral_trajectory(turns: f64, max_radius: f64, advance: f64, samples: usize) -> Trajectory {
+pub(crate) fn spiral_trajectory(
+    turns: f64,
+    max_radius: f64,
+    advance: f64,
+    samples: usize,
+) -> Trajectory {
     let mut t = Trajectory::new();
     for i in 0..samples {
         let s = i as f64 / (samples - 1) as f64;
@@ -102,7 +112,7 @@ fn spiral_trajectory(turns: f64, max_radius: f64, advance: f64, samples: usize) 
 
 /// Dolly: the camera advances along the optical axis with a slight lateral
 /// drift (a pure-forward dolly has no parallax at the image centre).
-fn dolly_trajectory(depth_travel: f64, drift: f64, samples: usize) -> Trajectory {
+pub(crate) fn dolly_trajectory(depth_travel: f64, drift: f64, samples: usize) -> Trajectory {
     let mut t = Trajectory::new();
     for i in 0..samples {
         let s = i as f64 / (samples - 1) as f64;
@@ -119,7 +129,12 @@ fn dolly_trajectory(depth_travel: f64, drift: f64, samples: usize) -> Trajectory
 
 /// Shake: a hand-held lateral sweep with seeded high-frequency positional
 /// jitter and small seeded attitude wobble.
-fn shake_trajectory(amplitude: f64, jitter: f64, seed: u64, samples: usize) -> Trajectory {
+pub(crate) fn shake_trajectory(
+    amplitude: f64,
+    jitter: f64,
+    seed: u64,
+    samples: usize,
+) -> Trajectory {
     fn unit(bits: u64) -> f64 {
         (bits >> 11) as f64 / (1u64 << 53) as f64
     }
@@ -144,7 +159,7 @@ fn shake_trajectory(amplitude: f64, jitter: f64, seed: u64, samples: usize) -> T
 }
 
 /// Slide: the classic linear-slider sweep.
-fn slide_trajectory(amplitude: f64, samples: usize) -> Trajectory {
+pub(crate) fn slide_trajectory(amplitude: f64, samples: usize) -> Trajectory {
     Trajectory::linear(
         Pose::from_translation(Vec3::new(-amplitude, 0.0, 0.0)),
         Pose::from_translation(Vec3::new(amplitude, 0.0, 0.0)),
@@ -159,7 +174,7 @@ fn slide_trajectory(amplitude: f64, samples: usize) -> Trajectory {
 // ---------------------------------------------------------------------------
 
 /// Sparse: one small textured target and nothing else.
-fn sparse_scene(seed: u64, depth: f64) -> Scene {
+pub(crate) fn sparse_scene(seed: u64, depth: f64) -> Scene {
     let mut scene = Scene::new();
     scene.add_patch(PlanarPatch::frontoparallel(
         Vec3::new(0.0, 0.0, depth),
@@ -171,7 +186,7 @@ fn sparse_scene(seed: u64, depth: f64) -> Scene {
 }
 
 /// Dense: a 3×3 grid of textured patches at staggered depths.
-fn dense_scene(seed: u64, base_depth: f64) -> Scene {
+pub(crate) fn dense_scene(seed: u64, base_depth: f64) -> Scene {
     let mut scene = Scene::new();
     for gy in 0..3i32 {
         for gx in 0..3i32 {
@@ -193,7 +208,7 @@ fn dense_scene(seed: u64, base_depth: f64) -> Scene {
 }
 
 /// Multi-plane: a staircase of four fronto-parallel planes.
-fn multiplane_scene(seed: u64) -> Scene {
+pub(crate) fn multiplane_scene(seed: u64) -> Scene {
     let mut scene = Scene::new();
     for (i, (x, depth)) in [(-0.9, 1.2), (-0.3, 1.8), (0.35, 2.5), (1.05, 3.3)]
         .into_iter()
@@ -211,7 +226,7 @@ fn multiplane_scene(seed: u64) -> Scene {
 
 /// Corridor: left/right walls converging on a back wall — continuous depth
 /// gradients plus a fronto-parallel terminator.
-fn corridor_scene(seed: u64) -> Scene {
+pub(crate) fn corridor_scene(seed: u64) -> Scene {
     let mut scene = Scene::new();
     scene.add_patch(PlanarPatch::frontoparallel(
         Vec3::new(0.0, 0.0, 3.8),

@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+pub mod loadgen;
 mod metrics;
 mod queue;
 
@@ -57,4 +58,5 @@ pub use engine::{
     PumpStats, ServeConfig, ServeEngine, ServeError, ServeEvent, SessionId, DEFAULT_QUANTUM_EVENTS,
     DEFAULT_QUEUE_CAPACITY,
 };
+pub use loadgen::{drive, LoadShape, LoadStream};
 pub use metrics::{ServeMetrics, SessionMetrics, SessionStatus};

@@ -1,0 +1,210 @@
+//! Hostile load-shape drivers: deterministic producer/consumer pacing
+//! patterns for stress-feeding a [`ServeEngine`].
+//!
+//! The serving tier's contract is that **scheduling must never change
+//! output bits** — a session's result is a pure function of its own input
+//! stream, whatever the other sessions, the chunk sizes, or the pump cadence
+//! do (`docs/ARCHITECTURE.md` §7). The corpus runner exercises one fixed
+//! interleave; this module turns the pacing itself into an input axis so the
+//! fuzzer can drive the engine through adversarial shapes — floods, idle
+//! gaps, session churn, a consumer that almost never pumps — and the
+//! metamorphic harness can assert the outputs stay identical across all of
+//! them (invariant F.4 in `docs/SCENARIOS.md`).
+//!
+//! Every shape is deterministic: no clocks, no randomness — the same streams
+//! and shape always replay the same engine schedule.
+
+use crate::{ServeConfig, ServeEngine, ServeError, SessionId};
+use eventor_core::{EventorSession, SessionOutput};
+use eventor_emvs::EmvsError;
+use eventor_events::Event;
+use eventor_geom::Trajectory;
+
+/// How the producer and consumer sides are paced while feeding the engine.
+///
+/// Shapes only change *when* events are offered and *how often* the engine
+/// pumps — never what is fed — so any output difference between two shapes
+/// is an isolation bug in the serving tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadShape {
+    /// The well-behaved baseline: fixed-size chunks, one pump per enqueue.
+    Steady {
+        /// Events offered per enqueue step.
+        chunk: usize,
+    },
+    /// A producer that floods then goes quiet: large bursts, each followed
+    /// by a stretch of idle pump rounds with nothing new arriving.
+    Bursty {
+        /// Events offered per burst.
+        burst: usize,
+        /// Pump rounds run after each burst while the producer is idle.
+        idle_pumps: usize,
+    },
+    /// Session churn: streams are admitted, served to completion and
+    /// finished in waves of at most `wave` concurrent sessions on one
+    /// engine, so session slots are continuously created and retired.
+    Churn {
+        /// Maximum number of concurrently live sessions per wave.
+        wave: usize,
+    },
+    /// A consumer that rarely keeps up: chunked enqueues but only one pump
+    /// round every `pump_every` enqueue steps, so queues run near capacity
+    /// and backpressure does the pacing.
+    SlowConsumer {
+        /// Events offered per enqueue step.
+        chunk: usize,
+        /// Enqueue steps between consecutive pump rounds.
+        pump_every: usize,
+    },
+}
+
+impl LoadShape {
+    /// Every shape at representative parameters, in documentation order —
+    /// the sweep the metamorphic harness runs.
+    pub const ALL: [LoadShape; 4] = [
+        LoadShape::Steady { chunk: 1024 },
+        LoadShape::Bursty {
+            burst: 6144,
+            idle_pumps: 5,
+        },
+        LoadShape::Churn { wave: 2 },
+        LoadShape::SlowConsumer {
+            chunk: 768,
+            pump_every: 7,
+        },
+    ];
+
+    /// Short name for reports and labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Steady { .. } => "steady",
+            Self::Bursty { .. } => "bursty",
+            Self::Churn { .. } => "churn",
+            Self::SlowConsumer { .. } => "slow-consumer",
+        }
+    }
+}
+
+/// One stream to serve: a ready-built session plus its full input.
+#[derive(Debug)]
+pub struct LoadStream {
+    /// The session to admit (any backend).
+    pub session: EventorSession,
+    /// The pose stream, enqueued up front.
+    pub trajectory: Trajectory,
+    /// The time-ordered event stream, fed according to the [`LoadShape`].
+    pub events: Vec<Event>,
+}
+
+/// Serves every stream on one engine under the given load shape and returns
+/// each stream's terminal output, in input order.
+///
+/// Backpressure is handled the way a correct producer must: a short write
+/// advances the cursor by the accepted count, and a zero-accept
+/// [`EmvsError::Backpressure`] triggers a pump round and a retry.
+///
+/// # Errors
+///
+/// Propagates engine errors other than retryable backpressure.
+pub fn drive(
+    config: ServeConfig,
+    streams: Vec<LoadStream>,
+    shape: LoadShape,
+) -> Result<Vec<SessionOutput>, ServeError> {
+    let (wave, chunk, pump_every, idle_pumps) = match shape {
+        LoadShape::Steady { chunk } => (usize::MAX, chunk, 1, 1),
+        LoadShape::Bursty { burst, idle_pumps } => (usize::MAX, burst, 1, idle_pumps.max(1)),
+        LoadShape::Churn { wave } => (wave.max(1), 1024, 1, 1),
+        LoadShape::SlowConsumer { chunk, pump_every } => (usize::MAX, chunk, pump_every.max(1), 1),
+    };
+    let chunk = chunk.max(1);
+
+    let mut engine = ServeEngine::new(config);
+    let mut outputs = Vec::new();
+    let mut pending = streams.into_iter();
+    loop {
+        let batch: Vec<LoadStream> = pending.by_ref().take(wave).collect();
+        if batch.is_empty() {
+            break;
+        }
+        let mut jobs: Vec<(SessionId, Vec<Event>, usize)> = Vec::with_capacity(batch.len());
+        for stream in batch {
+            let id = engine.admit(stream.session);
+            engine.enqueue_trajectory(id, &stream.trajectory)?;
+            jobs.push((id, stream.events, 0));
+        }
+        feed(&mut engine, &mut jobs, chunk, pump_every, idle_pumps)?;
+        for (id, _, _) in &jobs {
+            engine.close(*id)?;
+        }
+        engine.drain()?;
+        for (id, _, _) in &jobs {
+            let output = engine
+                .take_output(*id)
+                .ok_or(ServeError::SessionClosed { session: *id })?;
+            outputs.push(output);
+        }
+    }
+    Ok(outputs)
+}
+
+/// Feeds every job to completion with the given pacing: round-robin over the
+/// jobs, `chunk` events per offer, a pump burst of `idle_pumps` rounds every
+/// `pump_every` enqueue steps.
+fn feed(
+    engine: &mut ServeEngine,
+    jobs: &mut [(SessionId, Vec<Event>, usize)],
+    chunk: usize,
+    pump_every: usize,
+    idle_pumps: usize,
+) -> Result<(), ServeError> {
+    let mut step = 0usize;
+    loop {
+        let mut all_done = true;
+        for (id, events, cursor) in jobs.iter_mut() {
+            if *cursor >= events.len() {
+                continue;
+            }
+            all_done = false;
+            let end = (*cursor + chunk).min(events.len());
+            match engine.enqueue_events(*id, &events[*cursor..end]) {
+                Ok(accepted) => *cursor += accepted,
+                Err(ServeError::Session {
+                    source: EmvsError::Backpressure { .. },
+                    ..
+                }) => {
+                    engine.pump();
+                }
+                Err(e) => return Err(e),
+            }
+            step += 1;
+            if step.is_multiple_of(pump_every) {
+                for _ in 0..idle_pumps {
+                    engine.pump();
+                }
+            }
+        }
+        if all_done {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_set_yields_no_outputs() {
+        for shape in LoadShape::ALL {
+            let out = drive(ServeConfig::new(), Vec::new(), shape).expect("no streams, no error");
+            assert!(out.is_empty(), "{}", shape.name());
+        }
+    }
+
+    #[test]
+    fn shape_names_are_distinct() {
+        let names: std::collections::HashSet<_> = LoadShape::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), LoadShape::ALL.len());
+    }
+}

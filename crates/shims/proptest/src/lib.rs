@@ -14,9 +14,20 @@
 //!   nightly job runs the suite at 10×).
 //!
 //! Cases are generated deterministically from the test's module path, name
-//! and case index; there is no shrinking and no failure persistence. A
-//! rejected case (`prop_assume!`) is retried with the next index and does not
-//! count towards the case budget.
+//! and case index; there is no shrinking. A rejected case (`prop_assume!`) is
+//! retried with the next index and does not count towards the case budget.
+//!
+//! ## Corpus-seed persistence
+//!
+//! When a case fails, its `(test identity, case index)` pair is appended to a
+//! persistence file (default `proptest-regressions.txt` in the working
+//! directory, overridable via the `PROPTEST_PERSISTENCE` environment
+//! variable; set it to `off` to disable). On the next run every persisted
+//! case for a test is **replayed before any fresh cases**, so a failure found
+//! once — locally or by the nightly deep run — keeps reproducing until the
+//! bug is fixed and the line is deleted. Because case generation is
+//! deterministic, the index alone reconstructs the exact failing inputs; no
+//! serialized values are needed. See [`persistence`].
 
 #![deny(missing_docs)]
 
@@ -71,6 +82,98 @@ pub fn scaled_cases(base: u32) -> u32 {
             .unwrap_or(1)
     });
     base.saturating_mul(m)
+}
+
+/// Corpus-seed persistence: failing case indices are written to a text file
+/// and replayed ahead of fresh cases on subsequent runs.
+///
+/// The file format is one `<test identity> <case index>` pair per line
+/// (identity is `module_path!()::test_name`); blank lines and lines starting
+/// with `#` are ignored. The file location comes from the
+/// `PROPTEST_PERSISTENCE` environment variable — a path, or `off`/`0` to
+/// disable persistence — and defaults to [`DEFAULT_FILE`] in the working
+/// directory (for `cargo test` that is the crate root, so each crate keeps
+/// its own corpus). The environment is consulted on every call rather than
+/// cached: the fuzz CLI spawns per-run files and tests point it at scratch
+/// paths.
+///
+/// [`DEFAULT_FILE`]: persistence::DEFAULT_FILE
+pub mod persistence {
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    /// Default persistence file name, relative to the working directory.
+    pub const DEFAULT_FILE: &str = "proptest-regressions.txt";
+
+    /// Environment variable naming the persistence file (`off`/`0` disables).
+    pub const ENV_VAR: &str = "PROPTEST_PERSISTENCE";
+
+    fn file() -> Option<PathBuf> {
+        match std::env::var(ENV_VAR) {
+            Ok(v) if v == "off" || v == "0" => None,
+            Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+            _ => Some(PathBuf::from(DEFAULT_FILE)),
+        }
+    }
+
+    /// The recorded failing case indices for `ident`, sorted and deduplicated.
+    ///
+    /// Returns an empty vector when persistence is disabled, the file does
+    /// not exist, or no line matches. Unparseable lines are skipped (a stale
+    /// or hand-edited corpus must never break the suite outright).
+    pub fn persisted_cases(ident: &str) -> Vec<u64> {
+        let Some(path) = file() else {
+            return Vec::new();
+        };
+        let Ok(content) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        let mut cases: Vec<u64> = content
+            .lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    return None;
+                }
+                let (id, case) = line.rsplit_once(' ')?;
+                if id.trim() != ident {
+                    return None;
+                }
+                case.parse().ok()
+            })
+            .collect();
+        cases.sort_unstable();
+        cases.dedup();
+        cases
+    }
+
+    /// Records `case` as a failing corpus seed for `ident`.
+    ///
+    /// Appends one line, deduplicating against already-persisted cases. All
+    /// I/O errors are swallowed: persistence is best-effort bookkeeping and
+    /// must never mask the assertion failure that triggered it.
+    pub fn record_failure(ident: &str, case: u64) {
+        let Some(path) = file() else { return };
+        if persisted_cases(ident).contains(&case) {
+            return;
+        }
+        let header_needed = !path.exists();
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            return;
+        };
+        if header_needed {
+            let _ = writeln!(
+                f,
+                "# proptest corpus seeds: one `<test identity> <case index>` per line.\n\
+                 # Persisted failures replay before fresh cases; delete a line once fixed."
+            );
+        }
+        let _ = writeln!(f, "{ident} {case}");
+    }
 }
 
 /// Why a test case did not pass.
@@ -364,21 +467,36 @@ macro_rules! __proptest_fns {
         #[allow(unreachable_code)]
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
+            let ident = concat!(module_path!(), "::", stringify!($name));
+            let run_case = |case: u64| -> $crate::TestCaseResult {
+                let mut __proptest_rng = $crate::TestRng::deterministic(ident, case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)*
+                $body
+                ::std::result::Result::Ok(())
+            };
+            // Replay the persisted failure corpus before any fresh cases: a
+            // failure found once keeps reproducing until its line is removed.
+            for case in $crate::persistence::persisted_cases(ident) {
+                match run_case(case) {
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "{} (persisted corpus case #{} of {})",
+                            msg, case, stringify!($name)
+                        );
+                    }
+                    // Ok: the recorded bug is fixed (stale line). Reject: the
+                    // strategy changed under the corpus. Neither blocks fresh
+                    // exploration.
+                    _ => {}
+                }
+            }
             let target_cases = $crate::scaled_cases(config.cases);
             let mut executed: u32 = 0;
             let mut rejected: u32 = 0;
             let mut case: u64 = 0;
             while executed < target_cases {
-                let mut __proptest_rng = $crate::TestRng::deterministic(
-                    concat!(module_path!(), "::", stringify!($name)),
-                    case,
-                );
+                let result = run_case(case);
                 case += 1;
-                $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)*
-                let result: $crate::TestCaseResult = (|| {
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
                 match result {
                     ::std::result::Result::Ok(()) => executed += 1,
                     ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
@@ -391,7 +509,11 @@ macro_rules! __proptest_fns {
                         }
                     }
                     ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                        panic!("{} (case #{} of {})", msg, case - 1, stringify!($name));
+                        $crate::persistence::record_failure(ident, case - 1);
+                        panic!(
+                            "{} (case #{} of {}; seed persisted for replay)",
+                            msg, case - 1, stringify!($name)
+                        );
                     }
                 }
             }
@@ -444,5 +566,65 @@ mod tests {
         assert_eq!(a.next_u64(), b.next_u64());
         let mut c = TestRng::deterministic("ident", 6);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    mod persistence_tests {
+        use crate::persistence::{self, ENV_VAR};
+        use std::path::PathBuf;
+        use std::sync::Mutex;
+
+        /// Serializes env-var mutation across the persistence tests; other
+        /// tests in this binary only ever read the variable.
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+        fn scratch(name: &str) -> PathBuf {
+            std::env::temp_dir().join(format!("proptest-shim-{}-{}.txt", std::process::id(), name))
+        }
+
+        fn with_corpus_file<R>(name: &str, f: impl FnOnce(&PathBuf) -> R) -> R {
+            let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let path = scratch(name);
+            let _ = std::fs::remove_file(&path);
+            std::env::set_var(ENV_VAR, &path);
+            let out = f(&path);
+            std::env::remove_var(ENV_VAR);
+            let _ = std::fs::remove_file(&path);
+            out
+        }
+
+        #[test]
+        fn record_then_replay_round_trips_and_dedups() {
+            with_corpus_file("roundtrip", |_| {
+                assert!(persistence::persisted_cases("mod::test_a").is_empty());
+                persistence::record_failure("mod::test_a", 17);
+                persistence::record_failure("mod::test_a", 3);
+                persistence::record_failure("mod::test_a", 17); // duplicate
+                persistence::record_failure("mod::test_b", 99);
+                assert_eq!(persistence::persisted_cases("mod::test_a"), vec![3, 17]);
+                assert_eq!(persistence::persisted_cases("mod::test_b"), vec![99]);
+                assert!(persistence::persisted_cases("mod::test_c").is_empty());
+            });
+        }
+
+        #[test]
+        fn comments_blanks_and_garbage_lines_are_ignored() {
+            with_corpus_file("garbage", |path| {
+                std::fs::write(
+                    path,
+                    "# header\n\nmod::t 5\nmod::t not-a-number\nno-space-line\nmod::t 5\nmod::t 2\n",
+                )
+                .unwrap();
+                assert_eq!(persistence::persisted_cases("mod::t"), vec![2, 5]);
+            });
+        }
+
+        #[test]
+        fn off_disables_persistence_entirely() {
+            let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            std::env::set_var(ENV_VAR, "off");
+            persistence::record_failure("mod::disabled", 1);
+            assert!(persistence::persisted_cases("mod::disabled").is_empty());
+            std::env::remove_var(ENV_VAR);
+        }
     }
 }

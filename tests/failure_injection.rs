@@ -3,14 +3,18 @@
 //! degrade gracefully (bounded error, explicit rejection) rather than panic
 //! or silently corrupt the reconstruction.
 
-use eventor::core::{config_for_sequence, CosimPipeline, EventorOptions, EventorPipeline};
-use eventor::emvs::{EmvsConfig, EmvsError, EmvsMapper};
+use eventor::core::{
+    config_for_sequence, CosimPipeline, EventorOptions, EventorPipeline, EventorSession,
+};
+use eventor::emvs::{EmvsConfig, EmvsError, EmvsMapper, SessionEvent};
 use eventor::events::{
     DatasetConfig, Event, EventStream, NoiseConfig, NoiseInjector, Polarity, SequenceKind,
     SyntheticSequence,
 };
 use eventor::geom::{CameraModel, Pose, Trajectory, Vec3};
 use eventor::hwsim::{AcceleratorConfig, DsiDram, EventorDevice, FrameJob, FrameKind};
+use eventor::scenarios::{digest_output, find, Scenario, ScenarioWorld};
+use eventor::serve::{ServeConfig, ServeEngine, ServeError};
 
 fn sequence(kind: SequenceKind) -> SyntheticSequence {
     SyntheticSequence::generate(kind, &DatasetConfig::fast_test())
@@ -167,6 +171,137 @@ fn dsi_scores_saturate_instead_of_wrapping_under_extreme_load() {
     assert_eq!(dram.score(3, 3, 1), Some(u16::MAX));
     assert_eq!(dram.stats().saturated_votes, 500);
     assert_eq!(dram.stats().address_faults, 0);
+}
+
+/// Builds a fresh software session for `world` (the serve tier accepts any
+/// backend; software keeps the test fast).
+fn software_session(world: &ScenarioWorld) -> EventorSession {
+    EventorSession::builder(world.camera, world.config.clone())
+        .software(EventorOptions::accelerator())
+        .build()
+        .expect("session config is valid")
+}
+
+/// Serve-path fault recovery: a session driven into hard backpressure
+/// mid-keyframe recovers via `discard_pending`, and the recovered session's
+/// output is **bit-identical** to a clean standalone run of the surviving
+/// stream (processed prefix + post-recovery suffix). Dropping in-flight
+/// input must lose exactly the dropped events — no partial frame, no stale
+/// vote, no shifted window may leak across the fault.
+#[test]
+fn serve_backpressure_recovery_matches_clean_run_of_surviving_stream() {
+    let scenario = find("shake_closeup").expect("corpus scenario");
+    let world = scenario.build(scenario.default_seed()).expect("world");
+    let events = world.events.as_slice();
+
+    // A deliberately tiny queue so the flood below hits zero-accept
+    // backpressure long before the stream runs out.
+    let mut engine = ServeEngine::new(
+        ServeConfig::new()
+            .with_workers(1)
+            .with_queue_capacity(512)
+            .with_quantum_events(256),
+    );
+    let id = engine.admit(software_session(&world));
+    engine
+        .enqueue_trajectory(id, &world.trajectory)
+        .expect("trajectory enqueues");
+
+    // Phase 1: well-behaved feeding (pump per enqueue) until the session has
+    // produced at least one depth map — the fault must land mid-session, not
+    // on an idle one.
+    let mut cursor = 0usize;
+    let mut depth_map_seen = false;
+    while !depth_map_seen && cursor < events.len() {
+        let end = (cursor + 256).min(events.len());
+        match engine.enqueue_events(id, &events[cursor..end]) {
+            Ok(accepted) => cursor += accepted,
+            Err(ServeError::Session {
+                source: EmvsError::Backpressure { .. },
+                ..
+            }) => {}
+            Err(e) => panic!("unexpected serve error while feeding: {e}"),
+        }
+        engine.pump();
+        for event in engine.poll_session(id).expect("session is live") {
+            if matches!(event, SessionEvent::DepthMapReady { .. }) {
+                depth_map_seen = true;
+            }
+        }
+    }
+    assert!(depth_map_seen, "stream too short to produce a depth map");
+    assert!(cursor < events.len(), "stream exhausted before the fault");
+
+    // Phase 2: the consumer stalls (no pumps); flood until the bounded queue
+    // rejects input outright.
+    let mut backpressured = false;
+    while cursor < events.len() {
+        let end = (cursor + 512).min(events.len());
+        match engine.enqueue_events(id, &events[cursor..end]) {
+            Ok(accepted) => cursor += accepted,
+            Err(ServeError::Session {
+                source: EmvsError::Backpressure { .. },
+                ..
+            }) => {
+                backpressured = true;
+                break;
+            }
+            Err(e) => panic!("unexpected serve error while flooding: {e}"),
+        }
+    }
+    assert!(backpressured, "bounded queue never pushed back");
+
+    // Recovery: drop everything in flight and resume with the remainder.
+    let dropped = engine
+        .discard_pending(id)
+        .expect("discard clears the fault");
+    assert!(dropped > 0, "backpressure with an empty queue is a bug");
+    assert!(dropped <= cursor, "cannot drop more than was accepted");
+    let processed = cursor - dropped;
+    let resume_from = cursor;
+    while cursor < events.len() {
+        let end = (cursor + 256).min(events.len());
+        match engine.enqueue_events(id, &events[cursor..end]) {
+            Ok(accepted) => cursor += accepted,
+            Err(ServeError::Session {
+                source: EmvsError::Backpressure { .. },
+                ..
+            }) => {
+                engine.pump();
+            }
+            Err(e) => panic!("unexpected serve error after recovery: {e}"),
+        }
+    }
+    let recovered = engine
+        .finish_session(id)
+        .expect("recovered session finishes");
+
+    // The surviving stream: what the session actually ingested before the
+    // fault, plus everything fed after recovery.
+    let surviving: EventStream = events[..processed]
+        .iter()
+        .chain(events[resume_from..].iter())
+        .copied()
+        .collect();
+    assert_eq!(surviving.len(), events.len() - dropped);
+
+    let mut clean = software_session(&world);
+    clean
+        .push_trajectory(&world.trajectory)
+        .expect("trajectory pushes");
+    let stream = surviving.as_slice();
+    let mut offset = 0usize;
+    while offset < stream.len() {
+        offset += clean.push_events(&stream[offset..]).expect("clean push");
+        clean.poll().expect("clean poll");
+    }
+    let clean_output = clean.finish().expect("clean run finishes");
+
+    assert_eq!(
+        digest_output(&recovered),
+        digest_output(&clean_output),
+        "recovered session must be bit-identical to a clean run of the surviving stream"
+    );
 }
 
 #[test]

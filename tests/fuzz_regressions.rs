@@ -1,0 +1,171 @@
+//! The committed fuzz-regression corpus and the minimizer's acceptance bar.
+//!
+//! * Every `.fuzzworld` spec under `tests/regressions/` — each one produced
+//!   by the real `eventor-cli fuzz --minimize-dir` pipeline — must rebuild
+//!   and reconstruct to its pinned golden digest, on the software **and**
+//!   sharded backends.
+//! * A violation planted through the test-only hook
+//!   (`eventor_scenarios::invariants::plant`) must be caught by the fuzz
+//!   campaign and auto-minimized to at most 25% of the original world along
+//!   **every** generator axis, with the noise pipeline shrunk away entirely.
+
+use eventor::scenarios::{
+    digest_world, invariants::plant, run_fuzz, BackendKind, FuzzOptions, Invariant, WorldSpec,
+};
+use std::path::PathBuf;
+
+fn regression_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
+}
+
+fn regression_specs() -> Vec<(PathBuf, WorldSpec)> {
+    let mut specs: Vec<(PathBuf, WorldSpec)> = std::fs::read_dir(regression_dir())
+        .expect("tests/regressions exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "fuzzworld"))
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).expect("spec reads");
+            let spec = WorldSpec::parse(&text)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", p.display()));
+            (p, spec)
+        })
+        .collect();
+    specs.sort_by(|a, b| a.0.cmp(&b.0));
+    specs
+}
+
+#[test]
+fn committed_regressions_replay_to_their_goldens() {
+    let specs = regression_specs();
+    assert!(
+        specs.len() >= 3,
+        "regression corpus too small: {} specs",
+        specs.len()
+    );
+    for (path, spec) in &specs {
+        let want = spec
+            .golden
+            .unwrap_or_else(|| panic!("{} has no pinned golden", path.display()));
+        let world = spec
+            .build()
+            .unwrap_or_else(|e| panic!("{} fails to build: {e}", path.display()));
+        for backend in [BackendKind::Software, BackendKind::Sharded] {
+            let digest = digest_world(&world, backend)
+                .unwrap_or_else(|e| panic!("{} fails to run: {e}", path.display()));
+            assert_eq!(
+                digest,
+                want,
+                "{}: digest {digest:#018x} != golden {want:#018x} on {backend}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn regression_specs_round_trip_through_their_text_form() {
+    for (path, spec) in regression_specs() {
+        let reparsed = WorldSpec::parse(&spec.to_text()).expect("round trip parses");
+        assert_eq!(spec, reparsed, "{} round trip", path.display());
+    }
+}
+
+/// Clears the in-process plant even when the test panics, so a failure here
+/// cannot poison other plant-sensitive tests added later.
+struct PlantGuard;
+
+impl Drop for PlantGuard {
+    fn drop(&mut self) {
+        plant::set_for_tests(None);
+    }
+}
+
+#[test]
+fn planted_violation_is_caught_and_minimized_to_a_quarter_per_axis() {
+    // A plant the minimizer must shrink back down to: it fires on any world
+    // at least this large along all three generator axes.
+    let thresholds = plant::Plant {
+        min_samples: 16,
+        min_events: 2_400,
+        min_planes: 8,
+    };
+    // Deterministically find a campaign seed whose first generated world is
+    // at least 4x the thresholds on every axis, so the <=25% bar is
+    // meaningful rather than vacuously met.
+    let seed = (0u64..10_000)
+        .find(|&s| {
+            let spec = WorldSpec::generate(s, 0);
+            spec.samples >= 4 * thresholds.min_samples
+                && spec.event_cap >= 4 * thresholds.min_events
+                && spec.planes >= 4 * thresholds.min_planes
+                && !spec.noise.is_empty()
+        })
+        .expect("the generator covers this region of the spec space");
+    let original = WorldSpec::generate(seed, 0);
+
+    let _guard = PlantGuard;
+    plant::set_for_tests(Some(thresholds));
+    let report = run_fuzz(
+        seed,
+        1,
+        &FuzzOptions {
+            backends: vec![BackendKind::Software],
+            invariants: vec![Invariant::PolarityRelabel],
+            max_events: None,
+            minimize: true,
+        },
+    )
+    .expect("campaign runs");
+    plant::set_for_tests(None);
+
+    assert_eq!(report.violation_count(), 1, "the plant must fire");
+    let world = &report.worlds[0];
+    assert!(
+        world.violations[0].detail.contains("planted violation"),
+        "detail: {}",
+        world.violations[0].detail
+    );
+    let min = world
+        .minimized
+        .as_ref()
+        .expect("the violation must be auto-minimized");
+
+    assert!(
+        4 * min.samples <= original.samples,
+        "samples {} -> {} is not <=25%",
+        original.samples,
+        min.samples
+    );
+    assert!(
+        4 * min.event_cap <= original.event_cap,
+        "event_cap {} -> {} is not <=25%",
+        original.event_cap,
+        min.event_cap
+    );
+    assert!(
+        4 * min.planes <= original.planes,
+        "planes {} -> {} is not <=25%",
+        original.planes,
+        min.planes
+    );
+    assert!(
+        min.noise.is_empty(),
+        "noise stages are irrelevant to the plant and must shrink away"
+    );
+
+    // The minimized spec must still reproduce the planted failure...
+    let minimized_world = min.build().expect("minimized spec builds");
+    plant::set_for_tests(Some(thresholds));
+    let reproduces = eventor::scenarios::check_invariant(
+        &minimized_world,
+        Invariant::PolarityRelabel,
+        BackendKind::Software,
+    )
+    .expect("check runs");
+    plant::set_for_tests(None);
+    assert!(reproduces.is_some(), "minimized spec no longer reproduces");
+
+    // ...and carries a pinned golden so it can be committed as a named
+    // regression scenario.
+    assert!(min.golden.is_some(), "minimized spec has no replay pin");
+}

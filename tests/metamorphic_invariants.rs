@@ -1,0 +1,135 @@
+//! Tier-1 enforcement of the metamorphic invariant catalog (F.1-F.5,
+//! `docs/SCENARIOS.md` §8): every invariant holds on generated fuzz worlds
+//! across the software, sharded and served execution paths, inside plain
+//! `cargo test` — no nightly campaign needed to keep the catalog honest.
+//!
+//! The fuzzer (`eventor-cli fuzz`) sweeps many worlds; this suite pins a
+//! deterministic cross-section so an invariant regression fails fast and by
+//! contract number.
+
+use eventor::scenarios::{
+    check_invariant, BackendKind, Invariant, ScenarioWorld, SceneKind, TrajectoryKind, WorldSpec,
+};
+use std::sync::OnceLock;
+
+/// A small generated world straight from the fuzz grammar (one noise stage
+/// kept), built once — simulation dominates debug runtime.
+fn generated_world() -> &'static ScenarioWorld {
+    static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut spec = WorldSpec::generate(0x5EED, 0);
+        spec.samples = 28;
+        spec.event_cap = 2_600;
+        spec.planes = 16;
+        spec.noise.truncate(1);
+        spec.build().expect("generated world builds")
+    })
+}
+
+/// A second world on the long-horizon drift trajectory — the trajectory
+/// class the fuzzer added for exactly these checks.
+fn drift_world() -> &'static ScenarioWorld {
+    static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let spec = WorldSpec {
+            seed: 0xD21F7,
+            trajectory: TrajectoryKind::Drift,
+            scene: SceneKind::Dense,
+            samples: 24,
+            event_cap: 2_200,
+            planes: 12,
+            noise: Vec::new(),
+            golden: None,
+        };
+        spec.build().expect("drift world builds")
+    })
+}
+
+/// Asserts one invariant holds on one world for every given backend.
+fn assert_holds(world: &ScenarioWorld, invariant: Invariant, backends: &[BackendKind]) {
+    for &backend in backends {
+        let verdict = check_invariant(world, invariant, backend)
+            .unwrap_or_else(|e| panic!("{invariant} on {backend} failed to run: {e}"));
+        assert!(
+            verdict.is_none(),
+            "{}",
+            verdict.expect("just checked it is some")
+        );
+    }
+}
+
+#[test]
+fn catalog_covers_five_distinct_contracts() {
+    assert!(Invariant::ALL.len() >= 5);
+    let names: std::collections::HashSet<_> = Invariant::ALL.iter().map(|i| i.name()).collect();
+    assert_eq!(names.len(), Invariant::ALL.len());
+    for (i, inv) in Invariant::ALL.iter().enumerate() {
+        assert_eq!(inv.contract(), format!("F.{}", i + 1));
+        assert_eq!(Invariant::parse(inv.name()), Some(*inv));
+    }
+}
+
+#[test]
+fn f1_rigid_transform_equivariance_holds_on_software_and_sharded() {
+    assert_holds(
+        generated_world(),
+        Invariant::RigidTransform,
+        &[BackendKind::Software, BackendKind::Sharded],
+    );
+}
+
+#[test]
+fn f2_polarity_relabel_invariance_holds_on_software_sharded_and_serve() {
+    assert_holds(
+        generated_world(),
+        Invariant::PolarityRelabel,
+        &[
+            BackendKind::Software,
+            BackendKind::Sharded,
+            BackendKind::Serve,
+        ],
+    );
+}
+
+#[test]
+fn f2_polarity_relabel_invariance_holds_on_a_drift_world() {
+    assert_holds(
+        drift_world(),
+        Invariant::PolarityRelabel,
+        &[BackendKind::Software],
+    );
+}
+
+#[test]
+fn f3_noise_commutation_holds_on_software_and_sharded() {
+    assert_holds(
+        generated_world(),
+        Invariant::NoiseCommutation,
+        &[BackendKind::Software, BackendKind::Sharded],
+    );
+}
+
+#[test]
+fn f4_load_shape_independence_holds_on_the_serve_tier() {
+    // F.4 sweeps every `LoadShape` internally; the backend argument only
+    // labels the violation, so one invocation covers the whole sweep.
+    assert_holds(
+        generated_world(),
+        Invariant::LoadShape,
+        &[BackendKind::Software],
+    );
+}
+
+#[test]
+fn f5_backend_agreement_holds_across_software_sharded_and_serve() {
+    assert_holds(
+        generated_world(),
+        Invariant::BackendAgreement,
+        &[BackendKind::Software],
+    );
+    assert_holds(
+        drift_world(),
+        Invariant::BackendAgreement,
+        &[BackendKind::Software],
+    );
+}
