@@ -1,0 +1,176 @@
+//! Aggregate throughput and tail latency of the `eventor-net` TCP serving
+//! front-end: **200 concurrent wire clients** over loopback, each streaming
+//! its own heterogeneous corpus world through one shared `WireServer`, with
+//! cadence diversity from the full `loadgen` palette (`LoadShape::ALL`
+//! cycled per client).
+//!
+//! Rows (group `wire_loopback`, `eventor-bench/1` JSON):
+//!
+//! * `in_process_sequential` — the same 200 sessions run back to back
+//!   through `EventorSession`, no serving tier, no sockets: the compute
+//!   baseline and the source of the expected digests,
+//! * `wire_200_clients` — all 200 sessions streamed concurrently through
+//!   one server over the versioned `eventor-wire/1` protocol.
+//!
+//! Before anything is timed, one verification pass asserts **every**
+//! client's terminal digest equals the digest of the same world run
+//! in-process — the wire adds framing and scheduling, never bits — and
+//! records per-session completion latencies for the p99 bar.
+//!
+//! Acceptance bars (`docs/BENCHMARKS.md`), both enforced under
+//! `EVENTOR_ENFORCE_BENCH` and both host-scaled at a saturation point of 8
+//! hardware threads:
+//!
+//! * aggregate served throughput ≥ 400k events/s (so a 1-thread host owes
+//!   50k events/s),
+//! * p99 session completion ≤ 15 s (relaxing in proportion on smaller
+//!   hosts).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eventor_bench::enforce::{
+    enforce_latency_ceiling, enforce_rate_floor, quantile_seconds, LatencyCeiling, RateFloor,
+};
+use eventor_core::{EventorOptions, EventorSession};
+use eventor_net::{spawn_loopback, ManifestSource, NetConfig, SessionManifest, WireClient};
+use eventor_scenarios::{digest_output, heterogeneous_pool, ScenarioWorld};
+use eventor_serve::LoadShape;
+use std::hint::black_box;
+use std::sync::Mutex;
+use std::time::Instant;
+
+const NUM_CLIENTS: usize = 200;
+const SATURATION_THREADS: usize = 8;
+const RATE_FLOOR: RateFloor = RateFloor {
+    full_per_sec: 400_000.0,
+    saturation_threads: SATURATION_THREADS,
+};
+const P99_CEILING: LatencyCeiling = LatencyCeiling {
+    full_seconds: 15.0,
+    saturation_threads: SATURATION_THREADS,
+};
+
+/// The 200-stream pool: the corpus cycled at derived seeds, truncated so one
+/// iteration stays minutes-not-hours on small hosts while every client still
+/// crosses several keyframe segments.
+fn build_worlds() -> Vec<ScenarioWorld> {
+    heterogeneous_pool(NUM_CLIENTS, 0x3141)
+        .expect("corpus worlds build")
+        .into_iter()
+        .enumerate()
+        .map(|(i, world)| world.truncated(2_000 + (i % 4) * 500))
+        .collect()
+}
+
+fn shape_for(i: usize) -> LoadShape {
+    LoadShape::ALL[i % LoadShape::ALL.len()]
+}
+
+/// The no-sockets baseline: each world through its own in-process session,
+/// one after another. Returns the per-world digests.
+fn run_in_process(worlds: &[ScenarioWorld]) -> Vec<u64> {
+    worlds
+        .iter()
+        .map(|world| {
+            let mut session = EventorSession::builder(world.camera, world.config.clone())
+                .software(EventorOptions::accelerator())
+                .build()
+                .expect("session builds");
+            session
+                .push_trajectory(&world.trajectory)
+                .expect("trajectory pushes");
+            let events = world.events.as_slice();
+            let mut offset = 0usize;
+            while offset < events.len() {
+                offset += session.push_events(&events[offset..]).expect("events push");
+                session.poll().expect("poll");
+            }
+            digest_output(&session.finish().expect("finish"))
+        })
+        .collect()
+}
+
+/// All worlds concurrently through one wire server. Returns each client's
+/// `(digest, completion_seconds)` in world order, completion measured from
+/// connect to the `Finished` reply.
+fn run_wire(worlds: &[ScenarioWorld]) -> Vec<(u64, f64)> {
+    let server = spawn_loopback(NetConfig::new()).expect("server spawns");
+    let addr = server.addr();
+    let results: Mutex<Vec<(usize, u64, f64)>> = Mutex::new(Vec::with_capacity(worlds.len()));
+    std::thread::scope(|scope| {
+        for (i, world) in worlds.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move || {
+                let started = Instant::now();
+                let mut client = WireClient::connect(addr).expect("client connects");
+                let id = client
+                    .admit(&SessionManifest {
+                        backend: eventor_scenarios::BackendKind::Software,
+                        source: ManifestSource::Scenario {
+                            name: world.name.clone(),
+                            seed: world.seed,
+                        },
+                    })
+                    .expect("admission");
+                let report = client
+                    .drive(id, &world.trajectory, world.events.as_slice(), shape_for(i))
+                    .expect("drive");
+                let elapsed = started.elapsed().as_secs_f64();
+                client.bye().expect("bye");
+                results
+                    .lock()
+                    .expect("results lock")
+                    .push((i, report.digest, elapsed));
+            });
+        }
+    });
+    server.shutdown();
+    let mut rows = results.into_inner().expect("results lock");
+    assert_eq!(rows.len(), worlds.len(), "every client must complete");
+    rows.sort_by_key(|(i, _, _)| *i);
+    rows.into_iter().map(|(_, digest, s)| (digest, s)).collect()
+}
+
+fn bench_wire_loopback(c: &mut Criterion) {
+    let worlds = build_worlds();
+    let total_events: u64 = worlds
+        .iter()
+        .map(|w| w.events.as_slice().len() as u64)
+        .sum();
+
+    // Verification pass: the wire must reproduce the in-process bits for
+    // every client before any timing means anything. Its per-session
+    // latencies feed the p99 bar.
+    let expected = run_in_process(&worlds);
+    let served = run_wire(&worlds);
+    for (i, ((digest, _), want)) in served.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            digest, want,
+            "client {i} ({}): wire digest diverged from in-process",
+            worlds[i].name
+        );
+    }
+    let latencies: Vec<f64> = served.iter().map(|(_, s)| *s).collect();
+    let p99 = quantile_seconds(&latencies, 0.99).expect("non-empty latency set");
+
+    let mut group = c.benchmark_group("wire_loopback");
+    group.throughput(Throughput::Elements(total_events));
+    group.sample_size(2);
+    group.bench_function("in_process_sequential", |b| {
+        b.iter(|| black_box(run_in_process(black_box(&worlds))))
+    });
+    group.bench_function("wire_200_clients", |b| {
+        b.iter(|| black_box(run_wire(black_box(&worlds))))
+    });
+    group.finish();
+
+    enforce_rate_floor(
+        "wire_loopback",
+        "wire_200_clients",
+        total_events,
+        RATE_FLOOR,
+    );
+    enforce_latency_ceiling("wire_loopback", "p99 session completion", p99, P99_CEILING);
+}
+
+criterion_group!(benches, bench_wire_loopback);
+criterion_main!(benches);

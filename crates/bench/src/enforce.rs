@@ -152,6 +152,159 @@ pub fn enforce_speedup_bar(
     }
 }
 
+/// A throughput floor in elements per second, scaling **linearly** with
+/// hardware threads up to `saturation_threads` (the parallelism past which
+/// the workload stops scaling). A 1-thread host owes
+/// `full_per_sec / saturation_threads`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateFloor {
+    /// The floor on a host with at least `saturation_threads` threads.
+    pub full_per_sec: f64,
+    /// Hardware threads at which the workload saturates.
+    pub saturation_threads: usize,
+}
+
+impl RateFloor {
+    /// The floor for a host with `hardware_threads` threads.
+    pub fn for_host(self, hardware_threads: usize) -> f64 {
+        self.full_per_sec * hardware_threads.min(self.saturation_threads) as f64
+            / self.saturation_threads as f64
+    }
+}
+
+/// Outcome of a rate-floor evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateVerdict {
+    /// Measured elements per second.
+    pub per_sec: f64,
+    /// The floor that applied on this host.
+    pub floor: f64,
+    /// Whether the rate met the floor.
+    pub passed: bool,
+}
+
+/// Reads `group/benchmark` back, converts its mean to `elements / second`,
+/// prints the verdict and — under [`ENFORCE_ENV`] — panics when the rate is
+/// below the host-scaled floor or the readback fails.
+///
+/// # Panics
+///
+/// Under [`ENFORCE_ENV`]: when the rate is below the floor, or when the
+/// JSON document cannot be read back.
+pub fn enforce_rate_floor(
+    group: &str,
+    benchmark: &str,
+    elements: u64,
+    floor: RateFloor,
+) -> Option<RateVerdict> {
+    let enforce = std::env::var_os(ENFORCE_ENV).is_some();
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match read_mean_ns(group, benchmark) {
+        Some(mean_ns) if mean_ns > 0.0 => {
+            let per_sec = elements as f64 / (mean_ns * 1e-9);
+            let applied = floor.for_host(hardware_threads);
+            let passed = per_sec >= applied;
+            println!(
+                "{group}: {benchmark} throughput: {:.0} elements/s (floor: >= {applied:.0} \
+                 on {hardware_threads} hardware threads; full floor {:.0} at >= {} threads) — {}",
+                per_sec,
+                floor.full_per_sec,
+                floor.saturation_threads,
+                if passed { "OK" } else { "BELOW FLOOR" }
+            );
+            if enforce {
+                assert!(
+                    passed,
+                    "{group}: {per_sec:.0} elements/s is below the {applied:.0}/s floor"
+                );
+            }
+            Some(RateVerdict {
+                per_sec,
+                floor: applied,
+                passed,
+            })
+        }
+        _ if enforce => {
+            panic!(
+                "{ENFORCE_ENV} is set but the eventor-bench/1 JSON for `{group}` could not be read"
+            );
+        }
+        _ => {
+            println!("{group}: JSON readback unavailable, rate not computed");
+            None
+        }
+    }
+}
+
+/// A tail-latency ceiling in seconds that **relaxes** on hosts with fewer
+/// than `saturation_threads` hardware threads (the same sessions share
+/// fewer cores, so each takes proportionally longer):
+/// `full_seconds × saturation / min(threads, saturation)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyCeiling {
+    /// The ceiling on a host with at least `saturation_threads` threads.
+    pub full_seconds: f64,
+    /// Hardware threads at which the workload saturates.
+    pub saturation_threads: usize,
+}
+
+impl LatencyCeiling {
+    /// The ceiling for a host with `hardware_threads` threads.
+    pub fn for_host(self, hardware_threads: usize) -> f64 {
+        self.full_seconds * self.saturation_threads as f64
+            / hardware_threads.min(self.saturation_threads) as f64
+    }
+}
+
+/// The `q`-quantile (e.g. `0.99`) of a set of latency samples, by
+/// nearest-rank on the sorted set. Returns `None` on an empty set.
+pub fn quantile_seconds(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Prints and — under [`ENFORCE_ENV`] — enforces a measured tail latency
+/// against a host-scaled ceiling. The caller measures (the Criterion shim
+/// records only means); this helper owns the host scaling, the report line
+/// and the never-silently-skipped rule.
+///
+/// # Panics
+///
+/// Under [`ENFORCE_ENV`]: when the measured latency exceeds the ceiling.
+pub fn enforce_latency_ceiling(
+    group: &str,
+    label: &str,
+    measured_seconds: f64,
+    ceiling: LatencyCeiling,
+) {
+    let enforce = std::env::var_os(ENFORCE_ENV).is_some();
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let applied = ceiling.for_host(hardware_threads);
+    let passed = measured_seconds <= applied;
+    println!(
+        "{group}: {label}: {measured_seconds:.3} s (ceiling: <= {applied:.3} s on \
+         {hardware_threads} hardware threads; full ceiling {:.3} s at >= {} threads) — {}",
+        ceiling.full_seconds,
+        ceiling.saturation_threads,
+        if passed { "OK" } else { "ABOVE CEILING" }
+    );
+    if enforce {
+        assert!(
+            passed,
+            "{group}: {label} {measured_seconds:.3} s exceeds the {applied:.3} s ceiling"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +321,36 @@ mod tests {
         assert_eq!(bar.for_host(2), 1.5);
         assert_eq!(bar.for_host(1), 0.75);
         assert_eq!(SpeedupBar::Fixed(1.2).for_host(1), 1.2);
+    }
+
+    #[test]
+    fn rate_floor_scales_down_and_latency_ceiling_scales_up() {
+        let floor = RateFloor {
+            full_per_sec: 800_000.0,
+            saturation_threads: 8,
+        };
+        assert_eq!(floor.for_host(16), 800_000.0);
+        assert_eq!(floor.for_host(8), 800_000.0);
+        assert_eq!(floor.for_host(2), 200_000.0);
+        assert_eq!(floor.for_host(1), 100_000.0);
+
+        let ceiling = LatencyCeiling {
+            full_seconds: 2.0,
+            saturation_threads: 8,
+        };
+        assert_eq!(ceiling.for_host(16), 2.0);
+        assert_eq!(ceiling.for_host(8), 2.0);
+        assert_eq!(ceiling.for_host(2), 8.0);
+        assert_eq!(ceiling.for_host(1), 16.0);
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank_on_the_sorted_set() {
+        assert_eq!(quantile_seconds(&[], 0.99), None);
+        assert_eq!(quantile_seconds(&[4.0], 0.99), Some(4.0));
+        let samples: Vec<f64> = (1..=100).rev().map(|i| i as f64).collect();
+        assert_eq!(quantile_seconds(&samples, 0.99), Some(99.0));
+        assert_eq!(quantile_seconds(&samples, 0.5), Some(50.0));
+        assert_eq!(quantile_seconds(&samples, 1.0), Some(100.0));
     }
 }

@@ -9,6 +9,9 @@
 //! eventor-cli fuzz     --seed N [--count N] [--max-events N] [--backend B]...
 //!                      [--invariant NAME]... [--report FILE] [--minimize-dir DIR] [--no-minimize]
 //! eventor-cli minimize --spec FILE [--backend B] [--invariant NAME] [--out FILE]
+//! eventor-cli serve    [--addr ADDR] [--workers N] [--port-file FILE]
+//! eventor-cli connect  --addr ADDR (--scenario NAME [--seed N] | --spec FILE)
+//!                      [--backend B] [--expect HEX]
 //! ```
 //!
 //! * `list` prints the catalog (name, tags, default seed, description).
@@ -32,16 +35,27 @@
 //!   bit-reproducible: same seed, count and environment — same bytes.
 //! * `minimize` shrinks one failing `.fuzzworld` spec along the generator
 //!   axes and emits the minimized spec (stdout or `--out`).
+//! * `serve` binds an `eventor-wire/1` TCP server (`docs/WIRE.md`) over the
+//!   multi-session serving engine and runs until killed. It prints
+//!   `listening on ADDR` once ready; `--addr 127.0.0.1:0` picks a free
+//!   loopback port (recover it from the printed line or `--port-file`).
+//! * `connect` streams one scenario (or `.fuzzworld` spec) to a running
+//!   server, recomputes the digest from the depth maps streamed back, and
+//!   verifies server digest == client digest == the expected golden.
 //!
 //! Exit codes are distinct and stable (`docs/SCENARIOS.md` §9): 0 success,
 //! 1 usage or internal error, 2 digest mismatch or invariant violation,
-//! 3 unknown scenario, 4 invalid or truncated record/spec.
+//! 3 unknown scenario, 4 invalid or truncated record/spec, 5 wire-protocol
+//! error (typed server rejection, corrupt frame), 6 network failure
+//! (connect refused, connection lost, timeout).
 
+use eventor_net::{ManifestSource, NetConfig, SessionManifest, WireClient, WireError, WireServer};
 use eventor_scenarios::{
     check_invariant, corpus, digest_output, digest_world, find, golden_digest, minimize_spec,
     run_fuzz, run_world, BackendKind, FuzzOptions, FuzzReport, Invariant, Scenario, ScenarioError,
     ScenarioWorld, Violation, WorldSpec,
 };
+use eventor_serve::{LoadShape, ServeConfig};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -53,6 +67,12 @@ const CODE_MISMATCH: u8 = 2;
 const CODE_UNKNOWN_SCENARIO: u8 = 3;
 /// Exit code: an `.evtr` record or `.fuzzworld` spec that failed to parse.
 const CODE_BAD_RECORD: u8 = 4;
+/// Exit code: an `eventor-wire/1` protocol error (typed server rejection,
+/// corrupt or unexpected frame).
+const CODE_WIRE: u8 = 5;
+/// Exit code: a network failure (connect refused, connection lost, reply
+/// timeout).
+const CODE_NET: u8 = 6;
 
 /// An error carrying its process exit code.
 struct CliError {
@@ -97,6 +117,23 @@ impl CliError {
             _ => Self::usage(format!("{context}: {e}")),
         }
     }
+
+    /// Maps a wire-layer error: transport failures (refused, lost, timed
+    /// out) are network errors (exit 6); everything else — typed server
+    /// rejections, corrupt frames, state-machine violations — is a wire
+    /// error (exit 5).
+    fn from_wire(context: &str, e: WireError) -> Self {
+        let code = match e {
+            WireError::Io { .. } | WireError::ConnectionClosed | WireError::Timeout { .. } => {
+                CODE_NET
+            }
+            _ => CODE_WIRE,
+        };
+        Self {
+            code,
+            message: format!("{context}: {e}"),
+        }
+    }
 }
 
 fn usage() -> String {
@@ -130,6 +167,15 @@ fn usage() -> String {
     );
     let _ = writeln!(
         s,
+        "  eventor-cli serve    [--addr ADDR] [--workers N] [--port-file FILE]"
+    );
+    let _ = writeln!(
+        s,
+        "  eventor-cli connect  --addr ADDR (--scenario NAME [--seed N] | --spec FILE)"
+    );
+    let _ = writeln!(s, "                       [--backend B] [--expect HEX]");
+    let _ = writeln!(
+        s,
         "\nBackends: software (default), sharded, cosim, serve. Digests are FNV-1a 64"
     );
     let _ = writeln!(
@@ -138,7 +184,7 @@ fn usage() -> String {
     );
     let _ = write!(
         s,
-        "Exit codes: 0 ok, 1 usage/internal, 2 mismatch/violation, 3 unknown scenario, 4 bad record."
+        "Exit codes: 0 ok, 1 usage/internal, 2 mismatch/violation, 3 unknown scenario,\n4 bad record, 5 wire-protocol error, 6 network failure."
     );
     s
 }
@@ -683,6 +729,121 @@ fn cmd_minimize(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `serve`: bind an `eventor-wire/1` server over the multi-session engine
+/// and run until the process is killed.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["addr", "workers", "port-file"])?;
+    let addr = args.flag_value("addr").unwrap_or("127.0.0.1:0");
+    let mut config = NetConfig::new();
+    if let Some(workers) = args.flag_value("workers") {
+        config = config.with_serve(ServeConfig::new().with_workers(parse_usize(workers)?));
+    }
+    let server = WireServer::bind(addr, config)
+        .map_err(|e| CliError::from_wire(&format!("cannot bind {addr}"), e))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::from_wire(addr, e))?;
+    // The readiness line is the contract scripts and the CI smoke test key
+    // on; the port file is the machine-readable variant.
+    println!("listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = args.flag_value("port-file") {
+        std::fs::write(path, format!("{local}\n"))
+            .map_err(|e| CliError::usage(format!("cannot write {path}: {e}")))?;
+    }
+    server.run_until(|| false);
+    Ok(())
+}
+
+/// `connect`: stream one world to a running server and verify bit-identity
+/// three ways — the server's digest, the digest recomputed from the depth
+/// maps streamed back, and the expected golden.
+fn cmd_connect(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["addr", "scenario", "seed", "spec", "backend", "expect"])?;
+    let addr = args
+        .flag_value("addr")
+        .ok_or_else(|| CliError::usage(format!("--addr ADDR is required\n\n{}", usage())))?;
+    let backend = backend_from(args)?;
+
+    // Build the world locally (for the input stream) and the manifest the
+    // server will rebuild the session profile from.
+    let (world, manifest, label, golden) = if let Some(path) = args.flag_value("spec") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+        let spec =
+            WorldSpec::parse(&text).map_err(|e| CliError::bad_record(format!("{path}: {e}")))?;
+        let world = spec.build().map_err(|e| CliError::from_scenario(path, e))?;
+        let manifest = SessionManifest {
+            backend,
+            source: ManifestSource::Spec { text },
+        };
+        (world, manifest, spec.world_name(), spec.golden)
+    } else {
+        let scenario = scenario_from(args)?;
+        let (world, seed) = build_world(scenario, args.flag_value("seed"))?;
+        let manifest = SessionManifest {
+            backend,
+            source: ManifestSource::Scenario {
+                name: scenario.name().to_string(),
+                seed,
+            },
+        };
+        // The committed golden pins the default seed only.
+        let golden = (seed == scenario.default_seed())
+            .then(|| golden_digest(scenario.name()))
+            .flatten();
+        (world, manifest, scenario.name().to_string(), golden)
+    };
+    let expected = match args.flag_value("expect") {
+        Some(text) => Some(parse_u64(text)?),
+        None => golden,
+    };
+
+    let mut client = WireClient::connect(addr)
+        .map_err(|e| CliError::from_wire(&format!("connect {addr}"), e))?;
+    let id = client
+        .admit(&manifest)
+        .map_err(|e| CliError::from_wire(&label, e))?;
+    let report = client
+        .drive(
+            id,
+            &world.trajectory,
+            world.events.as_slice(),
+            LoadShape::Steady { chunk: 2048 },
+        )
+        .map_err(|e| CliError::from_wire(&label, e))?;
+    let local_digest = client.digest(id);
+    let _ = client.bye();
+
+    if report.digest != local_digest {
+        return Err(CliError::mismatch(format!(
+            "{label}: server digest {:#018x} != digest {local_digest:#018x} recomputed from the streamed depth maps",
+            report.digest
+        )));
+    }
+    match expected {
+        Some(want) if want != report.digest => Err(CliError::mismatch(format!(
+            "{label}: served digest {:#018x} != expected {want:#018x} on the {backend} backend",
+            report.digest
+        ))),
+        Some(_) => {
+            println!(
+                "{label}: served over {addr} on {backend}: {} keyframes, {} events, digest {:#018x} — OK (server == client == golden)",
+                report.keyframes, report.events_processed, report.digest
+            );
+            Ok(())
+        }
+        None => {
+            println!(
+                "{label}: served over {addr} on {backend}: {} keyframes, {} events, digest {:#018x} (no golden to compare against)",
+                report.keyframes, report.events_processed, report.digest
+            );
+            Ok(())
+        }
+    }
+}
+
 fn run() -> Result<(), CliError> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -704,6 +865,8 @@ fn run() -> Result<(), CliError> {
         "check" => cmd_check(&args),
         "fuzz" => cmd_fuzz(&args),
         "minimize" => cmd_minimize(&args),
+        "serve" => cmd_serve(&args),
+        "connect" => cmd_connect(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -4,7 +4,8 @@
 //! regression check — works end to end through the real executable.
 //!
 //! Exit codes under test: 0 success, 1 usage, 2 digest mismatch or invariant
-//! violation, 3 unknown scenario, 4 invalid/truncated record.
+//! violation, 3 unknown scenario, 4 invalid/truncated record, 5 wire-protocol
+//! error, 6 network failure.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -199,5 +200,115 @@ fn planted_violation_exits_2_and_minimized_spec_checks_clean() {
         0,
         "{}",
         String::from_utf8_lossy(&check.stderr)
+    );
+}
+
+#[test]
+fn connect_to_a_dead_listener_exits_6() {
+    // Grab a port the kernel just proved free, then close the listener so
+    // the connection is refused.
+    let port = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").port()
+    };
+    let output = run(cli().args([
+        "connect",
+        "--addr",
+        &format!("127.0.0.1:{port}"),
+        "--scenario",
+        "shake_closeup",
+    ]));
+    assert_eq!(
+        exit_code(&output),
+        6,
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn connect_to_a_garbage_server_exits_5() {
+    // A listener that speaks anything but eventor-wire/1: the client's
+    // handshake reply fails frame validation, which is the wire-protocol
+    // exit code, not the network one.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        use std::io::Write;
+        if let Ok((mut stream, _)) = listener.accept() {
+            let _ = stream.write_all(b"HTTP/1.1 400 Bad Request\r\n\r\n");
+            let _ = stream.flush();
+        }
+    });
+    let output = run(cli().args([
+        "connect",
+        "--addr",
+        &addr.to_string(),
+        "--scenario",
+        "shake_closeup",
+    ]));
+    server.join().expect("garbage server thread");
+    assert_eq!(
+        exit_code(&output),
+        5,
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn serve_then_connect_round_trips_with_exit_0() {
+    // The readiness contract of `serve --port-file`: the file appears only
+    // once the listener is bound, and a `connect` against it verifies the
+    // served digest against the committed golden (exit 0).
+    let dir = scratch("serve-connect");
+    let port_file = dir.join("port");
+    let _ = std::fs::remove_file(&port_file);
+    let mut server = cli()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().expect("utf8 path"),
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "serve never wrote its port file"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    let output = run(cli().args([
+        "connect",
+        "--addr",
+        &addr,
+        "--scenario",
+        "shake_closeup",
+        "--backend",
+        "sharded",
+    ]));
+    server.kill().expect("serve stops");
+    let _ = server.wait();
+    assert_eq!(
+        exit_code(&output),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("server == client == golden"),
+        "stdout should report the triple digest equality: {stdout}"
     );
 }

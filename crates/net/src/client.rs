@@ -1,0 +1,447 @@
+//! The `eventor-wire/1` client: a blocking, single-connection front-end
+//! mirror of the server's state machine, used by the CLI `connect`
+//! subcommand, the loopback equivalence suites and the wire bench.
+//!
+//! The client accumulates everything the server streams back — lifecycle
+//! notifications and depth-map frames per session — so after
+//! [`finish`](WireClient::finish) the caller can recompute the scenario
+//! digest locally ([`digest_of_depth_maps`])
+//! and compare it against both the server's `Finished` digest and the
+//! committed golden table: three independent hashes of the same bits.
+
+use crate::frame_io::{read_frame, write_frame, IdleWait};
+use crate::manifest::SessionManifest;
+use crate::wire::{
+    digest_of_depth_maps, trajectory_samples, DepthMapFrame, WireError, WireFrame,
+    WireSessionEvent, DEFAULT_MAX_PAYLOAD,
+};
+use eventor_events::Event;
+use eventor_geom::{Pose, Trajectory};
+use eventor_serve::LoadShape;
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side record of one admitted wire session.
+#[derive(Debug, Default)]
+struct ClientSession {
+    credits: u64,
+    depth_maps: Vec<DepthMapFrame>,
+    lifecycle: Vec<WireSessionEvent>,
+}
+
+/// A session's terminal summary, as reported by the server's `Finished`
+/// frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinishReport {
+    /// The server-side scenario digest over the session's depth maps.
+    pub digest: u64,
+    /// Key frames the session produced.
+    pub keyframes: u64,
+    /// Events the session's datapath processed.
+    pub events_processed: u64,
+}
+
+/// A blocking `eventor-wire/1` client over one TCP connection.
+pub struct WireClient {
+    stream: TcpStream,
+    /// Largest payload the *server* accepts (from `HelloOk`).
+    max_payload: u32,
+    /// Per-session ingest-queue capacity (from `HelloOk`).
+    queue_capacity: u64,
+    reply_timeout: Duration,
+    read_timeout: Duration,
+    sessions: HashMap<u64, ClientSession>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for WireClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireClient")
+            .field("peer", &self.stream.peer_addr())
+            .field("sessions", &self.sessions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+const NEVER_STOP: fn() -> bool = || false;
+
+impl WireClient {
+    /// Connects and performs the `Hello`/`HelloOk` handshake with default
+    /// timeouts (generous reply window: under heavy multi-session load a
+    /// `Finish` legitimately takes a while).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on connect failure, any wire error from the
+    /// handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        Self::connect_with(addr, Duration::from_secs(600), Duration::from_secs(30))
+    }
+
+    /// [`connect`](Self::connect) with explicit reply and mid-frame
+    /// timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`connect`](Self::connect).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        reply_timeout: Duration,
+        read_timeout: Duration,
+    ) -> Result<Self, WireError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, 0, &WireFrame::Hello)?;
+        let mut client = Self {
+            stream,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            queue_capacity: 0,
+            reply_timeout,
+            read_timeout,
+            sessions: HashMap::new(),
+            next_id: 1,
+        };
+        match client.read_reply(0)? {
+            WireFrame::HelloOk {
+                max_payload,
+                queue_capacity,
+            } => {
+                client.max_payload = max_payload;
+                client.queue_capacity = queue_capacity;
+                Ok(client)
+            }
+            other => Err(WireError::UnexpectedFrame {
+                expected: "HelloOk",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// The per-session ingest-queue capacity the server advertised.
+    pub fn queue_capacity(&self) -> u64 {
+        self.queue_capacity
+    }
+
+    /// Reads one reply frame for `session`, surfacing typed
+    /// `Rejected`/`Error` replies as [`WireError::Rejected`].
+    fn read_reply(&mut self, session: u64) -> Result<WireFrame, WireError> {
+        let (got_session, frame) = read_frame(
+            &mut self.stream,
+            // The *client's* receive bound: accept whatever the server
+            // sends (it bounds its own frames by its config).
+            u32::MAX,
+            self.read_timeout,
+            IdleWait::Timeout(self.reply_timeout),
+            &NEVER_STOP,
+        )?;
+        match frame {
+            WireFrame::Rejected { code, reason } | WireFrame::Error { code, reason } => {
+                Err(WireError::Rejected { code, reason })
+            }
+            frame if got_session == session => Ok(frame),
+            frame => Err(WireError::UnexpectedFrame {
+                expected: "a reply for the requested session",
+                found: frame.kind_name(),
+            }),
+        }
+    }
+
+    fn request(&mut self, session: u64, frame: &WireFrame) -> Result<WireFrame, WireError> {
+        write_frame(&mut self.stream, session, frame)?;
+        self.read_reply(session)
+    }
+
+    fn expect_ok(&mut self, session: u64, frame: &WireFrame) -> Result<(), WireError> {
+        match self.request(session, frame)? {
+            WireFrame::Ok => Ok(()),
+            other => Err(WireError::UnexpectedFrame {
+                expected: "Ok",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    fn session_mut(&mut self, id: u64) -> Result<&mut ClientSession, WireError> {
+        self.sessions
+            .get_mut(&id)
+            .ok_or_else(|| WireError::Malformed {
+                reason: format!("wire session {id} is not admitted on this client"),
+            })
+    }
+
+    /// Admits a session for `manifest` and returns its wire id.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Rejected`] with the server's refusal code, or any wire
+    /// error.
+    pub fn admit(&mut self, manifest: &SessionManifest) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.request(
+            id,
+            &WireFrame::Admit {
+                manifest: manifest.clone(),
+            },
+        )? {
+            WireFrame::Admitted { credits } => {
+                self.sessions.insert(
+                    id,
+                    ClientSession {
+                        credits,
+                        ..ClientSession::default()
+                    },
+                );
+                Ok(id)
+            }
+            other => Err(WireError::UnexpectedFrame {
+                expected: "Admitted",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Sends a batch of pose samples.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error; typed server refusals as [`WireError::Rejected`].
+    pub fn send_poses(&mut self, id: u64, samples: Vec<(f64, Pose)>) -> Result<(), WireError> {
+        self.expect_ok(id, &WireFrame::Poses { samples })
+    }
+
+    /// Sends a whole trajectory as one `Poses` frame.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`send_poses`](Self::send_poses).
+    pub fn send_trajectory(&mut self, id: u64, trajectory: &Trajectory) -> Result<(), WireError> {
+        self.send_poses(id, trajectory_samples(trajectory))
+    }
+
+    /// Sends an event batch; returns how many the server accepted
+    /// (short-write semantics) and updates the session's credit balance.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error; typed server refusals as [`WireError::Rejected`].
+    pub fn send_events(&mut self, id: u64, events: &[Event]) -> Result<u64, WireError> {
+        match self.request(
+            id,
+            &WireFrame::Events {
+                events: events.to_vec(),
+            },
+        )? {
+            WireFrame::EventsAck { accepted, credits } => {
+                self.session_mut(id)?.credits = credits;
+                Ok(accepted)
+            }
+            other => Err(WireError::UnexpectedFrame {
+                expected: "EventsAck",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// The session's current flow-control credit balance (events the server
+    /// guarantees to accept).
+    pub fn credits(&self, id: u64) -> u64 {
+        self.sessions.get(&id).map(|s| s.credits).unwrap_or(0)
+    }
+
+    /// Polls the session: asks the server to pump, accumulates streamed
+    /// lifecycle events and depth maps, refreshes the credit balance.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error; typed server refusals as [`WireError::Rejected`].
+    pub fn poll(&mut self, id: u64) -> Result<(), WireError> {
+        write_frame(&mut self.stream, id, &WireFrame::Poll)?;
+        self.drain_stream(id, "PollDone")?;
+        Ok(())
+    }
+
+    /// Reads streamed `Lifecycle`/`DepthMap` frames into the session until
+    /// the terminator arrives; returns the terminator frame.
+    fn drain_stream(&mut self, id: u64, terminator: &'static str) -> Result<WireFrame, WireError> {
+        loop {
+            match self.read_reply(id)? {
+                WireFrame::Lifecycle { events } => {
+                    self.session_mut(id)?.lifecycle.extend(events);
+                }
+                WireFrame::DepthMap(map) => {
+                    self.session_mut(id)?.depth_maps.push(map);
+                }
+                WireFrame::PollDone { credits } => {
+                    self.session_mut(id)?.credits = credits;
+                    if terminator == "PollDone" {
+                        return Ok(WireFrame::PollDone { credits });
+                    }
+                    return Err(WireError::UnexpectedFrame {
+                        expected: terminator,
+                        found: "PollDone",
+                    });
+                }
+                frame @ WireFrame::Finished { .. } => {
+                    if terminator == "Finished" {
+                        return Ok(frame);
+                    }
+                    return Err(WireError::UnexpectedFrame {
+                        expected: terminator,
+                        found: "Finished",
+                    });
+                }
+                other => {
+                    return Err(WireError::UnexpectedFrame {
+                        expected: terminator,
+                        found: other.kind_name(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Declares end-of-stream for the session.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error; typed server refusals as [`WireError::Rejected`].
+    pub fn close(&mut self, id: u64) -> Result<(), WireError> {
+        self.expect_ok(id, &WireFrame::Close)
+    }
+
+    /// Drops the session's queued input server-side.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error; typed server refusals as [`WireError::Rejected`].
+    pub fn discard(&mut self, id: u64) -> Result<(), WireError> {
+        self.expect_ok(id, &WireFrame::Discard)
+    }
+
+    /// Drains the session to completion: accumulates every remaining
+    /// lifecycle event and depth map, returns the server's terminal
+    /// summary. The wire id is released server-side; the accumulated state
+    /// stays readable on this client.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error; typed server refusals as [`WireError::Rejected`].
+    pub fn finish(&mut self, id: u64) -> Result<FinishReport, WireError> {
+        write_frame(&mut self.stream, id, &WireFrame::Finish)?;
+        match self.drain_stream(id, "Finished")? {
+            WireFrame::Finished {
+                digest,
+                keyframes,
+                events_processed,
+            } => Ok(FinishReport {
+                digest,
+                keyframes,
+                events_processed,
+            }),
+            other => Err(WireError::UnexpectedFrame {
+                expected: "Finished",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Requests the engine-wide byte-reproducible `eventor-metrics/1`
+    /// document.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error; typed server refusals as [`WireError::Rejected`].
+    pub fn metrics(&mut self) -> Result<String, WireError> {
+        match self.request(0, &WireFrame::Metrics)? {
+            WireFrame::MetricsReply { json } => Ok(json),
+            other => Err(WireError::UnexpectedFrame {
+                expected: "MetricsReply",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Ordered shutdown: `Bye`/`ByeOk`, then the connection is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error.
+    pub fn bye(mut self) -> Result<(), WireError> {
+        match self.request(0, &WireFrame::Bye)? {
+            WireFrame::ByeOk => Ok(()),
+            other => Err(WireError::UnexpectedFrame {
+                expected: "ByeOk",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Every depth map streamed for the session so far, in key-frame order.
+    pub fn depth_maps(&self, id: u64) -> &[DepthMapFrame] {
+        self.sessions
+            .get(&id)
+            .map(|s| s.depth_maps.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Every lifecycle event streamed for the session so far, in order.
+    pub fn lifecycle(&self, id: u64) -> &[WireSessionEvent] {
+        self.sessions
+            .get(&id)
+            .map(|s| s.lifecycle.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The scenario digest recomputed client-side from the streamed depth
+    /// maps — must equal the server's [`FinishReport::digest`] and the
+    /// committed golden digest.
+    pub fn digest(&self, id: u64) -> u64 {
+        digest_of_depth_maps(self.depth_maps(id))
+    }
+
+    /// Streams one complete world through a session under a
+    /// [`LoadShape`]-dictated cadence, then finishes it. `Churn` (a
+    /// fleet-level shape — admission waves, not a per-stream cadence) is
+    /// driven as a steady stream here; benches build the waves around this.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error; typed server refusals as [`WireError::Rejected`].
+    pub fn drive(
+        &mut self,
+        id: u64,
+        trajectory: &Trajectory,
+        events: &[Event],
+        shape: LoadShape,
+    ) -> Result<FinishReport, WireError> {
+        self.send_trajectory(id, trajectory)?;
+        let (chunk, poll_every, polls_per_step) = match shape {
+            LoadShape::Steady { chunk } => (chunk, 1, 1),
+            LoadShape::Bursty { burst, idle_pumps } => (burst, 1, idle_pumps.max(1)),
+            LoadShape::Churn { .. } => (1024, 1, 1),
+            LoadShape::SlowConsumer { chunk, pump_every } => (chunk, pump_every.max(1), 1),
+        };
+        let chunk = chunk.max(1);
+        let mut offset = 0usize;
+        let mut sends = 0usize;
+        while offset < events.len() {
+            let credits = self.credits(id) as usize;
+            if credits == 0 {
+                self.poll(id)?;
+                continue;
+            }
+            let take = chunk.min(events.len() - offset).min(credits);
+            let accepted = self.send_events(id, &events[offset..offset + take])? as usize;
+            offset += accepted;
+            sends += 1;
+            if accepted == 0 || sends.is_multiple_of(poll_every) {
+                for _ in 0..polls_per_step {
+                    self.poll(id)?;
+                }
+            }
+        }
+        self.finish(id)
+    }
+}

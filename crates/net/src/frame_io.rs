@@ -1,0 +1,154 @@
+//! Blocking frame I/O over a [`TcpStream`]: tick-based reads that can
+//! distinguish *idle between frames* from *stalled mid-frame*, and notice a
+//! shutdown flag without platform-specific socket machinery.
+//!
+//! The reader polls the socket in short ticks (`set_read_timeout`). While
+//! **zero** bytes of a frame have arrived the wait is governed by
+//! [`IdleWait`]: a server waits indefinitely for the next request (checking
+//! its stop flag each tick); a client waiting for a reply bounds the wait
+//! and reports [`WireError::Timeout`]. Once the first byte of a frame has
+//! arrived the peer is **mid-frame** and must keep making progress: a stall
+//! longer than the read timeout is `Timeout { mid_frame: true }`, the
+//! disorderly-client case the failure-injection suite drives (half a frame,
+//! then silence — the server must not hang).
+
+use crate::wire::{
+    decode_frame, decode_header, encode_frame, WireError, WireFrame, CHECKSUM_LEN, HEADER_LEN,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How long to wait for the *first* byte of the next frame.
+#[derive(Debug, Clone, Copy)]
+pub enum IdleWait {
+    /// Wait indefinitely, checking the stop callback each tick (server side:
+    /// an idle client costs nothing and may think for as long as it likes).
+    UntilStopped,
+    /// Give up with [`WireError::Timeout`] after this long (client side:
+    /// a reply is due).
+    Timeout(Duration),
+}
+
+/// Read-poll tick; also the latency bound for noticing a stop flag.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Reads exactly `buf.len()` further bytes of a frame that has started
+/// arriving (mid-frame rules: EOF is truncation, a stall past
+/// `read_timeout` is a timeout).
+fn read_exact_mid_frame(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    read_timeout: Duration,
+    what: &'static str,
+    already: usize,
+) -> Result<(), WireError> {
+    let mut at = 0usize;
+    let mut last_progress = Instant::now();
+    while at < buf.len() {
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    what,
+                    expected: already + buf.len(),
+                    found: already + at,
+                });
+            }
+            Ok(n) => {
+                at += n;
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_progress.elapsed() > read_timeout {
+                    return Err(WireError::Timeout { mid_frame: true });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one complete frame.
+///
+/// # Errors
+///
+/// [`WireError::ConnectionClosed`] on a clean close (or a stop signal)
+/// between frames, [`WireError::Timeout`] per the idle/mid-frame rules,
+/// [`WireError::Truncated`] when the peer dies mid-frame, and every
+/// [`decode_frame`] error for invalid bytes.
+pub fn read_frame(
+    stream: &mut TcpStream,
+    max_payload: u32,
+    read_timeout: Duration,
+    idle: IdleWait,
+    stop: &dyn Fn() -> bool,
+) -> Result<(u64, WireFrame), WireError> {
+    stream.set_read_timeout(Some(TICK))?;
+    // Phase 1: wait for the first byte under the idle policy.
+    let mut header = [0u8; HEADER_LEN];
+    let idle_started = Instant::now();
+    let got = loop {
+        if stop() {
+            return Err(WireError::ConnectionClosed);
+        }
+        match stream.read(&mut header) {
+            Ok(0) => return Err(WireError::ConnectionClosed),
+            Ok(n) => break n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if let IdleWait::Timeout(limit) = idle {
+                    if idle_started.elapsed() > limit {
+                        return Err(WireError::Timeout { mid_frame: false });
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    };
+    // Phase 2: the frame has started; finish the header, learn the payload
+    // length, finish the frame — all under mid-frame rules.
+    read_exact_mid_frame(
+        stream,
+        &mut header[got..],
+        read_timeout,
+        "frame header",
+        got,
+    )?;
+    let (_, _, payload_len) = decode_header(&header, max_payload)?;
+    let rest_len = payload_len as usize + CHECKSUM_LEN;
+    let mut frame = Vec::with_capacity(HEADER_LEN + rest_len);
+    frame.extend_from_slice(&header);
+    frame.resize(HEADER_LEN + rest_len, 0);
+    read_exact_mid_frame(
+        stream,
+        &mut frame[HEADER_LEN..],
+        read_timeout,
+        "frame payload",
+        HEADER_LEN,
+    )?;
+    decode_frame(&frame, max_payload)
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`WireError::Io`] when the peer is gone or the socket fails.
+pub fn write_frame(
+    stream: &mut TcpStream,
+    session: u64,
+    frame: &WireFrame,
+) -> Result<(), WireError> {
+    let bytes = encode_frame(session, frame);
+    stream.write_all(&bytes)?;
+    stream.flush()?;
+    Ok(())
+}

@@ -1,0 +1,654 @@
+//! The `eventor-wire/1` TCP server: a thread-per-connection front-end over
+//! one shared [`ServeEngine`].
+//!
+//! ## Connection protocol
+//!
+//! Every connection opens with `Hello` / `HelloOk` (capability exchange),
+//! then issues any number of session and connection frames, and ends with
+//! `Bye` / `ByeOk` — the ordered shutdown. Sessions are **owned by the
+//! connection that admitted them**: frames naming another connection's
+//! session get a typed `Error` reply, and when a connection ends — orderly
+//! or not — every unfinished session it owns is
+//! [`abort`](ServeEngine::abort)ed, so a vanished client surfaces as
+//! `SessionFailed` in the engine's lifecycle feed instead of wedging the
+//! drain.
+//!
+//! ## Error discipline
+//!
+//! *Wire-level* violations (bad magic, checksum mismatch, malformed
+//! payloads, a mid-frame stall past the read timeout) are unrecoverable for
+//! the connection: the server sends a best-effort `Error` frame naming the
+//! violation and closes. *Semantic* refusals (unknown scenario, duplicate
+//! session id, closed session) are typed `Rejected`/`Error` replies and the
+//! connection stays usable. No client bytes — corrupt, truncated, hostile —
+//! ever panic the server (`tests/` corruption suite).
+
+use crate::frame_io::{read_frame, write_frame, IdleWait};
+use crate::manifest::SessionManifest;
+use crate::wire::{
+    code, DepthMapFrame, WireError, WireFrame, WireSessionEvent, DEFAULT_MAX_PAYLOAD,
+};
+use eventor_emvs::{EmvsError, KeyframeReconstruction};
+use eventor_scenarios::digest_output;
+use eventor_serve::{ServeConfig, ServeEngine, ServeError};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of a [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Configuration of the underlying serving engine.
+    pub serve: ServeConfig,
+    /// Largest payload accepted per frame, in bytes (advertised in
+    /// `HelloOk`).
+    pub max_payload: u32,
+    /// How long a peer may stall **mid-frame** (or the server may take to
+    /// reply) before the read is abandoned with [`WireError::Timeout`].
+    /// Idle waits between frames are not bounded by this on the server.
+    pub read_timeout: Duration,
+}
+
+impl NetConfig {
+    /// A configuration suitable for loopback serving and tests.
+    pub fn new() -> Self {
+        Self {
+            serve: ServeConfig::new(),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Replaces the serving-engine configuration.
+    pub fn with_serve(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    /// Replaces the mid-frame read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One wire session's bookkeeping inside the engine core.
+struct NetSession {
+    /// The engine-side id the wire id maps to.
+    engine_id: eventor_serve::SessionId,
+    /// Key frames already streamed to the client as `DepthMap` frames.
+    sent_keyframes: usize,
+}
+
+/// The engine and the wire-id table, guarded by one mutex.
+///
+/// Wire session ids are a **per-connection namespace** — the table key is
+/// `(connection, wire id)`, so independent clients may both call their
+/// first session `1` and never observe each other.
+struct EngineCore {
+    engine: ServeEngine,
+    sessions: HashMap<(u64, u64), NetSession>,
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    core: Mutex<EngineCore>,
+    config: NetConfig,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+}
+
+/// A bound, not-yet-running `eventor-wire/1` server.
+pub struct WireServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.listener.local_addr())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Handle to a server running on a background thread; dropping it without
+/// [`shutdown`](ServerHandle::shutdown) leaves the server running detached.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the server thread. In-flight connections
+    /// observe the flag at their next read tick and close; unfinished
+    /// sessions they own are aborted.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Tick used by accept/read loops to notice the shutdown flag.
+const TICK: Duration = Duration::from_millis(25);
+
+impl WireServer {
+    /// Binds a listener. Use address `"127.0.0.1:0"` to let the OS pick a
+    /// loopback port (read it back with [`local_addr`](Self::local_addr)).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the bind fails.
+    pub fn bind(addr: impl ToSocketAddrs, config: NetConfig) -> Result<Self, WireError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            core: Mutex::new(EngineCore {
+                engine: ServeEngine::new(config.serve),
+                sessions: HashMap::new(),
+            }),
+            config,
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(1),
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the socket cannot report it.
+    pub fn local_addr(&self) -> Result<SocketAddr, WireError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown is
+    /// signalled (via the [`ServerHandle`] of [`spawn`](Self::spawn), or by
+    /// `stop` returning true). Each connection is served on its own thread.
+    pub fn run_until(self, stop: impl Fn() -> bool) {
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) || stop() {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                    conns.push(std::thread::spawn(move || {
+                        serve_connection(stream, &shared, conn_id);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(TICK);
+                }
+                Err(_) => std::thread::sleep(TICK),
+            }
+            conns.retain(|c| !c.is_finished());
+        }
+        for conn in conns {
+            let _ = conn.join();
+        }
+    }
+
+    /// Spawns the accept loop on a background thread and returns its
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the bound address cannot be read back.
+    pub fn spawn(self) -> Result<ServerHandle, WireError> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || self.run_until(|| false));
+        Ok(ServerHandle {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Binds on a loopback port chosen by the OS and spawns the server — the
+/// one-liner behind every loopback test and bench.
+///
+/// # Errors
+///
+/// [`WireError::Io`] when the bind fails.
+pub fn spawn_loopback(config: NetConfig) -> Result<ServerHandle, WireError> {
+    WireServer::bind("127.0.0.1:0", config)?.spawn()
+}
+
+/// Converts a retired key frame into its wire rendering.
+fn depth_map_frame(index: usize, k: &KeyframeReconstruction) -> DepthMapFrame {
+    DepthMapFrame {
+        index: index as u64,
+        width: k.depth_map.width() as u64,
+        height: k.depth_map.height() as u64,
+        votes_cast: k.votes_cast,
+        depths: k
+            .depth_map
+            .depth_data()
+            .iter()
+            .map(|d| d.to_bits())
+            .collect(),
+    }
+}
+
+fn serve_error_reply(e: &ServeError) -> WireFrame {
+    let (code, reason) = match e {
+        ServeError::UnknownSession { .. } => (code::UNKNOWN_SESSION, e.to_string()),
+        ServeError::SessionClosed { .. } => (code::SESSION_CLOSED, e.to_string()),
+        other => (code::SESSION, other.to_string()),
+    };
+    WireFrame::Error { code, reason }
+}
+
+impl EngineCore {
+    /// Remaining ingest-queue credits of one session (events the client may
+    /// send before the next ack).
+    fn credits(&self, id: eventor_serve::SessionId) -> u64 {
+        self.engine
+            .session_metrics(id)
+            .map(|m| m.queue_capacity.saturating_sub(m.queue_depth) as u64)
+            .unwrap_or(0)
+    }
+
+    /// Looks a wire session up in the connection's namespace. A wire id
+    /// admitted by another connection is indistinguishable from one that
+    /// was never admitted — cross-connection hijack is impossible by
+    /// construction, so [`code::NOT_OWNER`] stays reserved on this server.
+    fn resolve(&self, wire_id: u64, conn: u64) -> Result<eventor_serve::SessionId, WireFrame> {
+        match self.sessions.get(&(conn, wire_id)) {
+            None => Err(WireFrame::Error {
+                code: code::UNKNOWN_SESSION,
+                reason: format!("wire session {wire_id} was never admitted"),
+            }),
+            Some(s) => Ok(s.engine_id),
+        }
+    }
+}
+
+/// Aborts every unfinished session the connection owns (client vanished or
+/// violated the protocol). Finished sessions keep their outputs.
+fn abort_owned(shared: &Shared, conn: u64) {
+    let mut core = shared.core.lock().expect("engine lock");
+    let owned: Vec<eventor_serve::SessionId> = core
+        .sessions
+        .iter()
+        .filter(|((owner, _), _)| *owner == conn)
+        .map(|(_, s)| s.engine_id)
+        .collect();
+    for id in owned {
+        let _ = core.engine.abort(
+            id,
+            EmvsError::InvalidConfig {
+                reason: "wire client disconnected before finishing the session".into(),
+            },
+        );
+    }
+    core.sessions.retain(|(owner, _), _| *owner != conn);
+}
+
+/// Serves one connection to completion. All replies carry the request's
+/// session id, so a pipelining client can match them up.
+fn serve_connection(mut stream: TcpStream, shared: &Shared, conn: u64) {
+    let result = connection_loop(&mut stream, shared, conn);
+    if let Err(e) = result {
+        // Best-effort typed goodbye; the peer may be long gone.
+        let reason = e.to_string();
+        if !matches!(e, WireError::ConnectionClosed | WireError::Io { .. }) {
+            let _ = write_frame(
+                &mut stream,
+                0,
+                &WireFrame::Error {
+                    code: code::PROTOCOL,
+                    reason,
+                },
+            );
+        }
+    }
+    abort_owned(shared, conn);
+}
+
+fn connection_loop(stream: &mut TcpStream, shared: &Shared, conn: u64) -> Result<(), WireError> {
+    let max_payload = shared.config.max_payload;
+    let read_timeout = shared.config.read_timeout;
+    let stop = || shared.shutdown.load(Ordering::SeqCst);
+
+    // Handshake: the first frame must be Hello.
+    let (_, first) = read_frame(
+        stream,
+        max_payload,
+        read_timeout,
+        IdleWait::UntilStopped,
+        &stop,
+    )?;
+    match first {
+        WireFrame::Hello => {}
+        other => {
+            return Err(WireError::UnexpectedFrame {
+                expected: "Hello",
+                found: other.kind_name(),
+            });
+        }
+    }
+    write_frame(
+        stream,
+        0,
+        &WireFrame::HelloOk {
+            max_payload,
+            queue_capacity: shared.config.serve.queue_capacity() as u64,
+        },
+    )?;
+
+    loop {
+        let (wire_id, frame) = match read_frame(
+            stream,
+            max_payload,
+            read_timeout,
+            IdleWait::UntilStopped,
+            &stop,
+        ) {
+            Ok(f) => f,
+            Err(WireError::ConnectionClosed) if stop() => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match frame {
+            WireFrame::Bye => {
+                write_frame(stream, 0, &WireFrame::ByeOk)?;
+                return Ok(());
+            }
+            WireFrame::Metrics => {
+                let json = shared
+                    .core
+                    .lock()
+                    .expect("engine lock")
+                    .engine
+                    .metrics_snapshot()
+                    .to_json();
+                write_frame(stream, wire_id, &WireFrame::MetricsReply { json })?;
+            }
+            WireFrame::Admit { manifest } => {
+                let reply = admit(shared, conn, wire_id, &manifest);
+                write_frame(stream, wire_id, &reply)?;
+            }
+            WireFrame::Poses { samples } => {
+                let reply = with_session(shared, conn, wire_id, |core, id| {
+                    for (timestamp, pose) in &samples {
+                        if let Err(e) = core.engine.enqueue_pose(id, *timestamp, *pose) {
+                            return serve_error_reply(&e);
+                        }
+                    }
+                    WireFrame::Ok
+                });
+                write_frame(stream, wire_id, &reply)?;
+            }
+            WireFrame::Events { events } => {
+                let reply = with_session(shared, conn, wire_id, |core, id| {
+                    let accepted = match core.engine.enqueue_events(id, &events) {
+                        Ok(n) => n,
+                        Err(ServeError::Session {
+                            source: EmvsError::Backpressure { .. },
+                            ..
+                        }) => {
+                            // The queue is full: pump once and retry. A
+                            // client that respects its credit grant never
+                            // lands here; a misbehaving one gets a
+                            // zero-accept ack (short-write semantics — the
+                            // excess was NOT buffered).
+                            core.engine.pump();
+                            match core.engine.enqueue_events(id, &events) {
+                                Ok(n) => n,
+                                Err(ServeError::Session {
+                                    source: EmvsError::Backpressure { .. },
+                                    ..
+                                }) => 0,
+                                Err(e) => return serve_error_reply(&e),
+                            }
+                        }
+                        Err(e) => return serve_error_reply(&e),
+                    };
+                    WireFrame::EventsAck {
+                        accepted: accepted as u64,
+                        credits: core.credits(id),
+                    }
+                });
+                write_frame(stream, wire_id, &reply)?;
+            }
+            WireFrame::Poll => {
+                poll_session(stream, shared, conn, wire_id)?;
+            }
+            WireFrame::Close => {
+                let reply = with_session(shared, conn, wire_id, |core, id| {
+                    match core.engine.close(id) {
+                        Ok(()) => WireFrame::Ok,
+                        Err(e) => serve_error_reply(&e),
+                    }
+                });
+                write_frame(stream, wire_id, &reply)?;
+            }
+            WireFrame::Discard => {
+                let reply = with_session(shared, conn, wire_id, |core, id| {
+                    match core.engine.discard_pending(id) {
+                        Ok(_) => WireFrame::Ok,
+                        Err(e) => serve_error_reply(&e),
+                    }
+                });
+                write_frame(stream, wire_id, &reply)?;
+            }
+            WireFrame::Finish => {
+                finish_session(stream, shared, conn, wire_id)?;
+            }
+            other => {
+                return Err(WireError::UnexpectedFrame {
+                    expected: "a client request",
+                    found: other.kind_name(),
+                });
+            }
+        }
+    }
+}
+
+/// Runs `op` with the engine lock held and the wire id resolved; ownership
+/// and existence failures become their typed reply without touching the
+/// engine.
+fn with_session(
+    shared: &Shared,
+    conn: u64,
+    wire_id: u64,
+    op: impl FnOnce(&mut EngineCore, eventor_serve::SessionId) -> WireFrame,
+) -> WireFrame {
+    let mut core = shared.core.lock().expect("engine lock");
+    match core.resolve(wire_id, conn) {
+        Ok(id) => op(&mut core, id),
+        Err(reply) => reply,
+    }
+}
+
+fn admit(shared: &Shared, conn: u64, wire_id: u64, manifest: &SessionManifest) -> WireFrame {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return WireFrame::Rejected {
+            code: code::SHUTTING_DOWN,
+            reason: "server is shutting down".into(),
+        };
+    }
+    if wire_id == 0 {
+        return WireFrame::Rejected {
+            code: code::BAD_SESSION_ID,
+            reason: "session id 0 is reserved for connection-level frames".into(),
+        };
+    }
+    // Resolve the manifest before taking the engine lock: building a
+    // session is pure and needs no engine state.
+    let session = match manifest.resolve() {
+        Ok(s) => s,
+        Err(WireError::Rejected { code, reason }) => {
+            return WireFrame::Rejected { code, reason };
+        }
+        Err(other) => {
+            return WireFrame::Rejected {
+                code: code::PROTOCOL,
+                reason: other.to_string(),
+            };
+        }
+    };
+    let mut core = shared.core.lock().expect("engine lock");
+    if core.sessions.contains_key(&(conn, wire_id)) {
+        return WireFrame::Rejected {
+            code: code::DUPLICATE_SESSION,
+            reason: format!("wire session {wire_id} already exists"),
+        };
+    }
+    let engine_id = core.engine.admit(session);
+    core.sessions.insert(
+        (conn, wire_id),
+        NetSession {
+            engine_id,
+            sent_keyframes: 0,
+        },
+    );
+    WireFrame::Admitted {
+        credits: core.credits(engine_id),
+    }
+}
+
+/// `Poll`: pump once, then stream everything new — lifecycle events first,
+/// then any newly retired depth maps, then the `PollDone` credit grant.
+fn poll_session(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    conn: u64,
+    wire_id: u64,
+) -> Result<(), WireError> {
+    // Collect under the lock, write after releasing it: a slow client must
+    // not hold the engine hostage while frames drain into the socket.
+    let (frames, done) = {
+        let mut core = shared.core.lock().expect("engine lock");
+        let core = &mut *core;
+        let id = match core.resolve(wire_id, conn) {
+            Ok(id) => id,
+            Err(reply) => return write_frame(stream, wire_id, &reply),
+        };
+        core.engine.pump();
+        let mut frames = Vec::new();
+        let lifecycle = core.engine.poll_session(id).unwrap_or_default();
+        if !lifecycle.is_empty() {
+            frames.push(WireFrame::Lifecycle {
+                events: lifecycle
+                    .iter()
+                    .filter_map(WireSessionEvent::from_session)
+                    .collect(),
+            });
+        }
+        let sent = core
+            .sessions
+            .get(&(conn, wire_id))
+            .map(|s| s.sent_keyframes)
+            .unwrap_or(0);
+        let keyframes = core.engine.keyframes(id).unwrap_or(&[]);
+        for (offset, k) in keyframes.iter().enumerate().skip(sent) {
+            frames.push(WireFrame::DepthMap(depth_map_frame(offset, k)));
+        }
+        let total = keyframes.len();
+        if let Some(s) = core.sessions.get_mut(&(conn, wire_id)) {
+            s.sent_keyframes = total.max(s.sent_keyframes);
+        }
+        (
+            frames,
+            WireFrame::PollDone {
+                credits: core.credits(id),
+            },
+        )
+    };
+    for frame in &frames {
+        write_frame(stream, wire_id, frame)?;
+    }
+    write_frame(stream, wire_id, &done)
+}
+
+/// `Finish`: drain the session to completion, stream the leftovers, reply
+/// with the terminal summary, and release the wire id.
+fn finish_session(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    conn: u64,
+    wire_id: u64,
+) -> Result<(), WireError> {
+    let (frames, done) = {
+        let mut core = shared.core.lock().expect("engine lock");
+        let core = &mut *core;
+        let id = match core.resolve(wire_id, conn) {
+            Ok(id) => id,
+            Err(reply) => return write_frame(stream, wire_id, &reply),
+        };
+        let output = match core.engine.finish_session(id) {
+            Ok(output) => output,
+            Err(e) => {
+                let reply = serve_error_reply(&e);
+                return write_frame(stream, wire_id, &reply);
+            }
+        };
+        let mut frames = Vec::new();
+        // Lifecycle events polled into the outbox during the drain, then
+        // the final-flush events the engine stashed in the output (the two
+        // sets are disjoint by construction).
+        let mut lifecycle = core.engine.poll_session(id).unwrap_or_default();
+        lifecycle.extend(output.events.iter().cloned());
+        if !lifecycle.is_empty() {
+            frames.push(WireFrame::Lifecycle {
+                events: lifecycle
+                    .iter()
+                    .filter_map(WireSessionEvent::from_session)
+                    .collect(),
+            });
+        }
+        let sent = core
+            .sessions
+            .get(&(conn, wire_id))
+            .map(|s| s.sent_keyframes)
+            .unwrap_or(0);
+        for (offset, k) in output.output.keyframes.iter().enumerate().skip(sent) {
+            frames.push(WireFrame::DepthMap(depth_map_frame(offset, k)));
+        }
+        core.sessions.remove(&(conn, wire_id));
+        (
+            frames,
+            WireFrame::Finished {
+                digest: digest_output(&output),
+                keyframes: output.output.keyframes.len() as u64,
+                events_processed: output.output.profile.events_processed,
+            },
+        )
+    };
+    for frame in &frames {
+        write_frame(stream, wire_id, frame)?;
+    }
+    write_frame(stream, wire_id, &done)
+}

@@ -1,0 +1,439 @@
+//! Structure-aware corruption suite for the `eventor-wire/1` codec and
+//! server: every way a frame can rot on the wire maps to one **typed**
+//! [`WireError`] variant, corruption is *never* a panic, and a live server
+//! that receives garbage sends a best-effort typed `Error` frame, closes
+//! that connection cleanly, and keeps serving everyone else.
+//!
+//! Byte offsets used below follow the frame layout pinned in
+//! `docs/WIRE.md`: `magic[0..4] | version[4..8] | kind[8..10] |
+//! reserved[10..12] | session[12..20] | payload_len[20..24] | payload |
+//! checksum (trailing 8)`.
+
+use eventor_events::{fnv1a_64, Event, Polarity};
+use eventor_geom::Pose;
+use eventor_net::{
+    code, decode_frame, encode_frame, read_frame, write_frame, DepthMapFrame, IdleWait,
+    ManifestSource, NetConfig, SessionManifest, WireClient, WireError, WireFrame, WireSessionEvent,
+    CHECKSUM_LEN, DEFAULT_MAX_PAYLOAD, HEADER_LEN, WIRE_MAGIC,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Recomputes the trailing checksum after a deliberate payload/header edit,
+/// so the corruption under test is the *only* violation in the frame.
+fn reseal(bytes: &mut [u8]) {
+    let body_len = bytes.len() - CHECKSUM_LEN;
+    let sum = fnv1a_64(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// A representative frame of every traffic class (fixed, variable-length,
+/// nested, string-bearing) to corrupt.
+fn sample_frames() -> Vec<(u64, WireFrame)> {
+    vec![
+        (0, WireFrame::Hello),
+        (
+            7,
+            WireFrame::Admit {
+                manifest: SessionManifest {
+                    backend: eventor_scenarios::BackendKind::Sharded,
+                    source: ManifestSource::Scenario {
+                        name: "orbit_burst".into(),
+                        seed: 0xD1CE,
+                    },
+                },
+            },
+        ),
+        (
+            7,
+            WireFrame::Poses {
+                samples: vec![(0.25, Pose::identity())],
+            },
+        ),
+        (
+            7,
+            WireFrame::Events {
+                events: vec![
+                    Event::new(0.5, 3, 4, Polarity::Positive),
+                    Event::new(0.625, 5, 6, Polarity::Negative),
+                ],
+            },
+        ),
+        (
+            7,
+            WireFrame::Lifecycle {
+                events: vec![
+                    WireSessionEvent::DepthMapReady {
+                        index: 0,
+                        valid_pixels: 99,
+                    },
+                    WireSessionEvent::MapFused {
+                        index: 1,
+                        points: 12,
+                        new_voxels: 5,
+                    },
+                ],
+            },
+        ),
+        (
+            9,
+            WireFrame::DepthMap(DepthMapFrame {
+                index: 2,
+                width: 2,
+                height: 1,
+                votes_cast: 44,
+                depths: vec![1.5f64.to_bits(), f64::NAN.to_bits()],
+            }),
+        ),
+        (
+            0,
+            WireFrame::Rejected {
+                code: code::UNKNOWN_SCENARIO,
+                reason: "no such scenario".into(),
+            },
+        ),
+        (
+            0,
+            WireFrame::MetricsReply {
+                json: "{\"format\": \"eventor-metrics/1\"}".into(),
+            },
+        ),
+    ]
+}
+
+fn events_frame_bytes() -> Vec<u8> {
+    encode_frame(
+        7,
+        &WireFrame::Events {
+            events: vec![Event::new(0.5, 3, 4, Polarity::Positive)],
+        },
+    )
+}
+
+#[test]
+fn corrupt_magic_is_bad_magic() {
+    let mut bytes = events_frame_bytes();
+    bytes[0..4].copy_from_slice(b"EVIL");
+    reseal(&mut bytes);
+    assert_eq!(
+        decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+        Err(WireError::BadMagic { found: *b"EVIL" })
+    );
+}
+
+#[test]
+fn skewed_version_is_unsupported_version() {
+    let mut bytes = events_frame_bytes();
+    bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+    reseal(&mut bytes);
+    assert_eq!(
+        decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+        Err(WireError::UnsupportedVersion { found: 2 })
+    );
+}
+
+#[test]
+fn nonzero_reserved_bytes_are_rejected() {
+    let mut bytes = events_frame_bytes();
+    bytes[10] = 0x80;
+    reseal(&mut bytes);
+    assert_eq!(
+        decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+        Err(WireError::NonzeroReserved { found: 0x80 })
+    );
+}
+
+#[test]
+fn unknown_kind_survives_the_checksum_and_is_typed() {
+    let mut bytes = events_frame_bytes();
+    bytes[8..10].copy_from_slice(&0x7fffu16.to_le_bytes());
+    reseal(&mut bytes);
+    assert_eq!(
+        decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+        Err(WireError::UnknownKind { found: 0x7fff })
+    );
+}
+
+#[test]
+fn flipped_length_prefix_is_truncation_both_ways() {
+    // Length inflated by one: the buffer no longer holds a whole frame.
+    let mut bytes = events_frame_bytes();
+    let declared = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    bytes[20..24].copy_from_slice(&(declared + 1).to_le_bytes());
+    reseal(&mut bytes);
+    let expected = HEADER_LEN + declared as usize + 1 + CHECKSUM_LEN;
+    assert_eq!(
+        decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+        Err(WireError::Truncated {
+            what: "frame payload",
+            expected,
+            found: bytes.len(),
+        })
+    );
+
+    // Length deflated by one: trailing bytes make the frame over-long.
+    let mut bytes = events_frame_bytes();
+    bytes[20..24].copy_from_slice(&(declared - 1).to_le_bytes());
+    reseal(&mut bytes);
+    assert_eq!(
+        decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+        Err(WireError::Truncated {
+            what: "frame payload",
+            expected: bytes.len() - 1,
+            found: bytes.len(),
+        })
+    );
+}
+
+#[test]
+fn truncation_mid_section_names_the_section() {
+    let bytes = events_frame_bytes();
+    // Cut inside the header.
+    match decode_frame(&bytes[..10], DEFAULT_MAX_PAYLOAD) {
+        Err(WireError::Truncated { what: "frame", .. }) => {}
+        other => panic!("header cut: {other:?}"),
+    }
+    // Cut inside the trailing checksum (header survives intact).
+    match decode_frame(&bytes[..bytes.len() - 4], DEFAULT_MAX_PAYLOAD) {
+        Err(WireError::Truncated {
+            what: "frame payload",
+            ..
+        }) => {}
+        other => panic!("payload cut: {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_checksum_reports_declared_and_actual() {
+    let mut bytes = events_frame_bytes();
+    let n = bytes.len();
+    bytes[n - 1] ^= 0x01;
+    let declared = u64::from_le_bytes(bytes[n - CHECKSUM_LEN..].try_into().unwrap());
+    let actual = fnv1a_64(&bytes[..n - CHECKSUM_LEN]);
+    assert_eq!(
+        decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+        Err(WireError::ChecksumMismatch { declared, actual })
+    );
+}
+
+#[test]
+fn oversized_declared_payload_respects_the_negotiated_cap() {
+    let bytes = events_frame_bytes();
+    let declared = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    assert_eq!(
+        decode_frame(&bytes, declared - 1),
+        Err(WireError::Oversized {
+            declared,
+            max: declared - 1,
+        })
+    );
+}
+
+#[test]
+fn bad_polarity_byte_is_malformed() {
+    // Events payload: count u64, then 13-byte records (t f64, x u16, y u16,
+    // polarity u8) — the first polarity byte sits at payload offset 20.
+    let mut bytes = events_frame_bytes();
+    bytes[HEADER_LEN + 20] = 7;
+    reseal(&mut bytes);
+    match decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+        Err(WireError::Malformed { reason }) => {
+            assert!(reason.contains("polarity"), "reason: {reason}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_finite_event_timestamp_is_malformed() {
+    let mut bytes = events_frame_bytes();
+    bytes[HEADER_LEN + 8..HEADER_LEN + 16].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+    reseal(&mut bytes);
+    match decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+        Err(WireError::Malformed { reason }) => {
+            assert!(reason.contains("non-finite"), "reason: {reason}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_lifecycle_tag_and_nonzero_pad_are_malformed() {
+    let frame = WireFrame::Lifecycle {
+        events: vec![WireSessionEvent::DepthMapReady {
+            index: 3,
+            valid_pixels: 10,
+        }],
+    };
+    // Lifecycle payload: count u64, then 25-byte records (tag u8 + 3×u64);
+    // the first tag sits at payload offset 8.
+    let mut bytes = encode_frame(9, &frame);
+    bytes[HEADER_LEN + 8] = 9;
+    reseal(&mut bytes);
+    match decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+        Err(WireError::Malformed { reason }) => {
+            assert!(reason.contains("tag"), "reason: {reason}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+
+    // `DepthMapReady` (tag 2) carries only two meaningful words; the third
+    // is a zero-checked pad.
+    let mut bytes = encode_frame(9, &frame);
+    let pad = HEADER_LEN + 8 + 1 + 16; // count, tag, index, valid_pixels
+    bytes[pad] = 1;
+    reseal(&mut bytes);
+    match decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+        Err(WireError::Malformed { reason }) => {
+            assert!(reason.contains("pad"), "reason: {reason}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn absurd_count_prefix_is_malformed_not_an_allocation() {
+    let mut bytes = events_frame_bytes();
+    bytes[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&(1u64 << 56).to_le_bytes());
+    reseal(&mut bytes);
+    match decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+        Err(WireError::Malformed { reason }) => {
+            assert!(reason.contains("Events"), "reason: {reason}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+/// Exhaustive single-byte-flip sweep: because the trailing checksum covers
+/// every preceding byte and all header checks precede the checksum check,
+/// **any** one-byte change to a valid frame must decode to a typed error —
+/// never `Ok`, never a panic.
+#[test]
+fn every_single_byte_flip_is_a_typed_error() {
+    for (session, frame) in sample_frames() {
+        let good = encode_frame(session, &frame);
+        assert!(decode_frame(&good, DEFAULT_MAX_PAYLOAD).is_ok());
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xA5;
+            assert!(
+                decode_frame(&bad, DEFAULT_MAX_PAYLOAD).is_err(),
+                "{}: flip at byte {i} of {} decoded as Ok",
+                frame.kind_name(),
+                good.len()
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Random single-byte XOR masks over random frame/offset choices: the
+    /// flip property holds for every nonzero mask, not just `0xA5`.
+    #[test]
+    fn random_byte_flips_never_decode(idx in 0usize..8, offset in 0usize..4096, mask in 1u64..256) {
+        let frames = sample_frames();
+        let (session, frame) = &frames[idx % frames.len()];
+        let mut bytes = encode_frame(*session, frame);
+        let i = offset % bytes.len();
+        bytes[i] ^= mask as u8;
+        prop_assert!(decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).is_err());
+    }
+
+    /// Arbitrary garbage never panics the decoder (it may, vanishingly
+    /// rarely, decode — in which case it must re-encode to the same bytes).
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in collection::vec(0u64..256, 0..256)) {
+        let bytes: Vec<u8> = raw.iter().map(|b| *b as u8).collect();
+        if let Ok((session, frame)) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+            prop_assert_eq!(encode_frame(session, &frame), bytes);
+        }
+    }
+}
+
+#[test]
+fn live_server_answers_garbage_with_a_typed_error_and_keeps_serving() {
+    let server = eventor_net::spawn_loopback(NetConfig::new()).expect("server spawns");
+
+    // Connection A: a valid Hello, then garbage mid-stream.
+    let mut rogue = std::net::TcpStream::connect(server.addr()).expect("rogue connects");
+    write_frame(&mut rogue, 0, &WireFrame::Hello).expect("hello");
+    let (_, reply) = read_frame(
+        &mut rogue,
+        DEFAULT_MAX_PAYLOAD,
+        Duration::from_secs(10),
+        IdleWait::Timeout(Duration::from_secs(10)),
+        &|| false,
+    )
+    .expect("hello reply");
+    assert!(matches!(reply, WireFrame::HelloOk { .. }));
+    // Exactly one header's worth of garbage, so the server consumes it all
+    // before rejecting (leftover unread bytes would turn the close into an
+    // RST on some kernels).
+    use std::io::Write;
+    rogue
+        .write_all(b"this is not a wire frame")
+        .expect("garbage");
+    rogue.flush().expect("flush");
+    // The server replies with a best-effort typed Error frame, then closes.
+    let (_, reply) = read_frame(
+        &mut rogue,
+        DEFAULT_MAX_PAYLOAD,
+        Duration::from_secs(10),
+        IdleWait::Timeout(Duration::from_secs(10)),
+        &|| false,
+    )
+    .expect("typed goodbye");
+    match reply {
+        WireFrame::Error { code: c, .. } => assert_eq!(c, code::PROTOCOL),
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    match read_frame(
+        &mut rogue,
+        DEFAULT_MAX_PAYLOAD,
+        Duration::from_secs(10),
+        IdleWait::Timeout(Duration::from_secs(10)),
+        &|| false,
+    ) {
+        Err(WireError::ConnectionClosed) | Err(WireError::Io { .. }) => {}
+        other => panic!("expected a close after the Error frame, got {other:?}"),
+    }
+
+    // Connection B, after the corruption: still served, bit-identically.
+    let world = {
+        use eventor_scenarios::Scenario;
+        let s = eventor_scenarios::find("shake_closeup").expect("corpus scenario");
+        s.build(s.default_seed()).expect("world builds")
+    };
+    let mut client = WireClient::connect(server.addr()).expect("client connects");
+    let id = client
+        .admit(&SessionManifest {
+            backend: eventor_scenarios::BackendKind::Software,
+            source: ManifestSource::Scenario {
+                name: world.name.clone(),
+                seed: world.seed,
+            },
+        })
+        .expect("admission");
+    let report = client
+        .drive(
+            id,
+            &world.trajectory,
+            world.events.as_slice(),
+            eventor_serve::LoadShape::Steady { chunk: 2048 },
+        )
+        .expect("drive");
+    assert_eq!(
+        report.digest,
+        eventor_scenarios::golden_digest("shake_closeup").expect("golden"),
+        "a healthy connection diverged after another connection sent garbage"
+    );
+    client.bye().expect("bye");
+    server.shutdown();
+}
+
+#[test]
+fn wire_magic_is_pinned() {
+    // The magic is a protocol constant, not an implementation detail: a
+    // rename breaks every deployed peer.
+    assert_eq!(WIRE_MAGIC, *b"EWIR");
+}

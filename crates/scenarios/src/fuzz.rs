@@ -484,6 +484,15 @@ impl WorldSpec {
             .with_voting(VotingMode::Nearest)
     }
 
+    /// The session admission profile this spec serves with — the corpus
+    /// camera plus [`Self::config`] — **without** simulating the world.
+    /// Mirrors `CorpusScenario::session_profile`: a serving front-end can
+    /// admit a session for a committed spec before (or without) paying for
+    /// event simulation.
+    pub fn session_profile(&self) -> (eventor_geom::CameraModel, EmvsConfig) {
+        (small_camera(), self.config())
+    }
+
     /// Display name of the world this spec builds.
     pub fn world_name(&self) -> String {
         format!(

@@ -65,11 +65,25 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
-pub(crate) fn session_for(
-    world: &ScenarioWorld,
+/// Builds a streaming session from an admission profile — the `(camera,
+/// config)` pair of `CorpusScenario::session_profile` /
+/// `WorldSpec::session_profile` — with the **exact** per-backend options the
+/// golden digest table was computed with. Front-ends that admit sessions
+/// remotely (the `eventor-wire/1` server) must come through here, so a
+/// remotely-served stream is bit-identical to the local golden path.
+///
+/// [`BackendKind::Serve`] builds the software session the serving tier
+/// schedules.
+///
+/// # Errors
+///
+/// Propagates session-builder failures (invalid configuration).
+pub fn session_for_profile(
+    camera: eventor_geom::CameraModel,
+    config: eventor_emvs::EmvsConfig,
     backend: BackendKind,
 ) -> Result<EventorSession, EmvsError> {
-    let builder = EventorSession::builder(world.camera, world.config.clone());
+    let builder = EventorSession::builder(camera, config);
     match backend {
         BackendKind::Software | BackendKind::Serve => {
             builder.software(EventorOptions::accelerator())
@@ -81,6 +95,13 @@ pub(crate) fn session_for(
         BackendKind::Cosim => builder.cosim(AcceleratorConfig::default()),
     }
     .build()
+}
+
+pub(crate) fn session_for(
+    world: &ScenarioWorld,
+    backend: BackendKind,
+) -> Result<EventorSession, EmvsError> {
+    session_for_profile(world.camera, world.config.clone(), backend)
 }
 
 pub(crate) fn run_standalone(

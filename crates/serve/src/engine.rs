@@ -665,6 +665,41 @@ impl ServeEngine {
         Ok(dropped)
     }
 
+    /// Aborts a session: every queued and session-buffered input is dropped,
+    /// the live session is destroyed, and `reason` is recorded as the
+    /// session's sticky failure — the serving-tier response to a client that
+    /// vanished mid-stream. [`ServeEvent::SessionFailed`] is emitted
+    /// immediately. Aborting a session that already finished is a no-op (its
+    /// output stays available); aborting twice is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`].
+    pub fn abort(&mut self, id: SessionId, reason: EmvsError) -> Result<(), ServeError> {
+        let slot = self.slot_mut(id)?;
+        if slot.output.is_some() || slot.output_taken {
+            return Ok(());
+        }
+        slot.queue.discard_events();
+        slot.queue.poses.clear();
+        slot.queue.close();
+        if let Some(session) = slot.session.take() {
+            slot.final_processed = session.profile().events_processed;
+            slot.final_keyframes = session.keyframes().len();
+        }
+        slot.stalled = false;
+        let already_failed = slot.failure_reported && slot.error.is_some();
+        slot.error = Some(reason.clone());
+        slot.failure_reported = true;
+        if !already_failed {
+            self.serve_outbox.push(ServeEvent::SessionFailed {
+                session: id,
+                error: reason,
+            });
+        }
+        Ok(())
+    }
+
     /// Runs one fair scheduling round over the worker pool: every runnable
     /// session receives up to one quantum
     /// ([`ServeConfig::quantum_events`]) of ingestion plus the voting work
@@ -941,6 +976,41 @@ impl ServeEngine {
     /// [`ServeError::UnknownSession`].
     pub fn session_metrics(&self, id: SessionId) -> Result<SessionMetrics, ServeError> {
         Ok(self.slot(id)?.metrics())
+    }
+
+    /// A point-in-time snapshot of the whole serving tier: aggregate
+    /// counters plus every session's [`SessionMetrics`], in admission order.
+    /// This is the surface remote readers consume — render it with
+    /// [`MetricsSnapshot::to_json`](crate::MetricsSnapshot::to_json) for the
+    /// byte-reproducible `eventor-metrics/1` document.
+    pub fn metrics_snapshot(&self) -> crate::MetricsSnapshot {
+        crate::MetricsSnapshot {
+            aggregate: self.metrics(),
+            sessions: self.slots.iter().map(Slot::metrics).collect(),
+        }
+    }
+
+    /// The key frames a session has retired so far: the live session's
+    /// running reconstruction while it is being served, the terminal
+    /// output's key frames once it finished, and the empty slice after the
+    /// output was taken. Lets a bridge stream depth maps incrementally
+    /// without consuming the terminal output.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`].
+    pub fn keyframes(
+        &self,
+        id: SessionId,
+    ) -> Result<&[eventor_emvs::KeyframeReconstruction], ServeError> {
+        let slot = self.slot(id)?;
+        if let Some(session) = &slot.session {
+            return Ok(session.keyframes());
+        }
+        match &slot.output {
+            Some(output) => Ok(&output.output.keyframes),
+            None => Ok(&[]),
+        }
     }
 
     /// An aggregate metrics snapshot for the whole engine (field reference
@@ -1259,6 +1329,58 @@ mod tests {
             Err(ServeError::SessionClosed { .. })
         ));
         assert!(engine.take_output(id).is_none());
+    }
+
+    #[test]
+    fn abort_kills_a_live_session_and_spares_finished_ones() {
+        let seq = sequence();
+        let mut engine = ServeEngine::new(ServeConfig::new().with_workers(2));
+        let doomed = engine.admit(session_for(&seq));
+        let healthy = engine.admit(session_for(&seq));
+        let events = seq.events.as_slice();
+        for &id in &[doomed, healthy] {
+            engine.enqueue_trajectory(id, &seq.trajectory).unwrap();
+            let mut offset = 0usize;
+            while offset < events.len() {
+                offset += engine.enqueue_events(id, &events[offset..]).unwrap();
+                engine.pump();
+            }
+        }
+        let reason = EmvsError::InvalidConfig {
+            reason: "client went away".into(),
+        };
+        engine.abort(doomed, reason.clone()).unwrap();
+        engine.abort(doomed, reason.clone()).unwrap(); // idempotent
+        assert_eq!(engine.status(doomed).unwrap(), SessionStatus::Failed);
+        let failures = engine
+            .poll_serve()
+            .iter()
+            .filter(
+                |e| matches!(e, ServeEvent::SessionFailed { session, .. } if *session == doomed),
+            )
+            .count();
+        assert_eq!(failures, 1, "abort reports the failure exactly once");
+        // The aborted slot never wedges the engine; the healthy session
+        // still drains to its full, untruncated output.
+        engine.close(healthy).unwrap();
+        engine.drain().unwrap();
+        let output = engine.take_output(healthy).expect("healthy output");
+        assert_eq!(output.output.profile.events_processed, events.len() as u64);
+        assert!(engine.take_output(doomed).is_none());
+        // Aborting a finished session is a no-op: status and output survive.
+        let finished = engine.admit(session_for(&seq));
+        engine
+            .enqueue_trajectory(finished, &seq.trajectory)
+            .unwrap();
+        let mut offset = 0usize;
+        while offset < events.len() {
+            offset += engine.enqueue_events(finished, &events[offset..]).unwrap();
+            engine.pump();
+        }
+        let out = engine.finish_session(finished).unwrap();
+        assert!(!out.output.keyframes.is_empty());
+        engine.abort(finished, reason).unwrap();
+        assert_eq!(engine.status(finished).unwrap(), SessionStatus::Finished);
     }
 
     #[test]

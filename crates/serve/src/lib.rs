@@ -59,4 +59,4 @@ pub use engine::{
     DEFAULT_QUEUE_CAPACITY,
 };
 pub use loadgen::{drive, LoadShape, LoadStream};
-pub use metrics::{ServeMetrics, SessionMetrics, SessionStatus};
+pub use metrics::{MetricsSnapshot, ServeMetrics, SessionMetrics, SessionStatus};

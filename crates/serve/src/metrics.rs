@@ -117,6 +117,105 @@ pub struct ServeMetrics {
     pub utilization: f64,
 }
 
+/// A point-in-time snapshot of the whole serving tier: the aggregate
+/// counters plus one [`SessionMetrics`] per admitted session, in admission
+/// order.
+///
+/// This is the **one** metrics surface remote readers consume: local
+/// `poll_serve` consumers and the `eventor-wire/1` metrics frame both render
+/// it through [`MetricsSnapshot::to_json`], so the two views can never
+/// drift apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Engine-aggregate counters.
+    pub aggregate: ServeMetrics,
+    /// Per-session counters, in admission order.
+    pub sessions: Vec<SessionMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as the **`eventor-metrics/1`** JSON document.
+    ///
+    /// The rendering is byte-reproducible: the same snapshot always
+    /// serializes to the same bytes on every host — keys in a fixed order,
+    /// floats printed with a fixed `{:.6}` precision, no timestamps, no
+    /// hostnames, no hash-map iteration order. The exact format is pinned by
+    /// `pinned_metrics_json_format` below; changing it is a format bump.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let a = &self.aggregate;
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"format\": \"eventor-metrics/1\",");
+        let _ = writeln!(s, "  \"aggregate\": {{");
+        let _ = writeln!(s, "    \"sessions\": {},", a.sessions);
+        let _ = writeln!(s, "    \"active\": {},", a.active);
+        let _ = writeln!(s, "    \"draining\": {},", a.draining);
+        let _ = writeln!(s, "    \"finished\": {},", a.finished);
+        let _ = writeln!(s, "    \"failed\": {},", a.failed);
+        let _ = writeln!(s, "    \"workers\": {},", a.workers);
+        let _ = writeln!(s, "    \"queue_depth\": {},", a.queue_depth);
+        let _ = writeln!(s, "    \"events_enqueued\": {},", a.events_enqueued);
+        let _ = writeln!(s, "    \"events_ingested\": {},", a.events_ingested);
+        let _ = writeln!(s, "    \"events_processed\": {},", a.events_processed);
+        let _ = writeln!(s, "    \"depth_maps\": {},", a.depth_maps);
+        let _ = writeln!(s, "    \"pump_rounds\": {},", a.pump_rounds);
+        let _ = writeln!(s, "    \"busy_seconds\": {:.6},", a.busy_seconds);
+        let _ = writeln!(s, "    \"wall_seconds\": {:.6},", a.wall_seconds);
+        let _ = writeln!(s, "    \"events_per_second\": {:.6},", a.events_per_second);
+        let _ = writeln!(
+            s,
+            "    \"depth_maps_per_second\": {:.6},",
+            a.depth_maps_per_second
+        );
+        let _ = writeln!(s, "    \"utilization\": {:.6}", a.utilization);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"sessions\": [");
+        for (i, m) in self.sessions.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"session\": {},", m.session.index());
+            let _ = writeln!(s, "      \"backend\": \"{}\",", m.backend);
+            let _ = writeln!(s, "      \"status\": \"{}\",", m.status.name());
+            let _ = writeln!(s, "      \"queue_depth\": {},", m.queue_depth);
+            let _ = writeln!(s, "      \"queued_poses\": {},", m.queued_poses);
+            let _ = writeln!(s, "      \"queue_capacity\": {},", m.queue_capacity);
+            let _ = writeln!(s, "      \"events_enqueued\": {},", m.events_enqueued);
+            let _ = writeln!(s, "      \"events_ingested\": {},", m.events_ingested);
+            let _ = writeln!(s, "      \"events_processed\": {},", m.events_processed);
+            let _ = writeln!(s, "      \"depth_maps\": {},", m.depth_maps);
+            let _ = writeln!(s, "      \"busy_seconds\": {:.6},", m.busy_seconds);
+            let _ = writeln!(
+                s,
+                "      \"events_per_second\": {:.6},",
+                m.events_per_second
+            );
+            let _ = writeln!(
+                s,
+                "      \"depth_maps_per_second\": {:.6},",
+                m.depth_maps_per_second
+            );
+            let _ = writeln!(s, "      \"stalled\": {}", m.stalled);
+            let comma = if i + 1 < self.sessions.len() { "," } else { "" };
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ]");
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl SessionStatus {
+    /// Stable lower-case name used by the `eventor-metrics/1` JSON document.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Active => "active",
+            Self::Draining => "draining",
+            Self::Finished => "finished",
+            Self::Failed => "failed",
+        }
+    }
+}
+
 /// `numerator / seconds`, defined as 0 when no time has been observed.
 pub(crate) fn per_second(numerator: f64, seconds: f64) -> f64 {
     if seconds > 0.0 {
@@ -134,5 +233,156 @@ mod tests {
     fn per_second_handles_zero_time() {
         assert_eq!(per_second(100.0, 0.0), 0.0);
         assert_eq!(per_second(100.0, 2.0), 50.0);
+    }
+
+    /// Pins the exact bytes of the `eventor-metrics/1` JSON document. Any
+    /// change to this output is a format bump for every remote reader — the
+    /// wire metrics frame and `poll_serve` dashboards alike — so the test
+    /// compares the full rendering, not just the fields.
+    #[test]
+    fn pinned_metrics_json_format() {
+        let snapshot = MetricsSnapshot {
+            aggregate: ServeMetrics {
+                sessions: 2,
+                active: 1,
+                draining: 0,
+                finished: 1,
+                failed: 0,
+                workers: 4,
+                queue_depth: 17,
+                events_enqueued: 5000,
+                events_ingested: 4983,
+                events_processed: 4900,
+                depth_maps: 3,
+                pump_rounds: 42,
+                busy_seconds: 0.125,
+                wall_seconds: 0.25,
+                events_per_second: 19600.0,
+                depth_maps_per_second: 12.0,
+                utilization: 0.125,
+            },
+            sessions: vec![
+                SessionMetrics {
+                    session: SessionId(0),
+                    backend: "software",
+                    status: SessionStatus::Finished,
+                    queue_depth: 0,
+                    queued_poses: 0,
+                    queue_capacity: 65536,
+                    events_enqueued: 2500,
+                    events_ingested: 2500,
+                    events_processed: 2500,
+                    depth_maps: 2,
+                    busy_seconds: 0.0625,
+                    events_per_second: 40000.0,
+                    depth_maps_per_second: 32.0,
+                    stalled: false,
+                },
+                SessionMetrics {
+                    session: SessionId(1),
+                    backend: "sharded",
+                    status: SessionStatus::Active,
+                    queue_depth: 17,
+                    queued_poses: 2,
+                    queue_capacity: 65536,
+                    events_enqueued: 2500,
+                    events_ingested: 2483,
+                    events_processed: 2400,
+                    depth_maps: 1,
+                    busy_seconds: 0.0625,
+                    events_per_second: 38400.0,
+                    depth_maps_per_second: 16.0,
+                    stalled: true,
+                },
+            ],
+        };
+        let expected = "{\n\
+            \x20 \"format\": \"eventor-metrics/1\",\n\
+            \x20 \"aggregate\": {\n\
+            \x20   \"sessions\": 2,\n\
+            \x20   \"active\": 1,\n\
+            \x20   \"draining\": 0,\n\
+            \x20   \"finished\": 1,\n\
+            \x20   \"failed\": 0,\n\
+            \x20   \"workers\": 4,\n\
+            \x20   \"queue_depth\": 17,\n\
+            \x20   \"events_enqueued\": 5000,\n\
+            \x20   \"events_ingested\": 4983,\n\
+            \x20   \"events_processed\": 4900,\n\
+            \x20   \"depth_maps\": 3,\n\
+            \x20   \"pump_rounds\": 42,\n\
+            \x20   \"busy_seconds\": 0.125000,\n\
+            \x20   \"wall_seconds\": 0.250000,\n\
+            \x20   \"events_per_second\": 19600.000000,\n\
+            \x20   \"depth_maps_per_second\": 12.000000,\n\
+            \x20   \"utilization\": 0.125000\n\
+            \x20 },\n\
+            \x20 \"sessions\": [\n\
+            \x20   {\n\
+            \x20     \"session\": 0,\n\
+            \x20     \"backend\": \"software\",\n\
+            \x20     \"status\": \"finished\",\n\
+            \x20     \"queue_depth\": 0,\n\
+            \x20     \"queued_poses\": 0,\n\
+            \x20     \"queue_capacity\": 65536,\n\
+            \x20     \"events_enqueued\": 2500,\n\
+            \x20     \"events_ingested\": 2500,\n\
+            \x20     \"events_processed\": 2500,\n\
+            \x20     \"depth_maps\": 2,\n\
+            \x20     \"busy_seconds\": 0.062500,\n\
+            \x20     \"events_per_second\": 40000.000000,\n\
+            \x20     \"depth_maps_per_second\": 32.000000,\n\
+            \x20     \"stalled\": false\n\
+            \x20   },\n\
+            \x20   {\n\
+            \x20     \"session\": 1,\n\
+            \x20     \"backend\": \"sharded\",\n\
+            \x20     \"status\": \"active\",\n\
+            \x20     \"queue_depth\": 17,\n\
+            \x20     \"queued_poses\": 2,\n\
+            \x20     \"queue_capacity\": 65536,\n\
+            \x20     \"events_enqueued\": 2500,\n\
+            \x20     \"events_ingested\": 2483,\n\
+            \x20     \"events_processed\": 2400,\n\
+            \x20     \"depth_maps\": 1,\n\
+            \x20     \"busy_seconds\": 0.062500,\n\
+            \x20     \"events_per_second\": 38400.000000,\n\
+            \x20     \"depth_maps_per_second\": 16.000000,\n\
+            \x20     \"stalled\": true\n\
+            \x20   }\n\
+            \x20 ]\n\
+            }\n";
+        assert_eq!(snapshot.to_json(), expected);
+    }
+
+    #[test]
+    fn snapshot_json_is_reproducible_and_empty_sessions_render() {
+        let snapshot = MetricsSnapshot {
+            aggregate: ServeMetrics {
+                sessions: 0,
+                active: 0,
+                draining: 0,
+                finished: 0,
+                failed: 0,
+                workers: 1,
+                queue_depth: 0,
+                events_enqueued: 0,
+                events_ingested: 0,
+                events_processed: 0,
+                depth_maps: 0,
+                pump_rounds: 0,
+                busy_seconds: 0.0,
+                wall_seconds: 0.0,
+                events_per_second: 0.0,
+                depth_maps_per_second: 0.0,
+                utilization: 0.0,
+            },
+            sessions: Vec::new(),
+        };
+        let a = snapshot.to_json();
+        let b = snapshot.clone().to_json();
+        assert_eq!(a, b, "same snapshot, same bytes");
+        assert!(a.contains("\"sessions\": [\n  ]"), "empty array renders");
+        assert!(a.ends_with("}\n"));
     }
 }

@@ -19,6 +19,7 @@
 //! | [`core`] | the reformulated, quantized Eventor pipeline, the accelerator driver, hardware/software co-simulation and the accuracy-comparison harness |
 //! | [`serve`] | the multi-session serving engine: many concurrent streaming sessions multiplexed over a bounded worker pool |
 //! | [`scenarios`] | the versioned scenario corpus: seeded synthetic worlds, reconstruction digests, the golden regression table |
+//! | [`net`] | the TCP serving front-end: the versioned `eventor-wire/1` protocol, server and client, over `std::net` |
 //!
 //! ## Quick start: the streaming session API
 //!
@@ -65,7 +66,9 @@
 //! parallel sharded voting engine — see [`core::parallel`] and
 //! `docs/ARCHITECTURE.md`. To serve **many** concurrent streams over shared
 //! compute, admit the sessions into a [`serve::ServeEngine`]
-//! (`docs/SERVING.md`).
+//! (`docs/SERVING.md`), or put that engine behind a TCP socket with
+//! [`net::WireServer`] and stream over the versioned `eventor-wire/1`
+//! protocol (`docs/WIRE.md`).
 //!
 //! Test scenes come from the **scenario corpus** ([`scenarios`]): ten named,
 //! seeded synthetic worlds with committed golden digests and deterministic
@@ -86,6 +89,7 @@ pub use eventor_fixed as fixed;
 pub use eventor_geom as geom;
 pub use eventor_hwsim as hwsim;
 pub use eventor_map as map;
+pub use eventor_net as net;
 pub use eventor_scenarios as scenarios;
 pub use eventor_serve as serve;
 

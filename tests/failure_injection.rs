@@ -329,3 +329,197 @@ fn cosim_survives_a_noisy_stream_and_stays_consistent_with_software() {
         assert_eq!(s.depth_map.depth_data(), h.depth_map.depth_data());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Disorderly wire clients (`eventor-net`, docs/WIRE.md): a client that
+// vanishes, stalls mid-frame or violates admission must never wedge the
+// server or perturb other connections' bits.
+// ---------------------------------------------------------------------------
+
+use eventor::net::{
+    code, read_frame, spawn_loopback, write_frame, IdleWait, ManifestSource, NetConfig,
+    SessionManifest, WireClient, WireFrame, DEFAULT_MAX_PAYLOAD,
+};
+use eventor::scenarios::{golden_digest, BackendKind};
+use eventor::serve::LoadShape;
+use std::time::Duration;
+
+fn corpus_world(name: &str) -> ScenarioWorld {
+    let s = find(name).expect("corpus scenario exists");
+    s.build(s.default_seed()).expect("corpus world builds")
+}
+
+fn scenario_manifest(world: &ScenarioWorld, backend: BackendKind) -> SessionManifest {
+    SessionManifest {
+        backend,
+        source: ManifestSource::Scenario {
+            name: world.name.clone(),
+            seed: world.seed,
+        },
+    }
+}
+
+#[test]
+fn mid_stream_disconnect_aborts_the_session_and_leaves_others_golden() {
+    let server = spawn_loopback(NetConfig::new()).expect("server spawns");
+    let world = corpus_world("shake_closeup");
+
+    // Client A: admit, stream a fragment, then vanish without Bye (the drop
+    // closes the socket with the session unfinished).
+    {
+        let mut rogue = WireClient::connect(server.addr()).expect("rogue connects");
+        let id = rogue
+            .admit(&scenario_manifest(&world, BackendKind::Software))
+            .expect("rogue admission");
+        rogue
+            .send_trajectory(id, &world.trajectory)
+            .expect("rogue poses");
+        rogue
+            .send_events(id, &world.events.as_slice()[..512])
+            .expect("rogue events");
+    }
+
+    // Client B: a full serve of the same world must still be bit-golden,
+    // and the abort of A's session must surface in the metrics document.
+    let mut client = WireClient::connect(server.addr()).expect("client connects");
+    let id = client
+        .admit(&scenario_manifest(&world, BackendKind::Software))
+        .expect("admission");
+    let report = client
+        .drive(
+            id,
+            &world.trajectory,
+            world.events.as_slice(),
+            LoadShape::Steady { chunk: 2048 },
+        )
+        .expect("drive");
+    assert_eq!(
+        report.digest,
+        golden_digest(&world.name).expect("golden"),
+        "a disorderly neighbour must not perturb another connection's bits"
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let json = client.metrics().expect("metrics");
+        if json.contains("\"status\": \"failed\"") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the aborted session never surfaced as failed in metrics: {json}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    client.bye().expect("bye");
+    server.shutdown();
+}
+
+#[test]
+fn half_written_frame_then_hang_times_out_with_a_typed_error() {
+    // A short server-side read timeout turns a mid-frame stall into a typed
+    // protocol failure instead of a wedged connection thread.
+    let server = spawn_loopback(NetConfig::new().with_read_timeout(Duration::from_millis(200)))
+        .expect("server spawns");
+
+    let mut stalled = std::net::TcpStream::connect(server.addr()).expect("connects");
+    write_frame(&mut stalled, 0, &WireFrame::Hello).expect("hello");
+    let (_, reply) = read_frame(
+        &mut stalled,
+        DEFAULT_MAX_PAYLOAD,
+        Duration::from_secs(10),
+        IdleWait::Timeout(Duration::from_secs(10)),
+        &|| false,
+    )
+    .expect("hello reply");
+    assert!(matches!(reply, WireFrame::HelloOk { .. }));
+
+    // Ten bytes of a frame header, then silence.
+    use std::io::Write;
+    let frame = eventor::net::encode_frame(0, &WireFrame::Poll);
+    stalled.write_all(&frame[..10]).expect("half header");
+    stalled.flush().expect("flush");
+
+    // The server must give up on its own (~200 ms), send the typed Error
+    // frame and close; it must NOT wait for the client to act.
+    let (_, reply) = read_frame(
+        &mut stalled,
+        DEFAULT_MAX_PAYLOAD,
+        Duration::from_secs(10),
+        IdleWait::Timeout(Duration::from_secs(10)),
+        &|| false,
+    )
+    .expect("typed goodbye before our own timeout");
+    match reply {
+        WireFrame::Error { code: c, reason } => {
+            assert_eq!(c, code::PROTOCOL);
+            assert!(reason.contains("mid-frame"), "reason: {reason}");
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+
+    // The server is still healthy for a well-behaved session afterwards.
+    let world = corpus_world("orbit_burst");
+    let mut client = WireClient::connect(server.addr()).expect("client connects");
+    let id = client
+        .admit(&scenario_manifest(&world, BackendKind::Sharded))
+        .expect("admission");
+    let report = client
+        .drive(
+            id,
+            &world.trajectory,
+            world.events.as_slice(),
+            LoadShape::Bursty {
+                burst: 1536,
+                idle_pumps: 2,
+            },
+        )
+        .expect("drive");
+    assert_eq!(report.digest, golden_digest(&world.name).expect("golden"));
+    client.bye().expect("bye");
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_admission_is_rejected_and_the_connection_stays_usable() {
+    let server = spawn_loopback(NetConfig::new()).expect("server spawns");
+    let world = corpus_world("orbit_burst");
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connects");
+    let mut ask = |session: u64, frame: &WireFrame| -> WireFrame {
+        write_frame(&mut stream, session, frame).expect("request");
+        let (sid, reply) = read_frame(
+            &mut stream,
+            DEFAULT_MAX_PAYLOAD,
+            Duration::from_secs(10),
+            IdleWait::Timeout(Duration::from_secs(10)),
+            &|| false,
+        )
+        .expect("reply");
+        assert_eq!(sid, session, "reply must echo the request's session id");
+        reply
+    };
+
+    assert!(matches!(
+        ask(0, &WireFrame::Hello),
+        WireFrame::HelloOk { .. }
+    ));
+    let admit = WireFrame::Admit {
+        manifest: scenario_manifest(&world, BackendKind::Software),
+    };
+    assert!(matches!(ask(5, &admit), WireFrame::Admitted { .. }));
+
+    // The same wire id again: a typed rejection, not a second session.
+    match ask(5, &admit) {
+        WireFrame::Rejected { code: c, .. } => assert_eq!(c, code::DUPLICATE_SESSION),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // The connection and the original session both survive the rejection.
+    assert!(matches!(
+        ask(5, &WireFrame::Poll),
+        WireFrame::PollDone { .. }
+    ));
+    assert!(matches!(ask(6, &admit), WireFrame::Admitted { .. }));
+    assert!(matches!(ask(0, &WireFrame::Bye), WireFrame::ByeOk));
+    server.shutdown();
+}
