@@ -40,9 +40,9 @@
 //! loop runs on integers end to end.
 
 use crate::quantized::{QuantizedCoefficients, QuantizedHomography};
-use eventor_dsi::{DsiVolume, VoxelScore};
+use eventor_dsi::{DsiVolume, VoteArena, VoxelScore};
 use eventor_emvs::{FrameGeometry, VotingMode};
-use eventor_fixed::kernel::{self, PhiWords};
+use eventor_fixed::kernel::{self, batch, PhiWords};
 use eventor_fixed::PackedCoord;
 use eventor_geom::Vec2;
 
@@ -58,6 +58,9 @@ pub(crate) struct ShardState<S: VoxelScore> {
     /// Canonical-plane points of the packet being processed, in the Q9.7
     /// transport format (raw words — the kernels never decode them).
     pub canon: Vec<PackedCoord>,
+    /// Slab-index scratch of the cache-blocked batched vote path, reused
+    /// across every packet segment the shard processes.
+    pub arena: VoteArena,
 }
 
 impl<S: VoxelScore> ShardState<S> {
@@ -65,6 +68,7 @@ impl<S: VoxelScore> ShardState<S> {
         Self {
             tile,
             canon: Vec::with_capacity(packet_events),
+            arena: VoteArena::new(),
         }
     }
 }
@@ -139,6 +143,13 @@ impl QuantizedFrameParams {
         &self.coefficients
     }
 
+    /// The nine raw Q11.21 `Buf_H` words of `H_{Z0}`, row-major — the
+    /// batched kernel entry points consume them directly.
+    #[inline]
+    pub fn homography_words(&self) -> &[i32; 9] {
+        &self.homography
+    }
+
     /// The canonical projection `𝒫{Z0}` (delegates to the bit-true
     /// [`kernel::project_z0`], the same function the golden model and the
     /// device model call).
@@ -155,41 +166,28 @@ impl QuantizedFrameParams {
 /// `EventorPipeline::process_frame_quantized` path — both run the same
 /// integer kernel on the same raw words; the only difference is scheduling
 /// (one packet instead of one frame).
-/// The kernel runs plane-major: all canonical points of the packet are
-/// computed once into the shard's scratch buffer, then each depth plane's
-/// transfers are generated back-to-back and voted straight into that plane's
-/// score slab (mirroring the `PE_Zi` array structure, and keeping the write
-/// working-set at one plane instead of the whole volume). Reordering votes
-/// from the sequential event-major schedule to plane-major is exact for this
-/// datapath: saturating integer unit-vote accumulation is order-independent.
+/// The kernel runs plane-major through the **batched, vectorized** faces of
+/// the integer kernel: all canonical points of the packet are computed once
+/// into the shard's scratch buffer ([`batch::project_z0_batch`], lanes per
+/// the session's dispatch tier), then [`DsiVolume::vote_batch`] transfers
+/// and votes each depth plane's slab cache-blocked, reusing the shard's
+/// index arena across packets (mirroring the `PE_Zi` array structure, and
+/// keeping the write working-set at one plane instead of the whole volume).
+/// Reordering votes from the sequential event-major schedule to plane-major
+/// is exact for this datapath: saturating integer unit-vote accumulation is
+/// order-independent, and every dispatch tier is proven byte-identical to
+/// the scalar kernel. The in-sensor judgement runs against the tile
+/// dimensions, which every constructor sets to the sensor dimensions.
 #[inline]
 pub(crate) fn vote_packet_quantized_nearest(
     state: &mut ShardState<u16>,
     params: &QuantizedFrameParams,
     events: &[PackedCoord],
-    sensor_width: u32,
-    sensor_height: u32,
 ) {
-    state.canon.clear();
-    for &coord in events {
-        if let Some(canonical) = params.project(coord) {
-            state.canon.push(canonical);
-        }
-    }
-    let width = state.tile.width();
-    let mut cast: u64 = 0;
-    for (i, phi) in params.coefficients.iter().enumerate() {
-        let slab = state.tile.plane_scores_mut(i);
-        for &canonical in &state.canon {
-            if let Some((vx, vy)) =
-                kernel::transfer_nearest(phi, canonical, sensor_width, sensor_height).address()
-            {
-                slab[vy as usize * width + vx as usize].add_unit();
-                cast += 1;
-            }
-        }
-    }
-    state.tile.add_cast_votes(cast);
+    batch::project_z0_batch(&params.homography, events, &mut state.canon);
+    state
+        .tile
+        .vote_batch(&state.canon, &params.coefficients, &mut state.arena);
 }
 
 /// Fused kernel for one packet of the quantized **bilinear** ablation

@@ -36,7 +36,7 @@ use crate::parallel::{
 };
 use crate::pipeline::EventorOptions;
 use crate::quantized::{quantize_event_pixel, QuantizedCoefficients, QuantizedHomography};
-use eventor_dsi::{DepthPlanes, DetectionConfig, DsiVolume, VoxelScore};
+use eventor_dsi::{DepthPlanes, DetectionConfig, DsiVolume, VoteArena, VoxelScore};
 use eventor_emvs::{
     finalize_volume, EmvsConfig, EmvsError, EmvsOutput, FrameGeometry, KeyframeReconstruction,
     SessionDriver, Stage, StageProfile, VotingMode,
@@ -171,8 +171,9 @@ pub struct SoftwareBackend {
     // replaced, which built these buffers once per stream.
     corrected: Vec<Vec2>,
     transported: Vec<PackedCoord>,
-    canonical_packed: Vec<Option<PackedCoord>>,
+    canonical_packed: Vec<PackedCoord>,
     canonical_float: Vec<Option<Vec2>>,
+    vote_arena: VoteArena,
 }
 
 impl SoftwareBackend {
@@ -200,6 +201,7 @@ impl SoftwareBackend {
             transported: Vec::with_capacity(config.events_per_frame),
             canonical_packed: Vec::new(),
             canonical_float: Vec::new(),
+            vote_arena: VoteArena::new(),
         })
     }
 
@@ -218,12 +220,15 @@ impl SoftwareBackend {
     ) {
         let width = self.camera.intrinsics.width;
         let height = self.camera.intrinsics.height;
-        // Canonical projection P{Z0} on PE_Z0 (scratch buffer reused across
-        // frames; taken so the borrow doesn't alias the DSI votes below).
+        // Canonical projection P{Z0} on PE_Z0 through the batched kernel
+        // face (lane-parallel per the session's dispatch tier): the scratch
+        // buffer keeps only the survivors of the projection-missing
+        // judgement, densely, in input order — the same points the scalar
+        // `homography.project` loop would keep (buffer taken so the borrow
+        // doesn't alias the DSI votes below).
         let t = Instant::now();
         let mut canonical = std::mem::take(&mut self.canonical_packed);
-        canonical.clear();
-        canonical.extend(events.iter().map(|&c| homography.project(c)));
+        kernel::batch::project_z0_batch(&homography.raw_words(), events, &mut canonical);
         profile.add(Stage::CanonicalProjection, t.elapsed());
 
         // Proportional projection + vote generation + voting.
@@ -231,25 +236,21 @@ impl SoftwareBackend {
         let n_planes = coefficients.len();
         match self.options.voting {
             VotingMode::Nearest => match &mut self.dsi {
-                // The accelerator datapath: the integer kernel's voxel
-                // addresses vote straight into the u16 DSI — raw words in,
-                // integer addresses out, no `f64` anywhere in the loop.
+                // The accelerator datapath: the cache-blocked batched vote
+                // loop transfers every canonical point per plane and votes
+                // straight into the u16 DSI slabs — raw words in, integer
+                // slab indices out, no `f64` anywhere in the loop. The
+                // plane-major order is exact (unit-vote saturation is
+                // order-independent), and the DSI dimensions equal the
+                // sensor dimensions by construction (`Self::new`).
                 DsiStorage::Quantized(dsi) => {
-                    for c in canonical.iter().flatten() {
-                        for (i, phi) in coefficients.words().iter().enumerate() {
-                            if let Some((x, y)) =
-                                kernel::transfer_nearest(phi, *c, width, height).address()
-                            {
-                                dsi.vote_at(x, y, i);
-                            }
-                        }
-                    }
+                    dsi.vote_batch(&canonical, coefficients.words(), &mut self.vote_arena);
                 }
                 // Unreachable through the public options (quantize +
                 // nearest always selects integer storage); kept as the
                 // generic fallback.
                 DsiStorage::Float(dsi) => {
-                    for c in canonical.iter().flatten() {
+                    for c in &canonical {
                         for i in 0..n_planes {
                             if let Some((x, y)) = coefficients
                                 .transfer_nearest(*c, i, width, height)
@@ -262,7 +263,7 @@ impl SoftwareBackend {
                 }
             },
             VotingMode::Bilinear => {
-                for c in canonical.iter().flatten() {
+                for c in &canonical {
                     for i in 0..n_planes {
                         let p = coefficients.transfer_subpixel(*c, i);
                         self.dsi.vote(p.x, p.y, i, VotingMode::Bilinear);
@@ -509,8 +510,6 @@ impl ShardedBackend {
         let shards = self.parallel.shards();
         match &mut self.tiles {
             ShardTiles::Quantized(states) => {
-                let width = self.camera.intrinsics.width;
-                let height = self.camera.intrinsics.height;
                 let params = &self.params;
                 let transported = &self.transported;
                 run_sharded(states, |shard, state| {
@@ -519,8 +518,6 @@ impl ShardedBackend {
                             state,
                             &params[packet.frame],
                             &transported[packet.range.clone()],
-                            width,
-                            height,
                         );
                     }
                 });

@@ -3,6 +3,33 @@
 
 use crate::planes::DepthPlanes;
 use crate::DsiError;
+use eventor_fixed::kernel::batch;
+use eventor_fixed::kernel::PhiWords;
+use eventor_fixed::PackedCoord;
+
+/// Reusable scratch for [`DsiVolume::vote_batch`]: the packed slab-index
+/// buffer the batched transfer writes and the vote deposit reads.
+///
+/// Owning the buffer outside the volume lets the sharded hot loop carry one
+/// arena per shard across every packet segment instead of reallocating per
+/// call; a fresh (empty) arena is always valid input.
+#[derive(Debug, Default)]
+pub struct VoteArena {
+    idx: Vec<u32>,
+}
+
+impl VoteArena {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Canonical-coordinate block length of the cache-blocked vote loop: the
+/// block (4 B/coord) plus its index buffer (4 B/entry) stay L1-resident
+/// (16 KiB at 2048) while one plane slab (`width · height` scores, ~84 KiB
+/// for a 240×180 `u16` DSI) is the L2-resident write set.
+const VOTE_BLOCK: usize = 2048;
 
 /// Score storage of a DSI voxel.
 ///
@@ -375,6 +402,59 @@ impl<S: VoxelScore> DsiVolume<S> {
         self.votes_cast += 1;
     }
 
+    /// The batched, cache-blocked spelling of the quantized nearest vote
+    /// loop: for every depth plane, transfers every canonical coordinate
+    /// through the batched `PE_Zi` kernel
+    /// ([`batch::transfer_nearest_batch`], vectorized per the session's
+    /// dispatch tier) and deposits one unit vote per in-sensor address
+    /// directly into the plane slab.
+    ///
+    /// **Bit-identical to the scalar loop** (`transfer_nearest` +
+    /// [`Self::vote_at`] per event and plane): unit votes accumulate by
+    /// saturating/exact addition, which is order-independent, so the
+    /// plane-major blocked order changes no byte of the score array.
+    /// Counter semantics match the fused packet kernels: in-sensor deposits
+    /// count as cast, per-plane projection-missing transfers are dropped
+    /// without touching the missed counter (they are per-plane outcomes,
+    /// not lost events).
+    ///
+    /// The loop is blocked for the cache hierarchy: canonical coordinates
+    /// stream in `VOTE_BLOCK`-sized chunks whose index buffer (reused
+    /// across calls via `arena`) stays L1-resident, while the current plane
+    /// slab is the only large write set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coefficients` holds more entries than the volume has
+    /// depth planes.
+    pub fn vote_batch(
+        &mut self,
+        canon: &[PackedCoord],
+        coefficients: &[PhiWords],
+        arena: &mut VoteArena,
+    ) {
+        assert!(
+            coefficients.len() <= self.planes.len(),
+            "more φ coefficient entries than depth planes"
+        );
+        let (width, height) = (self.width as u32, self.height as u32);
+        let slab_len = self.width * self.height;
+        let mut cast = 0u64;
+        for (plane, phi) in coefficients.iter().enumerate() {
+            let slab = &mut self.data[plane * slab_len..(plane + 1) * slab_len];
+            for block in canon.chunks(VOTE_BLOCK) {
+                batch::transfer_nearest_batch(phi, block, width, height, &mut arena.idx);
+                for &idx in &arena.idx {
+                    if idx != batch::MISS {
+                        slab[idx as usize].add_unit();
+                        cast += 1;
+                    }
+                }
+            }
+        }
+        self.votes_cast += cast;
+    }
+
     /// Accumulates another volume of identical dimensions into this one —
     /// the shard-merge step of the parallel voting engine. Scores merge
     /// voxel-wise through [`VoxelScore::merge`]; the vote counters add.
@@ -647,6 +727,64 @@ mod tests {
             assert_eq!(*merged, reference, "shards = {shards}");
         }
         assert!(DsiVolume::<u16>::tree_reduce(&mut []).is_none());
+    }
+
+    #[test]
+    fn vote_batch_is_bit_identical_to_the_scalar_vote_loop() {
+        use eventor_fixed::kernel::batch::{force, Dispatch};
+        use eventor_fixed::kernel::transfer_nearest;
+        use eventor_fixed::Q9p7;
+
+        // A spread of canonical coordinates, some projecting outside.
+        let canon: Vec<PackedCoord> = (0..500)
+            .map(|i| PackedCoord {
+                x: Q9p7::from_raw((i * 97 - 4000) as i16),
+                y: Q9p7::from_raw((i * 61 - 3000) as i16),
+            })
+            .collect();
+        let coeffs: Vec<PhiWords> = (0..7)
+            .map(|p| PhiWords::from_f64(0.5 + p as f64 * 0.1, -2.0 + p as f64, 1.5 * p as f64))
+            .collect();
+
+        let mut reference = DsiVolume::<u16>::new(24, 18, planes(7)).unwrap();
+        for (plane, phi) in coeffs.iter().enumerate() {
+            for &c in &canon {
+                if let Some((x, y)) = transfer_nearest(phi, c, 24, 18).address() {
+                    reference.vote_at(x, y, plane);
+                }
+            }
+        }
+        assert!(reference.votes_cast() > 0, "test pattern casts no votes");
+
+        for tier in Dispatch::ALL.into_iter().filter(|t| t.is_supported()) {
+            force(Some(tier)).expect("supported tier");
+            let mut batched = DsiVolume::<u16>::new(24, 18, planes(7)).unwrap();
+            let mut arena = VoteArena::new();
+            batched.vote_batch(&canon, &coeffs, &mut arena);
+            assert_eq!(batched, reference, "tier {}", tier.name());
+            // Arena reuse across calls must not change results either.
+            let mut again = DsiVolume::<u16>::new(24, 18, planes(7)).unwrap();
+            again.vote_batch(&canon, &coeffs, &mut arena);
+            assert_eq!(again, reference, "tier {} (reused arena)", tier.name());
+        }
+        force(None).expect("restore dispatch default");
+    }
+
+    #[test]
+    fn vote_batch_handles_empty_inputs_and_partial_coefficients() {
+        let mut dsi = DsiVolume::<u16>::new(8, 8, planes(4)).unwrap();
+        let mut arena = VoteArena::new();
+        dsi.vote_batch(&[], &[PhiWords::from_f64(1.0, 0.0, 0.0)], &mut arena);
+        dsi.vote_batch(&[PackedCoord::from_f64(2.0, 2.0)], &[], &mut arena);
+        assert_eq!(dsi.votes_cast(), 0);
+        // Fewer coefficient entries than planes: only those planes vote.
+        dsi.vote_batch(
+            &[PackedCoord::from_f64(2.0, 2.0)],
+            &[PhiWords::from_f64(1.0, 0.0, 0.0)],
+            &mut arena,
+        );
+        assert_eq!(dsi.votes_cast(), 1);
+        assert_eq!(dsi.score(2, 2, 0), 1.0);
     }
 
     #[test]

@@ -84,7 +84,12 @@ impl_storage!(i64);
 /// assert_eq!(x.to_f64(), 123.4375);
 /// assert_eq!(Fix::<i16, 7>::RESOLUTION, 1.0 / 128.0);
 /// ```
+/// `repr(transparent)` pins the layout to the raw storage word so
+/// aggregates of fixed-point values (e.g. `PackedCoord`) have the exact
+/// in-memory shape of their bus words — the batched SIMD kernel tier
+/// relies on this for vector loads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(transparent)]
 pub struct Fix<S: FixedStorage, const FRAC: u32> {
     raw: S,
 }

@@ -55,7 +55,12 @@ pub type DsiScore = u16;
 /// assert_eq!(q.x_f64(), 123.5);
 /// assert_eq!(q.y_f64(), 67.25);
 /// ```
+/// The `repr(C)` layout is load-bearing: on little-endian targets a
+/// `PackedCoord` in memory *is* its [`to_word`](Self::to_word) bus word
+/// (x in the low half, y in the high half), which lets the batched SIMD
+/// kernel tier load eight packed coordinates with a single vector load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(C)]
 pub struct PackedCoord {
     /// Quantized x coordinate.
     pub x: Q9p7,

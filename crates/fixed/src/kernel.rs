@@ -48,6 +48,8 @@
 //! assert_eq!(voxel.address(), Some((121, 89)));
 //! ```
 
+pub mod batch;
+
 use crate::formats::{PackedCoord, PlaneCoord, Q11p21, Q9p7};
 
 /// Fractional bits of the wide MAC accumulator: a Q11.21 parameter times a

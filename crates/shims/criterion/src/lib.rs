@@ -141,12 +141,27 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
     sample_size: usize,
+    context: Vec<(String, String)>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Declares how much work one iteration of subsequent benchmarks does.
     pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
         self.throughput = Some(throughput);
+        self
+    }
+
+    /// Attaches a key/value annotation to every subsequent benchmark in the
+    /// group. Annotations are emitted as a `"context"` object in the
+    /// `eventor-bench/1` JSON document (an additive schema extension; the
+    /// object is omitted when no annotations are set) so run conditions that
+    /// affect the numbers — e.g. which SIMD dispatch tier actually executed —
+    /// travel with the measurement. Not part of upstream criterion; benches
+    /// relying on it are shim-only.
+    pub fn context(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        let key = key.into();
+        self.context.retain(|(k, _)| *k != key);
+        self.context.push((key, value.into()));
         self
     }
 
@@ -167,7 +182,8 @@ impl BenchmarkGroup<'_> {
         let m = bencher
             .measurement
             .unwrap_or_else(|| panic!("benchmark {id} never called iter()/iter_batched()"));
-        self.criterion.report(&self.name, &id, self.throughput, m);
+        self.criterion
+            .report(&self.name, &id, self.throughput, &self.context, m);
         self
     }
 
@@ -222,6 +238,7 @@ impl Criterion {
             name,
             throughput: None,
             sample_size: 10,
+            context: Vec::new(),
         }
     }
 
@@ -234,7 +251,14 @@ impl Criterion {
         self
     }
 
-    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>, m: Measurement) {
+    fn report(
+        &self,
+        group: &str,
+        id: &str,
+        throughput: Option<Throughput>,
+        context: &[(String, String)],
+        m: Measurement,
+    ) {
         let mut line = format!(
             "{group}/{id}: mean {} (best {}, worst {}, {} samples x {} iters)",
             fmt_ns(m.mean_ns),
@@ -253,11 +277,21 @@ impl Criterion {
             }
             None => {}
         }
+        for (k, v) in context {
+            let _ = write!(line, "; {k}={v}");
+        }
         println!("{line}");
-        self.write_json(group, id, throughput, m);
+        self.write_json(group, id, throughput, context, m);
     }
 
-    fn write_json(&self, group: &str, id: &str, throughput: Option<Throughput>, m: Measurement) {
+    fn write_json(
+        &self,
+        group: &str,
+        id: &str,
+        throughput: Option<Throughput>,
+        context: &[(String, String)],
+        m: Measurement,
+    ) {
         let Some(dir) = self.out_dir.as_ref() else {
             return;
         };
@@ -270,8 +304,19 @@ impl Criterion {
             Some(Throughput::Bytes(n)) => ("bytes", n),
             None => ("none", 0),
         };
-        // Hand-rolled JSON: group/benchmark ids in this workspace are simple
-        // identifiers, sanitize() guarantees no escaping is needed.
+        // Hand-rolled JSON: group/benchmark ids and context annotations in
+        // this workspace are simple identifiers, sanitize() guarantees no
+        // escaping is needed. The "context" object is additive (eventor-bench/1
+        // readers must ignore unknown keys) and omitted when empty.
+        let context_json = if context.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = context
+                .iter()
+                .map(|(k, v)| format!("\"{}\": \"{}\"", sanitize(k), sanitize(v)))
+                .collect();
+            format!(",\n  \"context\": {{ {} }}", pairs.join(", "))
+        };
         let json = format!(
             concat!(
                 "{{\n",
@@ -283,7 +328,7 @@ impl Criterion {
                 "  \"mean_ns\": {:.3},\n",
                 "  \"best_ns\": {:.3},\n",
                 "  \"worst_ns\": {:.3},\n",
-                "  \"throughput\": {{ \"kind\": \"{}\", \"amount_per_iter\": {} }}\n",
+                "  \"throughput\": {{ \"kind\": \"{}\", \"amount_per_iter\": {} }}{}\n",
                 "}}\n"
             ),
             sanitize(group),
@@ -295,6 +340,7 @@ impl Criterion {
             m.worst_ns,
             tp_kind,
             tp_amount,
+            context_json,
         );
         let _ = std::fs::write(dir.join(format!("{}.json", sanitize(id))), json);
     }
@@ -382,5 +428,41 @@ mod tests {
     #[test]
     fn sanitize_keeps_identifiers() {
         assert_eq!(sanitize("voting/bilinear_f32"), "voting_bilinear_f32");
+    }
+
+    #[test]
+    fn context_annotations_land_in_the_json_document() {
+        let dir =
+            std::env::temp_dir().join(format!("criterion-shim-ctx-test-{}", std::process::id()));
+        let mut c = Criterion {
+            out_dir: Some(dir.clone()),
+        };
+        let mut group = c.benchmark_group("ctx_selftest");
+        group.sample_size(2);
+        group.context("dispatch_tier", "swar");
+        group.context("dispatch_tier", "avx2"); // later set wins
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.finish();
+        let json = std::fs::read_to_string(dir.join("ctx_selftest").join("sum.json")).unwrap();
+        assert!(json.contains("\"context\": { \"dispatch_tier\": \"avx2\" }"));
+        assert!(!json.contains("swar"));
+        assert!(json.contains("\"schema\": \"eventor-bench/1\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn json_omits_context_when_unset() {
+        let dir =
+            std::env::temp_dir().join(format!("criterion-shim-noctx-test-{}", std::process::id()));
+        let mut c = Criterion {
+            out_dir: Some(dir.clone()),
+        };
+        let mut group = c.benchmark_group("noctx_selftest");
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.finish();
+        let json = std::fs::read_to_string(dir.join("noctx_selftest").join("sum.json")).unwrap();
+        assert!(!json.contains("context"));
+        let _ = std::fs::remove_dir_all(dir);
     }
 }
