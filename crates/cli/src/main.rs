@@ -12,6 +12,8 @@
 //! eventor-cli serve    [--addr ADDR] [--workers N] [--port-file FILE]
 //! eventor-cli connect  --addr ADDR (--scenario NAME [--seed N] | --spec FILE)
 //!                      [--backend B] [--expect HEX]
+//! eventor-cli checkpoint --scenario NAME --out FILE.evtr [--seed N] [--backend B] [--events N]
+//! eventor-cli resume   --in FILE.evtr [--backend B] [--check] [--expect HEX]
 //! ```
 //!
 //! * `list` prints the catalog (name, tags, default seed, description).
@@ -42,18 +44,30 @@
 //! * `connect` streams one scenario (or `.fuzzworld` spec) to a running
 //!   server, recomputes the digest from the depth maps streamed back, and
 //!   verifies server digest == client digest == the expected golden.
+//! * `checkpoint` runs a scenario stream partway (`--events`, default half)
+//!   through a backend and records the mid-flight session as an
+//!   `eventor-evtr/1` `CKPT` container, embedding the scenario and seed as
+//!   the resume origin.
+//! * `resume` restores a `CKPT` container (on the recorded backend unless
+//!   `--backend` overrides), regenerates the origin scenario's stream,
+//!   replays the remainder, and prints the final digest; `--check` verifies
+//!   it against the committed golden — the kill-and-restore drill CI runs.
 //!
 //! Exit codes are distinct and stable (`docs/SCENARIOS.md` §9): 0 success,
 //! 1 usage or internal error, 2 digest mismatch or invariant violation,
 //! 3 unknown scenario, 4 invalid or truncated record/spec, 5 wire-protocol
 //! error (typed server rejection, corrupt frame), 6 network failure
-//! (connect refused, connection lost, timeout).
+//! (connect refused, connection lost, timeout), 7 checkpoint error (a
+//! structurally invalid checkpoint payload inside an intact container, or a
+//! snapshot/restore the session layer refuses).
 
+use eventor_core::SessionCheckpoint;
+use eventor_emvs::EmvsError;
 use eventor_net::{ManifestSource, NetConfig, SessionManifest, WireClient, WireError, WireServer};
 use eventor_scenarios::{
-    check_invariant, corpus, digest_output, digest_world, find, golden_digest, minimize_spec,
-    run_fuzz, run_world, BackendKind, FuzzOptions, FuzzReport, Invariant, Scenario, ScenarioError,
-    ScenarioWorld, Violation, WorldSpec,
+    builder_for_profile, check_invariant, corpus, digest_output, digest_world, find, golden_digest,
+    minimize_spec, run_fuzz, run_world, session_for_profile, BackendKind, FuzzOptions, FuzzReport,
+    Invariant, Scenario, ScenarioError, ScenarioWorld, Violation, WorldSpec,
 };
 use eventor_serve::{LoadShape, ServeConfig};
 use std::fmt::Write as _;
@@ -73,6 +87,11 @@ const CODE_WIRE: u8 = 5;
 /// Exit code: a network failure (connect refused, connection lost, reply
 /// timeout).
 const CODE_NET: u8 = 6;
+/// Exit code: a checkpoint error — a structurally invalid `CKPT` payload
+/// inside an intact container, or a snapshot/restore the session layer
+/// refuses (incompatible backend, inconsistent state). Distinct from
+/// [`CODE_BAD_RECORD`], which covers container-level corruption.
+const CODE_CHECKPOINT: u8 = 7;
 
 /// An error carrying its process exit code.
 struct CliError {
@@ -106,6 +125,22 @@ impl CliError {
         Self {
             code: CODE_BAD_RECORD,
             message: message.into(),
+        }
+    }
+
+    fn checkpoint(message: impl Into<String>) -> Self {
+        Self {
+            code: CODE_CHECKPOINT,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a session-layer error: checkpoint refusals keep their own exit
+    /// code (exit 7); everything else is internal (exit 1).
+    fn from_emvs(context: &str, e: EmvsError) -> Self {
+        match e {
+            EmvsError::Checkpoint { .. } => Self::checkpoint(format!("{context}: {e}")),
+            _ => Self::usage(format!("{context}: {e}")),
         }
     }
 
@@ -176,6 +211,14 @@ fn usage() -> String {
     let _ = writeln!(s, "                       [--backend B] [--expect HEX]");
     let _ = writeln!(
         s,
+        "  eventor-cli checkpoint --scenario NAME --out FILE.evtr [--seed N] [--backend B] [--events N]"
+    );
+    let _ = writeln!(
+        s,
+        "  eventor-cli resume   --in FILE.evtr [--backend B] [--check] [--expect HEX]"
+    );
+    let _ = writeln!(
+        s,
         "\nBackends: software (default), sharded, cosim, serve. Digests are FNV-1a 64"
     );
     let _ = writeln!(
@@ -184,7 +227,7 @@ fn usage() -> String {
     );
     let _ = write!(
         s,
-        "Exit codes: 0 ok, 1 usage/internal, 2 mismatch/violation, 3 unknown scenario,\n4 bad record, 5 wire-protocol error, 6 network failure."
+        "Exit codes: 0 ok, 1 usage/internal, 2 mismatch/violation, 3 unknown scenario,\n4 bad record, 5 wire-protocol error, 6 network failure, 7 checkpoint error."
     );
     s
 }
@@ -844,6 +887,166 @@ fn cmd_connect(args: &Args) -> Result<(), CliError> {
     }
 }
 
+/// `checkpoint`: run a scenario stream partway through a backend and record
+/// the mid-flight session as an `eventor-evtr/1` `CKPT` container.
+fn cmd_checkpoint(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["scenario", "seed", "backend", "events", "out"])?;
+    let scenario = scenario_from(args)?;
+    let backend = backend_from(args)?;
+    let out = args
+        .flag_value("out")
+        .ok_or_else(|| CliError::usage(format!("--out FILE.evtr is required\n\n{}", usage())))?;
+    let (world, seed) = build_world(scenario, args.flag_value("seed"))?;
+    let events = world.events.as_slice();
+    let cut = match args.flag_value("events") {
+        None => events.len() / 2,
+        Some(text) => parse_usize(text)?.min(events.len()),
+    };
+    let label = scenario.name();
+    let mut session = session_for_profile(world.camera, world.config.clone(), backend)
+        .map_err(|e| CliError::from_emvs(label, e))?;
+    session
+        .push_trajectory(&world.trajectory)
+        .map_err(|e| CliError::from_emvs(label, e))?;
+    let mut offset = 0usize;
+    while offset < cut {
+        offset += session
+            .push_events(&events[offset..cut])
+            .map_err(|e| CliError::from_emvs(label, e))?;
+        session.poll().map_err(|e| CliError::from_emvs(label, e))?;
+    }
+    // The origin string is the resume contract: it names the generator the
+    // remainder of the stream comes from.
+    let origin = format!("scenario={label} seed={seed:#x}");
+    let checkpoint = session
+        .snapshot(&origin)
+        .map_err(|e| CliError::from_emvs(label, e))?;
+    let file = std::fs::File::create(out)
+        .map_err(|e| CliError::usage(format!("cannot create {out}: {e}")))?;
+    checkpoint
+        .write_to(file)
+        .map_err(|e| CliError::usage(format!("cannot write {out}: {e}")))?;
+    println!(
+        "{label}: checkpointed after {cut} of {} events on {} -> {out} ({} keyframes retired)",
+        events.len(),
+        checkpoint.backend_kind(),
+        checkpoint.keyframes_retired(),
+    );
+    Ok(())
+}
+
+/// Parses a `checkpoint` origin string (`scenario=NAME seed=0xHEX`).
+fn parse_origin(origin: &str) -> Option<(&str, u64)> {
+    let mut name = None;
+    let mut seed = None;
+    for part in origin.split_whitespace() {
+        if let Some(v) = part.strip_prefix("scenario=") {
+            name = Some(v);
+        } else if let Some(v) = part.strip_prefix("seed=") {
+            seed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            };
+        }
+    }
+    Some((name?, seed?))
+}
+
+/// `resume`: restore a `CKPT` container, replay the remainder of the origin
+/// scenario's stream, and verify the final digest.
+fn cmd_resume(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["in", "backend", "check", "expect"])?;
+    let path = args
+        .flag_value("in")
+        .ok_or_else(|| CliError::usage(format!("--in FILE.evtr is required\n\n{}", usage())))?;
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError::usage(format!("cannot open {path}: {e}")))?;
+    // Two distinct failure classes: container corruption (bad checksum,
+    // truncation — exit 4, like any corrupt record) versus a structurally
+    // invalid checkpoint payload inside an intact container (exit 7).
+    let checkpoint = SessionCheckpoint::read_from(file)
+        .map_err(|e| CliError::bad_record(format!("{path}: {e}")))?
+        .map_err(|e| CliError::checkpoint(format!("{path}: {e}")))?;
+    let (name, seed) = parse_origin(checkpoint.origin()).ok_or_else(|| {
+        CliError::checkpoint(format!(
+            "{path}: origin `{}` does not name a scenario and seed",
+            checkpoint.origin()
+        ))
+    })?;
+    let name = name.to_string();
+    let name = name.as_str();
+    let scenario = find(name).ok_or_else(|| {
+        CliError::unknown_scenario(format!(
+            "{path}: origin names unknown scenario `{name}`; run `eventor-cli list` for the catalog"
+        ))
+    })?;
+    let backend = match args.flag_value("backend") {
+        Some(text) => parse_backend(text)?,
+        None => BackendKind::parse(checkpoint.backend_kind()).ok_or_else(|| {
+            CliError::checkpoint(format!(
+                "{path}: checkpoint names unknown backend `{}`",
+                checkpoint.backend_kind()
+            ))
+        })?,
+    };
+    let world = scenario
+        .build(seed)
+        .map_err(|e| CliError::usage(format!("{name}: build failed: {e}")))?;
+    let events = world.events.as_slice();
+    let done = usize::try_from(checkpoint.events_pushed())
+        .ok()
+        .filter(|&n| n <= events.len())
+        .ok_or_else(|| {
+            CliError::checkpoint(format!(
+                "{path}: checkpoint claims {} events pushed but the {name} stream has {}",
+                checkpoint.events_pushed(),
+                events.len()
+            ))
+        })?;
+    // The builder carries the *scenario's* profile, so restore() cross-checks
+    // the checkpoint's embedded camera and configuration against it.
+    let mut session = builder_for_profile(world.camera, world.config.clone(), backend)
+        .restore(checkpoint)
+        .map_err(|e| CliError::from_emvs(path, e))?;
+    let mut offset = done;
+    while offset < events.len() {
+        offset += session
+            .push_events(&events[offset..])
+            .map_err(|e| CliError::from_emvs(name, e))?;
+        session.poll().map_err(|e| CliError::from_emvs(name, e))?;
+    }
+    let output = session.finish().map_err(|e| CliError::from_emvs(name, e))?;
+    let digest = digest_output(&output);
+    let expected = match args.flag_value("expect") {
+        Some(text) => Some(parse_u64(text)?),
+        None if args.has_flag("check") => Some(golden_digest(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "{name}: no committed golden digest to check against"
+            ))
+        })?),
+        None => None,
+    };
+    match expected {
+        Some(want) if want == digest => {
+            println!(
+                "{name}: resumed {path} at event {done} on {backend}, finished {} keyframes, digest {digest:#018x} — OK (equals the uninterrupted run)",
+                output.output.keyframes.len()
+            );
+            Ok(())
+        }
+        Some(want) => Err(CliError::mismatch(format!(
+            "{name}: resumed digest {digest:#018x} != expected {want:#018x} on the {backend} backend"
+        ))),
+        None => {
+            println!(
+                "{name}: resumed {path} at event {done} on {backend}, finished {} keyframes, digest {digest:#018x}",
+                output.output.keyframes.len()
+            );
+            Ok(())
+        }
+    }
+}
+
 fn run() -> Result<(), CliError> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -867,6 +1070,8 @@ fn run() -> Result<(), CliError> {
         "minimize" => cmd_minimize(&args),
         "serve" => cmd_serve(&args),
         "connect" => cmd_connect(&args),
+        "checkpoint" => cmd_checkpoint(&args),
+        "resume" => cmd_resume(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -5,7 +5,8 @@
 //!
 //! Exit codes under test: 0 success, 1 usage, 2 digest mismatch or invariant
 //! violation, 3 unknown scenario, 4 invalid/truncated record, 5 wire-protocol
-//! error, 6 network failure.
+//! error, 6 network failure, 7 checkpoint error (sealed container, invalid
+//! payload).
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -310,5 +311,124 @@ fn serve_then_connect_round_trips_with_exit_0() {
     assert!(
         stdout.contains("server == client == golden"),
         "stdout should report the triple digest equality: {stdout}"
+    );
+}
+
+/// Checkpoints a scenario through the real binary and returns the container
+/// bytes plus the path it was written to.
+fn checkpoint_container(label: &str) -> (PathBuf, Vec<u8>) {
+    let dir = scratch(label);
+    let path = dir.join("mid.ckpt.evtr");
+    let output = run(cli().args([
+        "checkpoint",
+        "--scenario",
+        "orbit_burst",
+        "--out",
+        path.to_str().expect("utf8 path"),
+    ]));
+    assert_eq!(
+        exit_code(&output),
+        0,
+        "checkpoint stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let bytes = std::fs::read(&path).expect("checkpoint container reads");
+    (path, bytes)
+}
+
+#[test]
+fn resume_of_an_intact_checkpoint_exits_0_and_corruption_exits_4() {
+    let (path, bytes) = checkpoint_container("resume-corruption");
+
+    // The honest round trip first: resume --check replays the remainder and
+    // verifies the committed golden digest.
+    let ok = run(cli().args(["resume", "--in", path.to_str().unwrap(), "--check"]));
+    assert_eq!(
+        exit_code(&ok),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // A single flipped byte anywhere breaks the container checksum (or the
+    // framing before it): exit 4, the invalid-record code, with a message.
+    for position in [0, 9, bytes.len() / 2, bytes.len() - 1] {
+        let mut corrupt = bytes.clone();
+        corrupt[position] ^= 0x40;
+        std::fs::write(&path, &corrupt).expect("corrupt container writes");
+        let output = run(cli().args(["resume", "--in", path.to_str().unwrap()]));
+        assert_eq!(
+            exit_code(&output),
+            4,
+            "flip at byte {position} must be a container error"
+        );
+        assert!(
+            !String::from_utf8_lossy(&output.stderr).is_empty(),
+            "exit 4 must explain itself on stderr"
+        );
+    }
+
+    // Truncation is the other container-level corruption class.
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncated container writes");
+    let output = run(cli().args(["resume", "--in", path.to_str().unwrap()]));
+    assert_eq!(
+        exit_code(&output),
+        4,
+        "truncation must be a container error"
+    );
+}
+
+#[test]
+fn resume_of_a_forged_but_resealed_checkpoint_exits_7() {
+    let (path, mut bytes) = checkpoint_container("resume-forged");
+
+    // Forge the origin-string length (the first payload field, right after
+    // the 16-byte container header, the CKPT tag, its u64 length, and the
+    // u32 payload version) and re-seal the trailing FNV-1a checksum: the
+    // container is now *valid* but the checkpoint payload inside is not, so
+    // the failure must land in the checkpoint domain (exit 7), not 4.
+    const PAYLOAD_START: usize = 16 + 4 + 8 + 4;
+    bytes[PAYLOAD_START..PAYLOAD_START + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let n = bytes.len();
+    let seal = eventor_events::fnv1a_64(&bytes[..n - 8]).to_le_bytes();
+    bytes[n - 8..].copy_from_slice(&seal);
+    std::fs::write(&path, &bytes).expect("forged container writes");
+
+    let output = run(cli().args(["resume", "--in", path.to_str().unwrap()]));
+    assert_eq!(exit_code(&output), 7);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("origin"),
+        "stderr should name the forged field: {stderr}"
+    );
+}
+
+#[test]
+fn resume_digest_mismatch_exits_2_and_record_containers_exit_4() {
+    let (path, _) = checkpoint_container("resume-mismatch");
+
+    // A wrong --expect digest is a verification failure, same code as
+    // `check`'s mismatch class.
+    let output = run(cli().args(["resume", "--in", path.to_str().unwrap(), "--expect", "0x1"]));
+    assert_eq!(exit_code(&output), 2);
+
+    // A *record* container handed to `resume` is a container-domain error:
+    // the reader redirects to replay, it never guesses.
+    let dir = scratch("resume-mismatch-record");
+    let record = dir.join("stream.evtr");
+    let recorded = run(cli().args([
+        "generate",
+        "--scenario",
+        "orbit_burst",
+        "--out",
+        record.to_str().unwrap(),
+    ]));
+    assert_eq!(exit_code(&recorded), 0);
+    let output = run(cli().args(["resume", "--in", record.to_str().unwrap()]));
+    assert_eq!(exit_code(&output), 4);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("replay"),
+        "stderr should redirect record containers to replay: {stderr}"
     );
 }

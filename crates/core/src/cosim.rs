@@ -22,8 +22,8 @@ use crate::parallel::{parallel_map, ParallelConfig};
 use crate::quantized::quantize_event_pixel;
 use eventor_dsi::{DepthPlanes, DetectionConfig, DsiVolume};
 use eventor_emvs::{
-    finalize_volume, EmvsConfig, EmvsError, EmvsOutput, ExecutionBackend, FrameGeometry, FrameWork,
-    KeyframeReconstruction, Stage, StageProfile,
+    finalize_volume, import_vote_tiles, BackendVoteState, EmvsConfig, EmvsError, EmvsOutput,
+    ExecutionBackend, FrameGeometry, FrameWork, KeyframeReconstruction, Stage, StageProfile,
 };
 use eventor_events::EventStream;
 use eventor_geom::{CameraModel, Pose, Trajectory, Vec2};
@@ -289,6 +289,56 @@ impl ExecutionBackend for CosimBackend {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn export_vote_state(
+        &mut self,
+        _profile: &mut StageProfile,
+    ) -> Result<BackendVoteState, EmvsError> {
+        let dram = self.device.dsi();
+        // Right after a retirement the device DRAM still holds the *retired*
+        // key frame's scores (the device only resets on the next Key job), so
+        // the open key frame's true partial state is an empty volume.
+        let dsi: DsiVolume<u16> = if self.next_is_key {
+            DsiVolume::new(dram.width(), dram.height(), self.planes.clone())?
+        } else {
+            DsiVolume::from_scores(
+                dram.width(),
+                dram.height(),
+                self.planes.clone(),
+                dram.scores().to_vec(),
+                self.votes_in_keyframe,
+            )?
+        };
+        Ok(BackendVoteState::Quantized(vec![dsi]))
+    }
+
+    fn import_vote_state(
+        &mut self,
+        state: BackendVoteState,
+        _profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        let tiles = match state {
+            BackendVoteState::Quantized(tiles) => tiles,
+            BackendVoteState::Float(_) => {
+                return Err(EmvsError::Checkpoint {
+                    reason: "float vote state cannot restore into the co-simulated device".into(),
+                })
+            }
+        };
+        // Merge the (per-shard) tiles into one canonical volume — exact for
+        // the saturating u16 datapath — and image it into device DRAM.
+        let dram = self.device.dsi();
+        let mut canonical: DsiVolume<u16> =
+            DsiVolume::new(dram.width(), dram.height(), self.planes.clone())?;
+        import_vote_tiles(tiles, &mut [&mut canonical], "cosim")?;
+        self.votes_in_keyframe = canonical.votes_cast();
+        self.device.load_dsi(canonical.raw_scores());
+        // The DSI image already reflects the open key frame (all zeros when
+        // the checkpoint fell on a key-frame boundary), so the next frame
+        // must NOT be a Key job — that would wipe the restored votes.
+        self.next_is_key = false;
+        Ok(())
     }
 }
 

@@ -49,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 mod accel;
+mod checkpoint;
 mod compare;
 mod cosim;
 pub mod parallel;
@@ -57,6 +58,7 @@ mod quantized;
 mod session;
 
 pub use accel::AcceleratorRun;
+pub use checkpoint::SessionCheckpoint;
 pub use compare::{
     config_for_sequence, run_variant, run_variants, PipelineVariant, VariantAccuracy,
 };

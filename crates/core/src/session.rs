@@ -38,8 +38,8 @@ use crate::pipeline::EventorOptions;
 use crate::quantized::{quantize_event_pixel, QuantizedCoefficients, QuantizedHomography};
 use eventor_dsi::{DepthPlanes, DetectionConfig, DsiVolume, VoteArena, VoxelScore};
 use eventor_emvs::{
-    finalize_volume, EmvsConfig, EmvsError, EmvsOutput, FrameGeometry, KeyframeReconstruction,
-    SessionDriver, Stage, StageProfile, VotingMode,
+    finalize_volume, import_vote_tiles, BackendVoteState, EmvsConfig, EmvsError, EmvsOutput,
+    FrameGeometry, KeyframeReconstruction, SessionDriver, Stage, StageProfile, VotingMode,
 };
 use eventor_events::{packetize_frame, Event, EventStream, VotePacket};
 use eventor_fixed::kernel;
@@ -386,6 +386,39 @@ impl ExecutionBackend for SoftwareBackend {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn export_vote_state(
+        &mut self,
+        _profile: &mut StageProfile,
+    ) -> Result<BackendVoteState, EmvsError> {
+        Ok(match &self.dsi {
+            DsiStorage::Quantized(dsi) => BackendVoteState::Quantized(vec![dsi.clone()]),
+            DsiStorage::Float(dsi) => BackendVoteState::Float(vec![dsi.clone()]),
+        })
+    }
+
+    fn import_vote_state(
+        &mut self,
+        state: BackendVoteState,
+        _profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        match (&mut self.dsi, state) {
+            (DsiStorage::Quantized(dsi), BackendVoteState::Quantized(tiles)) => {
+                import_vote_tiles(tiles, &mut [dsi], "software")
+            }
+            (DsiStorage::Float(dsi), BackendVoteState::Float(tiles)) => {
+                import_vote_tiles(tiles, &mut [dsi], "software")
+            }
+            (DsiStorage::Quantized(_), BackendVoteState::Float(_)) => Err(EmvsError::Checkpoint {
+                reason: "float vote state cannot restore into the quantized software datapath"
+                    .into(),
+            }),
+            (DsiStorage::Float(_), BackendVoteState::Quantized(_)) => Err(EmvsError::Checkpoint {
+                reason: "quantized vote state cannot restore into the float software datapath"
+                    .into(),
+            }),
+        }
+    }
 }
 
 /// Per-shard tiles of the sharded backend, on the score type the options
@@ -651,6 +684,55 @@ impl ExecutionBackend for ShardedBackend {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn export_vote_state(
+        &mut self,
+        profile: &mut StageProfile,
+    ) -> Result<BackendVoteState, EmvsError> {
+        // Flushing the buffered key-frame work is a spill boundary, already
+        // proven safe at any point of a key frame, so the tiles alone carry
+        // the open key frame's state.
+        self.vote_buffered(profile);
+        Ok(match &self.tiles {
+            ShardTiles::Quantized(states) => {
+                BackendVoteState::Quantized(states.iter().map(|s| s.tile.clone()).collect())
+            }
+            ShardTiles::Float(states) => {
+                BackendVoteState::Float(states.iter().map(|s| s.tile.clone()).collect())
+            }
+        })
+    }
+
+    fn import_vote_state(
+        &mut self,
+        state: BackendVoteState,
+        _profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        self.buffered_events = 0;
+        self.frame_lens.clear();
+        self.transported.clear();
+        self.corrected.clear();
+        self.params.clear();
+        self.geometries.clear();
+        match (&mut self.tiles, state) {
+            (ShardTiles::Quantized(states), BackendVoteState::Quantized(tiles)) => {
+                let mut targets: Vec<&mut DsiVolume<u16>> =
+                    states.iter_mut().map(|s| &mut s.tile).collect();
+                import_vote_tiles(tiles, &mut targets, "sharded")
+            }
+            (ShardTiles::Float(states), BackendVoteState::Float(tiles)) => {
+                let mut targets: Vec<&mut DsiVolume<f32>> =
+                    states.iter_mut().map(|s| &mut s.tile).collect();
+                import_vote_tiles(tiles, &mut targets, "sharded")
+            }
+            (ShardTiles::Quantized(_), BackendVoteState::Float(_)) => Err(EmvsError::Checkpoint {
+                reason: "float vote state cannot restore into the quantized sharded engine".into(),
+            }),
+            (ShardTiles::Float(_), BackendVoteState::Quantized(_)) => Err(EmvsError::Checkpoint {
+                reason: "quantized vote state cannot restore into the float sharded engine".into(),
+            }),
+        }
+    }
 }
 
 /// Backend selection recorded by the builder until [`SessionBuilder::build`].
@@ -760,6 +842,78 @@ impl SessionBuilder {
         self
     }
 
+    /// Builds the configured backend (the shared construction path of
+    /// [`Self::build`] and [`Self::restore`]).
+    fn build_backend(
+        camera: CameraModel,
+        config: &EmvsConfig,
+        choice: BackendChoice,
+    ) -> Result<Box<dyn ExecutionBackend>, EmvsError> {
+        Ok(match choice {
+            BackendChoice::Software(options) => {
+                Box::new(SoftwareBackend::new(camera, config, options)?)
+            }
+            BackendChoice::Sharded(options, parallel) => {
+                Box::new(ShardedBackend::new(camera, config, options, parallel)?)
+            }
+            BackendChoice::Cosim(accelerator, parallel) => {
+                Box::new(CosimBackend::new(camera, config, accelerator, parallel)?)
+            }
+            BackendChoice::Custom(backend) => backend,
+        })
+    }
+
+    /// Rebuilds a mid-flight session from a [`SessionCheckpoint`] on the
+    /// backend this builder selected — which need not be the backend kind
+    /// that produced the checkpoint (the vote state migrates whenever the
+    /// score types are compatible; see `docs/ARCHITECTURE.md` §3).
+    ///
+    /// The builder's camera and configuration must equal the checkpointed
+    /// ones bit-for-bit: a restored session that silently reinterpreted the
+    /// vote state under different geometry would be a wrong answer, not a
+    /// resumed one. Use [`SessionCheckpoint::camera`] /
+    /// [`SessionCheckpoint::config`] to construct a matching builder.
+    ///
+    /// [`SessionCheckpoint`]: crate::SessionCheckpoint
+    /// [`SessionCheckpoint::camera`]: crate::SessionCheckpoint::camera
+    /// [`SessionCheckpoint::config`]: crate::SessionCheckpoint::config
+    ///
+    /// # Errors
+    ///
+    /// [`EmvsError::Checkpoint`] when the builder disagrees with the
+    /// checkpoint (camera, configuration, fusion enabled, incompatible vote
+    /// state) or the checkpoint is internally inconsistent, plus the
+    /// [`Self::build`] failure modes.
+    pub fn restore(
+        self,
+        checkpoint: crate::SessionCheckpoint,
+    ) -> Result<EventorSession, EmvsError> {
+        if self.fusion.is_some() {
+            return Err(EmvsError::Checkpoint {
+                reason: "sessions with incremental map fusion cannot be restored".into(),
+            });
+        }
+        if self.camera != *checkpoint.camera() {
+            return Err(EmvsError::Checkpoint {
+                reason: "builder camera model differs from the checkpointed one".into(),
+            });
+        }
+        if self.config != *checkpoint.config() {
+            return Err(EmvsError::Checkpoint {
+                reason: "builder configuration differs from the checkpointed one".into(),
+            });
+        }
+        let backend = Self::build_backend(self.camera, &self.config, self.backend)?;
+        // The checkpoint carries the pending-buffer cap; the builder's
+        // (possibly default) cap must not override it.
+        let driver = SessionDriver::restore(backend, checkpoint.into_driver())?;
+        Ok(EventorSession {
+            driver,
+            fusion: None,
+            fused_keyframes: 0,
+        })
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -772,24 +926,7 @@ impl SessionBuilder {
         // Validation happens once, inside the backend constructor and
         // `SessionDriver::new` (both independently-constructible public
         // APIs) — no extra copy of the checks here.
-        let backend: Box<dyn ExecutionBackend> = match self.backend {
-            BackendChoice::Software(options) => {
-                Box::new(SoftwareBackend::new(self.camera, &self.config, options)?)
-            }
-            BackendChoice::Sharded(options, parallel) => Box::new(ShardedBackend::new(
-                self.camera,
-                &self.config,
-                options,
-                parallel,
-            )?),
-            BackendChoice::Cosim(accelerator, parallel) => Box::new(CosimBackend::new(
-                self.camera,
-                &self.config,
-                accelerator,
-                parallel,
-            )?),
-            BackendChoice::Custom(backend) => backend,
-        };
+        let backend = Self::build_backend(self.camera, &self.config, self.backend)?;
         let driver = SessionDriver::new(self.camera, self.config, backend)?
             .with_max_pending_events(self.max_pending_events);
         let fusion = match self.fusion {
@@ -885,6 +1022,17 @@ impl EventorSession {
     /// Short identifier of the active backend.
     pub fn backend_name(&self) -> &'static str {
         self.driver.backend().name()
+    }
+
+    /// Whether incremental map fusion is attached (fused sessions cannot be
+    /// checkpointed).
+    pub(crate) fn fusion_enabled(&self) -> bool {
+        self.fusion.is_some()
+    }
+
+    /// Mutable driver access for the checkpoint face (`crate::checkpoint`).
+    pub(crate) fn driver_mut(&mut self) -> &mut SessionDriver<Box<dyn ExecutionBackend>> {
+        &mut self.driver
     }
 
     /// The EMVS configuration.

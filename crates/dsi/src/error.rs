@@ -32,6 +32,11 @@ pub enum DsiError {
     },
     /// An operation required a non-empty point cloud.
     EmptyPointCloud,
+    /// A serialized volume vote state did not match the expected layout.
+    InvalidVoteState {
+        /// What was wrong with the serialized bytes.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DsiError {
@@ -55,6 +60,9 @@ impl fmt::Display for DsiError {
                 )
             }
             Self::EmptyPointCloud => write!(f, "operation requires a non-empty point cloud"),
+            Self::InvalidVoteState { reason } => {
+                write!(f, "invalid serialized vote state: {reason}")
+            }
         }
     }
 }
@@ -82,6 +90,9 @@ mod tests {
                 actual: 2,
             },
             DsiError::EmptyPointCloud,
+            DsiError::InvalidVoteState {
+                reason: "odd".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -35,6 +35,11 @@ pub enum EmvsError {
         /// Timestamp of the offending event.
         timestamp: f64,
     },
+    /// A session checkpoint could not be captured, decoded or restored.
+    Checkpoint {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EmvsError {
@@ -51,6 +56,7 @@ impl fmt::Display for EmvsError {
             Self::OutOfOrder { timestamp } => {
                 write!(f, "event at t={timestamp} pushed out of time order")
             }
+            Self::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
         }
     }
 }
@@ -98,6 +104,10 @@ mod tests {
         assert!(e.source().is_none());
         let e = EmvsError::OutOfOrder { timestamp: 1.5 };
         assert!(e.to_string().contains("1.5"));
+        let e = EmvsError::Checkpoint {
+            reason: "drained".into(),
+        };
+        assert!(e.to_string().contains("checkpoint error"));
     }
 
     #[test]

@@ -49,6 +49,12 @@ impl KeyframeSelector {
         self.frames_since_switch = 0;
     }
 
+    /// Overwrites the frame counter — the checkpoint-restore path, which must
+    /// resurrect a mid-key-frame selector exactly where the snapshot left it.
+    pub fn restore_frame_count(&mut self, frames_since_switch: usize) {
+        self.frames_since_switch = frames_since_switch;
+    }
+
     /// Whether the camera has moved far enough from `reference` for `current`
     /// to become a new key frame.
     pub fn should_switch(&self, reference: &Pose, current: &Pose) -> bool {

@@ -57,6 +57,7 @@ pub use mapper::{EmvsMapper, EmvsOutput, KeyframeReconstruction};
 pub use parallel::{run_sharded, shard_packets, ParallelConfig};
 pub use profile::{Stage, StageProfile};
 pub use session::{
-    finalize_volume, reconstruct_with_backend, BaselineBackend, ExecutionBackend, FrameWork,
-    SessionDriver, SessionEvent, DEFAULT_MAX_PENDING_EVENTS, ENGINE_SPILL_EVENTS,
+    finalize_volume, import_vote_tiles, reconstruct_with_backend, BackendVoteState,
+    BaselineBackend, DriverCheckpoint, ExecutionBackend, FrameWork, SessionDriver, SessionEvent,
+    DEFAULT_MAX_PENDING_EVENTS, ENGINE_SPILL_EVENTS,
 };

@@ -133,6 +133,97 @@ pub enum SessionEvent {
     },
 }
 
+/// The partial DSI vote state of a backend's open key frame, exported by
+/// [`ExecutionBackend::export_vote_state`] and re-injected by
+/// [`ExecutionBackend::import_vote_state`] — the backend half of a session
+/// checkpoint.
+///
+/// Tiles are kept **per shard**: a sharded engine exports each private tile's
+/// partial sums separately, so restoring into an engine with the same shard
+/// count reproduces the uninterrupted run bit-for-bit even for `f32` scores
+/// (whose addition is order-sensitive). Restoring into a different backend
+/// shape merges the tiles into one canonical volume — exact for the
+/// saturating `u16` accelerator datapath (saturating unit-vote addition is
+/// associative and commutative), approximate only for cross-shape `f32`
+/// migration.
+#[derive(Debug, Clone)]
+pub enum BackendVoteState {
+    /// 16-bit integer tiles (the quantized nearest-voting accelerator
+    /// datapath).
+    Quantized(Vec<DsiVolume<u16>>),
+    /// `f32` tiles (the baseline / unquantized datapaths).
+    Float(Vec<DsiVolume<f32>>),
+}
+
+impl BackendVoteState {
+    /// Number of exported tiles.
+    pub fn tile_count(&self) -> usize {
+        match self {
+            Self::Quantized(tiles) => tiles.len(),
+            Self::Float(tiles) => tiles.len(),
+        }
+    }
+
+    /// Total votes cast across the exported tiles.
+    pub fn votes_cast(&self) -> u64 {
+        match self {
+            Self::Quantized(tiles) => tiles.iter().map(|t| t.votes_cast()).sum(),
+            Self::Float(tiles) => tiles.iter().map(|t| t.votes_cast()).sum(),
+        }
+    }
+}
+
+/// Checks an imported tile set against a backend's tile geometry and
+/// reshapes it into the backend's tiles: a tile-count match restores
+/// per-shard partial sums verbatim (bit-exact for every score type); any
+/// other count merges everything into tile 0 — the canonical form, exact for
+/// saturating integer scores. Every target tile is reset first.
+///
+/// Shared by every built-in backend's
+/// [`ExecutionBackend::import_vote_state`], so the geometry validation and
+/// reshaping rules cannot drift between them.
+///
+/// # Errors
+///
+/// [`EmvsError::Checkpoint`] (naming `backend`) when any incoming tile's
+/// dimensions differ from the targets'.
+pub fn import_vote_tiles<S: eventor_dsi::VoxelScore>(
+    incoming: Vec<DsiVolume<S>>,
+    targets: &mut [&mut DsiVolume<S>],
+    backend: &'static str,
+) -> Result<(), EmvsError> {
+    let (w, h, p) = (
+        targets[0].width(),
+        targets[0].height(),
+        targets[0].num_planes(),
+    );
+    for tile in &incoming {
+        if tile.width() != w || tile.height() != h || tile.num_planes() != p {
+            return Err(EmvsError::Checkpoint {
+                reason: format!(
+                    "checkpointed DSI tile is {}x{}x{} but backend '{backend}' expects {w}x{h}x{p}",
+                    tile.width(),
+                    tile.height(),
+                    tile.num_planes()
+                ),
+            });
+        }
+    }
+    for target in targets.iter_mut() {
+        target.reset();
+    }
+    if incoming.len() == targets.len() {
+        for (target, tile) in targets.iter_mut().zip(incoming) {
+            **target = tile;
+        }
+    } else {
+        for tile in &incoming {
+            targets[0].merge_from(tile);
+        }
+    }
+    Ok(())
+}
+
 /// The contract between the streaming session driver and a voting engine
 /// (versioned as `eventor-backend/1`, see `docs/ARCHITECTURE.md` §6).
 ///
@@ -189,6 +280,49 @@ pub trait ExecutionBackend: std::fmt::Debug + Send {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Exports the open key frame's partial DSI vote state for a session
+    /// checkpoint.
+    ///
+    /// Backends that buffer key-frame work (the sharded engines) first flush
+    /// their buffers into the tiles — equivalent to a spill boundary, which
+    /// is already proven safe at any point of a key frame — so the exported
+    /// tiles alone determine the key frame's remaining evolution. The
+    /// backend stays fully usable afterwards: exporting is observation, not
+    /// retirement.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation reports [`EmvsError::Checkpoint`]: custom
+    /// backends opt in by overriding both this and
+    /// [`Self::import_vote_state`].
+    fn export_vote_state(
+        &mut self,
+        _profile: &mut StageProfile,
+    ) -> Result<BackendVoteState, EmvsError> {
+        Err(EmvsError::Checkpoint {
+            reason: format!("backend '{}' does not support checkpointing", self.name()),
+        })
+    }
+
+    /// Injects a checkpointed vote state into a **fresh** backend (no frames
+    /// voted yet), resurrecting the open key frame's partial DSI exactly
+    /// where [`Self::export_vote_state`] captured it.
+    ///
+    /// # Errors
+    ///
+    /// [`EmvsError::Checkpoint`] when the state's score type or tile
+    /// geometry does not fit this backend, or (default implementation) when
+    /// the backend does not support checkpointing.
+    fn import_vote_state(
+        &mut self,
+        _state: BackendVoteState,
+        _profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        Err(EmvsError::Checkpoint {
+            reason: format!("backend '{}' does not support checkpointing", self.name()),
+        })
+    }
 }
 
 impl<B: ExecutionBackend + ?Sized> ExecutionBackend for Box<B> {
@@ -216,6 +350,21 @@ impl<B: ExecutionBackend + ?Sized> ExecutionBackend for Box<B> {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         (**self).as_any()
+    }
+
+    fn export_vote_state(
+        &mut self,
+        profile: &mut StageProfile,
+    ) -> Result<BackendVoteState, EmvsError> {
+        (**self).export_vote_state(profile)
+    }
+
+    fn import_vote_state(
+        &mut self,
+        state: BackendVoteState,
+        profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        (**self).import_vote_state(state, profile)
     }
 }
 
@@ -526,6 +675,133 @@ impl<B: ExecutionBackend> SessionDriver<B> {
         self.backend
     }
 
+    /// Captures the complete mid-flight session state as a
+    /// [`DriverCheckpoint`]: configuration, trajectory, unprocessed events,
+    /// key-frame bookkeeping, retired reconstructions and the backend's
+    /// partial DSI vote state. The session stays fully usable afterwards —
+    /// checkpointing is observation, not shutdown.
+    ///
+    /// Restoring the checkpoint into a fresh driver
+    /// ([`SessionDriver::restore`]) and feeding it the remainder of the
+    /// stream reproduces the uninterrupted run bit-for-bit (for the
+    /// order-independent quantized datapath on any backend shape; for `f32`
+    /// scores when the restored backend has the same tile count).
+    ///
+    /// # Errors
+    ///
+    /// [`EmvsError::Checkpoint`] when undrained session events are pending
+    /// (callers must [`poll`](Self::poll) first, so no lifecycle
+    /// notification is lost in the snapshot) or when the backend does not
+    /// support checkpointing.
+    pub fn snapshot(&mut self) -> Result<DriverCheckpoint, EmvsError> {
+        if !self.outbox.is_empty() {
+            return Err(EmvsError::Checkpoint {
+                reason: format!(
+                    "{} undrained session events: poll() before snapshotting",
+                    self.outbox.len()
+                ),
+            });
+        }
+        let vote_state = self.backend.export_vote_state(&mut self.profile)?;
+        Ok(DriverCheckpoint {
+            camera: self.camera,
+            config: self.config.clone(),
+            max_pending_events: self.max_pending_events,
+            trajectory: self.trajectory.clone(),
+            pending: self.pending[self.cursor..].to_vec(),
+            last_event_t: self.last_event_t,
+            events_pushed: self.events_pushed,
+            next_frame_index: self.next_frame_index,
+            frames_since_switch: self.selector.frames_since_switch(),
+            reference: self.reference,
+            frames_in_keyframe: self.frames_in_keyframe,
+            events_in_keyframe: self.events_in_keyframe,
+            keyframes: self.keyframes.clone(),
+            vote_state,
+        })
+    }
+
+    /// Resurrects a checkpointed session into a **fresh** backend (no frames
+    /// voted yet), exactly where [`Self::snapshot`] captured it: the next
+    /// pushed event continues the original stream.
+    ///
+    /// The backend is typically of the same kind that produced the
+    /// checkpoint; migrating across backends is supported wherever the vote
+    /// state converts exactly (see [`BackendVoteState`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EmvsError::Checkpoint`] for internally inconsistent checkpoints or
+    /// a vote state the backend cannot accept, plus [`Self::new`]'s
+    /// validation failures.
+    pub fn restore(backend: B, checkpoint: DriverCheckpoint) -> Result<Self, EmvsError> {
+        let DriverCheckpoint {
+            camera,
+            config,
+            max_pending_events,
+            trajectory,
+            pending,
+            last_event_t,
+            events_pushed,
+            next_frame_index,
+            frames_since_switch,
+            reference,
+            frames_in_keyframe,
+            events_in_keyframe,
+            keyframes,
+            vote_state,
+        } = checkpoint;
+        if (events_pushed as usize) < pending.len() {
+            return Err(EmvsError::Checkpoint {
+                reason: format!(
+                    "inconsistent checkpoint: {} pending events but only {events_pushed} pushed",
+                    pending.len()
+                ),
+            });
+        }
+        if pending.windows(2).any(|w| w[0].t > w[1].t) {
+            return Err(EmvsError::Checkpoint {
+                reason: "inconsistent checkpoint: pending events out of time order".into(),
+            });
+        }
+        if let (Some(last), Some(tail)) = (last_event_t, pending.last()) {
+            if tail.t > last {
+                return Err(EmvsError::Checkpoint {
+                    reason: "inconsistent checkpoint: pending events newer than last_event_t"
+                        .into(),
+                });
+            }
+        }
+        let mut driver =
+            Self::new(camera, config, backend)?.with_max_pending_events(max_pending_events);
+        driver
+            .backend
+            .import_vote_state(vote_state, &mut driver.profile)?;
+        driver.trajectory = trajectory;
+        driver.pending = pending;
+        driver.cursor = 0;
+        driver.last_event_t = last_event_t;
+        driver.events_pushed = events_pushed;
+        driver.next_frame_index = next_frame_index;
+        driver.selector.restore_frame_count(frames_since_switch);
+        driver.reference = reference;
+        driver.frames_in_keyframe = frames_in_keyframe;
+        driver.events_in_keyframe = events_in_keyframe;
+        // The global map is a deterministic fold of the retired key frames'
+        // local clouds (see `retire_active_keyframe`), so it is rebuilt
+        // rather than serialized.
+        for kf in &keyframes {
+            driver.global_map.merge(&kf.local_cloud);
+        }
+        driver.keyframes = keyframes;
+        // Work counters restart from the checkpoint; stage wall times restart
+        // at zero (they are measurements of this process, not session state).
+        driver.profile.frames_processed = driver.next_frame_index as u64;
+        driver.profile.events_processed = driver.events_pushed - driver.pending.len() as u64;
+        driver.profile.keyframes = driver.keyframes.len() as u64;
+        Ok(driver)
+    }
+
     /// Whether the next complete frame can be processed (enough events and
     /// trajectory coverage of its mid-point timestamp).
     fn frame_ready(&self) -> bool {
@@ -652,6 +928,53 @@ impl<B: ExecutionBackend> SessionDriver<B> {
         self.events_in_keyframe = 0;
         Ok(())
     }
+}
+
+/// The complete state of a mid-flight session, captured by
+/// [`SessionDriver::snapshot`] and resurrected by [`SessionDriver::restore`].
+///
+/// Everything the reconstruction is a function of is here: the configuration,
+/// the trajectory pushed so far, the unprocessed pending events, the
+/// key-frame bookkeeping (including the partially-accumulated selector
+/// count), the retired reconstructions and the backend's partial DSI vote
+/// state. Deliberately *not* here: the global map (a deterministic fold of
+/// the key frames' local clouds, rebuilt on restore), the depth planes
+/// (derived from the configuration) and stage wall times (measurements of a
+/// process, not of the session).
+///
+/// `eventor-core`'s `SessionCheckpoint` wraps this in the durable
+/// `eventor-evtr/1` `CKPT` container; this in-memory form is what the
+/// driver layer exchanges.
+#[derive(Debug, Clone)]
+pub struct DriverCheckpoint {
+    /// The session's camera model.
+    pub camera: CameraModel,
+    /// The EMVS configuration (depth planes are re-derived from it).
+    pub config: EmvsConfig,
+    /// The in-flight event bound.
+    pub max_pending_events: usize,
+    /// Every trajectory sample pushed so far.
+    pub trajectory: Trajectory,
+    /// Buffered events not yet aggregated into a processed frame.
+    pub pending: Vec<Event>,
+    /// Timestamp of the newest event ever pushed (ordering fence).
+    pub last_event_t: Option<f64>,
+    /// Total events pushed into the session.
+    pub events_pushed: u64,
+    /// Index the next processed frame will carry.
+    pub next_frame_index: usize,
+    /// Frames accumulated into the open key frame by the selector.
+    pub frames_since_switch: usize,
+    /// Pose of the active key reference view, if one is open.
+    pub reference: Option<Pose>,
+    /// Frames voted into the open key frame.
+    pub frames_in_keyframe: usize,
+    /// Events voted into the open key frame.
+    pub events_in_keyframe: usize,
+    /// Key frames retired so far, in stream order.
+    pub keyframes: Vec<KeyframeReconstruction>,
+    /// The backend's partial DSI vote state for the open key frame.
+    pub vote_state: BackendVoteState,
 }
 
 /// Builds a [`KeyframeReconstruction`] from an accumulated DSI: structure
@@ -968,6 +1291,37 @@ impl ExecutionBackend for BaselineBackend {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn export_vote_state(
+        &mut self,
+        profile: &mut StageProfile,
+    ) -> Result<BackendVoteState, EmvsError> {
+        // Flushing buffered engine-mode frames is a spill boundary, already
+        // proven safe at any point of a key frame.
+        if self.parallel.is_engine() {
+            self.vote_buffered(profile);
+        }
+        Ok(BackendVoteState::Float(self.tiles.clone()))
+    }
+
+    fn import_vote_state(
+        &mut self,
+        state: BackendVoteState,
+        _profile: &mut StageProfile,
+    ) -> Result<(), EmvsError> {
+        self.buffered.clear();
+        self.buffered_events = 0;
+        match state {
+            BackendVoteState::Float(tiles) => {
+                let mut targets: Vec<&mut DsiVolume<f32>> = self.tiles.iter_mut().collect();
+                import_vote_tiles(tiles, &mut targets, "baseline")
+            }
+            BackendVoteState::Quantized(_) => Err(EmvsError::Checkpoint {
+                reason: "quantized vote state cannot restore into the float baseline backend"
+                    .into(),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1203,6 +1557,153 @@ mod tests {
             .unwrap();
         driver.push_events(seq.events.as_slice()).unwrap();
         assert!(driver.flush().is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_the_uninterrupted_run() {
+        let seq = sequence();
+        let config = config_for(&seq).with_voting(VotingMode::Nearest);
+        let uninterrupted = reconstruct_with_backend(
+            seq.camera,
+            config.clone(),
+            BaselineBackend::new(seq.camera, &config, ParallelConfig::sequential()).unwrap(),
+            &seq.events,
+            &seq.trajectory,
+        )
+        .unwrap();
+
+        // Run half the stream, checkpoint mid-flight (between key frames or
+        // mid-key-frame, wherever the boundary lands), drop the session.
+        let mut driver = driver_for(&seq, &config);
+        driver.push_trajectory(&seq.trajectory).unwrap();
+        let events = seq.events.as_slice();
+        let cut = events.len() / 2;
+        driver.push_events(&events[..cut]).unwrap();
+        driver.poll().unwrap();
+        let checkpoint = driver.snapshot().unwrap();
+        assert!(checkpoint.events_pushed as usize == cut);
+        drop(driver);
+
+        // Restore into a fresh driver + backend and feed the remainder.
+        let backend =
+            BaselineBackend::new(seq.camera, &config, ParallelConfig::sequential()).unwrap();
+        let mut restored = SessionDriver::restore(backend, checkpoint).unwrap();
+        restored.push_events(&events[cut..]).unwrap();
+        let resumed = restored.finish().unwrap();
+
+        assert_eq!(uninterrupted.keyframes.len(), resumed.keyframes.len());
+        for (a, b) in uninterrupted.keyframes.iter().zip(&resumed.keyframes) {
+            assert_eq!(a.votes_cast, b.votes_cast);
+            assert_eq!(a.depth_map.depth_data(), b.depth_map.depth_data());
+            assert_eq!(a.frames_used, b.frames_used);
+            assert_eq!(a.events_used, b.events_used);
+        }
+        assert_eq!(uninterrupted.global_map.len(), resumed.global_map.len());
+        assert_eq!(
+            uninterrupted.profile.events_processed,
+            resumed.profile.events_processed
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_is_exact_for_the_sharded_engine_same_shape() {
+        // f32 scores are order-sensitive, but per-shard tile export makes a
+        // same-shard-count restore bit-exact even mid-key-frame.
+        let seq = sequence();
+        let config = config_for(&seq).with_voting(VotingMode::Nearest);
+        let parallel = ParallelConfig::with_shards(4);
+        let uninterrupted = reconstruct_with_backend(
+            seq.camera,
+            config.clone(),
+            BaselineBackend::new(seq.camera, &config, parallel).unwrap(),
+            &seq.events,
+            &seq.trajectory,
+        )
+        .unwrap();
+
+        let backend = BaselineBackend::new(seq.camera, &config, parallel).unwrap();
+        let mut driver = SessionDriver::new(seq.camera, config.clone(), backend).unwrap();
+        driver.push_trajectory(&seq.trajectory).unwrap();
+        let events = seq.events.as_slice();
+        let cut = 2 * events.len() / 3;
+        driver.push_events(&events[..cut]).unwrap();
+        driver.poll().unwrap();
+        let checkpoint = driver.snapshot().unwrap();
+        assert_eq!(checkpoint.vote_state.tile_count(), 4);
+        drop(driver);
+
+        let backend = BaselineBackend::new(seq.camera, &config, parallel).unwrap();
+        let mut restored = SessionDriver::restore(backend, checkpoint).unwrap();
+        restored.push_events(&events[cut..]).unwrap();
+        let resumed = restored.finish().unwrap();
+        assert_eq!(uninterrupted.keyframes.len(), resumed.keyframes.len());
+        for (a, b) in uninterrupted.keyframes.iter().zip(&resumed.keyframes) {
+            assert_eq!(a.votes_cast, b.votes_cast);
+            assert_eq!(a.depth_map.depth_data(), b.depth_map.depth_data());
+        }
+    }
+
+    #[test]
+    fn snapshot_with_undrained_events_is_refused() {
+        let seq = sequence();
+        let config = config_for(&seq).with_voting(VotingMode::Nearest);
+        let mut driver = driver_for(&seq, &config);
+        driver.push_trajectory(&seq.trajectory).unwrap();
+        driver.push_events(seq.events.as_slice()).unwrap();
+        driver.flush().unwrap();
+        // flush() retired key frames but nothing polled their events yet.
+        let err = driver.snapshot().unwrap_err();
+        assert!(matches!(err, EmvsError::Checkpoint { .. }));
+        assert!(err.to_string().contains("poll()"));
+        driver.poll().unwrap();
+        driver.snapshot().unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_checkpoints_and_wrong_geometry() {
+        let seq = sequence();
+        let config = config_for(&seq).with_voting(VotingMode::Nearest);
+        let mut driver = driver_for(&seq, &config);
+        driver.push_trajectory(&seq.trajectory).unwrap();
+        driver
+            .push_events(&seq.events.as_slice()[..4 * config.events_per_frame])
+            .unwrap();
+        driver.poll().unwrap();
+        let checkpoint = driver.snapshot().unwrap();
+
+        // More pending events than ever pushed.
+        let mut bad = checkpoint.clone();
+        bad.events_pushed = 1;
+        bad.pending = seq.events.as_slice()[..8].to_vec();
+        let backend =
+            BaselineBackend::new(seq.camera, &config, ParallelConfig::sequential()).unwrap();
+        assert!(matches!(
+            SessionDriver::restore(backend, bad),
+            Err(EmvsError::Checkpoint { .. })
+        ));
+
+        // Tile geometry that does not match the backend.
+        let mut bad = checkpoint.clone();
+        bad.vote_state =
+            BackendVoteState::Float(vec![
+                DsiVolume::new(2, 2, config.depth_planes().unwrap()).unwrap()
+            ]);
+        let backend =
+            BaselineBackend::new(seq.camera, &config, ParallelConfig::sequential()).unwrap();
+        assert!(matches!(
+            SessionDriver::restore(backend, bad),
+            Err(EmvsError::Checkpoint { .. })
+        ));
+
+        // Quantized state into the float baseline backend.
+        let mut bad = checkpoint;
+        bad.vote_state = BackendVoteState::Quantized(vec![]);
+        let backend =
+            BaselineBackend::new(seq.camera, &config, ParallelConfig::sequential()).unwrap();
+        assert!(matches!(
+            SessionDriver::restore(backend, bad),
+            Err(EmvsError::Checkpoint { .. })
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! section_count u32
 //! reserved     u32      = 0  (writers write zero; readers reject nonzero)
 //! section * section_count:
-//!     tag          [u8; 4]   (b"TRAJ" or b"EVTS"; unknown tags rejected)
+//!     tag          [u8; 4]   (b"TRAJ", b"EVTS" or b"CKPT"; unknown tags rejected)
 //!     payload_len  u64       (bytes)
 //!     payload      [u8; payload_len]
 //! checksum     u64      FNV-1a 64 over every preceding byte of the file
@@ -27,6 +27,12 @@
 //!   `t tx ty tz qx qy qz qw`, eight `f64` bit patterns (64 bytes each).
 //! * `EVTS` — `count: u64`, then `count` events of
 //!   `t: f64, x: u16, y: u16, polarity: u8` (13 bytes each, packed).
+//! * `CKPT` — `version: u32` ([`CKPT_VERSION`]), then an opaque checkpoint
+//!   payload (a mid-flight session snapshot, encoded by `eventor-core`).
+//!   A checkpoint container holds exactly this one section
+//!   ([`write_ckpt`] / [`read_ckpt`]); a record container holds exactly
+//!   `TRAJ` + `EVTS`. The two uses never mix: a reader presented with the
+//!   wrong kind reports a typed error naming the other workflow.
 //!
 //! The reader rejects truncated files, bad magic, unsupported versions
 //! (recorder/replayer version skew), nonzero reserved header bytes, unknown
@@ -47,8 +53,14 @@ pub const EVTR_MAGIC: [u8; 4] = *b"EVTR";
 /// Format version written by [`write_evtr`] and accepted by [`read_evtr`].
 pub const EVTR_VERSION: u32 = 1;
 
+/// Version prefix of the `CKPT` section payload written by [`write_ckpt`]
+/// and accepted by [`read_ckpt`]. Versioned independently of the container
+/// so the checkpoint payload can evolve without a container-version bump.
+pub const CKPT_VERSION: u32 = 1;
+
 const TAG_TRAJ: [u8; 4] = *b"TRAJ";
 const TAG_EVTS: [u8; 4] = *b"EVTS";
+const TAG_CKPT: [u8; 4] = *b"CKPT";
 
 fn corrupt(reason: impl Into<String>) -> EventError {
     EventError::InvalidRecord {
@@ -226,17 +238,20 @@ fn decode_events(payload: &[u8]) -> Result<EventStream, EventError> {
         .map_err(|e| corrupt(format!("EVTS section is not time-ordered: {e}")))
 }
 
-/// Deserializes an `eventor-evtr/1` container back into the recorded event
-/// stream and trajectory.
-///
-/// # Errors
-///
-/// Returns [`EventError::InvalidRecord`] for truncated input, bad magic, an
-/// unsupported version, unknown or duplicated sections, payload-length
-/// mismatches, checksum failures, or decoded data that violates the stream /
-/// trajectory ordering invariants. I/O errors from the reader surface as
-/// [`EventError::InvalidRecord`] too (the container is read whole).
-pub fn read_evtr<R: Read>(mut reader: R) -> Result<(EventStream, Trajectory), EventError> {
+/// One decoded container section: its tag and the byte range of its payload
+/// within the container body.
+struct Section {
+    tag: [u8; 4],
+    payload: std::ops::Range<usize>,
+}
+
+/// Reads a whole `eventor-evtr/1` container and validates everything that is
+/// section-agnostic, in a fixed order: minimum length, trailing FNV-1a-64
+/// checksum, magic, version, reserved header bytes, per-section length
+/// bounds, and absence of trailing bytes. Returns the container bytes plus
+/// the section table; the callers ([`read_evtr`], [`read_ckpt`]) interpret
+/// the tags.
+fn read_sections<R: Read>(mut reader: R) -> Result<(Vec<u8>, Vec<Section>), EventError> {
     let mut bytes = Vec::new();
     reader
         .read_to_end(&mut bytes)
@@ -255,6 +270,7 @@ pub fn read_evtr<R: Read>(mut reader: R) -> Result<(EventStream, Trajectory), Ev
             "checksum mismatch: file declares {declared:#018x}, content hashes to {actual:#018x}"
         )));
     }
+    let body_len = body.len();
     let mut c = Cursor { bytes: body, at: 0 };
     let magic = c.take(4, "magic")?;
     if magic != EVTR_MAGIC {
@@ -273,19 +289,123 @@ pub fn read_evtr<R: Read>(mut reader: R) -> Result<(EventStream, Trajectory), Ev
             "reserved header bytes must be zero (got {reserved:#010x})"
         )));
     }
-    let mut trajectory: Option<Trajectory> = None;
-    let mut events: Option<EventStream> = None;
+    let mut sections = Vec::new();
     for i in 0..section_count {
         let tag: [u8; 4] = c.take(4, "section tag")?.try_into().unwrap();
         let len = c.u64("section length")? as usize;
-        let payload = c.take(len, &format!("section {i} payload"))?;
-        match tag {
+        let start = c.at;
+        c.take(len, &format!("section {i} payload"))?;
+        sections.push(Section {
+            tag,
+            payload: start..start + len,
+        });
+    }
+    if c.at != body_len {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the declared sections",
+            body_len - c.at
+        )));
+    }
+    Ok((bytes, sections))
+}
+
+/// Deserializes an `eventor-evtr/1` container back into the recorded event
+/// stream and trajectory.
+///
+/// # Errors
+///
+/// Returns [`EventError::InvalidRecord`] for truncated input, bad magic, an
+/// unsupported version, unknown or duplicated sections, payload-length
+/// mismatches, checksum failures, or decoded data that violates the stream /
+/// trajectory ordering invariants. I/O errors from the reader surface as
+/// [`EventError::InvalidRecord`] too (the container is read whole). A
+/// checkpoint (`CKPT`-bearing) container is rejected with a message pointing
+/// at the resume path: a checkpoint is not a replayable record.
+pub fn read_evtr<R: Read>(reader: R) -> Result<(EventStream, Trajectory), EventError> {
+    let (bytes, sections) = read_sections(reader)?;
+    let mut trajectory: Option<Trajectory> = None;
+    let mut events: Option<EventStream> = None;
+    for section in sections {
+        let payload = &bytes[section.payload];
+        match section.tag {
             TAG_TRAJ if trajectory.is_none() => trajectory = Some(decode_trajectory(payload)?),
             TAG_EVTS if events.is_none() => events = Some(decode_events(payload)?),
             TAG_TRAJ | TAG_EVTS => {
                 return Err(corrupt(format!(
                     "duplicate {:?} section",
-                    String::from_utf8_lossy(&tag)
+                    String::from_utf8_lossy(&section.tag)
+                )));
+            }
+            TAG_CKPT => {
+                return Err(corrupt(
+                    "CKPT section in a record container: this is a session checkpoint, \
+                     not a replayable record (resume it instead)",
+                ));
+            }
+            other => {
+                return Err(corrupt(format!(
+                    "unknown section tag {:?}",
+                    String::from_utf8_lossy(&other)
+                )));
+            }
+        }
+    }
+    match (events, trajectory) {
+        (Some(e), Some(t)) => Ok((e, t)),
+        (None, _) => Err(corrupt("missing EVTS section")),
+        (_, None) => Err(corrupt("missing TRAJ section")),
+    }
+}
+
+/// Serializes an opaque checkpoint payload into an `eventor-evtr/1`
+/// container holding exactly one `CKPT` section.
+///
+/// The section payload is the [`CKPT_VERSION`] word followed by `payload`
+/// verbatim; the container carries the usual trailing FNV-1a-64 checksum, so
+/// **any** single-byte corruption of a checkpoint file is detected before
+/// the payload is interpreted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_ckpt<W: Write>(payload: &[u8], mut writer: W) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(EVTR_MAGIC.len() + 4 + 4 + 4 + 12 + 4 + payload.len() + 8);
+    bytes.extend_from_slice(&EVTR_MAGIC);
+    bytes.extend_from_slice(&EVTR_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&TAG_CKPT);
+    bytes.extend_from_slice(&(4 + payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let checksum = fnv1a_64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    writer.write_all(&bytes)
+}
+
+/// Deserializes a checkpoint container written by [`write_ckpt`], returning
+/// the opaque checkpoint payload (the bytes after the [`CKPT_VERSION`]
+/// word). The payload's own structure is validated by its consumer
+/// (`eventor-core`'s `SessionCheckpoint::decode`).
+///
+/// # Errors
+///
+/// Returns [`EventError::InvalidRecord`] for every container-level
+/// corruption ([`read_evtr`]'s modes), for a record (`TRAJ`/`EVTS`) container
+/// presented as a checkpoint, for anything but exactly one `CKPT` section,
+/// and for an unsupported checkpoint payload version.
+pub fn read_ckpt<R: Read>(reader: R) -> Result<Vec<u8>, EventError> {
+    let (bytes, sections) = read_sections(reader)?;
+    let mut payload: Option<std::ops::Range<usize>> = None;
+    for section in sections {
+        match section.tag {
+            TAG_CKPT if payload.is_none() => payload = Some(section.payload),
+            TAG_CKPT => return Err(corrupt("duplicate \"CKPT\" section")),
+            TAG_TRAJ | TAG_EVTS => {
+                return Err(corrupt(format!(
+                    "{:?} section in a checkpoint container: this is a record/replay \
+                     file, not a session checkpoint (replay it instead)",
+                    String::from_utf8_lossy(&section.tag)
                 )));
             }
             other => {
@@ -296,17 +416,21 @@ pub fn read_evtr<R: Read>(mut reader: R) -> Result<(EventStream, Trajectory), Ev
             }
         }
     }
-    if c.at != body.len() {
+    let payload = payload.ok_or_else(|| corrupt("missing CKPT section"))?;
+    let body = &bytes[payload];
+    if body.len() < 4 {
         return Err(corrupt(format!(
-            "{} trailing bytes after the declared sections",
-            body.len() - c.at
+            "CKPT section too short for its version word ({} bytes)",
+            body.len()
         )));
     }
-    match (events, trajectory) {
-        (Some(e), Some(t)) => Ok((e, t)),
-        (None, _) => Err(corrupt("missing EVTS section")),
-        (_, None) => Err(corrupt("missing TRAJ section")),
+    let version = u32::from_le_bytes(body[..4].try_into().unwrap());
+    if version != CKPT_VERSION {
+        return Err(corrupt(format!(
+            "unsupported checkpoint version {version} (this reader speaks {CKPT_VERSION})"
+        )));
     }
+    Ok(body[4..].to_vec())
 }
 
 #[cfg(test)]
@@ -445,6 +569,71 @@ mod tests {
         bytes.extend_from_slice(&checksum.to_le_bytes());
         let err = read_evtr(bytes.as_slice()).unwrap_err();
         assert!(err.to_string().contains("payload bytes"), "{err}");
+    }
+
+    #[test]
+    fn ckpt_round_trip_is_exact() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut buf = Vec::new();
+        write_ckpt(&payload, &mut buf).unwrap();
+        assert_eq!(read_ckpt(buf.as_slice()).unwrap(), payload);
+        // Empty payloads are legal too.
+        let mut buf = Vec::new();
+        write_ckpt(&[], &mut buf).unwrap();
+        assert!(read_ckpt(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ckpt_flipped_byte_fails_the_checksum() {
+        let mut buf = Vec::new();
+        write_ckpt(b"some checkpoint payload", &mut buf).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        let err = read_ckpt(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn record_reader_rejects_checkpoints_and_vice_versa() {
+        let mut ckpt = Vec::new();
+        write_ckpt(b"payload", &mut ckpt).unwrap();
+        let err = read_evtr(ckpt.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("CKPT section"), "{err}");
+        assert!(err.to_string().contains("resume"), "{err}");
+
+        let record = encode(&sample_stream(), &sample_trajectory());
+        let err = read_ckpt(record.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("record/replay"), "{err}");
+        assert!(err.to_string().contains("replay it instead"), "{err}");
+    }
+
+    #[test]
+    fn ckpt_version_skew_is_rejected() {
+        let mut buf = Vec::new();
+        write_ckpt(b"payload", &mut buf).unwrap();
+        // The CKPT payload version word sits right after the section header
+        // (magic 4 + version 4 + count 4 + reserved 4 + tag 4 + len 8 = 28).
+        buf[28..32].copy_from_slice(&7u32.to_le_bytes());
+        let n = buf.len();
+        let fixed = fnv1a_64(&buf[..n - 8]).to_le_bytes();
+        buf[n - 8..].copy_from_slice(&fixed);
+        let err = read_ckpt(buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported checkpoint version"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn ckpt_truncation_is_rejected_at_every_length() {
+        let mut buf = Vec::new();
+        write_ckpt(&[0xAB; 257], &mut buf).unwrap();
+        for cut in (0..buf.len()).step_by(13).chain([buf.len() - 1]) {
+            assert!(
+                read_ckpt(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes was accepted"
+            );
+        }
     }
 
     #[test]

@@ -53,7 +53,9 @@ mod undistort;
 pub use datasets::{DatasetConfig, SequenceKind, SyntheticSequence};
 pub use error::EventError;
 pub use event::{first_out_of_order, Event, Polarity};
-pub use evtr::{read_evtr, write_evtr, EVTR_MAGIC, EVTR_VERSION};
+pub use evtr::{
+    read_ckpt, read_evtr, write_ckpt, write_evtr, CKPT_VERSION, EVTR_MAGIC, EVTR_VERSION,
+};
 pub use fnv::{fnv1a_64, Fnv64};
 pub use image::Image;
 pub use io::{read_events, read_trajectory, write_events, write_trajectory};

@@ -18,7 +18,9 @@
 //! [`EVENTOR_KERNEL_DISPATCH`](DISPATCH_ENV) environment variable
 //! (`scalar`/`swar`/`simd`, a typed [`DispatchError`] on anything else or
 //! on an unsupported tier) wins, otherwise detection prefers `Simd` where
-//! the CPU supports it and falls back to `Swar`. Tests and benches may pin
+//! the CPU supports it and falls back architecture-aware: `Scalar` on
+//! x86-64 without AVX2 (where the measured SWAR tier is *slower* than the
+//! scalar loop, `docs/BENCHMARKS.md`), `Swar` elsewhere. Tests and benches may pin
 //! a tier in-process with [`force`], or bypass the global entirely with the
 //! `*_with` variants that take an explicit [`Dispatch`].
 //!
@@ -201,15 +203,30 @@ fn check_supported(tier: Dispatch) -> Result<Dispatch, DispatchError> {
     }
 }
 
-/// Resolves the environment/detection tier once per process.
+/// The tier detection falls back to when [`DISPATCH_ENV`] is unset: `Simd`
+/// wherever the CPU supports it. Without SIMD the choice is
+/// architecture-aware: on `x86_64` the scalar loop wins — the bias/unbias
+/// algebra around SWAR's packed 48-bit fields costs more ALU work than the
+/// fused multiply saves on a wide out-of-order core, measured ~2× slower
+/// (`docs/BENCHMARKS.md`, "An honest note on SWAR") — while narrow
+/// single-multiplier cores keep `Swar`.
+fn detected() -> Dispatch {
+    if simd_supported() {
+        Dispatch::Simd
+    } else if cfg!(target_arch = "x86_64") {
+        Dispatch::Scalar
+    } else {
+        Dispatch::Swar
+    }
+}
+
+/// Resolves the environment/detection tier once per process. The
+/// environment override stays authoritative: [`detected`] is consulted only
+/// when [`DISPATCH_ENV`] is unset.
 fn resolve_env() -> Result<Dispatch, DispatchError> {
     match std::env::var(DISPATCH_ENV) {
         Ok(value) => check_supported(Dispatch::from_name(&value)?),
-        Err(_) => Ok(if simd_supported() {
-            Dispatch::Simd
-        } else {
-            Dispatch::Swar
-        }),
+        Err(_) => Ok(detected()),
     }
 }
 
@@ -257,7 +274,9 @@ pub fn try_active() -> Result<Dispatch, DispatchError> {
 }
 
 /// The session's dispatch tier: [`force`] override, then
-/// [`DISPATCH_ENV`], then detection (`Simd` where supported, else `Swar`).
+/// [`DISPATCH_ENV`], then detection (`Simd` where supported; otherwise
+/// `Scalar` on x86-64 — where SWAR measures slower than the scalar loop —
+/// and `Swar` elsewhere).
 ///
 /// # Panics
 ///
@@ -1201,6 +1220,27 @@ mod tests {
         ));
         let err = Dispatch::from_name("AVX2").unwrap_err();
         assert!(err.to_string().contains("AVX2"), "{err}");
+    }
+
+    #[test]
+    fn detection_fallback_is_architecture_aware() {
+        // Branches on the *runtime* host: with SIMD the fast tier wins; on
+        // an x86-64 host without AVX2 the fallback must be the scalar loop
+        // (SWAR measures ~2× slower there, docs/BENCHMARKS.md), and only
+        // non-x86 hosts without SIMD keep SWAR.
+        let tier = detected();
+        if simd_supported() {
+            assert_eq!(tier, Dispatch::Simd);
+        } else if cfg!(target_arch = "x86_64") {
+            assert_eq!(
+                tier,
+                Dispatch::Scalar,
+                "x86-64 without AVX2 must not auto-select the slower SWAR tier"
+            );
+        } else {
+            assert_eq!(tier, Dispatch::Swar);
+        }
+        assert!(tier.is_supported(), "detection picked an unsupported tier");
     }
 
     #[test]

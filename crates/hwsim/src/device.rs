@@ -184,6 +184,17 @@ impl EventorDevice {
         self.dram.reset();
     }
 
+    /// Overwrites the DSI region with a snapshotted score image (the
+    /// checkpoint-restore path: a host-side DMA that bypasses the Vote
+    /// Execute Unit, so access statistics are untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` does not cover the DSI region exactly.
+    pub fn load_dsi(&mut self, scores: &[u16]) {
+        self.dram.load_scores(scores);
+    }
+
     /// Stages a frame job and performs the DMA transfer into the input
     /// buffers, returning the transfer cycles.
     ///

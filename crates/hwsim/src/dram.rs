@@ -211,6 +211,22 @@ impl DsiDram {
         self.stats.resets += 1;
     }
 
+    /// Overwrites the whole score array without touching the statistics — the
+    /// checkpoint-restore path, which re-images a snapshotted DSI into the
+    /// memory model (a host-side DMA, not Vote Execute Unit traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` does not cover the volume exactly.
+    pub fn load_scores(&mut self, scores: &[u16]) {
+        assert_eq!(
+            scores.len(),
+            self.scores.len(),
+            "score image must cover the DSI region exactly"
+        );
+        self.scores.copy_from_slice(scores);
+    }
+
     /// Sum of all scores (equals the number of applied votes as long as no
     /// voxel saturated).
     pub fn total_score(&self) -> u64 {
@@ -310,6 +326,22 @@ mod tests {
     #[should_panic]
     fn zero_dimension_panics() {
         let _ = DsiDram::new(0, 10, 10);
+    }
+
+    #[test]
+    fn load_scores_overwrites_without_stats() {
+        let mut dram = DsiDram::new(4, 4, 2);
+        let image: Vec<u16> = (0..32).collect();
+        dram.load_scores(&image);
+        assert_eq!(dram.scores(), image.as_slice());
+        assert_eq!(dram.stats(), DramStats::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_scores_rejects_wrong_length() {
+        let mut dram = DsiDram::new(4, 4, 2);
+        dram.load_scores(&[0; 3]);
     }
 
     #[test]

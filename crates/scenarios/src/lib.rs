@@ -59,7 +59,8 @@ pub use golden::{golden_digest, GOLDEN_DIGESTS};
 pub use invariants::{check_invariant, Invariant, Violation, F1_MAX_DIFF_FRACTION};
 pub use noise::{apply_noise, BurstNoise, DropoutNoise, NoiseStage};
 pub use runner::{
-    digest_output, digest_world, run_world, serve_worlds, session_for_profile, BackendKind,
+    builder_for_profile, digest_output, digest_world, run_world, serve_worlds, session_for_profile,
+    BackendKind,
 };
 pub use shrink::{minimize_spec, run_fuzz, FuzzOptions, FuzzReport, WorldReport};
 pub use worlds::{corpus, find, heterogeneous_pool, CorpusScenario};

@@ -83,6 +83,19 @@ pub fn session_for_profile(
     config: eventor_emvs::EmvsConfig,
     backend: BackendKind,
 ) -> Result<EventorSession, EmvsError> {
+    builder_for_profile(camera, config, backend).build()
+}
+
+/// The configured-but-unbuilt form of [`session_for_profile`]: the same
+/// per-backend options, returned as the builder. Checkpoint-aware
+/// front-ends need this shape — a resumed session comes from
+/// [`SessionBuilder::restore`](eventor_core::SessionBuilder::restore), not
+/// `build()`, but must run with the exact golden-path options either way.
+pub fn builder_for_profile(
+    camera: eventor_geom::CameraModel,
+    config: eventor_emvs::EmvsConfig,
+    backend: BackendKind,
+) -> eventor_core::SessionBuilder {
     let builder = EventorSession::builder(camera, config);
     match backend {
         BackendKind::Software | BackendKind::Serve => {
@@ -94,7 +107,6 @@ pub fn session_for_profile(
         ),
         BackendKind::Cosim => builder.cosim(AcceleratorConfig::default()),
     }
-    .build()
 }
 
 pub(crate) fn session_for(

@@ -3,8 +3,9 @@
 
 use crate::metrics::{per_second, ServeMetrics, SessionMetrics, SessionStatus};
 use crate::queue::IngestQueue;
-use eventor_core::{EventorSession, SessionOutput};
-use eventor_emvs::{run_sharded, EmvsError, SessionEvent};
+use eventor_core::SessionOutput;
+use eventor_core::{EventorOptions, EventorSession, SessionCheckpoint};
+use eventor_emvs::{run_sharded, EmvsError, ParallelConfig, SessionEvent};
 use eventor_events::{Event, EventStream};
 use eventor_geom::{Pose, Trajectory};
 use std::fmt;
@@ -195,6 +196,14 @@ pub enum ServeError {
         /// The underlying session-layer error.
         source: EmvsError,
     },
+    /// A [`SessionCheckpoint`] could not be resumed into this engine
+    /// (unknown backend kind, incompatible vote state, inconsistent
+    /// checkpoint). Unlike [`ServeError::Session`] there is no session to
+    /// blame: admission never happened.
+    Resume {
+        /// The underlying checkpoint error.
+        source: EmvsError,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -205,6 +214,7 @@ impl fmt::Display for ServeError {
                 write!(f, "{session} is closed and accepts no more input")
             }
             Self::Session { session, source } => write!(f, "{session}: {source}"),
+            Self::Resume { source } => write!(f, "cannot resume checkpoint: {source}"),
         }
     }
 }
@@ -213,6 +223,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Session { source, .. } => Some(source),
+            Self::Resume { source } => Some(source),
             _ => None,
         }
     }
@@ -698,6 +709,90 @@ impl ServeEngine {
             });
         }
         Ok(())
+    }
+
+    /// Captures a live session as a durable [`SessionCheckpoint`] without
+    /// disturbing it — the session keeps serving afterwards. `origin` is
+    /// recorded verbatim for the resume side (e.g. the scenario and seed
+    /// that generated the stream).
+    ///
+    /// The session's ingest queue must be fully drained
+    /// ([`pump`](Self::pump) until idle): queued-but-uningested input is
+    /// client state the checkpoint would silently lose.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`]; [`ServeError::SessionClosed`] when
+    /// the session already finished; [`ServeError::Session`] wrapping
+    /// [`EmvsError::Checkpoint`] when the queue still holds input, a sticky
+    /// failure is recorded, or the session layer refuses the snapshot.
+    pub fn checkpoint_session(
+        &mut self,
+        id: SessionId,
+        origin: &str,
+    ) -> Result<SessionCheckpoint, ServeError> {
+        let slot = self.slot_mut(id)?;
+        let Some(session) = slot.session.as_mut() else {
+            return Err(ServeError::SessionClosed { session: id });
+        };
+        let refuse = |reason: String| ServeError::Session {
+            session: id,
+            source: EmvsError::Checkpoint { reason },
+        };
+        if let Some(error) = &slot.error {
+            return Err(refuse(format!(
+                "session has a recorded failure ({error}); resolve it before checkpointing"
+            )));
+        }
+        if slot.queue.depth() > 0 || !slot.queue.poses.is_empty() {
+            return Err(refuse(format!(
+                "{} events and {} poses still queued: pump() until idle before checkpointing",
+                slot.queue.depth(),
+                slot.queue.poses.len()
+            )));
+        }
+        session
+            .snapshot(origin)
+            .map_err(|source| ServeError::Session {
+                session: id,
+                source,
+            })
+    }
+
+    /// Admits a session resumed from a [`SessionCheckpoint`], on the backend
+    /// kind recorded in the checkpoint: `"software"`, `"sharded"` (one shard
+    /// per checkpointed vote tile, preserving bit-exactness) or `"cosim"`.
+    /// Emits [`ServeEvent::SessionAdmitted`] like any admission.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Resume`] wrapping [`EmvsError::Checkpoint`] for an
+    /// unknown backend kind, an incompatible vote state or an internally
+    /// inconsistent checkpoint.
+    pub fn resume_session(
+        &mut self,
+        checkpoint: SessionCheckpoint,
+    ) -> Result<SessionId, ServeError> {
+        let builder = EventorSession::builder(*checkpoint.camera(), checkpoint.config().clone());
+        let builder = match checkpoint.backend_kind() {
+            "software" => builder.software(EventorOptions::accelerator()),
+            "sharded" => builder.sharded(
+                EventorOptions::accelerator(),
+                ParallelConfig::with_shards(checkpoint.driver().vote_state.tile_count().max(1)),
+            ),
+            "cosim" => builder.cosim(eventor_hwsim::AcceleratorConfig::default()),
+            other => {
+                return Err(ServeError::Resume {
+                    source: EmvsError::Checkpoint {
+                        reason: format!("unknown backend kind '{other}'"),
+                    },
+                })
+            }
+        };
+        let session = builder
+            .restore(checkpoint)
+            .map_err(|source| ServeError::Resume { source })?;
+        Ok(self.admit(session))
     }
 
     /// Runs one fair scheduling round over the worker pool: every runnable
@@ -1406,6 +1501,98 @@ mod tests {
             // The *whole* stream was served, not a truncated prefix.
             assert_eq!(output.output.profile.events_processed, events.len() as u64);
         }
+    }
+
+    #[test]
+    fn checkpointed_session_resumes_to_the_identical_output() {
+        let seq = sequence();
+        let events = seq.events.as_slice();
+        let mut engine = ServeEngine::new(ServeConfig::new().with_workers(2));
+        let id = engine.admit(session_for(&seq));
+        engine.enqueue_trajectory(id, &seq.trajectory).unwrap();
+
+        // A checkpoint with queued input is refused: it would lose client
+        // state.
+        engine.enqueue_events(id, &events[..100]).unwrap();
+        let err = engine.checkpoint_session(id, "origin").unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Session {
+                source: EmvsError::Checkpoint { .. },
+                ..
+            }
+        ));
+
+        // Serve half the stream, drain the queue, checkpoint mid-flight.
+        let cut = events.len() / 2;
+        let mut offset = 100usize;
+        while offset < cut {
+            offset += engine.enqueue_events(id, &events[offset..cut]).unwrap();
+            engine.pump();
+        }
+        while engine.session_metrics(id).unwrap().queue_depth > 0 {
+            engine.pump();
+        }
+        let checkpoint = engine.checkpoint_session(id, "serve-test").unwrap();
+        assert_eq!(checkpoint.origin(), "serve-test");
+        assert_eq!(checkpoint.backend_kind(), "software");
+
+        // Kill the original (client vanished), resume from the checkpoint,
+        // serve the remainder: the terminal output must equal the
+        // uninterrupted run bit for bit.
+        engine
+            .abort(
+                id,
+                EmvsError::InvalidConfig {
+                    reason: "client went away".into(),
+                },
+            )
+            .unwrap();
+        let resumed = engine.resume_session(checkpoint).unwrap();
+        let mut offset = cut;
+        while offset < events.len() {
+            offset += engine.enqueue_events(resumed, &events[offset..]).unwrap();
+            engine.pump();
+        }
+        let output = engine.finish_session(resumed).unwrap();
+
+        let mut reference = session_for(&seq);
+        reference.push_trajectory(&seq.trajectory).unwrap();
+        reference.push_events(events).unwrap();
+        let expected = reference.finish().unwrap();
+        assert_eq!(
+            output.output.keyframes.len(),
+            expected.output.keyframes.len()
+        );
+        for (got, want) in output
+            .output
+            .keyframes
+            .iter()
+            .zip(&expected.output.keyframes)
+        {
+            assert_eq!(got.depth_map.depth_data(), want.depth_map.depth_data());
+            assert_eq!(got.votes_cast, want.votes_cast);
+        }
+
+        // Resuming an unknown backend kind is a typed resume error.
+        let mut bad = session_for(&seq);
+        bad.push_trajectory(&seq.trajectory).unwrap();
+        bad.push_events(&events[..cut]).unwrap();
+        bad.poll().unwrap();
+        let ckpt = bad.snapshot("origin").unwrap();
+        let bytes = ckpt.encode();
+        // Patch the backend-kind string in the payload ("software" follows
+        // the origin string).
+        let mut patched = bytes.clone();
+        let kind_at = 4 + "origin".len() + 4;
+        patched[kind_at.."software".len() + kind_at].copy_from_slice(b"softwarX");
+        let forged = SessionCheckpoint::decode(&patched).unwrap();
+        assert!(matches!(
+            engine.resume_session(forged),
+            Err(ServeError::Resume {
+                source: EmvsError::Checkpoint { .. }
+            })
+        ));
     }
 
     #[test]

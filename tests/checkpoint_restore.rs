@@ -1,0 +1,361 @@
+//! The kill-and-restore acceptance bar of the checkpoint subsystem
+//! (`docs/ARCHITECTURE.md` §CKPT): a session checkpointed mid-flight into an
+//! `eventor-evtr/1` `CKPT` section, **dropped**, and restored from the
+//! container bytes alone must finish with output **bit-identical** to the
+//! uninterrupted run — for every corpus scenario, every backend, and
+//! arbitrary (proptest-chosen) packet boundaries. The committed golden
+//! digests pin both sides, so a restore that silently loses a pending event,
+//! a vote, or a window boundary fails CI by scenario name.
+
+use eventor::core::{SessionCheckpoint, SessionOutput};
+use eventor::emvs::EmvsError;
+use eventor::scenarios::{
+    builder_for_profile, corpus, digest_output, find, golden_digest, BackendKind, Scenario,
+    ScenarioWorld,
+};
+use eventor::serve::{ServeConfig, ServeEngine};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The backends a checkpoint can be taken on and restored to. `Serve` is
+/// covered separately through the engine faces
+/// ([`serve_tier_kill_and_resume_reproduces_the_golden_digest`]).
+const BACKENDS: [BackendKind; 3] = [
+    BackendKind::Software,
+    BackendKind::Sharded,
+    BackendKind::Cosim,
+];
+
+/// Worlds used across the suite, built once (simulation dominates debug
+/// runtime).
+fn world(name: &str) -> &'static ScenarioWorld {
+    static POOL: OnceLock<
+        std::sync::Mutex<std::collections::HashMap<String, &'static ScenarioWorld>>,
+    > = OnceLock::new();
+    let pool = POOL.get_or_init(Default::default);
+    let mut guard = pool.lock().expect("world pool lock");
+    if let Some(world) = guard.get(name) {
+        return world;
+    }
+    let s = find(name).expect("corpus scenario exists");
+    let world: &'static ScenarioWorld = Box::leak(Box::new(
+        s.build(s.default_seed()).expect("corpus world builds"),
+    ));
+    guard.insert(name.to_string(), world);
+    world
+}
+
+/// Runs `world` uninterrupted on `backend` (the control arm of every
+/// equivalence below).
+fn run_uninterrupted(world: &ScenarioWorld, backend: BackendKind) -> SessionOutput {
+    let mut session = builder_for_profile(world.camera, world.config.clone(), backend)
+        .build()
+        .expect("session builds");
+    session
+        .push_trajectory(&world.trajectory)
+        .expect("trajectory pushes");
+    let events = world.events.as_slice();
+    let mut offset = 0usize;
+    while offset < events.len() {
+        offset += session.push_events(&events[offset..]).expect("events push");
+        session.poll().expect("poll succeeds");
+    }
+    session.finish().expect("session finishes")
+}
+
+/// Feeds `world` into a fresh `backend` session up to event `cut`, snapshots
+/// it into serialized `eventor-evtr/1` container bytes, and **drops the
+/// session** — the kill. Only the returned bytes survive.
+fn kill_at(world: &ScenarioWorld, backend: BackendKind, cut: usize) -> Vec<u8> {
+    let mut session = builder_for_profile(world.camera, world.config.clone(), backend)
+        .build()
+        .expect("session builds");
+    session
+        .push_trajectory(&world.trajectory)
+        .expect("trajectory pushes");
+    let events = &world.events.as_slice()[..cut];
+    let mut offset = 0usize;
+    while offset < events.len() {
+        offset += session.push_events(&events[offset..]).expect("events push");
+        session.poll().expect("poll succeeds");
+    }
+    let origin = format!("scenario={} seed={:#x}", world.name, world.seed);
+    let checkpoint = session.snapshot(&origin).expect("snapshot succeeds");
+    let mut bytes = Vec::new();
+    checkpoint
+        .write_to(&mut bytes)
+        .expect("checkpoint serializes");
+    drop(session);
+    bytes
+}
+
+/// Restores a session from container `bytes` on `backend`, feeds it the
+/// remainder of the stream from `cut`, and finishes it.
+fn restore_and_finish(
+    world: &ScenarioWorld,
+    backend: BackendKind,
+    bytes: &[u8],
+    cut: usize,
+) -> SessionOutput {
+    let checkpoint = SessionCheckpoint::read_from(bytes)
+        .expect("container reads")
+        .expect("payload decodes");
+    assert_eq!(
+        checkpoint.origin(),
+        format!("scenario={} seed={:#x}", world.name, world.seed),
+        "origin string survives the round trip"
+    );
+    assert_eq!(checkpoint.events_pushed(), cut as u64);
+    let mut session = builder_for_profile(world.camera, world.config.clone(), backend)
+        .restore(checkpoint)
+        .expect("restore succeeds");
+    let events = world.events.as_slice();
+    let mut offset = cut;
+    while offset < events.len() {
+        offset += session.push_events(&events[offset..]).expect("events push");
+        session.poll().expect("poll succeeds");
+    }
+    session.finish().expect("restored session finishes")
+}
+
+fn assert_bit_identical(a: &SessionOutput, b: &SessionOutput, label: &str) {
+    let (a, b) = (&a.output, &b.output);
+    assert_eq!(a.keyframes.len(), b.keyframes.len(), "{label}: keyframes");
+    for (i, (x, y)) in a.keyframes.iter().zip(&b.keyframes).enumerate() {
+        assert_eq!(x.votes_cast, y.votes_cast, "{label} keyframe {i}: votes");
+        assert_eq!(x.frames_used, y.frames_used, "{label} keyframe {i}: frames");
+        assert_eq!(x.events_used, y.events_used, "{label} keyframe {i}: events");
+        assert_eq!(
+            x.depth_map.depth_data(),
+            y.depth_map.depth_data(),
+            "{label} keyframe {i}: depth map"
+        );
+    }
+}
+
+/// The headline sweep: **every** corpus scenario × every backend, killed at
+/// the stream midpoint and restored from bytes, reproduces the committed
+/// golden digest.
+#[test]
+fn every_scenario_and_backend_survives_a_midpoint_kill_and_restore() {
+    for scenario in corpus() {
+        let world = world(scenario.name());
+        let golden = golden_digest(&world.name).expect("scenario has a committed golden");
+        for backend in BACKENDS {
+            let cut = world.events.len() / 2;
+            let bytes = kill_at(world, backend, cut);
+            let restored = restore_and_finish(world, backend, &bytes, cut);
+            assert_eq!(
+                digest_output(&restored),
+                golden,
+                "{} on {backend}: restored run diverged from the golden digest",
+                world.name
+            );
+        }
+    }
+}
+
+/// Beyond the digest: the restored run is bit-identical to the uninterrupted
+/// run in every output field, on every backend, at awkward non-midpoint cuts.
+#[test]
+fn restored_output_is_bit_identical_to_the_uninterrupted_run() {
+    let world = world("shake_closeup");
+    for backend in BACKENDS {
+        let uninterrupted = run_uninterrupted(world, backend);
+        for cut in [1usize, world.events.len() / 3, world.events.len() - 1] {
+            let bytes = kill_at(world, backend, cut);
+            let restored = restore_and_finish(world, backend, &bytes, cut);
+            assert_bit_identical(
+                &uninterrupted,
+                &restored,
+                &format!("{backend}, cut at {cut}"),
+            );
+        }
+    }
+}
+
+/// Degenerate boundaries: a checkpoint before the first event and one after
+/// the last event (but before `finish`) both restore to the golden output.
+#[test]
+fn edge_cuts_restore_exactly() {
+    let world = world("orbit_burst");
+    let golden = golden_digest(&world.name).expect("golden");
+    for cut in [0usize, world.events.len()] {
+        let bytes = kill_at(world, BackendKind::Software, cut);
+        let restored = restore_and_finish(world, BackendKind::Software, &bytes, cut);
+        assert_eq!(
+            digest_output(&restored),
+            golden,
+            "cut at {cut} of {} events",
+            world.events.len()
+        );
+    }
+}
+
+/// Checkpoints chain: a restored session is itself checkpointable, and a
+/// twice-killed run still lands on the golden digest.
+#[test]
+fn a_restored_session_can_be_checkpointed_again() {
+    let world = world("shake_closeup");
+    let golden = golden_digest(&world.name).expect("golden");
+    let events = world.events.as_slice();
+    let (c1, c2) = (events.len() / 4, 3 * events.len() / 4);
+
+    let bytes = kill_at(world, BackendKind::Sharded, c1);
+    let checkpoint = SessionCheckpoint::read_from(bytes.as_slice())
+        .expect("container reads")
+        .expect("payload decodes");
+    let mut session = builder_for_profile(world.camera, world.config.clone(), BackendKind::Sharded)
+        .restore(checkpoint)
+        .expect("first restore");
+    let mut offset = c1;
+    while offset < c2 {
+        offset += session.push_events(&events[offset..c2]).expect("push");
+        session.poll().expect("poll");
+    }
+    let origin = format!("scenario={} seed={:#x}", world.name, world.seed);
+    let second = session.snapshot(&origin).expect("second snapshot");
+    let mut bytes2 = Vec::new();
+    second.write_to(&mut bytes2).expect("second serializes");
+    drop(session);
+
+    let restored = restore_and_finish(world, BackendKind::Sharded, &bytes2, c2);
+    assert_eq!(
+        digest_output(&restored),
+        golden,
+        "twice-killed run diverged"
+    );
+}
+
+/// Quantized vote tiles are exact under saturating u16 merge, so a
+/// checkpoint taken on one backend restores on any other: the session
+/// migrates software → sharded → cosim mid-stream and still reproduces the
+/// golden digest.
+#[test]
+fn checkpoint_migrates_across_backends_mid_stream() {
+    let world = world("orbit_dense");
+    let golden = golden_digest(&world.name).expect("golden");
+    let events = world.events.as_slice();
+    let (c1, c2) = (events.len() / 3, 2 * events.len() / 3);
+
+    // Leg 1: software up to c1.
+    let bytes = kill_at(world, BackendKind::Software, c1);
+    // Leg 2: sharded from c1 to c2.
+    let checkpoint = SessionCheckpoint::read_from(bytes.as_slice())
+        .expect("container reads")
+        .expect("payload decodes");
+    assert_eq!(checkpoint.backend_kind(), "software");
+    let mut session = builder_for_profile(world.camera, world.config.clone(), BackendKind::Sharded)
+        .restore(checkpoint)
+        .expect("software checkpoint restores on sharded");
+    let mut offset = c1;
+    while offset < c2 {
+        offset += session.push_events(&events[offset..c2]).expect("push");
+        session.poll().expect("poll");
+    }
+    let origin = format!("scenario={} seed={:#x}", world.name, world.seed);
+    let mid = session.snapshot(&origin).expect("sharded snapshot");
+    let mut bytes2 = Vec::new();
+    mid.write_to(&mut bytes2).expect("serializes");
+    drop(session);
+    // Leg 3: cosim from c2 to the end.
+    let restored = restore_and_finish(world, BackendKind::Cosim, &bytes2, c2);
+    assert_eq!(
+        digest_output(&restored),
+        golden,
+        "software→sharded→cosim migration diverged from the golden digest"
+    );
+}
+
+/// The serving tier's kill-and-resume: a session admitted into a
+/// `ServeEngine`, checkpointed at an idle point, **aborted**, and resumed on
+/// a fresh engine finishes to the committed golden digest.
+#[test]
+fn serve_tier_kill_and_resume_reproduces_the_golden_digest() {
+    let world = world("spiral_multiplane");
+    let golden = golden_digest(&world.name).expect("golden");
+    let events = world.events.as_slice();
+    let cut = events.len() / 2;
+
+    let mut engine = ServeEngine::new(ServeConfig::new());
+    let session = builder_for_profile(world.camera, world.config.clone(), BackendKind::Serve)
+        .build()
+        .expect("session builds");
+    let id = engine.admit(session);
+    engine
+        .enqueue_trajectory(id, &world.trajectory)
+        .expect("trajectory enqueues");
+    let mut offset = 0usize;
+    while offset < cut {
+        offset += engine
+            .enqueue_events(id, &events[offset..cut])
+            .expect("events enqueue");
+        engine.pump();
+    }
+    while engine.session_metrics(id).expect("metrics").queue_depth > 0 {
+        engine.pump();
+    }
+    let checkpoint = engine
+        .checkpoint_session(id, "serve kill-and-resume drill")
+        .expect("idle session checkpoints");
+    let mut bytes = Vec::new();
+    checkpoint.write_to(&mut bytes).expect("serializes");
+    // The kill: the original session errors out and is gone for good.
+    engine
+        .abort(
+            id,
+            EmvsError::InvalidConfig {
+                reason: "injected operator kill".into(),
+            },
+        )
+        .expect("abort lands");
+    drop(engine);
+
+    let checkpoint = SessionCheckpoint::read_from(bytes.as_slice())
+        .expect("container reads")
+        .expect("payload decodes");
+    let mut engine = ServeEngine::new(ServeConfig::new());
+    let id = engine.resume_session(checkpoint).expect("resume admits");
+    let mut offset = cut;
+    while offset < events.len() {
+        offset += engine
+            .enqueue_events(id, &events[offset..])
+            .expect("events enqueue");
+        engine.pump();
+    }
+    let output = engine.finish_session(id).expect("resumed session finishes");
+    assert_eq!(
+        digest_output(&output),
+        golden,
+        "serve-tier resume diverged from the golden digest"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The property form of the headline: a **proptest-chosen** kill point
+    /// anywhere in the stream, on a proptest-chosen backend, restores to the
+    /// golden digest.
+    #[test]
+    fn any_kill_point_on_any_backend_restores_to_golden(
+        numerator in 0usize..1000,
+        backend_index in 0usize..3,
+    ) {
+        let world = world("orbit_burst");
+        let golden = golden_digest(&world.name).expect("golden");
+        let backend = BACKENDS[backend_index];
+        let cut = world.events.len() * numerator / 1000;
+        let bytes = kill_at(world, backend, cut);
+        let restored = restore_and_finish(world, backend, &bytes, cut);
+        prop_assert_eq!(
+            digest_output(&restored),
+            golden,
+            "{} on {}: kill at {} of {} events diverged",
+            world.name.as_str(),
+            backend,
+            cut,
+            world.events.len()
+        );
+    }
+}

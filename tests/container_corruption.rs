@@ -1,0 +1,309 @@
+//! Structure-aware corruption tests for the `eventor-evtr/1` checkpoint
+//! container (`docs/ARCHITECTURE.md` §CKPT): **every** single-byte flip and
+//! **every** truncation of a CKPT-bearing container must surface as a typed
+//! [`EventError`] — never a panic, never an unbounded allocation, never a
+//! silently-wrong restore. Corruption that survives a checksum re-seal (the
+//! attacker/bitrot model where the payload is doctored consistently) must
+//! stay inside the *inner* error domain ([`EmvsError::Checkpoint`]) or
+//! decode to a structurally valid checkpoint — the two-domain split the CLI
+//! maps to exit codes 4 and 7.
+
+use eventor::core::{EventorOptions, EventorSession, SessionCheckpoint};
+use eventor::emvs::{EmvsConfig, EmvsError};
+use eventor::events::{fnv1a_64, read_evtr, write_evtr, Event, EventStream, Polarity};
+use eventor::geom::{CameraIntrinsics, CameraModel, DistortionModel, Pose, Trajectory, Vec3};
+use eventor::scenarios::{builder_for_profile, find, BackendKind, Scenario};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Container layout constants under test (see `eventor_events::write_ckpt`):
+/// 16-byte file header, 12-byte section header, 4-byte CKPT version, payload,
+/// 8-byte trailing FNV-1a 64 checksum.
+const PAYLOAD_START: usize = 16 + 4 + 8 + 4;
+const CHECKSUM_LEN: usize = 8;
+
+/// A deliberately tiny mid-flight checkpoint: a 16×12 sensor and a 4-plane
+/// DSI keep the exported vote volume (and with it the whole container) to a
+/// few kilobytes, so the byte-exhaustive sweeps stay cheap — while every
+/// structural field (trajectory, pending events, vote tiles) is present.
+fn tiny_container() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let camera = CameraModel::new(
+            CameraIntrinsics::new(10.0, 10.0, 8.0, 6.0, 16, 12).expect("valid intrinsics"),
+            DistortionModel::none(),
+        );
+        let config = EmvsConfig {
+            num_depth_planes: 4,
+            ..EmvsConfig::default()
+        };
+        let mut session = EventorSession::builder(camera, config)
+            .software(EventorOptions::accelerator())
+            .build()
+            .expect("session builds");
+        let trajectory = Trajectory::linear(
+            Pose::identity(),
+            Pose::from_translation(Vec3::new(0.1, 0.0, 0.0)),
+            0.0,
+            1.0,
+            4,
+        );
+        session
+            .push_trajectory(&trajectory)
+            .expect("trajectory pushes");
+        let events: Vec<Event> = (0..8)
+            .map(|i| {
+                Event::new(
+                    0.1 + 0.05 * f64::from(i),
+                    2 + i as u16,
+                    6,
+                    Polarity::Positive,
+                )
+            })
+            .collect();
+        session.push_events(&events).expect("events push");
+        session.poll().expect("poll succeeds");
+        let checkpoint = session
+            .snapshot("scenario=tiny seed=0x1")
+            .expect("snapshot succeeds");
+        let mut bytes = Vec::new();
+        checkpoint.write_to(&mut bytes).expect("serializes");
+        bytes
+    })
+}
+
+/// A realistic checkpoint (corpus world, retired key frames, vote tiles) for
+/// the randomized body sweeps.
+fn big_container() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let s = find("shake_closeup").expect("corpus scenario");
+        let world = s.build(s.default_seed()).expect("world builds");
+        let mut session =
+            builder_for_profile(world.camera, world.config.clone(), BackendKind::Software)
+                .build()
+                .expect("session builds");
+        session
+            .push_trajectory(&world.trajectory)
+            .expect("trajectory pushes");
+        let events = world.events.as_slice();
+        let cut = 3 * events.len() / 4;
+        let mut offset = 0usize;
+        while offset < cut {
+            offset += session.push_events(&events[offset..cut]).expect("push");
+            session.poll().expect("poll");
+        }
+        let checkpoint = session
+            .snapshot("scenario=shake_closeup seed=0x0")
+            .expect("snapshot");
+        let mut bytes = Vec::new();
+        checkpoint.write_to(&mut bytes).expect("serializes");
+        bytes
+    })
+}
+
+/// Recomputes the trailing checksum after a deliberate payload edit, so the
+/// container is *structurally* consistent and the corruption reaches the
+/// inner decoder.
+fn reseal(bytes: &mut [u8]) {
+    let n = bytes.len();
+    let checksum = fnv1a_64(&bytes[..n - CHECKSUM_LEN]);
+    bytes[n - CHECKSUM_LEN..].copy_from_slice(&checksum.to_le_bytes());
+}
+
+/// Every single-byte corruption of the container — header, section header,
+/// CKPT version, payload, checksum — is a typed [`EventError`]: the
+/// checksum (or, for the checksum bytes themselves, the verification)
+/// catches all of them before the payload decoder ever runs.
+#[test]
+fn every_single_byte_flip_is_a_typed_container_error() {
+    let bytes = tiny_container();
+    for at in 0..bytes.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut corrupted = bytes.to_vec();
+            corrupted[at] ^= mask;
+            let result = SessionCheckpoint::read_from(corrupted.as_slice());
+            assert!(
+                result.is_err(),
+                "byte {at} ^ {mask:#04x}: corruption went undetected"
+            );
+        }
+    }
+}
+
+/// Every truncation — from the empty file to one byte short — is a typed
+/// [`EventError`].
+#[test]
+fn every_truncation_is_a_typed_container_error() {
+    let bytes = tiny_container();
+    for len in 0..bytes.len() {
+        let result = SessionCheckpoint::read_from(&bytes[..len]);
+        assert!(
+            result.is_err(),
+            "truncation to {len} of {} bytes went undetected",
+            bytes.len()
+        );
+    }
+}
+
+/// The re-seal model: a payload byte is doctored *and* the checksum is
+/// recomputed, so the container itself verifies. The corruption must then
+/// either decode to a structurally valid checkpoint (byte-flips can land on
+/// legal values) or fail as the **inner** [`EmvsError::Checkpoint`] — and
+/// must never panic or allocate unboundedly, even when the flip lands on a
+/// length-prefix field.
+#[test]
+fn resealed_payload_corruption_stays_in_the_inner_error_domain() {
+    let bytes = tiny_container();
+    let payload_end = bytes.len() - CHECKSUM_LEN;
+    for at in PAYLOAD_START..payload_end {
+        for mask in [0x01u8, 0xFF] {
+            let mut corrupted = bytes.to_vec();
+            corrupted[at] ^= mask;
+            reseal(&mut corrupted);
+            match SessionCheckpoint::read_from(corrupted.as_slice()) {
+                Ok(Ok(_)) => {}
+                Ok(Err(EmvsError::Checkpoint { .. })) => {}
+                Ok(Err(other)) => {
+                    panic!("byte {at} ^ {mask:#04x}: unexpected inner error {other}")
+                }
+                Err(e) => panic!(
+                    "byte {at} ^ {mask:#04x}: resealed container failed the outer \
+                     domain: {e}"
+                ),
+            }
+        }
+    }
+}
+
+/// A length-prefix doctored to the maximum must be refused by the decoder's
+/// allocation guard (a typed error naming the field), not attempted.
+#[test]
+fn forged_huge_length_prefixes_are_refused_not_allocated() {
+    let bytes = tiny_container();
+    // The first payload field is the origin string's length prefix.
+    let mut corrupted = bytes.to_vec();
+    corrupted[PAYLOAD_START..PAYLOAD_START + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    reseal(&mut corrupted);
+    match SessionCheckpoint::read_from(corrupted.as_slice()) {
+        Ok(Err(EmvsError::Checkpoint { reason })) => {
+            assert!(
+                reason.contains("origin"),
+                "error should name the corrupted field: {reason}"
+            );
+        }
+        other => panic!("forged length must be the inner domain, got {other:?}"),
+    }
+}
+
+/// Cross-format confusion is typed in both directions: a record/replay
+/// container is not a checkpoint, and a checkpoint is not a record.
+#[test]
+fn record_and_checkpoint_containers_are_not_interchangeable() {
+    // A genuine record/replay container…
+    let events: EventStream =
+        std::iter::once(Event::new(0.5, 10, 10, Polarity::Positive)).collect();
+    let trajectory = Trajectory::linear(
+        Pose::identity(),
+        Pose::from_translation(Vec3::new(0.1, 0.0, 0.0)),
+        0.0,
+        1.0,
+        2,
+    );
+    let mut record = Vec::new();
+    write_evtr(&events, &trajectory, &mut record).expect("record writes");
+    // …refused as a checkpoint, with a redirecting message.
+    match SessionCheckpoint::read_from(record.as_slice()) {
+        Err(e) => {
+            let text = e.to_string();
+            assert!(text.contains("replay"), "should redirect the user: {text}");
+        }
+        Ok(_) => panic!("a record/replay container must not read as a checkpoint"),
+    }
+    // And a genuine checkpoint is refused as a record.
+    assert!(
+        read_evtr(tiny_container()).is_err(),
+        "a checkpoint container must not read as a record"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized single-byte flips over the full-size realistic container
+    /// (retired key frames, vote tiles): always a typed outer error.
+    #[test]
+    fn random_flips_in_a_realistic_container_are_typed_errors(
+        numerator in 0usize..10_000,
+        mask in 1usize..256,
+    ) {
+        let bytes = big_container();
+        let at = bytes.len() * numerator / 10_000;
+        let mut corrupted = bytes.to_vec();
+        corrupted[at] ^= mask as u8;
+        prop_assert!(
+            SessionCheckpoint::read_from(corrupted.as_slice()).is_err(),
+            "byte {} ^ {:#04x} went undetected", at, mask
+        );
+    }
+
+    /// Randomized truncations of the realistic container: always a typed
+    /// outer error.
+    #[test]
+    fn random_truncations_of_a_realistic_container_are_typed_errors(
+        numerator in 0usize..10_000,
+    ) {
+        let bytes = big_container();
+        let len = bytes.len() * numerator / 10_000;
+        prop_assert!(
+            SessionCheckpoint::read_from(&bytes[..len]).is_err(),
+            "truncation to {} of {} bytes went undetected", len, bytes.len()
+        );
+    }
+
+    /// Randomized resealed payload corruption of the realistic container:
+    /// multi-byte stretches are zeroed, inverted or saturated and the
+    /// checksum recomputed — the result decodes or fails typed, never
+    /// panics.
+    #[test]
+    fn resealed_stretch_corruption_of_a_realistic_container_never_panics(
+        numerator in 0usize..10_000,
+        stretch in 1usize..64,
+        fill in 0usize..3,
+    ) {
+        let bytes = big_container();
+        let payload_end = bytes.len() - CHECKSUM_LEN;
+        let at = PAYLOAD_START
+            + (payload_end - PAYLOAD_START - 1) * numerator / 10_000;
+        let end = (at + stretch).min(payload_end);
+        let mut corrupted = bytes.to_vec();
+        for b in &mut corrupted[at..end] {
+            match fill {
+                0 => *b = 0x00,
+                1 => *b = 0xFF,
+                _ => *b ^= 0xA5,
+            }
+        }
+        reseal(&mut corrupted);
+        let outcome = SessionCheckpoint::read_from(corrupted.as_slice());
+        prop_assert!(
+            matches!(
+                outcome,
+                Ok(Ok(_)) | Ok(Err(EmvsError::Checkpoint { .. }))
+            ),
+            "bytes {}..{} fill {}: left the inner error domain: {:?}",
+            at, end, fill, outcome
+        );
+    }
+
+    /// Trailing garbage after the checksum is a framing error, not ignored.
+    #[test]
+    fn appended_garbage_is_a_typed_error(extra in 1usize..48) {
+        let mut corrupted = tiny_container().to_vec();
+        corrupted.extend(std::iter::repeat_n(0xEEu8, extra));
+        prop_assert!(
+            SessionCheckpoint::read_from(corrupted.as_slice()).is_err(),
+            "{} bytes of trailing garbage went undetected", extra
+        );
+    }
+}

@@ -338,7 +338,7 @@ fn cosim_survives_a_noisy_stream_and_stays_consistent_with_software() {
 
 use eventor::net::{
     code, read_frame, spawn_loopback, write_frame, IdleWait, ManifestSource, NetConfig,
-    SessionManifest, WireClient, WireFrame, DEFAULT_MAX_PAYLOAD,
+    SessionManifest, WireClient, WireError, WireFrame, DEFAULT_MAX_PAYLOAD,
 };
 use eventor::scenarios::{golden_digest, BackendKind};
 use eventor::serve::LoadShape;
@@ -522,4 +522,233 @@ fn duplicate_admission_is_rejected_and_the_connection_stays_usable() {
     assert!(matches!(ask(6, &admit), WireFrame::Admitted { .. }));
     assert!(matches!(ask(0, &WireFrame::Bye), WireFrame::ByeOk));
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Generative wire-protocol sequence fuzzing: **legal frames in illegal
+// orders**. Each case drives a random walk of well-formed `eventor-wire/1`
+// frames — admits, polls, event/pose batches, closes, discards, metrics —
+// against a model of the server's session state machine. Every illegal
+// ordering (poll before admit, duplicate admit, ingest after close, frames
+// after Bye) must earn its **typed** reply or `WireError`, and the
+// connection must stay usable afterwards; the server must never wedge,
+// never kill the connection for a session-level violation, and never leak a
+// reply class the protocol does not define for that state.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// Sends one frame and reads one reply, asserting the id echo.
+fn transact(stream: &mut std::net::TcpStream, session: u64, frame: &WireFrame) -> WireFrame {
+    write_frame(stream, session, frame).expect("request writes");
+    let (sid, reply) = read_frame(
+        stream,
+        DEFAULT_MAX_PAYLOAD,
+        Duration::from_secs(10),
+        IdleWait::Timeout(Duration::from_secs(10)),
+        &|| false,
+    )
+    .expect("reply reads");
+    assert_eq!(sid, session, "reply must echo the request's session id");
+    reply
+}
+
+/// Reads a Poll reply train (Lifecycle/DepthMap frames, then the PollDone
+/// terminator), asserting no foreign frame class sneaks in.
+fn drain_poll(stream: &mut std::net::TcpStream, session: u64) {
+    write_frame(stream, session, &WireFrame::Poll).expect("poll writes");
+    loop {
+        let (sid, reply) = read_frame(
+            stream,
+            DEFAULT_MAX_PAYLOAD,
+            Duration::from_secs(10),
+            IdleWait::Timeout(Duration::from_secs(10)),
+            &|| false,
+        )
+        .expect("poll reply reads");
+        assert_eq!(sid, session);
+        match reply {
+            WireFrame::Lifecycle { .. } | WireFrame::DepthMap(_) => {}
+            WireFrame::PollDone { .. } => return,
+            other => panic!("illegal frame in a poll train: {other:?}"),
+        }
+    }
+}
+
+/// Per-wire-id model of what the server must believe about a session.
+#[derive(Clone, Copy, Default)]
+struct ModelSession {
+    admitted: bool,
+    closed: bool,
+    /// Strictly increasing ingest clock (poses and events must stay
+    /// time-ordered — the walk explores *order* violations, not data ones).
+    ticks: u64,
+}
+
+/// Drives one randomized frame walk against a fresh loopback server and the
+/// model, then proves the connection still works and that post-Bye frames
+/// are typed connection errors.
+fn run_frame_walk(ops: &[(usize, u64)]) {
+    let server = spawn_loopback(NetConfig::new()).expect("server spawns");
+    let world = corpus_world("shake_closeup");
+    let admit = WireFrame::Admit {
+        manifest: scenario_manifest(&world, BackendKind::Software),
+    };
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connects");
+    assert!(matches!(
+        transact(&mut stream, 0, &WireFrame::Hello),
+        WireFrame::HelloOk { .. }
+    ));
+
+    let mut model = [ModelSession::default(); 3];
+    for &(op, wire_id) in ops {
+        let m = &mut model[wire_id as usize - 1];
+        match op {
+            // Admit: fresh id → Admitted; duplicate admit → typed rejection
+            // that leaves the original session intact.
+            0 => match transact(&mut stream, wire_id, &admit) {
+                WireFrame::Admitted { .. } if !m.admitted => m.admitted = true,
+                WireFrame::Rejected { code: c, .. } if m.admitted => {
+                    assert_eq!(c, code::DUPLICATE_SESSION)
+                }
+                other => panic!("admit (admitted={}): {other:?}", m.admitted),
+            },
+            // Poll: before admit it is a typed unknown-session error; after
+            // admit (closed or not) it is a well-formed reply train.
+            1 => {
+                if m.admitted {
+                    drain_poll(&mut stream, wire_id);
+                } else {
+                    match transact(&mut stream, wire_id, &WireFrame::Poll) {
+                        WireFrame::Error { code: c, .. } => assert_eq!(c, code::UNKNOWN_SESSION),
+                        other => panic!("poll before admit: {other:?}"),
+                    }
+                }
+            }
+            // Events: an ack with short-write semantics while live, a typed
+            // error before admit and after close.
+            2 => {
+                let t0 = m.ticks as f64 * 1e-3;
+                m.ticks += 4;
+                let events: Vec<Event> = (0..4)
+                    .map(|i| Event::new(t0 + i as f64 * 1e-4, 60, 60, Polarity::Positive))
+                    .collect();
+                match transact(&mut stream, wire_id, &WireFrame::Events { events }) {
+                    WireFrame::EventsAck { .. } if m.admitted && !m.closed => {}
+                    WireFrame::Error { code: c, .. } if !m.admitted => {
+                        assert_eq!(c, code::UNKNOWN_SESSION)
+                    }
+                    WireFrame::Error { code: c, .. } if m.closed => {
+                        assert_eq!(c, code::SESSION_CLOSED)
+                    }
+                    other => panic!(
+                        "events (admitted={}, closed={}): {other:?}",
+                        m.admitted, m.closed
+                    ),
+                }
+            }
+            // Poses: same contract as events.
+            3 => {
+                let t = m.ticks as f64 * 1e-3;
+                m.ticks += 1;
+                let samples = vec![(t, Pose::identity())];
+                match transact(&mut stream, wire_id, &WireFrame::Poses { samples }) {
+                    WireFrame::Ok if m.admitted && !m.closed => {}
+                    WireFrame::Error { code: c, .. } if !m.admitted => {
+                        assert_eq!(c, code::UNKNOWN_SESSION)
+                    }
+                    WireFrame::Error { code: c, .. } if m.closed => {
+                        assert_eq!(c, code::SESSION_CLOSED)
+                    }
+                    other => panic!(
+                        "poses (admitted={}, closed={}): {other:?}",
+                        m.admitted, m.closed
+                    ),
+                }
+            }
+            // Close: idempotent once admitted, typed error before.
+            4 => match transact(&mut stream, wire_id, &WireFrame::Close) {
+                WireFrame::Ok if m.admitted => m.closed = true,
+                WireFrame::Error { code: c, .. } if !m.admitted => {
+                    assert_eq!(c, code::UNKNOWN_SESSION)
+                }
+                other => panic!("close (admitted={}): {other:?}", m.admitted),
+            },
+            // Discard: clears queued input once admitted, typed error before.
+            5 => match transact(&mut stream, wire_id, &WireFrame::Discard) {
+                WireFrame::Ok if m.admitted => {}
+                WireFrame::Error { code: c, .. } if !m.admitted => {
+                    assert_eq!(c, code::UNKNOWN_SESSION)
+                }
+                other => panic!("discard (admitted={}): {other:?}", m.admitted),
+            },
+            // Metrics: stateless, always answered.
+            _ => match transact(&mut stream, wire_id, &WireFrame::Metrics) {
+                WireFrame::MetricsReply { json } => {
+                    assert!(json.contains("eventor-metrics/1"), "metrics json: {json}")
+                }
+                other => panic!("metrics: {other:?}"),
+            },
+        }
+    }
+
+    // Whatever the walk did, the connection must still hold a conversation.
+    assert!(matches!(
+        transact(&mut stream, 0, &WireFrame::Metrics),
+        WireFrame::MetricsReply { .. }
+    ));
+    assert!(matches!(
+        transact(&mut stream, 0, &WireFrame::Bye),
+        WireFrame::ByeOk
+    ));
+
+    // Events after Bye: the server has hung up; the client sees a typed
+    // connection-level WireError, never a hang or a garbage frame.
+    let after_bye = WireFrame::Events {
+        events: vec![Event::new(1e6, 1, 1, Polarity::Positive)],
+    };
+    let _ = write_frame(&mut stream, 1, &after_bye);
+    let outcome = read_frame(
+        &mut stream,
+        DEFAULT_MAX_PAYLOAD,
+        Duration::from_secs(10),
+        IdleWait::Timeout(Duration::from_secs(10)),
+        &|| false,
+    );
+    match outcome {
+        Err(WireError::ConnectionClosed | WireError::Io { .. }) => {}
+        other => panic!("frame after Bye must be a typed connection error: {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// The three named illegal orders of the issue, pinned deterministically:
+/// poll-before-admit, duplicate admit (with the original session
+/// surviving), and events-after-bye.
+#[test]
+fn named_illegal_frame_orders_are_typed_and_survivable() {
+    // ops are (op, wire_id): 1=poll, 0=admit, 2=events, 4=close.
+    run_frame_walk(&[
+        (1, 1), // poll before admit → UNKNOWN_SESSION
+        (2, 2), // events before admit → UNKNOWN_SESSION
+        (0, 1), // admit
+        (0, 1), // duplicate admit → DUPLICATE_SESSION
+        (2, 1), // the original session still accepts events
+        (4, 1), // close
+        (2, 1), // events after close → SESSION_CLOSED
+        (1, 1), // poll still answered after close
+    ]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random walks over the full frame alphabet (3 wire ids × 7 ops, 4–20
+    /// steps): every ordering the generator produces must match the model.
+    #[test]
+    fn random_frame_walks_match_the_protocol_state_machine(
+        ops in prop::collection::vec((0usize..7, 1u64..4), 4..20),
+    ) {
+        run_frame_walk(&ops);
+    }
 }
