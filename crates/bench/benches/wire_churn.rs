@@ -1,0 +1,168 @@
+//! Connection-churn throughput of the `eventor-net` serving front-end:
+//! **thousands of short-lived sessions**, each on its own fresh TCP
+//! connection, hammering one shared `WireServer` through the full
+//! admit → stream → finish → bye lifecycle.
+//!
+//! Where `wire_loopback` measures steady-state streaming with 200
+//! long-lived clients, this bench measures the *other* axis the readiness
+//! loop has to be good at: accept/admit/teardown overhead. Worlds are tiny
+//! inline `eventor-fuzzworld/1` specs (`ManifestSource::Spec`), so each
+//! session's compute is deliberately small and the socket/admission
+//! machinery dominates.
+//!
+//! Rows (group `wire_churn`, `eventor-bench/1` JSON):
+//!
+//! * `churn_2000_sessions` — [`TOTAL_SESSIONS`] sessions cycled across
+//!   [`WORKERS`] worker threads; every session opens a fresh connection,
+//!   admits a spec-manifest world, streams it with a cadence cycled through
+//!   the full `LoadShape::ALL` palette, finishes and says `Bye`.
+//!
+//! Before anything is timed, a verification pass runs every pool world both
+//! in-process and over the wire and asserts the digests agree; the timed
+//! loop then re-asserts every session's terminal digest against that
+//! expected table, so a churn regression can never hide a correctness one.
+//!
+//! Acceptance bar (`docs/BENCHMARKS.md`), enforced under
+//! `EVENTOR_ENFORCE_BENCH` and host-scaled at a saturation point of 8
+//! hardware threads:
+//!
+//! * session churn ≥ 2,400 sessions/s (so a 1-thread host owes 300
+//!   sessions/s).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eventor_bench::enforce::{enforce_rate_floor, RateFloor};
+use eventor_net::{spawn_loopback, ManifestSource, NetConfig, SessionManifest, WireClient};
+use eventor_scenarios::{digest_world, BackendKind, ScenarioWorld, WorldSpec};
+use eventor_serve::LoadShape;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sessions per timed iteration ("thousands of short sessions").
+const TOTAL_SESSIONS: usize = 2_000;
+/// Concurrent client workers cycling through the session backlog.
+const WORKERS: usize = 32;
+/// Distinct tiny worlds in the pool (sessions cycle through them).
+const POOL: usize = 8;
+const SATURATION_THREADS: usize = 8;
+const RATE_FLOOR: RateFloor = RateFloor {
+    full_per_sec: 2_400.0,
+    saturation_threads: SATURATION_THREADS,
+};
+
+/// One pool entry: the spec text the server admits from, the client-side
+/// world driven over the wire, and the expected terminal digest.
+struct PoolWorld {
+    spec_text: String,
+    world: ScenarioWorld,
+    expected_digest: u64,
+}
+
+/// Builds the pool of tiny deterministic spec worlds. Streams are truncated
+/// hard so each session stays short and the churn machinery — not the
+/// reconstruction compute — dominates the measurement.
+fn build_pool() -> Vec<PoolWorld> {
+    (0..POOL)
+        .map(|i| {
+            let spec = WorldSpec::generate(0xc4u64.wrapping_mul(0x9e37), i as u64);
+            let world = spec
+                .build()
+                .expect("generated specs build")
+                .truncated(192 + (i % 4) * 64);
+            let expected_digest =
+                digest_world(&world, BackendKind::Software).expect("in-process run");
+            PoolWorld {
+                spec_text: spec.to_text(),
+                world,
+                expected_digest,
+            }
+        })
+        .collect()
+}
+
+fn shape_for(i: usize) -> LoadShape {
+    LoadShape::ALL[i % LoadShape::ALL.len()]
+}
+
+/// Runs one full session lifecycle on a fresh connection: connect, admit
+/// the spec manifest, drive the truncated stream, check the digest, bye.
+fn run_one_session(addr: std::net::SocketAddr, entry: &PoolWorld, n: usize) {
+    let mut client = WireClient::connect(addr).expect("client connects");
+    let id = client
+        .admit(&SessionManifest {
+            backend: BackendKind::Software,
+            source: ManifestSource::Spec {
+                text: entry.spec_text.clone(),
+            },
+        })
+        .expect("admission");
+    let report = client
+        .drive(
+            id,
+            &entry.world.trajectory,
+            entry.world.events.as_slice(),
+            shape_for(n),
+        )
+        .expect("drive");
+    assert_eq!(
+        report.digest, entry.expected_digest,
+        "session {n}: wire digest diverged from in-process"
+    );
+    client.bye().expect("bye");
+}
+
+/// One timed iteration: `TOTAL_SESSIONS` lifecycles pulled off a shared
+/// counter by `WORKERS` threads against a single server. The server's
+/// default config applies — no artificial limits, keepalive at its 30 s
+/// default (idle periods here are microseconds).
+fn run_churn(pool: &[PoolWorld]) {
+    let server = spawn_loopback(NetConfig::new()).expect("server spawns");
+    let addr = server.addr();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let next = &next;
+            scope.spawn(move || loop {
+                let n = next.fetch_add(1, Ordering::Relaxed);
+                if n >= TOTAL_SESSIONS {
+                    break;
+                }
+                run_one_session(addr, &pool[n % pool.len()], n);
+            });
+        }
+    });
+    server.shutdown();
+}
+
+fn bench_wire_churn(c: &mut Criterion) {
+    let pool = build_pool();
+
+    // Verification pass: every pool world once over the wire, digest pinned
+    // against the in-process run, before any timing means anything.
+    {
+        let server = spawn_loopback(NetConfig::new()).expect("server spawns");
+        for (i, entry) in pool.iter().enumerate() {
+            run_one_session(server.addr(), entry, i);
+        }
+        server.shutdown();
+    }
+
+    let mut group = c.benchmark_group("wire_churn");
+    group.throughput(Throughput::Elements(TOTAL_SESSIONS as u64));
+    group.sample_size(2);
+    group.context("workers", WORKERS.to_string());
+    group.context("pool_worlds", POOL.to_string());
+    group.bench_function("churn_2000_sessions", |b| {
+        b.iter(|| run_churn(black_box(&pool)))
+    });
+    group.finish();
+
+    enforce_rate_floor(
+        "wire_churn",
+        "churn_2000_sessions",
+        TOTAL_SESSIONS as u64,
+        RATE_FLOOR,
+    );
+}
+
+criterion_group!(benches, bench_wire_churn);
+criterion_main!(benches);

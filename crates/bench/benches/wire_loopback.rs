@@ -21,8 +21,9 @@
 //! `EVENTOR_ENFORCE_BENCH` and both host-scaled at a saturation point of 8
 //! hardware threads:
 //!
-//! * aggregate served throughput ≥ 400k events/s (so a 1-thread host owes
-//!   50k events/s),
+//! * aggregate served throughput ≥ 500k events/s (so a 1-thread host owes
+//!   62.5k events/s) — raised from the thread-per-connection era's 400k now
+//!   that the server runs a single readiness loop,
 //! * p99 session completion ≤ 15 s (relaxing in proportion on smaller
 //!   hosts).
 
@@ -41,7 +42,7 @@ use std::time::Instant;
 const NUM_CLIENTS: usize = 200;
 const SATURATION_THREADS: usize = 8;
 const RATE_FLOOR: RateFloor = RateFloor {
-    full_per_sec: 400_000.0,
+    full_per_sec: 500_000.0,
     saturation_threads: SATURATION_THREADS,
 };
 const P99_CEILING: LatencyCeiling = LatencyCeiling {
@@ -154,6 +155,9 @@ fn bench_wire_loopback(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("wire_loopback");
     group.throughput(Throughput::Elements(total_events));
+    // The p99 travels in the `eventor-bench/1` JSON so the CI trend checker
+    // can hold the latency ceiling without re-deriving it.
+    group.context("p99_seconds", format!("{p99:.6}"));
     group.sample_size(2);
     group.bench_function("in_process_sequential", |b| {
         b.iter(|| black_box(run_in_process(black_box(&worlds))))

@@ -1,0 +1,160 @@
+//! The CI perf-regression gate over `eventor-bench/1` measurement JSON.
+//!
+//! ```text
+//! bench_trend check  <measure-dir> [--baseline <path>]
+//! bench_trend update <measure-dir> [--baseline <path>]
+//! ```
+//!
+//! `<measure-dir>` is a criterion-shim output tree
+//! (`<dir>/<group>/<benchmark>.json`, e.g. `target/criterion-shim` locally
+//! or a downloaded CI artifact). The baseline defaults to
+//! `benchmarks/baseline.json` at the repository root.
+//!
+//! * `check` compares every baseline entry against its measurement and
+//!   exits nonzero on a throughput regression beyond the baseline's
+//!   tolerance, a p99 ceiling breach, or a missing measurement.
+//! * `update` is the one-command baseline refresh: it rewrites each
+//!   entry's `rate_per_sec` from the measurements while keeping the policy
+//!   fields (tolerance, p99 ceilings) untouched:
+//!
+//!   ```text
+//!   cargo bench --bench wire_loopback --bench wire_churn
+//!   cargo run --release -p eventor-bench --bin bench_trend -- update target/criterion-shim
+//!   ```
+//!
+//! The gate's semantics live (unit-tested) in `eventor_bench::trend`; this
+//! binary is just filesystem walking and exit codes.
+
+use eventor_bench::trend::{check, Baseline, Measurement};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_BASELINE: &str = "benchmarks/baseline.json";
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_trend <check|update> <measure-dir> [--baseline <path>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, rest) = match args.split_first() {
+        Some((m, rest)) if m == "check" || m == "update" => (m.clone(), rest),
+        _ => return usage(),
+    };
+    let mut measure_dir: Option<PathBuf> = None;
+    let mut baseline_path = PathBuf::from(DEFAULT_BASELINE);
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--baseline" {
+            match it.next() {
+                Some(p) => baseline_path = PathBuf::from(p),
+                None => return usage(),
+            }
+        } else if measure_dir.is_none() {
+            measure_dir = Some(PathBuf::from(arg));
+        } else {
+            return usage();
+        }
+    }
+    let Some(measure_dir) = measure_dir else {
+        return usage();
+    };
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_trend: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match Baseline::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_trend: bad baseline {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let measurements = match load_measurements(&measure_dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_trend: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_trend: {} measurement(s) under {}, baseline {} ({} entries, tolerance {:.1}%)",
+        measurements.len(),
+        measure_dir.display(),
+        baseline_path.display(),
+        baseline.entries.len(),
+        baseline.tolerance_pct,
+    );
+
+    match mode.as_str() {
+        "check" => {
+            let findings = check(&baseline, &measurements);
+            let mut failed = false;
+            for f in &findings {
+                println!("{}", f.line);
+                failed |= f.fatal;
+            }
+            if failed {
+                eprintln!("bench_trend: FAILED — see lines above");
+                ExitCode::FAILURE
+            } else {
+                println!("bench_trend: all {} gate(s) passed", findings.len());
+                ExitCode::SUCCESS
+            }
+        }
+        "update" => {
+            let refreshed = baseline.refreshed(&measurements);
+            for (old, new) in baseline.entries.iter().zip(&refreshed.entries) {
+                println!(
+                    "{}/{}: {:.1}/s -> {:.1}/s",
+                    old.group, old.benchmark, old.rate_per_sec, new.rate_per_sec
+                );
+            }
+            if let Err(e) = std::fs::write(&baseline_path, refreshed.to_text()) {
+                eprintln!("bench_trend: cannot write {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "bench_trend: baseline {} refreshed",
+                baseline_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("mode validated above"),
+    }
+}
+
+/// Reads every `<dir>/<group>/<benchmark>.json` measurement. Files that are
+/// not valid `eventor-bench/1` documents fail the run loudly — a corrupt
+/// artifact must not silently shrink the gated set.
+fn load_measurements(dir: &Path) -> Result<Vec<Measurement>, String> {
+    let mut out = Vec::new();
+    let groups =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for group in groups {
+        let group = group.map_err(|e| e.to_string())?.path();
+        if !group.is_dir() {
+            continue;
+        }
+        let files = std::fs::read_dir(&group)
+            .map_err(|e| format!("cannot read {}: {e}", group.display()))?;
+        for file in files {
+            let file = file.map_err(|e| e.to_string())?.path();
+            if file.extension().map(|e| e == "json") != Some(true) {
+                continue;
+            }
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            out.push(
+                Measurement::parse(&text)
+                    .map_err(|e| format!("bad measurement {}: {e}", file.display()))?,
+            );
+        }
+    }
+    Ok(out)
+}

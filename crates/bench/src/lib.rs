@@ -35,6 +35,7 @@
 #![deny(missing_docs)]
 
 pub mod enforce;
+pub mod trend;
 
 use eventor_core::config_for_sequence;
 use eventor_emvs::EmvsConfig;

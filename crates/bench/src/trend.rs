@@ -1,0 +1,684 @@
+//! The CI performance-trend gate: compares `eventor-bench/1` measurement
+//! JSON (as written by the criterion shim into `target/criterion-shim/`)
+//! against a committed **`eventor-trend/1`** baseline and fails on
+//! regressions.
+//!
+//! Policy, mirrored from `docs/BENCHMARKS.md`:
+//!
+//! * a benchmark whose measured rate falls more than `tolerance_pct` below
+//!   its baseline rate is a **regression** (fatal),
+//! * a baseline entry with a `p99_ceiling_seconds` requires the measurement
+//!   to carry a `p99_seconds` context annotation at or under the ceiling
+//!   (missing annotation or breach: fatal),
+//! * a missing measurement file is fatal (a silently skipped bench must not
+//!   look like a pass),
+//! * an *improvement* beyond the tolerance is a non-fatal nudge to refresh
+//!   the baseline so the gate tightens with the code.
+//!
+//! Everything here is `std`-only with a hand-rolled minimal JSON reader, so
+//! the `bench_trend` binary stays dependency-free and runs anywhere the
+//! toolchain does. The baseline is rate-based (units per second derived
+//! from `mean_ns` and the throughput annotation), which makes "refresh the
+//! baseline" a one-command operation: re-measure, rewrite rates, keep the
+//! hand-set policy fields (tolerance, ceilings) untouched.
+
+use std::fmt::Write as _;
+
+/// Schema tag of the committed baseline document.
+pub const TREND_SCHEMA: &str = "eventor-trend/1";
+/// Schema tag of the per-benchmark measurement documents.
+pub const BENCH_SCHEMA: &str = "eventor-bench/1";
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (only what the two schemas need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// Object: ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+    /// Array.
+    Arr(Vec<Json>),
+    /// String.
+    Str(String),
+    /// Number (all JSON numbers fit f64 for our purposes).
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The two schemas emit identifier-ish strings only, but
+                    // accept the basic escapes so hand-edited baselines with
+                    // e.g. "\"" don't silently misparse.
+                    self.pos += 1;
+                    let c = match self.bytes.get(self.pos) {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'r') => '\r',
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    };
+                    out.push(c);
+                    self.pos += 1;
+                }
+                Some(&b) if b >= 0x20 => {
+                    // Copy the full UTF-8 sequence byte-for-byte.
+                    out.push_str(self.utf8_char()?);
+                }
+                _ => return Err(format!("unterminated string at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn utf8_char(&mut self) -> Result<&str, String> {
+        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|_| format!("invalid UTF-8 at offset {}", self.pos))?;
+        let ch = rest.chars().next().expect("non-empty by caller check");
+        let len = ch.len_utf8();
+        let s = &rest[..len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// eventor-bench/1 measurements
+// ---------------------------------------------------------------------------
+
+/// One benchmark measurement, as decoded from an `eventor-bench/1` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark group (directory name).
+    pub group: String,
+    /// Benchmark id within the group (file name).
+    pub benchmark: String,
+    /// Mean wall time of one iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Throughput units processed per iteration (0 when untagged).
+    pub amount_per_iter: u64,
+    /// Optional `p99_seconds` context annotation.
+    pub p99_seconds: Option<f64>,
+}
+
+impl Measurement {
+    /// Decodes one `eventor-bench/1` document.
+    ///
+    /// # Errors
+    ///
+    /// On malformed JSON, a wrong `schema` tag, or missing required fields.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!("schema {schema:?}, expected {BENCH_SCHEMA:?}"));
+        }
+        let field_str = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or(format!("missing string field {k:?}"))
+        };
+        let mean_ns = doc
+            .get("mean_ns")
+            .and_then(Json::as_f64)
+            .ok_or("missing mean_ns")?;
+        if !mean_ns.is_finite() || mean_ns <= 0.0 {
+            return Err(format!("non-positive mean_ns {mean_ns}"));
+        }
+        let amount_per_iter = doc
+            .get("throughput")
+            .and_then(|t| t.get("amount_per_iter"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64;
+        let p99_seconds = doc
+            .get("context")
+            .and_then(|c| c.get("p99_seconds"))
+            .and_then(Json::as_str)
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|_| format!("unparseable p99_seconds {s:?}"))
+            })
+            .transpose()?;
+        Ok(Self {
+            group: field_str("group")?,
+            benchmark: field_str("benchmark")?,
+            mean_ns,
+            amount_per_iter,
+            p99_seconds,
+        })
+    }
+
+    /// The measured rate in units per second: throughput units when the
+    /// bench is tagged, iterations per second otherwise.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.amount_per_iter.max(1) as f64 / (self.mean_ns * 1e-9)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// eventor-trend/1 baseline
+// ---------------------------------------------------------------------------
+
+/// One gated benchmark in the committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Benchmark group.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub benchmark: String,
+    /// Baseline rate in units per second (see [`Measurement::rate_per_sec`]).
+    pub rate_per_sec: f64,
+    /// Optional absolute p99 ceiling; requires the measurement to carry a
+    /// `p99_seconds` context annotation. Hand-set policy, never refreshed.
+    pub p99_ceiling_seconds: Option<f64>,
+}
+
+/// The committed `eventor-trend/1` baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Allowed rate drop below baseline before the gate fails, in percent.
+    pub tolerance_pct: f64,
+    /// Gated benchmarks.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Decodes an `eventor-trend/1` document.
+    ///
+    /// # Errors
+    ///
+    /// On malformed JSON, a wrong `schema` tag, or missing required fields.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != TREND_SCHEMA {
+            return Err(format!("schema {schema:?}, expected {TREND_SCHEMA:?}"));
+        }
+        let tolerance_pct = doc
+            .get("tolerance_pct")
+            .and_then(Json::as_f64)
+            .ok_or("missing tolerance_pct")?;
+        if !(0.0..100.0).contains(&tolerance_pct) {
+            return Err(format!("tolerance_pct {tolerance_pct} outside [0, 100)"));
+        }
+        let Some(Json::Arr(raw)) = doc.get("entries") else {
+            return Err("missing entries array".into());
+        };
+        let mut entries = Vec::with_capacity(raw.len());
+        for (i, e) in raw.iter().enumerate() {
+            let field_str = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or(format!("entry {i}: missing string field {k:?}"))
+            };
+            let rate_per_sec = e
+                .get("rate_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or(format!("entry {i}: missing rate_per_sec"))?;
+            if !rate_per_sec.is_finite() || rate_per_sec <= 0.0 {
+                return Err(format!("entry {i}: non-positive rate_per_sec"));
+            }
+            entries.push(BaselineEntry {
+                group: field_str("group")?,
+                benchmark: field_str("benchmark")?,
+                rate_per_sec,
+                p99_ceiling_seconds: e.get("p99_ceiling_seconds").and_then(Json::as_f64),
+            });
+        }
+        Ok(Self {
+            tolerance_pct,
+            entries,
+        })
+    }
+
+    /// Renders the document back to canonical `eventor-trend/1` text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{TREND_SCHEMA}\",");
+        let _ = writeln!(out, "  \"tolerance_pct\": {:.1},", self.tolerance_pct);
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"group\": \"{}\",", e.group);
+            let _ = writeln!(out, "      \"benchmark\": \"{}\",", e.benchmark);
+            let _ = write!(out, "      \"rate_per_sec\": {:.3}", e.rate_per_sec);
+            if let Some(ceiling) = e.p99_ceiling_seconds {
+                let _ = write!(out, ",\n      \"p99_ceiling_seconds\": {ceiling:.3}");
+            }
+            out.push('\n');
+            out.push_str(if i + 1 == self.entries.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A copy of this baseline with every entry's rate replaced by the
+    /// matching measurement's. Policy fields (tolerance, p99 ceilings) and
+    /// entries without a fresh measurement are kept untouched.
+    #[must_use]
+    pub fn refreshed(&self, measurements: &[Measurement]) -> Self {
+        let mut out = self.clone();
+        for entry in &mut out.entries {
+            if let Some(m) = measurements
+                .iter()
+                .find(|m| m.group == entry.group && m.benchmark == entry.benchmark)
+            {
+                entry.rate_per_sec = m.rate_per_sec();
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The gate
+// ---------------------------------------------------------------------------
+
+/// One line of gate output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Human-readable verdict line.
+    pub line: String,
+    /// Whether this finding fails the gate.
+    pub fatal: bool,
+}
+
+/// Compares measurements against the baseline; one [`Finding`] per entry
+/// (plus one per p99 ceiling). The gate passes iff no finding is fatal.
+pub fn check(baseline: &Baseline, measurements: &[Measurement]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for entry in &baseline.entries {
+        let name = format!("{}/{}", entry.group, entry.benchmark);
+        let Some(m) = measurements
+            .iter()
+            .find(|m| m.group == entry.group && m.benchmark == entry.benchmark)
+        else {
+            findings.push(Finding {
+                line: format!(
+                    "FAIL {name}: no measurement found (bench skipped or artifact missing)"
+                ),
+                fatal: true,
+            });
+            continue;
+        };
+        let rate = m.rate_per_sec();
+        let delta_pct = (rate - entry.rate_per_sec) / entry.rate_per_sec * 100.0;
+        if delta_pct < -baseline.tolerance_pct {
+            findings.push(Finding {
+                line: format!(
+                    "FAIL {name}: {rate:.1}/s is {:.1}% below baseline {:.1}/s (tolerance {:.1}%)",
+                    -delta_pct, entry.rate_per_sec, baseline.tolerance_pct
+                ),
+                fatal: true,
+            });
+        } else if delta_pct > baseline.tolerance_pct {
+            findings.push(Finding {
+                line: format!(
+                    "NOTE {name}: {rate:.1}/s is {delta_pct:.1}% above baseline {:.1}/s — refresh the baseline to lock in the gain",
+                    entry.rate_per_sec
+                ),
+                fatal: false,
+            });
+        } else {
+            findings.push(Finding {
+                line: format!(
+                    "ok   {name}: {rate:.1}/s vs baseline {:.1}/s ({delta_pct:+.1}%)",
+                    entry.rate_per_sec
+                ),
+                fatal: false,
+            });
+        }
+        if let Some(ceiling) = entry.p99_ceiling_seconds {
+            match m.p99_seconds {
+                Some(p99) if p99 <= ceiling => findings.push(Finding {
+                    line: format!("ok   {name}: p99 {p99:.3} s under the {ceiling:.3} s ceiling"),
+                    fatal: false,
+                }),
+                Some(p99) => findings.push(Finding {
+                    line: format!("FAIL {name}: p99 {p99:.3} s breaches the {ceiling:.3} s ceiling"),
+                    fatal: true,
+                }),
+                None => findings.push(Finding {
+                    line: format!(
+                        "FAIL {name}: baseline pins a p99 ceiling but the measurement carries no p99_seconds annotation"
+                    ),
+                    fatal: true,
+                }),
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_measurement_json() -> &'static str {
+        r#"{
+  "schema": "eventor-bench/1",
+  "group": "wire_loopback",
+  "benchmark": "wire_200_clients",
+  "samples": 2,
+  "iters_per_sample": 1,
+  "mean_ns": 852572385.500,
+  "best_ns": 608053624.000,
+  "worst_ns": 1097091147.000,
+  "throughput": { "kind": "elements", "amount_per_iter": 550000 },
+  "context": { "p99_seconds": "1.108818" }
+}"#
+    }
+
+    fn baseline(rate: f64, ceiling: Option<f64>) -> Baseline {
+        Baseline {
+            tolerance_pct: 15.0,
+            entries: vec![BaselineEntry {
+                group: "wire_loopback".into(),
+                benchmark: "wire_200_clients".into(),
+                rate_per_sec: rate,
+                p99_ceiling_seconds: ceiling,
+            }],
+        }
+    }
+
+    #[test]
+    fn measurement_round_trip() {
+        let m = Measurement::parse(sample_measurement_json()).unwrap();
+        assert_eq!(m.group, "wire_loopback");
+        assert_eq!(m.benchmark, "wire_200_clients");
+        assert_eq!(m.amount_per_iter, 550_000);
+        assert!((m.rate_per_sec() - 645_106.0).abs() < 1_000.0);
+        assert!((m.p99_seconds.unwrap() - 1.108818).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = sample_measurement_json().replace("eventor-bench/1", "eventor-bench/2");
+        assert!(Measurement::parse(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn untagged_benches_rate_as_iterations_per_second() {
+        let text = sample_measurement_json()
+            .replace("\"amount_per_iter\": 550000", "\"amount_per_iter\": 0");
+        let m = Measurement::parse(&text).unwrap();
+        assert!((m.rate_per_sec() - 1.0 / (852572385.5e-9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gate_passes_inside_tolerance() {
+        let m = Measurement::parse(sample_measurement_json()).unwrap();
+        let findings = check(&baseline(m.rate_per_sec() * 1.10, None), &[m]);
+        assert!(findings.iter().all(|f| !f.fatal), "{findings:?}");
+    }
+
+    #[test]
+    fn gate_fails_past_tolerance() {
+        let m = Measurement::parse(sample_measurement_json()).unwrap();
+        let findings = check(&baseline(m.rate_per_sec() * 1.20, None), &[m]);
+        assert!(findings
+            .iter()
+            .any(|f| f.fatal && f.line.contains("below baseline")));
+    }
+
+    #[test]
+    fn gate_notes_large_improvements_without_failing() {
+        let m = Measurement::parse(sample_measurement_json()).unwrap();
+        let findings = check(&baseline(m.rate_per_sec() * 0.5, None), &[m]);
+        assert!(findings.iter().all(|f| !f.fatal));
+        assert!(findings
+            .iter()
+            .any(|f| f.line.contains("refresh the baseline")));
+    }
+
+    #[test]
+    fn gate_fails_on_missing_measurement() {
+        let findings = check(&baseline(1000.0, None), &[]);
+        assert!(findings
+            .iter()
+            .any(|f| f.fatal && f.line.contains("no measurement")));
+    }
+
+    #[test]
+    fn p99_ceiling_is_enforced() {
+        let m = Measurement::parse(sample_measurement_json()).unwrap();
+        let rate = m.rate_per_sec();
+        let ok = check(&baseline(rate, Some(30.0)), std::slice::from_ref(&m));
+        assert!(ok.iter().all(|f| !f.fatal), "{ok:?}");
+        let breach = check(&baseline(rate, Some(1.0)), std::slice::from_ref(&m));
+        assert!(breach
+            .iter()
+            .any(|f| f.fatal && f.line.contains("breaches")));
+        // A pinned ceiling with no annotation in the measurement is fatal too.
+        let mut unannotated = m;
+        unannotated.p99_seconds = None;
+        let missing = check(&baseline(rate, Some(30.0)), &[unannotated]);
+        assert!(missing
+            .iter()
+            .any(|f| f.fatal && f.line.contains("no p99_seconds")));
+    }
+
+    #[test]
+    fn baseline_text_round_trips() {
+        let b = baseline(654321.987, Some(30.0));
+        let text = b.to_text();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.tolerance_pct, b.tolerance_pct);
+        assert_eq!(parsed.entries.len(), 1);
+        assert!((parsed.entries[0].rate_per_sec - 654321.987).abs() < 1e-3);
+        assert_eq!(parsed.entries[0].p99_ceiling_seconds, Some(30.0));
+    }
+
+    #[test]
+    fn refresh_updates_rates_and_keeps_policy() {
+        let m = Measurement::parse(sample_measurement_json()).unwrap();
+        let b = baseline(100.0, Some(30.0));
+        let refreshed = b.refreshed(std::slice::from_ref(&m));
+        assert!((refreshed.entries[0].rate_per_sec - m.rate_per_sec()).abs() < 1e-6);
+        assert_eq!(refreshed.entries[0].p99_ceiling_seconds, Some(30.0));
+        assert_eq!(refreshed.tolerance_pct, 15.0);
+        // An entry with no fresh measurement is left alone.
+        let stale = baseline(100.0, None);
+        assert_eq!(stale.refreshed(&[]), stale);
+    }
+
+    #[test]
+    fn json_reader_handles_nesting_and_escapes() {
+        let v = Json::parse(r#"{"a": [1, -2.5e3, "x\"y"], "b": {"c": null, "d": true}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2500.0),
+                Json::Str("x\"y".into()),
+            ])
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+}

@@ -10,6 +10,7 @@
 //!                      [--invariant NAME]... [--report FILE] [--minimize-dir DIR] [--no-minimize]
 //! eventor-cli minimize --spec FILE [--backend B] [--invariant NAME] [--out FILE]
 //! eventor-cli serve    [--addr ADDR] [--workers N] [--port-file FILE]
+//!                      [--max-conns N] [--keepalive SECS]
 //! eventor-cli connect  --addr ADDR (--scenario NAME [--seed N] | --spec FILE)
 //!                      [--backend B] [--expect HEX]
 //! eventor-cli checkpoint --scenario NAME --out FILE.evtr [--seed N] [--backend B] [--events N]
@@ -63,7 +64,9 @@
 
 use eventor_core::SessionCheckpoint;
 use eventor_emvs::EmvsError;
-use eventor_net::{ManifestSource, NetConfig, SessionManifest, WireClient, WireError, WireServer};
+use eventor_net::{
+    KeepaliveConfig, ManifestSource, NetConfig, SessionManifest, WireClient, WireError, WireServer,
+};
 use eventor_scenarios::{
     builder_for_profile, check_invariant, corpus, digest_output, digest_world, find, golden_digest,
     minimize_spec, run_fuzz, run_world, session_for_profile, BackendKind, FuzzOptions, FuzzReport,
@@ -203,6 +206,10 @@ fn usage() -> String {
     let _ = writeln!(
         s,
         "  eventor-cli serve    [--addr ADDR] [--workers N] [--port-file FILE]"
+    );
+    let _ = writeln!(
+        s,
+        "                       [--max-conns N] [--keepalive SECS (0 = off)]"
     );
     let _ = writeln!(
         s,
@@ -775,11 +782,23 @@ fn cmd_minimize(args: &Args) -> Result<(), CliError> {
 /// `serve`: bind an `eventor-wire/1` server over the multi-session engine
 /// and run until the process is killed.
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["addr", "workers", "port-file"])?;
+    args.reject_unknown(&["addr", "workers", "port-file", "max-conns", "keepalive"])?;
     let addr = args.flag_value("addr").unwrap_or("127.0.0.1:0");
     let mut config = NetConfig::new();
     if let Some(workers) = args.flag_value("workers") {
         config = config.with_serve(ServeConfig::new().with_workers(parse_usize(workers)?));
+    }
+    if let Some(max_conns) = args.flag_value("max-conns") {
+        config = config.with_max_conns(parse_usize(max_conns)?);
+    }
+    if let Some(keepalive) = args.flag_value("keepalive") {
+        // Seconds; 0 disables idle probing entirely.
+        let secs = parse_usize(keepalive)?;
+        config = config.with_keepalive(if secs == 0 {
+            KeepaliveConfig::disabled()
+        } else {
+            KeepaliveConfig::every(std::time::Duration::from_secs(secs as u64))
+        });
     }
     let server = WireServer::bind(addr, config)
         .map_err(|e| CliError::from_wire(&format!("cannot bind {addr}"), e))?;

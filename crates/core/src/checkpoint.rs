@@ -2,7 +2,7 @@
 //! payload.
 //!
 //! A [`SessionCheckpoint`] is the serializable form of a mid-flight
-//! [`EventorSession`](crate::EventorSession): the driver-layer
+//! [`EventorSession`]: the driver-layer
 //! [`DriverCheckpoint`] (configuration, trajectory, pending events, key-frame
 //! bookkeeping, retired reconstructions, partial DSI vote state) plus the
 //! provenance needed to resume it — which backend kind produced it and a

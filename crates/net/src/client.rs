@@ -125,25 +125,39 @@ impl WireClient {
 
     /// Reads one reply frame for `session`, surfacing typed
     /// `Rejected`/`Error` replies as [`WireError::Rejected`].
+    ///
+    /// Server keepalive `Ping`s interleaved with the reply are answered
+    /// transparently with a `Pong` and never surfaced — so a client that is
+    /// blocked awaiting a slow reply (a long `Finish` drain, say) stays
+    /// provably alive. A client idle *between* requests reads nothing and
+    /// cannot answer; the server's keepalive interval is sized for that
+    /// (`docs/WIRE.md` §7).
     fn read_reply(&mut self, session: u64) -> Result<WireFrame, WireError> {
-        let (got_session, frame) = read_frame(
-            &mut self.stream,
-            // The *client's* receive bound: accept whatever the server
-            // sends (it bounds its own frames by its config).
-            u32::MAX,
-            self.read_timeout,
-            IdleWait::Timeout(self.reply_timeout),
-            &NEVER_STOP,
-        )?;
-        match frame {
-            WireFrame::Rejected { code, reason } | WireFrame::Error { code, reason } => {
-                Err(WireError::Rejected { code, reason })
+        loop {
+            let (got_session, frame) = read_frame(
+                &mut self.stream,
+                // The *client's* receive bound: accept whatever the server
+                // sends (it bounds its own frames by its config).
+                u32::MAX,
+                self.read_timeout,
+                IdleWait::Timeout(self.reply_timeout),
+                &NEVER_STOP,
+            )?;
+            match frame {
+                WireFrame::Ping { nonce } => {
+                    write_frame(&mut self.stream, got_session, &WireFrame::Pong { nonce })?;
+                }
+                WireFrame::Rejected { code, reason } | WireFrame::Error { code, reason } => {
+                    return Err(WireError::Rejected { code, reason });
+                }
+                frame if got_session == session => return Ok(frame),
+                frame => {
+                    return Err(WireError::UnexpectedFrame {
+                        expected: "a reply for the requested session",
+                        found: frame.kind_name(),
+                    });
+                }
             }
-            frame if got_session == session => Ok(frame),
-            frame => Err(WireError::UnexpectedFrame {
-                expected: "a reply for the requested session",
-                found: frame.kind_name(),
-            }),
         }
     }
 
@@ -358,6 +372,28 @@ impl WireClient {
             WireFrame::MetricsReply { json } => Ok(json),
             other => Err(WireError::UnexpectedFrame {
                 expected: "MetricsReply",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Probes the server with a keepalive `Ping` and waits for the matching
+    /// `Pong` — a cheap round-trip liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Any wire error; a `Pong` with the wrong nonce is
+    /// [`WireError::UnexpectedFrame`].
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        let nonce = self.next_id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        match self.request(0, &WireFrame::Ping { nonce })? {
+            WireFrame::Pong { nonce: echoed } if echoed == nonce => Ok(()),
+            WireFrame::Pong { .. } => Err(WireError::UnexpectedFrame {
+                expected: "a Pong echoing the ping nonce",
+                found: "Pong",
+            }),
+            other => Err(WireError::UnexpectedFrame {
+                expected: "Pong",
                 found: other.kind_name(),
             }),
         }

@@ -26,6 +26,14 @@
 //! committed golden table, and the `wire_loopback` bench holds the line at
 //! hundreds of concurrent clients.
 //!
+//! The server is a **single-threaded readiness loop** over nonblocking
+//! sockets (no thread per connection, no fixed poll tick): per-connection
+//! read/write state machines, vectored-write send buffering, a connection
+//! limit and metrics-driven session admission control that answer overload
+//! with a typed [`code::OVERLOADED`] reply, and `Ping`/`Pong` keepalive
+//! (wire v1.1) so idle-but-alive clients are distinguishable from dead
+//! peers — see [`NetConfig`], [`AdmissionConfig`] and [`KeepaliveConfig`].
+//!
 //! ## Example
 //!
 //! ```
@@ -80,7 +88,9 @@ mod wire;
 pub use client::{FinishReport, WireClient};
 pub use frame_io::{read_frame, write_frame, IdleWait};
 pub use manifest::{ManifestSource, SessionManifest};
-pub use server::{spawn_loopback, NetConfig, ServerHandle, WireServer};
+pub use server::{
+    spawn_loopback, AdmissionConfig, KeepaliveConfig, NetConfig, ServerHandle, WireServer,
+};
 pub use wire::{
     code, decode_frame, digest_of_depth_maps, encode_frame, trajectory_samples, DepthMapFrame,
     WireError, WireFrame, WireSessionEvent, CHECKSUM_LEN, DEFAULT_MAX_PAYLOAD, HEADER_LEN,

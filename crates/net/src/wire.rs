@@ -72,6 +72,12 @@ pub mod code {
     pub const BAD_SESSION_ID: u16 = 9;
     /// The server is shutting down.
     pub const SHUTTING_DOWN: u16 = 10;
+    /// The server refused the work for capacity reasons: the connection
+    /// limit is reached (`Error` at accept time, then close) or admission
+    /// control tripped on the engine's queue-depth/utilization metrics
+    /// (`Rejected` at `Admit` time; the connection stays usable and the
+    /// client may retry later). Never a hang, never silence.
+    pub const OVERLOADED: u16 = 11;
 }
 
 /// Everything that can go wrong speaking `eventor-wire/1`. Every corruption
@@ -388,6 +394,21 @@ pub enum WireFrame {
     /// Ordered connection shutdown.
     Bye,
 
+    // ---- either direction (keepalive, wire v1.1) ----
+    /// Keepalive probe. Direction-neutral: the server pings idle
+    /// connections to distinguish idle-but-alive peers from dead ones, and
+    /// a client may probe a server the same way. The receiver answers with
+    /// a [`Pong`](Self::Pong) echoing the nonce; it is never ignored.
+    Ping {
+        /// Opaque echo token chosen by the sender.
+        nonce: u64,
+    },
+    /// Keepalive answer: echoes the [`Ping`](Self::Ping) nonce verbatim.
+    Pong {
+        /// The nonce of the ping being answered.
+        nonce: u64,
+    },
+
     // ---- server → client ----
     /// Handshake accept.
     HelloOk {
@@ -470,6 +491,8 @@ impl WireFrame {
             Self::Discard => 0x0008,
             Self::Metrics => 0x0009,
             Self::Bye => 0x000a,
+            Self::Ping { .. } => 0x000b,
+            Self::Pong { .. } => 0x000c,
             Self::HelloOk { .. } => 0x8001,
             Self::Admitted { .. } => 0x8002,
             Self::Rejected { .. } => 0x8003,
@@ -498,6 +521,8 @@ impl WireFrame {
             Self::Discard => "Discard",
             Self::Metrics => "Metrics",
             Self::Bye => "Bye",
+            Self::Ping { .. } => "Ping",
+            Self::Pong { .. } => "Pong",
             Self::HelloOk { .. } => "HelloOk",
             Self::Admitted { .. } => "Admitted",
             Self::Rejected { .. } => "Rejected",
@@ -559,6 +584,9 @@ impl WireFrame {
             }
             Self::Admitted { credits } | Self::PollDone { credits } => {
                 out.extend_from_slice(&credits.to_le_bytes());
+            }
+            Self::Ping { nonce } | Self::Pong { nonce } => {
+                out.extend_from_slice(&nonce.to_le_bytes());
             }
             Self::Rejected { code, reason } | Self::Error { code, reason } => {
                 out.extend_from_slice(&code.to_le_bytes());
@@ -798,6 +826,15 @@ fn decode_payload(kind: u16, payload: &[u8]) -> Result<WireFrame, WireError> {
         0x0008 => empty(WireFrame::Discard),
         0x0009 => empty(WireFrame::Metrics),
         0x000a => empty(WireFrame::Bye),
+        0x000b | 0x000c => {
+            let nonce = c.u64("keepalive nonce")?;
+            c.done("keepalive")?;
+            Ok(if kind == 0x000b {
+                WireFrame::Ping { nonce }
+            } else {
+                WireFrame::Pong { nonce }
+            })
+        }
         0x8001 => {
             let max_payload = c.u32("HelloOk max_payload")?;
             let queue_capacity = c.u64("HelloOk queue_capacity")?;
@@ -1047,6 +1084,18 @@ mod tests {
             (7, WireFrame::Discard),
             (0, WireFrame::Metrics),
             (0, WireFrame::Bye),
+            (
+                0,
+                WireFrame::Ping {
+                    nonce: 0xfeed_face_cafe_f00d,
+                },
+            ),
+            (
+                0,
+                WireFrame::Pong {
+                    nonce: 0xfeed_face_cafe_f00d,
+                },
+            ),
             (
                 0,
                 WireFrame::HelloOk {

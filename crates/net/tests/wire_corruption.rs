@@ -98,6 +98,26 @@ fn sample_frames() -> Vec<(u64, WireFrame)> {
                 json: "{\"format\": \"eventor-metrics/1\"}".into(),
             },
         ),
+        // Wire v1.1 additions: keepalive pair and the overload refusal.
+        (
+            0,
+            WireFrame::Ping {
+                nonce: 0x0123_4567_89ab_cdef,
+            },
+        ),
+        (
+            0,
+            WireFrame::Pong {
+                nonce: 0x0123_4567_89ab_cdef,
+            },
+        ),
+        (
+            3,
+            WireFrame::Rejected {
+                code: code::OVERLOADED,
+                reason: "admission refused: 4 live sessions at the cap of 4".into(),
+            },
+        ),
     ]
 }
 
@@ -326,11 +346,57 @@ fn every_single_byte_flip_is_a_typed_error() {
     }
 }
 
+/// Keepalive frames carry exactly one u64 nonce: trailing bytes after it
+/// are a `Malformed` violation, not silently ignored slack.
+#[test]
+fn trailing_bytes_after_a_keepalive_nonce_are_malformed() {
+    for frame in [WireFrame::Ping { nonce: 42 }, WireFrame::Pong { nonce: 42 }] {
+        let good = encode_frame(0, &frame);
+        let mut bytes = good.clone();
+        // Splice one extra payload byte in and fix the declared length.
+        bytes.insert(good.len() - CHECKSUM_LEN, 0);
+        let declared = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        bytes[20..24].copy_from_slice(&(declared + 1).to_le_bytes());
+        reseal(&mut bytes);
+        match decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+            Err(WireError::Malformed { reason }) => {
+                assert!(reason.contains("keepalive"), "reason: {reason}");
+            }
+            other => panic!("{}: expected Malformed, got {other:?}", frame.kind_name()),
+        }
+    }
+}
+
+/// A keepalive nonce truncated mid-word names what was cut.
+#[test]
+fn truncated_keepalive_nonce_is_typed() {
+    let mut bytes = encode_frame(0, &WireFrame::Ping { nonce: 42 });
+    // Shrink the payload to 4 bytes of nonce and fix the declared length.
+    let cut = HEADER_LEN + 4;
+    bytes.truncate(cut);
+    bytes[20..24].copy_from_slice(&4u32.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; CHECKSUM_LEN]);
+    reseal(&mut bytes);
+    match decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+        Err(WireError::Truncated { what, .. }) => {
+            assert!(what.contains("nonce"), "what: {what}");
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+/// The overload refusal code is part of the deployed protocol surface —
+/// pinned, like the magic.
+#[test]
+fn overloaded_code_is_pinned() {
+    assert_eq!(code::OVERLOADED, 11);
+}
+
 proptest! {
     /// Random single-byte XOR masks over random frame/offset choices: the
     /// flip property holds for every nonzero mask, not just `0xA5`.
     #[test]
-    fn random_byte_flips_never_decode(idx in 0usize..8, offset in 0usize..4096, mask in 1u64..256) {
+    fn random_byte_flips_never_decode(idx in 0usize..11, offset in 0usize..4096, mask in 1u64..256) {
         let frames = sample_frames();
         let (session, frame) = &frames[idx % frames.len()];
         let mut bytes = encode_frame(*session, frame);

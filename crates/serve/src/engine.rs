@@ -45,7 +45,7 @@ impl fmt::Display for SessionId {
 /// Configuration of a [`ServeEngine`]: worker-pool size, per-session queue
 /// bound and scheduling quantum. All setters clamp to usable values, so a
 /// configuration is always valid (mirroring
-/// [`ParallelConfig`](eventor_emvs::ParallelConfig)).
+/// [`ParallelConfig`]).
 ///
 /// # Examples
 ///

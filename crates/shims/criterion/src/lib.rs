@@ -305,15 +305,17 @@ impl Criterion {
             None => ("none", 0),
         };
         // Hand-rolled JSON: group/benchmark ids and context annotations in
-        // this workspace are simple identifiers, sanitize() guarantees no
-        // escaping is needed. The "context" object is additive (eventor-bench/1
-        // readers must ignore unknown keys) and omitted when empty.
+        // this workspace are simple identifiers (context values may also
+        // carry decimal numbers), so sanitize()/sanitize_value() guarantee
+        // no escaping is needed. The "context" object is additive
+        // (eventor-bench/1 readers must ignore unknown keys) and omitted
+        // when empty.
         let context_json = if context.is_empty() {
             String::new()
         } else {
             let pairs: Vec<String> = context
                 .iter()
-                .map(|(k, v)| format!("\"{}\": \"{}\"", sanitize(k), sanitize(v)))
+                .map(|(k, v)| format!("\"{}\": \"{}\"", sanitize(k), sanitize_value(v)))
                 .collect();
             format!(",\n  \"context\": {{ {} }}", pairs.join(", "))
         };
@@ -350,6 +352,20 @@ fn sanitize(s: &str) -> String {
     s.chars()
         .map(|c| {
             if c.is_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Like [`sanitize`] but also keeps `.`, so context values can carry
+/// decimal numbers (e.g. a p99 in seconds) without mangling.
+fn sanitize_value(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
                 c
             } else {
                 '_'
@@ -441,10 +457,13 @@ mod tests {
         group.sample_size(2);
         group.context("dispatch_tier", "swar");
         group.context("dispatch_tier", "avx2"); // later set wins
+        group.context("p99_seconds", "1.250000");
         group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
         group.finish();
         let json = std::fs::read_to_string(dir.join("ctx_selftest").join("sum.json")).unwrap();
-        assert!(json.contains("\"context\": { \"dispatch_tier\": \"avx2\" }"));
+        assert!(json.contains(
+            "\"context\": { \"dispatch_tier\": \"avx2\", \"p99_seconds\": \"1.250000\" }"
+        ));
         assert!(!json.contains("swar"));
         assert!(json.contains("\"schema\": \"eventor-bench/1\""));
         let _ = std::fs::remove_dir_all(dir);

@@ -337,8 +337,9 @@ fn cosim_survives_a_noisy_stream_and_stays_consistent_with_software() {
 // ---------------------------------------------------------------------------
 
 use eventor::net::{
-    code, read_frame, spawn_loopback, write_frame, IdleWait, ManifestSource, NetConfig,
-    SessionManifest, WireClient, WireError, WireFrame, DEFAULT_MAX_PAYLOAD,
+    code, read_frame, spawn_loopback, write_frame, AdmissionConfig, IdleWait, KeepaliveConfig,
+    ManifestSource, NetConfig, SessionManifest, WireClient, WireError, WireFrame,
+    DEFAULT_MAX_PAYLOAD,
 };
 use eventor::scenarios::{golden_digest, BackendKind};
 use eventor::serve::LoadShape;
@@ -521,6 +522,240 @@ fn duplicate_admission_is_rejected_and_the_connection_stays_usable() {
     ));
     assert!(matches!(ask(6, &admit), WireFrame::Admitted { .. }));
     assert!(matches!(ask(0, &WireFrame::Bye), WireFrame::ByeOk));
+    server.shutdown();
+}
+
+#[test]
+fn pongless_idle_peer_is_reaped_while_a_busy_credit_stalled_peer_survives() {
+    // Aggressive keepalive so the drill runs in milliseconds: ping after
+    // 100 ms idle, reap after 2 unanswered pings.
+    let server = spawn_loopback(
+        NetConfig::new()
+            .with_keepalive(KeepaliveConfig::every(Duration::from_millis(100)).with_max_misses(2)),
+    )
+    .expect("server spawns");
+    let world = corpus_world("shake_closeup");
+
+    // Peer A: handshakes, admits a session, then goes silent and never
+    // answers a ping — indistinguishable from a dead host.
+    let mut idle = std::net::TcpStream::connect(server.addr()).expect("idle peer connects");
+    write_frame(&mut idle, 0, &WireFrame::Hello).expect("hello");
+    let read_one = |stream: &mut std::net::TcpStream| {
+        read_frame(
+            stream,
+            DEFAULT_MAX_PAYLOAD,
+            Duration::from_secs(10),
+            IdleWait::Timeout(Duration::from_secs(10)),
+            &|| false,
+        )
+    };
+    assert!(matches!(
+        read_one(&mut idle).expect("hello reply").1,
+        WireFrame::HelloOk { .. }
+    ));
+    write_frame(
+        &mut idle,
+        1,
+        &WireFrame::Admit {
+            manifest: scenario_manifest(&world, BackendKind::Software),
+        },
+    )
+    .expect("admit request");
+    assert!(matches!(
+        read_one(&mut idle).expect("admit reply").1,
+        WireFrame::Admitted { .. }
+    ));
+
+    // Peer B: busy the whole time. Its ingest queue runs dry of credits and
+    // it just polls — every poll is inbound traffic, so it is never pinged,
+    // let alone reaped.
+    let mut busy = WireClient::connect(server.addr()).expect("busy peer connects");
+    let busy_id = busy
+        .admit(&scenario_manifest(&world, BackendKind::Software))
+        .expect("busy admission");
+    busy.send_trajectory(busy_id, &world.trajectory)
+        .expect("busy poses");
+    let events = world.events.as_slice();
+    let mut offset = 0usize;
+    let horizon = std::time::Instant::now() + Duration::from_millis(800);
+    while std::time::Instant::now() < horizon {
+        let credits = busy.credits(busy_id) as usize;
+        if credits > 0 && offset < events.len() {
+            let take = 256.min(events.len() - offset).min(credits);
+            offset += busy
+                .send_events(busy_id, &events[offset..offset + take])
+                .expect("busy events") as usize;
+        }
+        busy.poll(busy_id).expect("busy poll");
+        std::thread::sleep(Duration::from_millis(40));
+    }
+
+    // Peer A meanwhile: pings arrived unanswered, then the typed reap
+    // notice, then the close.
+    let mut pings = 0usize;
+    let (reap_code, reap_reason) = loop {
+        match read_one(&mut idle).expect("keepalive traffic").1 {
+            WireFrame::Ping { .. } => pings += 1,
+            WireFrame::Error { code: c, reason } => break (c, reason),
+            other => panic!("unexpected frame while idling: {other:?}"),
+        }
+    };
+    assert!(pings >= 2, "reaped after only {pings} pings");
+    assert_eq!(reap_code, code::PROTOCOL);
+    assert!(
+        reap_reason.contains("keepalive"),
+        "reap reason must name the keepalive: {reap_reason}"
+    );
+    match read_one(&mut idle) {
+        Err(WireError::ConnectionClosed) | Err(WireError::Io { .. }) => {}
+        other => panic!("expected a close after the reap notice, got {other:?}"),
+    }
+
+    // The reaped peer's session was aborted (surfaces as failed), while the
+    // busy peer's connection still answers a liveness probe and finishes to
+    // the golden digest.
+    busy.ping().expect("busy peer answers a client-side ping");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let json = busy.metrics().expect("metrics");
+        if json.contains("\"status\": \"failed\"") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the reaped peer's session never surfaced as failed: {json}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    while offset < events.len() {
+        let credits = busy.credits(busy_id) as usize;
+        if credits == 0 {
+            busy.poll(busy_id).expect("drain poll");
+            continue;
+        }
+        let take = (events.len() - offset).min(credits);
+        offset += busy
+            .send_events(busy_id, &events[offset..offset + take])
+            .expect("drain events") as usize;
+    }
+    let report = busy.finish(busy_id).expect("busy finish");
+    assert_eq!(
+        report.digest,
+        golden_digest(&world.name).expect("golden"),
+        "a reaped neighbour must not perturb the busy peer's bits"
+    );
+    busy.bye().expect("bye");
+    server.shutdown();
+}
+
+#[test]
+fn connections_past_the_limit_get_a_typed_overloaded_goodbye() {
+    let server = spawn_loopback(NetConfig::new().with_max_conns(2)).expect("server spawns");
+
+    let c1 = WireClient::connect(server.addr()).expect("first connects");
+    let c2 = WireClient::connect(server.addr()).expect("second connects");
+
+    // The third connection is refused with a typed OVERLOADED error and a
+    // close — never a silent reset, never a hang.
+    let mut third = std::net::TcpStream::connect(server.addr()).expect("third connects");
+    let (_, reply) = read_frame(
+        &mut third,
+        DEFAULT_MAX_PAYLOAD,
+        Duration::from_secs(10),
+        IdleWait::Timeout(Duration::from_secs(10)),
+        &|| false,
+    )
+    .expect("overload notice");
+    match reply {
+        WireFrame::Error { code: c, reason } => {
+            assert_eq!(c, code::OVERLOADED);
+            assert!(
+                reason.contains("connection limit"),
+                "reason must name the limit: {reason}"
+            );
+        }
+        other => panic!("expected Error(OVERLOADED), got {other:?}"),
+    }
+    match read_frame(
+        &mut third,
+        DEFAULT_MAX_PAYLOAD,
+        Duration::from_secs(10),
+        IdleWait::Timeout(Duration::from_secs(10)),
+        &|| false,
+    ) {
+        Err(WireError::ConnectionClosed) | Err(WireError::Io { .. }) => {}
+        other => panic!("expected a close after the overload notice, got {other:?}"),
+    }
+
+    // Releasing a slot re-opens admission.
+    c2.bye().expect("second bye");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut replacement = loop {
+        match WireClient::connect(server.addr()) {
+            Ok(client) => break client,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("the freed slot never re-opened: {e:?}"),
+        }
+    };
+    replacement.ping().expect("replacement is live");
+    replacement.bye().expect("replacement bye");
+    c1.bye().expect("first bye");
+    server.shutdown();
+}
+
+#[test]
+fn admission_past_the_session_cap_is_rejected_typed_and_recovers() {
+    let server = spawn_loopback(
+        NetConfig::new().with_admission(AdmissionConfig::new().with_max_sessions(1)),
+    )
+    .expect("server spawns");
+    let world = corpus_world("orbit_burst");
+
+    let mut client = WireClient::connect(server.addr()).expect("client connects");
+    let first = client
+        .admit(&scenario_manifest(&world, BackendKind::Software))
+        .expect("first admission fits the cap");
+
+    // A second live session trips the gate: typed OVERLOADED rejection, and
+    // the connection plus the first session stay fully usable.
+    match client.admit(&scenario_manifest(&world, BackendKind::Software)) {
+        Err(WireError::Rejected { code: c, reason }) => {
+            assert_eq!(c, code::OVERLOADED);
+            assert!(
+                reason.contains("admission"),
+                "reason must name admission control: {reason}"
+            );
+        }
+        other => panic!("expected Rejected(OVERLOADED), got {other:?}"),
+    }
+    client.poll(first).expect("first session still serves");
+
+    // Draining the live session re-opens admission — the gate follows the
+    // engine's own metrics, not a sticky flag.
+    let report = client
+        .drive(
+            first,
+            &world.trajectory,
+            world.events.as_slice(),
+            LoadShape::Steady { chunk: 2048 },
+        )
+        .expect("first session finishes");
+    assert_eq!(report.digest, golden_digest(&world.name).expect("golden"));
+    let second = client
+        .admit(&scenario_manifest(&world, BackendKind::Software))
+        .expect("admission re-opens once load drains");
+    let report = client
+        .drive(
+            second,
+            &world.trajectory,
+            world.events.as_slice(),
+            LoadShape::Steady { chunk: 2048 },
+        )
+        .expect("second session finishes");
+    assert_eq!(report.digest, golden_digest(&world.name).expect("golden"));
+    client.bye().expect("bye");
     server.shutdown();
 }
 
